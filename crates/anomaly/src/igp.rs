@@ -1,0 +1,82 @@
+//! Automated IGP correlation (§III-D.3, automated).
+//!
+//! The paper correlated IGP activity with BGP incidents *manually*: "We then
+//! use REX … to manually drill-down and determine whether IGP is part of the
+//! root-cause of an incident. … We are working on automating this process as
+//! part of Stemming." This module is that automation: after classification,
+//! each report is annotated with the number of IGP events temporally
+//! adjacent to its incident window. A [`crate::AnomalyKind::PathShift`]
+//! with coincident metric changes is almost certainly IGP-driven.
+
+use bgpscope_bgp::Timestamp;
+use bgpscope_igp::IgpEventLog;
+
+use crate::report::AnomalyReport;
+
+/// Annotates `reports` with the count of IGP events within `slack` of each
+/// report's `[start, end]` window. Re-enriching overwrites previous counts.
+pub fn enrich_with_igp(reports: &mut [AnomalyReport], igp: &IgpEventLog, slack: Timestamp) {
+    for report in reports {
+        let lo = report.start.saturating_since(slack);
+        let hi = Timestamp((report.end + slack).as_micros() + 1);
+        report.igp_nearby = Some(igp.window(lo, hi).len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use bgpscope_bgp::{Event, EventStream, PathAttributes, PeerId, Prefix, RouterId};
+    use bgpscope_igp::{IgpEvent, IgpEventKind};
+    use bgpscope_stemming::Stemming;
+
+    fn reports_for(stream: &EventStream) -> Vec<AnomalyReport> {
+        let result = Stemming::new().decompose(stream);
+        result
+            .components()
+            .iter()
+            .map(|c| AnomalyReport::new(c, classify(c, stream), result.symbols()))
+            .collect()
+    }
+
+    #[test]
+    fn enrichment_counts_adjacent_igp_events() {
+        // A BGP incident at t = 100..110.
+        let stream: EventStream = (0..10u8)
+            .map(|i| {
+                Event::withdraw(
+                    Timestamp::from_secs(100 + i as u64),
+                    PeerId::from_octets(1, 1, 1, 1),
+                    Prefix::from_octets(10, i, 0, 0, 16),
+                    PathAttributes::new(RouterId(9), "701 1299".parse().unwrap()),
+                )
+            })
+            .collect();
+        let mut reports = reports_for(&stream);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].igp_nearby, None);
+
+        // IGP: one metric change at t=99 (inside slack), one at t=500 (not).
+        let igp: IgpEventLog = [99u64, 500]
+            .into_iter()
+            .map(|t| IgpEvent {
+                time: Timestamp::from_secs(t),
+                kind: IgpEventKind::MetricChange {
+                    from: RouterId(1),
+                    to: RouterId(2),
+                    old: 1,
+                    new: 10,
+                },
+            })
+            .collect();
+        enrich_with_igp(&mut reports, &igp, Timestamp::from_secs(5));
+        assert_eq!(reports[0].igp_nearby, Some(1));
+        assert!(reports[0].to_string().contains("1 IGP events near"));
+
+        // Empty log: enriched but quiet.
+        enrich_with_igp(&mut reports, &IgpEventLog::new(), Timestamp::from_secs(5));
+        assert_eq!(reports[0].igp_nearby, Some(0));
+        assert!(reports[0].to_string().contains("quiet"));
+    }
+}

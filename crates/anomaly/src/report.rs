@@ -1,0 +1,138 @@
+//! Operator-facing anomaly reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::intern::SymbolTable;
+use bgpscope_bgp::Timestamp;
+use bgpscope_stemming::Component;
+
+use crate::classify::Verdict;
+
+/// One detected and classified anomaly, self-describing (all symbols
+/// resolved to text so the report outlives the analysis structures).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnomalyReport {
+    /// The classification.
+    pub verdict: Verdict,
+    /// The stem (problem location), rendered `a-b`.
+    pub stem: String,
+    /// The full common portion, rendered `a-b-c`.
+    pub common_portion: String,
+    /// Events in the component.
+    pub event_count: usize,
+    /// Distinct prefixes affected.
+    pub prefix_count: usize,
+    /// Up to ten affected prefixes, rendered.
+    pub sample_prefixes: Vec<String>,
+    /// When the incident started.
+    pub start: Timestamp,
+    /// When it ended (last event seen).
+    pub end: Timestamp,
+    /// Announce / withdraw split.
+    pub announce_count: usize,
+    /// Withdrawals in the component.
+    pub withdraw_count: usize,
+    /// Number of IGP events temporally adjacent to the incident, when the
+    /// report has been enriched with an IGP log (see
+    /// [`crate::enrich_with_igp`]); `None` = not enriched.
+    pub igp_nearby: Option<usize>,
+}
+
+impl AnomalyReport {
+    /// Builds a report from a component, its verdict, and the symbol table.
+    pub fn new(component: &Component, verdict: Verdict, symbols: &SymbolTable) -> Self {
+        AnomalyReport {
+            verdict,
+            stem: component.stem().display(symbols),
+            common_portion: component.display_subsequence(symbols),
+            event_count: component.event_count(),
+            prefix_count: component.prefix_count(),
+            sample_prefixes: component
+                .prefixes
+                .iter()
+                .take(10)
+                .map(|p| p.to_string())
+                .collect(),
+            start: component.start,
+            end: component.end,
+            announce_count: component.announce_count,
+            withdraw_count: component.withdraw_count,
+            igp_nearby: None,
+        }
+    }
+
+    /// The incident duration.
+    pub fn duration(&self) -> Timestamp {
+        self.end.saturating_since(self.start)
+    }
+}
+
+impl fmt::Display for AnomalyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] confidence {:.0}% — stem {} (portion {})",
+            self.verdict.kind,
+            self.verdict.confidence * 100.0,
+            self.stem,
+            self.common_portion
+        )?;
+        writeln!(
+            f,
+            "  {} events ({} announce / {} withdraw) over {} prefixes, {} .. {}",
+            self.event_count,
+            self.announce_count,
+            self.withdraw_count,
+            self.prefix_count,
+            self.start,
+            self.end
+        )?;
+        for note in &self.verdict.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        match self.igp_nearby {
+            Some(0) => writeln!(f, "  igp: quiet around the incident")?,
+            Some(n) => writeln!(f, "  igp: {n} IGP events near the incident — check link metrics")?,
+            None => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, AnomalyKind};
+    use bgpscope_bgp::{Event, EventStream, PathAttributes, PeerId, Prefix, RouterId};
+    use bgpscope_stemming::Stemming;
+
+    #[test]
+    fn report_resolves_symbols() {
+        let peer = PeerId::from_octets(128, 32, 1, 3);
+        let hop = RouterId::from_octets(128, 32, 0, 66);
+        let stream: EventStream = (0..10u8)
+            .map(|i| {
+                Event::withdraw(
+                    Timestamp::from_secs(i as u64),
+                    peer,
+                    Prefix::from_octets(10, i, 0, 0, 16),
+                    PathAttributes::new(hop, "11423 209".parse().unwrap()),
+                )
+            })
+            .collect();
+        let result = Stemming::new().decompose(&stream);
+        let component = &result.components()[0];
+        let verdict = classify(component, &stream);
+        let report = AnomalyReport::new(component, verdict, result.symbols());
+        assert_eq!(report.stem, "11423-209");
+        assert_eq!(report.event_count, 10);
+        assert_eq!(report.prefix_count, 10);
+        assert_eq!(report.verdict.kind, AnomalyKind::SessionReset);
+        assert_eq!(report.duration(), Timestamp::from_secs(9));
+        let text = report.to_string();
+        assert!(text.contains("session reset"));
+        assert!(text.contains("11423-209"));
+    }
+}

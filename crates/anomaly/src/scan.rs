@@ -1,0 +1,198 @@
+//! Stream scanners for well-known BGP anomaly signatures that complement
+//! Stemming: MOAS conflicts and deaggregation bursts.
+//!
+//! Stemming finds *correlation structure*; these scanners find *semantic*
+//! red flags the paper's introduction names — route hijacking ("a BGP router
+//! announces reachability to prefixes it does not own", usually visible as a
+//! Multiple-Origin-AS conflict) and route leakage ("a misconfigured BGP
+//! router mistakenly sends a lot of routes", often visible as a burst of
+//! more-specifics under existing aggregates).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::{Asn, EventKind, EventStream, Prefix, PrefixTrie, Timestamp};
+
+/// A Multiple-Origin-AS conflict: one prefix announced by several origins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoasConflict {
+    /// The contested prefix.
+    pub prefix: Prefix,
+    /// Every origin AS seen announcing it, with first-seen time.
+    pub origins: Vec<(Asn, Timestamp)>,
+}
+
+/// Scans a stream for MOAS conflicts (prefixes announced with two or more
+/// distinct origin ASes). The legitimate-multi-homing false-positive rate is
+/// the operator's problem, as in real deployments; the scanner reports facts.
+pub fn scan_moas(stream: &EventStream) -> Vec<MoasConflict> {
+    let mut first_seen: BTreeMap<Prefix, BTreeMap<Asn, Timestamp>> = BTreeMap::new();
+    for event in stream {
+        if event.kind != EventKind::Announce {
+            continue;
+        }
+        if let Some(origin) = event.attrs.as_path.origin_as() {
+            first_seen
+                .entry(event.prefix)
+                .or_default()
+                .entry(origin)
+                .or_insert(event.time);
+        }
+    }
+    first_seen
+        .into_iter()
+        .filter(|(_, origins)| origins.len() >= 2)
+        .map(|(prefix, origins)| MoasConflict {
+            prefix,
+            origins: origins.into_iter().collect(),
+        })
+        .collect()
+}
+
+/// A deaggregation burst: many new more-specific announcements under one
+/// covering prefix within a short window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeaggregationBurst {
+    /// The covering (aggregate) prefix.
+    pub aggregate: Prefix,
+    /// The more-specifics announced under it.
+    pub specifics: Vec<Prefix>,
+    /// First specific's announcement time.
+    pub start: Timestamp,
+    /// Last specific's announcement time.
+    pub end: Timestamp,
+}
+
+/// Scans a stream for deaggregation: prefixes announced under a covering
+/// aggregate that was announced earlier. Bursts with at least `min_specifics`
+/// distinct more-specifics are reported, grouped per aggregate.
+pub fn scan_deaggregation(stream: &EventStream, min_specifics: usize) -> Vec<DeaggregationBurst> {
+    let mut aggregates: PrefixTrie<Timestamp> = PrefixTrie::new();
+    let mut bursts: BTreeMap<Prefix, (BTreeSet<Prefix>, Timestamp, Timestamp)> = BTreeMap::new();
+
+    for event in stream {
+        if event.kind != EventKind::Announce {
+            continue;
+        }
+        // Is there a strictly covering prefix already announced?
+        if let Some((aggregate, _)) = aggregates.covering(&event.prefix) {
+            let entry = bursts
+                .entry(aggregate)
+                .or_insert_with(|| (BTreeSet::new(), event.time, event.time));
+            entry.0.insert(event.prefix);
+            entry.1 = entry.1.min(event.time);
+            entry.2 = entry.2.max(event.time);
+        }
+        aggregates.insert(event.prefix, event.time);
+    }
+
+    bursts
+        .into_iter()
+        .filter(|(_, (specifics, _, _))| specifics.len() >= min_specifics)
+        .map(|(aggregate, (specifics, start, end))| DeaggregationBurst {
+            aggregate,
+            specifics: specifics.into_iter().collect(),
+            start,
+            end,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::{Event, PathAttributes, PeerId, RouterId};
+
+    fn announce(t: u64, path: &str, prefix: &str) -> Event {
+        Event::announce(
+            Timestamp::from_secs(t),
+            PeerId::from_octets(1, 1, 1, 1),
+            prefix.parse().unwrap(),
+            PathAttributes::new(RouterId(9), path.parse().unwrap()),
+        )
+    }
+
+    #[test]
+    fn moas_detects_contested_prefix() {
+        let stream: EventStream = vec![
+            announce(0, "100 300", "1.2.3.0/24"),
+            announce(1, "100 300", "1.2.3.0/24"), // same origin: no conflict
+            announce(5, "666", "1.2.3.0/24"),     // the hijack
+            announce(6, "100 300", "9.9.0.0/16"), // unrelated
+        ]
+        .into_iter()
+        .collect();
+        let conflicts = scan_moas(&stream);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].prefix, "1.2.3.0/24".parse().unwrap());
+        let origins: Vec<Asn> = conflicts[0].origins.iter().map(|&(a, _)| a).collect();
+        assert_eq!(origins, vec![Asn(300), Asn(666)]);
+        // First-seen times are preserved.
+        assert_eq!(conflicts[0].origins[1].1, Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn moas_ignores_withdrawals_and_empty_paths() {
+        let mut stream = EventStream::new();
+        stream.push(announce(0, "100", "1.2.3.0/24"));
+        stream.push(Event::withdraw(
+            Timestamp::from_secs(1),
+            PeerId::from_octets(1, 1, 1, 1),
+            "1.2.3.0/24".parse().unwrap(),
+            PathAttributes::new(RouterId(9), "666".parse().unwrap()),
+        ));
+        stream.push(announce(2, "", "1.2.3.0/24")); // local, no origin
+        assert!(scan_moas(&stream).is_empty());
+    }
+
+    #[test]
+    fn deaggregation_burst_found() {
+        let mut events = vec![announce(0, "100 200", "10.0.0.0/8")];
+        for i in 0..20u64 {
+            events.push(announce(
+                10 + i,
+                "100 300",
+                &format!("10.{}.0.0/16", i),
+            ));
+        }
+        let stream: EventStream = events.into_iter().collect();
+        let bursts = scan_deaggregation(&stream, 10);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].aggregate, "10.0.0.0/8".parse().unwrap());
+        assert_eq!(bursts[0].specifics.len(), 20);
+        assert_eq!(bursts[0].start, Timestamp::from_secs(10));
+        assert_eq!(bursts[0].end, Timestamp::from_secs(29));
+        // Below the threshold: nothing.
+        assert!(scan_deaggregation(&stream, 21).is_empty());
+    }
+
+    #[test]
+    fn specifics_before_aggregate_do_not_count() {
+        // The /16s exist first; announcing the /8 afterwards is aggregation,
+        // not deaggregation.
+        let mut events = Vec::new();
+        for i in 0..10u64 {
+            events.push(announce(i, "100 300", &format!("10.{}.0.0/16", i)));
+        }
+        events.push(announce(100, "100 200", "10.0.0.0/8"));
+        let stream: EventStream = events.into_iter().collect();
+        assert!(scan_deaggregation(&stream, 2).is_empty());
+    }
+
+    #[test]
+    fn nested_aggregates_attribute_to_most_specific_cover() {
+        let stream: EventStream = vec![
+            announce(0, "1", "10.0.0.0/8"),
+            announce(1, "1", "10.1.0.0/16"),
+            announce(2, "2", "10.1.1.0/24"),
+            announce(3, "2", "10.1.2.0/24"),
+        ]
+        .into_iter()
+        .collect();
+        let bursts = scan_deaggregation(&stream, 2);
+        // The /24s attribute to the /16 (their most specific cover), not the /8.
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].aggregate, "10.1.0.0/16".parse().unwrap());
+    }
+}

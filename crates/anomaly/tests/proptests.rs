@@ -1,0 +1,100 @@
+//! Property tests: classification and the pipeline are total over random
+//! streams.
+
+use proptest::prelude::*;
+
+use bgpscope_anomaly::{classify, scan_deaggregation, scan_moas, PipelineConfig, RealtimeDetector};
+use bgpscope_bgp::{
+    AsPath, Event, EventKind, EventStream, PathAttributes, PeerId, Prefix, RouterId, Timestamp,
+    UpdateMessage,
+};
+use bgpscope_stemming::Stemming;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u64..100_000,
+        1u8..4,
+        1u8..6,
+        proptest::collection::vec(1u32..30, 0..5),
+        0u8..25,
+        0u8..3,
+        any::<bool>(),
+    )
+        .prop_map(|(t, peer, hop, path, pfx, len_class, announce)| {
+            let attrs = PathAttributes::new(
+                RouterId::from_octets(10, 0, 0, hop),
+                AsPath::from_u32s(path),
+            );
+            let len = [16u8, 20, 24][len_class as usize];
+            let prefix = Prefix::from_octets(10, pfx, 0, 0, len);
+            let peer = PeerId::from_octets(192, 168, 0, peer);
+            if announce {
+                Event::announce(Timestamp::from_millis(t), peer, prefix, attrs)
+            } else {
+                Event::withdraw(Timestamp::from_millis(t), peer, prefix, attrs)
+            }
+        })
+}
+
+proptest! {
+    /// Every component of every random stream classifies without panicking,
+    /// with confidence in [0, 1] and non-empty notes.
+    #[test]
+    fn classify_is_total(events in proptest::collection::vec(arb_event(), 0..150)) {
+        let mut events = events;
+        events.sort_by_key(|e| e.time);
+        let stream: EventStream = events.into_iter().collect();
+        let result = Stemming::new().decompose(&stream);
+        for component in result.components() {
+            let verdict = classify(component, &stream);
+            prop_assert!((0.0..=1.0).contains(&verdict.confidence));
+            prop_assert!(!verdict.notes.is_empty());
+        }
+    }
+
+    /// The scanners are total and structurally sane.
+    #[test]
+    fn scanners_are_total(events in proptest::collection::vec(arb_event(), 0..150)) {
+        let stream: EventStream = events.into_iter().collect();
+        for conflict in scan_moas(&stream) {
+            prop_assert!(conflict.origins.len() >= 2);
+        }
+        for burst in scan_deaggregation(&stream, 2) {
+            prop_assert!(burst.specifics.len() >= 2);
+            for s in &burst.specifics {
+                prop_assert!(burst.aggregate.covers(s));
+                prop_assert!(*s != burst.aggregate);
+            }
+            prop_assert!(burst.start <= burst.end);
+        }
+    }
+
+    /// The realtime detector ingests any update sequence without panicking
+    /// and report counters stay consistent.
+    #[test]
+    fn pipeline_is_total(events in proptest::collection::vec(arb_event(), 0..150)) {
+        let mut events = events;
+        events.sort_by_key(|e| e.time);
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(10),
+            min_events: 5,
+            min_component_events: 5,
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        let mut emitted = 0;
+        for e in events {
+            let msg = match e.kind {
+                EventKind::Announce => UpdateMessage::announce(e.peer, e.attrs.clone(), [e.prefix]),
+                EventKind::Withdraw => UpdateMessage::withdraw(e.peer, [e.prefix]),
+            };
+            emitted += det.ingest_update(&msg, e.time).len();
+        }
+        let total = det.reports_emitted();
+        prop_assert_eq!(emitted, total);
+        let tail = det.finish();
+        for report in tail {
+            prop_assert!(report.event_count > 0);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices called out in DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bgpscope::prelude::*;
+use bgpscope_bench::berkeley_stream;
+use bgpscope_stemming::StemmingConfig;
+
+/// Ablation 1: the ranking rule. CountThenLength (the paper-faithful
+/// default) vs CountOnly vs CoverageWeighted — both run time and the kind of
+/// winner they pick differ.
+fn ablation_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ranking");
+    group.sample_size(10);
+    let stream = berkeley_stream(12_000, Timestamp::from_secs(600));
+    for rule in [
+        RankingRule::CountThenLength,
+        RankingRule::CountOnly,
+        RankingRule::CoverageWeighted,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rule:?}")),
+            &rule,
+            |b, &rule| {
+                let config = StemmingConfig {
+                    ranking: rule,
+                    ..StemmingConfig::default()
+                };
+                b.iter(|| Stemming::with_config(config.clone()).decompose(&stream))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation 2: capping enumerated sub-sequence length. AS paths are short,
+/// so a small cap barely changes results but bounds the worst case.
+fn ablation_subseq_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_subseq_cap");
+    group.sample_size(10);
+    let stream = berkeley_stream(12_000, Timestamp::from_secs(600));
+    for cap in [0usize, 4, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            let config = StemmingConfig {
+                max_subseq_len: cap,
+                ..StemmingConfig::default()
+            };
+            b.iter(|| Stemming::with_config(config.clone()).decompose(&stream))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: animation flap threshold — how the yellow cutoff affects
+/// frame-generation cost (it should not; this guards against regressions
+/// where state classification becomes the bottleneck).
+fn ablation_flap_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_flap_threshold");
+    group.sample_size(10);
+    let stream = berkeley_stream(20_000, Timestamp::from_secs(600));
+    for threshold in [2u32, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &threshold| {
+                b.iter(|| {
+                    let config = bgpscope_tamp::AnimationConfig {
+                        flap_threshold: threshold,
+                        ..bgpscope_tamp::AnimationConfig::default()
+                    };
+                    Animator::with_config("ablation", Default::default(), config).animate(&stream)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation 4: hierarchical-pruning depth schedule vs flat.
+fn ablation_prune_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_prune");
+    let routes = Berkeley::with_scale(1.0).routes();
+    let mut builder = GraphBuilder::new("ablation");
+    for r in &routes {
+        builder.add(RouteInput::from_route(r));
+    }
+    let graph = builder.finish();
+    for (name, config) in [
+        ("flat_5pct", PruneConfig::flat(0.05)),
+        ("hier_default", PruneConfig::hierarchical(0.05)),
+        (
+            "hier_gradual",
+            PruneConfig {
+                thresholds_by_depth: vec![0.0, 0.01, 0.02, 0.05, 0.10],
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| prune_hierarchical(&graph, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_ranking,
+    ablation_subseq_cap,
+    ablation_flap_threshold,
+    ablation_prune_schedule
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! End-to-end pipeline benches: collector augmentation throughput, the
+//! realtime detector, MRT archival, and the simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bgpscope::prelude::*;
+use bgpscope_bench::berkeley_stream;
+
+/// Raw updates for feeding the collector/pipeline benches.
+fn update_feed(n: usize) -> Vec<(UpdateMessage, Timestamp)> {
+    let stream = berkeley_stream(n, Timestamp::from_secs(600));
+    stream
+        .iter()
+        .map(|e| {
+            let msg = match e.kind {
+                EventKind::Announce => {
+                    UpdateMessage::announce(e.peer, e.attrs.clone(), [e.prefix])
+                }
+                EventKind::Withdraw => UpdateMessage::withdraw(e.peer, [e.prefix]),
+            };
+            (msg, e.time)
+        })
+        .collect()
+}
+
+fn bench_collector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector");
+    group.sample_size(10);
+    let feed = update_feed(50_000);
+    group.throughput(Throughput::Elements(feed.len() as u64));
+    group.bench_function("augment_50k_updates", |b| {
+        b.iter(|| {
+            let mut rex = Collector::new();
+            let mut n = 0usize;
+            for (msg, t) in &feed {
+                n += rex.apply_update(msg, *t).len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_realtime_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realtime_detector");
+    group.sample_size(10);
+    let feed = update_feed(50_000);
+    group.throughput(Throughput::Elements(feed.len() as u64));
+    group.bench_function("ingest_50k_updates", |b| {
+        b.iter(|| {
+            let mut det = RealtimeDetector::new(PipelineConfig::default());
+            let mut reports = 0usize;
+            for (msg, t) in &feed {
+                reports += det.ingest_update(msg, *t).len();
+            }
+            reports + det.finish().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mrt");
+    group.sample_size(10);
+    let stream = berkeley_stream(50_000, Timestamp::from_secs(600));
+    let mut encoded = Vec::new();
+    write_events(&mut encoded, &stream).unwrap();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_50k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_events(&mut buf, &stream).unwrap();
+            buf.len()
+        })
+    });
+    group.bench_function("decode_50k", |b| {
+        b.iter(|| read_events(encoded.as_slice()).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    group.bench_function("reset_1000_prefixes", |b| {
+        b.iter(|| {
+            let edge = RouterId::from_octets(10, 0, 0, 1);
+            let provider = RouterId::from_octets(192, 0, 2, 1);
+            let mut sim = SimBuilder::new(1)
+                .router(edge, Asn(65000))
+                .router(provider, Asn(701))
+                .session(edge, provider, SessionKind::Ebgp)
+                .monitor(edge)
+                .build();
+            for i in 0..1_000u32 {
+                sim.originate(
+                    provider,
+                    Prefix::from_octets(20, (i >> 8) as u8, (i & 0xFF) as u8, 0, 24),
+                    Timestamp::ZERO,
+                );
+            }
+            sim.session_down(edge, provider, Timestamp::from_secs(100));
+            sim.session_up(edge, provider, Timestamp::from_secs(160));
+            sim.run_to_completion();
+            sim.take_collector_feed().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collector,
+    bench_realtime_detector,
+    bench_mrt,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for Stemming (Table I's right column, reduced sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bgpscope::prelude::*;
+use bgpscope_bench::{berkeley_stream, isp_stream};
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stemming_decompose");
+    group.sample_size(10);
+    for n in [1_000usize, 12_000, 57_000] {
+        let stream = berkeley_stream(n, Timestamp::from_secs(600));
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("berkeley", n),
+            &stream,
+            |b, stream| b.iter(|| Stemming::new().decompose(stream)),
+        );
+    }
+    for n in [21_000usize, 64_000] {
+        let stream = isp_stream(n, Timestamp::from_secs(3_600));
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::new("isp", n), &stream, |b, stream| {
+            b.iter(|| Stemming::new().decompose(stream))
+        });
+    }
+    group.finish();
+}
+
+/// The §IV-F shape: one sequence repeated en masse — the counter's
+/// sequence-dedup fast path.
+fn bench_oscillation_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stemming_oscillation");
+    group.sample_size(10);
+    for n in [50_000usize, 500_000] {
+        let mut stream = EventStream::new();
+        let peer = PeerId::from_octets(1, 1, 1, 1);
+        let attrs = PathAttributes::new(RouterId::from_octets(10, 3, 4, 5), "2 9".parse().unwrap());
+        for i in 0..n as u64 {
+            let e = if i % 2 == 0 {
+                Event::announce(Timestamp::from_micros(i * 10), peer, "4.5.0.0/16".parse().unwrap(), attrs.clone())
+            } else {
+                Event::withdraw(Timestamp::from_micros(i * 10), peer, "4.5.0.0/16".parse().unwrap(), attrs.clone())
+            };
+            stream.push(e);
+        }
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &stream, |b, stream| {
+            b.iter(|| Stemming::new().decompose(stream))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stemming_weighted");
+    group.sample_size(10);
+    let stream = berkeley_stream(12_000, Timestamp::from_secs(600));
+    let prefixes: Vec<Prefix> = {
+        let mut v: Vec<Prefix> = stream.iter().map(|e| e.prefix).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let traffic = ZipfTraffic::new(1.0, 1).volumes(&prefixes, 1_000_000_000);
+    group.bench_function("traffic_weighted_12k", |b| {
+        b.iter(|| weighted_stemming(&Stemming::new(), &stream, &traffic))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose, bench_oscillation_stream, bench_weighted);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for TAMP (Table I picture & animation columns).
+//!
+//! These run at reduced sizes so `cargo bench` stays pleasant; the
+//! `table1` binary produces the full-scale paper rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bgpscope::prelude::*;
+use bgpscope_bench::berkeley_stream;
+
+fn bench_picture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tamp_picture");
+    group.sample_size(10);
+    for scale in [0.1f64, 0.5, 1.0] {
+        let routes: Vec<RouteInput> = Berkeley::with_scale(scale)
+            .routes()
+            .iter()
+            .map(RouteInput::from_route)
+            .collect();
+        group.throughput(Throughput::Elements(routes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(routes.len()),
+            &routes,
+            |b, routes| {
+                b.iter(|| {
+                    let mut builder = GraphBuilder::new("bench");
+                    for r in routes {
+                        builder.add(r.clone());
+                    }
+                    prune_flat(&builder.finish(), 0.05)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tamp_prune");
+    let routes = Berkeley::with_scale(1.0).routes();
+    let mut builder = GraphBuilder::new("bench");
+    for r in &routes {
+        builder.add(RouteInput::from_route(r));
+    }
+    let graph = builder.finish();
+    group.bench_function("flat_5pct", |b| b.iter(|| prune_flat(&graph, 0.05)));
+    group.bench_function("hierarchical", |b| {
+        b.iter(|| prune_hierarchical(&graph, &PruneConfig::hierarchical(0.05)))
+    });
+    group.finish();
+}
+
+fn bench_animation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tamp_animation");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let stream = berkeley_stream(n, Timestamp::from_secs(600));
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &stream, |b, stream| {
+            b.iter(|| Animator::new("bench").animate(stream));
+        });
+    }
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tamp_render");
+    let routes = Berkeley::with_scale(1.0).routes();
+    let mut builder = GraphBuilder::new("bench");
+    for r in &routes {
+        builder.add(RouteInput::from_route(r));
+    }
+    let graph = prune_flat(&builder.finish(), 0.05);
+    group.bench_function("svg", |b| {
+        b.iter(|| render_svg(&graph, &RenderConfig::default()))
+    });
+    group.bench_function("dot", |b| {
+        b.iter(|| render_dot(&graph, &RenderConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_picture, bench_prune, bench_animation, bench_render);
+criterion_main!(benches);

@@ -1,0 +1,293 @@
+//! Regenerates every figure in the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bgpscope-bench --bin figures [fig1|fig2|...|fig9|all]
+//! ```
+//!
+//! Prints each figure's headline numbers and writes SVG/DOT artifacts to
+//! `target/bgpscope-out/`.
+
+use std::fs;
+use std::path::Path;
+
+use bgpscope::prelude::*;
+use bgpscope::scenarios::berkeley::cenic_community;
+use bgpscope::scenarios::isp_anon::oscillating_prefix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let out = Path::new("target/bgpscope-out");
+    fs::create_dir_all(out)?;
+
+    let run = |name: &str| which == "all" || which == name;
+    if run("fig1") {
+        fig1()?;
+    }
+    if run("fig2") {
+        fig2(out)?;
+    }
+    if run("fig3") {
+        fig3(out)?;
+    }
+    if run("fig4") {
+        fig4()?;
+    }
+    if run("fig5") {
+        fig5(out)?;
+    }
+    if run("fig6") {
+        fig6(out)?;
+    }
+    if run("fig7") {
+        fig7(out)?;
+    }
+    if run("fig8") {
+        fig8(out)?;
+    }
+    if run("fig9") {
+        fig9(out)?;
+    }
+    Ok(())
+}
+
+/// Figure 1: TAMP construction + merge (edge weight 4, not 6).
+fn fig1() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 1: TAMP tree construction and merging ==");
+    let x = PeerId::from_octets(10, 0, 0, 1);
+    let y = PeerId::from_octets(10, 0, 0, 2);
+    let hop_a = RouterId::from_octets(10, 1, 0, 1);
+    let mut b = GraphBuilder::new("fig1");
+    for p in ["1.2.1.0/24", "1.2.2.0/24", "1.2.3.0/24"] {
+        b.add(RouteInput::new(x, hop_a, "1".parse()?, p.parse()?));
+    }
+    for p in ["1.2.2.0/24", "1.2.3.0/24", "1.2.4.0/24"] {
+        b.add(RouteInput::new(y, hop_a, "1".parse()?, p.parse()?));
+    }
+    let g = b.finish();
+    let e = g.find_edge_by_labels("10.1.0.1", "1").expect("merged edge");
+    println!(
+        "  NexthopA->AS1 weight after merging X (3 prefixes) and Y (3 prefixes): {} (union, not 6)\n",
+        g.edge_weight(e)
+    );
+    Ok(())
+}
+
+/// Figure 2: the Berkeley picture with its share labels.
+fn fig2(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 2: TAMP picture of Berkeley's BGP ==");
+    let site = Berkeley::new();
+    let routes = site.routes();
+    let mut b = GraphBuilder::new("Berkeley");
+    for r in &routes {
+        b.add(RouteInput::from_route(r));
+    }
+    let g = b.finish();
+    let total = g.total_prefix_count() as f64;
+    let share = |from: &str, to: &str| {
+        g.find_edge_by_labels(from, to)
+            .map(|e| 100.0 * g.edge_weight(e) as f64 / total)
+            .unwrap_or(0.0)
+    };
+    println!("  {} routes, {} prefixes", routes.len(), g.total_prefix_count());
+    println!("  CalREN -> QWest: {:.0}% of prefixes (paper: 80%)", share("11423", "209"));
+    println!("  CalREN -> Abilene: {:.0}% (paper: 6%)", share("11423", "11537"));
+    println!("  128.32.0.66 carries {:.0}% (paper: 78%)", share("128.32.0.66", "11423"));
+    println!("  128.32.0.70 carries {:.0}% (paper: 5%)", share("128.32.0.70", "11423"));
+    let pruned = prune_flat(&g, 0.05);
+    fs::write(out.join("fig2.svg"), render_svg(&pruned, &RenderConfig::default()))?;
+    fs::write(out.join("fig2.dot"), render_dot(&pruned, &RenderConfig::default()))?;
+    println!("  wrote fig2.svg / fig2.dot\n");
+    Ok(())
+}
+
+/// Figure 3: the oscillation animation snapshot + impulse panel.
+fn fig3(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 3: TAMP animation of the persistent oscillation ==");
+    let isp = IspAnon::with_scale(0.05);
+    let incident = isp.med_oscillation_incident(2_000, Timestamp::from_micros(2_000));
+    println!(
+        "  {} events on {} over {}",
+        incident.len(),
+        oscillating_prefix(),
+        incident.stream.timerange()
+    );
+    let animation = Animator::new("ISP-Anon").animate(&incident.stream);
+    fs::write(out.join("fig3.svg"), animation.render_frame_svg(374))?;
+    // The edge carrying the oscillating prefix gets the impulse panel.
+    let mut best_edge = None;
+    let mut best_flaps = 0usize;
+    for e in animation.graph().edge_ids() {
+        let series = animation.edge_series(e);
+        let flips = series.windows(2).filter(|w| w[0] != w[1]).count();
+        if flips > best_flaps {
+            best_flaps = flips;
+            best_edge = Some(e);
+        }
+    }
+    if let Some(edge) = best_edge {
+        fs::write(
+            out.join("fig3_impulses.svg"),
+            animation.render_edge_series_svg(edge, 420.0, 90.0),
+        )?;
+        println!("  flappiest edge changed {best_flaps} times across 750 frames");
+    }
+    let yellow = animation
+        .frames()
+        .iter()
+        .flat_map(|f| &f.changed)
+        .filter(|fe| fe.state == bgpscope_tamp::EdgeState::Flapping)
+        .count();
+    println!("  {yellow} yellow (too-fast-to-animate) edge-frames");
+    println!("  wrote fig3.svg / fig3_impulses.svg\n");
+    Ok(())
+}
+
+/// Figure 4: the withdrawal listing and its stem.
+fn fig4() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 4: withdrawals during an event spike ==");
+    let stream = Berkeley::figure4_events();
+    for e in &stream {
+        println!("  {e}");
+    }
+    let result = Stemming::new().decompose(&stream);
+    let top = &result.components()[0];
+    println!(
+        "  -> common portion {}, stem {} (support {} of {})\n",
+        top.display_subsequence(result.symbols()),
+        top.stem().display(result.symbols()),
+        top.support,
+        stream.len()
+    );
+    Ok(())
+}
+
+/// Figure 5: hierarchical pruning exposing the backdoor.
+fn fig5(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 5: hierarchical pruning / backdoor routes ==");
+    let site = Berkeley::new();
+    let mut b = GraphBuilder::new("Berkeley");
+    for r in &site.routes() {
+        b.add(RouteInput::from_route(r));
+    }
+    let g = b.finish();
+    let hier = prune_hierarchical(&g, &PruneConfig::hierarchical(0.05));
+    let edge = hier.find_edge_by_labels("169.229.0.157", "7018");
+    println!(
+        "  backdoor 128.32.1.222 -> 169.229.0.157 -> AT&T visible: {} ({} prefixes)",
+        edge.is_some(),
+        edge.map(|e| hier.edge_weight(e)).unwrap_or(0)
+    );
+    println!(
+        "  under flat 5% pruning it disappears: {}",
+        prune_flat(&g, 0.05).find_edge_by_labels("169.229.0.157", "7018").is_none()
+    );
+    fs::write(out.join("fig5.svg"), render_svg(&hier, &RenderConfig::default()))?;
+    println!("  wrote fig5.svg\n");
+    Ok(())
+}
+
+/// Figure 6: the mis-tagged community subset.
+fn fig6(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 6: community 2152:65297 mis-tagging ==");
+    let site = Berkeley::new();
+    let tagged = site.routes_with_community(cenic_community());
+    let mut b = GraphBuilder::new("2152:65297");
+    for r in &tagged {
+        b.add(RouteInput::from_route(r));
+    }
+    let g = b.finish();
+    let total = g.total_prefix_count() as f64;
+    let share = |to: &str| {
+        g.find_edge_by_labels("2152", to)
+            .map(|e| 100.0 * g.edge_weight(e) as f64 / total)
+            .unwrap_or(0.0)
+    };
+    println!("  {} tagged prefixes", g.total_prefix_count());
+    println!("  {:.0}% from Los Nettos (paper: 32%)", share("226"));
+    println!("  {:.0}% from KDDI — the mis-tag (paper: 68%)", share("2516"));
+    fs::write(out.join("fig6.svg"), render_svg(&g, &RenderConfig::default()))?;
+    println!("  wrote fig6.svg\n");
+    Ok(())
+}
+
+/// Figure 7: the leak animation (before/during snapshots).
+fn fig7(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 7: leaked routes from CalREN's peers ==");
+    let site = Berkeley::with_scale(0.1);
+    let incident = site.leak_incident();
+    println!(
+        "  {} events; {} prefixes moved (paper: ~500k events / 30k prefixes at full scale)",
+        incident.len(),
+        site.leak_prefix_count()
+    );
+    let result = Stemming::new().decompose(&incident.stream);
+    let top = &result.components()[0];
+    let verdict = classify(top, &incident.stream);
+    println!(
+        "  detected: {} -> {} ({:.0}%)",
+        top.stem().display(result.symbols()),
+        verdict.kind,
+        verdict.confidence * 100.0
+    );
+    let sub = result.component_stream(&incident.stream, 0);
+    let mut animator = Animator::new("Berkeley");
+    animator.seed_all(site.routes().iter().map(RouteInput::from_route));
+    let animation = animator.animate(&sub);
+    fs::write(out.join("fig7a_before.svg"), animation.render_frame_svg(0))?;
+    fs::write(out.join("fig7b_during.svg"), animation.render_frame_svg(374))?;
+    println!("  wrote fig7a_before.svg / fig7b_during.svg\n");
+    Ok(())
+}
+
+/// Figure 8: the event-rate plot.
+fn fig8(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 8: BGP event rate at ISP-Anon ==");
+    let isp = IspAnon::with_scale(0.02);
+    let stream = isp.long_run_stream(90, 120_000);
+    let series = EventRateMeter::new(Timestamp::from_secs(6 * 3600)).series(&stream);
+    println!(
+        "  {} events over {} buckets; grass level {}, peak {}",
+        stream.len(),
+        series.counts().len(),
+        series.grass_level(),
+        series.counts().iter().max().unwrap_or(&0)
+    );
+    for s in series.spikes(3.0) {
+        println!("  spike: {} .. {} ({} events)", s.start, s.end, s.events);
+    }
+    fs::write(
+        out.join("fig8.svg"),
+        series.render_svg(900.0, 220.0, "BGP event rate at ISP-Anon (simulated, 90 days)"),
+    )?;
+    println!("  wrote fig8.svg\n");
+    Ok(())
+}
+
+/// Figure 9: the customer flap animation + detection.
+fn fig9(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 9: continuous customer route flapping ==");
+    let isp = IspAnon::with_scale(0.05);
+    let incident = isp.customer_flap_incident(5, 60);
+    let per_flap = incident.len() as f64 / 60.0;
+    println!(
+        "  {} events over {} ({:.0} events/flap; paper: ~200 with ~50 PoPs)",
+        incident.len(),
+        incident.stream.timerange(),
+        per_flap
+    );
+    let result = Stemming::new().decompose(&incident.stream);
+    let top = &result.components()[0];
+    let verdict = classify(top, &incident.stream);
+    println!(
+        "  detected: {} ({} events/prefix) -> {} ({:.0}%)",
+        top.stem().display(result.symbols()),
+        top.events_per_prefix().round(),
+        verdict.kind,
+        verdict.confidence * 100.0
+    );
+    let animation = Animator::new("ISP-Anon").animate(&incident.stream);
+    fs::write(out.join("fig9a_direct.svg"), animation.render_frame_svg(10))?;
+    fs::write(out.join("fig9b_failover.svg"), animation.render_frame_svg(400))?;
+    println!("  wrote fig9a_direct.svg / fig9b_failover.svg\n");
+    Ok(())
+}

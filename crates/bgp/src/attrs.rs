@@ -1,0 +1,322 @@
+//! BGP path attributes.
+//!
+//! Only the attributes the paper's algorithms and case studies exercise are
+//! modeled: ORIGIN, AS_PATH (in [`crate::aspath`]), NEXT_HOP, MULTI_EXIT_DISC,
+//! LOCAL_PREF and COMMUNITY.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::RouterId;
+use crate::aspath::AsPath;
+
+/// The ORIGIN attribute: how the route entered BGP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum Origin {
+    /// Learned from an IGP (`i`). Most preferred by the decision process.
+    #[default]
+    Igp,
+    /// Learned from EGP (`e`). Historical.
+    Egp,
+    /// Redistributed / unknown (`?`). Least preferred.
+    Incomplete,
+}
+
+impl Origin {
+    /// Decision-process preference rank; lower is better.
+    #[inline]
+    pub fn rank(&self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Origin::Igp => 'i',
+            Origin::Egp => 'e',
+            Origin::Incomplete => '?',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// The MULTI_EXIT_DISCRIMINATOR attribute.
+///
+/// MEDs express a preference among multiple links to the *same* neighbor AS;
+/// lower is better. Because MEDs are only comparable between routes from the
+/// same neighbor AS, the route ordering they induce is not total — the root
+/// cause of the RFC 3345 persistent oscillation reproduced in the paper's
+/// §IV-F case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Med(pub u32);
+
+impl fmt::Display for Med {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The LOCAL_PREF attribute; higher is better. IBGP-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LocalPref(pub u32);
+
+impl LocalPref {
+    /// The conventional default applied when a route carries no LOCAL_PREF.
+    pub const DEFAULT: LocalPref = LocalPref(100);
+}
+
+impl Default for LocalPref {
+    fn default() -> Self {
+        LocalPref::DEFAULT
+    }
+}
+
+impl fmt::Display for LocalPref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A BGP community tag, written `asn:value` (e.g. `11423:65350`).
+///
+/// Communities carry routing-policy signals between ASes; the paper's
+/// case studies C ("mis-tagging") and D ("leaked routes interacting with
+/// community filtering") revolve around them.
+///
+/// ```
+/// use bgpscope_bgp::Community;
+/// let c: Community = "2152:65297".parse().unwrap();
+/// assert_eq!(c.asn_part(), 2152);
+/// assert_eq!(c.value_part(), 65297);
+/// assert_eq!(c.to_string(), "2152:65297");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Builds a community from its `asn:value` halves.
+    pub fn new(asn: u16, value: u16) -> Self {
+        Community(((asn as u32) << 16) | value as u32)
+    }
+
+    /// The high 16 bits (conventionally the tagging AS).
+    #[inline]
+    pub fn asn_part(&self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low 16 bits (the AS-local meaning).
+    #[inline]
+    pub fn value_part(&self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn_part(), self.value_part())
+    }
+}
+
+impl fmt::Debug for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Community({self})")
+    }
+}
+
+/// Error parsing a [`Community`] from `asn:value` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommunityError(String);
+
+impl fmt::Display for ParseCommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid community {:?}: expected `asn:value`", self.0)
+    }
+}
+
+impl std::error::Error for ParseCommunityError {}
+
+impl FromStr for Community {
+    type Err = ParseCommunityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, v) = s
+            .split_once(':')
+            .ok_or_else(|| ParseCommunityError(s.to_owned()))?;
+        let a: u16 = a.parse().map_err(|_| ParseCommunityError(s.to_owned()))?;
+        let v: u16 = v.parse().map_err(|_| ParseCommunityError(s.to_owned()))?;
+        Ok(Community::new(a, v))
+    }
+}
+
+/// The set of path attributes attached to a route announcement.
+///
+/// Cheap to clone relative to event volume; the heavy parts (AS path and
+/// communities) are small vectors in practice (AS paths average 3–6 hops).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PathAttributes {
+    /// How the route entered BGP.
+    pub origin: Origin,
+    /// The AS-level path to the destination, nearest-first.
+    pub as_path: AsPath,
+    /// The BGP NEXT_HOP: the address traffic is forwarded toward.
+    pub next_hop: RouterId,
+    /// Multi-exit discriminator, if present.
+    pub med: Option<Med>,
+    /// Local preference, if present (IBGP).
+    pub local_pref: Option<LocalPref>,
+    /// Community tags, kept sorted and deduplicated.
+    pub communities: Vec<Community>,
+}
+
+impl PathAttributes {
+    /// Builds attributes with the given next hop and AS path and defaults
+    /// elsewhere.
+    pub fn new(next_hop: RouterId, as_path: AsPath) -> Self {
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path,
+            next_hop,
+            med: None,
+            local_pref: None,
+            communities: Vec::new(),
+        }
+    }
+
+    /// Effective local preference (the RFC default when absent).
+    #[inline]
+    pub fn effective_local_pref(&self) -> LocalPref {
+        self.local_pref.unwrap_or_default()
+    }
+
+    /// Adds a community, keeping the list sorted and deduplicated.
+    pub fn add_community(&mut self, c: Community) {
+        if let Err(pos) = self.communities.binary_search(&c) {
+            self.communities.insert(pos, c);
+        }
+    }
+
+    /// Removes a community if present; returns whether it was present.
+    pub fn remove_community(&mut self, c: Community) -> bool {
+        match self.communities.binary_search(&c) {
+            Ok(pos) => {
+                self.communities.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether the route carries community `c`.
+    pub fn has_community(&self, c: Community) -> bool {
+        self.communities.binary_search(&c).is_ok()
+    }
+
+    /// Builder-style: sets MED.
+    pub fn with_med(mut self, med: u32) -> Self {
+        self.med = Some(Med(med));
+        self
+    }
+
+    /// Builder-style: sets LOCAL_PREF.
+    pub fn with_local_pref(mut self, lp: u32) -> Self {
+        self.local_pref = Some(LocalPref(lp));
+        self
+    }
+
+    /// Builder-style: adds a community.
+    pub fn with_community(mut self, c: Community) -> Self {
+        self.add_community(c);
+        self
+    }
+
+    /// Builder-style: sets origin.
+    pub fn with_origin(mut self, origin: Origin) -> Self {
+        self.origin = origin;
+        self
+    }
+}
+
+impl fmt::Display for PathAttributes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NEXT_HOP: {} ASPATH: {} ORIGIN: {}",
+            self.next_hop, self.as_path, self.origin
+        )?;
+        if let Some(med) = self.med {
+            write!(f, " MED: {med}")?;
+        }
+        if let Some(lp) = self.local_pref {
+            write!(f, " LOCAL_PREF: {lp}")?;
+        }
+        if !self.communities.is_empty() {
+            write!(f, " COMMUNITY:")?;
+            for c in &self.communities {
+                write!(f, " {c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::Asn;
+
+    #[test]
+    fn community_halves() {
+        let c = Community::new(11423, 65350);
+        assert_eq!(c.asn_part(), 11423);
+        assert_eq!(c.value_part(), 65350);
+        assert_eq!("11423:65350".parse::<Community>().unwrap(), c);
+        assert!("11423".parse::<Community>().is_err());
+        assert!("70000:1".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn communities_stay_sorted_unique() {
+        let mut a = PathAttributes::new(RouterId::from_octets(10, 0, 0, 1), AsPath::empty());
+        a.add_community(Community::new(2, 2));
+        a.add_community(Community::new(1, 1));
+        a.add_community(Community::new(2, 2));
+        assert_eq!(a.communities.len(), 2);
+        assert!(a.communities.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.has_community(Community::new(1, 1)));
+        assert!(a.remove_community(Community::new(1, 1)));
+        assert!(!a.remove_community(Community::new(1, 1)));
+    }
+
+    #[test]
+    fn local_pref_default() {
+        let a = PathAttributes::new(RouterId::default(), AsPath::empty());
+        assert_eq!(a.effective_local_pref(), LocalPref(100));
+        let b = a.with_local_pref(80);
+        assert_eq!(b.effective_local_pref(), LocalPref(80));
+    }
+
+    #[test]
+    fn origin_ranks() {
+        assert!(Origin::Igp.rank() < Origin::Egp.rank());
+        assert!(Origin::Egp.rank() < Origin::Incomplete.rank());
+    }
+
+    #[test]
+    fn display_resembles_paper_figure() {
+        let a = PathAttributes::new(
+            RouterId::from_octets(128, 32, 0, 70),
+            AsPath::from_asns([Asn(11423), Asn(209), Asn(701), Asn(1299), Asn(5713)]),
+        );
+        let s = a.to_string();
+        assert!(s.contains("NEXT_HOP: 128.32.0.70"));
+        assert!(s.contains("ASPATH: 11423 209 701 1299 5713"));
+    }
+}

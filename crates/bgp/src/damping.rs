@@ -1,0 +1,266 @@
+//! Route-flap damping (RFC 2439).
+//!
+//! The countermeasure operators deployed against exactly the §IV-E anomaly:
+//! a route accumulates a penalty on every flap; while the penalty exceeds the
+//! suppress threshold the route is ignored by best-path selection; the
+//! penalty decays exponentially with a configured half-life until it falls
+//! below the reuse threshold.
+//!
+//! The paper's customer flapped "every minute on the average … for more than
+//! a month and a half" — a textbook damping candidate. (Damping also shows
+//! why detection still matters: a damped route is *silent*, and only tools
+//! like Stemming reveal that a peering is sick rather than merely quiet.)
+//!
+//! # Example
+//!
+//! ```
+//! use bgpscope_bgp::damping::{DampingConfig, FlapDamper};
+//! use bgpscope_bgp::{PeerId, Prefix, Timestamp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut damper = FlapDamper::new(DampingConfig::default());
+//! let peer = PeerId::from_octets(1, 1, 1, 1);
+//! let prefix: Prefix = "6.0.0.0/16".parse()?;
+//! // Three quick flaps push the penalty over the suppress threshold.
+//! for minute in 0..3u64 {
+//!     damper.record_flap(peer, prefix, Timestamp::from_secs(minute * 60));
+//! }
+//! assert!(damper.is_suppressed(peer, prefix, Timestamp::from_secs(180)));
+//! // After a few half-lives the route becomes reusable.
+//! assert!(!damper.is_suppressed(peer, prefix, Timestamp::from_secs(4 * 3600)));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Prefix;
+use crate::event::Timestamp;
+use crate::message::PeerId;
+
+/// Damping parameters (defaults follow common vendor practice).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DampingConfig {
+    /// Penalty added per flap (withdrawal or attribute change).
+    pub penalty_per_flap: f64,
+    /// Penalty above which the route is suppressed.
+    pub suppress_threshold: f64,
+    /// Penalty below which a suppressed route becomes reusable.
+    pub reuse_threshold: f64,
+    /// Exponential-decay half-life.
+    pub half_life: Timestamp,
+    /// Penalty ceiling (bounds maximum suppression time).
+    pub max_penalty: f64,
+}
+
+impl Default for DampingConfig {
+    fn default() -> Self {
+        DampingConfig {
+            penalty_per_flap: 1000.0,
+            suppress_threshold: 2000.0,
+            reuse_threshold: 750.0,
+            half_life: Timestamp::from_secs(15 * 60),
+            max_penalty: 12_000.0,
+        }
+    }
+}
+
+/// Per-route damping state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct RouteState {
+    penalty: f64,
+    last_update: Timestamp,
+    suppressed: bool,
+}
+
+/// Tracks flap penalties per `(peer, prefix)` route.
+#[derive(Debug, Clone, Default)]
+pub struct FlapDamper {
+    config: DampingConfig,
+    routes: HashMap<(PeerId, Prefix), RouteState>,
+}
+
+impl FlapDamper {
+    /// A damper with the given parameters.
+    pub fn new(config: DampingConfig) -> Self {
+        FlapDamper {
+            config,
+            routes: HashMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DampingConfig {
+        &self.config
+    }
+
+    fn decayed(&self, state: RouteState, now: Timestamp) -> f64 {
+        let dt = now.saturating_since(state.last_update).as_secs_f64();
+        let half_life = self.config.half_life.as_secs_f64().max(1e-9);
+        state.penalty * 0.5f64.powf(dt / half_life)
+    }
+
+    /// Records one flap of `(peer, prefix)` at `now`; returns the new
+    /// penalty.
+    pub fn record_flap(&mut self, peer: PeerId, prefix: Prefix, now: Timestamp) -> f64 {
+        let state = self
+            .routes
+            .entry((peer, prefix))
+            .or_insert(RouteState {
+                penalty: 0.0,
+                last_update: now,
+                suppressed: false,
+            });
+        let decayed = {
+            let dt = now.saturating_since(state.last_update).as_secs_f64();
+            let half_life = self.config.half_life.as_secs_f64().max(1e-9);
+            state.penalty * 0.5f64.powf(dt / half_life)
+        };
+        state.penalty = (decayed + self.config.penalty_per_flap).min(self.config.max_penalty);
+        state.last_update = now;
+        if state.penalty > self.config.suppress_threshold {
+            state.suppressed = true;
+        }
+        state.penalty
+    }
+
+    /// Current (decayed) penalty of a route.
+    pub fn penalty(&self, peer: PeerId, prefix: Prefix, now: Timestamp) -> f64 {
+        self.routes
+            .get(&(peer, prefix))
+            .map(|&s| self.decayed(s, now))
+            .unwrap_or(0.0)
+    }
+
+    /// Whether the route is currently suppressed. Suppression latches at the
+    /// suppress threshold and releases at the (lower) reuse threshold —
+    /// the RFC 2439 hysteresis.
+    pub fn is_suppressed(&mut self, peer: PeerId, prefix: Prefix, now: Timestamp) -> bool {
+        let config = self.config;
+        let Some(state) = self.routes.get_mut(&(peer, prefix)) else {
+            return false;
+        };
+        let dt = now.saturating_since(state.last_update).as_secs_f64();
+        let half_life = config.half_life.as_secs_f64().max(1e-9);
+        let decayed = state.penalty * 0.5f64.powf(dt / half_life);
+        if state.suppressed && decayed < config.reuse_threshold {
+            state.suppressed = false;
+        }
+        // Keep stored state fresh so penalties do not grow stale.
+        state.penalty = decayed;
+        state.last_update = now;
+        state.suppressed
+    }
+
+    /// Number of routes currently holding damping state.
+    pub fn tracked_routes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Drops state whose penalty has decayed to a negligible level.
+    pub fn sweep(&mut self, now: Timestamp) {
+        let config = self.config;
+        self.routes.retain(|_, s| {
+            let dt = now.saturating_since(s.last_update).as_secs_f64();
+            let decayed = s.penalty * 0.5f64.powf(dt / config.half_life.as_secs_f64().max(1e-9));
+            decayed > 1.0
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer() -> PeerId {
+        PeerId::from_octets(1, 1, 1, 1)
+    }
+
+    fn prefix() -> Prefix {
+        "6.0.0.0/16".parse().unwrap()
+    }
+
+    #[test]
+    fn single_flap_not_suppressed() {
+        let mut d = FlapDamper::new(DampingConfig::default());
+        d.record_flap(peer(), prefix(), Timestamp::ZERO);
+        assert!(!d.is_suppressed(peer(), prefix(), Timestamp::from_secs(1)));
+        assert!(d.penalty(peer(), prefix(), Timestamp::from_secs(1)) > 900.0);
+    }
+
+    #[test]
+    fn repeated_flaps_suppress_then_reuse() {
+        let mut d = FlapDamper::new(DampingConfig::default());
+        for i in 0..3u64 {
+            d.record_flap(peer(), prefix(), Timestamp::from_secs(i * 60));
+        }
+        assert!(d.is_suppressed(peer(), prefix(), Timestamp::from_secs(180)));
+        // Still suppressed one half-life later (penalty ~1400 > reuse 750).
+        assert!(d.is_suppressed(peer(), prefix(), Timestamp::from_secs(180 + 900)));
+        // Released after enough decay.
+        assert!(!d.is_suppressed(peer(), prefix(), Timestamp::from_secs(4 * 3600)));
+        // Hysteresis: not re-suppressed without new flaps.
+        assert!(!d.is_suppressed(peer(), prefix(), Timestamp::from_secs(5 * 3600)));
+    }
+
+    #[test]
+    fn penalty_capped() {
+        let mut d = FlapDamper::new(DampingConfig::default());
+        for i in 0..100u64 {
+            d.record_flap(peer(), prefix(), Timestamp::from_secs(i));
+        }
+        assert!(d.penalty(peer(), prefix(), Timestamp::from_secs(100)) <= 12_000.0);
+    }
+
+    #[test]
+    fn decay_halves_per_half_life() {
+        let mut d = FlapDamper::new(DampingConfig::default());
+        d.record_flap(peer(), prefix(), Timestamp::ZERO);
+        let p0 = d.penalty(peer(), prefix(), Timestamp::ZERO);
+        let p1 = d.penalty(peer(), prefix(), Timestamp::from_secs(15 * 60));
+        assert!((p1 / p0 - 0.5).abs() < 0.01, "p0={p0} p1={p1}");
+    }
+
+    #[test]
+    fn paper_customer_flap_would_be_damped() {
+        // §IV-E: a flap every ~60 s. With default parameters the route
+        // suppresses within minutes and stays suppressed as long as the
+        // flapping continues.
+        let mut d = FlapDamper::new(DampingConfig::default());
+        let mut suppressed_at = None;
+        for minute in 0..90u64 {
+            let t = Timestamp::from_secs(minute * 60);
+            d.record_flap(peer(), prefix(), t);
+            if suppressed_at.is_none() && d.is_suppressed(peer(), prefix(), t) {
+                suppressed_at = Some(minute);
+            }
+        }
+        let when = suppressed_at.expect("suppression kicks in");
+        assert!(when <= 5, "suppressed after {when} minutes");
+        // After the last flap at t=89min it remains suppressed for a while…
+        assert!(d.is_suppressed(peer(), prefix(), Timestamp::from_secs(90 * 60)));
+    }
+
+    #[test]
+    fn distinct_routes_independent() {
+        let mut d = FlapDamper::new(DampingConfig::default());
+        let other: Prefix = "7.0.0.0/16".parse().unwrap();
+        for i in 0..5u64 {
+            d.record_flap(peer(), prefix(), Timestamp::from_secs(i * 30));
+        }
+        assert!(d.is_suppressed(peer(), prefix(), Timestamp::from_secs(150)));
+        assert!(!d.is_suppressed(peer(), other, Timestamp::from_secs(150)));
+        assert_eq!(d.tracked_routes(), 1);
+    }
+
+    #[test]
+    fn sweep_drops_cold_state() {
+        let mut d = FlapDamper::new(DampingConfig::default());
+        d.record_flap(peer(), prefix(), Timestamp::ZERO);
+        assert_eq!(d.tracked_routes(), 1);
+        d.sweep(Timestamp::from_secs(24 * 3600));
+        assert_eq!(d.tracked_routes(), 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! The BGP best-path decision process.
+//!
+//! Implements the standard selection sequence: LOCAL_PREF, AS-path length,
+//! origin, MED (comparable only among routes from the same neighbor AS —
+//! the non-total-order that RFC 3345 shows can cause persistent oscillation),
+//! EBGP-over-IBGP, IGP cost to NEXT_HOP, and finally lowest peer address.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::addr::RouterId;
+use crate::aspath::Asn;
+use crate::message::PeerId;
+use crate::rib::Route;
+
+/// Which decision step selected the best path.
+///
+/// Exposed so operators (and tests) can see *why* a route won — the paper's
+/// case studies hinge on unexpected LOCAL_PREF and MED outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BestPathReason {
+    /// Only one candidate existed.
+    OnlyCandidate,
+    /// Won on highest LOCAL_PREF.
+    LocalPref,
+    /// Won on shortest AS path.
+    AsPathLength,
+    /// Won on lowest origin rank.
+    Origin,
+    /// Won on lowest MED among same-neighbor-AS candidates.
+    Med,
+    /// Won on EBGP over IBGP.
+    EbgpOverIbgp,
+    /// Won on lowest IGP cost to the NEXT_HOP.
+    IgpCost,
+    /// Won on lowest peer address (the final deterministic tie-break).
+    PeerAddress,
+}
+
+impl fmt::Display for BestPathReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BestPathReason::OnlyCandidate => "only candidate",
+            BestPathReason::LocalPref => "highest local-pref",
+            BestPathReason::AsPathLength => "shortest as-path",
+            BestPathReason::Origin => "lowest origin",
+            BestPathReason::Med => "lowest MED",
+            BestPathReason::EbgpOverIbgp => "ebgp over ibgp",
+            BestPathReason::IgpCost => "lowest igp cost",
+            BestPathReason::PeerAddress => "lowest peer address",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Configuration of the decision process.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionConfig {
+    /// Compare MED between routes from *different* neighbor ASes
+    /// ("always-compare-med"). Off by default, as on real routers — and the
+    /// precondition for RFC 3345 oscillation.
+    pub always_compare_med: bool,
+    /// Treat a missing MED as the worst possible value instead of the best
+    /// ("bestpath med missing-as-worst"). Off by default.
+    pub missing_med_as_worst: bool,
+    /// Peers that are EBGP sessions (everything else is IBGP).
+    pub ebgp_peers: HashSet<PeerId>,
+    /// IGP cost to each known NEXT_HOP; unknown nexthops cost
+    /// [`DecisionConfig::UNKNOWN_IGP_COST`].
+    pub igp_cost: HashMap<RouterId, u32>,
+}
+
+impl DecisionConfig {
+    /// IGP cost assumed for nexthops with no entry in [`Self::igp_cost`].
+    pub const UNKNOWN_IGP_COST: u32 = u32::MAX;
+
+    /// Default configuration (no MED across ASes, missing MED = best).
+    pub fn new() -> Self {
+        DecisionConfig::default()
+    }
+
+    /// Effective MED value used in comparisons.
+    fn effective_med(&self, route: &Route) -> u32 {
+        match route.attrs.med {
+            Some(med) => med.0,
+            None if self.missing_med_as_worst => u32::MAX,
+            None => 0,
+        }
+    }
+
+    /// IGP cost to a route's nexthop.
+    fn cost_to_nexthop(&self, route: &Route) -> u32 {
+        self.igp_cost
+            .get(&route.attrs.next_hop)
+            .copied()
+            .unwrap_or(Self::UNKNOWN_IGP_COST)
+    }
+
+    fn is_ebgp(&self, route: &Route) -> bool {
+        self.ebgp_peers.contains(&route.peer)
+    }
+}
+
+/// Runs the decision process over candidate routes.
+///
+/// # Example
+///
+/// ```
+/// use bgpscope_bgp::{DecisionConfig, DecisionProcess, Route, PathAttributes};
+/// use bgpscope_bgp::{PeerId, Prefix, RouterId, Timestamp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p: Prefix = "10.0.0.0/8".parse()?;
+/// let long = Route {
+///     prefix: p,
+///     peer: PeerId::from_octets(1, 1, 1, 1),
+///     attrs: PathAttributes::new(RouterId::from_octets(2, 2, 2, 1), "65000 65001 65002".parse()?),
+///     time: Timestamp::ZERO,
+/// };
+/// let short = Route {
+///     prefix: p,
+///     peer: PeerId::from_octets(1, 1, 1, 2),
+///     attrs: PathAttributes::new(RouterId::from_octets(2, 2, 2, 2), "65000 65003".parse()?),
+///     time: Timestamp::ZERO,
+/// };
+/// let config = DecisionConfig::new();
+/// let best = DecisionProcess::new(&config).select(&[long, short]).map(|r| r.attrs.as_path.hop_count());
+/// assert_eq!(best, Some(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionProcess<'a> {
+    config: &'a DecisionConfig,
+}
+
+impl<'a> DecisionProcess<'a> {
+    /// A decision process with the given configuration.
+    pub fn new(config: &'a DecisionConfig) -> Self {
+        DecisionProcess { config }
+    }
+
+    /// Selects the best route, or `None` if `candidates` is empty.
+    pub fn select<'r>(&self, candidates: &'r [Route]) -> Option<&'r Route> {
+        self.select_with_reason(candidates).map(|(r, _)| r)
+    }
+
+    /// Selects the best route and reports which step decided.
+    pub fn select_with_reason<'r>(
+        &self,
+        candidates: &'r [Route],
+    ) -> Option<(&'r Route, BestPathReason)> {
+        if candidates.is_empty() {
+            return None;
+        }
+        if candidates.len() == 1 {
+            return Some((&candidates[0], BestPathReason::OnlyCandidate));
+        }
+        let mut survivors: Vec<&Route> = candidates.iter().collect();
+
+        // 1. Highest LOCAL_PREF.
+        let best_lp = survivors
+            .iter()
+            .map(|r| r.attrs.effective_local_pref())
+            .max()
+            .expect("non-empty");
+        let before = survivors.len();
+        survivors.retain(|r| r.attrs.effective_local_pref() == best_lp);
+        if survivors.len() == 1 && before > 1 {
+            return Some((survivors[0], BestPathReason::LocalPref));
+        }
+
+        // 2. Shortest AS path (hop count, counting prepends).
+        let best_len = survivors
+            .iter()
+            .map(|r| r.attrs.as_path.hop_count())
+            .min()
+            .expect("non-empty");
+        let before = survivors.len();
+        survivors.retain(|r| r.attrs.as_path.hop_count() == best_len);
+        if survivors.len() == 1 && before > 1 {
+            return Some((survivors[0], BestPathReason::AsPathLength));
+        }
+
+        // 3. Lowest origin.
+        let best_origin = survivors
+            .iter()
+            .map(|r| r.attrs.origin.rank())
+            .min()
+            .expect("non-empty");
+        let before = survivors.len();
+        survivors.retain(|r| r.attrs.origin.rank() == best_origin);
+        if survivors.len() == 1 && before > 1 {
+            return Some((survivors[0], BestPathReason::Origin));
+        }
+
+        // 4. MED — eliminate any route beaten on MED by a comparable route.
+        // Comparable = same neighbor (first) AS, unless always_compare_med.
+        let before = survivors.len();
+        let meds: Vec<(Option<Asn>, u32)> = survivors
+            .iter()
+            .map(|r| (r.attrs.as_path.first_as(), self.config.effective_med(r)))
+            .collect();
+        let mut keep = vec![true; survivors.len()];
+        for i in 0..survivors.len() {
+            for j in 0..survivors.len() {
+                if i == j {
+                    continue;
+                }
+                let comparable = self.config.always_compare_med
+                    || (meds[i].0.is_some() && meds[i].0 == meds[j].0);
+                if comparable && meds[j].1 < meds[i].1 {
+                    keep[i] = false;
+                }
+            }
+        }
+        let mut idx = 0;
+        survivors.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        if survivors.len() == 1 && before > 1 {
+            return Some((survivors[0], BestPathReason::Med));
+        }
+
+        // 5. EBGP over IBGP.
+        if survivors.iter().any(|r| self.config.is_ebgp(r))
+            && survivors.iter().any(|r| !self.config.is_ebgp(r))
+        {
+            survivors.retain(|r| self.config.is_ebgp(r));
+            if survivors.len() == 1 {
+                return Some((survivors[0], BestPathReason::EbgpOverIbgp));
+            }
+        }
+
+        // 6. Lowest IGP cost to NEXT_HOP.
+        let best_cost = survivors
+            .iter()
+            .map(|r| self.config.cost_to_nexthop(r))
+            .min()
+            .expect("non-empty");
+        let before = survivors.len();
+        survivors.retain(|r| self.config.cost_to_nexthop(r) == best_cost);
+        if survivors.len() == 1 && before > 1 {
+            return Some((survivors[0], BestPathReason::IgpCost));
+        }
+
+        // 7. Lowest peer address — always total.
+        let winner = survivors
+            .into_iter()
+            .min_by_key(|r| r.peer)
+            .expect("non-empty");
+        Some((winner, BestPathReason::PeerAddress))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Prefix;
+    use crate::aspath::AsPath;
+    use crate::attrs::{Origin, PathAttributes};
+    use crate::event::Timestamp;
+
+    fn prefix() -> Prefix {
+        "10.0.0.0/8".parse().unwrap()
+    }
+
+    fn route(peer: u8, nexthop: u8, path: &str) -> Route {
+        Route {
+            prefix: prefix(),
+            peer: PeerId::from_octets(1, 1, 1, peer),
+            attrs: PathAttributes::new(
+                RouterId::from_octets(2, 2, 2, nexthop),
+                path.parse::<AsPath>().unwrap(),
+            ),
+            time: Timestamp::ZERO,
+        }
+    }
+
+    fn select<'r>(cfg: &DecisionConfig, routes: &'r [Route]) -> (&'r Route, BestPathReason) {
+        DecisionProcess::new(cfg).select_with_reason(routes).unwrap()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let cfg = DecisionConfig::new();
+        assert!(DecisionProcess::new(&cfg).select(&[]).is_none());
+        let routes = vec![route(1, 1, "65000")];
+        let (_, why) = select(&cfg, &routes);
+        assert_eq!(why, BestPathReason::OnlyCandidate);
+    }
+
+    #[test]
+    fn local_pref_beats_shorter_path() {
+        let cfg = DecisionConfig::new();
+        let mut long = route(1, 1, "65000 65001 65002");
+        long.attrs.local_pref = Some(crate::attrs::LocalPref(200));
+        let short = route(2, 2, "65000");
+        let routes = vec![long, short];
+        let (best, why) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 1));
+        assert_eq!(why, BestPathReason::LocalPref);
+    }
+
+    #[test]
+    fn path_length_counts_prepends() {
+        let cfg = DecisionConfig::new();
+        let prepended = route(1, 1, "65001 65001 65001 65002");
+        let plain = route(2, 2, "65003 65002 65004");
+        let routes = vec![prepended, plain];
+        let (best, why) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 2));
+        assert_eq!(why, BestPathReason::AsPathLength);
+    }
+
+    #[test]
+    fn origin_breaks_tie() {
+        let cfg = DecisionConfig::new();
+        let mut incomplete = route(1, 1, "65000 65001");
+        incomplete.attrs.origin = Origin::Incomplete;
+        let igp = route(2, 2, "65002 65001");
+        let routes = vec![incomplete, igp];
+        let (best, why) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 2));
+        assert_eq!(why, BestPathReason::Origin);
+    }
+
+    #[test]
+    fn med_only_compares_same_neighbor_as() {
+        let cfg = DecisionConfig::new();
+        // Same neighbor AS 65000: MED decides.
+        let a = {
+            let mut r = route(1, 1, "65000 65001");
+            r.attrs.med = Some(crate::attrs::Med(50));
+            r
+        };
+        let b = {
+            let mut r = route(2, 2, "65000 65001");
+            r.attrs.med = Some(crate::attrs::Med(10));
+            r
+        };
+        let routes = vec![a.clone(), b.clone()];
+        let (best, why) = select(&cfg, &routes);
+        assert_eq!(best.peer, b.peer);
+        assert_eq!(why, BestPathReason::Med);
+
+        // Different neighbor AS: MED ignored; falls through to peer address.
+        let c = {
+            let mut r = route(3, 3, "65007 65001");
+            r.attrs.med = Some(crate::attrs::Med(999));
+            r
+        };
+        let routes = vec![b.clone(), c];
+        let (_, why) = select(&cfg, &routes);
+        assert_ne!(why, BestPathReason::Med);
+    }
+
+    #[test]
+    fn always_compare_med_makes_it_total() {
+        let mut cfg = DecisionConfig::new();
+        cfg.always_compare_med = true;
+        let a = {
+            let mut r = route(1, 1, "65000 65001");
+            r.attrs.med = Some(crate::attrs::Med(50));
+            r
+        };
+        let b = {
+            let mut r = route(2, 2, "65007 65001");
+            r.attrs.med = Some(crate::attrs::Med(10));
+            r
+        };
+        let routes = vec![a, b];
+        let (best, why) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 2));
+        assert_eq!(why, BestPathReason::Med);
+    }
+
+    #[test]
+    fn missing_med_default_best_or_worst() {
+        let with_med = {
+            let mut r = route(1, 1, "65000 65001");
+            r.attrs.med = Some(crate::attrs::Med(5));
+            r
+        };
+        let without = route(2, 2, "65000 65001");
+        let routes = vec![with_med, without];
+
+        let cfg = DecisionConfig::new();
+        let (best, _) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 2)); // missing = 0 = best
+
+        let mut cfg = DecisionConfig::new();
+        cfg.missing_med_as_worst = true;
+        let (best, _) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 1));
+    }
+
+    #[test]
+    fn ebgp_beats_ibgp() {
+        let mut cfg = DecisionConfig::new();
+        cfg.ebgp_peers.insert(PeerId::from_octets(1, 1, 1, 2));
+        let ibgp = route(1, 1, "65000 65001");
+        let ebgp = route(2, 2, "65002 65001");
+        let routes = vec![ibgp, ebgp];
+        let (best, why) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 2));
+        assert_eq!(why, BestPathReason::EbgpOverIbgp);
+    }
+
+    #[test]
+    fn igp_cost_then_peer_address() {
+        let mut cfg = DecisionConfig::new();
+        cfg.igp_cost.insert(RouterId::from_octets(2, 2, 2, 1), 10);
+        cfg.igp_cost.insert(RouterId::from_octets(2, 2, 2, 2), 5);
+        let a = route(1, 1, "65000 65001");
+        let b = route(2, 2, "65002 65001");
+        let routes = vec![a, b];
+        let (best, why) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 2));
+        assert_eq!(why, BestPathReason::IgpCost);
+
+        // Equal costs -> lowest peer address.
+        let mut cfg = DecisionConfig::new();
+        cfg.igp_cost.insert(RouterId::from_octets(2, 2, 2, 1), 5);
+        cfg.igp_cost.insert(RouterId::from_octets(2, 2, 2, 2), 5);
+        let routes = vec![route(2, 2, "65002 65001"), route(1, 1, "65000 65001")];
+        let (best, why) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 1));
+        assert_eq!(why, BestPathReason::PeerAddress);
+    }
+
+    #[test]
+    fn med_non_total_order_rfc3345_shape() {
+        // Three routes where pairwise MED elimination leaves a route that a
+        // "better" MED route would have beaten had they been comparable —
+        // the structural precondition of RFC 3345 oscillation.
+        let cfg = DecisionConfig::new();
+        // From AS2 with MED 0 and MED 1; from AS1 with no MED, longer peer addr.
+        let a = {
+            let mut r = route(1, 1, "2 9");
+            r.attrs.med = Some(crate::attrs::Med(1));
+            r
+        };
+        let b = {
+            let mut r = route(2, 2, "2 9");
+            r.attrs.med = Some(crate::attrs::Med(0));
+            r
+        };
+        let c = route(3, 3, "1 9");
+        // With all three, `a` is eliminated by `b` on MED; winner among {b, c}
+        // falls to peer address -> b (1.1.1.2 < 1.1.1.3).
+        let routes = vec![a.clone(), b, c.clone()];
+        let (best, _) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 2));
+        // Without `b`, `a` survives MED and wins on peer address over `c` —
+        // so `b`'s presence flips preference between `a` and `c`: no total order.
+        let routes = vec![a, c];
+        let (best, _) = select(&cfg, &routes);
+        assert_eq!(best.peer, PeerId::from_octets(1, 1, 1, 1));
+    }
+}

@@ -1,0 +1,368 @@
+//! The augmented BGP *event stream* — the paper's unit of analysis.
+//!
+//! Raw UPDATE messages are insufficient for analysis because withdrawals do
+//! not carry the attributes being withdrawn (§II). The collector reconstructs
+//! them from its per-peer Adj-RIB-In; the result is a stream of [`Event`]s,
+//! each a single-prefix announcement or withdrawal *with full attributes*.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Prefix, RouterId};
+use crate::attrs::PathAttributes;
+use crate::message::PeerId;
+
+/// A timestamp in microseconds since an arbitrary epoch.
+///
+/// Microsecond resolution is required to represent the §IV-F MED oscillation
+/// (announce/withdraw every ~10 µs).
+///
+/// ```
+/// use bgpscope_bgp::Timestamp;
+/// let t = Timestamp::from_secs(61) + Timestamp::from_micros(500_000);
+/// assert_eq!(t.as_secs_f64(), 61.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000_000)
+    }
+
+    /// Builds a timestamp from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Builds a timestamp from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Microseconds since the epoch.
+    #[inline]
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float.
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn saturating_since(&self, earlier: Timestamp) -> Timestamp {
+        Timestamp(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Timestamp) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Timestamp;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (timestamp underflow).
+    fn sub(self, rhs: Timestamp) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.0 / 1_000_000;
+        let us = self.0 % 1_000_000;
+        write!(f, "{secs}.{us:06}s")
+    }
+}
+
+/// Whether an event announces or withdraws a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A route announcement (new route or implicit replacement).
+    Announce,
+    /// A route withdrawal; `attrs` hold the *old* (withdrawn) attributes,
+    /// reconstructed from the Adj-RIB-In.
+    Withdraw,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Announce => write!(f, "A"),
+            EventKind::Withdraw => write!(f, "W"),
+        }
+    }
+}
+
+/// One augmented BGP event: a single-prefix route change with full
+/// attributes, from one collector peer.
+///
+/// This is exactly the tuple Stemming turns into the sequence
+/// `c = x h a1 … an p` (§III-B): peer `x`, nexthop `h`, AS path `a1…an`,
+/// prefix `p`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// When the collector received the change.
+    pub time: Timestamp,
+    /// Announcement or withdrawal.
+    pub kind: EventKind,
+    /// The collector peer the change came from (`x`).
+    pub peer: PeerId,
+    /// The affected prefix (`p`).
+    pub prefix: Prefix,
+    /// Full path attributes — current for announcements, the withdrawn ones
+    /// for withdrawals (`h` and `a1…an` live here).
+    pub attrs: PathAttributes,
+}
+
+impl Event {
+    /// Convenience constructor for an announcement event.
+    pub fn announce(time: Timestamp, peer: PeerId, prefix: Prefix, attrs: PathAttributes) -> Self {
+        Event {
+            time,
+            kind: EventKind::Announce,
+            peer,
+            prefix,
+            attrs,
+        }
+    }
+
+    /// Convenience constructor for a withdrawal event carrying the withdrawn
+    /// attributes.
+    pub fn withdraw(time: Timestamp, peer: PeerId, prefix: Prefix, attrs: PathAttributes) -> Self {
+        Event {
+            time,
+            kind: EventKind::Withdraw,
+            peer,
+            prefix,
+            attrs,
+        }
+    }
+
+    /// The BGP NEXT_HOP of the (old) route.
+    #[inline]
+    pub fn next_hop(&self) -> RouterId {
+        self.attrs.next_hop
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} PREFIX: {}",
+            self.kind, self.peer, self.attrs, self.prefix
+        )
+    }
+}
+
+/// An ordered collection of events plus summary accessors.
+///
+/// Events are expected (but not required) to be in non-decreasing time order;
+/// [`EventStream::sort_by_time`] restores the invariant after merging.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventStream {
+    events: Vec<Event>,
+}
+
+impl EventStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        EventStream { events: Vec::new() }
+    }
+
+    /// Wraps an existing vector of events.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        EventStream { events }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the stream holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Borrow the events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterate over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Consumes the stream, returning the underlying vector.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Stable-sorts events by timestamp (e.g. after merging streams).
+    pub fn sort_by_time(&mut self) {
+        self.events.sort_by_key(|e| e.time);
+    }
+
+    /// The time span between first and last event (the paper's "timerange").
+    pub fn timerange(&self) -> Timestamp {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => last.time.saturating_since(first.time),
+            _ => Timestamp::ZERO,
+        }
+    }
+
+    /// The sub-stream with `time` in `[start, end)`.
+    ///
+    /// Assumes the stream is time-sorted; uses binary search.
+    pub fn window(&self, start: Timestamp, end: Timestamp) -> EventStream {
+        let lo = self.events.partition_point(|e| e.time < start);
+        let hi = self.events.partition_point(|e| e.time < end);
+        EventStream {
+            events: self.events[lo..hi].to_vec(),
+        }
+    }
+
+    /// Merges another stream into this one and re-sorts by time.
+    pub fn merge(&mut self, other: EventStream) {
+        self.events.extend(other.events);
+        self.sort_by_time();
+    }
+
+    /// Counts announcements and withdrawals.
+    pub fn counts(&self) -> (usize, usize) {
+        let ann = self
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Announce)
+            .count();
+        (ann, self.events.len() - ann)
+    }
+}
+
+impl FromIterator<Event> for EventStream {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        EventStream {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Event> for EventStream {
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStream {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for EventStream {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::AsPath;
+
+    fn ev(t: u64) -> Event {
+        Event::announce(
+            Timestamp::from_secs(t),
+            PeerId::from_octets(1, 1, 1, 1),
+            "10.0.0.0/8".parse().unwrap(),
+            PathAttributes::new(RouterId::from_octets(2, 2, 2, 2), AsPath::empty()),
+        )
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let a = Timestamp::from_secs(2);
+        let b = Timestamp::from_millis(500);
+        assert_eq!((a + b).as_micros(), 2_500_000);
+        assert_eq!((a - b).as_micros(), 1_500_000);
+        assert_eq!(b.saturating_since(a), Timestamp::ZERO);
+        assert_eq!(a.to_string(), "2.000000s");
+    }
+
+    #[test]
+    fn timerange_and_window() {
+        let s: EventStream = (0..10).map(ev).collect();
+        assert_eq!(s.timerange(), Timestamp::from_secs(9));
+        let w = s.window(Timestamp::from_secs(3), Timestamp::from_secs(6));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.events()[0].time, Timestamp::from_secs(3));
+    }
+
+    #[test]
+    fn empty_stream_timerange_zero() {
+        let s = EventStream::new();
+        assert_eq!(s.timerange(), Timestamp::ZERO);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_resorts() {
+        let mut a: EventStream = [ev(5), ev(7)].into_iter().collect();
+        let b: EventStream = [ev(6), ev(1)].into_iter().collect();
+        a.merge(b);
+        let times: Vec<u64> = a.iter().map(|e| e.time.as_micros() / 1_000_000).collect();
+        assert_eq!(times, vec![1, 5, 6, 7]);
+    }
+
+    #[test]
+    fn counts_split() {
+        let mut s = EventStream::new();
+        s.push(ev(0));
+        let mut w = ev(1);
+        w.kind = EventKind::Withdraw;
+        s.push(w);
+        assert_eq!(s.counts(), (1, 1));
+    }
+
+    #[test]
+    fn event_display_resembles_figure4() {
+        let e = Event::withdraw(
+            Timestamp::ZERO,
+            PeerId::from_octets(128, 32, 1, 3),
+            "192.96.10.0/24".parse().unwrap(),
+            PathAttributes::new(
+                RouterId::from_octets(128, 32, 0, 70),
+                "11423 209 701 1299 5713".parse().unwrap(),
+            ),
+        );
+        let s = e.to_string();
+        assert!(s.starts_with("W 128.32.1.3"));
+        assert!(s.contains("PREFIX: 192.96.10.0/24"));
+    }
+}

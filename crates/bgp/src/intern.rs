@@ -1,0 +1,283 @@
+//! Symbol interning shared by TAMP and Stemming.
+//!
+//! Both algorithms treat a BGP event as a sequence of *elements* — collector
+//! peer, BGP nexthop, the ASes on the path, and the prefix. Interning each
+//! element to a dense `u32` keeps the Stemming hot loop allocation-free and
+//! lets TAMP store prefix sets as integer sets.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Prefix, RouterId};
+use crate::aspath::Asn;
+use crate::message::PeerId;
+
+/// What kind of network element a [`Symbol`] denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SymbolKind {
+    /// A collector peer (`x` in the paper's sequence).
+    Peer,
+    /// A BGP NEXT_HOP (`h`).
+    Nexthop,
+    /// An autonomous system (`a1 … an`).
+    As,
+    /// A prefix (`p`).
+    Prefix,
+}
+
+impl fmt::Display for SymbolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SymbolKind::Peer => "peer",
+            SymbolKind::Nexthop => "nexthop",
+            SymbolKind::As => "as",
+            SymbolKind::Prefix => "prefix",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The identity of an interned element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Element {
+    /// A collector peer.
+    Peer(PeerId),
+    /// A BGP NEXT_HOP address.
+    Nexthop(RouterId),
+    /// An AS number.
+    As(Asn),
+    /// An IPv4 prefix.
+    Prefix(Prefix),
+}
+
+impl Element {
+    /// The kind tag of this element.
+    pub fn kind(&self) -> SymbolKind {
+        match self {
+            Element::Peer(_) => SymbolKind::Peer,
+            Element::Nexthop(_) => SymbolKind::Nexthop,
+            Element::As(_) => SymbolKind::As,
+            Element::Prefix(_) => SymbolKind::Prefix,
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Element::Peer(p) => write!(f, "{p}"),
+            Element::Nexthop(h) => write!(f, "{h}"),
+            Element::As(a) => write!(f, "{a}"),
+            Element::Prefix(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A dense interned id for an [`Element`].
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; resolve back with [`Interner::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw dense index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional map between [`Element`]s and dense [`Symbol`]s.
+///
+/// # Example
+///
+/// ```
+/// use bgpscope_bgp::intern::{Element, Interner};
+/// use bgpscope_bgp::Asn;
+///
+/// let mut interner = Interner::new();
+/// let s1 = interner.intern(Element::As(Asn(209)));
+/// let s2 = interner.intern(Element::As(Asn(209)));
+/// assert_eq!(s1, s2);
+/// assert_eq!(interner.resolve(s1), Element::As(Asn(209)));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    forward: HashMap<Element, Symbol>,
+    reverse: Vec<Element>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `element`, returning its stable symbol.
+    pub fn intern(&mut self, element: Element) -> Symbol {
+        if let Some(&sym) = self.forward.get(&element) {
+            return sym;
+        }
+        let sym = Symbol(self.reverse.len() as u32);
+        self.forward.insert(element, sym);
+        self.reverse.push(element);
+        sym
+    }
+
+    /// Looks up the symbol for an element without interning it.
+    pub fn get(&self, element: &Element) -> Option<Symbol> {
+        self.forward.get(element).copied()
+    }
+
+    /// Resolves a symbol back to its element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> Element {
+        self.reverse[sym.index()]
+    }
+
+    /// Resolves a symbol if it belongs to this interner.
+    pub fn try_resolve(&self, sym: Symbol) -> Option<Element> {
+        self.reverse.get(sym.index()).copied()
+    }
+
+    /// Number of interned elements.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+
+    /// Convenience: intern a peer.
+    pub fn peer(&mut self, p: PeerId) -> Symbol {
+        self.intern(Element::Peer(p))
+    }
+
+    /// Convenience: intern a nexthop.
+    pub fn nexthop(&mut self, h: RouterId) -> Symbol {
+        self.intern(Element::Nexthop(h))
+    }
+
+    /// Convenience: intern an AS.
+    pub fn asn(&mut self, a: Asn) -> Symbol {
+        self.intern(Element::As(a))
+    }
+
+    /// Convenience: intern a prefix.
+    pub fn prefix(&mut self, p: Prefix) -> Symbol {
+        self.intern(Element::Prefix(p))
+    }
+
+    /// Renders a symbol for humans (`<kind>:<value>`).
+    pub fn display(&self, sym: Symbol) -> String {
+        match self.try_resolve(sym) {
+            Some(e) => format!("{}", e),
+            None => format!("?sym{}", sym.0),
+        }
+    }
+}
+
+/// A read-only snapshot view of an [`Interner`] suitable for sharing with
+/// analysis results that outlive the mutation phase.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    reverse: Vec<Element>,
+}
+
+impl SymbolTable {
+    /// Resolves a symbol, if known.
+    pub fn resolve(&self, sym: Symbol) -> Option<Element> {
+        self.reverse.get(sym.index()).copied()
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// True when no symbols are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+
+    /// Renders a symbol for humans.
+    pub fn display(&self, sym: Symbol) -> String {
+        match self.resolve(sym) {
+            Some(e) => format!("{}", e),
+            None => format!("?sym{}", sym.0),
+        }
+    }
+}
+
+impl From<&Interner> for SymbolTable {
+    fn from(i: &Interner) -> Self {
+        SymbolTable {
+            reverse: i.reverse.clone(),
+        }
+    }
+}
+
+impl From<Interner> for SymbolTable {
+    fn from(i: Interner) -> Self {
+        SymbolTable { reverse: i.reverse }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.asn(Asn(209));
+        let b = i.asn(Asn(701));
+        let a2 = i.asn(Asn(209));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn same_value_different_kind_distinct() {
+        // A peer at 10.0.0.1 and a nexthop at 10.0.0.1 are different symbols.
+        let mut i = Interner::new();
+        let r = RouterId::from_octets(10, 0, 0, 1);
+        let p = i.peer(PeerId(r));
+        let h = i.nexthop(r);
+        assert_ne!(p, h);
+        assert_eq!(i.resolve(p).kind(), SymbolKind::Peer);
+        assert_eq!(i.resolve(h).kind(), SymbolKind::Nexthop);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let px: Prefix = "4.5.0.0/16".parse().unwrap();
+        let s = i.prefix(px);
+        assert_eq!(i.resolve(s), Element::Prefix(px));
+        assert_eq!(i.display(s), "4.5.0.0/16");
+        assert_eq!(i.try_resolve(Symbol(99)), None);
+        assert_eq!(i.display(Symbol(99)), "?sym99");
+    }
+
+    #[test]
+    fn snapshot_table() {
+        let mut i = Interner::new();
+        let s = i.asn(Asn(11423));
+        let t: SymbolTable = (&i).into();
+        assert_eq!(t.resolve(s), Some(Element::As(Asn(11423))));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.display(s), "11423");
+    }
+}

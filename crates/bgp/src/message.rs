@@ -1,0 +1,153 @@
+//! BGP wire-level messages, as seen by a passive IBGP collector.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Prefix, RouterId};
+use crate::attrs::PathAttributes;
+
+/// Identifies a BGP peer of the collector (an IBGP edge router or route
+/// reflector that feeds us its routes).
+///
+/// Distinct from [`RouterId`] only by intent: a `PeerId` names a session
+/// endpoint, a `RouterId` names any router-ish address (e.g. a NEXT_HOP).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct PeerId(pub RouterId);
+
+impl PeerId {
+    /// Builds a peer id from dotted-quad octets.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        PeerId(RouterId::from_octets(a, b, c, d))
+    }
+
+    /// The underlying router id.
+    #[inline]
+    pub fn router_id(&self) -> RouterId {
+        self.0
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PeerId({})", self.0)
+    }
+}
+
+impl From<RouterId> for PeerId {
+    fn from(r: RouterId) -> Self {
+        PeerId(r)
+    }
+}
+
+/// A BGP UPDATE message from one peer.
+///
+/// A single UPDATE can withdraw routes and announce one set of path
+/// attributes for several NLRI prefixes, exactly as on the wire. Withdrawals
+/// carry *no* attributes — that is the collector's problem to reconstruct
+/// (see `bgpscope-collector`), and the reason the paper's REX keeps a
+/// per-peer Adj-RIB-In.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateMessage {
+    /// The peer the collector received this message from.
+    pub peer: PeerId,
+    /// Prefixes withdrawn by this message.
+    pub withdrawn: Vec<Prefix>,
+    /// Attributes for the announced prefixes (present iff `nlri` non-empty).
+    pub attrs: Option<PathAttributes>,
+    /// Prefixes announced with `attrs`.
+    pub nlri: Vec<Prefix>,
+}
+
+impl UpdateMessage {
+    /// An announcement of `prefixes` with the given attributes.
+    pub fn announce<I: IntoIterator<Item = Prefix>>(
+        peer: PeerId,
+        attrs: PathAttributes,
+        prefixes: I,
+    ) -> Self {
+        UpdateMessage {
+            peer,
+            withdrawn: Vec::new(),
+            attrs: Some(attrs),
+            nlri: prefixes.into_iter().collect(),
+        }
+    }
+
+    /// An explicit withdrawal of `prefixes`.
+    pub fn withdraw<I: IntoIterator<Item = Prefix>>(peer: PeerId, prefixes: I) -> Self {
+        UpdateMessage {
+            peer,
+            withdrawn: prefixes.into_iter().collect(),
+            attrs: None,
+            nlri: Vec::new(),
+        }
+    }
+
+    /// Number of route changes this message expresses.
+    pub fn change_count(&self) -> usize {
+        self.withdrawn.len() + self.nlri.len()
+    }
+
+    /// True if the message neither announces nor withdraws anything
+    /// (a keepalive-like no-op that real routers do occasionally emit).
+    pub fn is_empty(&self) -> bool {
+        self.withdrawn.is_empty() && self.nlri.is_empty()
+    }
+}
+
+impl fmt::Display for UpdateMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE from {}", self.peer)?;
+        if !self.withdrawn.is_empty() {
+            write!(f, " withdraw[{}]", self.withdrawn.len())?;
+        }
+        if let Some(attrs) = &self.attrs {
+            write!(f, " announce[{}] {}", self.nlri.len(), attrs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::AsPath;
+
+    fn prefix(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn announce_and_withdraw_shapes() {
+        let peer = PeerId::from_octets(128, 32, 1, 3);
+        let attrs = PathAttributes::new(
+            RouterId::from_octets(128, 32, 0, 66),
+            "11423 209".parse::<AsPath>().unwrap(),
+        );
+        let a = UpdateMessage::announce(peer, attrs, [prefix("10.0.0.0/8"), prefix("10.1.0.0/16")]);
+        assert_eq!(a.change_count(), 2);
+        assert!(!a.is_empty());
+        assert!(a.attrs.is_some());
+
+        let w = UpdateMessage::withdraw(peer, [prefix("10.0.0.0/8")]);
+        assert_eq!(w.change_count(), 1);
+        assert!(w.attrs.is_none());
+
+        let e = UpdateMessage::withdraw(peer, []);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let peer = PeerId::from_octets(1, 2, 3, 4);
+        let w = UpdateMessage::withdraw(peer, [prefix("10.0.0.0/8")]);
+        assert!(w.to_string().contains("withdraw[1]"));
+    }
+}

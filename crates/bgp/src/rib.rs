@@ -1,0 +1,377 @@
+//! Routing Information Bases: per-peer Adj-RIB-In and the Loc-RIB.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Prefix;
+use crate::attrs::PathAttributes;
+use crate::decision::{DecisionConfig, DecisionProcess};
+use crate::event::Timestamp;
+use crate::message::{PeerId, UpdateMessage};
+
+/// A single route: one prefix reachable with one set of path attributes,
+/// learned from one peer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// Which peer we learned the route from.
+    pub peer: PeerId,
+    /// The route's path attributes.
+    pub attrs: PathAttributes,
+    /// When the route was last updated.
+    pub time: Timestamp,
+}
+
+/// Identifies a route inside a multi-peer RIB: `(peer, prefix)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RouteKey {
+    /// The peer the route was learned from.
+    pub peer: PeerId,
+    /// The destination prefix.
+    pub prefix: Prefix,
+}
+
+/// The effect one prefix-level change had on an Adj-RIB-In.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RibChange {
+    /// A new route was installed (no previous route for the prefix).
+    Added,
+    /// An existing route was replaced; carries the old attributes.
+    Replaced(PathAttributes),
+    /// A route was removed; carries the old attributes.
+    Removed(PathAttributes),
+    /// A withdrawal arrived for a prefix we had no route to (BGP permits
+    /// this; real routers emit duplicate withdrawals).
+    NoOp,
+}
+
+impl RibChange {
+    /// The displaced attributes, if any.
+    pub fn old_attrs(&self) -> Option<&PathAttributes> {
+        match self {
+            RibChange::Replaced(a) | RibChange::Removed(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// The Adj-RIB-In for a single peer: the exact set of routes that peer has
+/// announced and not yet withdrawn.
+///
+/// This is the data structure that lets the collector recover the attributes
+/// of withdrawn routes (§II): "When a peer sends REX an explicit withdrawal
+/// or an announcement that implicitly invalidates a route, the peer's
+/// AdjRibIn tells us the original route attributes."
+///
+/// # Example
+///
+/// ```
+/// use bgpscope_bgp::{AdjRibIn, PathAttributes, Prefix, RouterId, AsPath};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rib = AdjRibIn::new();
+/// let p: Prefix = "10.0.0.0/8".parse()?;
+/// let attrs = PathAttributes::new(RouterId::from_octets(1, 1, 1, 1), AsPath::empty());
+/// rib.announce(p, attrs.clone());
+/// let change = rib.withdraw(p);
+/// assert_eq!(change.old_attrs(), Some(&attrs));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AdjRibIn {
+    routes: HashMap<Prefix, PathAttributes>,
+}
+
+impl AdjRibIn {
+    /// An empty Adj-RIB-In.
+    pub fn new() -> Self {
+        AdjRibIn::default()
+    }
+
+    /// Installs or replaces the route for `prefix`.
+    pub fn announce(&mut self, prefix: Prefix, attrs: PathAttributes) -> RibChange {
+        match self.routes.entry(prefix) {
+            Entry::Occupied(mut o) => RibChange::Replaced(o.insert(attrs)),
+            Entry::Vacant(v) => {
+                v.insert(attrs);
+                RibChange::Added
+            }
+        }
+    }
+
+    /// Removes the route for `prefix`, returning the old attributes if any.
+    pub fn withdraw(&mut self, prefix: Prefix) -> RibChange {
+        match self.routes.remove(&prefix) {
+            Some(old) => RibChange::Removed(old),
+            None => RibChange::NoOp,
+        }
+    }
+
+    /// Current attributes for `prefix`, if announced.
+    pub fn get(&self, prefix: &Prefix) -> Option<&PathAttributes> {
+        self.routes.get(prefix)
+    }
+
+    /// Number of live routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when the peer has no live routes (e.g. right after session loss).
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Iterates over `(prefix, attrs)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &PathAttributes)> {
+        self.routes.iter()
+    }
+
+    /// Drops every route, returning them (a session reset's mass withdrawal).
+    pub fn clear(&mut self) -> Vec<(Prefix, PathAttributes)> {
+        self.routes.drain().collect()
+    }
+}
+
+/// A multi-peer RIB with best-path selection: candidate routes per prefix
+/// from every peer, plus the decision process that picks the best.
+///
+/// Used by simulated routers (via `bgpscope-netsim`) and available to users
+/// who want to ask "what would this router choose?".
+#[derive(Debug, Clone, Default)]
+pub struct LocRib {
+    /// Candidates per prefix, keyed by learning peer.
+    candidates: HashMap<Prefix, Vec<Route>>,
+    /// Decision-process configuration.
+    config: DecisionConfig,
+}
+
+impl LocRib {
+    /// An empty Loc-RIB with default decision configuration.
+    pub fn new() -> Self {
+        LocRib::default()
+    }
+
+    /// An empty Loc-RIB with an explicit decision configuration.
+    pub fn with_config(config: DecisionConfig) -> Self {
+        LocRib {
+            candidates: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The decision configuration in use.
+    pub fn config(&self) -> &DecisionConfig {
+        &self.config
+    }
+
+    /// Applies a full UPDATE message; returns the prefixes whose best path
+    /// may have changed.
+    pub fn apply_update(&mut self, msg: &UpdateMessage, time: Timestamp) -> Vec<Prefix> {
+        let mut touched = Vec::new();
+        for &p in &msg.withdrawn {
+            if self.remove(msg.peer, p) {
+                touched.push(p);
+            }
+        }
+        if let Some(attrs) = &msg.attrs {
+            for &p in &msg.nlri {
+                self.insert(Route {
+                    prefix: p,
+                    peer: msg.peer,
+                    attrs: attrs.clone(),
+                    time,
+                });
+                touched.push(p);
+            }
+        }
+        touched
+    }
+
+    /// Installs or replaces one candidate route.
+    pub fn insert(&mut self, route: Route) {
+        let cands = self.candidates.entry(route.prefix).or_default();
+        match cands.iter_mut().find(|r| r.peer == route.peer) {
+            Some(existing) => *existing = route,
+            None => cands.push(route),
+        }
+    }
+
+    /// Removes the candidate from `peer` for `prefix`; returns whether one
+    /// was present.
+    pub fn remove(&mut self, peer: PeerId, prefix: Prefix) -> bool {
+        if let Some(cands) = self.candidates.get_mut(&prefix) {
+            let before = cands.len();
+            cands.retain(|r| r.peer != peer);
+            let removed = cands.len() != before;
+            if cands.is_empty() {
+                self.candidates.remove(&prefix);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// All candidate routes for `prefix`.
+    pub fn candidates(&self, prefix: &Prefix) -> &[Route] {
+        self.candidates.get(prefix).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The best route for `prefix` under the configured decision process.
+    pub fn best(&self, prefix: &Prefix) -> Option<&Route> {
+        let cands = self.candidates.get(prefix)?;
+        DecisionProcess::new(&self.config).select(cands)
+    }
+
+    /// Iterates over every `(prefix, best route)` pair.
+    pub fn best_routes(&self) -> impl Iterator<Item = (Prefix, &Route)> {
+        self.candidates.iter().filter_map(|(p, cands)| {
+            DecisionProcess::new(&self.config)
+                .select(cands)
+                .map(|r| (*p, r))
+        })
+    }
+
+    /// Iterates over *all* candidate routes (the "show ip bgp" view).
+    pub fn all_routes(&self) -> impl Iterator<Item = &Route> {
+        self.candidates.values().flatten()
+    }
+
+    /// Number of distinct prefixes with at least one candidate.
+    pub fn prefix_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Total number of candidate routes across all prefixes.
+    pub fn route_count(&self) -> usize {
+        self.candidates.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::RouterId;
+    use crate::aspath::AsPath;
+
+    fn attrs(hop: u8, path: &str) -> PathAttributes {
+        PathAttributes::new(
+            RouterId::from_octets(10, 0, 0, hop),
+            path.parse::<AsPath>().unwrap(),
+        )
+    }
+
+    fn prefix(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn adj_rib_in_tracks_old_attrs() {
+        let mut rib = AdjRibIn::new();
+        let p = prefix("192.0.2.0/24");
+        assert_eq!(rib.announce(p, attrs(1, "65000 65001")), RibChange::Added);
+        let change = rib.announce(p, attrs(2, "65000 65002"));
+        assert_eq!(change.old_attrs().unwrap().as_path.to_string(), "65000 65001");
+        let change = rib.withdraw(p);
+        assert_eq!(change.old_attrs().unwrap().as_path.to_string(), "65000 65002");
+        assert_eq!(rib.withdraw(p), RibChange::NoOp);
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn adj_rib_clear_is_session_reset() {
+        let mut rib = AdjRibIn::new();
+        rib.announce(prefix("10.0.0.0/8"), attrs(1, "1"));
+        rib.announce(prefix("10.1.0.0/16"), attrs(1, "1 2"));
+        let dropped = rib.clear();
+        assert_eq!(dropped.len(), 2);
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn loc_rib_replaces_per_peer() {
+        let mut rib = LocRib::new();
+        let p = prefix("10.0.0.0/8");
+        let peer_a = PeerId::from_octets(1, 1, 1, 1);
+        rib.insert(Route {
+            prefix: p,
+            peer: peer_a,
+            attrs: attrs(1, "65000 65001"),
+            time: Timestamp::ZERO,
+        });
+        rib.insert(Route {
+            prefix: p,
+            peer: peer_a,
+            attrs: attrs(1, "65000 65002"),
+            time: Timestamp::from_secs(1),
+        });
+        assert_eq!(rib.candidates(&p).len(), 1);
+        assert_eq!(
+            rib.candidates(&p)[0].attrs.as_path.to_string(),
+            "65000 65002"
+        );
+    }
+
+    #[test]
+    fn loc_rib_best_prefers_shorter_path() {
+        let mut rib = LocRib::new();
+        let p = prefix("10.0.0.0/8");
+        rib.insert(Route {
+            prefix: p,
+            peer: PeerId::from_octets(1, 1, 1, 1),
+            attrs: attrs(1, "65000 65001 65002"),
+            time: Timestamp::ZERO,
+        });
+        rib.insert(Route {
+            prefix: p,
+            peer: PeerId::from_octets(2, 2, 2, 2),
+            attrs: attrs(2, "65000 65003"),
+            time: Timestamp::ZERO,
+        });
+        let best = rib.best(&p).unwrap();
+        assert_eq!(best.peer, PeerId::from_octets(2, 2, 2, 2));
+    }
+
+    #[test]
+    fn apply_update_touches_prefixes() {
+        let mut rib = LocRib::new();
+        let peer = PeerId::from_octets(1, 1, 1, 1);
+        let msg = UpdateMessage::announce(
+            peer,
+            attrs(1, "65000"),
+            [prefix("10.0.0.0/8"), prefix("10.1.0.0/16")],
+        );
+        let touched = rib.apply_update(&msg, Timestamp::ZERO);
+        assert_eq!(touched.len(), 2);
+        assert_eq!(rib.prefix_count(), 2);
+
+        let msg = UpdateMessage::withdraw(peer, [prefix("10.0.0.0/8"), prefix("172.16.0.0/12")]);
+        let touched = rib.apply_update(&msg, Timestamp::from_secs(1));
+        // Only the prefix we actually had is reported as touched.
+        assert_eq!(touched, vec![prefix("10.0.0.0/8")]);
+        assert_eq!(rib.prefix_count(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_empty_entries() {
+        let mut rib = LocRib::new();
+        let p = prefix("10.0.0.0/8");
+        let peer = PeerId::from_octets(1, 1, 1, 1);
+        rib.insert(Route {
+            prefix: p,
+            peer,
+            attrs: attrs(1, "65000"),
+            time: Timestamp::ZERO,
+        });
+        assert!(rib.remove(peer, p));
+        assert!(!rib.remove(peer, p));
+        assert_eq!(rib.prefix_count(), 0);
+        assert_eq!(rib.route_count(), 0);
+        assert!(rib.best(&p).is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! A binary prefix trie with longest-match lookup.
+//!
+//! Used for origin/hijack checks ("who owns the covering prefix?") and for
+//! splitting address space in workload generators (the Berkeley load-balance
+//! split in case study §IV-A divides prefix space across two nexthops).
+
+use std::fmt;
+
+use crate::addr::Prefix;
+
+/// A map from IPv4 prefixes to values with longest-prefix-match lookup.
+///
+/// # Example
+///
+/// ```
+/// use bgpscope_bgp::{Prefix, PrefixTrie};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("10.0.0.0/8".parse()?, "coarse");
+/// trie.insert("10.1.0.0/16".parse()?, "fine");
+/// let (p, v) = trie.longest_match_addr(0x0A01_0203).unwrap(); // 10.1.2.3
+/// assert_eq!(*v, "fine");
+/// assert_eq!(p.to_string(), "10.1.0.0/16");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Clone)]
+struct Node<V> {
+    value: Option<(Prefix, V)>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        PrefixTrie {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie::default()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth)) & 1) as usize
+    }
+
+    /// Inserts a prefix, returning the previous value if one existed.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.addr(), depth);
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace((prefix, value));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old.map(|(_, v)| v)
+    }
+
+    /// Removes a prefix, returning its value if present.
+    ///
+    /// Interior nodes are left in place (no rebalancing); fine for the
+    /// workloads here where removals are rare relative to lookups.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<V> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.addr(), depth);
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old.map(|(_, v)| v)
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.addr(), depth);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref().map(|(_, v)| v)
+    }
+
+    /// Longest-prefix match for a 32-bit address.
+    pub fn longest_match_addr(&self, addr: u32) -> Option<(Prefix, &V)> {
+        let mut node = &self.root;
+        let mut best = node.value.as_ref();
+        for depth in 0..32 {
+            let b = Self::bit(addr, depth);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if child.value.is_some() {
+                        best = child.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(p, v)| (*p, v))
+    }
+
+    /// Longest stored prefix that covers `prefix` (including `prefix` itself).
+    pub fn longest_match(&self, prefix: &Prefix) -> Option<(Prefix, &V)> {
+        let mut node = &self.root;
+        let mut best = node.value.as_ref();
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.addr(), depth);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if child.value.is_some() {
+                        best = child.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(p, v)| (*p, v))
+    }
+
+    /// The most-specific *strictly covering* prefix, excluding `prefix`
+    /// itself — "who would traffic fall back to?" for hijack analysis.
+    pub fn covering(&self, prefix: &Prefix) -> Option<(Prefix, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<&(Prefix, V)> = node.value.as_ref().filter(|(p, _)| p != prefix);
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.addr(), depth);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = child.value.as_ref() {
+                        if v.0 != *prefix {
+                            best = Some(v);
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(p, v)| (*p, v))
+    }
+
+    /// Visits every `(prefix, value)` pair in lexicographic (addr, len) order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter {
+            stack: vec![&self.root],
+        }
+    }
+}
+
+/// Iterator over trie entries; see [`PrefixTrie::iter`].
+pub struct Iter<'a, V> {
+    stack: Vec<&'a Node<V>>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(node) = self.stack.pop() {
+            // Push children right-first so left (0-bit) pops first.
+            if let Some(ref c) = node.children[1] {
+                self.stack.push(c);
+            }
+            if let Some(ref c) = node.children[0] {
+                self.stack.push(c);
+            }
+            if let Some((p, v)) = node.value.as_ref() {
+                return Some((*p, v));
+            }
+        }
+        None
+    }
+}
+
+impl<'a, V> IntoIterator for &'a PrefixTrie<V> {
+    type Item = (Prefix, &'a V);
+    type IntoIter = Iter<'a, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<T: IntoIterator<Item = (Prefix, V)>>(iter: T) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+impl<V> Extend<(Prefix, V)> for PrefixTrie<V> {
+    fn extend<T: IntoIterator<Item = (Prefix, V)>>(&mut self, iter: T) {
+        for (p, v) in iter {
+            self.insert(p, v);
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for PrefixTrie<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_match_picks_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        assert_eq!(t.longest_match_addr(0x0A01_0001).unwrap().1, &"sixteen");
+        assert_eq!(t.longest_match_addr(0x0A02_0001).unwrap().1, &"eight");
+        assert_eq!(t.longest_match_addr(0x0B00_0001).unwrap().1, &"default");
+        assert_eq!(t.longest_match(&p("10.1.2.0/24")).unwrap().1, &"sixteen");
+        assert_eq!(t.longest_match(&p("10.1.0.0/16")).unwrap().1, &"sixteen");
+    }
+
+    #[test]
+    fn covering_excludes_self() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "agg");
+        t.insert(p("10.1.0.0/16"), "spec");
+        let (cp, cv) = t.covering(&p("10.1.0.0/16")).unwrap();
+        assert_eq!(cp, p("10.0.0.0/8"));
+        assert_eq!(cv, &"agg");
+        assert!(t.covering(&p("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn no_match_when_empty_path() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        assert!(t.longest_match_addr(12345).is_none());
+    }
+
+    #[test]
+    fn iter_visits_all_in_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.2.0/24"), 3);
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        let got: Vec<Prefix> = t.iter().map(|(p, _)| p).collect();
+        assert_eq!(got, vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.0.2.0/24")]);
+        assert_eq!(t.iter().count(), t.len());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: PrefixTrie<u8> = [(p("10.0.0.0/8"), 1), (p("172.16.0.0/12"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 2);
+    }
+}

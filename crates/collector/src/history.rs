@@ -1,0 +1,259 @@
+//! Historical routing state — the paper's time-travel feature.
+//!
+//! REX "allows an user to monitor the overall routing topology of a network
+//! as it changes, as well as providing a historical view" (§V), and Table I's
+//! methodology note implies exactly this capability: "we do not include time
+//! to rebuild the data structures to move to any random point in time."
+//! [`RouteHistory`] is that rebuildable index: it ingests an augmented event
+//! stream once and can then answer "what did the RIB look like at time t?"
+//! and "what happened to this route over time?" without replaying the stream.
+
+use std::collections::HashMap;
+
+use bgpscope_bgp::{
+    Event, EventKind, EventStream, PathAttributes, PeerId, Prefix, Route, Timestamp,
+};
+
+/// One change on a route's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// When the change happened.
+    pub time: Timestamp,
+    /// The attributes after the change (`None` = withdrawn).
+    pub attrs: Option<PathAttributes>,
+}
+
+/// An index over an event stream supporting point-in-time RIB queries.
+///
+/// # Example
+///
+/// ```
+/// use bgpscope_bgp::{Event, EventStream, PathAttributes, PeerId, RouterId, Timestamp};
+/// use bgpscope_collector::RouteHistory;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let peer = PeerId::from_octets(1, 1, 1, 1);
+/// let prefix = "10.0.0.0/8".parse()?;
+/// let attrs = PathAttributes::new(RouterId::from_octets(2, 2, 2, 2), "701".parse()?);
+/// let mut stream = EventStream::new();
+/// stream.push(Event::announce(Timestamp::from_secs(10), peer, prefix, attrs.clone()));
+/// stream.push(Event::withdraw(Timestamp::from_secs(50), peer, prefix, attrs));
+///
+/// let history = RouteHistory::build(&stream);
+/// assert!(history.route_at(peer, prefix, Timestamp::from_secs(5)).is_none());
+/// assert!(history.route_at(peer, prefix, Timestamp::from_secs(30)).is_some());
+/// assert!(history.route_at(peer, prefix, Timestamp::from_secs(60)).is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RouteHistory {
+    timelines: HashMap<(PeerId, Prefix), Vec<TimelineEntry>>,
+    start: Timestamp,
+    end: Timestamp,
+    events: usize,
+}
+
+impl RouteHistory {
+    /// Indexes a (time-sorted) event stream.
+    pub fn build(stream: &EventStream) -> Self {
+        let mut history = RouteHistory {
+            timelines: HashMap::new(),
+            start: stream.events().first().map(|e| e.time).unwrap_or(Timestamp::ZERO),
+            end: stream.events().last().map(|e| e.time).unwrap_or(Timestamp::ZERO),
+            events: 0, // counted by push below
+        };
+        for event in stream {
+            history.push(event);
+        }
+        history
+    }
+
+    /// Appends one event (must not be older than the last for its route).
+    pub fn push(&mut self, event: &Event) {
+        let attrs = match event.kind {
+            EventKind::Announce => Some(event.attrs.clone()),
+            EventKind::Withdraw => None,
+        };
+        self.timelines
+            .entry((event.peer, event.prefix))
+            .or_default()
+            .push(TimelineEntry {
+                time: event.time,
+                attrs,
+            });
+        self.end = self.end.max(event.time);
+        self.events += 1;
+    }
+
+    /// The indexed time span.
+    pub fn span(&self) -> (Timestamp, Timestamp) {
+        (self.start, self.end)
+    }
+
+    /// Number of indexed events.
+    pub fn len(&self) -> usize {
+        self.events
+    }
+
+    /// True if nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// The full timeline of one route.
+    pub fn timeline(&self, peer: PeerId, prefix: Prefix) -> &[TimelineEntry] {
+        self.timelines
+            .get(&(peer, prefix))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The route's attributes as of time `t` (inclusive), or `None` if it
+    /// was withdrawn or never announced by then.
+    pub fn route_at(&self, peer: PeerId, prefix: Prefix, t: Timestamp) -> Option<&PathAttributes> {
+        let timeline = self.timelines.get(&(peer, prefix))?;
+        let idx = timeline.partition_point(|e| e.time <= t);
+        if idx == 0 {
+            return None;
+        }
+        timeline[idx - 1].attrs.as_ref()
+    }
+
+    /// The complete RIB snapshot as of time `t` — every live route across
+    /// all peers, ready for TAMP or MRT.
+    pub fn rib_at(&self, t: Timestamp) -> Vec<Route> {
+        let mut routes = Vec::new();
+        for (&(peer, prefix), timeline) in &self.timelines {
+            let idx = timeline.partition_point(|e| e.time <= t);
+            if idx == 0 {
+                continue;
+            }
+            if let Some(attrs) = &timeline[idx - 1].attrs {
+                routes.push(Route {
+                    prefix,
+                    peer,
+                    attrs: attrs.clone(),
+                    time: timeline[idx - 1].time,
+                });
+            }
+        }
+        routes.sort_by_key(|r| (r.peer, r.prefix));
+        routes
+    }
+
+    /// How many times this route changed state (the per-route flap count).
+    pub fn change_count(&self, peer: PeerId, prefix: Prefix) -> usize {
+        self.timeline(peer, prefix).len()
+    }
+
+    /// The most-changed routes — the "what is noisy?" drill-down, most
+    /// changes first, at most `k` entries.
+    pub fn noisiest_routes(&self, k: usize) -> Vec<((PeerId, Prefix), usize)> {
+        let mut all: Vec<((PeerId, Prefix), usize)> = self
+            .timelines
+            .iter()
+            .map(|(&key, t)| (key, t.len()))
+            .collect();
+        all.sort_by_key(|&(key, n)| (std::cmp::Reverse(n), key));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::RouterId;
+
+    fn peer(n: u8) -> PeerId {
+        PeerId::from_octets(1, 1, 1, n)
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn attrs(path: &str) -> PathAttributes {
+        PathAttributes::new(RouterId::from_octets(2, 2, 2, 2), path.parse().unwrap())
+    }
+
+    fn stream() -> EventStream {
+        let mut s = EventStream::new();
+        s.push(Event::announce(Timestamp::from_secs(10), peer(1), p("10.0.0.0/8"), attrs("701")));
+        s.push(Event::announce(Timestamp::from_secs(20), peer(1), p("20.0.0.0/8"), attrs("3356")));
+        s.push(Event::announce(Timestamp::from_secs(30), peer(1), p("10.0.0.0/8"), attrs("701 9")));
+        s.push(Event::withdraw(Timestamp::from_secs(40), peer(1), p("10.0.0.0/8"), attrs("701 9")));
+        s.push(Event::announce(Timestamp::from_secs(50), peer(2), p("10.0.0.0/8"), attrs("174")));
+        s
+    }
+
+    #[test]
+    fn point_in_time_route_queries() {
+        let h = RouteHistory::build(&stream());
+        assert!(h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(9)).is_none());
+        assert_eq!(
+            h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(15)).unwrap().as_path.to_string(),
+            "701"
+        );
+        // Implicit replacement at t=30.
+        assert_eq!(
+            h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(35)).unwrap().as_path.to_string(),
+            "701 9"
+        );
+        // Withdrawn at t=40.
+        assert!(h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(45)).is_none());
+        // Boundary: inclusive of the event instant.
+        assert!(h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(40)).is_none());
+        assert!(h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(10)).is_some());
+    }
+
+    #[test]
+    fn rib_snapshots_move_through_time() {
+        let h = RouteHistory::build(&stream());
+        assert_eq!(h.rib_at(Timestamp::from_secs(5)).len(), 0);
+        assert_eq!(h.rib_at(Timestamp::from_secs(25)).len(), 2);
+        // After the withdrawal, only 20/8 (peer1) remains... until peer2's
+        // announce at t=50.
+        assert_eq!(h.rib_at(Timestamp::from_secs(45)).len(), 1);
+        let final_rib = h.rib_at(Timestamp::from_secs(100));
+        assert_eq!(final_rib.len(), 2);
+        assert!(final_rib.windows(2).all(|w| (w[0].peer, w[0].prefix) <= (w[1].peer, w[1].prefix)));
+    }
+
+    #[test]
+    fn timelines_and_noise_ranking() {
+        let h = RouteHistory::build(&stream());
+        assert_eq!(h.change_count(peer(1), p("10.0.0.0/8")), 3);
+        assert_eq!(h.change_count(peer(1), p("20.0.0.0/8")), 1);
+        assert_eq!(h.change_count(peer(9), p("20.0.0.0/8")), 0);
+        let noisy = h.noisiest_routes(2);
+        assert_eq!(noisy[0].0, (peer(1), p("10.0.0.0/8")));
+        assert_eq!(noisy[0].1, 3);
+        assert_eq!(noisy.len(), 2);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = RouteHistory::build(&EventStream::new());
+        assert!(h.is_empty());
+        assert!(h.rib_at(Timestamp::from_secs(1)).is_empty());
+        assert!(h.timeline(peer(1), p("10.0.0.0/8")).is_empty());
+        assert!(h.noisiest_routes(5).is_empty());
+    }
+
+    #[test]
+    fn incremental_push_matches_build() {
+        let s = stream();
+        let built = RouteHistory::build(&s);
+        let mut incremental = RouteHistory::default();
+        for e in &s {
+            incremental.push(e);
+        }
+        assert_eq!(incremental.len(), built.len());
+        assert_eq!(
+            incremental.rib_at(Timestamp::from_secs(100)),
+            built.rib_at(Timestamp::from_secs(100))
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! The collector core: per-peer Adj-RIB-Ins and event augmentation.
+
+use std::collections::HashMap;
+
+use bgpscope_bgp::{
+    AdjRibIn, Event, EventStream, PathAttributes, PeerId, Prefix, RibChange, Route, Timestamp,
+    UpdateMessage,
+};
+
+/// A passive collector holding one Adj-RIB-In per peer.
+///
+/// Feed it raw [`UpdateMessage`]s; it returns augmented [`Event`]s and keeps
+/// the per-peer table state needed to augment future withdrawals, to snapshot
+/// RIBs, and to expand session resets into their withdrawal storms.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    peers: HashMap<PeerId, AdjRibIn>,
+    event_count: u64,
+}
+
+impl Collector {
+    /// A collector with no peers yet (peers appear on first update).
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// The peers seen so far.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.peers.keys().copied()
+    }
+
+    /// Number of live routes across all peers.
+    pub fn route_count(&self) -> usize {
+        self.peers.values().map(AdjRibIn::len).sum()
+    }
+
+    /// Number of distinct prefixes with at least one live route.
+    pub fn prefix_count(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for rib in self.peers.values() {
+            set.extend(rib.iter().map(|(p, _)| *p));
+        }
+        set.len()
+    }
+
+    /// Total events emitted since construction.
+    pub fn events_seen(&self) -> u64 {
+        self.event_count
+    }
+
+    /// The Adj-RIB-In of one peer, if known.
+    pub fn rib(&self, peer: PeerId) -> Option<&AdjRibIn> {
+        self.peers.get(&peer)
+    }
+
+    /// Applies one UPDATE, returning the augmented per-prefix events.
+    ///
+    /// * Announcements yield announce events with the new attributes (an
+    ///   implicit replacement is still a single announce event, as in BGP).
+    /// * Withdrawals yield withdraw events carrying the *old* attributes; a
+    ///   withdrawal for a prefix the peer never announced yields nothing
+    ///   (duplicate withdrawals are BGP noise the collector filters).
+    pub fn apply_update(&mut self, msg: &UpdateMessage, time: Timestamp) -> Vec<Event> {
+        let rib = self.peers.entry(msg.peer).or_default();
+        let mut events = Vec::with_capacity(msg.change_count());
+        for &prefix in &msg.withdrawn {
+            if let RibChange::Removed(old) = rib.withdraw(prefix) {
+                events.push(Event::withdraw(time, msg.peer, prefix, old));
+            }
+        }
+        if let Some(attrs) = &msg.attrs {
+            for &prefix in &msg.nlri {
+                rib.announce(prefix, attrs.clone());
+                events.push(Event::announce(time, msg.peer, prefix, attrs.clone()));
+            }
+        }
+        self.event_count += events.len() as u64;
+        events
+    }
+
+    /// Applies many updates (each with its timestamp), returning one sorted
+    /// stream.
+    pub fn apply_updates<'a, I>(&mut self, updates: I) -> EventStream
+    where
+        I: IntoIterator<Item = (&'a UpdateMessage, Timestamp)>,
+    {
+        let mut stream = EventStream::new();
+        for (msg, time) in updates {
+            stream.extend(self.apply_update(msg, time));
+        }
+        stream.sort_by_time();
+        stream
+    }
+
+    /// Expands a session loss with `peer`: the peer's whole Adj-RIB-In is
+    /// withdrawn, exactly like the mass withdrawal a real reset produces.
+    pub fn session_lost(&mut self, peer: PeerId, time: Timestamp) -> Vec<Event> {
+        let Some(rib) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        let dropped = rib.clear();
+        self.event_count += dropped.len() as u64;
+        dropped
+            .into_iter()
+            .map(|(prefix, attrs)| Event::withdraw(time, peer, prefix, attrs))
+            .collect()
+    }
+
+    /// Expands a session (re-)establishment: the peer announces a full table.
+    pub fn session_established(
+        &mut self,
+        peer: PeerId,
+        table: &[(Prefix, PathAttributes)],
+        time: Timestamp,
+    ) -> Vec<Event> {
+        let rib = self.peers.entry(peer).or_default();
+        let mut events = Vec::with_capacity(table.len());
+        for (prefix, attrs) in table {
+            rib.announce(*prefix, attrs.clone());
+            events.push(Event::announce(time, peer, *prefix, attrs.clone()));
+        }
+        self.event_count += events.len() as u64;
+        events
+    }
+
+    /// Snapshots every live route (for MRT dumps or TAMP seeding).
+    pub fn snapshot(&self, time: Timestamp) -> Vec<Route> {
+        let mut routes = Vec::with_capacity(self.route_count());
+        for (&peer, rib) in &self.peers {
+            for (&prefix, attrs) in rib.iter() {
+                routes.push(Route {
+                    prefix,
+                    peer,
+                    attrs: attrs.clone(),
+                    time,
+                });
+            }
+        }
+        routes.sort_by_key(|r| (r.peer, r.prefix));
+        routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::RouterId;
+
+    fn peer(n: u8) -> PeerId {
+        PeerId::from_octets(128, 32, 1, n)
+    }
+
+    fn attrs(hop: u8, path: &str) -> PathAttributes {
+        PathAttributes::new(
+            RouterId::from_octets(128, 32, 0, hop),
+            path.parse().unwrap(),
+        )
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn withdrawal_augmented_with_old_attrs() {
+        let mut rex = Collector::new();
+        let a = attrs(66, "11423 209");
+        rex.apply_update(
+            &UpdateMessage::announce(peer(3), a.clone(), [p("10.0.0.0/8")]),
+            Timestamp::from_secs(1),
+        );
+        let events = rex.apply_update(
+            &UpdateMessage::withdraw(peer(3), [p("10.0.0.0/8")]),
+            Timestamp::from_secs(2),
+        );
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].attrs, a);
+        assert_eq!(events[0].kind, bgpscope_bgp::EventKind::Withdraw);
+    }
+
+    #[test]
+    fn duplicate_withdrawal_filtered() {
+        let mut rex = Collector::new();
+        let events = rex.apply_update(
+            &UpdateMessage::withdraw(peer(3), [p("10.0.0.0/8")]),
+            Timestamp::ZERO,
+        );
+        assert!(events.is_empty());
+        assert_eq!(rex.events_seen(), 0);
+    }
+
+    #[test]
+    fn implicit_replacement_single_event() {
+        let mut rex = Collector::new();
+        rex.apply_update(
+            &UpdateMessage::announce(peer(3), attrs(66, "11423 209"), [p("10.0.0.0/8")]),
+            Timestamp::from_secs(1),
+        );
+        let events = rex.apply_update(
+            &UpdateMessage::announce(peer(3), attrs(66, "11423 11422 209"), [p("10.0.0.0/8")]),
+            Timestamp::from_secs(2),
+        );
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].attrs.as_path.to_string(), "11423 11422 209");
+        assert_eq!(rex.route_count(), 1);
+    }
+
+    #[test]
+    fn session_reset_storm_and_reestablish() {
+        let mut rex = Collector::new();
+        let table: Vec<(Prefix, PathAttributes)> = (0..100u32)
+            .map(|i| (p(&format!("10.{}.0.0/16", i)), attrs(66, "11423 209")))
+            .collect();
+        rex.session_established(peer(3), &table, Timestamp::ZERO);
+        assert_eq!(rex.route_count(), 100);
+
+        let storm = rex.session_lost(peer(3), Timestamp::from_secs(5));
+        assert_eq!(storm.len(), 100);
+        assert!(storm.iter().all(|e| e.kind == bgpscope_bgp::EventKind::Withdraw));
+        assert_eq!(rex.route_count(), 0);
+
+        let re = rex.session_established(peer(3), &table, Timestamp::from_secs(65));
+        assert_eq!(re.len(), 100);
+        assert_eq!(rex.route_count(), 100);
+        assert_eq!(rex.events_seen(), 300);
+    }
+
+    #[test]
+    fn session_lost_unknown_peer_is_empty() {
+        let mut rex = Collector::new();
+        assert!(rex.session_lost(peer(9), Timestamp::ZERO).is_empty());
+    }
+
+    #[test]
+    fn prefix_count_deduplicates_across_peers() {
+        let mut rex = Collector::new();
+        rex.apply_update(
+            &UpdateMessage::announce(peer(1), attrs(66, "1"), [p("10.0.0.0/8")]),
+            Timestamp::ZERO,
+        );
+        rex.apply_update(
+            &UpdateMessage::announce(peer(2), attrs(90, "1"), [p("10.0.0.0/8")]),
+            Timestamp::ZERO,
+        );
+        assert_eq!(rex.route_count(), 2);
+        assert_eq!(rex.prefix_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut rex = Collector::new();
+        rex.apply_update(
+            &UpdateMessage::announce(peer(2), attrs(90, "1"), [p("20.0.0.0/8"), p("10.0.0.0/8")]),
+            Timestamp::ZERO,
+        );
+        rex.apply_update(
+            &UpdateMessage::announce(peer(1), attrs(66, "1"), [p("30.0.0.0/8")]),
+            Timestamp::ZERO,
+        );
+        let snap = rex.snapshot(Timestamp::from_secs(9));
+        assert_eq!(snap.len(), 3);
+        assert!(snap.windows(2).all(|w| (w[0].peer, w[0].prefix) <= (w[1].peer, w[1].prefix)));
+        assert!(snap.iter().all(|r| r.time == Timestamp::from_secs(9)));
+    }
+
+    #[test]
+    fn rib_and_peer_accessors() {
+        let mut rex = Collector::new();
+        assert!(rex.rib(peer(1)).is_none());
+        rex.apply_update(
+            &UpdateMessage::announce(peer(1), attrs(66, "1 2"), [p("10.0.0.0/8")]),
+            Timestamp::ZERO,
+        );
+        let rib = rex.rib(peer(1)).expect("peer known");
+        assert_eq!(rib.len(), 1);
+        assert_eq!(
+            rib.get(&p("10.0.0.0/8")).unwrap().as_path.to_string(),
+            "1 2"
+        );
+        let peers: Vec<PeerId> = rex.peers().collect();
+        assert_eq!(peers, vec![peer(1)]);
+        assert_eq!(rex.events_seen(), 1);
+    }
+
+    #[test]
+    fn apply_updates_sorts_stream() {
+        let mut rex = Collector::new();
+        let m1 = UpdateMessage::announce(peer(1), attrs(66, "1"), [p("10.0.0.0/8")]);
+        let m2 = UpdateMessage::announce(peer(2), attrs(90, "2"), [p("20.0.0.0/8")]);
+        let stream = rex.apply_updates([
+            (&m1, Timestamp::from_secs(5)),
+            (&m2, Timestamp::from_secs(1)),
+        ]);
+        assert_eq!(stream.len(), 2);
+        assert!(stream.events()[0].time <= stream.events()[1].time);
+    }
+}

@@ -1,0 +1,124 @@
+//! Temporal synchronization of BGP and IGP data (§III-D.3).
+//!
+//! A link-metric change can make a router reselect its BGP best route, so
+//! after Stemming pins a BGP incident in time, the operator drills down into
+//! the IGP: "did any LSA activity happen around that moment?" IGP volume is
+//! orders of magnitude lower than BGP, which makes this cheap.
+
+use bgpscope_bgp::{EventStream, Timestamp};
+use bgpscope_igp::{IgpEvent, IgpEventLog};
+
+/// A pair of temporally aligned BGP and IGP event histories.
+#[derive(Debug, Clone, Default)]
+pub struct SyncedView {
+    bgp: EventStream,
+    igp: IgpEventLog,
+}
+
+impl SyncedView {
+    /// Builds a view over both histories (each must be time-sorted).
+    pub fn new(bgp: EventStream, igp: IgpEventLog) -> Self {
+        SyncedView { bgp, igp }
+    }
+
+    /// The BGP side.
+    pub fn bgp(&self) -> &EventStream {
+        &self.bgp
+    }
+
+    /// The IGP side.
+    pub fn igp(&self) -> &IgpEventLog {
+        &self.igp
+    }
+
+    /// IGP events within `slack` of the window `[start, end]` — the
+    /// drill-down query for a Stemming component's time span.
+    pub fn igp_near(&self, start: Timestamp, end: Timestamp, slack: Timestamp) -> &[IgpEvent] {
+        let lo = start.saturating_since(slack);
+        // +1 µs: the interval is inclusive of `end + slack` itself.
+        let hi = Timestamp((end + slack).as_micros() + 1);
+        self.igp.window(lo, hi)
+    }
+
+    /// Whether any IGP activity coincides (within `slack`) with the window —
+    /// a quick root-cause hint: `true` suggests the BGP churn may be
+    /// IGP-driven (a metric change shifting NEXT_HOP costs).
+    pub fn igp_implicated(&self, start: Timestamp, end: Timestamp, slack: Timestamp) -> bool {
+        !self.igp_near(start, end, slack).is_empty()
+    }
+
+    /// A compact report of the drill-down.
+    pub fn drilldown_report(&self, start: Timestamp, end: Timestamp, slack: Timestamp) -> String {
+        let hits = self.igp_near(start, end, slack);
+        let mut out = format!(
+            "BGP window {}..{} (±{}): {} IGP events\n",
+            start,
+            end,
+            slack,
+            hits.len()
+        );
+        for e in hits.iter().take(20) {
+            out.push_str(&format!("  {e}\n"));
+        }
+        if hits.len() > 20 {
+            out.push_str(&format!("  … and {} more\n", hits.len() - 20));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::RouterId;
+    use bgpscope_igp::IgpEventKind;
+
+    fn igp_event(t: u64) -> IgpEvent {
+        IgpEvent {
+            time: Timestamp::from_secs(t),
+            kind: IgpEventKind::MetricChange {
+                from: RouterId::from_octets(10, 0, 0, 1),
+                to: RouterId::from_octets(10, 0, 0, 2),
+                old: 10,
+                new: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn igp_near_and_implicated() {
+        let igp: IgpEventLog = [igp_event(100), igp_event(500)].into_iter().collect();
+        let view = SyncedView::new(EventStream::new(), igp);
+        // BGP incident at 95..105; slack 10 catches the LSA at 100.
+        assert!(view.igp_implicated(
+            Timestamp::from_secs(95),
+            Timestamp::from_secs(105),
+            Timestamp::from_secs(10)
+        ));
+        // Incident at 200..210: nothing within ±10.
+        assert!(!view.igp_implicated(
+            Timestamp::from_secs(200),
+            Timestamp::from_secs(210),
+            Timestamp::from_secs(10)
+        ));
+        let hits = view.igp_near(
+            Timestamp::from_secs(490),
+            Timestamp::from_secs(600),
+            Timestamp::ZERO,
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn report_lists_events() {
+        let igp: IgpEventLog = (0..30).map(igp_event).collect();
+        let view = SyncedView::new(EventStream::new(), igp);
+        let report = view.drilldown_report(
+            Timestamp::from_secs(0),
+            Timestamp::from_secs(29),
+            Timestamp::ZERO,
+        );
+        assert!(report.contains("30 IGP events"));
+        assert!(report.contains("… and 10 more"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the collector's augmentation invariants.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use bgpscope_bgp::{
+    AsPath, EventKind, PathAttributes, PeerId, Prefix, RouterId, Timestamp, UpdateMessage,
+};
+use bgpscope_collector::Collector;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Announce(u8, u8, Vec<u32>), // peer, prefix, path
+    Withdraw(u8, u8),
+    SessionLost(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u8..4, 0u8..12, proptest::collection::vec(1u32..50, 1..4))
+            .prop_map(|(peer, px, path)| Op::Announce(peer, px, path)),
+        2 => (1u8..4, 0u8..12).prop_map(|(peer, px)| Op::Withdraw(peer, px)),
+        1 => (1u8..4).prop_map(Op::SessionLost),
+    ]
+}
+
+proptest! {
+    /// Augmentation invariant: every withdraw event carries exactly the
+    /// attributes of the most recent announce for its (peer, prefix) —
+    /// and the collector's live route count always matches a reference
+    /// model.
+    #[test]
+    fn withdrawals_always_carry_last_announced_attrs(ops in proptest::collection::vec(arb_op(), 0..80)) {
+        let mut rex = Collector::new();
+        let mut model: HashMap<(PeerId, Prefix), PathAttributes> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            let t = Timestamp::from_secs(i as u64);
+            match op {
+                Op::Announce(peer, px, path) => {
+                    let peer = PeerId::from_octets(1, 1, 1, *peer);
+                    let prefix = Prefix::from_octets(10, *px, 0, 0, 16);
+                    let attrs = PathAttributes::new(
+                        RouterId::from_octets(2, 2, 2, 2),
+                        AsPath::from_u32s(path.iter().copied()),
+                    );
+                    let events = rex.apply_update(
+                        &UpdateMessage::announce(peer, attrs.clone(), [prefix]),
+                        t,
+                    );
+                    prop_assert_eq!(events.len(), 1);
+                    model.insert((peer, prefix), attrs);
+                }
+                Op::Withdraw(peer, px) => {
+                    let peer = PeerId::from_octets(1, 1, 1, *peer);
+                    let prefix = Prefix::from_octets(10, *px, 0, 0, 16);
+                    let events = rex.apply_update(&UpdateMessage::withdraw(peer, [prefix]), t);
+                    match model.remove(&(peer, prefix)) {
+                        Some(expected) => {
+                            prop_assert_eq!(events.len(), 1);
+                            prop_assert_eq!(events[0].kind, EventKind::Withdraw);
+                            prop_assert_eq!(&events[0].attrs, &expected);
+                        }
+                        None => prop_assert!(events.is_empty(), "phantom withdrawal emitted"),
+                    }
+                }
+                Op::SessionLost(peer) => {
+                    let peer = PeerId::from_octets(1, 1, 1, *peer);
+                    let events = rex.session_lost(peer, t);
+                    let expected: Vec<_> = model
+                        .keys()
+                        .filter(|(p, _)| *p == peer)
+                        .copied()
+                        .collect();
+                    prop_assert_eq!(events.len(), expected.len());
+                    for e in &events {
+                        let key = (e.peer, e.prefix);
+                        prop_assert_eq!(Some(&e.attrs), model.get(&key));
+                    }
+                    model.retain(|(p, _), _| *p != peer);
+                }
+            }
+            prop_assert_eq!(rex.route_count(), model.len());
+        }
+        // Snapshot equals the model.
+        let snap = rex.snapshot(Timestamp::ZERO);
+        prop_assert_eq!(snap.len(), model.len());
+        for r in snap {
+            prop_assert_eq!(Some(&r.attrs), model.get(&(r.peer, r.prefix)));
+        }
+    }
+}

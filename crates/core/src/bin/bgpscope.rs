@@ -1,0 +1,250 @@
+//! The `bgpscope` command-line tool.
+//!
+//! ```text
+//! bgpscope detect  <events.(mrt|txt)> [--json]   # Stemming + classification
+//! bgpscope picture <events.(mrt|txt)> [out.svg]  # TAMP picture of final state
+//! bgpscope animate <events.(mrt|txt)> <out-dir>  # frame SVGs of the incident
+//! bgpscope rate    <events.(mrt|txt)> [bucket-secs]
+//! bgpscope convert <in.(mrt|txt)> <out.(mrt|txt)>
+//! bgpscope demo    <out.mrt>                     # write a demo incident
+//! ```
+//!
+//! Event files are either the binary MRT-style format (`.mrt`) or the
+//! Figure-4-style text format (anything else). Exit code 1 on usage errors,
+//! 2 on I/O or parse failures.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use bgpscope::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("detect") => with_stream(&args, 2, |stream, rest| {
+            cmd_detect(stream, rest.iter().any(|a| a == "--json"))
+        }),
+        Some("picture") => with_stream(&args, 2, |stream, rest| {
+            cmd_picture(stream, rest.first().map(String::as_str))
+        }),
+        Some("animate") => with_stream(&args, 3, |stream, rest| cmd_animate(stream, &rest[0])),
+        Some("rate") => with_stream(&args, 2, |stream, rest| {
+            let bucket = rest
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(60u64);
+            cmd_rate(stream, bucket)
+        }),
+        Some("convert") => {
+            if args.len() != 3 {
+                return usage();
+            }
+            load(&args[1]).and_then(|s| save(&args[2], &s))
+        }
+        Some("demo") => {
+            if args.len() != 2 {
+                return usage();
+            }
+            cmd_demo(&args[1])
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bgpscope: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bgpscope <detect|picture|animate|rate|convert|demo> <args…>\n\
+         \n\
+         detect  <events>             decompose + classify anomalies\n\
+         picture <events> [out.svg]   TAMP picture of the final routing state\n\
+         animate <events> <out-dir>   write key animation frames as SVG\n\
+         rate    <events> [bucket-s]  event-rate series + spikes\n\
+         convert <in> <out>           convert between .mrt and text formats\n\
+         demo    <out.mrt>            write a demo incident to analyze"
+    );
+    ExitCode::FAILURE
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn with_stream(
+    args: &[String],
+    min_args: usize,
+    f: impl FnOnce(EventStream, &[String]) -> CliResult,
+) -> CliResult {
+    if args.len() < min_args {
+        return Err("missing arguments (run with no args for usage)".into());
+    }
+    let stream = load(&args[1])?;
+    f(stream, &args[2..])
+}
+
+fn load(path: &str) -> Result<EventStream, Box<dyn std::error::Error>> {
+    let p = Path::new(path);
+    if p.extension().and_then(|e| e.to_str()) == Some("mrt") {
+        let data = fs::read(p)?;
+        Ok(read_events(data.as_slice())?)
+    } else {
+        let text = fs::read_to_string(p)?;
+        Ok(text_to_events(&text)?)
+    }
+}
+
+fn save(path: &str, stream: &EventStream) -> CliResult {
+    let p = Path::new(path);
+    if p.extension().and_then(|e| e.to_str()) == Some("mrt") {
+        let mut buf = Vec::new();
+        write_events(&mut buf, stream)?;
+        fs::write(p, buf)?;
+    } else {
+        fs::write(p, bgpscope_mrt::events_to_text(stream))?;
+    }
+    println!("wrote {} events to {path}", stream.len());
+    Ok(())
+}
+
+fn cmd_detect(stream: EventStream, json: bool) -> CliResult {
+    if json {
+        let result = Stemming::new().decompose(&stream);
+        let reports: Vec<AnomalyReport> = result
+            .components()
+            .iter()
+            .map(|c| AnomalyReport::new(c, classify(c, &stream), result.symbols()))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&reports)?);
+        return Ok(());
+    }
+    println!(
+        "{} events over {} ({} announce / {} withdraw)",
+        stream.len(),
+        stream.timerange(),
+        stream.counts().0,
+        stream.counts().1
+    );
+    let result = Stemming::new().decompose(&stream);
+    if result.components().is_empty() {
+        println!("no correlated components found");
+        return Ok(());
+    }
+    for (i, component) in result.components().iter().enumerate() {
+        let verdict = classify(component, &stream);
+        let report = AnomalyReport::new(component, verdict, result.symbols());
+        print!("component {i}:\n{report}");
+    }
+    println!(
+        "residual: {} events ({:.0}% coverage)",
+        result.residual_indices().len(),
+        result.coverage() * 100.0
+    );
+    // Semantic scanners on top of the statistical decomposition.
+    for conflict in scan_moas(&stream) {
+        let origins: Vec<String> = conflict
+            .origins
+            .iter()
+            .map(|(a, t)| format!("{a} (first seen {t})"))
+            .collect();
+        println!("MOAS conflict on {}: {}", conflict.prefix, origins.join(", "));
+    }
+    for burst in scan_deaggregation(&stream, 10) {
+        println!(
+            "deaggregation under {}: {} more-specifics between {} and {}",
+            burst.aggregate,
+            burst.specifics.len(),
+            burst.start,
+            burst.end
+        );
+    }
+    Ok(())
+}
+
+fn cmd_picture(stream: EventStream, out: Option<&str>) -> CliResult {
+    let mut builder = GraphBuilder::new("bgpscope");
+    for event in &stream {
+        builder.apply_event(event);
+    }
+    let graph = prune_flat(&builder.finish(), 0.05);
+    println!(
+        "final state: {} prefixes, {} nodes / {} edges after 5% pruning",
+        graph.total_prefix_count(),
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let out = out.unwrap_or("picture.svg");
+    fs::write(out, render_svg(&graph, &RenderConfig::default()))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_animate(stream: EventStream, out_dir: &str) -> CliResult {
+    fs::create_dir_all(out_dir)?;
+    let animation = Animator::new("bgpscope").animate(&stream);
+    for (name, idx) in [
+        ("frame_000.svg", 0usize),
+        ("frame_250.svg", 249),
+        ("frame_500.svg", 499),
+        ("frame_749.svg", 749),
+    ] {
+        fs::write(Path::new(out_dir).join(name), animation.render_frame_svg(idx))?;
+    }
+    fs::write(
+        Path::new(out_dir).join("animation.svg"),
+        animation.render_animated_svg(64),
+    )?;
+    println!(
+        "wrote 4 key frames + self-playing animation.svg of {} frames to {out_dir}/ (incident spans {})",
+        animation.frame_count(),
+        animation.timerange()
+    );
+    Ok(())
+}
+
+fn cmd_rate(stream: EventStream, bucket_secs: u64) -> CliResult {
+    let series = EventRateMeter::new(Timestamp::from_secs(bucket_secs)).series(&stream);
+    println!(
+        "{} buckets of {bucket_secs}s; grass level {}, mean {:.1}, max {}",
+        series.counts().len(),
+        series.grass_level(),
+        series.mean(),
+        series.counts().iter().max().unwrap_or(&0)
+    );
+    for spike in series.spikes(3.0) {
+        println!(
+            "spike {} .. {}: {} events (peak {})",
+            spike.start, spike.end, spike.events, spike.peak
+        );
+    }
+    Ok(())
+}
+
+fn cmd_demo(out: &str) -> CliResult {
+    // A small simulated session reset, ready for `bgpscope detect`.
+    let edge = RouterId::from_octets(10, 0, 0, 1);
+    let provider = RouterId::from_octets(192, 0, 2, 1);
+    let mut sim = SimBuilder::new(7)
+        .router(edge, Asn(65000))
+        .router(provider, Asn(701))
+        .session(edge, provider, SessionKind::Ebgp)
+        .monitor(edge)
+        .build();
+    for i in 0..120u32 {
+        sim.originate(
+            provider,
+            Prefix::from_octets(20, (i >> 8) as u8, (i & 0xFF) as u8, 0, 24),
+            Timestamp::ZERO,
+        );
+    }
+    sim.session_down(edge, provider, Timestamp::from_secs(300));
+    sim.session_up(edge, provider, Timestamp::from_secs(360));
+    sim.run_to_completion();
+    let mut rex = Rex::new("demo");
+    rex.ingest_feed(&sim.take_collector_feed());
+    save(out, rex.history())
+}

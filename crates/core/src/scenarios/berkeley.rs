@@ -1,0 +1,592 @@
+//! The U.C. Berkeley scenario (§II, §IV-A..D).
+//!
+//! At full scale (`scale = 1.0`) the static table matches the paper's August
+//! 2003 snapshot: ~12,600 prefixes, ~23,000 routes, 13 BGP nexthops, four
+//! edge routers, all routes arriving through CalREN (AS 11423) with ~80% of
+//! prefixes from the commodity Internet via QWest (AS 209) and ~6% from
+//! Abilene/Internet2 — and the case-study anomalies baked in:
+//!
+//! * **§IV-A** — the load-balance misconfiguration: the commodity space is
+//!   split 78% / 5% across the two rate-limiter nexthops instead of evenly.
+//! * **§IV-B** — two backdoor-route prefixes via 128.32.1.222 / 169.229.0.157
+//!   straight to AT&T (AS 7018).
+//! * **§IV-C** — community `2152:65297` mis-tagged: only 32% of the tagged
+//!   prefixes are really from Los Nettos (AS 226); 68% are from KDDI.
+//! * **§IV-D** — [`Berkeley::leak_incident`] *simulates* CalREN's peers
+//!   leaking routes, with the real community/LOCAL_PREF policy interaction
+//!   (128.32.1.3 stops announcing; everything shifts to the non-rate-limited
+//!   path).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bgpscope_bgp::{
+    AsPath, Asn, Community, PathAttributes, PeerId, Prefix, Route, RouterId, Timestamp,
+};
+use bgpscope_netsim::{Injector, SessionKind, SimBuilder};
+use bgpscope_policy::{parse_config, ConfigDocument};
+
+use super::{augment, IncidentStream};
+
+/// Berkeley's AS number.
+pub const AS_BERKELEY: Asn = Asn(25);
+/// CalREN (Digital California) — Berkeley's upstream.
+pub const AS_CALREN: Asn = Asn(11423);
+/// CalREN HPR — the second CalREN AS being consolidated.
+pub const AS_CALREN_HPR: Asn = Asn(11422);
+/// QWest — the commodity transit.
+pub const AS_QWEST: Asn = Asn(209);
+/// Abilene / Internet2.
+pub const AS_ABILENE: Asn = Asn(11537);
+/// CENIC.
+pub const AS_CENIC: Asn = Asn(2152);
+/// Los Nettos.
+pub const AS_LOS_NETTOS: Asn = Asn(226);
+/// KDDI.
+pub const AS_KDDI: Asn = Asn(2516);
+/// AT&T (the backdoor's far end).
+pub const AS_ATT: Asn = Asn(7018);
+
+/// The commodity community CalREN tags ISP routes with.
+pub fn commodity_community() -> Community {
+    Community::new(11423, 65350)
+}
+
+/// The community on Internet2 / CalREN-member routes.
+pub fn i2_community() -> Community {
+    Community::new(11423, 65300)
+}
+
+/// The mis-tagged CENIC community of §IV-C.
+pub fn cenic_community() -> Community {
+    Community::new(2152, 65297)
+}
+
+/// Edge router 128.32.1.3 (commodity, rate-limited).
+pub fn peer3() -> PeerId {
+    PeerId::from_octets(128, 32, 1, 3)
+}
+/// Edge router 128.32.1.200 (not rate-limited).
+pub fn peer200() -> PeerId {
+    PeerId::from_octets(128, 32, 1, 200)
+}
+/// Edge router 128.32.1.222 (the backdoor).
+pub fn peer222() -> PeerId {
+    PeerId::from_octets(128, 32, 1, 222)
+}
+/// Edge router 128.32.1.100 (Internet2).
+pub fn peer100() -> PeerId {
+    PeerId::from_octets(128, 32, 1, 100)
+}
+/// Rate-limiter nexthop 128.32.0.66.
+pub fn hop66() -> RouterId {
+    RouterId::from_octets(128, 32, 0, 66)
+}
+/// Rate-limiter nexthop 128.32.0.70.
+pub fn hop70() -> RouterId {
+    RouterId::from_octets(128, 32, 0, 70)
+}
+/// Non-rate-limited nexthop 128.32.0.90.
+pub fn hop90() -> RouterId {
+    RouterId::from_octets(128, 32, 0, 90)
+}
+/// The backdoor nexthop 169.229.0.157.
+pub fn hop157() -> RouterId {
+    RouterId::from_octets(169, 229, 0, 157)
+}
+
+/// Tier-1 fan-out beyond QWest (Figure 2's right-hand side).
+const TIER1_FANOUT: [u32; 6] = [701, 1239, 3356, 7018, 2914, 174];
+/// Second-level ASes behind the tier-1s.
+const SECOND_LEVEL: [u32; 8] = [1299, 5713, 4519, 13606, 3228, 21408, 705, 3602];
+
+/// The Berkeley scenario generator.
+#[derive(Debug, Clone)]
+pub struct Berkeley {
+    /// Size multiplier; 1.0 reproduces the paper's August 2003 counts.
+    pub scale: f64,
+    /// Seed for all randomized choices.
+    pub seed: u64,
+}
+
+impl Default for Berkeley {
+    fn default() -> Self {
+        Berkeley::new()
+    }
+}
+
+impl Berkeley {
+    /// Full-scale Berkeley (~12,600 prefixes / ~23,000 routes).
+    pub fn new() -> Self {
+        Berkeley {
+            scale: 1.0,
+            seed: 0xB347,
+        }
+    }
+
+    /// A test-sized instance (~1% scale) for doctests and unit tests.
+    pub fn small() -> Self {
+        Berkeley {
+            scale: 0.01,
+            seed: 0xB347,
+        }
+    }
+
+    /// A scaled instance (Table I uses 1.0, 5.0 and 10.0).
+    pub fn with_scale(scale: f64) -> Self {
+        Berkeley {
+            scale,
+            seed: 0xB347,
+        }
+    }
+
+    /// Total prefixes at this scale.
+    pub fn total_prefixes(&self) -> usize {
+        ((12_600.0 * self.scale) as usize).max(60)
+    }
+
+    fn prefix(&self, index: usize) -> Prefix {
+        // Spread deterministic /24s over public-looking space.
+        Prefix::from_octets(
+            4 + ((index >> 14) & 0x7F) as u8,
+            ((index >> 6) & 0xFF) as u8,
+            ((index & 0x3F) << 2) as u8,
+            0,
+            24,
+        )
+    }
+
+    /// The static RIB snapshot with every §IV-A..C anomaly included.
+    ///
+    /// Route shares (of total prefixes): 78% commodity via `128.32.0.66`,
+    /// 5% commodity via `128.32.0.70` (the skewed split), 6% Abilene, the
+    /// rest CalREN members/CENIC — including the mis-tagged Los Nettos/KDDI
+    /// subsets — plus two backdoor prefixes. Commodity prefixes also carry
+    /// an alternate (longer) route via `128.32.1.200`, which is what makes
+    /// routes ≈ 1.8 × prefixes, as at the real site.
+    pub fn routes(&self) -> Vec<Route> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total = self.total_prefixes();
+        let n_commodity_66 = (total as f64 * 0.78) as usize;
+        let n_commodity_70 = (total as f64 * 0.05) as usize;
+        let n_abilene = (total as f64 * 0.06) as usize;
+        let n_mistag = ((total as f64 * 0.03) as usize).max(6);
+        let n_los_nettos = (n_mistag as f64 * 0.32).round() as usize;
+        let n_backdoor = 2;
+        let n_members = total
+            .saturating_sub(n_commodity_66 + n_commodity_70 + n_abilene + n_mistag + n_backdoor);
+
+        let mut routes = Vec::with_capacity(total * 2);
+        let mut idx = 0usize;
+        let t = Timestamp::ZERO;
+
+        let mut commodity = |routes: &mut Vec<Route>, rng: &mut StdRng, n: usize, hop: RouterId| {
+            for _ in 0..n {
+                let prefix = self.prefix(idx);
+                idx += 1;
+                let t1 = TIER1_FANOUT[rng.gen_range(0..TIER1_FANOUT.len())];
+                let mut asns = vec![AS_CALREN.0, AS_QWEST.0, t1];
+                if rng.gen_bool(0.7) {
+                    asns.push(SECOND_LEVEL[rng.gen_range(0..SECOND_LEVEL.len())]);
+                }
+                let path = AsPath::from_u32s(asns.iter().copied());
+                // Primary (rate-limited) route at 128.32.1.3.
+                let attrs = PathAttributes::new(hop, path.clone())
+                    .with_community(commodity_community())
+                    .with_local_pref(80);
+                routes.push(Route {
+                    prefix,
+                    peer: peer3(),
+                    attrs,
+                    time: t,
+                });
+                // Alternate at 128.32.1.200 (LOCAL_PREF 70 per policy).
+                let attrs = PathAttributes::new(hop90(), path)
+                    .with_community(commodity_community())
+                    .with_local_pref(70);
+                routes.push(Route {
+                    prefix,
+                    peer: peer200(),
+                    attrs,
+                    time: t,
+                });
+            }
+        };
+        commodity(&mut routes, &mut rng, n_commodity_66, hop66());
+        commodity(&mut routes, &mut rng, n_commodity_70, hop70());
+
+        // Abilene / Internet2 via 128.32.1.100.
+        for _ in 0..n_abilene {
+            let prefix = self.prefix(idx);
+            idx += 1;
+            let tail = 10_000 + rng.gen_range(0..2_000);
+            let path = AsPath::from_u32s([AS_CALREN.0, AS_ABILENE.0, tail]);
+            let attrs = PathAttributes::new(RouterId::from_octets(128, 32, 0, 92), path)
+                .with_community(i2_community())
+                .with_local_pref(100);
+            routes.push(Route {
+                prefix,
+                peer: peer100(),
+                attrs,
+                time: t,
+            });
+        }
+
+        // CalREN members / CENIC (varied minor nexthops: 13 nexthops total).
+        for _ in 0..n_members {
+            let prefix = self.prefix(idx);
+            idx += 1;
+            let member = 5_000 + rng.gen_range(0..800);
+            let path = AsPath::from_u32s([AS_CALREN.0, AS_CENIC.0, member]);
+            let minor_hop = RouterId::from_octets(128, 32, 0, 93 + rng.gen_range(0..8) as u8);
+            let attrs = PathAttributes::new(minor_hop, path)
+                .with_community(i2_community())
+                .with_local_pref(100);
+            routes.push(Route {
+                prefix,
+                peer: peer200(),
+                attrs,
+                time: t,
+            });
+        }
+
+        // §IV-C: the mis-tagged 2152:65297 set (32% Los Nettos, 68% KDDI).
+        for i in 0..n_mistag {
+            let prefix = self.prefix(idx);
+            idx += 1;
+            let path = if i < n_los_nettos {
+                AsPath::from_u32s([AS_CALREN.0, AS_CENIC.0, AS_LOS_NETTOS.0])
+            } else {
+                AsPath::from_u32s([
+                    AS_CALREN.0,
+                    AS_CENIC.0,
+                    AS_KDDI.0,
+                    7660 + rng.gen_range(0..40),
+                ])
+            };
+            let attrs = PathAttributes::new(hop90(), path)
+                .with_community(cenic_community())
+                .with_community(i2_community())
+                .with_local_pref(100);
+            routes.push(Route {
+                prefix,
+                peer: peer200(),
+                attrs,
+                time: t,
+            });
+        }
+
+        // §IV-B: the two backdoor prefixes straight to AT&T.
+        for i in 0..n_backdoor {
+            let prefix = Prefix::from_octets(12, 200 + i as u8, 0, 0, 16);
+            let path = AsPath::from_u32s([AS_ATT.0, 13_979]);
+            let attrs = PathAttributes::new(hop157(), path).with_local_pref(100);
+            routes.push(Route {
+                prefix,
+                peer: peer222(),
+                attrs,
+                time: t,
+            });
+        }
+
+        routes
+    }
+
+    /// The subset of routes carrying `community` — TAMP's "any set of
+    /// routes" selection used for Figure 6.
+    pub fn routes_with_community(&self, community: Community) -> Vec<Route> {
+        self.routes()
+            .into_iter()
+            .filter(|r| r.attrs.has_community(community))
+            .collect()
+    }
+
+    /// The edge routers' parsed configurations (for §III-D.1 correlation).
+    pub fn edge_configs(&self) -> std::collections::BTreeMap<PeerId, ConfigDocument> {
+        let mut configs = std::collections::BTreeMap::new();
+        configs.insert(
+            peer3(),
+            parse_config(
+                r#"
+router bgp 25
+ neighbor 128.32.0.66 route-map CALREN-IN in
+ neighbor 128.32.0.70 route-map CALREN-IN in
+ip community-list COMMODITY permit 11423:65350
+route-map CALREN-IN permit 10
+ match community COMMODITY
+ set local-preference 80
+route-map CALREN-IN deny 30
+"#,
+            )
+            .expect("static config parses"),
+        );
+        configs.insert(
+            peer200(),
+            parse_config(
+                r#"
+router bgp 25
+ neighbor 128.32.0.90 route-map CALREN-ALL in
+ip community-list COMMODITY permit 11423:65350
+route-map CALREN-ALL permit 10
+ match community COMMODITY
+ set local-preference 70
+route-map CALREN-ALL permit 20
+"#,
+            )
+            .expect("static config parses"),
+        );
+        configs
+    }
+
+    /// Number of prefixes the §IV-D leak moves (30,000 at full scale).
+    pub fn leak_prefix_count(&self) -> usize {
+        ((30_000.0 * self.scale) as usize).max(20)
+    }
+
+    /// Simulates the §IV-D leaked-routes incident and returns the
+    /// collector's augmented event stream.
+    ///
+    /// Mechanics (all emergent from the simulated policies):
+    /// CalREN prefers routes from its HPR peering (LOCAL_PREF 200). When HPR
+    /// starts leaking paths to the commodity prefixes, CalREN's routers
+    /// switch to the 6-AS-hop leaked path and re-export it to Berkeley —
+    /// *without* the `11423:65350` commodity tag, because the routes were
+    /// not heard from QWest. Router 128.32.1.3 only accepts commodity-tagged
+    /// routes, so it withdraws; 128.32.1.200 accepts the untagged route at
+    /// LOCAL_PREF 100, beating its LOCAL_PREF-70 QWest path. The leak is
+    /// injected twice, as in the paper's 500k-event incident.
+    pub fn leak_incident(&self) -> IncidentStream {
+        let n = self.leak_prefix_count();
+        let p3 = peer3().router_id();
+        let p200 = peer200().router_id();
+        let calren66 = hop66();
+        let calren70 = hop70();
+        let calren90 = hop90();
+        let qwest = RouterId::from_octets(205, 171, 0, 1);
+        let hpr = RouterId::from_octets(137, 164, 0, 1);
+
+        let calren_config = parse_config(
+            r#"
+router bgp 11423
+ neighbor 205.171.0.1 route-map FROM-QWEST in
+ neighbor 137.164.0.1 route-map FROM-HPR in
+route-map FROM-QWEST permit 10
+ set community 11423:65350 additive
+route-map FROM-HPR permit 10
+ set local-preference 200
+"#,
+        )
+        .expect("static config parses");
+
+        let mut sim = SimBuilder::new(self.seed)
+            .router(p3, AS_BERKELEY)
+            .router(p200, AS_BERKELEY)
+            .router(calren66, AS_CALREN)
+            .router(calren70, AS_CALREN)
+            .router(calren90, AS_CALREN)
+            .router(qwest, AS_QWEST)
+            .router(hpr, AS_CALREN_HPR)
+            .session(p3, calren66, SessionKind::Ebgp)
+            .session(p3, calren70, SessionKind::Ebgp)
+            .session(p200, calren90, SessionKind::Ebgp)
+            .session(calren66, qwest, SessionKind::Ebgp)
+            .session(calren70, qwest, SessionKind::Ebgp)
+            .session(calren90, qwest, SessionKind::Ebgp)
+            .session(calren66, hpr, SessionKind::Ebgp)
+            .session(calren70, hpr, SessionKind::Ebgp)
+            .session(calren90, hpr, SessionKind::Ebgp)
+            .monitor(p3)
+            .monitor(p200)
+            .config(calren66, calren_config.clone())
+            .config(calren70, calren_config.clone())
+            .config(calren90, calren_config)
+            .config(
+                p3,
+                self.edge_configs().remove(&peer3()).expect("config exists"),
+            )
+            .config(
+                p200,
+                self.edge_configs().remove(&peer200()).expect("config exists"),
+            )
+            .build();
+
+        // QWest originates the commodity prefixes (with realistic fan-out
+        // tails so Berkeley sees 11423 209 T …).
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD00D);
+        let prefixes: Vec<Prefix> = (0..n).map(|i| self.prefix(i)).collect();
+        for &prefix in &prefixes {
+            let t1 = TIER1_FANOUT[rng.gen_range(0..TIER1_FANOUT.len())];
+            let tail = AsPath::from_u32s([t1]);
+            sim.originate_with(
+                qwest,
+                prefix,
+                PathAttributes::new(qwest, tail),
+                Timestamp::ZERO,
+            );
+        }
+        sim.run_until(Timestamp::from_secs(60));
+
+        // The leak, twice: HPR suddenly has (and prefers to export) paths to
+        // all commodity prefixes via PCH/AlphaNAP/SDSC/CENIC/Level3. The
+        // LOCAL_PREF makes HPR prefer its own (leaked) routes over the
+        // CalREN routes it hears — which is what real leakers do; the
+        // preference is local and never crosses the EBGP boundary.
+        let leak_path: AsPath = "10927 1909 195 2152 3356".parse().expect("static path");
+        let leak_attrs = PathAttributes::new(hpr, leak_path).with_local_pref(200);
+        Injector::leak(
+            &mut sim,
+            hpr,
+            &prefixes,
+            leak_attrs.clone(),
+            Timestamp::from_secs(120),
+            Some(Timestamp::from_secs(600)),
+        );
+        Injector::leak(
+            &mut sim,
+            hpr,
+            &prefixes,
+            leak_attrs,
+            Timestamp::from_secs(1_200),
+            Some(Timestamp::from_secs(1_800)),
+        );
+        sim.run_to_completion();
+
+        let output = sim.finish();
+        let stream = augment(output.collector_feed);
+        IncidentStream {
+            stream,
+            igp: output.igp_log,
+            stats: output.stats,
+            description: format!(
+                "§IV-D leaked routes: {n} prefixes moved to the 6-AS-hop leaked path twice; \
+                 128.32.1.3 stopped announcing (community/LOCAL_PREF interaction)"
+            ),
+        }
+    }
+
+    /// The exact Figure 4 withdrawal listing, as an event stream.
+    pub fn figure4_events() -> bgpscope_bgp::EventStream {
+        bgpscope_mrt::text_to_events(FIGURE4_TEXT).expect("static figure text parses")
+    }
+}
+
+/// The ten withdrawals of Figure 4, verbatim.
+pub const FIGURE4_TEXT: &str = "\
+W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 701 1299 5713 PREFIX: 192.96.10.0/24
+W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 11422 209 4519 PREFIX: 207.191.23.0/24
+W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 701 1299 5713 PREFIX: 192.96.10.0/24
+W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 1239 3228 21408 PREFIX: 212.22.132.0/23
+W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 701 705 PREFIX: 203.14.156.0/24
+W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 11422 209 1239 3602 PREFIX: 209.5.188.0/24
+W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 7018 13606 PREFIX: 12.2.41.0/24
+W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 7018 13606 PREFIX: 12.96.77.0/24
+W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 1239 5400 15410 PREFIX: 62.80.64.0/20
+W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 1239 5400 15410 PREFIX: 62.80.64.0/20
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_tamp::{prune_flat, GraphBuilder, RouteInput};
+
+    #[test]
+    fn scale_counts_match_paper() {
+        let b = Berkeley::new();
+        let routes = b.routes();
+        let prefixes: std::collections::HashSet<Prefix> =
+            routes.iter().map(|r| r.prefix).collect();
+        assert!(
+            (12_000..13_200).contains(&prefixes.len()),
+            "prefixes: {}",
+            prefixes.len()
+        );
+        assert!(
+            (21_000..25_000).contains(&routes.len()),
+            "routes: {}",
+            routes.len()
+        );
+        // 13 nexthops at full scale.
+        let hops: std::collections::HashSet<RouterId> =
+            routes.iter().map(|r| r.attrs.next_hop).collect();
+        assert_eq!(hops.len(), 13, "nexthops: {hops:?}");
+        // 4 edge routers.
+        let peers: std::collections::HashSet<PeerId> = routes.iter().map(|r| r.peer).collect();
+        assert_eq!(peers.len(), 4);
+    }
+
+    #[test]
+    fn figure2_shares() {
+        let b = Berkeley::small();
+        let routes = b.routes();
+        let mut builder = GraphBuilder::new("Berkeley");
+        for r in &routes {
+            builder.add(RouteInput::from_route(r));
+        }
+        let g = builder.finish();
+        let total = g.total_prefix_count() as f64;
+
+        // 100% through CalREN.
+        let calren_edge = g.find_edge_by_labels("11423", "209").expect("CalREN-QWest edge");
+        let qwest_share = g.edge_weight(calren_edge) as f64 / total;
+        assert!(
+            (0.75..0.92).contains(&qwest_share),
+            "QWest share {qwest_share}"
+        );
+        // ~6% Abilene.
+        let abilene = g.find_edge_by_labels("11423", "11537").expect("Abilene edge");
+        let ab_share = g.edge_weight(abilene) as f64 / total;
+        assert!((0.03..0.10).contains(&ab_share), "Abilene share {ab_share}");
+
+        // §IV-A: the skewed 78%/5% split is visible on the two nexthop edges.
+        let e66 = g
+            .find_edge_by_labels("128.32.0.66", "11423")
+            .expect("hop66 edge");
+        let e70 = g
+            .find_edge_by_labels("128.32.0.70", "11423")
+            .expect("hop70 edge");
+        let share66 = g.edge_weight(e66) as f64 / total;
+        let share70 = g.edge_weight(e70) as f64 / total;
+        assert!((0.70..0.85).contains(&share66), "share66 {share66}");
+        assert!((0.02..0.09).contains(&share70), "share70 {share70}");
+    }
+
+    #[test]
+    fn backdoor_survives_hierarchical_pruning_only() {
+        use bgpscope_tamp::{prune_hierarchical, PruneConfig};
+        let b = Berkeley::small();
+        let mut builder = GraphBuilder::new("Berkeley");
+        for r in &b.routes() {
+            builder.add(RouteInput::from_route(r));
+        }
+        let g = builder.finish();
+        let flat = prune_flat(&g, 0.05);
+        assert!(flat.find_edge_by_labels("169.229.0.157", "7018").is_none());
+        let h = prune_hierarchical(&g, &PruneConfig::hierarchical(0.05));
+        assert!(h.find_edge_by_labels("169.229.0.157", "7018").is_some());
+    }
+
+    #[test]
+    fn mistag_shares_32_68() {
+        let b = Berkeley::new();
+        let tagged = b.routes_with_community(cenic_community());
+        assert!(!tagged.is_empty());
+        let los = tagged
+            .iter()
+            .filter(|r| r.attrs.as_path.contains(AS_LOS_NETTOS))
+            .count();
+        let kddi = tagged
+            .iter()
+            .filter(|r| r.attrs.as_path.contains(AS_KDDI))
+            .count();
+        assert_eq!(los + kddi, tagged.len());
+        let los_share = los as f64 / tagged.len() as f64;
+        assert!((0.28..0.36).contains(&los_share), "Los Nettos share {los_share}");
+    }
+
+    #[test]
+    fn figure4_parses_to_ten_withdrawals() {
+        let s = Berkeley::figure4_events();
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|e| e.kind == bgpscope_bgp::EventKind::Withdraw));
+    }
+}

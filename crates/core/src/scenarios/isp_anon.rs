@@ -1,0 +1,440 @@
+//! The anonymized Tier-1 ISP scenario (§II, §IV-E, §IV-F, Figure 8).
+//!
+//! At full scale the static table matches the paper's late-June 2002
+//! snapshot: ~200,000 prefixes and ~1.5 million routes observed across a
+//! route-reflector mesh (the paper saw 67 RRs, ~9,150 nexthops, ~850
+//! neighbor ASes). The dynamic incidents are simulated:
+//!
+//! * **§IV-E** — a customer whose direct session drops and re-establishes
+//!   about once a minute; each flap fails everything over to 3-AS-hop
+//!   alternates through whichever Tier-1 each PoP peers with, and back.
+//! * **§IV-F** — a persistent oscillation on one prefix (`4.5.0.0/16`):
+//!   Core2's external route flaps at microsecond scale and Core1 keeps
+//!   switching between its AS1 path and the reflected AS2 path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bgpscope_bgp::{
+    AsPath, Asn, EventStream, PathAttributes, PeerId, Prefix, Route, RouterId, Timestamp,
+};
+use bgpscope_netsim::{FlapSchedule, Injector, SessionKind, SimBuilder};
+
+use super::{augment, IncidentStream};
+use crate::workload::{compose, shift, ChurnGenerator};
+
+/// The ISP's (anonymized) AS number.
+pub const AS_ISP: Asn = Asn(64500);
+
+/// The §IV-F oscillating prefix.
+pub fn oscillating_prefix() -> Prefix {
+    Prefix::from_octets(4, 5, 0, 0, 16)
+}
+
+/// The ISP-Anon scenario generator.
+#[derive(Debug, Clone)]
+pub struct IspAnon {
+    /// Size multiplier; 1.0 reproduces the paper's June 2002 counts.
+    pub scale: f64,
+    /// Seed for all randomized choices.
+    pub seed: u64,
+}
+
+impl Default for IspAnon {
+    fn default() -> Self {
+        IspAnon::new()
+    }
+}
+
+impl IspAnon {
+    /// Full scale (~200k prefixes / ~1.5M routes).
+    pub fn new() -> Self {
+        IspAnon {
+            scale: 1.0,
+            seed: 0x15A0,
+        }
+    }
+
+    /// A test-sized instance (~0.5% scale).
+    pub fn small() -> Self {
+        IspAnon {
+            scale: 0.005,
+            seed: 0x15A0,
+        }
+    }
+
+    /// A scaled instance (Table I(b) uses 0.1, 0.5 and 1.0).
+    pub fn with_scale(scale: f64) -> Self {
+        IspAnon {
+            scale,
+            seed: 0x15A0,
+        }
+    }
+
+    /// Total prefixes at this scale.
+    pub fn total_prefixes(&self) -> usize {
+        ((200_000.0 * self.scale) as usize).max(100)
+    }
+
+    /// Route reflectors at this scale (67 at full scale, per the paper).
+    pub fn reflector_count(&self) -> usize {
+        ((67.0 * self.scale.sqrt()) as usize).clamp(4, 67)
+    }
+
+    /// Nexthop pool size (~9,150 at full scale).
+    pub fn nexthop_count(&self) -> usize {
+        ((9_150.0 * self.scale) as usize).max(20)
+    }
+
+    /// Neighbor-AS pool size (~850 at full scale).
+    pub fn neighbor_as_count(&self) -> usize {
+        ((850.0 * self.scale) as usize).max(10)
+    }
+
+    fn prefix(&self, index: usize) -> Prefix {
+        Prefix::from_octets(
+            16 + ((index >> 16) & 0x3F) as u8,
+            ((index >> 8) & 0xFF) as u8,
+            (index & 0xFF) as u8,
+            0,
+            24,
+        )
+    }
+
+    /// An iterator over the full RIB snapshot (~7.5 routes per prefix at
+    /// full scale — one per subset of reflectors that saw the prefix).
+    ///
+    /// Generated lazily: 1.5 M routes would be ~300 MB as a `Vec`; the
+    /// Table I TAMP-picture benchmark feeds this straight into a
+    /// `GraphBuilder`.
+    pub fn routes_iter(&self) -> impl Iterator<Item = Route> + '_ {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total = self.total_prefixes();
+        let reflectors = self.reflector_count();
+        let nexthops = self.nexthop_count();
+        let neighbors = self.neighbor_as_count();
+        let routes_per_prefix = 7.5f64;
+
+        (0..total).flat_map(move |i| {
+            let prefix = self.prefix(i);
+            // Pick how many reflectors advertise this prefix (mean ~7.5).
+            let copies = 1 + rng.gen_range(0..(routes_per_prefix * 2.0 - 1.0) as usize + 1)
+                .min(reflectors);
+            // A prefix usually enters via a small number of border nexthops.
+            let hop_a = rng.gen_range(0..nexthops) as u32;
+            let hop_b = rng.gen_range(0..nexthops) as u32;
+            let neighbor = 100 + rng.gen_range(0..neighbors) as u32;
+            let origin = 30_000 + rng.gen_range(0..20_000);
+            let mid = 1_000 + rng.gen_range(0..5_000);
+            let long = rng.gen_bool(0.4);
+            let mut out = Vec::with_capacity(copies);
+            for c in 0..copies {
+                let rr = rng.gen_range(0..reflectors) as u32;
+                let peer = PeerId(RouterId(0x0A00_0000 + rr)); // 10.0.x.x RRs
+                let hop = RouterId(0x0B00_0000 + if c % 2 == 0 { hop_a } else { hop_b });
+                let asns: Vec<u32> = if long {
+                    vec![neighbor, mid, origin]
+                } else {
+                    vec![neighbor, origin]
+                };
+                let attrs = PathAttributes::new(hop, AsPath::from_u32s(asns));
+                out.push(Route {
+                    prefix,
+                    peer,
+                    attrs,
+                    time: Timestamp::ZERO,
+                });
+            }
+            out
+        })
+    }
+
+    /// Simulates the §IV-E continuous customer flap for `cycles` cycles
+    /// across `pops` PoPs and returns the collector stream.
+    ///
+    /// Topology: the customer has a direct session to PoP 1's access router
+    /// and a backup through a NAP that every Tier-1 reaches; each PoP peers
+    /// with a different Tier-1, so each flap makes different PoPs announce
+    /// different 3-AS-hop alternates — lots of distinct paths, exactly the
+    /// paper's convergence story.
+    pub fn customer_flap_incident(&self, pops: usize, cycles: u32) -> IncidentStream {
+        let pops = pops.clamp(2, 16);
+        let customer_as = Asn(7777);
+        let nap_as = Asn(500);
+        let cust = RouterId::from_octets(1, 0, 0, 1);
+        let nap = RouterId::from_octets(1, 0, 0, 2);
+        let rr = |i: usize| RouterId::from_octets(10, 0, i as u8 + 1, 1);
+        let acc = |i: usize| RouterId::from_octets(10, 0, i as u8 + 1, 2);
+        let tier1 = |i: usize| RouterId::from_octets(5, 0, 0, i as u8 + 1);
+
+        let mut builder = SimBuilder::new(self.seed)
+            .router(cust, customer_as)
+            .router(nap, nap_as);
+        for i in 0..pops {
+            builder = builder
+                .router(rr(i), AS_ISP)
+                .router(acc(i), AS_ISP)
+                .router(tier1(i), Asn(1 + i as u32))
+                .session(rr(i), acc(i), SessionKind::IbgpClient)
+                .session(acc(i), tier1(i), SessionKind::Ebgp)
+                .session(tier1(i), nap, SessionKind::Ebgp)
+                .monitor(rr(i));
+        }
+        // Full RR mesh.
+        for i in 0..pops {
+            for j in (i + 1)..pops {
+                builder = builder.session(rr(i), rr(j), SessionKind::Ibgp);
+            }
+        }
+        // The direct customer link at PoP 1.
+        builder = builder.session(cust, acc(0), SessionKind::Ebgp);
+        // The customer's NAP backup.
+        builder = builder.session(cust, nap, SessionKind::Ebgp);
+
+        let mut sim = builder.build();
+        // The customer's prefixes (a handful, as usual for a customer).
+        let n_prefixes = ((4.0 * self.scale.max(0.25)) as usize).clamp(2, 16);
+        for i in 0..n_prefixes {
+            sim.originate(cust, Prefix::from_octets(6, i as u8, 0, 0, 16), Timestamp::ZERO);
+        }
+        sim.run_until(Timestamp::from_secs(30));
+
+        Injector::session_flap(
+            &mut sim,
+            cust,
+            acc(0),
+            FlapSchedule::customer_flap(Timestamp::from_secs(60), cycles),
+        );
+        sim.run_to_completion();
+
+        let output = sim.finish();
+        let stream = augment(output.collector_feed);
+        IncidentStream {
+            stream,
+            igp: output.igp_log,
+            stats: output.stats,
+            description: format!(
+                "§IV-E continuous customer flap: {cycles} one-minute cycles across {pops} PoPs"
+            ),
+        }
+    }
+
+    /// Simulates the §IV-F persistent oscillation for `cycles`
+    /// announce/withdraw cycles of `period` each (the paper observed ~10 µs
+    /// cycles sustained for five days; scale `cycles` accordingly).
+    pub fn med_oscillation_incident(&self, cycles: u32, period: Timestamp) -> IncidentStream {
+        let core1a = RouterId::from_octets(10, 0, 1, 1);
+        let core1b = RouterId::from_octets(10, 0, 1, 2);
+        let core2a = RouterId::from_octets(10, 0, 2, 1);
+        let core2b = RouterId::from_octets(10, 0, 2, 2);
+        let as1 = RouterId::from_octets(192, 0, 2, 1);
+        let as2a = RouterId::from_octets(192, 0, 2, 2);
+        let as2b = RouterId::from_octets(192, 0, 2, 3);
+        let prefix = oscillating_prefix();
+
+        let cores = [core1a, core1b, core2a, core2b];
+        let mut builder = SimBuilder::new(self.seed)
+            // Session delays far below the flap period so switches keep up.
+            .default_delay(Timestamp::from_micros(period.as_micros().max(10) / 10));
+        for &c in &cores {
+            builder = builder.router(c, AS_ISP).monitor(c);
+        }
+        builder = builder
+            .router(as1, Asn(1))
+            .router(as2a, Asn(2))
+            .router(as2b, Asn(2));
+        for i in 0..cores.len() {
+            for j in (i + 1)..cores.len() {
+                builder = builder.session(cores[i], cores[j], SessionKind::Ibgp);
+            }
+        }
+        builder = builder
+            .session(as1, core1a, SessionKind::Ebgp)
+            .session(as1, core1b, SessionKind::Ebgp)
+            .session(as2a, core2a, SessionKind::Ebgp)
+            .session(as2b, core2b, SessionKind::Ebgp);
+        let mut sim = builder.build();
+        sim.jitter_max_micros = (period.as_micros() / 20).max(1);
+
+        // The stable AS1 path. The origin (AS9) prepends on its AS1 link, so
+        // the AS1 path is longer and the flapping AS2 path wins whenever it
+        // exists — the precondition for the switching.
+        sim.originate_with(
+            as1,
+            prefix,
+            PathAttributes::new(as1, "9 9".parse().expect("static path")).with_med(50),
+            Timestamp::ZERO,
+        );
+        sim.run_until(Timestamp::from_secs(1));
+
+        // Core2-a/b's AS2 routes flap; the two links carry different MEDs,
+        // so while both are up MED picks between them, and each transition
+        // makes Core1-a/b reselect.
+        for (router, med) in [(as2a, 10u32), (as2b, 20u32)] {
+            Injector::route_flap(
+                &mut sim,
+                router,
+                prefix,
+                PathAttributes::new(router, "9".parse().expect("static path")).with_med(med),
+                FlapSchedule {
+                    start: Timestamp::from_secs(2),
+                    period,
+                    down_time: Timestamp(period.as_micros() / 2),
+                    count: cycles,
+                },
+            );
+        }
+        sim.run_to_completion();
+
+        let output = sim.finish();
+        let stream = augment(output.collector_feed);
+        IncidentStream {
+            stream,
+            igp: output.igp_log,
+            stats: output.stats,
+            description: format!(
+                "§IV-F persistent oscillation on {prefix}: {cycles} cycles of {period}"
+            ),
+        }
+    }
+
+    /// A composed long-run stream for Figure 8 / Table I(b): background
+    /// churn ("grass") plus session-reset spikes plus a long-lived customer
+    /// flap, over `days` days, targeting roughly `target_events` events.
+    pub fn long_run_stream(&self, days: u64, target_events: usize) -> EventStream {
+        let span = Timestamp::from_secs(days * 86_400);
+        // ~60% of the volume is grass, the rest incidents.
+        let churn = ChurnGenerator::generic(self.seed, self.total_prefixes().min(20_000));
+        let background = churn.events(Timestamp::ZERO, span, target_events * 6 / 10);
+
+        let mut incidents = Vec::new();
+        // A long-lived customer flap covering half the period (the §IV-E
+        // "grass-level" anomaly).
+        let flap_cycles = ((target_events / 10) as u32 / 25).clamp(10, 2_000);
+        let flap = self.customer_flap_incident(3, flap_cycles);
+        incidents.push(shift(&flap.stream, Timestamp::from_secs(days * 86_400 / 4)));
+
+        // Session-reset spikes spread across the period.
+        let spike_count = 4usize;
+        let spike_events = target_events * 3 / 10 / spike_count;
+        for s in 0..spike_count {
+            let burst = self.reset_spike(spike_events, s as u64);
+            incidents.push(shift(
+                &burst,
+                Timestamp::from_secs((s as u64 + 1) * days * 86_400 / (spike_count as u64 + 1)),
+            ));
+        }
+        compose(background, incidents)
+    }
+
+    /// One synthetic session-reset spike of roughly `n` events (withdrawal
+    /// storm + re-announcement), built through the collector path.
+    fn reset_spike(&self, n: usize, salt: u64) -> EventStream {
+        let peer = PeerId::from_octets(10, 0, 0, (salt % 200) as u8 + 1);
+        let hop = RouterId::from_octets(11, 0, 0, (salt % 200) as u8 + 1);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ salt);
+        let per_prefix = 2; // withdraw + re-announce
+        let prefixes = (n / per_prefix).max(1);
+        let mut rex = bgpscope_collector::Collector::new();
+        let mut stream = EventStream::new();
+        let neighbor = 100 + rng.gen_range(0..800);
+        for i in 0..prefixes {
+            let prefix = self.prefix(i + 50_000 + salt as usize * 101);
+            let attrs = PathAttributes::new(
+                hop,
+                AsPath::from_u32s([neighbor, 30_000 + rng.gen_range(0..10_000)]),
+            );
+            let up = bgpscope_bgp::UpdateMessage::announce(peer, attrs, [prefix]);
+            stream.extend(rex.apply_update(&up, Timestamp::ZERO));
+        }
+        // The reset: mass withdrawal at t=60, table re-exchange at t=120.
+        let table: Vec<_> = rex.snapshot(Timestamp::ZERO);
+        for r in &table {
+            let wd = bgpscope_bgp::UpdateMessage::withdraw(peer, [r.prefix]);
+            stream.extend(rex.apply_update(&wd, Timestamp::from_secs(60)));
+        }
+        for r in &table {
+            let up = bgpscope_bgp::UpdateMessage::announce(peer, r.attrs.clone(), [r.prefix]);
+            stream.extend(rex.apply_update(&up, Timestamp::from_secs(120)));
+        }
+        stream.sort_by_time();
+        stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_stemming::Stemming;
+
+    #[test]
+    fn route_counts_scale() {
+        let isp = IspAnon::with_scale(0.01);
+        let routes: Vec<Route> = isp.routes_iter().collect();
+        let prefixes: std::collections::HashSet<Prefix> =
+            routes.iter().map(|r| r.prefix).collect();
+        assert_eq!(prefixes.len(), isp.total_prefixes());
+        let ratio = routes.len() as f64 / prefixes.len() as f64;
+        assert!((4.0..11.0).contains(&ratio), "routes/prefix {ratio}");
+    }
+
+    #[test]
+    fn customer_flap_produces_alternate_paths() {
+        let isp = IspAnon::small();
+        let incident = isp.customer_flap_incident(3, 5);
+        assert!(!incident.is_empty());
+        // Direct path ("7777") and 3-hop alternates ("tX 500 7777") both
+        // appear in the stream.
+        let direct = incident
+            .stream
+            .iter()
+            .filter(|e| e.attrs.as_path.hop_count() == 1)
+            .count();
+        let alternates = incident
+            .stream
+            .iter()
+            .filter(|e| e.attrs.as_path.hop_count() == 3)
+            .count();
+        assert!(direct > 0, "no direct-path events");
+        assert!(alternates > 0, "no alternate-path events");
+        // Stemming pins the component on the customer's prefixes.
+        let result = Stemming::new().decompose(&incident.stream);
+        assert!(!result.components().is_empty());
+        let top = &result.components()[0];
+        assert!(top.prefixes.iter().all(|p| p.addr() >> 24 == 6));
+    }
+
+    #[test]
+    fn oscillation_dominated_by_one_prefix() {
+        let isp = IspAnon::small();
+        let incident = isp.med_oscillation_incident(40, Timestamp::from_millis(20));
+        assert!(incident.len() >= 80, "events: {}", incident.len());
+        let osc = incident
+            .stream
+            .iter()
+            .filter(|e| e.prefix == oscillating_prefix())
+            .count();
+        assert!(
+            osc as f64 >= 0.95 * incident.len() as f64,
+            "{osc}/{} on the oscillating prefix",
+            incident.len()
+        );
+        let result = Stemming::new().decompose(&incident.stream);
+        let top = &result.components()[0];
+        assert_eq!(top.prefix_count(), 1);
+        assert!(top.prefixes.contains(&oscillating_prefix()));
+    }
+
+    #[test]
+    fn long_run_stream_shape() {
+        let isp = IspAnon::small();
+        let stream = isp.long_run_stream(30, 20_000);
+        assert!(stream.len() >= 15_000, "events: {}", stream.len());
+        // Time-sorted, spanning most of the month.
+        assert!(stream
+            .events()
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+        assert!(stream.timerange() >= Timestamp::from_secs(20 * 86_400));
+    }
+}

@@ -1,0 +1,197 @@
+//! Workload generation: background churn and stream composition.
+//!
+//! Figure 8's "grass" — the low-grade BGP churn every real network shows —
+//! and the bulk event volumes of Table I need a background workload around
+//! the simulated incidents. The generator draws from a pool of plausible
+//! (peer, nexthop, AS path, prefix) tuples and emits announce/withdraw and
+//! path-change events with seeded randomness, so workloads are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bgpscope_bgp::{
+    AsPath, Event, EventStream, PathAttributes, PeerId, Prefix, RouterId, Timestamp,
+};
+
+/// Reproducible background-churn generator.
+#[derive(Debug, Clone)]
+pub struct ChurnGenerator {
+    seed: u64,
+    peers: Vec<PeerId>,
+    nexthops: Vec<RouterId>,
+    /// Pool of AS paths churned over.
+    paths: Vec<AsPath>,
+    /// Pool of prefixes the churn touches.
+    prefixes: Vec<Prefix>,
+}
+
+impl ChurnGenerator {
+    /// A generator over explicit pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pool is empty.
+    pub fn new(
+        seed: u64,
+        peers: Vec<PeerId>,
+        nexthops: Vec<RouterId>,
+        paths: Vec<AsPath>,
+        prefixes: Vec<Prefix>,
+    ) -> Self {
+        assert!(!peers.is_empty(), "need at least one peer");
+        assert!(!nexthops.is_empty(), "need at least one nexthop");
+        assert!(!paths.is_empty(), "need at least one path");
+        assert!(!prefixes.is_empty(), "need at least one prefix");
+        ChurnGenerator {
+            seed,
+            peers,
+            nexthops,
+            paths,
+            prefixes,
+        }
+    }
+
+    /// A generic pool: `n_prefixes` prefixes under `16.0.0.0/4`-ish space,
+    /// a few peers/nexthops, and a mix of 2–5-hop paths.
+    pub fn generic(seed: u64, n_prefixes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let peers = (1..=4u8).map(|i| PeerId::from_octets(10, 0, 0, i)).collect();
+        let nexthops = (1..=6u8)
+            .map(|i| RouterId::from_octets(10, 1, 0, i))
+            .collect();
+        let mut paths = Vec::new();
+        for _ in 0..32 {
+            let len = rng.gen_range(2..=5);
+            paths.push(AsPath::from_u32s(
+                (0..len).map(|_| rng.gen_range(100..30_000)),
+            ));
+        }
+        let prefixes = (0..n_prefixes)
+            .map(|i| {
+                Prefix::from_octets(
+                    64 + ((i >> 16) & 0x3F) as u8,
+                    ((i >> 8) & 0xFF) as u8,
+                    (i & 0xFF) as u8,
+                    0,
+                    24,
+                )
+            })
+            .collect();
+        ChurnGenerator::new(seed, peers, nexthops, paths, prefixes)
+    }
+
+    /// Generates `count` churn events spread uniformly over
+    /// `[start, start + span)`, time-sorted.
+    ///
+    /// Each pick is a prefix with a random peer/nexthop/path; withdrawals and
+    /// announcements alternate per prefix so streams stay plausible (you
+    /// cannot withdraw what was never announced — the first event per prefix
+    /// is always an announcement).
+    pub fn events(&self, start: Timestamp, span: Timestamp, count: usize) -> EventStream {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut announced = vec![false; self.prefixes.len()];
+        let mut times: Vec<u64> = (0..count)
+            .map(|_| rng.gen_range(0..span.as_micros().max(1)))
+            .collect();
+        times.sort_unstable();
+
+        let mut stream = EventStream::new();
+        for t in times {
+            let pi = rng.gen_range(0..self.prefixes.len());
+            let prefix = self.prefixes[pi];
+            let peer = self.peers[rng.gen_range(0..self.peers.len())];
+            let hop = self.nexthops[rng.gen_range(0..self.nexthops.len())];
+            let path = self.paths[rng.gen_range(0..self.paths.len())].clone();
+            let attrs = PathAttributes::new(hop, path);
+            let time = Timestamp(start.as_micros() + t);
+            let event = if announced[pi] && rng.gen_bool(0.4) {
+                announced[pi] = false;
+                Event::withdraw(time, peer, prefix, attrs)
+            } else {
+                announced[pi] = true;
+                Event::announce(time, peer, prefix, attrs)
+            };
+            stream.push(event);
+        }
+        stream
+    }
+}
+
+/// Merges incident streams into a background stream, keeping time order.
+pub fn compose(background: EventStream, incidents: Vec<EventStream>) -> EventStream {
+    let mut all = background;
+    for incident in incidents {
+        all.merge(incident);
+    }
+    all
+}
+
+/// Shifts every event time by `offset` (placing an incident into a longer
+/// timeline).
+pub fn shift(stream: &EventStream, offset: Timestamp) -> EventStream {
+    stream
+        .iter()
+        .map(|e| {
+            let mut e = e.clone();
+            e.time = e.time + offset;
+            e
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::EventKind;
+
+    #[test]
+    fn generic_pool_generates_sorted_count() {
+        let g = ChurnGenerator::generic(1, 100);
+        let s = g.events(Timestamp::from_secs(50), Timestamp::from_secs(3600), 1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s
+            .events()
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+        assert!(s.events().first().unwrap().time >= Timestamp::from_secs(50));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ChurnGenerator::generic(7, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
+        let b = ChurnGenerator::generic(7, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
+        assert_eq!(a, b);
+        let c = ChurnGenerator::generic(8, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn first_event_per_prefix_is_announce() {
+        let g = ChurnGenerator::generic(3, 20);
+        let s = g.events(Timestamp::ZERO, Timestamp::from_secs(600), 500);
+        let mut seen = std::collections::HashSet::new();
+        for e in &s {
+            if seen.insert(e.prefix) {
+                assert_eq!(e.kind, EventKind::Announce, "first event for {}", e.prefix);
+            }
+        }
+    }
+
+    #[test]
+    fn compose_and_shift() {
+        let g = ChurnGenerator::generic(1, 10);
+        let bg = g.events(Timestamp::ZERO, Timestamp::from_secs(100), 50);
+        let incident = g.events(Timestamp::ZERO, Timestamp::from_secs(10), 20);
+        let shifted = shift(&incident, Timestamp::from_secs(500));
+        assert!(shifted.events().first().unwrap().time >= Timestamp::from_secs(500));
+        let all = compose(bg, vec![shifted]);
+        assert_eq!(all.len(), 70);
+        assert!(all.events().windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_pool_panics() {
+        ChurnGenerator::new(0, vec![], vec![RouterId(1)], vec![AsPath::empty()], vec![]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Multi-area link-state routing.
+//!
+//! Berkeley "runs a four-area OSPF as its IGP" and REX "maintains … multiple
+//! adjacencies for a multi-area network" (§II). This module models the OSPF
+//! area system at the level the paper's analysis needs: per-area link-state
+//! databases, area-border routers (ABRs — routers with LSAs in more than one
+//! area), and inter-area shortest paths computed the OSPF way: intra-area
+//! first, otherwise through the backbone (area 0) via ABRs.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::RouterId;
+
+use crate::lsdb::{AreaId, LinkStateDb, Lsa};
+
+/// The backbone area.
+pub const BACKBONE: AreaId = AreaId(0);
+
+/// A collection of per-area link-state databases with inter-area routing.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MultiAreaDb {
+    areas: HashMap<AreaId, LinkStateDb>,
+}
+
+impl MultiAreaDb {
+    /// An empty multi-area database.
+    pub fn new() -> Self {
+        MultiAreaDb::default()
+    }
+
+    /// Installs an LSA into `area` (creating the area on first use).
+    ///
+    /// Returns `true` if the database changed.
+    pub fn install(&mut self, area: AreaId, lsa: Lsa) -> bool {
+        self.areas
+            .entry(area)
+            .or_insert_with(|| LinkStateDb::new(area))
+            .install(lsa)
+    }
+
+    /// The database for one area, if present.
+    pub fn area(&self, area: AreaId) -> Option<&LinkStateDb> {
+        self.areas.get(&area)
+    }
+
+    /// All area ids, in unspecified order.
+    pub fn areas(&self) -> impl Iterator<Item = AreaId> + '_ {
+        self.areas.keys().copied()
+    }
+
+    /// Number of areas.
+    pub fn area_count(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// The areas a router participates in (has an LSA in).
+    pub fn areas_of(&self, router: RouterId) -> Vec<AreaId> {
+        let mut out: Vec<AreaId> = self
+            .areas
+            .iter()
+            .filter(|(_, db)| db.get(router).is_some())
+            .map(|(&a, _)| a)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Area border routers: routers present in two or more areas.
+    pub fn abrs(&self) -> Vec<RouterId> {
+        let mut counts: HashMap<RouterId, usize> = HashMap::new();
+        for db in self.areas.values() {
+            let mut seen = HashSet::new();
+            for lsa in db.iter() {
+                if seen.insert(lsa.origin) {
+                    *counts.entry(lsa.origin).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<RouterId> = counts
+            .into_iter()
+            .filter(|&(_, n)| n >= 2)
+            .map(|(r, _)| r)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The cost from `root` to `dest` across areas.
+    ///
+    /// Intra-area distance when both share an area; otherwise the OSPF
+    /// inter-area rule: `root → ABR₁` in a shared area with the backbone,
+    /// across the backbone to `ABR₂`, then `ABR₂ → dest` — taking the
+    /// cheapest ABR combination. Returns `None` if no such path exists.
+    pub fn cost(&self, root: RouterId, dest: RouterId) -> Option<u32> {
+        let root_areas = self.areas_of(root);
+        let dest_areas = self.areas_of(dest);
+        if root_areas.is_empty() || dest_areas.is_empty() {
+            return None;
+        }
+
+        let mut best: Option<u32> = None;
+        let mut consider = |c: Option<u32>| {
+            if let Some(c) = c {
+                best = Some(best.map_or(c, |b| b.min(c)));
+            }
+        };
+
+        // Intra-area paths in every shared area.
+        for &a in &root_areas {
+            if dest_areas.contains(&a) {
+                let spf = self.areas[&a].spf(root);
+                consider(spf.cost(dest));
+            }
+        }
+
+        // Inter-area via the backbone.
+        if let Some(backbone) = self.areas.get(&BACKBONE) {
+            // Distances from root to every ABR reachable inside root's areas.
+            let abrs = self.abrs();
+            let mut to_abr1: HashMap<RouterId, u32> = HashMap::new();
+            for &a in &root_areas {
+                let spf = self.areas[&a].spf(root);
+                for &abr in &abrs {
+                    if self.areas_of(abr).contains(&BACKBONE) {
+                        if let Some(c) = spf.cost(abr) {
+                            let e = to_abr1.entry(abr).or_insert(c);
+                            *e = (*e).min(c);
+                        }
+                    }
+                }
+            }
+            // Distances from each dest-area ABR to dest.
+            let mut from_abr2: HashMap<RouterId, u32> = HashMap::new();
+            for &a in &dest_areas {
+                for &abr in &abrs {
+                    if self.areas_of(abr).contains(&BACKBONE) && self.areas_of(abr).contains(&a) {
+                        let spf = self.areas[&a].spf(abr);
+                        if let Some(c) = spf.cost(dest) {
+                            let e = from_abr2.entry(abr).or_insert(c);
+                            *e = (*e).min(c);
+                        }
+                    }
+                }
+            }
+            // Combine across the backbone.
+            for (&abr1, &c1) in &to_abr1 {
+                let backbone_spf = backbone.spf(abr1);
+                for (&abr2, &c2) in &from_abr2 {
+                    let c0 = if abr1 == abr2 {
+                        Some(0)
+                    } else {
+                        backbone_spf.cost(abr2)
+                    };
+                    consider(c0.map(|c0| c1.saturating_add(c0).saturating_add(c2)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Costs from `root` to every router of every area it can reach —
+    /// the multi-area equivalent of [`crate::SpfResult::to_cost_map`],
+    /// suitable for `bgpscope_bgp::DecisionConfig::igp_cost`.
+    pub fn cost_map(&self, root: RouterId) -> HashMap<RouterId, u32> {
+        let mut all_routers = HashSet::new();
+        for db in self.areas.values() {
+            for lsa in db.iter() {
+                all_routers.insert(lsa.origin);
+            }
+        }
+        let mut out = HashMap::new();
+        for dest in all_routers {
+            if let Some(c) = self.cost(root, dest) {
+                out.insert(dest, c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsdb::Link;
+
+    fn r(n: u8) -> RouterId {
+        RouterId::from_octets(10, 0, 0, n)
+    }
+
+    /// Installs a symmetric link in one area.
+    fn link(db: &mut MultiAreaDb, area: u32, a: u8, b: u8, metric: u32, seq: u64) {
+        // Re-read existing links so repeated calls accumulate.
+        let existing_a: Vec<Link> = db
+            .area(AreaId(area))
+            .and_then(|d| d.get(r(a)))
+            .map(|l| l.links.clone())
+            .unwrap_or_default();
+        let existing_b: Vec<Link> = db
+            .area(AreaId(area))
+            .and_then(|d| d.get(r(b)))
+            .map(|l| l.links.clone())
+            .unwrap_or_default();
+        let mut la = existing_a;
+        la.push(Link::new(r(b), metric));
+        let mut lb = existing_b;
+        lb.push(Link::new(r(a), metric));
+        db.install(AreaId(area), Lsa::new(r(a), seq, la));
+        db.install(AreaId(area), Lsa::new(r(b), seq, lb));
+    }
+
+    /// Backbone: 1-2; area 1: 2-3; area 2: 2-4 with ABR 2.
+    #[test]
+    fn inter_area_through_single_abr() {
+        let mut db = MultiAreaDb::new();
+        link(&mut db, 0, 1, 2, 5, 1);
+        link(&mut db, 1, 2, 3, 7, 1);
+        link(&mut db, 2, 2, 4, 11, 1);
+        assert_eq!(db.area_count(), 3);
+        assert_eq!(db.abrs(), vec![r(2)]);
+        // Same-area costs.
+        assert_eq!(db.cost(r(1), r(2)), Some(5));
+        assert_eq!(db.cost(r(2), r(3)), Some(7));
+        // Cross-area through the ABR: 3 -> 2 (7) -> 4 (11).
+        assert_eq!(db.cost(r(3), r(4)), Some(18));
+        // Backbone to area 1: 1 -> 2 (5) -> 3 (7).
+        assert_eq!(db.cost(r(1), r(3)), Some(12));
+    }
+
+    /// Two ABRs into the backbone; the cheaper combination wins.
+    #[test]
+    fn picks_cheapest_abr_pair() {
+        let mut db = MultiAreaDb::new();
+        // Area 1 has routers 3 (source) connected to ABRs 1 (cost 1) and 2 (cost 10).
+        link(&mut db, 1, 3, 1, 1, 1);
+        link(&mut db, 1, 3, 2, 10, 2);
+        // Backbone: 1-2 cost 100, plus 1-4 cost 1 and 2-4 cost 1 (4 is ABR to area 2).
+        link(&mut db, 0, 1, 2, 100, 1);
+        link(&mut db, 0, 1, 4, 1, 2);
+        link(&mut db, 0, 2, 4, 1, 3);
+        // Area 2: 4-5.
+        link(&mut db, 2, 4, 5, 2, 1);
+        // Best: 3 -> 1 (1) -> 4 (1) -> 5 (2) = 4.
+        assert_eq!(db.cost(r(3), r(5)), Some(4));
+    }
+
+    #[test]
+    fn unreachable_without_backbone_path() {
+        let mut db = MultiAreaDb::new();
+        link(&mut db, 1, 1, 2, 1, 1);
+        link(&mut db, 2, 3, 4, 1, 1);
+        // No shared ABR, no backbone: cross-area is unreachable.
+        assert_eq!(db.cost(r(1), r(3)), None);
+        assert_eq!(db.cost(r(1), r(2)), Some(1));
+        assert!(db.abrs().is_empty());
+    }
+
+    #[test]
+    fn same_router_zero_cost_and_cost_map() {
+        let mut db = MultiAreaDb::new();
+        link(&mut db, 0, 1, 2, 5, 1);
+        link(&mut db, 1, 2, 3, 7, 1);
+        assert_eq!(db.cost(r(1), r(1)), Some(0));
+        let map = db.cost_map(r(1));
+        assert_eq!(map.get(&r(2)), Some(&5));
+        assert_eq!(map.get(&r(3)), Some(&12));
+        assert_eq!(map.get(&r(1)), Some(&0));
+    }
+
+    #[test]
+    fn areas_of_reports_memberships() {
+        let mut db = MultiAreaDb::new();
+        link(&mut db, 0, 1, 2, 5, 1);
+        link(&mut db, 1, 2, 3, 7, 1);
+        assert_eq!(db.areas_of(r(2)), vec![AreaId(0), AreaId(1)]);
+        assert_eq!(db.areas_of(r(3)), vec![AreaId(1)]);
+        assert!(db.areas_of(r(99)).is_empty());
+    }
+
+    /// Four areas, like Berkeley: three leaf areas hanging off a backbone.
+    #[test]
+    fn four_area_campus() {
+        let mut db = MultiAreaDb::new();
+        // Backbone core: routers 1, 2, 3 in a triangle.
+        link(&mut db, 0, 1, 2, 1, 1);
+        link(&mut db, 0, 2, 3, 1, 2);
+        link(&mut db, 0, 1, 3, 1, 3);
+        // Leaf areas 1..3, each behind one core router.
+        link(&mut db, 1, 1, 11, 4, 1);
+        link(&mut db, 2, 2, 12, 4, 1);
+        link(&mut db, 3, 3, 13, 4, 1);
+        assert_eq!(db.area_count(), 4);
+        assert_eq!(db.abrs().len(), 3);
+        // Leaf to leaf: 11 -> 1 (4) -> 2 (1) -> 12 (4) = 9.
+        assert_eq!(db.cost(r(11), r(12)), Some(9));
+        assert_eq!(db.cost(r(12), r(13)), Some(9));
+    }
+}

@@ -1,0 +1,161 @@
+//! Timestamped IGP events, for temporal correlation with BGP incidents.
+//!
+//! §III-D.3: "The volume of IGP routing messages … is multiple orders of
+//! magnitude lower than BGP. This makes it convenient to correlate LSAs with
+//! a BGP incident after the incident is discovered."
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::{RouterId, Timestamp};
+
+use crate::lsdb::Lsa;
+
+/// What an IGP event describes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IgpEventKind {
+    /// A new or refreshed LSA was flooded.
+    LsaUpdate(Lsa),
+    /// A router's LSA aged out or it went down.
+    RouterDown(RouterId),
+    /// A specific link changed metric: `(from, to, old, new)`.
+    MetricChange {
+        /// Advertising router.
+        from: RouterId,
+        /// Link neighbor.
+        to: RouterId,
+        /// Previous metric.
+        old: u32,
+        /// New metric.
+        new: u32,
+    },
+}
+
+/// One timestamped IGP event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IgpEvent {
+    /// When the collector saw the event.
+    pub time: Timestamp,
+    /// What happened.
+    pub kind: IgpEventKind,
+}
+
+impl fmt::Display for IgpEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            IgpEventKind::LsaUpdate(lsa) => {
+                write!(f, "{} LSA {} seq={} links={}", self.time, lsa.origin, lsa.seq, lsa.links.len())
+            }
+            IgpEventKind::RouterDown(r) => write!(f, "{} DOWN {r}", self.time),
+            IgpEventKind::MetricChange { from, to, old, new } => {
+                write!(f, "{} METRIC {from}->{to} {old}=>{new}", self.time)
+            }
+        }
+    }
+}
+
+/// A time-ordered log of IGP events with window queries, mirroring the BGP
+/// [`bgpscope_bgp::EventStream`] API so the two can be correlated.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IgpEventLog {
+    events: Vec<IgpEvent>,
+}
+
+impl IgpEventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        IgpEventLog::default()
+    }
+
+    /// Appends an event (events should arrive in time order).
+    pub fn push(&mut self, event: IgpEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[IgpEvent] {
+        &self.events
+    }
+
+    /// Events with `time` in `[start, end)`.
+    pub fn window(&self, start: Timestamp, end: Timestamp) -> &[IgpEvent] {
+        let lo = self.events.partition_point(|e| e.time < start);
+        let hi = self.events.partition_point(|e| e.time < end);
+        &self.events[lo..hi]
+    }
+
+    /// Events within `slack` of `t` on either side — the drill-down query
+    /// used to ask "did the IGP do anything around this BGP incident?".
+    pub fn around(&self, t: Timestamp, slack: Timestamp) -> &[IgpEvent] {
+        let start = t.saturating_since(slack);
+        let end = t + slack;
+        self.window(start, end)
+    }
+}
+
+impl FromIterator<IgpEvent> for IgpEventLog {
+    fn from_iter<T: IntoIterator<Item = IgpEvent>>(iter: T) -> Self {
+        IgpEventLog {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<IgpEvent> for IgpEventLog {
+    fn extend<T: IntoIterator<Item = IgpEvent>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(secs: u64) -> IgpEvent {
+        IgpEvent {
+            time: Timestamp::from_secs(secs),
+            kind: IgpEventKind::RouterDown(RouterId::from_octets(10, 0, 0, 1)),
+        }
+    }
+
+    #[test]
+    fn window_and_around() {
+        let log: IgpEventLog = (0..10).map(ev).collect();
+        assert_eq!(log.window(Timestamp::from_secs(2), Timestamp::from_secs(5)).len(), 3);
+        // around(4, ±2) = [2, 6) -> 2,3,4,5
+        assert_eq!(log.around(Timestamp::from_secs(4), Timestamp::from_secs(2)).len(), 4);
+    }
+
+    #[test]
+    fn around_clamps_at_zero() {
+        let log: IgpEventLog = (0..3).map(ev).collect();
+        let hits = log.around(Timestamp::from_secs(0), Timestamp::from_secs(5));
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn display_variants() {
+        let e = IgpEvent {
+            time: Timestamp::from_secs(1),
+            kind: IgpEventKind::MetricChange {
+                from: RouterId::from_octets(1, 1, 1, 1),
+                to: RouterId::from_octets(2, 2, 2, 2),
+                old: 10,
+                new: 100,
+            },
+        };
+        assert!(e.to_string().contains("METRIC"));
+        assert!(ev(1).to_string().contains("DOWN"));
+    }
+}

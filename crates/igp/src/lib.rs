@@ -1,0 +1,37 @@
+//! Link-state IGP substrate for `bgpscope`.
+//!
+//! The paper's collector (REX) "maintains an adjacency passively with a IGP
+//! router … to collect IGP link state advertisements" (§II), and §III-D.3
+//! integrates IGP data into root-cause analysis: a link-metric change can make
+//! a router reselect its BGP best route, so an LSA burst temporally adjacent
+//! to a BGP incident is a root-cause hint.
+//!
+//! This crate models an OSPF-like protocol at the level the paper uses it:
+//! router LSAs with sequence numbers, a link-state database per area, SPF
+//! (Dijkstra) shortest-path computation giving the IGP cost to each BGP
+//! NEXT_HOP, and a timestamped LSA event log for correlation with BGP events.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpscope_igp::{LinkStateDb, Lsa, Link, AreaId};
+//! use bgpscope_bgp::RouterId;
+//!
+//! let r1 = RouterId::from_octets(10, 0, 0, 1);
+//! let r2 = RouterId::from_octets(10, 0, 0, 2);
+//! let mut db = LinkStateDb::new(AreaId(0));
+//! db.install(Lsa::new(r1, 1, vec![Link::new(r2, 10)]));
+//! db.install(Lsa::new(r2, 1, vec![Link::new(r1, 10)]));
+//! let spf = db.spf(r1);
+//! assert_eq!(spf.cost(r2), Some(10));
+//! ```
+
+pub mod areas;
+pub mod event;
+pub mod lsdb;
+pub mod spf;
+
+pub use areas::{MultiAreaDb, BACKBONE};
+pub use event::{IgpEvent, IgpEventKind, IgpEventLog};
+pub use lsdb::{AreaId, Link, LinkStateDb, Lsa};
+pub use spf::SpfResult;

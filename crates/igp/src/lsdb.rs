@@ -1,0 +1,187 @@
+//! Link-state advertisements and the per-area link-state database.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::RouterId;
+
+use crate::spf::SpfResult;
+
+/// An OSPF-style area identifier (area 0 is the backbone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct AreaId(pub u32);
+
+impl fmt::Display for AreaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "area{}", self.0)
+    }
+}
+
+/// One link described by a router LSA: a neighbor and the metric to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// The neighbor router.
+    pub to: RouterId,
+    /// The link metric (cost); lower is better.
+    pub metric: u32,
+}
+
+impl Link {
+    /// A link to `to` with the given metric.
+    pub fn new(to: RouterId, metric: u32) -> Self {
+        Link { to, metric }
+    }
+}
+
+/// A router LSA: everything one router advertises about its links.
+///
+/// Sequence numbers provide freshness: the LSDB only installs an LSA that is
+/// newer than what it holds, like a real link-state protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lsa {
+    /// The advertising router.
+    pub origin: RouterId,
+    /// Freshness; strictly increasing per origin.
+    pub seq: u64,
+    /// The links the router currently has.
+    pub links: Vec<Link>,
+}
+
+impl Lsa {
+    /// Builds an LSA for `origin` with sequence `seq` and the given links.
+    pub fn new(origin: RouterId, seq: u64, links: Vec<Link>) -> Self {
+        Lsa { origin, seq, links }
+    }
+}
+
+/// The link-state database for one area: the latest LSA from each router.
+///
+/// Provides [`LinkStateDb::spf`] to compute shortest paths — the IGP costs
+/// the BGP decision process needs for its NEXT_HOP comparison step.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkStateDb {
+    area: AreaId,
+    lsas: HashMap<RouterId, Lsa>,
+}
+
+impl LinkStateDb {
+    /// An empty database for `area`.
+    pub fn new(area: AreaId) -> Self {
+        LinkStateDb {
+            area,
+            lsas: HashMap::new(),
+        }
+    }
+
+    /// The area this database describes.
+    pub fn area(&self) -> AreaId {
+        self.area
+    }
+
+    /// Installs an LSA if it is newer than the stored one.
+    ///
+    /// Returns `true` if the database changed.
+    pub fn install(&mut self, lsa: Lsa) -> bool {
+        match self.lsas.get(&lsa.origin) {
+            Some(existing) if existing.seq >= lsa.seq => false,
+            _ => {
+                self.lsas.insert(lsa.origin, lsa);
+                true
+            }
+        }
+    }
+
+    /// Removes a router's LSA entirely (router death / MaxAge flush).
+    pub fn flush(&mut self, origin: RouterId) -> Option<Lsa> {
+        self.lsas.remove(&origin)
+    }
+
+    /// The latest LSA from `origin`, if any.
+    pub fn get(&self, origin: RouterId) -> Option<&Lsa> {
+        self.lsas.get(&origin)
+    }
+
+    /// Number of routers with an LSA installed.
+    pub fn len(&self) -> usize {
+        self.lsas.len()
+    }
+
+    /// True if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lsas.is_empty()
+    }
+
+    /// Iterates over the stored LSAs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Lsa> {
+        self.lsas.values()
+    }
+
+    /// Runs Dijkstra SPF from `root` over the current database.
+    ///
+    /// Links are used only if both endpoints advertise each other (two-way
+    /// connectivity check, as in OSPF); the effective metric is the one the
+    /// *forwarding* side advertises.
+    pub fn spf(&self, root: RouterId) -> SpfResult {
+        crate::spf::run(self, root)
+    }
+
+    /// Adjacency list for SPF: `(neighbor, metric)` for each verified
+    /// two-way link of `from`.
+    pub(crate) fn neighbors(&self, from: RouterId) -> Vec<Link> {
+        let Some(lsa) = self.lsas.get(&from) else {
+            return Vec::new();
+        };
+        lsa.links
+            .iter()
+            .filter(|l| {
+                self.lsas
+                    .get(&l.to)
+                    .map(|back| back.links.iter().any(|bl| bl.to == from))
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> RouterId {
+        RouterId::from_octets(10, 0, 0, n)
+    }
+
+    #[test]
+    fn install_respects_sequence() {
+        let mut db = LinkStateDb::new(AreaId(0));
+        assert!(db.install(Lsa::new(r(1), 5, vec![Link::new(r(2), 1)])));
+        assert!(!db.install(Lsa::new(r(1), 5, vec![])));
+        assert!(!db.install(Lsa::new(r(1), 4, vec![])));
+        assert!(db.install(Lsa::new(r(1), 6, vec![])));
+        assert_eq!(db.get(r(1)).unwrap().links.len(), 0);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn two_way_check_drops_half_links() {
+        let mut db = LinkStateDb::new(AreaId(0));
+        db.install(Lsa::new(r(1), 1, vec![Link::new(r(2), 3), Link::new(r(3), 4)]));
+        db.install(Lsa::new(r(2), 1, vec![Link::new(r(1), 3)]));
+        // r3 does not advertise back; the r1->r3 link must be ignored.
+        let n = db.neighbors(r(1));
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].to, r(2));
+    }
+
+    #[test]
+    fn flush_removes() {
+        let mut db = LinkStateDb::new(AreaId(0));
+        db.install(Lsa::new(r(1), 1, vec![]));
+        assert!(db.flush(r(1)).is_some());
+        assert!(db.flush(r(1)).is_none());
+        assert!(db.is_empty());
+    }
+}

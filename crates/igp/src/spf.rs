@@ -1,0 +1,154 @@
+//! Shortest-path-first (Dijkstra) computation over a link-state database.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use bgpscope_bgp::RouterId;
+
+use crate::lsdb::LinkStateDb;
+
+/// The result of an SPF run from one root: cost and first hop to every
+/// reachable router.
+#[derive(Debug, Clone, Default)]
+pub struct SpfResult {
+    root: RouterId,
+    cost: HashMap<RouterId, u32>,
+    first_hop: HashMap<RouterId, RouterId>,
+}
+
+impl SpfResult {
+    /// The router SPF was rooted at.
+    pub fn root(&self) -> RouterId {
+        self.root
+    }
+
+    /// Total cost from the root to `dest`, or `None` if unreachable.
+    pub fn cost(&self, dest: RouterId) -> Option<u32> {
+        self.cost.get(&dest).copied()
+    }
+
+    /// The root's first-hop neighbor on the shortest path to `dest`.
+    ///
+    /// `None` for unreachable destinations and for the root itself.
+    pub fn first_hop(&self, dest: RouterId) -> Option<RouterId> {
+        self.first_hop.get(&dest).copied()
+    }
+
+    /// Whether `dest` is reachable from the root.
+    pub fn is_reachable(&self, dest: RouterId) -> bool {
+        self.cost.contains_key(&dest)
+    }
+
+    /// All reachable routers with their costs, in unspecified order.
+    pub fn costs(&self) -> impl Iterator<Item = (RouterId, u32)> + '_ {
+        self.cost.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// Exports the cost map in the shape `bgpscope_bgp::DecisionConfig`
+    /// expects for its IGP-cost step.
+    pub fn to_cost_map(&self) -> HashMap<RouterId, u32> {
+        self.cost.clone()
+    }
+}
+
+/// Runs Dijkstra from `root` over `db`. See [`LinkStateDb::spf`].
+pub(crate) fn run(db: &LinkStateDb, root: RouterId) -> SpfResult {
+    let mut result = SpfResult {
+        root,
+        cost: HashMap::new(),
+        first_hop: HashMap::new(),
+    };
+    // (cost, node, first_hop_from_root)
+    let mut heap: BinaryHeap<Reverse<(u32, RouterId, Option<RouterId>)>> = BinaryHeap::new();
+    heap.push(Reverse((0, root, None)));
+    while let Some(Reverse((cost, node, hop))) = heap.pop() {
+        if result.cost.contains_key(&node) {
+            continue;
+        }
+        result.cost.insert(node, cost);
+        if let Some(h) = hop {
+            result.first_hop.insert(node, h);
+        }
+        for link in db.neighbors(node) {
+            if result.cost.contains_key(&link.to) {
+                continue;
+            }
+            let next_hop = hop.or(Some(link.to));
+            heap.push(Reverse((cost.saturating_add(link.metric), link.to, next_hop)));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsdb::{AreaId, Link, Lsa};
+
+    fn r(n: u8) -> RouterId {
+        RouterId::from_octets(10, 0, 0, n)
+    }
+
+    /// Builds a symmetric topology from `(a, b, metric)` triples.
+    fn topo(edges: &[(u8, u8, u32)]) -> LinkStateDb {
+        let mut links: HashMap<RouterId, Vec<Link>> = HashMap::new();
+        for &(a, b, m) in edges {
+            links.entry(r(a)).or_default().push(Link::new(r(b), m));
+            links.entry(r(b)).or_default().push(Link::new(r(a), m));
+        }
+        let mut db = LinkStateDb::new(AreaId(0));
+        for (origin, ls) in links {
+            db.install(Lsa::new(origin, 1, ls));
+        }
+        db
+    }
+
+    #[test]
+    fn line_topology_costs() {
+        let db = topo(&[(1, 2, 10), (2, 3, 20)]);
+        let spf = db.spf(r(1));
+        assert_eq!(spf.cost(r(1)), Some(0));
+        assert_eq!(spf.cost(r(2)), Some(10));
+        assert_eq!(spf.cost(r(3)), Some(30));
+        assert_eq!(spf.first_hop(r(3)), Some(r(2)));
+        assert_eq!(spf.first_hop(r(1)), None);
+    }
+
+    #[test]
+    fn picks_cheaper_of_two_paths() {
+        // 1-2-4 costs 5+5=10; 1-3-4 costs 2+3=5.
+        let db = topo(&[(1, 2, 5), (2, 4, 5), (1, 3, 2), (3, 4, 3)]);
+        let spf = db.spf(r(1));
+        assert_eq!(spf.cost(r(4)), Some(5));
+        assert_eq!(spf.first_hop(r(4)), Some(r(3)));
+    }
+
+    #[test]
+    fn metric_change_flips_path() {
+        let mut db = topo(&[(1, 2, 5), (2, 4, 5), (1, 3, 2), (3, 4, 3)]);
+        // Raise metric on 3-4 (new LSAs with higher seq).
+        db.install(Lsa::new(r(3), 2, vec![Link::new(r(1), 2), Link::new(r(4), 100)]));
+        db.install(Lsa::new(r(4), 2, vec![Link::new(r(2), 5), Link::new(r(3), 100)]));
+        let spf = db.spf(r(1));
+        assert_eq!(spf.cost(r(4)), Some(10));
+        assert_eq!(spf.first_hop(r(4)), Some(r(2)));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let db = topo(&[(1, 2, 1), (3, 4, 1)]);
+        let spf = db.spf(r(1));
+        assert!(spf.is_reachable(r(2)));
+        assert!(!spf.is_reachable(r(3)));
+        assert_eq!(spf.cost(r(4)), None);
+        assert_eq!(spf.first_hop(r(4)), None);
+    }
+
+    #[test]
+    fn cost_map_export() {
+        let db = topo(&[(1, 2, 7)]);
+        let spf = db.spf(r(1));
+        let map = spf.to_cost_map();
+        assert_eq!(map.get(&r(2)), Some(&7));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: SPF agrees with Floyd–Warshall on random topologies.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use bgpscope_bgp::RouterId;
+use bgpscope_igp::{AreaId, Link, LinkStateDb, Lsa};
+
+fn rid(n: u8) -> RouterId {
+    RouterId::from_octets(10, 0, 0, n)
+}
+
+/// Builds a symmetric LSDB from edges; returns (db, adjacency).
+fn build(n: u8, edges: &[(u8, u8, u32)]) -> (LinkStateDb, Vec<(u8, u8, u32)>) {
+    let mut links: HashMap<u8, Vec<Link>> = HashMap::new();
+    let mut kept = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b, m) in edges {
+        let (a, b) = (a % n, b % n);
+        if a == b || !seen.insert((a.min(b), a.max(b))) {
+            continue;
+        }
+        let m = m % 1000 + 1;
+        links.entry(a).or_default().push(Link::new(rid(b), m));
+        links.entry(b).or_default().push(Link::new(rid(a), m));
+        kept.push((a, b, m));
+    }
+    let mut db = LinkStateDb::new(AreaId(0));
+    for i in 0..n {
+        db.install(Lsa::new(rid(i), 1, links.remove(&i).unwrap_or_default()));
+    }
+    (db, kept)
+}
+
+/// Floyd–Warshall reference.
+fn reference(n: u8, edges: &[(u8, u8, u32)]) -> Vec<Vec<Option<u64>>> {
+    let n = n as usize;
+    let mut d = vec![vec![None; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = Some(0u64);
+    }
+    for &(a, b, m) in edges {
+        let (a, b, m) = (a as usize, b as usize, m as u64);
+        let better = |cur: Option<u64>| cur.is_none_or(|c| m < c);
+        if better(d[a][b]) {
+            d[a][b] = Some(m);
+            d[b][a] = Some(m);
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if let (Some(ik), Some(kj)) = (d[i][k], d[k][j]) {
+                    if d[i][j].is_none_or(|c| ik + kj < c) {
+                        d[i][j] = Some(ik + kj);
+                    }
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #[test]
+    fn spf_matches_floyd_warshall(
+        n in 2u8..10,
+        edges in proptest::collection::vec((0u8..10, 0u8..10, 1u32..1000), 0..20),
+    ) {
+        let (db, kept) = build(n, &edges);
+        let expected = reference(n, &kept);
+        for src in 0..n {
+            let spf = db.spf(rid(src));
+            for dst in 0..n {
+                let got = spf.cost(rid(dst)).map(u64::from);
+                prop_assert_eq!(
+                    got,
+                    expected[src as usize][dst as usize],
+                    "src {} dst {}", src, dst
+                );
+            }
+        }
+    }
+
+    /// First hops are consistent: following the first hop from the source
+    /// shortens the remaining distance by exactly that link's cost... or at
+    /// least, the first hop is a real neighbor on a shortest path.
+    #[test]
+    fn first_hop_lies_on_a_shortest_path(
+        n in 2u8..10,
+        edges in proptest::collection::vec((0u8..10, 0u8..10, 1u32..1000), 1..20),
+    ) {
+        let (db, kept) = build(n, &edges);
+        let expected = reference(n, &kept);
+        for src in 0..n {
+            let spf = db.spf(rid(src));
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let Some(hop) = spf.first_hop(rid(dst)) else { continue };
+                // The hop must be a direct neighbor of src...
+                let hop_idx = (hop.as_u32() & 0xFF) as usize;
+                let link = kept.iter().find(|&&(a, b, _)| {
+                    (a == src && b as usize == hop_idx) || (b == src && a as usize == hop_idx)
+                });
+                prop_assert!(link.is_some(), "first hop {} is not a neighbor of {}", hop, src);
+                // ...and total = cost(src->hop) + dist(hop->dst).
+                let (_, _, m) = link.expect("checked");
+                let via = *m as u64 + expected[hop_idx][dst as usize].expect("reachable");
+                prop_assert_eq!(Some(via), spf.cost(rid(dst)).map(u64::from));
+            }
+        }
+    }
+}

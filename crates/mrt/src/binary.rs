@@ -1,0 +1,459 @@
+//! The binary MRT-shaped container.
+//!
+//! Every record is:
+//!
+//! ```text
+//! u32 timestamp_secs | u32 timestamp_micros | u16 type | u16 subtype | u32 body_len
+//! ```
+//!
+//! followed by `body_len` bytes of big-endian body. Type 0xB6E0 carries one
+//! augmented event (subtype 1 = announce, 2 = withdraw); type 0xB6E1 carries
+//! one RIB snapshot entry. The private type codes keep our records from being
+//! mistaken for standard MRT while preserving the container shape.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use bgpscope_bgp::{
+    AsPath, Asn, Community, Event, EventKind, EventStream, LocalPref, Med, Origin, PathAttributes,
+    PeerId, Prefix, Route, RouterId, Timestamp,
+};
+
+/// Record type code for augmented events.
+pub const RECORD_TYPE_EVENT: u16 = 0xB6E0;
+/// Record type code for RIB snapshot entries.
+pub const RECORD_TYPE_RIB_ENTRY: u16 = 0xB6E1;
+
+const SUBTYPE_ANNOUNCE: u16 = 1;
+const SUBTYPE_WITHDRAW: u16 = 2;
+
+/// Errors produced while encoding or decoding.
+#[derive(Debug)]
+pub enum MrtError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The input ended inside a record.
+    Truncated,
+    /// A record carried an unknown type code.
+    UnknownType(u16),
+    /// A record carried an unknown subtype.
+    UnknownSubtype(u16),
+    /// A field held an invalid value (e.g. a prefix length over 32).
+    InvalidField(&'static str),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "i/o error: {e}"),
+            MrtError::Truncated => write!(f, "input truncated inside a record"),
+            MrtError::UnknownType(t) => write!(f, "unknown record type {t:#06x}"),
+            MrtError::UnknownSubtype(s) => write!(f, "unknown record subtype {s}"),
+            MrtError::InvalidField(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MrtError {
+    fn from(e: std::io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+fn put_attrs(buf: &mut Vec<u8>, attrs: &PathAttributes) {
+    buf.put_u32(attrs.next_hop.as_u32());
+    buf.put_u8(match attrs.origin {
+        Origin::Igp => 0,
+        Origin::Egp => 1,
+        Origin::Incomplete => 2,
+    });
+    match attrs.med {
+        Some(med) => {
+            buf.put_u8(1);
+            buf.put_u32(med.0);
+        }
+        None => buf.put_u8(0),
+    }
+    match attrs.local_pref {
+        Some(lp) => {
+            buf.put_u8(1);
+            buf.put_u32(lp.0);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u16(attrs.as_path.hop_count() as u16);
+    for asn in attrs.as_path.asns() {
+        buf.put_u32(asn.as_u32());
+    }
+    buf.put_u16(attrs.communities.len() as u16);
+    for c in &attrs.communities {
+        buf.put_u32(c.0);
+    }
+}
+
+fn get_attrs(buf: &mut &[u8]) -> Result<PathAttributes, MrtError> {
+    if buf.remaining() < 7 {
+        return Err(MrtError::Truncated);
+    }
+    let next_hop = RouterId(buf.get_u32());
+    let origin = match buf.get_u8() {
+        0 => Origin::Igp,
+        1 => Origin::Egp,
+        2 => Origin::Incomplete,
+        _ => return Err(MrtError::InvalidField("origin")),
+    };
+    let med = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(MrtError::Truncated);
+            }
+            Some(Med(buf.get_u32()))
+        }
+        _ => return Err(MrtError::InvalidField("med flag")),
+    };
+    if buf.remaining() < 1 {
+        return Err(MrtError::Truncated);
+    }
+    let local_pref = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(MrtError::Truncated);
+            }
+            Some(LocalPref(buf.get_u32()))
+        }
+        _ => return Err(MrtError::InvalidField("local_pref flag")),
+    };
+    if buf.remaining() < 2 {
+        return Err(MrtError::Truncated);
+    }
+    let path_len = buf.get_u16() as usize;
+    if buf.remaining() < path_len * 4 {
+        return Err(MrtError::Truncated);
+    }
+    let as_path = AsPath::from_asns((0..path_len).map(|_| Asn(buf.get_u32())));
+    if buf.remaining() < 2 {
+        return Err(MrtError::Truncated);
+    }
+    let comm_len = buf.get_u16() as usize;
+    if buf.remaining() < comm_len * 4 {
+        return Err(MrtError::Truncated);
+    }
+    let mut attrs = PathAttributes::new(next_hop, as_path);
+    attrs.origin = origin;
+    attrs.med = med;
+    attrs.local_pref = local_pref;
+    for _ in 0..comm_len {
+        attrs.add_community(Community(buf.get_u32()));
+    }
+    Ok(attrs)
+}
+
+fn put_record(out: &mut Vec<u8>, time: Timestamp, rtype: u16, subtype: u16, body: &[u8]) {
+    out.put_u32((time.as_micros() / 1_000_000) as u32);
+    out.put_u32((time.as_micros() % 1_000_000) as u32);
+    out.put_u16(rtype);
+    out.put_u16(subtype);
+    out.put_u32(body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+fn encode_event(event: &Event, out: &mut Vec<u8>) {
+    let mut body = Vec::with_capacity(64);
+    body.put_u32(event.peer.router_id().as_u32());
+    body.put_u32(event.prefix.addr());
+    body.put_u8(event.prefix.len());
+    put_attrs(&mut body, &event.attrs);
+    let subtype = match event.kind {
+        EventKind::Announce => SUBTYPE_ANNOUNCE,
+        EventKind::Withdraw => SUBTYPE_WITHDRAW,
+    };
+    put_record(out, event.time, RECORD_TYPE_EVENT, subtype, &body);
+}
+
+/// Writes an event stream in binary form.
+///
+/// A `&mut` reference to any writer can be passed.
+///
+/// # Errors
+///
+/// Returns [`MrtError::Io`] if the writer fails.
+pub fn write_events<W: Write>(mut writer: W, stream: &EventStream) -> Result<(), MrtError> {
+    let mut out = Vec::with_capacity(stream.len() * 72);
+    for event in stream {
+        encode_event(event, &mut out);
+    }
+    writer.write_all(&out)?;
+    Ok(())
+}
+
+/// Reads an event stream written by [`write_events`].
+///
+/// # Errors
+///
+/// Returns [`MrtError::Io`] on read failure, [`MrtError::Truncated`] on a
+/// short input, and the other variants on malformed records.
+pub fn read_events<R: Read>(mut reader: R) -> Result<EventStream, MrtError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let mut buf: &[u8] = &data;
+    let mut stream = EventStream::new();
+    while buf.has_remaining() {
+        let (time, rtype, subtype, body_len) = read_header(&mut buf)?;
+        if buf.remaining() < body_len {
+            return Err(MrtError::Truncated);
+        }
+        let (mut body, rest) = buf.split_at(body_len);
+        buf = rest;
+        if rtype != RECORD_TYPE_EVENT {
+            return Err(MrtError::UnknownType(rtype));
+        }
+        let kind = match subtype {
+            SUBTYPE_ANNOUNCE => EventKind::Announce,
+            SUBTYPE_WITHDRAW => EventKind::Withdraw,
+            other => return Err(MrtError::UnknownSubtype(other)),
+        };
+        let (peer, prefix) = read_peer_prefix(&mut body)?;
+        let attrs = get_attrs(&mut body)?;
+        stream.push(Event {
+            time,
+            kind,
+            peer,
+            prefix,
+            attrs,
+        });
+    }
+    Ok(stream)
+}
+
+fn read_header(buf: &mut &[u8]) -> Result<(Timestamp, u16, u16, usize), MrtError> {
+    if buf.remaining() < 16 {
+        return Err(MrtError::Truncated);
+    }
+    let secs = buf.get_u32() as u64;
+    let micros = buf.get_u32() as u64;
+    let rtype = buf.get_u16();
+    let subtype = buf.get_u16();
+    let body_len = buf.get_u32() as usize;
+    Ok((
+        Timestamp::from_micros(secs * 1_000_000 + micros),
+        rtype,
+        subtype,
+        body_len,
+    ))
+}
+
+fn read_peer_prefix(buf: &mut &[u8]) -> Result<(PeerId, Prefix), MrtError> {
+    if buf.remaining() < 9 {
+        return Err(MrtError::Truncated);
+    }
+    let peer = PeerId(RouterId(buf.get_u32()));
+    let addr = buf.get_u32();
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(MrtError::InvalidField("prefix length"));
+    }
+    Ok((peer, Prefix::new(addr, len)))
+}
+
+/// Writes a RIB snapshot (any iterator of routes) as table-dump records.
+///
+/// # Errors
+///
+/// Returns [`MrtError::Io`] if the writer fails.
+pub fn write_rib<'a, W, I>(mut writer: W, routes: I) -> Result<(), MrtError>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a Route>,
+{
+    let mut out = Vec::new();
+    for route in routes {
+        let mut body = Vec::with_capacity(64);
+        body.put_u32(route.peer.router_id().as_u32());
+        body.put_u32(route.prefix.addr());
+        body.put_u8(route.prefix.len());
+        put_attrs(&mut body, &route.attrs);
+        put_record(&mut out, route.time, RECORD_TYPE_RIB_ENTRY, 0, &body);
+    }
+    writer.write_all(&out)?;
+    Ok(())
+}
+
+/// Reads a RIB snapshot written by [`write_rib`].
+///
+/// # Errors
+///
+/// Same failure modes as [`read_events`].
+pub fn read_rib<R: Read>(mut reader: R) -> Result<Vec<Route>, MrtError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let mut buf: &[u8] = &data;
+    let mut routes = Vec::new();
+    while buf.has_remaining() {
+        let (time, rtype, _subtype, body_len) = read_header(&mut buf)?;
+        if buf.remaining() < body_len {
+            return Err(MrtError::Truncated);
+        }
+        let (mut body, rest) = buf.split_at(body_len);
+        buf = rest;
+        if rtype != RECORD_TYPE_RIB_ENTRY {
+            return Err(MrtError::UnknownType(rtype));
+        }
+        let (peer, prefix) = read_peer_prefix(&mut body)?;
+        let attrs = get_attrs(&mut body)?;
+        routes.push(Route {
+            prefix,
+            peer,
+            attrs,
+            time,
+        });
+    }
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(kind: EventKind) -> Event {
+        let mut attrs = PathAttributes::new(
+            RouterId::from_octets(128, 32, 0, 66),
+            "11423 209 701".parse().unwrap(),
+        )
+        .with_med(50)
+        .with_local_pref(80);
+        attrs.add_community("11423:65350".parse().unwrap());
+        attrs.add_community("2152:65297".parse().unwrap());
+        Event {
+            time: Timestamp::from_micros(1_234_567_890),
+            kind,
+            peer: PeerId::from_octets(128, 32, 1, 3),
+            prefix: "192.96.10.0/24".parse().unwrap(),
+            attrs,
+        }
+    }
+
+    #[test]
+    fn roundtrip_events() {
+        let mut stream = EventStream::new();
+        stream.push(sample_event(EventKind::Announce));
+        stream.push(sample_event(EventKind::Withdraw));
+        let mut buf = Vec::new();
+        write_events(&mut buf, &stream).unwrap();
+        let decoded = read_events(buf.as_slice()).unwrap();
+        assert_eq!(decoded, stream);
+    }
+
+    #[test]
+    fn roundtrip_empty_stream() {
+        let mut buf = Vec::new();
+        write_events(&mut buf, &EventStream::new()).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(read_events(buf.as_slice()).unwrap(), EventStream::new());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut stream = EventStream::new();
+        stream.push(sample_event(EventKind::Announce));
+        let mut buf = Vec::new();
+        write_events(&mut buf, &stream).unwrap();
+        for cut in [1, 8, 15, buf.len() - 1] {
+            let err = read_events(&buf[..cut]).unwrap_err();
+            assert!(matches!(err, MrtError::Truncated), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = Vec::new();
+        put_record(&mut buf, Timestamp::ZERO, 0x9999, 0, &[]);
+        assert!(matches!(
+            read_events(buf.as_slice()).unwrap_err(),
+            MrtError::UnknownType(0x9999)
+        ));
+    }
+
+    #[test]
+    fn unknown_subtype_rejected() {
+        let mut buf = Vec::new();
+        put_record(&mut buf, Timestamp::ZERO, RECORD_TYPE_EVENT, 9, &[0u8; 9]);
+        assert!(matches!(
+            read_events(buf.as_slice()).unwrap_err(),
+            MrtError::UnknownSubtype(9)
+        ));
+    }
+
+    #[test]
+    fn invalid_prefix_length_rejected() {
+        let mut body = Vec::new();
+        body.put_u32(1);
+        body.put_u32(2);
+        body.put_u8(99); // invalid mask length
+        let mut buf = Vec::new();
+        put_record(&mut buf, Timestamp::ZERO, RECORD_TYPE_EVENT, 1, &body);
+        assert!(matches!(
+            read_events(buf.as_slice()).unwrap_err(),
+            MrtError::InvalidField("prefix length")
+        ));
+    }
+
+    #[test]
+    fn roundtrip_rib() {
+        let routes: Vec<Route> = (0..5u8)
+            .map(|i| Route {
+                prefix: Prefix::from_octets(10, i, 0, 0, 16),
+                peer: PeerId::from_octets(1, 1, 1, 1),
+                attrs: PathAttributes::new(
+                    RouterId::from_octets(2, 2, 2, 2),
+                    "701 1299".parse().unwrap(),
+                ),
+                time: Timestamp::from_secs(i as u64),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_rib(&mut buf, &routes).unwrap();
+        let decoded = read_rib(buf.as_slice()).unwrap();
+        assert_eq!(decoded, routes);
+    }
+
+    #[test]
+    fn rib_and_event_types_not_interchangeable() {
+        let routes = vec![Route {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            peer: PeerId::from_octets(1, 1, 1, 1),
+            attrs: PathAttributes::new(RouterId(0), AsPath::empty()),
+            time: Timestamp::ZERO,
+        }];
+        let mut buf = Vec::new();
+        write_rib(&mut buf, &routes).unwrap();
+        assert!(matches!(
+            read_events(buf.as_slice()).unwrap_err(),
+            MrtError::UnknownType(RECORD_TYPE_RIB_ENTRY)
+        ));
+    }
+
+    #[test]
+    fn microsecond_timestamps_survive() {
+        let mut e = sample_event(EventKind::Announce);
+        e.time = Timestamp::from_micros(5_000_000_000_000 + 17); // ~57 days + 17 µs
+        let mut stream = EventStream::new();
+        stream.push(e.clone());
+        let mut buf = Vec::new();
+        write_events(&mut buf, &stream).unwrap();
+        let decoded = read_events(buf.as_slice()).unwrap();
+        assert_eq!(decoded.events()[0].time, e.time);
+    }
+}

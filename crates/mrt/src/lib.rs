@@ -1,0 +1,46 @@
+//! MRT-style serialization for `bgpscope`.
+//!
+//! Real BGP collectors archive routing data in the MRT format (RFC 6396:
+//! a per-record header of timestamp / type / subtype / length, followed by a
+//! type-specific body). This crate implements an MRT-shaped container for the
+//! workspace's two durable artifacts:
+//!
+//! * **event records** — augmented BGP events (announcements, and withdrawals
+//!   carrying the *withdrawn* attributes, which standard MRT cannot express;
+//!   we use a private record type for them), and
+//! * **RIB snapshot records** — `(peer, prefix, attributes)` table dumps.
+//!
+//! It also implements a line-oriented text format matching the paper's
+//! Figure 4 listing (`W 128.32.1.3 NEXT_HOP: … ASPATH: … PREFIX: …`), so the
+//! figures' raw data can be loaded directly from text.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpscope_bgp::{Event, EventStream, PathAttributes, PeerId, RouterId, Timestamp};
+//! use bgpscope_mrt::{read_events, write_events};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut stream = EventStream::new();
+//! stream.push(Event::announce(
+//!     Timestamp::from_secs(1),
+//!     PeerId::from_octets(1, 1, 1, 1),
+//!     "10.0.0.0/8".parse()?,
+//!     PathAttributes::new(RouterId::from_octets(2, 2, 2, 2), "701 1299".parse()?),
+//! ));
+//! let mut buf = Vec::new();
+//! write_events(&mut buf, &stream)?;
+//! let decoded = read_events(&mut buf.as_slice())?;
+//! assert_eq!(decoded, stream);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod binary;
+pub mod text;
+
+pub use binary::{
+    read_events, read_rib, write_events, write_rib, MrtError, RECORD_TYPE_EVENT,
+    RECORD_TYPE_RIB_ENTRY,
+};
+pub use text::{event_to_line, events_to_text, line_to_event, text_to_events, ParseLineError};

@@ -1,0 +1,312 @@
+//! The line-oriented text format, matching the paper's Figure 4 listing.
+//!
+//! ```text
+//! W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 701 1299 5713 PREFIX: 192.96.10.0/24
+//! ```
+//!
+//! An optional leading `T=<micros>` field carries the timestamp (Figure 4
+//! omits timestamps; parsing defaults them to zero). Optional `MED:`,
+//! `LOCAL_PREF:` and `COMMUNITY:` fields follow the prefix.
+
+use std::fmt;
+
+use bgpscope_bgp::{
+    Event, EventKind, EventStream, PathAttributes, PeerId, Timestamp,
+};
+
+/// Error from parsing one text line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLineError {
+    line: String,
+    reason: String,
+}
+
+impl ParseLineError {
+    fn new(line: &str, reason: impl Into<String>) -> Self {
+        ParseLineError {
+            line: line.to_owned(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseLineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse event line {:?}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseLineError {}
+
+/// Formats one event as a text line.
+pub fn event_to_line(event: &Event) -> String {
+    // An empty AS path emits no tokens after `ASPATH:` (its Display form
+    // `<empty>` is for humans, not this format).
+    let path = if event.attrs.as_path.is_empty() {
+        String::new()
+    } else {
+        format!("{} ", event.attrs.as_path)
+    };
+    let mut line = format!(
+        "T={} {} {} NEXT_HOP: {} ASPATH: {}PREFIX: {}",
+        event.time.as_micros(),
+        event.kind,
+        event.peer,
+        event.attrs.next_hop,
+        path,
+        event.prefix
+    );
+    if event.attrs.origin != bgpscope_bgp::Origin::Igp {
+        line.push_str(&format!(" ORIGIN: {}", event.attrs.origin));
+    }
+    if let Some(med) = event.attrs.med {
+        line.push_str(&format!(" MED: {med}"));
+    }
+    if let Some(lp) = event.attrs.local_pref {
+        line.push_str(&format!(" LOCAL_PREF: {lp}"));
+    }
+    if !event.attrs.communities.is_empty() {
+        line.push_str(" COMMUNITY:");
+        for c in &event.attrs.communities {
+            line.push_str(&format!(" {c}"));
+        }
+    }
+    line
+}
+
+/// Formats a stream, one line per event.
+pub fn events_to_text(stream: &EventStream) -> String {
+    let mut out = String::new();
+    for e in stream {
+        out.push_str(&event_to_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one line (Figure-4 style, timestamp optional).
+///
+/// # Errors
+///
+/// Returns [`ParseLineError`] describing the offending field.
+pub fn line_to_event(line: &str) -> Result<Event, ParseLineError> {
+    let mut tokens = line.split_whitespace().peekable();
+    let mut time = Timestamp::ZERO;
+    if let Some(tok) = tokens.peek() {
+        if let Some(micros) = tok.strip_prefix("T=") {
+            time = Timestamp::from_micros(
+                micros
+                    .parse()
+                    .map_err(|_| ParseLineError::new(line, "bad timestamp"))?,
+            );
+            tokens.next();
+        }
+    }
+    let kind = match tokens.next() {
+        Some("A") => EventKind::Announce,
+        Some("W") => EventKind::Withdraw,
+        other => {
+            return Err(ParseLineError::new(
+                line,
+                format!("expected A or W, got {other:?}"),
+            ))
+        }
+    };
+    let peer: PeerId = tokens
+        .next()
+        .ok_or_else(|| ParseLineError::new(line, "missing peer"))?
+        .parse::<bgpscope_bgp::RouterId>()
+        .map(PeerId)
+        .map_err(|e| ParseLineError::new(line, e.to_string()))?;
+
+    expect_tag(&mut tokens, "NEXT_HOP:", line)?;
+    let next_hop = tokens
+        .next()
+        .ok_or_else(|| ParseLineError::new(line, "missing nexthop"))?
+        .parse()
+        .map_err(|_| ParseLineError::new(line, "bad nexthop"))?;
+
+    expect_tag(&mut tokens, "ASPATH:", line)?;
+    let mut asns = Vec::new();
+    while let Some(tok) = tokens.peek() {
+        match tok.parse::<u32>() {
+            Ok(asn) => {
+                asns.push(asn);
+                tokens.next();
+            }
+            Err(_) => break,
+        }
+    }
+
+    expect_tag(&mut tokens, "PREFIX:", line)?;
+    let prefix = tokens
+        .next()
+        .ok_or_else(|| ParseLineError::new(line, "missing prefix"))?
+        .parse()
+        .map_err(|_| ParseLineError::new(line, "bad prefix"))?;
+
+    let mut attrs = PathAttributes::new(next_hop, bgpscope_bgp::AsPath::from_u32s(asns));
+
+    // Optional trailing fields.
+    while let Some(tag) = tokens.next() {
+        match tag {
+            "ORIGIN:" => {
+                attrs.origin = match tokens.next() {
+                    Some("i") => bgpscope_bgp::Origin::Igp,
+                    Some("e") => bgpscope_bgp::Origin::Egp,
+                    Some("?") => bgpscope_bgp::Origin::Incomplete,
+                    _ => return Err(ParseLineError::new(line, "bad ORIGIN")),
+                };
+            }
+            "MED:" => {
+                let v: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseLineError::new(line, "bad MED"))?;
+                attrs.med = Some(bgpscope_bgp::Med(v));
+            }
+            "LOCAL_PREF:" => {
+                let v: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseLineError::new(line, "bad LOCAL_PREF"))?;
+                attrs.local_pref = Some(bgpscope_bgp::LocalPref(v));
+            }
+            "COMMUNITY:" => {
+                for tok in tokens.by_ref() {
+                    let c = tok
+                        .parse()
+                        .map_err(|_| ParseLineError::new(line, "bad community"))?;
+                    attrs.add_community(c);
+                }
+            }
+            other => {
+                return Err(ParseLineError::new(
+                    line,
+                    format!("unexpected field {other:?}"),
+                ))
+            }
+        }
+    }
+
+    Ok(Event {
+        time,
+        kind,
+        peer,
+        prefix,
+        attrs,
+    })
+}
+
+fn expect_tag<'a, I: Iterator<Item = &'a str>>(
+    tokens: &mut I,
+    tag: &str,
+    line: &str,
+) -> Result<(), ParseLineError> {
+    match tokens.next() {
+        Some(t) if t == tag => Ok(()),
+        other => Err(ParseLineError::new(
+            line,
+            format!("expected {tag}, got {other:?}"),
+        )),
+    }
+}
+
+/// Parses a whole text document (one event per non-empty line; `#` comments
+/// allowed).
+///
+/// # Errors
+///
+/// Returns the first line's [`ParseLineError`].
+pub fn text_to_events(text: &str) -> Result<EventStream, ParseLineError> {
+    let mut stream = EventStream::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        stream.push(line_to_event(line)?);
+    }
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::RouterId;
+
+    #[test]
+    fn parses_figure4_lines() {
+        let fig4 = "\
+W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 701 1299 5713 PREFIX: 192.96.10.0/24
+W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 11422 209 4519 PREFIX: 207.191.23.0/24
+W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 701 1299 5713 PREFIX: 192.96.10.0/24
+";
+        let stream = text_to_events(fig4).unwrap();
+        assert_eq!(stream.len(), 3);
+        let e = &stream.events()[0];
+        assert_eq!(e.kind, EventKind::Withdraw);
+        assert_eq!(e.peer, PeerId::from_octets(128, 32, 1, 3));
+        assert_eq!(e.attrs.next_hop, RouterId::from_octets(128, 32, 0, 70));
+        assert_eq!(e.attrs.as_path.to_string(), "11423 209 701 1299 5713");
+        assert_eq!(e.prefix.to_string(), "192.96.10.0/24");
+    }
+
+    #[test]
+    fn roundtrip_with_all_fields() {
+        let mut attrs = PathAttributes::new(
+            RouterId::from_octets(10, 3, 4, 5),
+            "2 9".parse().unwrap(),
+        )
+        .with_med(7)
+        .with_local_pref(80);
+        attrs.add_community("11423:65350".parse().unwrap());
+        let event = Event::announce(
+            Timestamp::from_micros(123_456),
+            PeerId::from_octets(10, 0, 0, 1),
+            "4.5.0.0/16".parse().unwrap(),
+            attrs,
+        );
+        let line = event_to_line(&event);
+        let back = line_to_event(&line).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn stream_roundtrip_and_comments() {
+        let mut stream = EventStream::new();
+        for i in 0..5u64 {
+            stream.push(Event::withdraw(
+                Timestamp::from_secs(i),
+                PeerId::from_octets(1, 1, 1, 1),
+                format!("10.{i}.0.0/16").parse().unwrap(),
+                PathAttributes::new(RouterId::from_octets(2, 2, 2, 2), "701".parse().unwrap()),
+            ));
+        }
+        let mut text = String::from("# a comment\n\n");
+        text.push_str(&events_to_text(&stream));
+        let back = text_to_events(&text).unwrap();
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for bad in [
+            "X 1.1.1.1 NEXT_HOP: 2.2.2.2 ASPATH: 1 PREFIX: 10.0.0.0/8",
+            "W 1.1.1.1 ASPATH: 1 PREFIX: 10.0.0.0/8",
+            "W 1.1.1.1 NEXT_HOP: 2.2.2.2 ASPATH: 1 PREFIX: banana",
+            "W banana NEXT_HOP: 2.2.2.2 ASPATH: 1 PREFIX: 10.0.0.0/8",
+            "W 1.1.1.1 NEXT_HOP: 2.2.2.2 ASPATH: 1 PREFIX: 10.0.0.0/8 WAT: 7",
+            "T=zzz W 1.1.1.1 NEXT_HOP: 2.2.2.2 ASPATH: 1 PREFIX: 10.0.0.0/8",
+        ] {
+            assert!(line_to_event(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_as_path_allowed() {
+        let line = "A 1.1.1.1 NEXT_HOP: 2.2.2.2 ASPATH: PREFIX: 10.0.0.0/8";
+        let e = line_to_event(line).unwrap();
+        assert!(e.attrs.as_path.is_empty());
+    }
+}

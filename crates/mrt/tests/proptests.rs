@@ -1,0 +1,91 @@
+//! Property tests: binary and text round-trips over arbitrary events.
+
+use proptest::prelude::*;
+
+use bgpscope_bgp::{
+    AsPath, Community, Event, EventKind, EventStream, LocalPref, Med, Origin, PathAttributes,
+    PeerId, Prefix, RouterId, Timestamp,
+};
+use bgpscope_mrt::{events_to_text, read_events, text_to_events, write_events};
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        any::<u32>(),
+        proptest::collection::vec(1u32..100_000, 0..8),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::collection::vec((any::<u16>(), any::<u16>()), 0..4),
+        0u8..3,
+    )
+        .prop_map(|(hop, path, med, lp, comms, origin)| {
+            let mut attrs = PathAttributes::new(RouterId(hop), AsPath::from_u32s(path));
+            attrs.med = med.map(Med);
+            attrs.local_pref = lp.map(LocalPref);
+            attrs.origin = match origin {
+                0 => Origin::Igp,
+                1 => Origin::Egp,
+                _ => Origin::Incomplete,
+            };
+            for (a, v) in comms {
+                attrs.add_community(Community::new(a, v));
+            }
+            attrs
+        })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u64..4_000_000_000_000u64,
+        any::<bool>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u8..=32,
+        arb_attrs(),
+    )
+        .prop_map(|(t, announce, peer, addr, len, attrs)| Event {
+            time: Timestamp::from_micros(t),
+            kind: if announce {
+                EventKind::Announce
+            } else {
+                EventKind::Withdraw
+            },
+            peer: PeerId(RouterId(peer)),
+            prefix: Prefix::new(addr, len),
+            attrs,
+        })
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip(events in proptest::collection::vec(arb_event(), 0..40)) {
+        let stream: EventStream = events.into_iter().collect();
+        let mut buf = Vec::new();
+        write_events(&mut buf, &stream).unwrap();
+        let decoded = read_events(buf.as_slice()).unwrap();
+        prop_assert_eq!(decoded, stream);
+    }
+
+    #[test]
+    fn text_roundtrip(events in proptest::collection::vec(arb_event(), 0..40)) {
+        let stream: EventStream = events.into_iter().collect();
+        let text = events_to_text(&stream);
+        let decoded = text_to_events(&text).unwrap();
+        prop_assert_eq!(decoded, stream);
+    }
+
+    /// Arbitrary truncation of valid binary data never panics — it either
+    /// parses a prefix of the stream or errors.
+    #[test]
+    fn binary_truncation_never_panics(
+        events in proptest::collection::vec(arb_event(), 1..10),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let stream: EventStream = events.into_iter().collect();
+        let mut buf = Vec::new();
+        write_events(&mut buf, &stream).unwrap();
+        let cut = ((buf.len() as f64) * cut_ratio) as usize;
+        if let Ok(partial) = read_events(&buf[..cut]) {
+            prop_assert!(partial.len() <= stream.len());
+        }
+    }
+}

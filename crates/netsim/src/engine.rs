@@ -1,0 +1,673 @@
+//! The discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bgpscope_bgp::{PathAttributes, Prefix, RouterId, Timestamp, UpdateMessage};
+use bgpscope_igp::{IgpEvent, IgpEventKind, IgpEventLog};
+
+use crate::router::Router;
+
+/// A scheduled action.
+#[derive(Debug, Clone)]
+pub(crate) enum Action {
+    /// Deliver a BGP message over a session.
+    Deliver {
+        /// Sender.
+        from: RouterId,
+        /// Receiver.
+        to: RouterId,
+        /// The message.
+        msg: UpdateMessage,
+    },
+    /// Tear a session down (both directions).
+    SessionDown(RouterId, RouterId),
+    /// (Re-)establish a session; both sides exchange full tables.
+    SessionUp(RouterId, RouterId),
+    /// Locally originate (`Some`) or withdraw (`None`) a route at a router.
+    Originate {
+        /// The originating router.
+        router: RouterId,
+        /// The prefix.
+        prefix: Prefix,
+        /// New attributes, or `None` to withdraw.
+        attrs: Option<PathAttributes>,
+    },
+    /// Change the IGP cost a router sees toward a nexthop.
+    IgpMetricChange {
+        /// The router whose view changes.
+        router: RouterId,
+        /// The nexthop whose cost changes.
+        nexthop: RouterId,
+        /// The new cost.
+        cost: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Queued {
+    time: Timestamp,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Aggregate simulation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// BGP messages delivered over sessions.
+    pub messages_delivered: u64,
+    /// Prefix-level changes inside those messages.
+    pub prefix_changes: u64,
+    /// Messages that arrived on a down session and were dropped.
+    pub dropped_on_down_session: u64,
+    /// Session down events executed.
+    pub session_downs: u64,
+    /// Session up events executed.
+    pub session_ups: u64,
+}
+
+/// What a finished run hands back.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// The collector's inbound feed: raw updates with receive timestamps.
+    pub collector_feed: Vec<(UpdateMessage, Timestamp)>,
+    /// The IGP event log (metric changes recorded during the run).
+    pub igp_log: IgpEventLog,
+    /// Counters.
+    pub stats: SimStats,
+}
+
+/// The simulator: routers plus a time-ordered action queue.
+///
+/// Build with [`crate::SimBuilder`].
+#[derive(Debug)]
+pub struct Sim {
+    pub(crate) routers: HashMap<RouterId, Router>,
+    queue: BinaryHeap<Reverse<Queued>>,
+    now: Timestamp,
+    seq: u64,
+    rng: StdRng,
+    /// Max extra per-delivery jitter in microseconds.
+    pub jitter_max_micros: u64,
+    /// Delay from a monitored router to the collector.
+    pub collector_delay: Timestamp,
+    collector_feed: Vec<(UpdateMessage, Timestamp)>,
+    igp_log: IgpEventLog,
+    stats: SimStats,
+    /// Last scheduled delivery per (from, to) session — BGP runs over TCP,
+    /// so deliveries on one session must stay FIFO even under jitter.
+    session_clock: HashMap<(RouterId, RouterId), Timestamp>,
+    /// Safety cap on deliveries (a runaway oscillation is *supposed* to be
+    /// unbounded; the cap bounds the experiment).
+    pub max_deliveries: u64,
+}
+
+impl Sim {
+    pub(crate) fn from_parts(routers: HashMap<RouterId, Router>, seed: u64) -> Self {
+        Sim {
+            routers,
+            queue: BinaryHeap::new(),
+            now: Timestamp::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            jitter_max_micros: 2_000,
+            collector_delay: Timestamp::from_millis(1),
+            collector_feed: Vec::new(),
+            igp_log: IgpEventLog::new(),
+            stats: SimStats::default(),
+            session_clock: HashMap::new(),
+            max_deliveries: 50_000_000,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Read access to a router.
+    pub fn router(&self, id: RouterId) -> Option<&Router> {
+        self.routers.get(&id)
+    }
+
+    /// Mutable access to a router (e.g. to attach a config mid-experiment).
+    pub fn router_mut(&mut self, id: RouterId) -> Option<&mut Router> {
+        self.routers.get_mut(&id)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    fn push(&mut self, time: Timestamp, action: Action) {
+        self.seq += 1;
+        self.queue.push(Reverse(Queued {
+            time,
+            seq: self.seq,
+            action,
+        }));
+    }
+
+    /// Schedules a local route origination with default local attributes.
+    pub fn originate(&mut self, router: RouterId, prefix: Prefix, at: Timestamp) {
+        let attrs = self
+            .routers
+            .get(&router)
+            .map(|r| r.local_attrs(prefix))
+            .unwrap_or_else(|| PathAttributes::new(router, bgpscope_bgp::AsPath::empty()));
+        self.push(at, Action::Originate { router, prefix, attrs: Some(attrs) });
+    }
+
+    /// Schedules a route origination with explicit attributes (used by
+    /// injectors to model routes heard from unmodeled downstream ASes).
+    pub fn originate_with(
+        &mut self,
+        router: RouterId,
+        prefix: Prefix,
+        attrs: PathAttributes,
+        at: Timestamp,
+    ) {
+        self.push(at, Action::Originate { router, prefix, attrs: Some(attrs) });
+    }
+
+    /// Schedules a local withdrawal.
+    pub fn withdraw(&mut self, router: RouterId, prefix: Prefix, at: Timestamp) {
+        self.push(at, Action::Originate { router, prefix, attrs: None });
+    }
+
+    /// Schedules a session teardown.
+    pub fn session_down(&mut self, a: RouterId, b: RouterId, at: Timestamp) {
+        self.push(at, Action::SessionDown(a, b));
+    }
+
+    /// Schedules a session (re-)establishment.
+    pub fn session_up(&mut self, a: RouterId, b: RouterId, at: Timestamp) {
+        self.push(at, Action::SessionUp(a, b));
+    }
+
+    /// Schedules an IGP metric change at `router` toward `nexthop`.
+    pub fn igp_metric_change(
+        &mut self,
+        router: RouterId,
+        nexthop: RouterId,
+        cost: u32,
+        at: Timestamp,
+    ) {
+        self.push(at, Action::IgpMetricChange { router, nexthop, cost });
+    }
+
+    fn schedule_outbound(&mut self, from: RouterId, out: Vec<(Option<RouterId>, UpdateMessage)>) {
+        for (dest, msg) in out {
+            match dest {
+                None => {
+                    let t = self.now + self.collector_delay;
+                    self.collector_feed.push((msg, t));
+                }
+                Some(to) => {
+                    let delay = self
+                        .routers
+                        .get(&from)
+                        .and_then(|r| r.sessions.get(&to))
+                        .map(|s| s.delay)
+                        .unwrap_or(Timestamp::from_millis(10));
+                    let jitter = if self.jitter_max_micros == 0 {
+                        0
+                    } else {
+                        self.rng.gen_range(0..=self.jitter_max_micros)
+                    };
+                    let mut t = self.now + delay + Timestamp::from_micros(jitter);
+                    // FIFO per session: never deliver before an earlier
+                    // message on the same (from, to) pair (TCP ordering).
+                    if let Some(&last) = self.session_clock.get(&(from, to)) {
+                        if t <= last {
+                            t = Timestamp(last.as_micros() + 1);
+                        }
+                    }
+                    self.session_clock.insert((from, to), t);
+                    self.push(t, Action::Deliver { from, to, msg });
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, action: Action) {
+        match action {
+            Action::Deliver { from, to, msg } => {
+                let session_up = self
+                    .routers
+                    .get(&to)
+                    .and_then(|r| r.sessions.get(&from))
+                    .map(|s| s.up)
+                    .unwrap_or(false);
+                if !session_up {
+                    self.stats.dropped_on_down_session += 1;
+                    return;
+                }
+                self.stats.messages_delivered += 1;
+                self.stats.prefix_changes += msg.change_count() as u64;
+                let now = self.now;
+                let out = self
+                    .routers
+                    .get_mut(&to)
+                    .expect("router exists")
+                    .process_update(from, &msg, now);
+                self.schedule_outbound(to, out);
+                // maximum-prefix fuse: the receiving side tears the session
+                // down if the sender exceeds its configured limit.
+                let router = self.routers.get(&to).expect("router exists");
+                if let Some(limit) = router.max_prefix_limit(from) {
+                    if router.routes_from(from) > limit as usize {
+                        self.push(self.now, Action::SessionDown(to, from));
+                    }
+                }
+            }
+            Action::SessionDown(a, b) => {
+                let mut any = false;
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(r) = self.routers.get_mut(&x) {
+                        if let Some(s) = r.sessions.get_mut(&y) {
+                            if s.up {
+                                s.up = false;
+                                any = true;
+                            }
+                            s.adj_rib_out.clear();
+                        }
+                    }
+                }
+                if !any {
+                    return;
+                }
+                self.stats.session_downs += 1;
+                let now = self.now;
+                for (x, y) in [(a, b), (b, a)] {
+                    let out = self
+                        .routers
+                        .get_mut(&x)
+                        .map(|r| r.drop_peer_routes(y, now))
+                        .unwrap_or_default();
+                    self.schedule_outbound(x, out);
+                }
+            }
+            Action::SessionUp(a, b) => {
+                let mut any = false;
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(r) = self.routers.get_mut(&x) {
+                        if let Some(s) = r.sessions.get_mut(&y) {
+                            if !s.up {
+                                s.up = true;
+                                any = true;
+                            }
+                        }
+                        r.clear_adj_out(y);
+                    }
+                }
+                if !any {
+                    return;
+                }
+                self.stats.session_ups += 1;
+                let now = self.now;
+                for (x, y) in [(a, b), (b, a)] {
+                    let out = self
+                        .routers
+                        .get_mut(&x)
+                        .map(|r| r.full_table_to(y, now))
+                        .unwrap_or_default();
+                    self.schedule_outbound(x, out);
+                }
+            }
+            Action::Originate { router, prefix, attrs } => {
+                let now = self.now;
+                let out = self
+                    .routers
+                    .get_mut(&router)
+                    .map(|r| r.originate(prefix, attrs, now))
+                    .unwrap_or_default();
+                self.schedule_outbound(router, out);
+            }
+            Action::IgpMetricChange { router, nexthop, cost } => {
+                self.igp_log.push(IgpEvent {
+                    time: self.now,
+                    kind: IgpEventKind::MetricChange {
+                        from: router,
+                        to: nexthop,
+                        old: self
+                            .routers
+                            .get(&router)
+                            .and_then(|r| r.rib.config().igp_cost.get(&nexthop))
+                            .copied()
+                            .unwrap_or(0),
+                        new: cost,
+                    },
+                });
+                // Change the cost, then re-evaluate every prefix whose best
+                // may depend on it by re-originating nothing: we simulate by
+                // touching all prefixes through a no-op update cycle.
+                let now = self.now;
+                if let Some(r) = self.routers.get_mut(&router) {
+                    // Capture old bests, change config, emit diffs.
+                    let prefixes: Vec<Prefix> =
+                        r.rib.best_routes().map(|(p, _)| p).collect();
+                    let old: Vec<(Prefix, Option<bgpscope_bgp::Route>)> = prefixes
+                        .iter()
+                        .map(|p| (*p, r.rib.best(p).cloned()))
+                        .collect();
+                    r.set_igp_cost(nexthop, cost);
+                    let old_map: std::collections::HashMap<_, _> = old.into_iter().collect();
+                    let touched: Vec<Prefix> = old_map.keys().copied().collect();
+                    let out = r.emit_changes_public(&touched, &old_map, now);
+                    self.schedule_outbound(router, out);
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue drains or the delivery cap is hit.
+    pub fn run_to_completion(&mut self) {
+        while let Some(Reverse(q)) = self.queue.pop() {
+            if self.stats.messages_delivered >= self.max_deliveries {
+                break;
+            }
+            self.now = self.now.max(q.time);
+            self.execute(q.action);
+        }
+    }
+
+    /// Runs only actions scheduled at or before `t` (later ones stay queued).
+    pub fn run_until(&mut self, t: Timestamp) {
+        while let Some(Reverse(q)) = self.queue.peek().cloned() {
+            if q.time > t || self.stats.messages_delivered >= self.max_deliveries {
+                break;
+            }
+            self.queue.pop();
+            self.now = self.now.max(q.time);
+            self.execute(q.action);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Drains and returns the collector feed (sorted by time).
+    pub fn take_collector_feed(&mut self) -> Vec<(UpdateMessage, Timestamp)> {
+        let mut feed = std::mem::take(&mut self.collector_feed);
+        feed.sort_by_key(|&(_, t)| t);
+        feed
+    }
+
+    /// Consumes the sim, returning all outputs.
+    pub fn finish(mut self) -> SimOutput {
+        let feed = self.take_collector_feed();
+        SimOutput {
+            collector_feed: feed,
+            igp_log: self.igp_log,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::SessionKind;
+    use crate::topology::SimBuilder;
+    use bgpscope_bgp::Asn;
+
+    fn rid(n: u8) -> RouterId {
+        RouterId::from_octets(10, 0, 0, n)
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// A chain AS1 -- AS2 -- AS3: an origination at one end propagates to
+    /// the other with AS path accumulation.
+    #[test]
+    fn propagation_across_chain() {
+        let mut sim = SimBuilder::new(1)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .router(rid(3), Asn(3))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .session(rid(2), rid(3), SessionKind::Ebgp)
+            .monitor(rid(3))
+            .build();
+        sim.originate(rid(1), p("10.0.0.0/8"), Timestamp::ZERO);
+        sim.run_to_completion();
+        let best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        assert_eq!(best.attrs.as_path.to_string(), "2 1");
+        assert_eq!(best.attrs.next_hop, rid(2));
+        let feed = sim.take_collector_feed();
+        assert_eq!(feed.len(), 1);
+        assert!(feed[0].0.nlri.contains(&p("10.0.0.0/8")));
+    }
+
+    /// Session reset: withdrawal storm, then full-table restore.
+    #[test]
+    fn session_reset_storm_emerges() {
+        let mut sim = SimBuilder::new(2)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .monitor(rid(2))
+            .build();
+        for i in 0..50u8 {
+            sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 50);
+
+        sim.session_down(rid(1), rid(2), Timestamp::from_secs(10));
+        sim.session_up(rid(1), rid(2), Timestamp::from_secs(70));
+        sim.run_to_completion();
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 50);
+
+        let feed = sim.take_collector_feed();
+        let withdraws: usize = feed.iter().map(|(m, _)| m.withdrawn.len()).sum();
+        let announces: usize = feed.iter().map(|(m, _)| m.nlri.len()).sum();
+        assert_eq!(withdraws, 50, "one withdrawal per prefix at reset");
+        assert_eq!(announces, 100, "initial + re-announcement");
+        assert_eq!(sim.stats().session_downs, 1);
+        assert_eq!(sim.stats().session_ups, 1);
+    }
+
+    /// Path failover: when the primary path dies the router explores to the
+    /// alternate; the collector sees the switch.
+    #[test]
+    fn failover_to_alternate_path() {
+        // r3 (our AS) dual-homed to r1 (AS1, shorter) and r2 (AS2, longer).
+        let mut sim = SimBuilder::new(3)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .router(rid(3), Asn(65000))
+            .router(rid(4), Asn(9)) // origin AS, behind both
+            .session(rid(4), rid(1), SessionKind::Ebgp)
+            .session(rid(4), rid(2), SessionKind::Ebgp)
+            .session(rid(1), rid(3), SessionKind::Ebgp)
+            .session(rid(2), rid(3), SessionKind::Ebgp)
+            .monitor(rid(3))
+            .build();
+        // Make the AS2 path longer via prepending at origination.
+        sim.originate(rid(4), p("10.0.0.0/8"), Timestamp::ZERO);
+        sim.run_to_completion();
+        let best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        // Both paths are 2 hops ("1 9" vs "2 9"); tie broken deterministically.
+        assert_eq!(best.attrs.as_path.hop_count(), 2);
+
+        // Kill the session the best path uses; the router fails over.
+        let best_peer = best.peer.router_id();
+        sim.session_down(best_peer, rid(3), Timestamp::from_secs(5));
+        sim.run_to_completion();
+        let new_best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        assert_ne!(new_best.peer.router_id(), best_peer);
+    }
+
+    /// The maximum-prefix fuse: a leak beyond the limit closes the session,
+    /// as in the paper's ISP-A/ISP-B incident.
+    #[test]
+    fn max_prefix_fuse_trips_on_leak() {
+        use bgpscope_policy::parse_config;
+        let mut sim = SimBuilder::new(4)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .monitor(rid(2))
+            .build();
+        sim.router_mut(rid(2)).unwrap().config = Some(
+            parse_config("router bgp 2\n neighbor 10.0.0.1 maximum-prefix 10\n").unwrap(),
+        );
+        for i in 0..25u8 {
+            sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::from_secs(i as u64));
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.stats().session_downs, 1);
+        // Session dead: receiver dropped everything it had heard.
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 0);
+        assert!(!sim.router(rid(2)).unwrap().sessions[&rid(1)].up);
+    }
+
+    #[test]
+    fn max_deliveries_caps_runaway() {
+        let mut sim = SimBuilder::new(50)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .build();
+        sim.max_deliveries = 10;
+        // Schedule far more work than the cap allows.
+        for i in 0..100u8 {
+            sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+        }
+        sim.run_to_completion();
+        assert!(sim.stats().messages_delivered <= 10);
+    }
+
+    #[test]
+    fn collector_delay_offsets_feed_timestamps() {
+        let mut sim = SimBuilder::new(51)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .monitor(rid(2))
+            .build();
+        sim.collector_delay = Timestamp::from_secs(3);
+        sim.jitter_max_micros = 0;
+        sim.originate(rid(1), p("10.0.0.0/8"), Timestamp::from_secs(10));
+        sim.run_to_completion();
+        let feed = sim.take_collector_feed();
+        assert_eq!(feed.len(), 1);
+        // origination at 10s + 10ms session delay + 3s collector delay.
+        assert_eq!(feed[0].1, Timestamp::from_micros(10_000_000 + 10_000 + 3_000_000));
+    }
+
+    #[test]
+    fn session_down_is_idempotent() {
+        let mut sim = SimBuilder::new(52)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .build();
+        sim.originate(rid(1), p("10.0.0.0/8"), Timestamp::ZERO);
+        sim.session_down(rid(1), rid(2), Timestamp::from_secs(10));
+        sim.session_down(rid(1), rid(2), Timestamp::from_secs(11));
+        sim.session_down(rid(2), rid(1), Timestamp::from_secs(12));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().session_downs, 1, "repeat downs are no-ops");
+        sim.session_up(rid(1), rid(2), Timestamp::from_secs(20));
+        sim.session_up(rid(1), rid(2), Timestamp::from_secs(21));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().session_ups, 1);
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 1);
+    }
+
+    #[test]
+    fn messages_on_down_session_dropped() {
+        let mut sim = SimBuilder::new(53)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .build();
+        // Originate and tear down at the same instant: the in-flight
+        // announce arrives on a dead session and must be dropped.
+        sim.originate(rid(1), p("10.0.0.0/8"), Timestamp::from_secs(1));
+        sim.session_down(rid(1), rid(2), Timestamp(1_000_001));
+        sim.run_to_completion();
+        assert!(sim.stats().dropped_on_down_session >= 1);
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 0);
+    }
+
+    #[test]
+    fn run_until_respects_time() {
+        let mut sim = SimBuilder::new(5)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .build();
+        sim.originate(rid(1), p("10.0.0.0/8"), Timestamp::from_secs(100));
+        sim.run_until(Timestamp::from_secs(50));
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 0);
+        sim.run_until(Timestamp::from_secs(200));
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 1);
+    }
+
+    #[test]
+    fn igp_metric_change_recorded_and_can_flip_best() {
+        // r3 hears the same path-length route from two IBGP peers with
+        // different nexthops; IGP cost decides. Changing the metric flips it.
+        let mut sim = SimBuilder::new(6)
+            .router(rid(1), Asn(65000))
+            .router(rid(2), Asn(65000))
+            .router(rid(3), Asn(65000))
+            .router(rid(7), Asn(7))
+            .router(rid(8), Asn(8))
+            .session(rid(1), rid(3), SessionKind::Ibgp)
+            .session(rid(2), rid(3), SessionKind::Ibgp)
+            .session(rid(7), rid(1), SessionKind::Ebgp)
+            .session(rid(8), rid(2), SessionKind::Ebgp)
+            .monitor(rid(3))
+            // IBGP preserves the EBGP-set NEXT_HOPs (r7 / r8), so those are
+            // the addresses whose IGP costs matter at r3.
+            .igp_cost(rid(3), rid(7), 10)
+            .igp_cost(rid(3), rid(8), 20)
+            .build();
+        // Same prefix from AS7 via r1 and from AS8 via r2 (equal path length).
+        sim.originate(rid(7), p("10.0.0.0/8"), Timestamp::ZERO);
+        sim.originate(rid(8), p("10.0.0.0/8"), Timestamp::ZERO);
+        sim.run_to_completion();
+        let best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        assert_eq!(best.attrs.next_hop, rid(7), "cheaper IGP cost wins");
+
+        sim.igp_metric_change(rid(3), rid(7), 100, Timestamp::from_secs(10));
+        sim.run_to_completion();
+        let best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        assert_eq!(best.attrs.next_hop, rid(8), "metric change flips the best");
+        let out = sim.finish();
+        assert_eq!(out.igp_log.len(), 1);
+        // The collector saw the flip as an implicit replacement.
+        let flips = out
+            .collector_feed
+            .iter()
+            .filter(|(m, _)| m.attrs.as_ref().is_some_and(|a| a.next_hop == rid(8)))
+            .count();
+        assert!(flips >= 1);
+    }
+}

@@ -1,0 +1,397 @@
+//! Anomaly injectors.
+//!
+//! Each injector schedules the *cause* of a paper case study; the BGP
+//! machinery produces the symptoms. Injectors never fabricate collector
+//! events directly.
+
+use bgpscope_bgp::{PathAttributes, Prefix, RouterId, Timestamp};
+
+use crate::engine::Sim;
+
+/// A periodic flap description.
+#[derive(Debug, Clone, Copy)]
+pub struct FlapSchedule {
+    /// First down (or withdraw) instant.
+    pub start: Timestamp,
+    /// Time from one flap cycle's start to the next.
+    pub period: Timestamp,
+    /// How long the session/route stays down within each cycle.
+    pub down_time: Timestamp,
+    /// Number of cycles.
+    pub count: u32,
+}
+
+impl FlapSchedule {
+    /// A schedule matching the paper's §IV-E customer: dropped and
+    /// re-established "every minute on the average", ~20 s convergence.
+    pub fn customer_flap(start: Timestamp, count: u32) -> Self {
+        FlapSchedule {
+            start,
+            period: Timestamp::from_secs(60),
+            down_time: Timestamp::from_secs(30),
+            count,
+        }
+    }
+}
+
+/// Stateless injector entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct Injector;
+
+impl Injector {
+    /// Case §IV-E: a BGP session that will not stay up. Schedules
+    /// `count` down/up cycles on the `a`–`b` session.
+    pub fn session_flap(sim: &mut Sim, a: RouterId, b: RouterId, schedule: FlapSchedule) {
+        for i in 0..schedule.count {
+            let down_at = Timestamp(
+                schedule.start.as_micros() + i as u64 * schedule.period.as_micros(),
+            );
+            let up_at = down_at + schedule.down_time;
+            sim.session_down(a, b, down_at);
+            sim.session_up(a, b, up_at);
+        }
+    }
+
+    /// Case §IV-F driver: a route announced and withdrawn at high frequency
+    /// (the AS2 route that Core2-a/b kept announcing/withdrawing every
+    /// ~10 µs). `period` is one announce+withdraw cycle.
+    pub fn route_flap(
+        sim: &mut Sim,
+        router: RouterId,
+        prefix: Prefix,
+        attrs: PathAttributes,
+        schedule: FlapSchedule,
+    ) {
+        for i in 0..schedule.count {
+            let announce_at = Timestamp(
+                schedule.start.as_micros() + i as u64 * schedule.period.as_micros(),
+            );
+            let withdraw_at = announce_at + schedule.down_time;
+            sim.originate_with(router, prefix, attrs.clone(), announce_at);
+            sim.withdraw(router, prefix, withdraw_at);
+        }
+    }
+
+    /// Case §IV-D: a peer leaks routes it should not export — modeled as the
+    /// leaking router suddenly originating `prefixes` with the given (often
+    /// long, multi-AS) attributes, then withdrawing them at `until`.
+    pub fn leak<'a, I>(
+        sim: &mut Sim,
+        router: RouterId,
+        prefixes: I,
+        attrs: PathAttributes,
+        at: Timestamp,
+        until: Option<Timestamp>,
+    ) where
+        I: IntoIterator<Item = &'a Prefix>,
+    {
+        for &prefix in prefixes {
+            sim.originate_with(router, prefix, attrs.clone(), at);
+            if let Some(until) = until {
+                sim.withdraw(router, prefix, until);
+            }
+        }
+    }
+
+    /// Route hijack: `router` originates a prefix it does not own (locally
+    /// sourced, empty AS path → very attractive short route).
+    pub fn hijack(sim: &mut Sim, router: RouterId, prefix: Prefix, at: Timestamp) {
+        let attrs = sim
+            .router(router)
+            .map(|r| r.local_attrs(prefix))
+            .unwrap_or_else(|| PathAttributes::new(router, bgpscope_bgp::AsPath::empty()));
+        sim.originate_with(router, prefix, attrs, at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::SessionKind;
+    use crate::topology::SimBuilder;
+    use bgpscope_bgp::{Asn, Med};
+    use bgpscope_collector::Collector;
+
+    fn rid(n: u8) -> RouterId {
+        RouterId::from_octets(10, 0, 0, n)
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// §IV-E shape: each session flap produces a burst of withdrawals and
+    /// re-announcements at the monitored router.
+    #[test]
+    fn session_flap_produces_periodic_bursts() {
+        let mut sim = SimBuilder::new(7)
+            .router(rid(1), Asn(100)) // customer
+            .router(rid(2), Asn(65000)) // our edge
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .monitor(rid(2))
+            .build();
+        for i in 0..10u8 {
+            sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+        }
+        sim.run_until(Timestamp::from_secs(5));
+        Injector::session_flap(
+            sim_mut(&mut sim),
+            rid(1),
+            rid(2),
+            FlapSchedule::customer_flap(Timestamp::from_secs(10), 5),
+        );
+        sim.run_to_completion();
+        let feed = sim.take_collector_feed();
+        let withdraws: usize = feed.iter().map(|(m, _)| m.withdrawn.len()).sum();
+        let announces: usize = feed.iter().map(|(m, _)| m.nlri.len()).sum();
+        // 5 cycles × 10 prefixes down, then up again; plus the initial 10.
+        assert_eq!(withdraws, 50);
+        assert_eq!(announces, 60);
+    }
+
+    // Identity helper so the injector call reads naturally above.
+    fn sim_mut(sim: &mut crate::engine::Sim) -> &mut crate::engine::Sim {
+        sim
+    }
+
+    /// §IV-F: the MED oscillation *emerges*. Core1 has a stable AS1 path
+    /// and a MED-better AS2 path that flaps via Core2; every flap makes
+    /// Core1 switch, flooding the collector with changes for one prefix.
+    #[test]
+    fn med_oscillation_emerges() {
+        let core1 = rid(1);
+        let core2 = rid(2);
+        let as1_router = RouterId::from_octets(192, 0, 2, 1);
+        let as2_router = RouterId::from_octets(192, 0, 2, 2);
+        let prefix = p("4.5.0.0/16");
+
+        let mut sim = SimBuilder::new(8)
+            .router(core1, Asn(65000))
+            .router(core2, Asn(65000))
+            .router(as1_router, Asn(1))
+            .router(as2_router, Asn(2))
+            .session(core1, core2, SessionKind::Ibgp)
+            .session(as1_router, core1, SessionKind::Ebgp)
+            .session(as2_router, core2, SessionKind::Ebgp)
+            .monitor(core1)
+            .igp_cost(core1, core1, 0)
+            .build();
+
+        // Stable AS1 path at Core1 (MED 50 from AS1... AS1 and AS2 are
+        // different neighbor ASes, so MEDs do not compare between them;
+        // the AS2 path wins on... equal path length, then EBGP-over-IBGP
+        // favors AS1 at core1. To let the flapping AS2 route win at Core1,
+        // give the AS1 route a longer path (prepending).
+        let as1_attrs = PathAttributes::new(as1_router, "9".parse().unwrap()).with_med(50);
+        sim.originate_with(as1_router, prefix, as1_attrs, Timestamp::ZERO);
+        sim.run_until(Timestamp::from_secs(1));
+
+        // AS2 flaps its (shorter, therefore preferred) announcement.
+        let as2_attrs = PathAttributes::new(as2_router, bgpscope_bgp::AsPath::empty())
+            .with_med(10);
+        Injector::route_flap(
+            &mut sim,
+            as2_router,
+            prefix,
+            as2_attrs,
+            FlapSchedule {
+                start: Timestamp::from_secs(2),
+                period: Timestamp::from_millis(20),
+                down_time: Timestamp::from_millis(10),
+                count: 50,
+            },
+        );
+        sim.run_to_completion();
+        let feed = sim.take_collector_feed();
+        // Core1 switched to the AS2 path and back on every cycle: the
+        // collector sees 2 changes per cycle for this one prefix.
+        let changes: usize = feed.iter().map(|(m, _)| m.change_count()).sum();
+        assert!(changes >= 90, "expected ~100 changes, got {changes}");
+        assert!(feed.iter().all(|(m, _)| {
+            m.withdrawn.iter().chain(m.nlri.iter()).all(|&px| px == prefix)
+        }));
+
+        // Feed through the collector: a single-prefix, high-rate component —
+        // exactly what Stemming's §IV-F case flags. Core1 always has the AS1
+        // fallback, so every switch is an implicit replacement: the stream
+        // is all announcements, alternating between the two paths.
+        let mut rex = Collector::new();
+        let mut stream = bgpscope_bgp::EventStream::new();
+        for (msg, t) in &feed {
+            stream.extend(rex.apply_update(msg, *t));
+        }
+        let (ann, wd) = stream.counts();
+        assert!(ann >= 90, "ann={ann} wd={wd}");
+        assert_eq!(wd, 0);
+        let as2_legs = stream
+            .iter()
+            .filter(|e| e.attrs.as_path.first_as() == Some(Asn(2)))
+            .count();
+        let as1_legs = stream
+            .iter()
+            .filter(|e| e.attrs.as_path.first_as() == Some(Asn(1)))
+            .count();
+        assert!(as2_legs >= 45 && as1_legs >= 45, "as1={as1_legs} as2={as2_legs}");
+    }
+
+    /// §IV-D shape: leaked routes pull prefixes onto a long path and back.
+    #[test]
+    fn leak_moves_prefixes_and_withdraws() {
+        let provider = rid(1);
+        let leaker = rid(3);
+        let edge = rid(2);
+        let mut sim = SimBuilder::new(9)
+            .router(provider, Asn(209)) // QWest-ish
+            .router(leaker, Asn(3356)) // the leaked long path's head
+            .router(edge, Asn(25)) // our edge
+            .session(provider, edge, SessionKind::Ebgp)
+            .session(leaker, edge, SessionKind::Ebgp)
+            .monitor(edge)
+            .build();
+        let prefixes: Vec<Prefix> = (0..20u8).map(|i| Prefix::from_octets(30, i, 0, 0, 16)).collect();
+        for &px in &prefixes {
+            sim.originate(provider, px, Timestamp::ZERO);
+        }
+        sim.run_until(Timestamp::from_secs(5));
+
+        // The leak: shorter path via the leaker (locally originated there,
+        // 1 AS hop when it reaches our edge vs 1 for provider...). Use
+        // empty-path origination at the leaker: at `edge`, both paths are
+        // 1-hop; tie-break decides. To force the move, leak with an
+        // empty path AND make provider's route longer by prepending: the
+        // provider originated with its own ASN once; re-originate with a
+        // prepended path to weaken it… simpler: leaked routes win because
+        // the leaker's router id is lower? Avoid tie-break subtleties:
+        // the leak is attractive because our edge prefers it via LOCAL_PREF
+        // in real life; here we let the leaked path be genuinely shorter by
+        // giving the provider's origination an extra AS hop.
+        for &px in &prefixes {
+            let weak = PathAttributes::new(provider, "7007".parse().unwrap());
+            sim.originate_with(provider, px, weak, Timestamp::from_secs(6));
+        }
+        sim.run_until(Timestamp::from_secs(20));
+        Injector::leak(
+            &mut sim,
+            leaker,
+            &prefixes,
+            PathAttributes::new(leaker, bgpscope_bgp::AsPath::empty()),
+            Timestamp::from_secs(30),
+            Some(Timestamp::from_secs(90)),
+        );
+        sim.run_to_completion();
+
+        // After the leak ends, the edge is back on the provider path.
+        let best = sim.router(edge).unwrap().rib.best(&prefixes[0]).unwrap().clone();
+        assert_eq!(best.peer.router_id(), provider);
+
+        let feed = sim.take_collector_feed();
+        // The collector saw each prefix move to the leaked path and back.
+        let leak_moves = feed
+            .iter()
+            .filter(|(m, _)| {
+                m.attrs
+                    .as_ref()
+                    .is_some_and(|a| a.as_path.first_as() == Some(Asn(3356)))
+            })
+            .count();
+        assert_eq!(leak_moves, 20);
+    }
+
+    /// A hijack is visible as an origin change at the monitored router.
+    #[test]
+    fn hijack_changes_origin() {
+        let owner = rid(1);
+        let attacker = rid(3);
+        let edge = rid(2);
+        let mut sim = SimBuilder::new(10)
+            .router(owner, Asn(100))
+            .router(attacker, Asn(666))
+            .router(edge, Asn(25))
+            .session(owner, edge, SessionKind::Ebgp)
+            .session(attacker, edge, SessionKind::Ebgp)
+            .monitor(edge)
+            .build();
+        let victim = p("1.2.3.0/24");
+        // Owner originates with some internal structure (longer path).
+        sim.originate_with(
+            owner,
+            victim,
+            PathAttributes::new(owner, "200 300".parse().unwrap()),
+            Timestamp::ZERO,
+        );
+        sim.run_until(Timestamp::from_secs(5));
+        assert_eq!(
+            sim.router(edge).unwrap().rib.best(&victim).unwrap().attrs.as_path.origin_as(),
+            Some(Asn(300))
+        );
+        Injector::hijack(&mut sim, attacker, victim, Timestamp::from_secs(10));
+        sim.run_to_completion();
+        // The attacker's shorter announcement wins; origin AS changed.
+        assert_eq!(
+            sim.router(edge).unwrap().rib.best(&victim).unwrap().attrs.as_path.origin_as(),
+            Some(Asn(666))
+        );
+    }
+
+    /// RFC 2439 damping suppresses the §IV-E customer flap: with damping
+    /// enabled at the edge, the collector event volume collapses after the
+    /// first few cycles.
+    #[test]
+    fn damping_suppresses_customer_flap() {
+        use bgpscope_bgp::{DampingConfig, FlapDamper};
+        let run = |damped: bool| {
+            let mut sim = SimBuilder::new(77)
+                .router(rid(1), Asn(100))
+                .router(rid(2), Asn(65000))
+                .session(rid(1), rid(2), SessionKind::Ebgp)
+                .monitor(rid(2))
+                .build();
+            if damped {
+                sim.router_mut(rid(2)).unwrap().damping =
+                    Some(FlapDamper::new(DampingConfig::default()));
+            }
+            for i in 0..5u8 {
+                sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+            }
+            sim.run_until(Timestamp::from_secs(5));
+            Injector::session_flap(
+                &mut sim,
+                rid(1),
+                rid(2),
+                FlapSchedule::customer_flap(Timestamp::from_secs(60), 30),
+            );
+            sim.run_to_completion();
+            sim.take_collector_feed().len()
+        };
+        let undamped = run(false);
+        let damped = run(true);
+        assert!(
+            (damped as f64) < 0.5 * undamped as f64,
+            "damping barely helped: {damped} vs {undamped}"
+        );
+        assert!(damped > 0, "the first flaps still show before suppression");
+    }
+
+    #[test]
+    fn med_flap_check_uses_med() {
+        // Sanity: with two same-neighbor-AS candidates, MED decides at the
+        // receiving router. (Guards the §IV-F setup's assumptions.)
+        let edge = rid(2);
+        let a = RouterId::from_octets(192, 0, 2, 1);
+        let b = RouterId::from_octets(192, 0, 2, 2);
+        let mut sim = SimBuilder::new(11)
+            .router(a, Asn(2))
+            .router(b, Asn(2))
+            .router(edge, Asn(65000))
+            .session(a, edge, SessionKind::Ebgp)
+            .session(b, edge, SessionKind::Ebgp)
+            .monitor(edge)
+            .build();
+        let px = p("4.5.0.0/16");
+        sim.originate_with(a, px, PathAttributes::new(a, bgpscope_bgp::AsPath::empty()).with_med(50), Timestamp::ZERO);
+        sim.originate_with(b, px, PathAttributes::new(b, bgpscope_bgp::AsPath::empty()).with_med(10), Timestamp::ZERO);
+        sim.run_to_completion();
+        let best = sim.router(edge).unwrap().rib.best(&px).unwrap().clone();
+        assert_eq!(best.attrs.med, Some(Med(10)));
+    }
+}

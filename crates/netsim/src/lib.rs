@@ -1,0 +1,51 @@
+//! Discrete-event BGP network simulator.
+//!
+//! The paper's algorithms were fed by a passive collector inside two real
+//! networks (U.C. Berkeley and a U.S. Tier-1 ISP); those traces are
+//! proprietary. This crate is the substitution: a message-passing BGP
+//! simulator whose routers hold Loc-RIBs, run the real decision process
+//! (`bgpscope_bgp::DecisionProcess`, including the MED rules), apply
+//! route-map policies (`bgpscope_policy`), follow IBGP route-reflection
+//! export rules, and exchange timestamped UPDATE messages over sessions with
+//! propagation delay. A passive collector peer observes monitored routers
+//! exactly the way REX does, producing the update feed that
+//! `bgpscope-collector` turns into augmented event streams.
+//!
+//! Anomalies are *injected as causes, not as event streams*: a session flap
+//! is scheduled as session-down/session-up events and the withdrawal storm,
+//! path exploration and re-convergence **emerge** from the protocol
+//! machinery — so Stemming and TAMP are analyzing dynamics they have never
+//! been shown.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpscope_netsim::{SimBuilder, SessionKind};
+//! use bgpscope_bgp::{Asn, PathAttributes, RouterId, Timestamp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let r1 = RouterId::from_octets(10, 0, 0, 1); // our AS
+//! let r2 = RouterId::from_octets(192, 0, 2, 1); // provider AS
+//! let mut sim = SimBuilder::new(42)
+//!     .router(r1, Asn(65000))
+//!     .router(r2, Asn(701))
+//!     .session(r1, r2, SessionKind::Ebgp)
+//!     .monitor(r1)
+//!     .build();
+//! sim.originate(r2, "10.0.0.0/8".parse()?, Timestamp::ZERO);
+//! sim.run_to_completion();
+//! let updates = sim.take_collector_feed();
+//! assert!(!updates.is_empty()); // r1 exported its new best route to REX
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod inject;
+pub mod router;
+pub mod topology;
+
+pub use engine::{Sim, SimOutput, SimStats};
+pub use inject::{FlapSchedule, Injector};
+pub use router::{Router, SessionKind};
+pub use topology::SimBuilder;

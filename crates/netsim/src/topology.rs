@@ -1,0 +1,163 @@
+//! Declarative construction of simulations.
+
+use std::collections::HashMap;
+
+use bgpscope_bgp::{Asn, RouterId, Timestamp};
+use bgpscope_policy::ConfigDocument;
+
+use crate::engine::Sim;
+use crate::router::{Router, SessionKind};
+
+/// Builds a [`Sim`] from routers, sessions, monitors, configs and IGP costs.
+///
+/// Sessions are symmetric: `session(a, b, Ebgp)` installs the session at
+/// both ends. `SessionKind::IbgpClient` means **`b` is a client of `a`**
+/// (`a` is the route reflector); `b` sees `a` as a plain IBGP peer.
+#[derive(Debug, Default)]
+pub struct SimBuilder {
+    seed: u64,
+    routers: HashMap<RouterId, Router>,
+    default_delay: Timestamp,
+    pending_sessions: Vec<(RouterId, RouterId, SessionKind, Timestamp)>,
+}
+
+impl SimBuilder {
+    /// A builder with a deterministic seed for delivery jitter.
+    pub fn new(seed: u64) -> Self {
+        SimBuilder {
+            seed,
+            routers: HashMap::new(),
+            default_delay: Timestamp::from_millis(10),
+            pending_sessions: Vec::new(),
+        }
+    }
+
+    /// Sets the default session delay (10 ms if unset).
+    pub fn default_delay(mut self, delay: Timestamp) -> Self {
+        self.default_delay = delay;
+        self
+    }
+
+    /// Adds a router.
+    pub fn router(mut self, id: RouterId, asn: Asn) -> Self {
+        self.routers.insert(id, Router::new(id, asn));
+        self
+    }
+
+    /// Adds a symmetric session with the default delay.
+    pub fn session(self, a: RouterId, b: RouterId, kind: SessionKind) -> Self {
+        let delay = self.default_delay;
+        self.session_with_delay(a, b, kind, delay)
+    }
+
+    /// Adds a symmetric session with an explicit delay.
+    pub fn session_with_delay(
+        mut self,
+        a: RouterId,
+        b: RouterId,
+        kind: SessionKind,
+        delay: Timestamp,
+    ) -> Self {
+        self.pending_sessions.push((a, b, kind, delay));
+        self
+    }
+
+    /// Marks a router as observed by the passive collector.
+    pub fn monitor(mut self, id: RouterId) -> Self {
+        if let Some(r) = self.routers.get_mut(&id) {
+            r.monitored = true;
+        }
+        self
+    }
+
+    /// Attaches a parsed configuration to a router.
+    pub fn config(mut self, id: RouterId, config: ConfigDocument) -> Self {
+        if let Some(r) = self.routers.get_mut(&id) {
+            r.config = Some(config);
+        }
+        self
+    }
+
+    /// Sets the IGP cost `router` sees toward `nexthop`.
+    pub fn igp_cost(mut self, router: RouterId, nexthop: RouterId, cost: u32) -> Self {
+        if let Some(r) = self.routers.get_mut(&router) {
+            r.set_igp_cost(nexthop, cost);
+        }
+        self
+    }
+
+    /// Finalizes the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session references an unknown router.
+    pub fn build(mut self) -> Sim {
+        for (a, b, kind, delay) in std::mem::take(&mut self.pending_sessions) {
+            assert!(self.routers.contains_key(&a), "unknown router {a}");
+            assert!(self.routers.contains_key(&b), "unknown router {b}");
+            let reverse_kind = match kind {
+                SessionKind::Ebgp => SessionKind::Ebgp,
+                SessionKind::Ibgp => SessionKind::Ibgp,
+                // b is a's client; from b's side, a is a plain IBGP peer.
+                SessionKind::IbgpClient => SessionKind::Ibgp,
+            };
+            self.routers
+                .get_mut(&a)
+                .expect("checked")
+                .add_session(b, kind, delay);
+            self.routers
+                .get_mut(&b)
+                .expect("checked")
+                .add_session(a, reverse_kind, delay);
+        }
+        Sim::from_parts(self.routers, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u8) -> RouterId {
+        RouterId::from_octets(10, 0, 0, n)
+    }
+
+    #[test]
+    fn symmetric_sessions() {
+        let sim = SimBuilder::new(0)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .build();
+        assert!(sim.router(rid(1)).unwrap().sessions.contains_key(&rid(2)));
+        assert!(sim.router(rid(2)).unwrap().sessions.contains_key(&rid(1)));
+    }
+
+    #[test]
+    fn client_relationship_asymmetric() {
+        let sim = SimBuilder::new(0)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(1))
+            .session(rid(1), rid(2), SessionKind::IbgpClient)
+            .build();
+        assert_eq!(
+            sim.router(rid(1)).unwrap().sessions[&rid(2)].kind,
+            SessionKind::IbgpClient
+        );
+        assert_eq!(
+            sim.router(rid(2)).unwrap().sessions[&rid(1)].kind,
+            SessionKind::Ibgp
+        );
+        assert!(sim.router(rid(1)).unwrap().reflector);
+        assert!(!sim.router(rid(2)).unwrap().reflector);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown router")]
+    fn unknown_router_panics() {
+        SimBuilder::new(0)
+            .router(rid(1), Asn(1))
+            .session(rid(1), rid(9), SessionKind::Ebgp)
+            .build();
+    }
+}

@@ -1,0 +1,256 @@
+//! The configuration-document model.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::{Asn, Community, Prefix, RouterId};
+
+/// Permit or deny, as used by lists and route-map entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ListAction {
+    /// The entry allows matching items.
+    Permit,
+    /// The entry rejects matching items.
+    Deny,
+}
+
+/// A named community list: ordered `(action, community)` rules.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommunityList {
+    /// Ordered rules; first match wins.
+    pub rules: Vec<(ListAction, Community)>,
+}
+
+impl CommunityList {
+    /// Whether any community in `communities` is permitted by this list.
+    pub fn permits_any(&self, communities: &[Community]) -> bool {
+        communities.iter().any(|c| self.permits(*c))
+    }
+
+    /// Whether `community` is permitted (first matching rule decides;
+    /// no match = deny).
+    pub fn permits(&self, community: Community) -> bool {
+        for (action, c) in &self.rules {
+            if *c == community {
+                return *action == ListAction::Permit;
+            }
+        }
+        false
+    }
+}
+
+/// One prefix-list rule: `permit 10.0.0.0/8 le 24` style.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefixRule {
+    /// Permit or deny.
+    pub action: ListAction,
+    /// The base prefix.
+    pub prefix: Prefix,
+    /// Maximum accepted mask length (`le`), if any.
+    pub le: Option<u8>,
+    /// Minimum accepted mask length (`ge`), if any.
+    pub ge: Option<u8>,
+}
+
+impl PrefixRule {
+    /// Whether `p` matches this rule's shape (ignoring the action).
+    pub fn matches(&self, p: Prefix) -> bool {
+        if !self.prefix.covers(&p) {
+            return false;
+        }
+        match (self.ge, self.le) {
+            (None, None) => p.len() == self.prefix.len(),
+            (ge, le) => {
+                p.len() >= ge.unwrap_or(self.prefix.len()) && p.len() <= le.unwrap_or(32)
+            }
+        }
+    }
+}
+
+/// A named prefix list.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrefixList {
+    /// Ordered rules; first match wins.
+    pub rules: Vec<PrefixRule>,
+}
+
+impl PrefixList {
+    /// Whether `p` is permitted (first matching rule decides; no match =
+    /// deny, as on real routers).
+    pub fn permits(&self, p: Prefix) -> bool {
+        for rule in &self.rules {
+            if rule.matches(p) {
+                return rule.action == ListAction::Permit;
+            }
+        }
+        false
+    }
+}
+
+/// A route-map `match` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Match {
+    /// `match community <list-name>`.
+    Community(String),
+    /// `match ip address prefix-list <list-name>`.
+    PrefixList(String),
+    /// `match as-path-contains <asn>` (a simplified as-path match).
+    AsPathContains(Asn),
+}
+
+/// A route-map `set` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SetAction {
+    /// `set local-preference <n>`.
+    LocalPref(u32),
+    /// `set metric <n>` (MED).
+    Med(u32),
+    /// `set community <c> additive`.
+    AddCommunity(Community),
+    /// `set comm-list delete`-style removal of one community.
+    RemoveCommunity(Community),
+}
+
+/// One `route-map NAME permit|deny SEQ` entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteMapEntry {
+    /// Permit (apply sets, accept) or deny (reject).
+    pub action: ListAction,
+    /// Sequence number; entries evaluate in ascending order.
+    pub seq: u32,
+    /// All matches must hold (AND semantics, like IOS).
+    pub matches: Vec<Match>,
+    /// Set actions applied on permit.
+    pub sets: Vec<SetAction>,
+}
+
+/// A named route map.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouteMap {
+    /// Entries sorted by sequence number.
+    pub entries: Vec<RouteMapEntry>,
+}
+
+/// A `neighbor` statement inside `router bgp`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The neighbor address.
+    pub addr: RouterId,
+    /// Inbound route-map name, if configured.
+    pub route_map_in: Option<String>,
+    /// Outbound route-map name, if configured.
+    pub route_map_out: Option<String>,
+    /// `neighbor … maximum-prefix <n>`: tear the session down if the
+    /// neighbor sends more prefixes than this (the route-leak fuse from the
+    /// paper's introduction).
+    pub max_prefix: Option<u32>,
+}
+
+/// A parsed router configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigDocument {
+    /// The local AS from `router bgp <asn>`, if present.
+    pub local_as: Option<Asn>,
+    /// Neighbors keyed by address.
+    pub neighbors: BTreeMap<RouterId, Neighbor>,
+    /// Community lists by name.
+    pub community_lists: BTreeMap<String, CommunityList>,
+    /// Prefix lists by name.
+    pub prefix_lists: BTreeMap<String, PrefixList>,
+    /// Route maps by name.
+    pub route_maps: BTreeMap<String, RouteMap>,
+}
+
+impl ConfigDocument {
+    /// The route map applying inbound from `neighbor`, if any.
+    pub fn inbound_route_map(&self, neighbor: RouterId) -> Option<&RouteMap> {
+        let name = self.neighbors.get(&neighbor)?.route_map_in.as_ref()?;
+        self.route_maps.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn community_list_first_match_wins() {
+        let list = CommunityList {
+            rules: vec![
+                (ListAction::Deny, c("1:1")),
+                (ListAction::Permit, c("1:1")),
+                (ListAction::Permit, c("2:2")),
+            ],
+        };
+        assert!(!list.permits(c("1:1")));
+        assert!(list.permits(c("2:2")));
+        assert!(!list.permits(c("3:3")));
+        assert!(list.permits_any(&[c("3:3"), c("2:2")]));
+        assert!(!list.permits_any(&[]));
+    }
+
+    #[test]
+    fn prefix_rule_exact_and_ranges() {
+        let exact = PrefixRule {
+            action: ListAction::Permit,
+            prefix: p("10.0.0.0/8"),
+            le: None,
+            ge: None,
+        };
+        assert!(exact.matches(p("10.0.0.0/8")));
+        assert!(!exact.matches(p("10.1.0.0/16")));
+
+        let le24 = PrefixRule {
+            action: ListAction::Permit,
+            prefix: p("10.0.0.0/8"),
+            le: Some(24),
+            ge: None,
+        };
+        assert!(le24.matches(p("10.1.0.0/16")));
+        assert!(le24.matches(p("10.0.0.0/8")));
+        assert!(!le24.matches(p("10.1.2.0/25")));
+        assert!(!le24.matches(p("11.0.0.0/8")));
+
+        let ge16le24 = PrefixRule {
+            action: ListAction::Permit,
+            prefix: p("10.0.0.0/8"),
+            le: Some(24),
+            ge: Some(16),
+        };
+        assert!(!ge16le24.matches(p("10.0.0.0/8")));
+        assert!(ge16le24.matches(p("10.1.0.0/16")));
+    }
+
+    #[test]
+    fn prefix_list_default_deny() {
+        let list = PrefixList {
+            rules: vec![
+                PrefixRule {
+                    action: ListAction::Deny,
+                    prefix: p("0.0.0.0/0"),
+                    le: None,
+                    ge: None,
+                },
+                PrefixRule {
+                    action: ListAction::Permit,
+                    prefix: p("0.0.0.0/0"),
+                    le: Some(32),
+                    ge: None,
+                },
+            ],
+        };
+        assert!(!list.permits(p("0.0.0.0/0"))); // the default route is denied
+        assert!(list.permits(p("10.0.0.0/8")));
+        let empty = PrefixList::default();
+        assert!(!empty.permits(p("10.0.0.0/8")));
+    }
+}

@@ -1,0 +1,221 @@
+//! Correlating Stemming components with routing policies (§III-D.1).
+//!
+//! Stemming tells the operator *what* moved; the configs say *why the
+//! routers reacted the way they did*. Given a detected component and the
+//! per-router configurations, this module reports every route-map entry that
+//! fires on routes inside the component — e.g. the paper's Berkeley example:
+//! withdrawals tagged `11423:65350` matching the LOCAL_PREF-80 entry on
+//! 128.32.1.3 while announcements tagged `11423:65300` match the default-100
+//! entry on 128.32.1.200, pinpointing the costly policy interaction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bgpscope_bgp::{EventStream, PeerId};
+use bgpscope_stemming::Component;
+
+use crate::ast::{ConfigDocument, ListAction, SetAction};
+use crate::eval::PolicyEngine;
+
+/// One policy hit: a route-map entry that fired on events of a component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCorrelation {
+    /// The router (collector peer) whose config fired.
+    pub peer: PeerId,
+    /// The route-map name.
+    pub route_map: String,
+    /// The entry's sequence number.
+    pub seq: u32,
+    /// Whether the entry permits or denies.
+    pub action: ListAction,
+    /// The LOCAL_PREF the entry sets, if any.
+    pub sets_local_pref: Option<u32>,
+    /// How many of the component's events this entry fired on.
+    pub event_count: usize,
+}
+
+impl fmt::Display for PolicyCorrelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peer {} route-map {} seq {} ({:?})",
+            self.peer, self.route_map, self.seq, self.action
+        )?;
+        if let Some(lp) = self.sets_local_pref {
+            write!(f, " sets local-preference {lp}")?;
+        }
+        write!(f, " — fired on {} events", self.event_count)
+    }
+}
+
+/// Correlates one Stemming component with per-router configurations.
+///
+/// `stream` must be the stream the component was extracted from (component
+/// event indices point into it). For every event, the owning peer's inbound
+/// route map (for the event's nexthop neighbor, falling back to any inbound
+/// map) is evaluated; the first matching entry is credited.
+pub fn correlate_component(
+    component: &Component,
+    stream: &EventStream,
+    configs: &BTreeMap<PeerId, ConfigDocument>,
+) -> Vec<PolicyCorrelation> {
+    // (peer, map name, seq) -> accumulated hit.
+    let mut hits: BTreeMap<(PeerId, String, u32), PolicyCorrelation> = BTreeMap::new();
+
+    for &idx in &component.event_indices {
+        let event = &stream.events()[idx];
+        let Some(config) = configs.get(&event.peer) else {
+            continue;
+        };
+        let engine = PolicyEngine::new(config);
+        // Prefer the neighbor-specific inbound map for the event's nexthop;
+        // fall back to any configured inbound map.
+        let map_name = config
+            .neighbors
+            .get(&event.attrs.next_hop)
+            .and_then(|n| n.route_map_in.clone())
+            .or_else(|| {
+                config
+                    .neighbors
+                    .values()
+                    .find_map(|n| n.route_map_in.clone())
+            });
+        let Some(map_name) = map_name else { continue };
+        let Some(map) = config.route_maps.get(&map_name) else {
+            continue;
+        };
+        // Find the first matching entry (mirrors PolicyEngine::apply_map,
+        // but we need the entry identity, not just the outcome).
+        let matched = map
+            .entries
+            .iter()
+            .find(|e| engine.entry_matches(e, &event.attrs, event.prefix));
+        let Some(entry) = matched else { continue };
+        let lp = entry.sets.iter().find_map(|s| match s {
+            SetAction::LocalPref(v) => Some(*v),
+            _ => None,
+        });
+        let key = (event.peer, map_name.clone(), entry.seq);
+        hits.entry(key)
+            .and_modify(|c| c.event_count += 1)
+            .or_insert(PolicyCorrelation {
+                peer: event.peer,
+                route_map: map_name,
+                seq: entry.seq,
+                action: entry.action,
+                sets_local_pref: lp,
+                event_count: 1,
+            });
+    }
+
+    let mut out: Vec<PolicyCorrelation> = hits.into_values().collect();
+    out.sort_by_key(|c| std::cmp::Reverse(c.event_count));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_config;
+    use bgpscope_bgp::{Event, PathAttributes, RouterId, Timestamp};
+    use bgpscope_stemming::Stemming;
+
+    /// The paper's Berkeley scenario: router .3 prefers commodity routes at
+    /// LOCAL_PREF 80; router .200 gives I2/CalREN routes the default 100.
+    #[test]
+    fn berkeley_policy_interaction_pinpointed() {
+        let config3 = parse_config(
+            r#"
+router bgp 25
+ neighbor 128.32.0.66 route-map CALREN-IN in
+ip community-list COMMODITY permit 11423:65350
+route-map CALREN-IN permit 10
+ match community COMMODITY
+ set local-preference 80
+route-map CALREN-IN deny 30
+"#,
+        )
+        .unwrap();
+        let config200 = parse_config(
+            r#"
+router bgp 25
+ neighbor 128.32.0.90 route-map CALREN-ALL in
+ip community-list I2 permit 11423:65300
+route-map CALREN-ALL permit 10
+ match community I2
+ set local-preference 70
+route-map CALREN-ALL permit 20
+"#,
+        )
+        .unwrap();
+        let peer3 = PeerId::from_octets(128, 32, 1, 3);
+        let peer200 = PeerId::from_octets(128, 32, 1, 200);
+        let mut configs = BTreeMap::new();
+        configs.insert(peer3, config3);
+        configs.insert(peer200, config200);
+
+        // The incident: withdrawals tagged 11423:65350 from .3, announcements
+        // tagged 11423:65300 from .200, same prefixes.
+        let mut stream = EventStream::new();
+        for i in 0..6u32 {
+            let prefix = format!("20.0.{i}.0/24").parse().unwrap();
+            let w_attrs = PathAttributes::new(
+                RouterId::from_octets(128, 32, 0, 66),
+                "11423 209 701".parse().unwrap(),
+            )
+            .with_community("11423:65350".parse().unwrap());
+            stream.push(Event::withdraw(Timestamp::from_secs(i as u64), peer3, prefix, w_attrs));
+            let a_attrs = PathAttributes::new(
+                RouterId::from_octets(128, 32, 0, 90),
+                "11423 11422 10927 1909 195 2152 3356".parse().unwrap(),
+            )
+            .with_community("11423:65300".parse().unwrap());
+            stream.push(Event::announce(
+                Timestamp::from_secs(i as u64),
+                peer200,
+                prefix,
+                a_attrs,
+            ));
+        }
+
+        let result = Stemming::new().decompose(&stream);
+        let top = &result.components()[0];
+        let correlations = correlate_component(top, &stream, &configs);
+
+        assert!(
+            correlations.len() >= 2,
+            "expected hits on both routers: {correlations:?}"
+        );
+        let hit3 = correlations
+            .iter()
+            .find(|c| c.peer == peer3)
+            .expect("hit on 128.32.1.3");
+        assert_eq!(hit3.sets_local_pref, Some(80));
+        assert_eq!(hit3.seq, 10);
+        let hit200 = correlations
+            .iter()
+            .find(|c| c.peer == peer200)
+            .expect("hit on 128.32.1.200");
+        assert_eq!(hit200.sets_local_pref, Some(70));
+        assert!(hit3.event_count + hit200.event_count == 12);
+        // Display is operator-readable.
+        assert!(hit3.to_string().contains("local-preference 80"));
+    }
+
+    #[test]
+    fn missing_configs_yield_nothing() {
+        let mut stream = EventStream::new();
+        for i in 0..4u32 {
+            stream.push(Event::withdraw(
+                Timestamp::from_secs(i as u64),
+                PeerId::from_octets(1, 1, 1, 1),
+                format!("10.{i}.0.0/16").parse().unwrap(),
+                PathAttributes::new(RouterId(7), "1 2".parse().unwrap()),
+            ));
+        }
+        let result = Stemming::new().decompose(&stream);
+        let correlations =
+            correlate_component(&result.components()[0], &stream, &BTreeMap::new());
+        assert!(correlations.is_empty());
+    }
+}

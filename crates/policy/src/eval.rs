@@ -1,0 +1,239 @@
+//! Applying route maps to routes.
+
+use bgpscope_bgp::{LocalPref, Med, PathAttributes, Prefix};
+
+use crate::ast::{ConfigDocument, ListAction, Match, RouteMap, RouteMapEntry, SetAction};
+
+/// The result of running a route through a route map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyOutcome {
+    /// Accepted; carries the (possibly modified) attributes.
+    Permit(PathAttributes),
+    /// Rejected, with the sequence number of the denying entry (`None` when
+    /// the implicit end-of-map deny fired).
+    Deny {
+        /// The denying entry's sequence number, if an explicit entry matched.
+        seq: Option<u32>,
+    },
+}
+
+impl PolicyOutcome {
+    /// True if the route was accepted.
+    pub fn is_permit(&self) -> bool {
+        matches!(self, PolicyOutcome::Permit(_))
+    }
+
+    /// The modified attributes, if permitted.
+    pub fn attrs(&self) -> Option<&PathAttributes> {
+        match self {
+            PolicyOutcome::Permit(a) => Some(a),
+            PolicyOutcome::Deny { .. } => None,
+        }
+    }
+}
+
+/// Evaluates route maps against routes, resolving list references through a
+/// [`ConfigDocument`].
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyEngine<'a> {
+    config: &'a ConfigDocument,
+}
+
+impl<'a> PolicyEngine<'a> {
+    /// An engine over one parsed configuration.
+    pub fn new(config: &'a ConfigDocument) -> Self {
+        PolicyEngine { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &ConfigDocument {
+        self.config
+    }
+
+    /// Whether one entry's match clauses all hold for `(attrs, prefix)`.
+    /// Unresolvable list references never match (mirroring IOS, where an
+    /// undefined list matches nothing).
+    pub fn entry_matches(&self, entry: &RouteMapEntry, attrs: &PathAttributes, prefix: Prefix) -> bool {
+        entry.matches.iter().all(|m| match m {
+            Match::Community(list) => self
+                .config
+                .community_lists
+                .get(list)
+                .is_some_and(|l| l.permits_any(&attrs.communities)),
+            Match::PrefixList(list) => self
+                .config
+                .prefix_lists
+                .get(list)
+                .is_some_and(|l| l.permits(prefix)),
+            Match::AsPathContains(asn) => attrs.as_path.contains(*asn),
+        })
+    }
+
+    /// Runs `attrs` for `prefix` through the named route map.
+    ///
+    /// An unknown route-map name denies everything (the conservative IOS
+    /// behavior for a `route-map … in` reference to a missing map).
+    pub fn apply(&self, route_map: &str, attrs: &PathAttributes, prefix: Prefix) -> PolicyOutcome {
+        match self.config.route_maps.get(route_map) {
+            Some(map) => self.apply_map(map, attrs, prefix),
+            None => PolicyOutcome::Deny { seq: None },
+        }
+    }
+
+    /// Runs a route through an already-resolved map.
+    pub fn apply_map(
+        &self,
+        map: &RouteMap,
+        attrs: &PathAttributes,
+        prefix: Prefix,
+    ) -> PolicyOutcome {
+        for entry in &map.entries {
+            if !self.entry_matches(entry, attrs, prefix) {
+                continue;
+            }
+            return match entry.action {
+                ListAction::Deny => PolicyOutcome::Deny {
+                    seq: Some(entry.seq),
+                },
+                ListAction::Permit => {
+                    let mut out = attrs.clone();
+                    for set in &entry.sets {
+                        match *set {
+                            SetAction::LocalPref(v) => out.local_pref = Some(LocalPref(v)),
+                            SetAction::Med(v) => out.med = Some(Med(v)),
+                            SetAction::AddCommunity(c) => out.add_community(c),
+                            SetAction::RemoveCommunity(c) => {
+                                out.remove_community(c);
+                            }
+                        }
+                    }
+                    PolicyOutcome::Permit(out)
+                }
+            };
+        }
+        // Implicit deny at end of map.
+        PolicyOutcome::Deny { seq: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_config;
+    use bgpscope_bgp::RouterId;
+
+    fn attrs_with(communities: &[&str]) -> PathAttributes {
+        let mut a = PathAttributes::new(
+            RouterId::from_octets(128, 32, 0, 66),
+            "11423 209 701".parse().unwrap(),
+        );
+        for c in communities {
+            a.add_community(c.parse().unwrap());
+        }
+        a
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    const CONFIG: &str = r#"
+ip community-list COMMODITY permit 11423:65350
+ip community-list I2 permit 11423:65300
+ip prefix-list MARTIANS permit 10.0.0.0/8 le 32
+route-map CALREN-IN deny 5
+ match ip address prefix-list MARTIANS
+route-map CALREN-IN permit 10
+ match community COMMODITY
+ set local-preference 80
+route-map CALREN-IN permit 20
+ match community I2
+ set local-preference 100
+route-map CALREN-IN deny 30
+"#;
+
+    #[test]
+    fn berkeley_localpref_assignment() {
+        let doc = parse_config(CONFIG).unwrap();
+        let engine = PolicyEngine::new(&doc);
+
+        // Commodity-tagged routes get LOCAL_PREF 80.
+        let out = engine.apply("CALREN-IN", &attrs_with(&["11423:65350"]), p("192.0.2.0/24"));
+        assert_eq!(out.attrs().unwrap().local_pref, Some(LocalPref(80)));
+
+        // Internet2-tagged routes get 100.
+        let out = engine.apply("CALREN-IN", &attrs_with(&["11423:65300"]), p("192.0.2.0/24"));
+        assert_eq!(out.attrs().unwrap().local_pref, Some(LocalPref(100)));
+
+        // Untagged routes hit the explicit deny 30.
+        let out = engine.apply("CALREN-IN", &attrs_with(&[]), p("192.0.2.0/24"));
+        assert_eq!(out, PolicyOutcome::Deny { seq: Some(30) });
+
+        // Martians die at seq 5 regardless of tags.
+        let out = engine.apply("CALREN-IN", &attrs_with(&["11423:65350"]), p("10.1.0.0/16"));
+        assert_eq!(out, PolicyOutcome::Deny { seq: Some(5) });
+    }
+
+    #[test]
+    fn unknown_map_denies() {
+        let doc = parse_config("").unwrap();
+        let engine = PolicyEngine::new(&doc);
+        let out = engine.apply("NOPE", &attrs_with(&[]), p("10.0.0.0/8"));
+        assert_eq!(out, PolicyOutcome::Deny { seq: None });
+    }
+
+    #[test]
+    fn undefined_list_reference_matches_nothing() {
+        let doc = parse_config(
+            "route-map M permit 10\n match community GHOST\nroute-map M permit 20\n",
+        )
+        .unwrap();
+        let engine = PolicyEngine::new(&doc);
+        let out = engine.apply("M", &attrs_with(&["1:1"]), p("10.0.0.0/8"));
+        // Falls past seq 10 (GHOST matches nothing) to the match-less permit 20.
+        assert!(out.is_permit());
+    }
+
+    #[test]
+    fn implicit_deny_when_nothing_matches() {
+        let doc = parse_config(
+            "ip community-list X permit 9:9\nroute-map M permit 10\n match community X\n",
+        )
+        .unwrap();
+        let engine = PolicyEngine::new(&doc);
+        let out = engine.apply("M", &attrs_with(&["1:1"]), p("10.0.0.0/8"));
+        assert_eq!(out, PolicyOutcome::Deny { seq: None });
+    }
+
+    #[test]
+    fn set_actions_compose() {
+        let doc = parse_config(
+            "route-map M permit 10\n set metric 77\n set community 5:5 additive\n set comm-list-delete 1:1\n",
+        )
+        .unwrap();
+        let engine = PolicyEngine::new(&doc);
+        let out = engine.apply("M", &attrs_with(&["1:1"]), p("10.0.0.0/8"));
+        let a = out.attrs().unwrap();
+        assert_eq!(a.med, Some(Med(77)));
+        assert!(a.has_community("5:5".parse().unwrap()));
+        assert!(!a.has_community("1:1".parse().unwrap()));
+    }
+
+    #[test]
+    fn and_semantics_across_matches() {
+        let doc = parse_config(
+            r#"
+ip community-list X permit 1:1
+ip prefix-list P permit 10.0.0.0/8 le 32
+route-map M permit 10
+ match community X
+ match ip address prefix-list P
+"#,
+        )
+        .unwrap();
+        let engine = PolicyEngine::new(&doc);
+        assert!(engine.apply("M", &attrs_with(&["1:1"]), p("10.0.0.0/8")).is_permit());
+        assert!(!engine.apply("M", &attrs_with(&["1:1"]), p("11.0.0.0/8")).is_permit());
+        assert!(!engine.apply("M", &attrs_with(&["2:2"]), p("10.0.0.0/8")).is_permit());
+    }
+}

@@ -1,0 +1,56 @@
+//! Routing-policy substrate (§III-D.1).
+//!
+//! BGP routing policies live in router configuration files, not in BGP
+//! events — yet the paper's hardest case studies (the Berkeley LOCAL_PREF
+//! 80/70 split keyed on communities `11423:65350` / `11423:65300`, the
+//! leaked-routes × community-filter interaction of §IV-D) are exactly
+//! *policy* interactions. This crate provides:
+//!
+//! * a Cisco-like mini configuration language (community-lists,
+//!   prefix-lists, route-maps that match communities/prefixes and set
+//!   LOCAL_PREF/MED/communities, neighbor statements with `route-map … in`
+//!   and `maximum-prefix`),
+//! * an evaluation engine applying a route-map to a route, and
+//! * correlation of Stemming components against parsed configs: which policy
+//!   entries fired on the routes inside a detected incident.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpscope_policy::{parse_config, PolicyEngine, PolicyOutcome};
+//! use bgpscope_bgp::{PathAttributes, RouterId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = parse_config(r#"
+//! ip community-list COMMODITY permit 11423:65350
+//! route-map CALREN-IN permit 10
+//!  match community COMMODITY
+//!  set local-preference 80
+//! route-map CALREN-IN permit 20
+//! "#)?;
+//! let engine = PolicyEngine::new(&config);
+//! let attrs = PathAttributes::new(RouterId::from_octets(1, 1, 1, 1), "11423 209".parse()?)
+//!     .with_community("11423:65350".parse()?);
+//! let outcome = engine.apply("CALREN-IN", &attrs, "10.0.0.0/8".parse()?);
+//! match outcome {
+//!     PolicyOutcome::Permit(modified) => {
+//!         assert_eq!(modified.local_pref.map(|lp| lp.0), Some(80));
+//!     }
+//!     PolicyOutcome::Deny { .. } => unreachable!(),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod correlate;
+pub mod eval;
+pub mod parse;
+
+pub use ast::{
+    CommunityList, ConfigDocument, ListAction, Match, Neighbor, PrefixList, PrefixRule,
+    RouteMap, RouteMapEntry, SetAction,
+};
+pub use correlate::{correlate_component, PolicyCorrelation};
+pub use eval::{PolicyEngine, PolicyOutcome};
+pub use parse::{parse_config, ParseConfigError};

@@ -1,0 +1,347 @@
+//! Line-oriented parser for the mini configuration language.
+//!
+//! Supported statements (a practical subset of IOS syntax):
+//!
+//! ```text
+//! router bgp <asn>
+//!  neighbor <addr> route-map <name> in|out
+//!  neighbor <addr> maximum-prefix <n>
+//! ip community-list <name> permit|deny <asn>:<value>
+//! ip prefix-list <name> permit|deny <prefix> [ge <n>] [le <n>]
+//! route-map <name> permit|deny <seq>
+//!  match community <list>
+//!  match ip address prefix-list <list>
+//!  match as-path-contains <asn>
+//!  set local-preference <n>
+//!  set metric <n>
+//!  set community <asn>:<value> additive
+//!  set comm-list-delete <asn>:<value>
+//! ```
+//!
+//! `!` starts a comment; indentation is cosmetic (context comes from the
+//! last `router bgp` / `route-map` header).
+
+use std::fmt;
+
+use bgpscope_bgp::{Asn, RouterId};
+
+use crate::ast::{
+    CommunityList, ConfigDocument, ListAction, Match, Neighbor, PrefixList, PrefixRule, RouteMap,
+    RouteMapEntry, SetAction,
+};
+
+/// A parse failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError {
+    line_no: usize,
+    line: String,
+    reason: String,
+}
+
+impl ParseConfigError {
+    fn new(line_no: usize, line: &str, reason: impl Into<String>) -> Self {
+        ParseConfigError {
+            line_no,
+            line: line.to_owned(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The 1-based line number the error occurred on.
+    pub fn line_no(&self) -> usize {
+        self.line_no
+    }
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config parse error at line {}: {} (in {:?})",
+            self.line_no, self.reason, self.line
+        )
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+enum Context {
+    Top,
+    RouterBgp,
+    RouteMap(String, usize), // name, entry index
+}
+
+fn parse_action(tok: &str) -> Option<ListAction> {
+    match tok {
+        "permit" => Some(ListAction::Permit),
+        "deny" => Some(ListAction::Deny),
+        _ => None,
+    }
+}
+
+/// Parses a configuration document.
+///
+/// # Errors
+///
+/// Returns [`ParseConfigError`] on the first malformed line.
+pub fn parse_config(text: &str) -> Result<ConfigDocument, ParseConfigError> {
+    let mut doc = ConfigDocument::default();
+    let mut ctx = Context::Top;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('!') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let err = |reason: &str| ParseConfigError::new(line_no, raw, reason);
+
+        match toks.as_slice() {
+            ["router", "bgp", asn] => {
+                let asn: u32 = asn.parse().map_err(|_| err("bad ASN"))?;
+                doc.local_as = Some(Asn(asn));
+                ctx = Context::RouterBgp;
+            }
+            ["neighbor", addr, rest @ ..] => {
+                if !matches!(ctx, Context::RouterBgp) {
+                    return Err(err("neighbor outside router bgp"));
+                }
+                let addr: RouterId = addr.parse().map_err(|_| err("bad neighbor address"))?;
+                let neighbor = doc.neighbors.entry(addr).or_insert(Neighbor {
+                    addr,
+                    route_map_in: None,
+                    route_map_out: None,
+                    max_prefix: None,
+                });
+                match rest {
+                    ["route-map", name, "in"] => neighbor.route_map_in = Some((*name).to_owned()),
+                    ["route-map", name, "out"] => {
+                        neighbor.route_map_out = Some((*name).to_owned())
+                    }
+                    ["maximum-prefix", n] => {
+                        neighbor.max_prefix =
+                            Some(n.parse().map_err(|_| err("bad maximum-prefix"))?)
+                    }
+                    _ => return Err(err("unknown neighbor clause")),
+                }
+            }
+            ["ip", "community-list", name, action, comm] => {
+                let action = parse_action(action).ok_or_else(|| err("expected permit|deny"))?;
+                let comm = comm.parse().map_err(|_| err("bad community"))?;
+                doc.community_lists
+                    .entry((*name).to_owned())
+                    .or_insert_with(CommunityList::default)
+                    .rules
+                    .push((action, comm));
+            }
+            ["ip", "prefix-list", name, action, prefix, rest @ ..] => {
+                let action = parse_action(action).ok_or_else(|| err("expected permit|deny"))?;
+                let prefix = prefix.parse().map_err(|_| err("bad prefix"))?;
+                let mut rule = PrefixRule {
+                    action,
+                    prefix,
+                    le: None,
+                    ge: None,
+                };
+                let mut rest = rest;
+                while !rest.is_empty() {
+                    match rest {
+                        ["le", n, tail @ ..] => {
+                            rule.le = Some(n.parse().map_err(|_| err("bad le"))?);
+                            rest = tail;
+                        }
+                        ["ge", n, tail @ ..] => {
+                            rule.ge = Some(n.parse().map_err(|_| err("bad ge"))?);
+                            rest = tail;
+                        }
+                        _ => return Err(err("unknown prefix-list clause")),
+                    }
+                }
+                doc.prefix_lists
+                    .entry((*name).to_owned())
+                    .or_insert_with(PrefixList::default)
+                    .rules
+                    .push(rule);
+            }
+            ["route-map", name, action, seq] => {
+                let action = parse_action(action).ok_or_else(|| err("expected permit|deny"))?;
+                let seq: u32 = seq.parse().map_err(|_| err("bad sequence number"))?;
+                let map = doc
+                    .route_maps
+                    .entry((*name).to_owned())
+                    .or_insert_with(RouteMap::default);
+                map.entries.push(RouteMapEntry {
+                    action,
+                    seq,
+                    matches: Vec::new(),
+                    sets: Vec::new(),
+                });
+                map.entries.sort_by_key(|e| e.seq);
+                let pos = map.entries.iter().position(|e| e.seq == seq).expect("just inserted");
+                ctx = Context::RouteMap((*name).to_owned(), pos);
+            }
+            ["match", rest @ ..] => {
+                let Context::RouteMap(name, pos) = &ctx else {
+                    return Err(err("match outside route-map"));
+                };
+                let m = match rest {
+                    ["community", list] => Match::Community((*list).to_owned()),
+                    ["ip", "address", "prefix-list", list] => {
+                        Match::PrefixList((*list).to_owned())
+                    }
+                    ["as-path-contains", asn] => {
+                        Match::AsPathContains(Asn(asn.parse().map_err(|_| err("bad ASN"))?))
+                    }
+                    _ => return Err(err("unknown match clause")),
+                };
+                doc.route_maps.get_mut(name).expect("ctx").entries[*pos]
+                    .matches
+                    .push(m);
+            }
+            ["set", rest @ ..] => {
+                let Context::RouteMap(name, pos) = &ctx else {
+                    return Err(err("set outside route-map"));
+                };
+                let s = match rest {
+                    ["local-preference", n] => {
+                        SetAction::LocalPref(n.parse().map_err(|_| err("bad local-preference"))?)
+                    }
+                    ["metric", n] => SetAction::Med(n.parse().map_err(|_| err("bad metric"))?),
+                    ["community", c, "additive"] => {
+                        SetAction::AddCommunity(c.parse().map_err(|_| err("bad community"))?)
+                    }
+                    ["comm-list-delete", c] => {
+                        SetAction::RemoveCommunity(c.parse().map_err(|_| err("bad community"))?)
+                    }
+                    _ => return Err(err("unknown set clause")),
+                };
+                doc.route_maps.get_mut(name).expect("ctx").entries[*pos]
+                    .sets
+                    .push(s);
+            }
+            _ => return Err(err("unknown statement")),
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BERKELEY_EDGE: &str = r#"
+! 128.32.1.3 — the rate-limiting edge router
+router bgp 25
+ neighbor 128.32.0.66 route-map CALREN-IN in
+ neighbor 128.32.0.66 maximum-prefix 150000
+!
+ip community-list COMMODITY permit 11423:65350
+ip community-list I2 permit 11423:65300
+ip prefix-list NO-DEFAULT deny 0.0.0.0/0
+ip prefix-list NO-DEFAULT permit 0.0.0.0/0 le 32
+!
+route-map CALREN-IN permit 10
+ match community COMMODITY
+ set local-preference 80
+route-map CALREN-IN permit 20
+ match community I2
+ set local-preference 100
+route-map CALREN-IN deny 30
+"#;
+
+    #[test]
+    fn parses_berkeley_edge_config() {
+        let doc = parse_config(BERKELEY_EDGE).unwrap();
+        assert_eq!(doc.local_as, Some(Asn(25)));
+        let n = &doc.neighbors[&"128.32.0.66".parse().unwrap()];
+        assert_eq!(n.route_map_in.as_deref(), Some("CALREN-IN"));
+        assert_eq!(n.max_prefix, Some(150_000));
+        assert_eq!(doc.community_lists.len(), 2);
+        assert_eq!(doc.prefix_lists["NO-DEFAULT"].rules.len(), 2);
+        let map = &doc.route_maps["CALREN-IN"];
+        assert_eq!(map.entries.len(), 3);
+        assert_eq!(map.entries[0].seq, 10);
+        assert_eq!(map.entries[0].sets, vec![SetAction::LocalPref(80)]);
+        assert_eq!(map.entries[2].action, ListAction::Deny);
+    }
+
+    #[test]
+    fn entries_sorted_by_seq() {
+        let doc = parse_config(
+            "route-map M permit 20\nroute-map M permit 10\n set metric 5\n",
+        )
+        .unwrap();
+        let map = &doc.route_maps["M"];
+        assert_eq!(map.entries[0].seq, 10);
+        // The `set` bound to the seq-10 entry (the last header parsed).
+        assert_eq!(map.entries[0].sets, vec![SetAction::Med(5)]);
+        assert!(map.entries[1].sets.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_config("router bgp banana").unwrap_err();
+        assert_eq!(err.line_no(), 1);
+        assert!(err.to_string().contains("bad ASN"));
+
+        let err = parse_config("\n\nmatch community X").unwrap_err();
+        assert_eq!(err.line_no(), 3);
+        assert!(err.to_string().contains("match outside route-map"));
+
+        assert!(parse_config("neighbor 1.1.1.1 route-map X in").is_err());
+        assert!(parse_config("flurble").is_err());
+        assert!(parse_config("ip community-list X permit banana").is_err());
+        assert!(parse_config("ip prefix-list X permit 10.0.0.0/8 le banana").is_err());
+    }
+
+    #[test]
+    fn neighbor_clauses_accumulate() {
+        let doc = parse_config(
+            "router bgp 1\n neighbor 1.1.1.1 route-map IN in\n neighbor 1.1.1.1 route-map OUT out\n neighbor 1.1.1.1 maximum-prefix 99\n",
+        )
+        .unwrap();
+        let n = &doc.neighbors[&"1.1.1.1".parse().unwrap()];
+        assert_eq!(n.route_map_in.as_deref(), Some("IN"));
+        assert_eq!(n.route_map_out.as_deref(), Some("OUT"));
+        assert_eq!(n.max_prefix, Some(99));
+    }
+
+    #[test]
+    fn prefix_list_ge_and_le_combined() {
+        let doc = parse_config("ip prefix-list P permit 10.0.0.0/8 ge 16 le 24\n").unwrap();
+        let rule = doc.prefix_lists["P"].rules[0];
+        assert_eq!(rule.ge, Some(16));
+        assert_eq!(rule.le, Some(24));
+        assert!(rule.matches("10.1.0.0/16".parse().unwrap()));
+        assert!(!rule.matches("10.0.0.0/8".parse().unwrap()));
+        assert!(!rule.matches("10.1.2.3/32".parse().unwrap()));
+    }
+
+    #[test]
+    fn match_as_path_contains() {
+        let doc = parse_config("route-map M permit 10\n match as-path-contains 701\n").unwrap();
+        assert_eq!(
+            doc.route_maps["M"].entries[0].matches,
+            vec![Match::AsPathContains(Asn(701))]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let doc = parse_config("! comment\n\n!another\nrouter bgp 1\n").unwrap();
+        assert_eq!(doc.local_as, Some(Asn(1)));
+    }
+
+    #[test]
+    fn set_community_variants() {
+        let doc = parse_config(
+            "route-map M permit 10\n set community 2152:65297 additive\n set comm-list-delete 1:1\n",
+        )
+        .unwrap();
+        let sets = &doc.route_maps["M"].entries[0].sets;
+        assert_eq!(sets.len(), 2);
+        assert!(matches!(sets[0], SetAction::AddCommunity(_)));
+        assert!(matches!(sets[1], SetAction::RemoveCommunity(_)));
+    }
+}

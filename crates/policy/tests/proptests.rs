@@ -1,0 +1,72 @@
+//! Property tests: the config parser never panics, and the evaluation
+//! engine is total over arbitrary (config, route) pairs.
+
+use proptest::prelude::*;
+
+use bgpscope_bgp::{AsPath, Community, PathAttributes, Prefix, RouterId};
+use bgpscope_policy::{parse_config, PolicyEngine};
+
+proptest! {
+    /// Arbitrary text never panics the parser — it parses or errors.
+    #[test]
+    fn parser_is_panic_free(text in "\\PC{0,400}") {
+        let _ = parse_config(&text);
+    }
+
+    /// Lines assembled from the grammar's own keywords (valid or not) never
+    /// panic either — this drives far deeper into the parser than fully
+    /// random text.
+    #[test]
+    fn keyword_soup_is_panic_free(words in proptest::collection::vec(
+        proptest::sample::select(vec![
+            "router", "bgp", "neighbor", "route-map", "in", "out", "permit",
+            "deny", "ip", "community-list", "prefix-list", "match", "set",
+            "community", "local-preference", "metric", "le", "ge",
+            "maximum-prefix", "as-path-contains", "10", "10.0.0.0/8",
+            "1.1.1.1", "65000:1", "NAME", "!",
+        ]),
+        0..12,
+    )) {
+        let _ = parse_config(&words.join(" "));
+    }
+
+    /// Evaluation is total: any parsed config applied to any route yields
+    /// a result without panicking, and permit results keep a valid
+    /// attribute set (sorted unique communities).
+    #[test]
+    fn evaluation_is_total(
+        lp in proptest::option::of(0u32..500),
+        comms in proptest::collection::vec((0u16..10, 0u16..10), 0..4),
+        path in proptest::collection::vec(1u32..100, 0..4),
+        addr in any::<u32>(),
+        len in 0u8..=32,
+    ) {
+        let doc = parse_config(
+            r#"
+ip community-list A permit 1:1
+ip community-list A deny 2:2
+ip prefix-list P permit 0.0.0.0/0 le 24
+route-map M deny 5
+ match ip address prefix-list P
+ match community A
+route-map M permit 10
+ match community A
+ set local-preference 200
+ set community 9:9 additive
+route-map M permit 20
+ set metric 7
+"#,
+        )
+        .expect("static config parses");
+        let engine = PolicyEngine::new(&doc);
+        let mut attrs = PathAttributes::new(RouterId(1), AsPath::from_u32s(path));
+        attrs.local_pref = lp.map(bgpscope_bgp::LocalPref);
+        for (a, v) in comms {
+            attrs.add_community(Community::new(a, v));
+        }
+        let outcome = engine.apply("M", &attrs, Prefix::new(addr, len));
+        if let Some(out) = outcome.attrs() {
+            prop_assert!(out.communities.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! The recursive Stemming decomposition.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::intern::{Symbol, SymbolTable};
+use bgpscope_bgp::{EventKind, EventStream, Timestamp};
+
+use crate::component::{Component, Stem};
+use crate::count::SubsequenceCounter;
+use crate::rank::RankingRule;
+use crate::sequence::SequenceEncoder;
+
+/// Tunables for [`Stemming`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StemmingConfig {
+    /// How the winning sub-sequence is chosen.
+    pub ranking: RankingRule,
+    /// Longest sub-sequence enumerated (0 = unlimited).
+    pub max_subseq_len: usize,
+    /// Maximum number of components to extract.
+    pub max_components: usize,
+    /// Stop when the best remaining sub-sequence is contained in fewer than
+    /// this many events — below it, "correlation" is noise.
+    pub min_support: u64,
+    /// Stop when fewer events than this remain unassigned.
+    pub min_residual_events: usize,
+}
+
+impl Default for StemmingConfig {
+    fn default() -> Self {
+        StemmingConfig {
+            ranking: RankingRule::default(),
+            max_subseq_len: 0,
+            max_components: 16,
+            min_support: 2,
+            min_residual_events: 2,
+        }
+    }
+}
+
+/// The Stemming algorithm (§III-B). See the crate docs for the model.
+///
+/// Construct with [`Stemming::new`] (default config) or
+/// [`Stemming::with_config`], then call [`Stemming::decompose`].
+#[derive(Debug, Clone, Default)]
+pub struct Stemming {
+    config: StemmingConfig,
+}
+
+impl Stemming {
+    /// A detector with the default configuration.
+    pub fn new() -> Self {
+        Stemming::default()
+    }
+
+    /// A detector with an explicit configuration.
+    pub fn with_config(config: StemmingConfig) -> Self {
+        Stemming { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StemmingConfig {
+        &self.config
+    }
+
+    /// Decomposes an event stream into its strongly correlated components,
+    /// strongest first.
+    ///
+    /// Each round counts contiguous sub-sequences over the not-yet-assigned
+    /// events, takes the ranking winner `s'`, forms the component (prefixes
+    /// of events containing `s'`, then *all* events touching those prefixes),
+    /// removes it, and repeats.
+    pub fn decompose(&self, stream: &EventStream) -> StemmingResult {
+        self.decompose_weighted(stream, |_| 1)
+    }
+
+    /// Like [`Stemming::decompose`], but each event counts with a weight —
+    /// the traffic-weighted correlation of §III-D.2, where an event for an
+    /// elephant prefix should outweigh thousands of mice events.
+    ///
+    /// Events with weight 0 never contribute to sub-sequence counts (but are
+    /// still swept into a component if their prefix is affected).
+    pub fn decompose_weighted<F>(&self, stream: &EventStream, weight_of: F) -> StemmingResult
+    where
+        F: Fn(&bgpscope_bgp::Event) -> u64,
+    {
+        let events = stream.events();
+        let mut encoder = SequenceEncoder::new();
+        let sequences: Vec<Vec<Symbol>> = events.iter().map(|e| encoder.encode(e)).collect();
+
+        let mut alive: Vec<bool> = vec![true; events.len()];
+        let mut alive_count = events.len();
+        let mut components = Vec::new();
+
+        while components.len() < self.config.max_components
+            && alive_count >= self.config.min_residual_events
+        {
+            // Count sub-sequences over the remaining events.
+            let mut counter = SubsequenceCounter::new(self.config.max_subseq_len);
+            for (i, seq) in sequences.iter().enumerate() {
+                if alive[i] {
+                    counter.add_weighted(seq, weight_of(&events[i]));
+                }
+            }
+            let ranking = self.config.ranking;
+            let Some(best) = counter.best_by(move |a, b| ranking.better(a, b)) else {
+                break;
+            };
+            if best.count < self.config.min_support {
+                break;
+            }
+            let winner = best.subseq;
+
+            // P: prefixes of alive events containing the winner.
+            let mut prefixes = BTreeSet::new();
+            for (i, seq) in sequences.iter().enumerate() {
+                if alive[i] && contains_subslice(seq, &winner) {
+                    prefixes.insert(events[i].prefix);
+                }
+            }
+
+            // E: all alive events touching any prefix in P.
+            let mut indices = Vec::new();
+            let mut start = Timestamp(u64::MAX);
+            let mut end = Timestamp::ZERO;
+            let mut announce_count = 0;
+            let mut withdraw_count = 0;
+            for (i, event) in events.iter().enumerate() {
+                if alive[i] && prefixes.contains(&event.prefix) {
+                    alive[i] = false;
+                    alive_count -= 1;
+                    indices.push(i);
+                    start = start.min(event.time);
+                    end = end.max(event.time);
+                    match event.kind {
+                        EventKind::Announce => announce_count += 1,
+                        EventKind::Withdraw => withdraw_count += 1,
+                    }
+                }
+            }
+            debug_assert!(!indices.is_empty(), "winning sub-sequence must match events");
+
+            let stem = Stem(winner[winner.len() - 2], winner[winner.len() - 1]);
+            components.push(Component {
+                subsequence: winner,
+                stem,
+                support: best.count,
+                prefixes,
+                event_indices: indices,
+                start,
+                end,
+                announce_count,
+                withdraw_count,
+            });
+        }
+
+        let residual_indices = alive
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| if a { Some(i) } else { None })
+            .collect();
+
+        StemmingResult {
+            components,
+            symbols: encoder.into_interner().into(),
+            total_events: events.len(),
+            residual_indices,
+        }
+    }
+}
+
+/// Whether `needle` occurs contiguously inside `haystack`.
+fn contains_subslice(haystack: &[Symbol], needle: &[Symbol]) -> bool {
+    needle.len() <= haystack.len() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// The outcome of a [`Stemming::decompose`] run.
+#[derive(Debug, Clone)]
+pub struct StemmingResult {
+    components: Vec<Component>,
+    symbols: SymbolTable,
+    total_events: usize,
+    residual_indices: Vec<usize>,
+}
+
+impl StemmingResult {
+    /// The extracted components, strongest first.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The symbol table for rendering component contents.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// How many events were in the analyzed stream.
+    pub fn total_events(&self) -> usize {
+        self.total_events
+    }
+
+    /// Indices of events not assigned to any component (noise floor).
+    pub fn residual_indices(&self) -> &[usize] {
+        &self.residual_indices
+    }
+
+    /// Fraction of events explained by the extracted components.
+    pub fn coverage(&self) -> f64 {
+        if self.total_events == 0 {
+            return 0.0;
+        }
+        1.0 - self.residual_indices.len() as f64 / self.total_events as f64
+    }
+
+    /// Extracts the sub-stream of `stream` belonging to component `idx` —
+    /// the hand-off to TAMP animation ("Stemming can extract a subset of an
+    /// event stream encompassing a routing incident, which can then be fed
+    /// to TAMP").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or `stream` is not the stream this
+    /// result was computed from (index out of bounds).
+    pub fn component_stream(&self, stream: &EventStream, idx: usize) -> EventStream {
+        let comp = &self.components[idx];
+        comp.event_indices
+            .iter()
+            .map(|&i| stream.events()[i].clone())
+            .collect()
+    }
+
+    /// One summary line per component.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.components.iter().enumerate() {
+            out.push_str(&format!("#{i}: {}\n", c.summarize(&self.symbols)));
+        }
+        out.push_str(&format!(
+            "residual: {} / {} events ({:.1}% coverage)\n",
+            self.residual_indices.len(),
+            self.total_events,
+            self.coverage() * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::intern::Element;
+    use bgpscope_bgp::{Asn, Event, PathAttributes, PeerId, RouterId};
+
+    fn withdraw(t: u64, peer: u8, hop: u8, path: &str, prefix: &str) -> Event {
+        Event::withdraw(
+            Timestamp::from_secs(t),
+            PeerId::from_octets(128, 32, 1, peer),
+            prefix.parse().unwrap(),
+            PathAttributes::new(RouterId::from_octets(128, 32, 0, hop), path.parse().unwrap()),
+        )
+    }
+
+    /// The paper's Figure 4: 10 withdrawals during an event spike; 8 share
+    /// the portion 11423-209, which must be the detected stem.
+    #[test]
+    fn figure4_stem_is_11423_209() {
+        let events = vec![
+            withdraw(0, 3, 70, "11423 209 701 1299 5713", "192.96.10.0/24"),
+            withdraw(1, 3, 66, "11423 11422 209 4519", "207.191.23.0/24"),
+            withdraw(2, 200, 90, "11423 209 701 1299 5713", "192.96.10.0/24"),
+            withdraw(3, 200, 90, "11423 209 1239 3228 21408", "212.22.132.0/23"),
+            withdraw(4, 3, 66, "11423 209 701 705", "203.14.156.0/24"),
+            withdraw(5, 3, 66, "11423 11422 209 1239 3602", "209.5.188.0/24"),
+            withdraw(6, 3, 66, "11423 209 7018 13606", "12.2.41.0/24"),
+            withdraw(7, 3, 66, "11423 209 7018 13606", "12.96.77.0/24"),
+            withdraw(8, 3, 66, "11423 209 1239 5400 15410", "62.80.64.0/20"),
+            withdraw(9, 200, 90, "11423 209 1239 5400 15410", "62.80.64.0/20"),
+        ];
+        let stream: EventStream = events.into_iter().collect();
+        let result = Stemming::new().decompose(&stream);
+        let top = &result.components()[0];
+        assert_eq!(top.support, 8);
+        assert_eq!(
+            result.symbols().resolve(top.stem.0),
+            Some(Element::As(Asn(11423)))
+        );
+        assert_eq!(
+            result.symbols().resolve(top.stem.1),
+            Some(Element::As(Asn(209)))
+        );
+        // 6 distinct prefixes among the 8 matching withdrawals (192.96.10.0/24
+        // and 62.80.64.0/20 each appear twice, from two peers).
+        assert_eq!(top.prefix_count(), 6);
+        // The component pulls in all events touching those prefixes (8 here).
+        assert_eq!(top.event_count(), 8);
+    }
+
+    /// "If the failure was one hop down between 209 and 7018, the common
+    /// portion would be 11423-209-7018, and the last edge, 209-7018, is the
+    /// failure location."
+    #[test]
+    fn failure_one_hop_down_moves_stem() {
+        let events: Vec<Event> = (0..6)
+            .map(|i| {
+                withdraw(
+                    i,
+                    3,
+                    66,
+                    &format!("11423 209 7018 {}", 13600 + i),
+                    &format!("12.{i}.0.0/16"),
+                )
+            })
+            .collect();
+        let stream: EventStream = events.into_iter().collect();
+        let result = Stemming::new().decompose(&stream);
+        let top = &result.components()[0];
+        assert_eq!(
+            result.symbols().resolve(top.stem.0),
+            Some(Element::As(Asn(209)))
+        );
+        assert_eq!(
+            result.symbols().resolve(top.stem.1),
+            Some(Element::As(Asn(7018)))
+        );
+        // Common portion is peer-hop-11423-209-7018 (length 5).
+        assert_eq!(top.subsequence.len(), 5);
+        assert_eq!(top.support, 6);
+    }
+
+    #[test]
+    fn component_events_include_all_events_of_affected_prefixes() {
+        // 3 withdrawals share a failing path; one unrelated announcement for
+        // the same prefix as one of them must be swept into the component.
+        let mut events = vec![
+            withdraw(0, 3, 66, "11423 209 701", "10.0.0.0/8"),
+            withdraw(1, 3, 66, "11423 209 1239", "10.1.0.0/16"),
+            withdraw(2, 3, 66, "11423 209 7018", "10.2.0.0/16"),
+        ];
+        events.push(Event::announce(
+            Timestamp::from_secs(3),
+            PeerId::from_octets(128, 32, 1, 200),
+            "10.0.0.0/8".parse().unwrap(),
+            PathAttributes::new(
+                RouterId::from_octets(128, 32, 0, 90),
+                "7777 8888".parse().unwrap(),
+            ),
+        ));
+        let stream: EventStream = events.into_iter().collect();
+        let result = Stemming::new().decompose(&stream);
+        let top = &result.components()[0];
+        assert_eq!(top.event_count(), 4);
+        assert_eq!(top.announce_count, 1);
+        assert_eq!(top.withdraw_count, 3);
+    }
+
+    #[test]
+    fn recursion_finds_second_component() {
+        let mut events = Vec::new();
+        // Component A: 5 events through 11423-209.
+        for i in 0..5 {
+            events.push(withdraw(i, 3, 66, &format!("11423 209 {}", 100 + i), &format!("20.{i}.0.0/16")));
+        }
+        // Component B: 3 events through 5511-3356.
+        for i in 0..3 {
+            events.push(withdraw(10 + i, 200, 90, &format!("5511 3356 {}", 200 + i), &format!("30.{i}.0.0/16")));
+        }
+        let stream: EventStream = events.into_iter().collect();
+        let result = Stemming::new().decompose(&stream);
+        assert!(result.components().len() >= 2);
+        let a = &result.components()[0];
+        let b = &result.components()[1];
+        assert_eq!(a.event_count(), 5);
+        assert_eq!(b.event_count(), 3);
+        assert!(a.support >= b.support);
+        assert!(result.coverage() > 0.99);
+    }
+
+    #[test]
+    fn single_prefix_oscillation_dominates() {
+        // 100 alternating announce/withdraw events for one prefix via one
+        // path, plus background noise of 30 distinct one-off events.
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            let e = if i % 2 == 0 {
+                Event::announce(
+                    Timestamp::from_millis(i * 10),
+                    PeerId::from_octets(10, 0, 0, 1),
+                    "4.5.0.0/16".parse().unwrap(),
+                    PathAttributes::new(RouterId::from_octets(10, 3, 4, 5), "2 9".parse().unwrap()),
+                )
+            } else {
+                withdraw(0, 1, 1, "2 9", "4.5.0.0/16")
+            };
+            events.push(e);
+        }
+        for i in 0..30u32 {
+            events.push(withdraw(
+                1000 + i as u64,
+                7,
+                7,
+                &format!("{} {}", 3000 + i, 4000 + i),
+                &format!("99.{}.0.0/16", i),
+            ));
+        }
+        let stream: EventStream = events.into_iter().collect();
+        let result = Stemming::new().decompose(&stream);
+        let top = &result.components()[0];
+        assert_eq!(top.prefix_count(), 1);
+        assert_eq!(top.event_count(), 100);
+        assert!(top.events_per_prefix() > 50.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let result = Stemming::new().decompose(&EventStream::new());
+        assert!(result.components().is_empty());
+        assert_eq!(result.coverage(), 0.0);
+
+        let stream: EventStream = vec![withdraw(0, 1, 1, "1 2", "10.0.0.0/8")]
+            .into_iter()
+            .collect();
+        let result = Stemming::new().decompose(&stream);
+        // One event: below min_residual_events, nothing extracted.
+        assert!(result.components().is_empty());
+        assert_eq!(result.residual_indices().len(), 1);
+    }
+
+    #[test]
+    fn min_support_suppresses_noise() {
+        // Two unrelated events share nothing; with min_support 2 no
+        // component forms.
+        let stream: EventStream = vec![
+            withdraw(0, 1, 1, "1 2", "10.0.0.0/8"),
+            withdraw(1, 2, 2, "3 4", "20.0.0.0/8"),
+        ]
+        .into_iter()
+        .collect();
+        let result = Stemming::new().decompose(&stream);
+        assert!(result.components().is_empty());
+        assert_eq!(result.residual_indices().len(), 2);
+    }
+
+    #[test]
+    fn max_components_limits_extraction() {
+        // Three independent components; cap at 1 leaves the rest residual.
+        let mut events = Vec::new();
+        for (group, (base, asns)) in [(0u64, "11 12"), (10, "21 22"), (20, "31 32")]
+            .into_iter()
+            .enumerate()
+        {
+            // Distinct peers/nexthops per group, so the groups share nothing.
+            let peer = group as u8 + 1;
+            for i in 0..4u64 {
+                events.push(withdraw(
+                    base + i,
+                    peer,
+                    peer,
+                    asns,
+                    &format!("{}.{}.0.0/16", 40 + base, i),
+                ));
+            }
+        }
+        let stream: EventStream = events.into_iter().collect();
+        let config = StemmingConfig {
+            max_components: 1,
+            ..StemmingConfig::default()
+        };
+        let result = Stemming::with_config(config).decompose(&stream);
+        assert_eq!(result.components().len(), 1);
+        assert_eq!(result.residual_indices().len(), 8);
+        assert!((result.coverage() - 4.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_support_threshold_respected() {
+        // A 3-strong component survives min_support 3 but not 4.
+        let stream: EventStream = (0..3)
+            .map(|i| withdraw(i, 1, 1, "11423 209", &format!("50.{i}.0.0/16")))
+            .collect();
+        let strict = StemmingConfig {
+            min_support: 4,
+            ..StemmingConfig::default()
+        };
+        assert!(Stemming::with_config(strict).decompose(&stream).components().is_empty());
+        let lenient = StemmingConfig {
+            min_support: 3,
+            ..StemmingConfig::default()
+        };
+        assert_eq!(
+            Stemming::with_config(lenient).decompose(&stream).components().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn max_subseq_len_still_finds_stems() {
+        // Cap at pairs only: the stem is still found (it IS a pair).
+        let stream: EventStream = (0..5)
+            .map(|i| withdraw(i, 1, 1, "11423 209 701", &format!("60.{i}.0.0/16")))
+            .collect();
+        let config = StemmingConfig {
+            max_subseq_len: 2,
+            ..StemmingConfig::default()
+        };
+        let result = Stemming::with_config(config).decompose(&stream);
+        let top = &result.components()[0];
+        assert_eq!(top.subsequence.len(), 2);
+        assert_eq!(top.support, 5);
+    }
+
+    #[test]
+    fn component_stream_extraction() {
+        let stream: EventStream = (0..4)
+            .map(|i| withdraw(i, 3, 66, "11423 209", &format!("10.{i}.0.0/16")))
+            .collect();
+        let result = Stemming::new().decompose(&stream);
+        let sub = result.component_stream(&stream, 0);
+        assert_eq!(sub.len(), result.components()[0].event_count());
+    }
+
+    #[test]
+    fn report_mentions_stem() {
+        let stream: EventStream = (0..4)
+            .map(|i| withdraw(i, 3, 66, "11423 209", &format!("10.{i}.0.0/16")))
+            .collect();
+        let result = Stemming::new().decompose(&stream);
+        let report = result.report();
+        assert!(report.contains("11423-209"), "report was: {report}");
+        assert!(report.contains("coverage"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Contiguous sub-sequence counting over a set of event sequences.
+//!
+//! The counter first deduplicates identical full sequences (a persistent
+//! oscillation emits the *same* sequence millions of times), then enumerates
+//! contiguous sub-sequences of each distinct sequence once, adding the
+//! sequence's multiplicity to each sub-sequence's count. Within one event a
+//! repeated sub-sequence still counts once ("number of events containing s").
+
+use std::collections::HashMap;
+
+use bgpscope_bgp::intern::Symbol;
+
+/// Count statistics for one sub-sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsequenceStat {
+    /// The sub-sequence itself.
+    pub subseq: Vec<Symbol>,
+    /// Number of events whose sequence contains it.
+    pub count: u64,
+}
+
+impl SubsequenceStat {
+    /// The sub-sequence length in symbols.
+    pub fn len(&self) -> usize {
+        self.subseq.len()
+    }
+
+    /// True for the (unused) empty sub-sequence.
+    pub fn is_empty(&self) -> bool {
+        self.subseq.is_empty()
+    }
+}
+
+/// Accumulates event sequences and counts their contiguous sub-sequences.
+///
+/// # Example
+///
+/// ```
+/// use bgpscope_bgp::intern::Symbol;
+/// use bgpscope_stemming::SubsequenceCounter;
+///
+/// let s = |v: u32| Symbol(v);
+/// let mut counter = SubsequenceCounter::new(8);
+/// counter.add(&[s(1), s(2), s(3)]);
+/// counter.add(&[s(1), s(2), s(4)]);
+/// assert_eq!(counter.count_of(&[s(1), s(2)]), 2);
+/// assert_eq!(counter.count_of(&[s(2), s(3)]), 1);
+/// assert_eq!(counter.count_of(&[s(9), s(9)]), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SubsequenceCounter {
+    /// Distinct full sequences with multiplicities.
+    sequences: HashMap<Vec<Symbol>, u64>,
+    /// Longest sub-sequence length enumerated (0 = unlimited).
+    max_len: usize,
+    /// Total number of sequences added (with multiplicity).
+    total: u64,
+    /// Lazily built sub-sequence counts.
+    counts: Option<HashMap<Vec<Symbol>, u64>>,
+}
+
+impl SubsequenceCounter {
+    /// A counter that enumerates sub-sequences up to `max_len` symbols
+    /// (`0` means no limit). AS paths average 3–6 hops, so event sequences
+    /// rarely exceed ~10 symbols; a limit mainly guards against pathological
+    /// prepending.
+    pub fn new(max_len: usize) -> Self {
+        SubsequenceCounter {
+            sequences: HashMap::new(),
+            max_len,
+            total: 0,
+            counts: None,
+        }
+    }
+
+    /// Adds one event's sequence.
+    pub fn add(&mut self, seq: &[Symbol]) {
+        self.add_weighted(seq, 1);
+    }
+
+    /// Adds one event's sequence with a weight (used by traffic-weighted
+    /// Stemming, where an event counts proportionally to the traffic volume
+    /// of its prefix).
+    pub fn add_weighted(&mut self, seq: &[Symbol], weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        *self.sequences.entry(seq.to_vec()).or_insert(0) += weight;
+        self.total += weight;
+        self.counts = None;
+    }
+
+    /// Total sequences added (with multiplicity / weight).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of *distinct* sequences seen.
+    pub fn distinct_sequences(&self) -> usize {
+        self.sequences.len()
+    }
+
+    fn build_counts(&self) -> HashMap<Vec<Symbol>, u64> {
+        let mut counts: HashMap<Vec<Symbol>, u64> = HashMap::new();
+        // Scratch set to enforce once-per-event counting of sub-sequences
+        // that repeat inside a single sequence (e.g. path `1 2 1 2`).
+        let mut seen: HashMap<&[Symbol], ()> = HashMap::new();
+        for (seq, &mult) in &self.sequences {
+            seen.clear();
+            let n = seq.len();
+            let max = if self.max_len == 0 { n } else { self.max_len.min(n) };
+            for len in 2..=max {
+                for start in 0..=(n - len) {
+                    let sub = &seq[start..start + len];
+                    if seen.insert(sub, ()).is_none() {
+                        *counts.entry(sub.to_vec()).or_insert(0) += mult;
+                    }
+                }
+            }
+        }
+        counts
+    }
+
+    /// Ensures counts are built and returns them.
+    fn counts(&mut self) -> &HashMap<Vec<Symbol>, u64> {
+        if self.counts.is_none() {
+            self.counts = Some(self.build_counts());
+        }
+        self.counts.as_ref().expect("just built")
+    }
+
+    /// The count of one specific sub-sequence.
+    pub fn count_of(&mut self, subseq: &[Symbol]) -> u64 {
+        self.counts().get(subseq).copied().unwrap_or(0)
+    }
+
+    /// All sub-sequence statistics, in unspecified order.
+    pub fn stats(&mut self) -> Vec<SubsequenceStat> {
+        self.counts()
+            .iter()
+            .map(|(s, &c)| SubsequenceStat {
+                subseq: s.clone(),
+                count: c,
+            })
+            .collect()
+    }
+
+    /// The best sub-sequence under `better`, a strict "is a better than b"
+    /// predicate. Ties not broken by `better` fall back to lexicographic
+    /// symbol order for determinism.
+    pub fn best_by<F>(&mut self, better: F) -> Option<SubsequenceStat>
+    where
+        F: Fn(&SubsequenceStat, &SubsequenceStat) -> bool,
+    {
+        let mut best: Option<SubsequenceStat> = None;
+        for (s, &c) in self.counts() {
+            let cand = SubsequenceStat {
+                subseq: s.clone(),
+                count: c,
+            };
+            match &best {
+                None => best = Some(cand),
+                Some(b) => {
+                    if better(&cand, b) || (!better(b, &cand) && cand.subseq < b.subseq) {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u32) -> Symbol {
+        Symbol(v)
+    }
+
+    #[test]
+    fn counts_across_events() {
+        let mut c = SubsequenceCounter::new(0);
+        c.add(&[s(1), s(2), s(3), s(4)]);
+        c.add(&[s(1), s(2), s(5)]);
+        c.add(&[s(9), s(2), s(3)]);
+        assert_eq!(c.count_of(&[s(1), s(2)]), 2);
+        assert_eq!(c.count_of(&[s(2), s(3)]), 2);
+        assert_eq!(c.count_of(&[s(1), s(2), s(3)]), 1);
+        assert_eq!(c.count_of(&[s(1), s(2), s(3), s(4)]), 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn repeated_subsequence_in_one_event_counts_once() {
+        let mut c = SubsequenceCounter::new(0);
+        c.add(&[s(1), s(2), s(1), s(2)]);
+        assert_eq!(c.count_of(&[s(1), s(2)]), 1);
+        assert_eq!(c.count_of(&[s(2), s(1)]), 1);
+    }
+
+    #[test]
+    fn duplicate_sequences_fold_with_multiplicity() {
+        let mut c = SubsequenceCounter::new(0);
+        for _ in 0..1000 {
+            c.add(&[s(1), s(2), s(3)]);
+        }
+        assert_eq!(c.distinct_sequences(), 1);
+        assert_eq!(c.count_of(&[s(1), s(2)]), 1000);
+        assert_eq!(c.count_of(&[s(1), s(2), s(3)]), 1000);
+    }
+
+    #[test]
+    fn weighted_adds() {
+        let mut c = SubsequenceCounter::new(0);
+        c.add_weighted(&[s(1), s(2)], 90);
+        c.add_weighted(&[s(3), s(2)], 10);
+        c.add_weighted(&[s(4), s(2)], 0); // no-op
+        assert_eq!(c.count_of(&[s(1), s(2)]), 90);
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.count_of(&[s(4), s(2)]), 0);
+    }
+
+    #[test]
+    fn max_len_limits_enumeration() {
+        let mut c = SubsequenceCounter::new(2);
+        c.add(&[s(1), s(2), s(3)]);
+        assert_eq!(c.count_of(&[s(1), s(2)]), 1);
+        assert_eq!(c.count_of(&[s(1), s(2), s(3)]), 0);
+    }
+
+    #[test]
+    fn single_symbol_sequences_yield_nothing() {
+        let mut c = SubsequenceCounter::new(0);
+        c.add(&[s(1)]);
+        c.add(&[]);
+        assert!(c.stats().is_empty());
+    }
+
+    #[test]
+    fn best_by_deterministic_on_ties() {
+        let mut c = SubsequenceCounter::new(0);
+        c.add(&[s(5), s(6)]);
+        c.add(&[s(1), s(2)]);
+        // Both pairs have count 1; lexicographic fallback picks [1,2].
+        let best = c
+            .best_by(|a, b| a.count > b.count)
+            .expect("non-empty");
+        assert_eq!(best.subseq, vec![s(1), s(2)]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Ranking rules for choosing the winning sub-sequence.
+//!
+//! The paper says "ranks all sub-sequences in descending order of their
+//! counts, and picks the highest ranking sub-sequence". Taken literally over
+//! all sub-sequences this is degenerate: a sub-sequence's count can never
+//! exceed its own sub-sequences' counts, so single symbols would always win —
+//! and a single symbol has no "last adjacent pair" to serve as a stem. The
+//! Fig-4 walkthrough resolves the ambiguity: with the failure between 209 and
+//! 7018 "the common portion would be 11423-209-7018", i.e. ties on count go
+//! to the *longest* sub-sequence. [`RankingRule::CountThenLength`] encodes
+//! that reading and is the default; the alternatives exist for the ablation
+//! benchmark.
+
+use serde::{Deserialize, Serialize};
+
+use crate::count::SubsequenceStat;
+
+/// How to pick the winning sub-sequence among all counted ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RankingRule {
+    /// Highest count; ties broken by greater length (default, matches the
+    /// paper's Fig-4 walkthrough).
+    #[default]
+    CountThenLength,
+    /// Highest count only (ties fall to deterministic lexicographic order).
+    /// Tends to pick the shortest common pair.
+    CountOnly,
+    /// Highest `count × (length − 1)` — weight by the number of adjacent
+    /// pairs ("edges") covered. Favors long shared path segments.
+    CoverageWeighted,
+}
+
+impl RankingRule {
+    /// Strict "is `a` ranked above `b`".
+    pub fn better(&self, a: &SubsequenceStat, b: &SubsequenceStat) -> bool {
+        match self {
+            RankingRule::CountThenLength => {
+                (a.count, a.len()) > (b.count, b.len())
+            }
+            RankingRule::CountOnly => a.count > b.count,
+            RankingRule::CoverageWeighted => {
+                let score = |s: &SubsequenceStat| s.count * (s.len() as u64 - 1);
+                score(a) > score(b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::intern::Symbol;
+
+    fn stat(count: u64, len: usize) -> SubsequenceStat {
+        SubsequenceStat {
+            subseq: (0..len as u32).map(Symbol).collect(),
+            count,
+        }
+    }
+
+    #[test]
+    fn count_then_length() {
+        let r = RankingRule::CountThenLength;
+        assert!(r.better(&stat(10, 2), &stat(8, 5)));
+        assert!(r.better(&stat(10, 3), &stat(10, 2)));
+        assert!(!r.better(&stat(10, 2), &stat(10, 2)));
+    }
+
+    #[test]
+    fn count_only_ignores_length() {
+        let r = RankingRule::CountOnly;
+        assert!(!r.better(&stat(10, 3), &stat(10, 2)));
+        assert!(!r.better(&stat(10, 2), &stat(10, 3)));
+        assert!(r.better(&stat(11, 2), &stat(10, 9)));
+    }
+
+    #[test]
+    fn coverage_weighted_prefers_long_segments() {
+        let r = RankingRule::CoverageWeighted;
+        // 8 events sharing a 4-long portion (score 24) beat 10 sharing a pair (10).
+        assert!(r.better(&stat(8, 4), &stat(10, 2)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for Stemming invariants.
+
+use proptest::prelude::*;
+
+use bgpscope_bgp::{Event, EventStream, PathAttributes, PeerId, Prefix, RouterId, Timestamp};
+use bgpscope_stemming::{RankingRule, Stemming, StemmingConfig};
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u64..10_000,
+        1u8..4,
+        1u8..4,
+        proptest::collection::vec(1u32..20, 1..5),
+        0u8..30,
+        any::<bool>(),
+    )
+        .prop_map(|(t, peer, hop, path, pfx, announce)| {
+            let attrs = PathAttributes::new(
+                RouterId::from_octets(10, 0, 0, hop),
+                bgpscope_bgp::AsPath::from_u32s(path),
+            );
+            let prefix = Prefix::from_octets(10, pfx, 0, 0, 16);
+            let peer = PeerId::from_octets(192, 168, 0, peer);
+            if announce {
+                Event::announce(Timestamp::from_secs(t), peer, prefix, attrs)
+            } else {
+                Event::withdraw(Timestamp::from_secs(t), peer, prefix, attrs)
+            }
+        })
+}
+
+fn arb_stream() -> impl Strategy<Value = EventStream> {
+    proptest::collection::vec(arb_event(), 0..120).prop_map(|mut evs| {
+        evs.sort_by_key(|e| e.time);
+        evs.into_iter().collect()
+    })
+}
+
+proptest! {
+    /// Components partition the stream: each event index appears in exactly
+    /// one component or the residual.
+    #[test]
+    fn components_partition_events(stream in arb_stream()) {
+        let result = Stemming::new().decompose(&stream);
+        let mut seen = vec![0u8; stream.len()];
+        for c in result.components() {
+            for &i in &c.event_indices {
+                seen[i] += 1;
+            }
+        }
+        for &i in result.residual_indices() {
+            seen[i] += 1;
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    /// Components are ordered by non-increasing support.
+    #[test]
+    fn support_non_increasing(stream in arb_stream()) {
+        let result = Stemming::new().decompose(&stream);
+        let supports: Vec<u64> = result.components().iter().map(|c| c.support).collect();
+        prop_assert!(supports.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Prefix sets of distinct components are disjoint (an event for a
+    /// prefix can only be swept into one component).
+    #[test]
+    fn component_prefixes_disjoint(stream in arb_stream()) {
+        let result = Stemming::new().decompose(&stream);
+        let comps = result.components();
+        for i in 0..comps.len() {
+            for j in (i + 1)..comps.len() {
+                prop_assert!(comps[i].prefixes.is_disjoint(&comps[j].prefixes));
+            }
+        }
+    }
+
+    /// The stem is always the last adjacent pair of the winning sub-sequence.
+    #[test]
+    fn stem_is_last_pair(stream in arb_stream()) {
+        let result = Stemming::new().decompose(&stream);
+        for c in result.components() {
+            let n = c.subsequence.len();
+            prop_assert!(n >= 2);
+            prop_assert_eq!(c.stem.0, c.subsequence[n - 2]);
+            prop_assert_eq!(c.stem.1, c.subsequence[n - 1]);
+        }
+    }
+
+    /// Every component covers at least `min_support` events via its support,
+    /// and its event set at least matches its prefixes.
+    #[test]
+    fn support_and_counts_consistent(stream in arb_stream()) {
+        let result = Stemming::new().decompose(&stream);
+        for c in result.components() {
+            prop_assert!(c.support >= 2);
+            prop_assert!(c.event_count() as u64 >= c.support);
+            prop_assert!(!c.prefixes.is_empty());
+            prop_assert_eq!(c.announce_count + c.withdraw_count, c.event_count());
+            prop_assert!(c.start <= c.end);
+        }
+    }
+
+    /// Decomposition is deterministic.
+    #[test]
+    fn decompose_is_deterministic(stream in arb_stream()) {
+        let a = Stemming::new().decompose(&stream);
+        let b = Stemming::new().decompose(&stream);
+        prop_assert_eq!(a.components().len(), b.components().len());
+        for (x, y) in a.components().iter().zip(b.components()) {
+            prop_assert_eq!(&x.subsequence, &y.subsequence);
+            prop_assert_eq!(&x.event_indices, &y.event_indices);
+        }
+    }
+
+    /// All ranking rules still produce a valid partition.
+    #[test]
+    fn all_ranking_rules_partition(stream in arb_stream(), rule_idx in 0usize..3) {
+        let rule = [RankingRule::CountThenLength, RankingRule::CountOnly, RankingRule::CoverageWeighted][rule_idx];
+        let config = StemmingConfig { ranking: rule, ..StemmingConfig::default() };
+        let result = Stemming::with_config(config).decompose(&stream);
+        let assigned: usize = result.components().iter().map(|c| c.event_count()).sum();
+        prop_assert_eq!(assigned + result.residual_indices().len(), stream.len());
+    }
+}

@@ -1,0 +1,780 @@
+//! TAMP animations (§III-A).
+//!
+//! An animation tracks a BGP event stream through the graph. Per the paper it
+//! does **not** replay events in wall-clock time: the movie always plays for
+//! 30 seconds at 25 fps regardless of whether the incident lasted seconds or
+//! days, with each frame consolidating every routing change that fell into
+//! its slice of the incident. Edge visual states match the paper's cues:
+//!
+//! * black — not changing,
+//! * green — gaining prefixes,
+//! * blue — losing prefixes,
+//! * yellow — flapping too fast to animate,
+//! * gray shadow — the largest number of prefixes the edge ever carried.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::{EventStream, Timestamp};
+
+use crate::builder::{BuilderConfig, GraphBuilder, RouteInput};
+use crate::graph::{EdgeId, TampGraph};
+use crate::layout::{layout, LayoutConfig};
+use crate::render::{render_svg, RenderConfig};
+
+/// Animation parameters. Defaults match the paper: fixed 30 s play duration,
+/// 25 fps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnimationConfig {
+    /// Play duration in seconds (fixed, independent of the incident length).
+    pub duration_secs: f64,
+    /// Frames per second.
+    pub fps: u32,
+    /// Number of within-frame direction changes (gain→loss or loss→gain) at
+    /// which an edge is declared "flapping too fast to animate" (yellow).
+    pub flap_threshold: u32,
+}
+
+impl Default for AnimationConfig {
+    fn default() -> Self {
+        AnimationConfig {
+            duration_secs: 30.0,
+            fps: 25,
+            flap_threshold: 4,
+        }
+    }
+}
+
+impl AnimationConfig {
+    /// Total frame count (`duration × fps`).
+    pub fn frame_count(&self) -> usize {
+        ((self.duration_secs * self.fps as f64).round() as usize).max(1)
+    }
+}
+
+/// The visual state of an edge within one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeState {
+    /// Black: the prefix count did not change.
+    Steady,
+    /// Green: the edge gained prefixes.
+    Gaining,
+    /// Blue: the edge lost prefixes.
+    Losing,
+    /// Yellow: changing in both directions too fast to animate.
+    Flapping,
+}
+
+impl EdgeState {
+    /// The render color for this state (paper's palette).
+    pub fn color(&self) -> &'static str {
+        match self {
+            EdgeState::Steady => "#222222",
+            EdgeState::Gaining => "#1a9a1a",
+            EdgeState::Losing => "#2255cc",
+            EdgeState::Flapping => "#d4b106",
+        }
+    }
+}
+
+/// One edge's consolidated change within one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameEdge {
+    /// Which edge.
+    pub edge: EdgeId,
+    /// Distinct prefix count at the end of the frame.
+    pub count: usize,
+    /// Prefix-count increase events within the frame.
+    pub gains: u32,
+    /// Prefix-count decrease events within the frame.
+    pub losses: u32,
+    /// The consolidated visual state.
+    pub state: EdgeState,
+}
+
+/// One animation frame: the incident clock and the edges that changed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Frame {
+    /// Frame index (0-based).
+    pub index: usize,
+    /// Incident time at the end of this frame (the paper's animation clock).
+    pub clock: Timestamp,
+    /// Edges that changed during this frame.
+    pub changed: Vec<FrameEdge>,
+}
+
+/// Builds animations: seed the initial RIB state, then feed the incident's
+/// event stream.
+///
+/// # Example
+///
+/// ```
+/// use bgpscope_tamp::{Animator, RouteInput};
+/// use bgpscope_bgp::{Event, EventStream, PathAttributes, PeerId, RouterId, Timestamp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let peer = PeerId::from_octets(1, 1, 1, 1);
+/// let hop = RouterId::from_octets(2, 2, 2, 2);
+/// let mut animator = Animator::new("demo");
+/// animator.seed(RouteInput::new(peer, hop, "701 1299".parse()?, "10.0.0.0/8".parse()?));
+/// let mut stream = EventStream::new();
+/// stream.push(Event::withdraw(
+///     Timestamp::from_secs(1),
+///     peer,
+///     "10.0.0.0/8".parse()?,
+///     PathAttributes::new(hop, "701 1299".parse()?),
+/// ));
+/// let animation = animator.animate(&stream);
+/// assert_eq!(animation.frame_count(), 750); // 30 s × 25 fps
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Animator {
+    builder: GraphBuilder,
+    config: AnimationConfig,
+}
+
+impl Animator {
+    /// An animator with default graph and animation configuration.
+    pub fn new(label: impl Into<String>) -> Self {
+        Animator {
+            builder: GraphBuilder::new(label),
+            config: AnimationConfig::default(),
+        }
+    }
+
+    /// An animator with explicit configurations.
+    pub fn with_config(
+        label: impl Into<String>,
+        builder_config: BuilderConfig,
+        config: AnimationConfig,
+    ) -> Self {
+        Animator {
+            builder: GraphBuilder::with_config(label, builder_config),
+            config,
+        }
+    }
+
+    /// Seeds one route of the initial RIB state (before the incident).
+    pub fn seed(&mut self, route: RouteInput) {
+        self.builder.add(route);
+    }
+
+    /// Seeds many routes.
+    pub fn seed_all<I: IntoIterator<Item = RouteInput>>(&mut self, routes: I) {
+        self.builder.extend(routes);
+    }
+
+    /// Consumes the animator and the incident's events, producing the
+    /// animation.
+    pub fn animate(mut self, stream: &EventStream) -> Animation {
+        let frame_count = self.config.frame_count();
+        let t0 = stream.events().first().map(|e| e.time).unwrap_or(Timestamp::ZERO);
+        let timerange = stream.timerange();
+
+        // Snapshot initial weights.
+        let initial: HashMap<EdgeId, usize> = self
+            .builder
+            .graph()
+            .edge_ids()
+            .map(|e| (e, self.builder.graph().edge_weight(e)))
+            .collect();
+        let mut current: HashMap<EdgeId, usize> = initial.clone();
+
+        #[derive(Default, Clone)]
+        struct Accum {
+            start: usize,
+            gains: u32,
+            losses: u32,
+            dir_changes: u32,
+            last_dir: i8,
+            touched: bool,
+        }
+
+        let mut frames: Vec<Frame> = Vec::with_capacity(frame_count);
+        let mut accums: HashMap<EdgeId, Accum> = HashMap::new();
+        let mut frame_idx = 0usize;
+
+        let frame_of = |t: Timestamp| -> usize {
+            if timerange.as_micros() == 0 {
+                return 0;
+            }
+            let rel = t.saturating_since(t0).as_micros() as f64 / timerange.as_micros() as f64;
+            ((rel * frame_count as f64) as usize).min(frame_count - 1)
+        };
+
+        let flush_frame =
+            |idx: usize, accums: &mut HashMap<EdgeId, Accum>, frames: &mut Vec<Frame>,
+             current: &HashMap<EdgeId, usize>, cfg: &AnimationConfig| {
+                let clock = if timerange.as_micros() == 0 {
+                    Timestamp::ZERO
+                } else {
+                    Timestamp(((idx + 1) as u64 * timerange.as_micros()) / frame_count as u64)
+                };
+                let mut changed: Vec<FrameEdge> = accums
+                    .drain()
+                    .filter(|(_, a)| a.touched)
+                    .map(|(edge, a)| {
+                        let count = current.get(&edge).copied().unwrap_or(0);
+                        let state = if a.dir_changes >= cfg.flap_threshold {
+                            EdgeState::Flapping
+                        } else if count > a.start {
+                            EdgeState::Gaining
+                        } else if count < a.start {
+                            EdgeState::Losing
+                        } else if a.gains > 0 || a.losses > 0 {
+                            // Net zero but it moved: a within-frame flap.
+                            EdgeState::Flapping
+                        } else {
+                            EdgeState::Steady
+                        };
+                        FrameEdge {
+                            edge,
+                            count,
+                            gains: a.gains,
+                            losses: a.losses,
+                            state,
+                        }
+                    })
+                    .filter(|fe| fe.state != EdgeState::Steady)
+                    .collect();
+                changed.sort_by_key(|fe| fe.edge);
+                frames.push(Frame {
+                    index: idx,
+                    clock,
+                    changed,
+                });
+            };
+
+        for event in stream.iter() {
+            let idx = frame_of(event.time);
+            while frame_idx < idx {
+                flush_frame(frame_idx, &mut accums, &mut frames, &current, &self.config);
+                frame_idx += 1;
+            }
+            let touched = self.builder.apply_event_tracked(event);
+            for edge in touched {
+                let new_weight = self.builder.graph().edge_weight(edge);
+                let old_weight = current.insert(edge, new_weight).unwrap_or(0);
+                let acc = accums.entry(edge).or_insert_with(|| Accum {
+                    start: old_weight,
+                    ..Accum::default()
+                });
+                acc.touched = true;
+                let dir: i8 = match new_weight.cmp(&old_weight) {
+                    std::cmp::Ordering::Greater => 1,
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                };
+                if dir > 0 {
+                    acc.gains += 1;
+                } else if dir < 0 {
+                    acc.losses += 1;
+                }
+                if dir != 0 {
+                    if acc.last_dir != 0 && dir != acc.last_dir {
+                        acc.dir_changes += 1;
+                    }
+                    acc.last_dir = dir;
+                }
+            }
+        }
+        // Flush the remaining frames (including trailing empty ones).
+        while frame_idx < frame_count {
+            flush_frame(frame_idx, &mut accums, &mut frames, &current, &self.config);
+            frame_idx += 1;
+        }
+
+        Animation {
+            graph: self.builder.finish(),
+            initial,
+            frames,
+            timerange,
+            config: self.config,
+        }
+    }
+}
+
+/// A finished animation: the final graph (with gray-shadow maxima), the
+/// initial edge weights, and the per-frame consolidated changes.
+#[derive(Debug)]
+pub struct Animation {
+    graph: TampGraph,
+    initial: HashMap<EdgeId, usize>,
+    frames: Vec<Frame>,
+    timerange: Timestamp,
+    config: AnimationConfig,
+}
+
+impl Animation {
+    /// The graph in its final (post-incident) state.
+    pub fn graph(&self) -> &TampGraph {
+        &self.graph
+    }
+
+    /// The frames in order.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Number of frames (always `duration × fps`).
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The incident's real duration.
+    pub fn timerange(&self) -> Timestamp {
+        self.timerange
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &AnimationConfig {
+        &self.config
+    }
+
+    /// The weight of `edge` before the incident.
+    pub fn initial_weight(&self, edge: EdgeId) -> usize {
+        self.initial.get(&edge).copied().unwrap_or(0)
+    }
+
+    /// The per-frame prefix count of one edge — the impulse plot drawn next
+    /// to the animation controls for the selected edge (Figure 3).
+    ///
+    /// Index `i` is the count at the end of frame `i`; length equals
+    /// [`Animation::frame_count`].
+    pub fn edge_series(&self, edge: EdgeId) -> Vec<usize> {
+        let mut series = Vec::with_capacity(self.frames.len());
+        let mut count = self.initial_weight(edge);
+        for frame in &self.frames {
+            if let Some(fe) = frame.changed.iter().find(|fe| fe.edge == edge) {
+                count = fe.count;
+            }
+            series.push(count);
+        }
+        series
+    }
+
+    /// Edge weights at the end of frame `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= frame_count()`.
+    pub fn frame_weights(&self, idx: usize) -> HashMap<EdgeId, usize> {
+        assert!(idx < self.frames.len(), "frame index out of range");
+        let mut weights = self.initial.clone();
+        for frame in &self.frames[..=idx] {
+            for fe in &frame.changed {
+                weights.insert(fe.edge, fe.count);
+            }
+        }
+        weights
+    }
+
+    /// The edge states of frame `idx` (edges not listed are steady/black).
+    pub fn frame_states(&self, idx: usize) -> HashMap<EdgeId, EdgeState> {
+        self.frames[idx]
+            .changed
+            .iter()
+            .map(|fe| (fe.edge, fe.state))
+            .collect()
+    }
+
+    /// Renders one frame as SVG: the final graph's layout, per-frame colors,
+    /// an animation clock, and the per-frame edge panel.
+    pub fn render_frame_svg(&self, idx: usize) -> String {
+        let mut cfg = RenderConfig::default();
+        for (edge, state) in self.frame_states(idx) {
+            cfg.edge_colors.insert(edge, state.color());
+        }
+        let body = render_svg(&self.graph, &cfg);
+        // Append the clock as a second SVG text layer by splicing before the
+        // closing tag.
+        let clock = &self.frames[idx].clock;
+        let overlay = format!(
+            "<text x=\"8\" y=\"32\" font-size=\"12\" fill=\"#a33\" font-family=\"monospace\">frame {}/{} — incident clock {}</text>\n</svg>\n",
+            idx + 1,
+            self.frames.len(),
+            clock
+        );
+        body.replace("</svg>\n", &overlay)
+    }
+
+    /// Renders the whole animation as a single self-playing SVG using SMIL
+    /// `<animate>` elements: open it in a browser and the 30-second movie
+    /// plays — edge widths track prefix counts, colors track the
+    /// gaining/losing/flapping states.
+    ///
+    /// Only the `max_animated_edges` most active edges get animation
+    /// elements (each change point costs document size); the rest render
+    /// statically at their final weight.
+    pub fn render_animated_svg(&self, max_animated_edges: usize) -> String {
+        use std::collections::HashMap as Map;
+        let lay = self.layout();
+        let duration = self.config.duration_secs;
+        let frames = self.frames.len().max(1);
+        let max_weight = self
+            .graph
+            .edge_ids()
+            .map(|e| {
+                self.graph
+                    .edge_data(e)
+                    .max_distinct
+                    .max(self.initial_weight(e))
+            })
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        let stroke_of = |w: usize| 1.0 + 13.0 * (w as f64 / max_weight);
+
+        // Rank edges by activity (number of frames that touched them).
+        let mut activity: Map<EdgeId, usize> = Map::new();
+        for frame in &self.frames {
+            for fe in &frame.changed {
+                *activity.entry(fe.edge).or_insert(0) += 1;
+            }
+        }
+        let mut active: Vec<(EdgeId, usize)> = activity.into_iter().collect();
+        active.sort_by_key(|&(e, n)| (std::cmp::Reverse(n), e));
+        let animated: std::collections::HashSet<EdgeId> = active
+            .iter()
+            .take(max_animated_edges)
+            .map(|&(e, _)| e)
+            .collect();
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" font-family=\"monospace\" font-size=\"11\">",
+            lay.width() + 160.0,
+            lay.height() + 30.0
+        );
+        svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+        let _ = writeln!(
+            svg,
+            "<text x=\"8\" y=\"16\" font-size=\"13\" fill=\"#333\">{} — {} incident replayed over {:.0} s</text>",
+            self.graph.label(),
+            self.timerange,
+            duration
+        );
+
+        for edge in self.graph.edge_ids() {
+            let (from, to) = self.graph.edge_endpoints(edge);
+            let (Some((x1, y1)), Some((x2, y2))) = (lay.position(from), lay.position(to)) else {
+                continue;
+            };
+            // Gray shadow at the historical maximum.
+            let max_d = self.graph.edge_data(edge).max_distinct;
+            if max_d > 0 {
+                let _ = writeln!(
+                    svg,
+                    "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"#dddddd\" stroke-width=\"{:.1}\"/>",
+                    stroke_of(max_d)
+                );
+            }
+            if !animated.contains(&edge) {
+                let w = self.graph.edge_weight(edge);
+                let _ = writeln!(
+                    svg,
+                    "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"#222222\" stroke-width=\"{:.1}\"/>",
+                    stroke_of(w)
+                );
+                continue;
+            }
+            // Animated edge: collect change points (time, width, color).
+            let mut times = vec![0.0f64];
+            let mut widths = vec![stroke_of(self.initial_weight(edge))];
+            let mut colors = vec!["#222222".to_owned()];
+            for frame in &self.frames {
+                if let Some(fe) = frame.changed.iter().find(|fe| fe.edge == edge) {
+                    times.push((frame.index as f64 + 1.0) / frames as f64);
+                    widths.push(stroke_of(fe.count));
+                    colors.push(fe.state.color().to_owned());
+                }
+            }
+            if *times.last().expect("non-empty") < 1.0 {
+                times.push(1.0);
+                widths.push(*widths.last().expect("non-empty"));
+                colors.push("#222222".to_owned());
+            }
+            let key_times: Vec<String> = times.iter().map(|t| format!("{t:.4}")).collect();
+            let width_vals: Vec<String> = widths.iter().map(|w| format!("{w:.1}")).collect();
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"#222222\" stroke-width=\"{:.1}\">",
+                widths[0]
+            );
+            let _ = writeln!(
+                svg,
+                "  <animate attributeName=\"stroke-width\" dur=\"{duration}s\" repeatCount=\"indefinite\" calcMode=\"discrete\" keyTimes=\"{}\" values=\"{}\"/>",
+                key_times.join(";"),
+                width_vals.join(";")
+            );
+            let _ = writeln!(
+                svg,
+                "  <animate attributeName=\"stroke\" dur=\"{duration}s\" repeatCount=\"indefinite\" calcMode=\"discrete\" keyTimes=\"{}\" values=\"{}\"/>",
+                key_times.join(";"),
+                colors.join(";")
+            );
+            svg.push_str("</line>\n");
+        }
+
+        // Nodes on top.
+        for node in self.graph.node_ids() {
+            let Some((x, y)) = lay.position(node) else {
+                continue;
+            };
+            let kind = self.graph.node(node);
+            let label = kind.label();
+            let w = (label.len() as f64 * 7.0 + 12.0).max(40.0);
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{w:.1}\" height=\"20\" rx=\"4\" fill=\"#e8e3d7\" stroke=\"#333\"/>",
+                x - w / 2.0,
+                y - 10.0
+            );
+            let _ = writeln!(
+                svg,
+                "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"#111\">{label}</text>",
+                y + 4.0
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Renders the impulse plot of one edge as a small standalone SVG
+    /// (the Figure 3 side panel).
+    pub fn render_edge_series_svg(&self, edge: EdgeId, width: f64, height: f64) -> String {
+        let series = self.edge_series(edge);
+        let max = series.iter().copied().max().unwrap_or(1).max(1) as f64;
+        let n = series.len().max(1) as f64;
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\">"
+        );
+        svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\" stroke=\"#999\"/>");
+        for (i, &v) in series.iter().enumerate() {
+            let x = (i as f64 + 0.5) / n * width;
+            let h = v as f64 / max * (height - 4.0);
+            if v > 0 {
+                let _ = write!(
+                    svg,
+                    "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#2255cc\" stroke-width=\"1\"/>",
+                    height - 2.0,
+                    height - 2.0 - h
+                );
+            }
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Convenience: layout of the final graph (for custom rendering).
+    pub fn layout(&self) -> crate::layout::LayoutResult {
+        layout(&self.graph, &LayoutConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::{Event, PathAttributes, PeerId, RouterId};
+
+    fn peer() -> PeerId {
+        PeerId::from_octets(1, 1, 1, 1)
+    }
+
+    fn hop() -> RouterId {
+        RouterId::from_octets(2, 2, 2, 2)
+    }
+
+    fn announce(t_ms: u64, path: &str, prefix: &str) -> Event {
+        Event::announce(
+            Timestamp::from_millis(t_ms),
+            peer(),
+            prefix.parse().unwrap(),
+            PathAttributes::new(hop(), path.parse().unwrap()),
+        )
+    }
+
+    fn withdraw(t_ms: u64, path: &str, prefix: &str) -> Event {
+        Event::withdraw(
+            Timestamp::from_millis(t_ms),
+            peer(),
+            prefix.parse().unwrap(),
+            PathAttributes::new(hop(), path.parse().unwrap()),
+        )
+    }
+
+    fn seeded_animator(n_prefixes: u32) -> Animator {
+        let mut a = Animator::new("t");
+        for i in 0..n_prefixes {
+            a.seed(RouteInput::new(
+                peer(),
+                hop(),
+                "701 1299".parse().unwrap(),
+                format!("10.{i}.0.0/16").parse().unwrap(),
+            ));
+        }
+        a
+    }
+
+    #[test]
+    fn fixed_duration_frame_count() {
+        let animation = seeded_animator(1).animate(&EventStream::new());
+        assert_eq!(animation.frame_count(), 750);
+        // A long incident still gets 750 frames.
+        let stream: EventStream = (0..100u64)
+            .map(|i| withdraw(i * 3_600_000, "701 1299", &format!("99.{i}.0.0/16")))
+            .collect();
+        let animation = seeded_animator(1).animate(&stream);
+        assert_eq!(animation.frame_count(), 750);
+        assert_eq!(animation.timerange(), Timestamp::from_secs(99 * 3600));
+    }
+
+    #[test]
+    fn losing_edge_is_blue_then_shadowed() {
+        let a = seeded_animator(10);
+        let g_edge = {
+            let g = a.builder.graph();
+            g.find_edge_by_labels("701", "1299").unwrap()
+        };
+        let stream: EventStream = (0..10u64)
+            .map(|i| withdraw(i * 100, "701 1299", &format!("10.{i}.0.0/16")))
+            .collect();
+        let animation = a.animate(&stream);
+        assert_eq!(animation.initial_weight(g_edge), 10);
+        // Some frame must mark the edge as Losing.
+        let losing = animation
+            .frames()
+            .iter()
+            .flat_map(|f| &f.changed)
+            .any(|fe| fe.edge == g_edge && fe.state == EdgeState::Losing);
+        assert!(losing);
+        // Final weight 0; shadow remembers 10.
+        let series = animation.edge_series(g_edge);
+        assert_eq!(*series.last().unwrap(), 0);
+        assert_eq!(animation.graph().edge_data(g_edge).max_distinct, 10);
+    }
+
+    #[test]
+    fn gaining_edge_is_green() {
+        let a = seeded_animator(0);
+        let stream: EventStream = (0..5u64)
+            .map(|i| announce(i * 100, "3356 2914", &format!("20.{i}.0.0/16")))
+            .collect();
+        let animation = a.animate(&stream);
+        let edge = animation.graph().find_edge_by_labels("3356", "2914").unwrap();
+        let greens = animation
+            .frames()
+            .iter()
+            .flat_map(|f| &f.changed)
+            .filter(|fe| fe.edge == edge && fe.state == EdgeState::Gaining)
+            .count();
+        assert!(greens > 0);
+        let series = animation.edge_series(edge);
+        assert_eq!(*series.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn fast_flap_is_yellow() {
+        // Announce/withdraw the same prefix many times within one frame.
+        let a = seeded_animator(0);
+        let mut events = Vec::new();
+        for i in 0..200u64 {
+            if i % 2 == 0 {
+                events.push(announce(i, "2 9", "4.5.0.0/16"));
+            } else {
+                events.push(withdraw(i, "2 9", "4.5.0.0/16"));
+            }
+        }
+        // Stretch the last event so the flapping burst lands inside a single
+        // frame of a 200 ms / 750-frame window... instead: all events within
+        // 200 ms, then one far event to set the timerange.
+        events.push(announce(10_000_000, "7 8", "99.0.0.0/8"));
+        let stream: EventStream = events.into_iter().collect();
+        let animation = a.animate(&stream);
+        let edge = animation.graph().find_edge_by_labels("2", "9").unwrap();
+        let yellow = animation
+            .frames()
+            .iter()
+            .flat_map(|f| &f.changed)
+            .any(|fe| fe.edge == edge && fe.state == EdgeState::Flapping);
+        assert!(yellow);
+    }
+
+    #[test]
+    fn frame_weights_reconstruct() {
+        let a = seeded_animator(3);
+        let edge = a.builder.graph().find_edge_by_labels("701", "1299").unwrap();
+        let stream: EventStream = vec![
+            withdraw(0, "701 1299", "10.0.0.0/16"),
+            withdraw(15_000, "701 1299", "10.1.0.0/16"),
+            withdraw(30_000, "701 1299", "10.2.0.0/16"),
+        ]
+        .into_iter()
+        .collect();
+        let animation = a.animate(&stream);
+        let first = animation.frame_weights(0);
+        let last = animation.frame_weights(749);
+        assert_eq!(first.get(&edge), Some(&2));
+        assert_eq!(last.get(&edge), Some(&0));
+        let series = animation.edge_series(edge);
+        assert_eq!(series.len(), 750);
+        assert_eq!(series[0], 2);
+        assert_eq!(series[374], 2);
+        assert_eq!(series[375], 1);
+        assert_eq!(series[749], 0);
+    }
+
+    #[test]
+    fn render_frame_svg_has_clock_and_colors() {
+        let a = seeded_animator(2);
+        let stream: EventStream = vec![
+            withdraw(0, "701 1299", "10.0.0.0/16"),
+            withdraw(30_000, "701 1299", "10.1.0.0/16"),
+        ]
+        .into_iter()
+        .collect();
+        let animation = a.animate(&stream);
+        let svg = animation.render_frame_svg(0);
+        assert!(svg.contains("incident clock"));
+        assert!(svg.contains(EdgeState::Losing.color()));
+        let plot = animation.render_edge_series_svg(
+            animation.graph().find_edge_by_labels("701", "1299").unwrap(),
+            300.0,
+            80.0,
+        );
+        assert!(plot.starts_with("<svg"));
+    }
+
+    #[test]
+    fn animated_svg_self_playing() {
+        let a = seeded_animator(5);
+        let stream: EventStream = (0..5u64)
+            .map(|i| withdraw(i * 1000, "701 1299", &format!("10.{i}.0.0/16")))
+            .collect();
+        let animation = a.animate(&stream);
+        let svg = animation.render_animated_svg(8);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<animate attributeName=\"stroke-width\""));
+        assert!(svg.contains("repeatCount=\"indefinite\""));
+        assert!(svg.contains("dur=\"30s\""));
+        // keyTimes are normalized and end at 1.
+        assert!(svg.contains("keyTimes=\"0.0000;"));
+        // Limiting animated edges to zero still renders statically.
+        let static_svg = animation.render_animated_svg(0);
+        assert!(!static_svg.contains("<animate"));
+    }
+
+    #[test]
+    fn empty_stream_animation() {
+        let animation = seeded_animator(4).animate(&EventStream::new());
+        assert_eq!(animation.frame_count(), 750);
+        assert!(animation.frames().iter().all(|f| f.changed.is_empty()));
+    }
+}

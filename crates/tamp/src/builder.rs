@@ -1,0 +1,347 @@
+//! Building TAMP graphs from sets of routes.
+//!
+//! The builder knows the paper's tree convention: root → (peer router) →
+//! BGP nexthop → AS chain → (prefix leaf). It tracks the node path used for
+//! every inserted route so the animation engine can later remove exactly the
+//! edges a withdrawn route contributed.
+
+use std::collections::HashMap;
+
+use bgpscope_bgp::{AsPath, Asn, Event, EventKind, PeerId, Prefix, RouterId};
+
+use crate::graph::{EdgeId, NodeId, NodeKind, TampGraph};
+
+/// One route to place on the graph.
+///
+/// TAMP "is not limited to using all BGP routes at a router; the algorithm
+/// can map any set of routes" — construct `RouteInput`s from whatever subset
+/// you like (routes with one community, from one neighbor AS, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteInput {
+    /// The router whose RIB the route came from.
+    pub peer: PeerId,
+    /// The route's BGP NEXT_HOP.
+    pub next_hop: RouterId,
+    /// The AS path.
+    pub as_path: AsPath,
+    /// The destination prefix.
+    pub prefix: Prefix,
+}
+
+impl RouteInput {
+    /// Builds a route input.
+    pub fn new(peer: PeerId, next_hop: RouterId, as_path: AsPath, prefix: Prefix) -> Self {
+        RouteInput {
+            peer,
+            next_hop,
+            as_path,
+            prefix,
+        }
+    }
+
+    /// Builds a route input from a collector event (using the event's
+    /// attributes, which for withdrawals are the *old* route).
+    pub fn from_event(event: &Event) -> Self {
+        RouteInput {
+            peer: event.peer,
+            next_hop: event.attrs.next_hop,
+            as_path: event.attrs.as_path.clone(),
+            prefix: event.prefix,
+        }
+    }
+
+    /// Builds a route input from a RIB route (e.g. a collector snapshot).
+    pub fn from_route(route: &bgpscope_bgp::Route) -> Self {
+        RouteInput {
+            peer: route.peer,
+            next_hop: route.attrs.next_hop,
+            as_path: route.attrs.as_path.clone(),
+            prefix: route.prefix,
+        }
+    }
+}
+
+impl From<&bgpscope_bgp::Route> for RouteInput {
+    fn from(route: &bgpscope_bgp::Route) -> Self {
+        RouteInput::from_route(route)
+    }
+}
+
+/// Options controlling graph construction.
+#[derive(Debug, Clone)]
+pub struct BuilderConfig {
+    /// Include a depth-1 layer of peer-router nodes between the root and the
+    /// nexthops (the site view of Figures 2 and 5). When `false`, nexthops
+    /// attach directly to the root (the single-router view of Figure 1).
+    pub include_peers: bool,
+    /// Attach leaf prefix nodes after the last AS. Off by default — a
+    /// realistic table would add 10^5 leaves; pruning would drop nearly all.
+    pub prefix_leaves: bool,
+    /// Collapse consecutive duplicate ASes (path prepending) into one node.
+    pub collapse_prepends: bool,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        BuilderConfig {
+            include_peers: true,
+            prefix_leaves: false,
+            collapse_prepends: true,
+        }
+    }
+}
+
+/// Incrementally builds a [`TampGraph`] from routes, remembering each
+/// route's node path for later removal.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: TampGraph,
+    config: BuilderConfig,
+    /// Node path of each currently-placed route, keyed by (peer, prefix).
+    /// An announcement for an already-placed key is an implicit replacement.
+    placed: HashMap<(PeerId, Prefix), Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// A builder for a site graph labeled `label`, default config.
+    pub fn new(label: impl Into<String>) -> Self {
+        GraphBuilder::with_config(label, BuilderConfig::default())
+    }
+
+    /// A builder with explicit options.
+    pub fn with_config(label: impl Into<String>, config: BuilderConfig) -> Self {
+        GraphBuilder {
+            graph: TampGraph::new(label),
+            config,
+            placed: HashMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BuilderConfig {
+        &self.config
+    }
+
+    /// Read access to the graph under construction.
+    pub fn graph(&self) -> &TampGraph {
+        &self.graph
+    }
+
+    /// Computes the node path a route occupies, interning nodes as needed.
+    fn node_path(&mut self, route: &RouteInput) -> Vec<NodeId> {
+        let mut path = Vec::with_capacity(route.as_path.hop_count() + 4);
+        path.push(self.graph.root());
+        if self.config.include_peers {
+            path.push(self.graph.intern_node(NodeKind::Peer(route.peer)));
+        }
+        path.push(self.graph.intern_node(NodeKind::Nexthop(route.next_hop)));
+        let mut prev: Option<Asn> = None;
+        for &asn in route.as_path.asns() {
+            if self.config.collapse_prepends && prev == Some(asn) {
+                continue;
+            }
+            path.push(self.graph.intern_node(NodeKind::As(asn)));
+            prev = Some(asn);
+        }
+        if self.config.prefix_leaves {
+            path.push(self.graph.intern_node(NodeKind::Prefix(route.prefix)));
+        }
+        path
+    }
+
+    /// Adds (or replaces) a route. Replacement first removes the prefix from
+    /// the edges of the old path, mirroring an implicit BGP replacement.
+    pub fn add(&mut self, route: RouteInput) {
+        let key = (route.peer, route.prefix);
+        if let Some(old_path) = self.placed.remove(&key) {
+            self.graph.remove_path(&old_path, route.prefix);
+        }
+        let path = self.node_path(&route);
+        self.graph.insert_path(&path, route.prefix);
+        self.placed.insert(key, path);
+    }
+
+    /// Withdraws the route for `(peer, prefix)` if placed; returns whether a
+    /// route was removed.
+    pub fn remove(&mut self, peer: PeerId, prefix: Prefix) -> bool {
+        match self.placed.remove(&(peer, prefix)) {
+            Some(path) => {
+                self.graph.remove_path(&path, prefix);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies one collector event (announce = add/replace, withdraw =
+    /// remove).
+    pub fn apply_event(&mut self, event: &Event) {
+        self.apply_event_tracked(event);
+    }
+
+    /// Like [`GraphBuilder::apply_event`], but returns every edge whose bag
+    /// changed — the animation engine's per-frame accounting hook.
+    pub fn apply_event_tracked(&mut self, event: &Event) -> Vec<EdgeId> {
+        match event.kind {
+            EventKind::Announce => {
+                let route = RouteInput::from_event(event);
+                let key = (route.peer, route.prefix);
+                let mut touched = Vec::new();
+                if let Some(old_path) = self.placed.remove(&key) {
+                    touched.extend(self.graph.remove_path(&old_path, route.prefix));
+                }
+                let path = self.node_path(&route);
+                touched.extend(self.graph.insert_path(&path, route.prefix));
+                self.placed.insert(key, path);
+                touched.sort_unstable();
+                touched.dedup();
+                touched
+            }
+            EventKind::Withdraw => match self.placed.remove(&(event.peer, event.prefix)) {
+                Some(path) => self.graph.remove_path(&path, event.prefix),
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Number of currently placed routes.
+    pub fn route_count(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// Finishes construction, returning the graph.
+    pub fn finish(self) -> TampGraph {
+        self.graph
+    }
+}
+
+impl Extend<RouteInput> for GraphBuilder {
+    fn extend<T: IntoIterator<Item = RouteInput>>(&mut self, iter: T) {
+        for r in iter {
+            self.add(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::{PathAttributes, Timestamp};
+
+    fn route(peer: u8, hop: u8, path: &str, prefix: &str) -> RouteInput {
+        RouteInput::new(
+            PeerId::from_octets(128, 32, 1, peer),
+            RouterId::from_octets(128, 32, 0, hop),
+            path.parse().unwrap(),
+            prefix.parse().unwrap(),
+        )
+    }
+
+    /// The Figure 1 merge semantics: the edge weight is the size of the
+    /// prefix-set union, "4 not 6".
+    #[test]
+    fn figure1_union_not_sum() {
+        let mut b = GraphBuilder::new("fig1");
+        for p in ["1.2.1.0/24", "1.2.2.0/24", "1.2.3.0/24"] {
+            b.add(route(1, 10, "1", p));
+        }
+        for p in ["1.2.2.0/24", "1.2.3.0/24", "1.2.4.0/24"] {
+            b.add(route(2, 10, "1", p));
+        }
+        let g = b.finish();
+        let e = g.find_edge_by_labels("128.32.0.10", "1").unwrap();
+        assert_eq!(g.edge_weight(e), 4);
+        assert_eq!(g.total_prefix_count(), 4);
+    }
+
+    #[test]
+    fn peer_layer_optional() {
+        let cfg = BuilderConfig {
+            include_peers: false,
+            ..BuilderConfig::default()
+        };
+        let mut b = GraphBuilder::with_config("x", cfg);
+        b.add(route(1, 10, "1 2", "10.0.0.0/8"));
+        let g = b.finish();
+        // root -> nexthop directly.
+        let hop = g
+            .find_node(&NodeKind::Nexthop(RouterId::from_octets(128, 32, 0, 10)))
+            .unwrap();
+        assert!(g.find_edge(g.root(), hop).is_some());
+        assert!(g
+            .find_node(&NodeKind::Peer(PeerId::from_octets(128, 32, 1, 1)))
+            .is_none());
+    }
+
+    #[test]
+    fn replacement_moves_prefix_between_paths() {
+        let mut b = GraphBuilder::new("x");
+        b.add(route(1, 10, "11423 209", "10.0.0.0/8"));
+        b.add(route(1, 10, "11423 11422 209", "10.0.0.0/8")); // implicit replace
+        let g = b.graph();
+        let e_old = g.find_edge_by_labels("11423", "209").unwrap();
+        let e_new = g.find_edge_by_labels("11423", "11422").unwrap();
+        assert_eq!(g.edge_weight(e_old), 0);
+        assert_eq!(g.edge_weight(e_new), 1);
+        assert_eq!(g.total_prefix_count(), 1);
+        assert_eq!(b.route_count(), 1);
+    }
+
+    #[test]
+    fn withdraw_removes_only_that_peers_route() {
+        let mut b = GraphBuilder::new("x");
+        b.add(route(1, 10, "1 2", "10.0.0.0/8"));
+        b.add(route(2, 20, "1 2", "10.0.0.0/8"));
+        assert!(b.remove(
+            PeerId::from_octets(128, 32, 1, 1),
+            "10.0.0.0/8".parse().unwrap()
+        ));
+        let g = b.graph();
+        // The 1->2 AS edge still carries the prefix via peer 2's route.
+        let e = g.find_edge_by_labels("1", "2").unwrap();
+        assert_eq!(g.edge_weight(e), 1);
+        assert_eq!(g.total_prefix_count(), 1);
+        assert!(!b.remove(
+            PeerId::from_octets(128, 32, 1, 1),
+            "10.0.0.0/8".parse().unwrap()
+        ));
+    }
+
+    #[test]
+    fn prepend_collapse() {
+        let mut b = GraphBuilder::new("x");
+        b.add(route(1, 10, "7018 7018 7018 701", "10.0.0.0/8"));
+        let g = b.finish();
+        // No self-edge 7018->7018.
+        assert!(g.find_edge_by_labels("7018", "7018").is_none());
+        assert!(g.find_edge_by_labels("7018", "701").is_some());
+    }
+
+    #[test]
+    fn prefix_leaves_attach_after_origin_as() {
+        let cfg = BuilderConfig {
+            prefix_leaves: true,
+            ..BuilderConfig::default()
+        };
+        let mut b = GraphBuilder::with_config("x", cfg);
+        b.add(route(1, 10, "1 2", "10.0.0.0/8"));
+        let g = b.finish();
+        assert!(g.find_edge_by_labels("2", "10.0.0.0/8").is_some());
+    }
+
+    #[test]
+    fn apply_event_roundtrip() {
+        let mut b = GraphBuilder::new("x");
+        let peer = PeerId::from_octets(128, 32, 1, 1);
+        let attrs = PathAttributes::new(
+            RouterId::from_octets(128, 32, 0, 10),
+            "11423 209".parse().unwrap(),
+        );
+        let prefix: Prefix = "10.0.0.0/8".parse().unwrap();
+        b.apply_event(&Event::announce(Timestamp::ZERO, peer, prefix, attrs.clone()));
+        assert_eq!(b.route_count(), 1);
+        b.apply_event(&Event::withdraw(Timestamp::from_secs(1), peer, prefix, attrs));
+        assert_eq!(b.route_count(), 0);
+        assert_eq!(b.graph().total_prefix_count(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Diffing two TAMP graphs.
+//!
+//! Operators compare pictures across time: "what changed between yesterday's
+//! routing and today's?" A [`GraphDiff`] lists edges that appeared,
+//! disappeared, or changed weight between two graphs — matched by node
+//! identity, not index, so the graphs may come from different builders
+//! (e.g. two [`crate::GraphBuilder`] runs over RIB snapshots an hour apart,
+//! or two `Rex::tamp_picture_at` calls).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{NodeKind, TampGraph};
+
+/// One changed edge, identified by its endpoints' kinds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeDelta {
+    /// Edge source.
+    pub from: NodeKind,
+    /// Edge target.
+    pub to: NodeKind,
+    /// Distinct-prefix weight in the older graph (0 = edge did not exist).
+    pub before: usize,
+    /// Weight in the newer graph (0 = edge disappeared).
+    pub after: usize,
+}
+
+impl EdgeDelta {
+    /// Signed weight change.
+    pub fn change(&self) -> i64 {
+        self.after as i64 - self.before as i64
+    }
+
+    /// True if the edge exists only in the newer graph.
+    pub fn is_new(&self) -> bool {
+        self.before == 0 && self.after > 0
+    }
+
+    /// True if the edge exists only in the older graph.
+    pub fn is_gone(&self) -> bool {
+        self.before > 0 && self.after == 0
+    }
+}
+
+/// The structural difference between two TAMP graphs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphDiff {
+    /// All changed edges, largest absolute change first.
+    pub deltas: Vec<EdgeDelta>,
+    /// Total distinct prefixes before and after.
+    pub total_before: usize,
+    /// Total distinct prefixes in the newer graph.
+    pub total_after: usize,
+}
+
+impl GraphDiff {
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty() && self.total_before == self.total_after
+    }
+
+    /// Edges that appeared.
+    pub fn new_edges(&self) -> impl Iterator<Item = &EdgeDelta> {
+        self.deltas.iter().filter(|d| d.is_new())
+    }
+
+    /// Edges that disappeared.
+    pub fn gone_edges(&self) -> impl Iterator<Item = &EdgeDelta> {
+        self.deltas.iter().filter(|d| d.is_gone())
+    }
+
+    /// A one-line-per-change report.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "total prefixes: {} -> {}\n",
+            self.total_before, self.total_after
+        );
+        for d in &self.deltas {
+            let tag = if d.is_new() {
+                "NEW "
+            } else if d.is_gone() {
+                "GONE"
+            } else {
+                "CHG "
+            };
+            out.push_str(&format!(
+                "{tag} {} -> {}: {} -> {} ({:+})\n",
+                d.from.label(),
+                d.to.label(),
+                d.before,
+                d.after,
+                d.change()
+            ));
+        }
+        out
+    }
+}
+
+/// Diffs `before` against `after`. Edges with identical weights are omitted.
+pub fn diff_graphs(before: &TampGraph, after: &TampGraph) -> GraphDiff {
+    let mut weights: HashMap<(NodeKind, NodeKind), (usize, usize)> = HashMap::new();
+    for edge in before.edge_ids() {
+        let (f, t) = before.edge_endpoints(edge);
+        let key = (before.node(f), before.node(t));
+        weights.entry(key).or_default().0 += before.edge_weight(edge);
+    }
+    for edge in after.edge_ids() {
+        let (f, t) = after.edge_endpoints(edge);
+        let key = (after.node(f), after.node(t));
+        weights.entry(key).or_default().1 += after.edge_weight(edge);
+    }
+    let mut deltas: Vec<EdgeDelta> = weights
+        .into_iter()
+        .filter(|&(_, (b, a))| b != a)
+        .map(|((from, to), (b, a))| EdgeDelta {
+            from,
+            to,
+            before: b,
+            after: a,
+        })
+        .collect();
+    deltas.sort_by_key(|d| (std::cmp::Reverse(d.change().unsigned_abs()), d.from, d.to));
+    GraphDiff {
+        deltas,
+        total_before: before.total_prefix_count(),
+        total_after: after.total_prefix_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, RouteInput};
+    use bgpscope_bgp::{PeerId, RouterId};
+
+    fn graph(routes: &[(&str, &str)]) -> TampGraph {
+        let mut b = GraphBuilder::new("diff");
+        for (path, prefix) in routes {
+            b.add(RouteInput::new(
+                PeerId::from_octets(1, 1, 1, 1),
+                RouterId::from_octets(2, 2, 2, 2),
+                path.parse().unwrap(),
+                prefix.parse().unwrap(),
+            ));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn identical_graphs_diff_empty() {
+        let a = graph(&[("701 9", "10.0.0.0/8")]);
+        let b = graph(&[("701 9", "10.0.0.0/8")]);
+        let d = diff_graphs(&a, &b);
+        assert!(d.is_empty());
+        assert!(d.report().contains("1 -> 1"));
+    }
+
+    #[test]
+    fn moved_prefix_shows_gone_and_new() {
+        let before = graph(&[("701 9", "10.0.0.0/8"), ("701 9", "20.0.0.0/8")]);
+        let after = graph(&[("3356 9", "10.0.0.0/8"), ("701 9", "20.0.0.0/8")]);
+        let d = diff_graphs(&before, &after);
+        assert!(!d.is_empty());
+        // The 701->9 edge lost a prefix; 3356->9 appeared.
+        let change_701 = d
+            .deltas
+            .iter()
+            .find(|e| e.from.label() == "701" && e.to.label() == "9")
+            .expect("701 edge changed");
+        assert_eq!(change_701.before, 2);
+        assert_eq!(change_701.after, 1);
+        assert!(d.new_edges().any(|e| e.from.label() == "3356"));
+        assert_eq!(d.total_before, 2);
+        assert_eq!(d.total_after, 2);
+        let report = d.report();
+        assert!(report.contains("NEW"), "{report}");
+        assert!(report.contains("CHG"), "{report}");
+    }
+
+    #[test]
+    fn disappeared_branch_is_gone() {
+        let before = graph(&[("701 9", "10.0.0.0/8")]);
+        let after = graph(&[]);
+        let d = diff_graphs(&before, &after);
+        assert!(d.gone_edges().count() >= 1);
+        assert_eq!(d.total_after, 0);
+        assert!(d.report().contains("GONE"));
+    }
+
+    #[test]
+    fn deltas_sorted_by_magnitude() {
+        let before = graph(&[
+            ("701 9", "10.0.0.0/8"),
+            ("701 9", "10.1.0.0/16"),
+            ("701 9", "10.2.0.0/16"),
+            ("3356 8", "20.0.0.0/8"),
+        ]);
+        let after = graph(&[("3356 8", "20.0.0.0/8"), ("3356 8", "20.1.0.0/16")]);
+        let d = diff_graphs(&before, &after);
+        let changes: Vec<i64> = d.deltas.iter().map(|e| e.change().abs()).collect();
+        assert!(changes.windows(2).all(|w| w[0] >= w[1]), "{changes:?}");
+    }
+}

@@ -1,0 +1,454 @@
+//! The TAMP graph: merged per-router virtual trees with prefix-bag edges.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::{Asn, PeerId, Prefix, RouterId};
+
+use crate::bag::PrefixBag;
+
+/// What a TAMP graph node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The graph root: the site / recorder.
+    Root,
+    /// A BGP edge router or core route reflector the collector peers with.
+    Peer(PeerId),
+    /// A BGP NEXT_HOP.
+    Nexthop(RouterId),
+    /// An autonomous system on an AS path.
+    As(Asn),
+    /// A leaf prefix (only present when prefix leaves are enabled).
+    Prefix(Prefix),
+}
+
+impl NodeKind {
+    /// A short human label for rendering.
+    pub fn label(&self) -> String {
+        match self {
+            NodeKind::Root => "root".to_owned(),
+            NodeKind::Peer(p) => p.to_string(),
+            NodeKind::Nexthop(h) => h.to_string(),
+            NodeKind::As(a) => a.to_string(),
+            NodeKind::Prefix(p) => p.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Root => write!(f, "root"),
+            NodeKind::Peer(p) => write!(f, "peer {p}"),
+            NodeKind::Nexthop(h) => write!(f, "nexthop {h}"),
+            NodeKind::As(a) => write!(f, "{a:?}"),
+            NodeKind::Prefix(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Dense node index inside one [`TampGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense edge index inside one [`TampGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-edge payload.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// The prefixes carried over this edge (refcounted across routes).
+    pub bag: PrefixBag,
+    /// Largest distinct count this edge ever carried — the animation's
+    /// gray shadow.
+    pub max_distinct: usize,
+}
+
+/// The merged TAMP graph.
+///
+/// Nodes are interned by identity; directed edges run in BGP-information
+/// direction reversed — from the root outward toward prefixes, i.e. in the
+/// direction *data traffic* flows, as the paper draws it ("data traffic would
+/// flow left-to-right").
+///
+/// The graph also interns prefixes to dense ids for the edge bags; resolve
+/// with [`TampGraph::resolve_prefix`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TampGraph {
+    label: String,
+    nodes: Vec<NodeKind>,
+    node_index: HashMap<NodeKind, NodeId>,
+    edges: Vec<(NodeId, NodeId)>,
+    edge_index: HashMap<(NodeId, NodeId), EdgeId>,
+    edge_data: Vec<EdgeData>,
+    /// Outgoing adjacency.
+    out_edges: Vec<Vec<EdgeId>>,
+    /// Prefix interning for bag ids.
+    prefix_ids: HashMap<Prefix, u32>,
+    prefixes: Vec<Prefix>,
+    /// Distinct prefixes present anywhere in the graph (refcounted by
+    /// route insertions).
+    total_prefixes: PrefixBag,
+    root: NodeId,
+}
+
+impl TampGraph {
+    /// An empty graph whose root is labeled `label` (e.g. `"Berkeley"`).
+    pub fn new(label: impl Into<String>) -> Self {
+        let mut g = TampGraph {
+            label: label.into(),
+            nodes: Vec::new(),
+            node_index: HashMap::new(),
+            edges: Vec::new(),
+            edge_index: HashMap::new(),
+            edge_data: Vec::new(),
+            out_edges: Vec::new(),
+            prefix_ids: HashMap::new(),
+            prefixes: Vec::new(),
+            total_prefixes: PrefixBag::new(),
+            root: NodeId(0),
+        };
+        g.root = g.intern_node(NodeKind::Root);
+        g
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The root label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Interns (or finds) a node.
+    pub fn intern_node(&mut self, kind: NodeKind) -> NodeId {
+        if let Some(&id) = self.node_index.get(&kind) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(kind);
+        self.node_index.insert(kind, id);
+        self.out_edges.push(Vec::new());
+        id
+    }
+
+    /// Looks up a node without creating it.
+    pub fn find_node(&self, kind: &NodeKind) -> Option<NodeId> {
+        self.node_index.get(kind).copied()
+    }
+
+    /// The kind of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    pub fn node(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Interns (or finds) the directed edge `from -> to`.
+    pub fn intern_edge(&mut self, from: NodeId, to: NodeId) -> EdgeId {
+        if let Some(&id) = self.edge_index.get(&(from, to)) {
+            return id;
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push((from, to));
+        self.edge_index.insert((from, to), id);
+        self.edge_data.push(EdgeData::default());
+        self.out_edges[from.index()].push(id);
+        id
+    }
+
+    /// Looks up an edge without creating it.
+    pub fn find_edge(&self, from: NodeId, to: NodeId) -> Option<EdgeId> {
+        self.edge_index.get(&(from, to)).copied()
+    }
+
+    /// Finds an edge by the `label()` strings of its endpoints — a
+    /// convenience for tests and report tooling.
+    pub fn find_edge_by_labels(&self, from: &str, to: &str) -> Option<EdgeId> {
+        self.edges.iter().enumerate().find_map(|(i, &(f, t))| {
+            if self.nodes[f.index()].label() == from && self.nodes[t.index()].label() == to {
+                Some(EdgeId(i as u32))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The endpoints of an edge.
+    pub fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        self.edges[id.index()]
+    }
+
+    /// The edge's payload.
+    pub fn edge_data(&self, id: EdgeId) -> &EdgeData {
+        &self.edge_data[id.index()]
+    }
+
+    /// The distinct-prefix weight of an edge.
+    pub fn edge_weight(&self, id: EdgeId) -> usize {
+        self.edge_data[id.index()].bag.distinct()
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.out_edges[id.index()]
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Interns a prefix to its dense bag id.
+    pub fn intern_prefix(&mut self, prefix: Prefix) -> u32 {
+        if let Some(&id) = self.prefix_ids.get(&prefix) {
+            return id;
+        }
+        let id = self.prefixes.len() as u32;
+        self.prefix_ids.insert(prefix, id);
+        self.prefixes.push(prefix);
+        id
+    }
+
+    /// Resolves a bag id back to its prefix.
+    pub fn resolve_prefix(&self, id: u32) -> Option<Prefix> {
+        self.prefixes.get(id as usize).copied()
+    }
+
+    /// Total number of distinct prefixes currently present in the graph —
+    /// the denominator for pruning thresholds and the "% of prefixes"
+    /// labels in the paper's figures.
+    pub fn total_prefix_count(&self) -> usize {
+        self.total_prefixes.distinct()
+    }
+
+    /// Inserts one route's node path: `nodes[0] -> nodes[1] -> … -> last`,
+    /// carrying `prefix` on every edge.
+    ///
+    /// Returns the edges touched. The node path comes from
+    /// [`crate::builder::GraphBuilder`], which knows the root/peer/nexthop
+    /// conventions.
+    pub fn insert_path(&mut self, node_path: &[NodeId], prefix: Prefix) -> Vec<EdgeId> {
+        let pid = self.intern_prefix(prefix);
+        self.total_prefixes.insert(pid);
+        let mut touched = Vec::with_capacity(node_path.len().saturating_sub(1));
+        for w in node_path.windows(2) {
+            let edge = self.intern_edge(w[0], w[1]);
+            let data = &mut self.edge_data[edge.index()];
+            data.bag.insert(pid);
+            data.max_distinct = data.max_distinct.max(data.bag.distinct());
+            touched.push(edge);
+        }
+        touched
+    }
+
+    /// Removes one route's node path (edges keep their nodes; only the bags
+    /// shrink). Returns the edges touched.
+    pub fn remove_path(&mut self, node_path: &[NodeId], prefix: Prefix) -> Vec<EdgeId> {
+        let Some(&pid) = self.prefix_ids.get(&prefix) else {
+            return Vec::new();
+        };
+        self.total_prefixes.remove(pid);
+        let mut touched = Vec::with_capacity(node_path.len().saturating_sub(1));
+        for w in node_path.windows(2) {
+            if let Some(edge) = self.find_edge(w[0], w[1]) {
+                self.edge_data[edge.index()].bag.remove(pid);
+                touched.push(edge);
+            }
+        }
+        touched
+    }
+
+    /// Breadth-first depth of every node from the root (`usize::MAX` for
+    /// unreachable nodes). Depth 0 is the root, 1 its peers, etc.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![usize::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        depth[self.root.index()] = 0;
+        queue.push_back(self.root);
+        while let Some(n) = queue.pop_front() {
+            let d = depth[n.index()];
+            for &e in &self.out_edges[n.index()] {
+                let (_, to) = self.edges[e.index()];
+                if depth[to.index()] == usize::MAX {
+                    depth[to.index()] = d + 1;
+                    queue.push_back(to);
+                }
+            }
+        }
+        depth
+    }
+
+    /// The share (0..=1) of all prefixes carried by `edge`.
+    pub fn edge_share(&self, edge: EdgeId) -> f64 {
+        let total = self.total_prefix_count();
+        if total == 0 {
+            0.0
+        } else {
+            self.edge_weight(edge) as f64 / total as f64
+        }
+    }
+
+    /// Retains only the given nodes and edges, producing a new graph that
+    /// shares this graph's prefix interning. Used by pruning.
+    pub(crate) fn restricted(&self, keep_edge: &[bool]) -> TampGraph {
+        let mut g = TampGraph::new(self.label.clone());
+        g.prefix_ids = self.prefix_ids.clone();
+        g.prefixes = self.prefixes.clone();
+        g.total_prefixes = self.total_prefixes.clone();
+        for (i, &(from, to)) in self.edges.iter().enumerate() {
+            if !keep_edge[i] {
+                continue;
+            }
+            let nf = g.intern_node(self.nodes[from.index()]);
+            let nt = g.intern_node(self.nodes[to.index()]);
+            let e = g.intern_edge(nf, nt);
+            g.edge_data[e.index()] = self.edge_data[i].clone();
+        }
+        g
+    }
+}
+
+impl fmt::Display for TampGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TampGraph[{}: {} nodes, {} edges, {} prefixes]",
+            self.label,
+            self.node_count(),
+            self.edge_count(),
+            self.total_prefix_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn interning_nodes_and_edges() {
+        let mut g = TampGraph::new("t");
+        let a = g.intern_node(NodeKind::As(Asn(1)));
+        let b = g.intern_node(NodeKind::As(Asn(2)));
+        let a2 = g.intern_node(NodeKind::As(Asn(1)));
+        assert_eq!(a, a2);
+        let e = g.intern_edge(a, b);
+        assert_eq!(g.intern_edge(a, b), e);
+        assert_ne!(g.intern_edge(b, a), e);
+        assert_eq!(g.node_count(), 3); // root + 2
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn insert_path_weights_edges() {
+        let mut g = TampGraph::new("t");
+        let root = g.root();
+        let hop = g.intern_node(NodeKind::Nexthop(RouterId::from_octets(1, 1, 1, 1)));
+        let as1 = g.intern_node(NodeKind::As(Asn(1)));
+        let path = vec![root, hop, as1];
+        g.insert_path(&path, p("10.0.0.0/8"));
+        g.insert_path(&path, p("10.1.0.0/16"));
+        g.insert_path(&path, p("10.0.0.0/8")); // duplicate prefix: weight stays
+        let e = g.find_edge(hop, as1).unwrap();
+        assert_eq!(g.edge_weight(e), 2);
+        assert_eq!(g.total_prefix_count(), 2);
+        assert_eq!(g.edge_data(e).max_distinct, 2);
+    }
+
+    #[test]
+    fn remove_path_respects_refcounts() {
+        let mut g = TampGraph::new("t");
+        let root = g.root();
+        let hop = g.intern_node(NodeKind::Nexthop(RouterId::from_octets(1, 1, 1, 1)));
+        let path = vec![root, hop];
+        g.insert_path(&path, p("10.0.0.0/8"));
+        g.insert_path(&path, p("10.0.0.0/8"));
+        let e = g.find_edge(root, hop).unwrap();
+        g.remove_path(&path, p("10.0.0.0/8"));
+        assert_eq!(g.edge_weight(e), 1); // still one reference
+        g.remove_path(&path, p("10.0.0.0/8"));
+        assert_eq!(g.edge_weight(e), 0);
+        // Shadow remembers the maximum.
+        assert_eq!(g.edge_data(e).max_distinct, 1);
+        // Removing an unknown prefix is a no-op.
+        assert!(g.remove_path(&path, p("99.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn depths_bfs() {
+        let mut g = TampGraph::new("t");
+        let root = g.root();
+        let hop = g.intern_node(NodeKind::Nexthop(RouterId::from_octets(1, 1, 1, 1)));
+        let as1 = g.intern_node(NodeKind::As(Asn(1)));
+        let as2 = g.intern_node(NodeKind::As(Asn(2)));
+        g.insert_path(&[root, hop, as1, as2], p("10.0.0.0/8"));
+        let orphan = g.intern_node(NodeKind::As(Asn(99)));
+        let d = g.depths();
+        assert_eq!(d[root.index()], 0);
+        assert_eq!(d[hop.index()], 1);
+        assert_eq!(d[as1.index()], 2);
+        assert_eq!(d[as2.index()], 3);
+        assert_eq!(d[orphan.index()], usize::MAX);
+    }
+
+    #[test]
+    fn edge_share() {
+        let mut g = TampGraph::new("t");
+        let root = g.root();
+        let h1 = g.intern_node(NodeKind::Nexthop(RouterId::from_octets(1, 1, 1, 1)));
+        let h2 = g.intern_node(NodeKind::Nexthop(RouterId::from_octets(2, 2, 2, 2)));
+        for i in 0..8 {
+            g.insert_path(&[root, h1], p(&format!("10.{i}.0.0/16")));
+        }
+        for i in 0..2 {
+            g.insert_path(&[root, h2], p(&format!("20.{i}.0.0/16")));
+        }
+        let e1 = g.find_edge(root, h1).unwrap();
+        let e2 = g.find_edge(root, h2).unwrap();
+        assert!((g.edge_share(e1) - 0.8).abs() < 1e-9);
+        assert!((g.edge_share(e2) - 0.2).abs() < 1e-9);
+    }
+}

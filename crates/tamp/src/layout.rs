@@ -1,0 +1,231 @@
+//! Layered graph layout (a compact Sugiyama-style pass).
+//!
+//! The paper used AT&T graphviz; we provide our own left-to-right layered
+//! layout so rendering has no external dependency, plus DOT export (see
+//! [`crate::render`]) for users who do have graphviz.
+//!
+//! Ranks are BFS depths from the root; crossing reduction runs a few
+//! barycenter sweeps; coordinates space ranks horizontally and slots
+//! vertically.
+
+use std::collections::HashMap;
+
+use crate::graph::{NodeId, TampGraph};
+
+/// Geometry options for the layout.
+#[derive(Debug, Clone)]
+pub struct LayoutConfig {
+    /// Horizontal distance between ranks (pixels).
+    pub rank_dx: f64,
+    /// Vertical distance between slots (pixels).
+    pub slot_dy: f64,
+    /// Barycenter crossing-reduction sweeps.
+    pub sweeps: usize,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig {
+            rank_dx: 180.0,
+            slot_dy: 46.0,
+            sweeps: 4,
+        }
+    }
+}
+
+/// Node positions produced by [`layout`].
+#[derive(Debug, Clone)]
+pub struct LayoutResult {
+    positions: HashMap<NodeId, (f64, f64)>,
+    width: f64,
+    height: f64,
+}
+
+impl LayoutResult {
+    /// The `(x, y)` of a node, if it was laid out (reachable from the root).
+    pub fn position(&self, node: NodeId) -> Option<(f64, f64)> {
+        self.positions.get(&node).copied()
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Number of positioned nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if nothing was positioned.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Lays out `graph` left-to-right.
+pub fn layout(graph: &TampGraph, config: &LayoutConfig) -> LayoutResult {
+    let depths = graph.depths();
+    let max_depth = depths
+        .iter()
+        .filter(|&&d| d != usize::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+
+    // Group reachable nodes by rank.
+    let mut ranks: Vec<Vec<NodeId>> = vec![Vec::new(); max_depth + 1];
+    for node in graph.node_ids() {
+        let d = depths[node.index()];
+        if d != usize::MAX {
+            ranks[d].push(node);
+        }
+    }
+    // Deterministic starting order.
+    for rank in &mut ranks {
+        rank.sort_by_key(|n| graph.node(*n));
+    }
+
+    // Predecessor lists for barycenter sweeps.
+    let mut preds: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for edge in graph.edge_ids() {
+        let (from, to) = graph.edge_endpoints(edge);
+        if depths[from.index()] != usize::MAX && depths[to.index()] != usize::MAX {
+            preds.entry(to).or_default().push(from);
+        }
+    }
+
+    // Barycenter crossing reduction, downstream sweeps.
+    let mut slot: HashMap<NodeId, f64> = HashMap::new();
+    for _ in 0..config.sweeps.max(1) {
+        for (i, rank) in ranks.iter_mut().enumerate() {
+            if i == 0 {
+                for (s, n) in rank.iter().enumerate() {
+                    slot.insert(*n, s as f64);
+                }
+                continue;
+            }
+            let mut keyed: Vec<(f64, NodeId)> = rank
+                .iter()
+                .map(|&n| {
+                    let ps = preds.get(&n);
+                    let bary = match ps {
+                        Some(ps) if !ps.is_empty() => {
+                            ps.iter().filter_map(|p| slot.get(p)).sum::<f64>()
+                                / ps.len().max(1) as f64
+                        }
+                        _ => f64::MAX, // parentless within rank: sink to bottom
+                    };
+                    (bary, n)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            *rank = keyed.iter().map(|&(_, n)| n).collect();
+            for (s, &(_, n)) in keyed.iter().enumerate() {
+                slot.insert(n, s as f64);
+            }
+        }
+    }
+
+    // Coordinates; center each rank vertically.
+    let tallest = ranks.iter().map(Vec::len).max().unwrap_or(0);
+    let height = (tallest.max(1) as f64) * config.slot_dy + config.slot_dy;
+    let mut positions = HashMap::new();
+    for (depth, rank) in ranks.iter().enumerate() {
+        let rank_height = rank.len() as f64 * config.slot_dy;
+        let y0 = (height - rank_height) / 2.0;
+        for (s, &n) in rank.iter().enumerate() {
+            let x = depth as f64 * config.rank_dx + config.rank_dx / 2.0;
+            let y = y0 + s as f64 * config.slot_dy + config.slot_dy / 2.0;
+            positions.insert(n, (x, y));
+        }
+    }
+    let width = (max_depth + 1) as f64 * config.rank_dx;
+
+    LayoutResult {
+        positions,
+        width,
+        height,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, RouteInput};
+    use bgpscope_bgp::{PeerId, RouterId};
+
+    fn sample_graph() -> TampGraph {
+        let mut b = GraphBuilder::new("t");
+        for (peer, hop, path, prefix) in [
+            (1, 10, "100 200", "10.0.0.0/8"),
+            (1, 10, "100 300", "20.0.0.0/8"),
+            (2, 20, "100 200", "10.0.0.0/8"),
+        ] {
+            b.add(RouteInput::new(
+                PeerId::from_octets(128, 32, 1, peer),
+                RouterId::from_octets(128, 32, 0, hop),
+                path.parse().unwrap(),
+                prefix.parse().unwrap(),
+            ));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn all_reachable_nodes_positioned() {
+        let g = sample_graph();
+        let res = layout(&g, &LayoutConfig::default());
+        assert_eq!(res.len(), g.node_count());
+        assert!(res.width() > 0.0 && res.height() > 0.0);
+    }
+
+    #[test]
+    fn x_increases_with_depth() {
+        let g = sample_graph();
+        let res = layout(&g, &LayoutConfig::default());
+        let depths = g.depths();
+        for edge in g.edge_ids() {
+            let (from, to) = g.edge_endpoints(edge);
+            if depths[to.index()] > depths[from.index()] {
+                let (xf, _) = res.position(from).unwrap();
+                let (xt, _) = res.position(to).unwrap();
+                assert!(xt > xf, "edge must run left-to-right");
+            }
+        }
+    }
+
+    #[test]
+    fn no_two_nodes_share_position() {
+        let g = sample_graph();
+        let res = layout(&g, &LayoutConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for n in g.node_ids() {
+            if let Some((x, y)) = res.position(n) {
+                assert!(seen.insert((x.to_bits(), y.to_bits())), "positions collide");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TampGraph::new("e");
+        let res = layout(&g, &LayoutConfig::default());
+        assert_eq!(res.len(), 1); // just the root
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let g = sample_graph();
+        let a = layout(&g, &LayoutConfig::default());
+        let b = layout(&g, &LayoutConfig::default());
+        for n in g.node_ids() {
+            assert_eq!(a.position(n), b.position(n));
+        }
+    }
+}

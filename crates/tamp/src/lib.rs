@@ -1,0 +1,57 @@
+//! **TAMP** — Threshold And Merge Prefixes (DSN'05 §III-A).
+//!
+//! "One picture says 1,000,000 routes": TAMP shows the large-scale structure
+//! of a set of BGP routes *as the routers see it*. Each router's RIB becomes
+//! a virtual tree — root router → BGP nexthops → AS chain → prefixes — and
+//! per-router trees merge into a site graph whose edge weights are the number
+//! of **unique** prefixes carried on each edge (set union, not addition).
+//! Pruning (flat or hierarchical thresholds) keeps only the heavily used
+//! parts; a layered layout and SVG/DOT renderers draw the result; and an
+//! animation engine tracks a BGP event stream through a fixed 30-second,
+//! 25 fps movie with the paper's visual cues (green = gaining prefixes,
+//! blue = losing, yellow = flapping too fast, gray shadow = historical max).
+//!
+//! # Example: the paper's Figure 1
+//!
+//! ```
+//! use bgpscope_tamp::{GraphBuilder, RouteInput};
+//! use bgpscope_bgp::{PeerId, RouterId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let x = PeerId::from_octets(10, 0, 0, 1); // router X
+//! let y = PeerId::from_octets(10, 0, 0, 2); // router Y
+//! let hop_a = RouterId::from_octets(10, 1, 0, 1);
+//! let mut builder = GraphBuilder::new("site");
+//! // X carries 1.2.1.0/24, 1.2.2.0/24, 1.2.3.0/24 via NexthopA then AS1.
+//! for p in ["1.2.1.0/24", "1.2.2.0/24", "1.2.3.0/24"] {
+//!     builder.add(RouteInput::new(x, hop_a, "1".parse()?, p.parse()?));
+//! }
+//! // Y carries 1.2.2.0/24, 1.2.3.0/24, 1.2.4.0/24 via the same edge.
+//! for p in ["1.2.2.0/24", "1.2.3.0/24", "1.2.4.0/24"] {
+//!     builder.add(RouteInput::new(y, hop_a, "1".parse()?, p.parse()?));
+//! }
+//! let graph = builder.finish();
+//! // The NexthopA->AS1 edge carries 4 unique prefixes, not 6.
+//! let edge = graph.find_edge_by_labels("10.1.0.1", "1").expect("edge exists");
+//! assert_eq!(graph.edge_weight(edge), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod anim;
+pub mod bag;
+pub mod builder;
+pub mod diff;
+pub mod graph;
+pub mod layout;
+pub mod prune;
+pub mod render;
+
+pub use anim::{Animation, AnimationConfig, Animator, EdgeState, Frame, FrameEdge};
+pub use bag::PrefixBag;
+pub use builder::{GraphBuilder, RouteInput};
+pub use diff::{diff_graphs, EdgeDelta, GraphDiff};
+pub use graph::{EdgeId, NodeId, NodeKind, TampGraph};
+pub use layout::{LayoutConfig, LayoutResult};
+pub use prune::{prune_flat, prune_hierarchical, PruneConfig};
+pub use render::{render_dot, render_svg, RenderConfig};

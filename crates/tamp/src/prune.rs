@@ -1,0 +1,243 @@
+//! Threshold pruning — the "T" in TAMP.
+//!
+//! A raw TAMP graph of any realistic network is "extremely bushy with most
+//! parts representing a negligible amount of prefixes"; pruning keeps only
+//! the heavily used parts. Flat pruning drops every edge carrying less than
+//! a fraction (default 5%) of the graph's total prefixes. Hierarchical
+//! pruning applies *increasing* thresholds with distance from the root, so
+//! everything inside the operator's own domain (peers, nexthops, neighbor
+//! ASes) stays visible no matter how few prefixes it carries — that is how
+//! Figure 5 exposes two backdoor routes carrying a handful of prefixes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::TampGraph;
+
+/// Pruning thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruneConfig {
+    /// Fraction of total prefixes (0..=1) an edge must carry to survive,
+    /// indexed by the depth of the edge's *source* node. Depths beyond the
+    /// end of the vector use the last entry.
+    pub thresholds_by_depth: Vec<f64>,
+}
+
+impl PruneConfig {
+    /// The paper's default: a flat 5% everywhere.
+    pub fn flat(threshold: f64) -> Self {
+        PruneConfig {
+            thresholds_by_depth: vec![threshold],
+        }
+    }
+
+    /// Hierarchical default matching Figure 5: "all BGP peers, Nexthops and
+    /// neighbor ASes are shown, and the rest of the ASes are pruned with a
+    /// 5% threshold" — zero threshold for edge-source depths 0–2, `deep`
+    /// beyond.
+    pub fn hierarchical(deep: f64) -> Self {
+        PruneConfig {
+            thresholds_by_depth: vec![0.0, 0.0, 0.0, deep],
+        }
+    }
+
+    /// The threshold applying at `depth`.
+    pub fn threshold_at(&self, depth: usize) -> f64 {
+        match self.thresholds_by_depth.get(depth) {
+            Some(&t) => t,
+            None => *self.thresholds_by_depth.last().unwrap_or(&0.05),
+        }
+    }
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig::flat(0.05)
+    }
+}
+
+/// Prunes with a flat threshold (default 5%): keeps edges carrying at least
+/// `threshold × total_prefixes` prefixes, then drops nodes no longer
+/// reachable from the root.
+pub fn prune_flat(graph: &TampGraph, threshold: f64) -> TampGraph {
+    prune(graph, &PruneConfig::flat(threshold))
+}
+
+/// Prunes with depth-dependent thresholds; see [`PruneConfig::hierarchical`].
+pub fn prune_hierarchical(graph: &TampGraph, config: &PruneConfig) -> TampGraph {
+    prune(graph, config)
+}
+
+/// Core pruning: edge keep/drop by depth-indexed share threshold, then a
+/// reachability pass from the root.
+fn prune(graph: &TampGraph, config: &PruneConfig) -> TampGraph {
+    let total = graph.total_prefix_count();
+    let depths = graph.depths();
+    let mut keep = vec![false; graph.edge_count()];
+    for edge in graph.edge_ids() {
+        let (from, _) = graph.edge_endpoints(edge);
+        let depth = depths[from.index()];
+        if depth == usize::MAX {
+            continue; // edge detached from the root
+        }
+        let threshold = config.threshold_at(depth);
+        let min_count = (threshold * total as f64).ceil() as usize;
+        let weight = graph.edge_weight(edge);
+        // Zero-weight edges are dead wood even at threshold 0, unless the
+        // edge has history (max shadow) and the threshold is exactly 0 —
+        // animation keeps those visible; static pruning drops them.
+        if weight >= min_count.max(1) {
+            keep[edge.index()] = true;
+        }
+    }
+    let restricted = graph.restricted(&keep);
+    // Reachability pass: drop kept edges whose source became unreachable.
+    let depths = restricted.depths();
+    let mut keep2 = vec![false; restricted.edge_count()];
+    let mut changed = false;
+    for edge in restricted.edge_ids() {
+        let (from, _) = restricted.edge_endpoints(edge);
+        if depths[from.index()] != usize::MAX {
+            keep2[edge.index()] = true;
+        } else {
+            changed = true;
+        }
+    }
+    if changed {
+        restricted.restricted(&keep2)
+    } else {
+        restricted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, RouteInput};
+    use bgpscope_bgp::{PeerId, RouterId};
+
+    fn route(peer: u8, hop: u8, path: &str, prefix: &str) -> RouteInput {
+        RouteInput::new(
+            PeerId::from_octets(128, 32, 1, peer),
+            RouterId::from_octets(128, 32, 0, hop),
+            path.parse().unwrap(),
+            prefix.parse().unwrap(),
+        )
+    }
+
+    /// 95 prefixes through one chain, 5 through another: flat 5% keeps the
+    /// small chain (exactly 5%), flat 6% drops it.
+    #[test]
+    fn flat_threshold_cuts_small_branches() {
+        let mut b = GraphBuilder::new("t");
+        for i in 0..95u32 {
+            b.add(route(1, 10, "100 200", &format!("10.{}.{}.0/24", i / 250, i % 250)));
+        }
+        for i in 0..5u32 {
+            b.add(route(1, 10, "100 300", &format!("20.0.{i}.0/24")));
+        }
+        let g = b.finish();
+        assert_eq!(g.total_prefix_count(), 100);
+
+        let pruned = prune_flat(&g, 0.05);
+        assert!(pruned.find_edge_by_labels("100", "300").is_some());
+
+        let pruned = prune_flat(&g, 0.06);
+        assert!(pruned.find_edge_by_labels("100", "300").is_none());
+        assert!(pruned.find_edge_by_labels("100", "200").is_some());
+    }
+
+    /// Hierarchical pruning keeps a 1-prefix backdoor at shallow depth while
+    /// pruning deep 1-prefix branches (the Figure 5 behavior).
+    #[test]
+    fn hierarchical_keeps_own_domain() {
+        let mut b = GraphBuilder::new("t");
+        // Main mass: 99 prefixes via peer 1 / nexthop 10 / AS chain.
+        for i in 0..99u32 {
+            b.add(route(1, 10, "11423 209 701", &format!("10.0.{i}.0/24")));
+        }
+        // Backdoor: 1 prefix via its own peer + nexthop to AT&T (7018),
+        // then one hop deeper (a deep, tiny branch).
+        b.add(route(222, 157, "7018 99", "44.0.0.0/8"));
+        let g = b.finish();
+
+        // Flat 5%: the whole backdoor disappears.
+        let flat = prune_flat(&g, 0.05);
+        assert!(flat.find_edge_by_labels("128.32.0.157", "7018").is_none());
+
+        // Hierarchical: depths 0-2 unpruned => root->peer (0), peer->hop (1),
+        // hop->AS 7018 (2) survive; the deep 7018->99 edge (depth 3) is cut.
+        let h = prune_hierarchical(&g, &PruneConfig::hierarchical(0.05));
+        assert!(h.find_edge_by_labels("128.32.0.157", "7018").is_some());
+        assert!(h.find_edge_by_labels("7018", "99").is_none());
+    }
+
+    #[test]
+    fn pruning_preserves_weights_and_total() {
+        let mut b = GraphBuilder::new("t");
+        for i in 0..10u32 {
+            b.add(route(1, 10, "100 200", &format!("10.0.{i}.0/24")));
+        }
+        let g = b.finish();
+        let pruned = prune_flat(&g, 0.05);
+        let e = pruned.find_edge_by_labels("100", "200").unwrap();
+        assert_eq!(pruned.edge_weight(e), 10);
+        assert_eq!(pruned.total_prefix_count(), 10);
+    }
+
+    #[test]
+    fn unreachable_chains_removed() {
+        // Two thin branches (3 prefixes each, below threshold) converge on a
+        // shared deep edge carrying 6 (above threshold). The deep edge
+        // survives the weight cut but loses its connection to the root, so
+        // the reachability pass must remove it.
+        let mut b = GraphBuilder::new("t");
+        for i in 0..94u32 {
+            b.add(route(1, 10, "100", &format!("10.0.{i}.0/24")));
+        }
+        // Thin feeders 300->400 and 301->400 carry 3 prefixes each; their
+        // shared continuation 400->500 carries the union of 6.
+        for i in 0..3u32 {
+            b.add(route(2, 20, "300 400 500", &format!("21.0.{i}.0/24")));
+        }
+        for i in 0..3u32 {
+            b.add(route(3, 30, "301 400 500", &format!("21.1.{i}.0/24")));
+        }
+        let g = b.finish();
+        let total = g.total_prefix_count();
+        assert_eq!(total, 100);
+        // At 5% (min 5), the feeders (3 each) are cut while 400->500 (6)
+        // survives the weight cut — the reachability pass must remove it.
+        let pruned = prune_flat(&g, 0.05);
+        assert!(pruned.find_edge_by_labels("400", "500").is_none());
+        // And across a sweep of thresholds, no surviving edge may hang off a
+        // source unreachable from the root.
+        for threshold in [0.0, 0.02, 0.05, 0.06, 0.1] {
+            let pruned = prune_flat(&g, threshold);
+            let depths = pruned.depths();
+            for edge in pruned.edge_ids() {
+                let (from, _) = pruned.edge_endpoints(edge);
+                assert_ne!(
+                    depths[from.index()],
+                    usize::MAX,
+                    "dangling edge at threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_at_extends_last() {
+        let c = PruneConfig::hierarchical(0.05);
+        assert_eq!(c.threshold_at(0), 0.0);
+        assert_eq!(c.threshold_at(2), 0.0);
+        assert_eq!(c.threshold_at(3), 0.05);
+        assert_eq!(c.threshold_at(99), 0.05);
+    }
+
+    #[test]
+    fn empty_graph_prunes_to_empty() {
+        let g = TampGraph::new("empty");
+        let pruned = prune_flat(&g, 0.05);
+        assert_eq!(pruned.edge_count(), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Rendering TAMP graphs: SVG (self-contained) and DOT (for graphviz).
+//!
+//! Edge stroke width is proportional to how many prefixes the edge carries —
+//! "not how much traffic is flowing over the edge" — and edges are labeled
+//! with their share of the graph's total prefixes, as in Figure 2
+//! ("100% of prefixes comes from CalREN, 80% of that are from … QWest").
+
+use std::fmt::Write as _;
+
+use crate::graph::{EdgeId, NodeKind, TampGraph};
+use crate::layout::{layout, LayoutConfig};
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderConfig {
+    /// Layout geometry.
+    pub layout: LayoutConfig,
+    /// Maximum edge stroke width in pixels.
+    pub max_stroke: f64,
+    /// Minimum stroke for a non-empty edge.
+    pub min_stroke: f64,
+    /// Show percentage labels on edges.
+    pub edge_labels: bool,
+    /// Optional per-edge color override (e.g. animation states); defaults to
+    /// black. Keyed by edge id; anything absent renders black.
+    pub edge_colors: std::collections::HashMap<EdgeId, &'static str>,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            layout: LayoutConfig::default(),
+            max_stroke: 14.0,
+            min_stroke: 1.0,
+            edge_labels: true,
+            edge_colors: std::collections::HashMap::new(),
+        }
+    }
+}
+
+fn node_fill(kind: &NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Root => "#2c5f8a",
+        NodeKind::Peer(_) => "#4a7faa",
+        NodeKind::Nexthop(_) => "#6699bb",
+        NodeKind::As(_) => "#e8e3d7",
+        NodeKind::Prefix(_) => "#d7e8d7",
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders `graph` to a standalone SVG document.
+pub fn render_svg(graph: &TampGraph, config: &RenderConfig) -> String {
+    let lay = layout(graph, &config.layout);
+    let total = graph.total_prefix_count().max(1) as f64;
+    let max_weight = graph
+        .edge_ids()
+        .map(|e| graph.edge_weight(e))
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\" font-family=\"monospace\" font-size=\"11\">",
+        lay.width() + 160.0,
+        lay.height(),
+        lay.width() + 160.0,
+        lay.height()
+    );
+    svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    let _ = writeln!(
+        svg,
+        "<text x=\"8\" y=\"16\" font-size=\"13\" fill=\"#333\">{} — {} prefixes, {} edges</text>",
+        xml_escape(graph.label()),
+        graph.total_prefix_count(),
+        graph.edge_count()
+    );
+
+    // Edges (with optional shadow for historical max), then nodes on top.
+    for edge in graph.edge_ids() {
+        let (from, to) = graph.edge_endpoints(edge);
+        let (Some((x1, y1)), Some((x2, y2))) = (lay.position(from), lay.position(to)) else {
+            continue;
+        };
+        let data = graph.edge_data(edge);
+        let weight = data.bag.distinct();
+        let stroke = if weight == 0 {
+            config.min_stroke * 0.5
+        } else {
+            (config.min_stroke
+                + (config.max_stroke - config.min_stroke) * (weight as f64 / max_weight))
+                .min(config.max_stroke)
+        };
+        // Gray shadow: the widest the edge ever was.
+        if data.max_distinct > weight {
+            let shadow = (config.min_stroke
+                + (config.max_stroke - config.min_stroke)
+                    * (data.max_distinct as f64 / max_weight))
+                .min(config.max_stroke);
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"#cccccc\" stroke-width=\"{shadow:.1}\"/>"
+            );
+        }
+        let color = config.edge_colors.get(&edge).copied().unwrap_or("#222222");
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"{color}\" stroke-width=\"{stroke:.1}\"/>"
+        );
+        if config.edge_labels && weight > 0 {
+            let share = 100.0 * weight as f64 / total;
+            let (mx, my) = ((x1 + x2) / 2.0, (y1 + y2) / 2.0 - 4.0);
+            let _ = writeln!(
+                svg,
+                "<text x=\"{mx:.1}\" y=\"{my:.1}\" fill=\"#555\" text-anchor=\"middle\">{share:.0}%</text>"
+            );
+        }
+    }
+
+    for node in graph.node_ids() {
+        let Some((x, y)) = lay.position(node) else {
+            continue;
+        };
+        let kind = graph.node(node);
+        let label = if matches!(kind, NodeKind::Root) {
+            graph.label().to_owned()
+        } else {
+            kind.label()
+        };
+        let w = (label.len() as f64 * 7.0 + 12.0).max(40.0);
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{w:.1}\" height=\"20\" rx=\"4\" fill=\"{}\" stroke=\"#333\"/>",
+            x - w / 2.0,
+            y - 10.0,
+            node_fill(&kind)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"#111\">{}</text>",
+            y + 4.0,
+            xml_escape(&label)
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders `graph` to graphviz DOT (rankdir=LR, penwidth ∝ weight).
+pub fn render_dot(graph: &TampGraph, config: &RenderConfig) -> String {
+    let total = graph.total_prefix_count().max(1) as f64;
+    let max_weight = graph
+        .edge_ids()
+        .map(|e| graph.edge_weight(e))
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let mut dot = String::new();
+    let _ = writeln!(dot, "digraph tamp {{");
+    let _ = writeln!(dot, "  rankdir=LR;");
+    let _ = writeln!(dot, "  node [shape=box, fontname=\"monospace\"];");
+    for node in graph.node_ids() {
+        let kind = graph.node(node);
+        let label = if matches!(kind, NodeKind::Root) {
+            graph.label().to_owned()
+        } else {
+            kind.label()
+        };
+        let _ = writeln!(dot, "  n{} [label=\"{}\"];", node.0, label.replace('"', "'"));
+    }
+    for edge in graph.edge_ids() {
+        let (from, to) = graph.edge_endpoints(edge);
+        let weight = graph.edge_weight(edge);
+        let pen = 1.0 + 9.0 * weight as f64 / max_weight;
+        let share = 100.0 * weight as f64 / total;
+        let label = if config.edge_labels {
+            format!(" label=\"{share:.0}%\"")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            dot,
+            "  n{} -> n{} [penwidth={pen:.1}{label}];",
+            from.0, to.0
+        );
+    }
+    let _ = writeln!(dot, "}}");
+    dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, RouteInput};
+    use bgpscope_bgp::{PeerId, RouterId};
+
+    fn graph() -> TampGraph {
+        let mut b = GraphBuilder::new("Berkeley");
+        for i in 0..8u32 {
+            b.add(RouteInput::new(
+                PeerId::from_octets(128, 32, 1, 3),
+                RouterId::from_octets(128, 32, 0, 66),
+                "11423 209".parse().unwrap(),
+                format!("10.{i}.0.0/16").parse().unwrap(),
+            ));
+        }
+        for i in 0..2u32 {
+            b.add(RouteInput::new(
+                PeerId::from_octets(128, 32, 1, 3),
+                RouterId::from_octets(128, 32, 0, 70),
+                "11423 209".parse().unwrap(),
+                format!("20.{i}.0.0/16").parse().unwrap(),
+            ));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_labeled() {
+        let g = graph();
+        let svg = render_svg(&g, &RenderConfig::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("Berkeley"));
+        assert!(svg.contains("11423"));
+        assert!(svg.contains("80%")); // 8 of 10 prefixes on the .66 hop edge
+        assert!(svg.matches("<line").count() >= g.edge_count());
+    }
+
+    #[test]
+    fn dot_mentions_all_nodes_and_edges() {
+        let g = graph();
+        let dot = render_dot(&g, &RenderConfig::default());
+        assert!(dot.contains("digraph tamp"));
+        assert!(dot.contains("rankdir=LR"));
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        for n in g.node_ids() {
+            assert!(dot.contains(&format!("n{} ", n.0)));
+        }
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = TampGraph::new("empty");
+        let svg = render_svg(&g, &RenderConfig::default());
+        assert!(svg.contains("empty"));
+        let dot = render_dot(&g, &RenderConfig::default());
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn edge_colors_override() {
+        let g = graph();
+        let mut cfg = RenderConfig::default();
+        let e = g.edge_ids().next().unwrap();
+        cfg.edge_colors.insert(e, "#00aa00");
+        let svg = render_svg(&g, &cfg);
+        assert!(svg.contains("#00aa00"));
+    }
+}

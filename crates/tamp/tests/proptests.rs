@@ -1,0 +1,130 @@
+//! Property-based tests for TAMP graph/animation invariants.
+
+use proptest::prelude::*;
+
+use bgpscope_bgp::{
+    AsPath, Event, EventStream, PathAttributes, PeerId, Prefix, RouterId, Timestamp,
+};
+use bgpscope_tamp::{prune_flat, Animator, GraphBuilder, RouteInput};
+
+fn arb_route() -> impl Strategy<Value = RouteInput> {
+    (
+        1u8..4,
+        1u8..4,
+        proptest::collection::vec(1u32..12, 1..5),
+        0u8..20,
+    )
+        .prop_map(|(peer, hop, path, pfx)| {
+            RouteInput::new(
+                PeerId::from_octets(10, 0, 0, peer),
+                RouterId::from_octets(10, 1, 0, hop),
+                AsPath::from_u32s(path),
+                Prefix::from_octets(10, pfx, 0, 0, 16),
+            )
+        })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (arb_route(), 0u64..1_000, any::<bool>()).prop_map(|(r, t, announce)| {
+        let attrs = PathAttributes::new(r.next_hop, r.as_path);
+        if announce {
+            Event::announce(Timestamp::from_secs(t), r.peer, r.prefix, attrs)
+        } else {
+            Event::withdraw(Timestamp::from_secs(t), r.peer, r.prefix, attrs)
+        }
+    })
+}
+
+proptest! {
+    /// The root's outgoing edges together carry every prefix in the graph:
+    /// union of root out-edge weights counts each prefix at least once, and
+    /// no edge can carry more prefixes than the graph's total.
+    #[test]
+    fn edge_weight_bounded_by_total(routes in proptest::collection::vec(arb_route(), 0..60)) {
+        let mut b = GraphBuilder::new("p");
+        b.extend(routes);
+        let g = b.finish();
+        let total = g.total_prefix_count();
+        for e in g.edge_ids() {
+            prop_assert!(g.edge_weight(e) <= total);
+            prop_assert!(g.edge_weight(e) <= g.edge_data(e).max_distinct);
+        }
+    }
+
+    /// Adding then removing every route leaves all edge bags empty.
+    #[test]
+    fn add_remove_roundtrip_empties_graph(routes in proptest::collection::vec(arb_route(), 0..60)) {
+        let mut b = GraphBuilder::new("p");
+        for r in &routes {
+            b.add(r.clone());
+        }
+        // Dedup keys; removing twice must be harmless.
+        for r in &routes {
+            b.remove(r.peer, r.prefix);
+            b.remove(r.peer, r.prefix);
+        }
+        let g = b.finish();
+        prop_assert_eq!(g.total_prefix_count(), 0);
+        for e in g.edge_ids() {
+            prop_assert_eq!(g.edge_weight(e), 0);
+        }
+    }
+
+    /// Pruning never invents prefixes or edges and is monotone in threshold.
+    #[test]
+    fn pruning_monotone(routes in proptest::collection::vec(arb_route(), 0..60)) {
+        let mut b = GraphBuilder::new("p");
+        b.extend(routes);
+        let g = b.finish();
+        let p5 = prune_flat(&g, 0.05);
+        let p20 = prune_flat(&g, 0.20);
+        prop_assert!(p5.edge_count() <= g.edge_count());
+        prop_assert!(p20.edge_count() <= p5.edge_count());
+        prop_assert_eq!(p5.total_prefix_count(), g.total_prefix_count());
+    }
+
+    /// Animation edge series agree with frame_weights at every sampled frame,
+    /// and the final frame equals the final graph's weights.
+    #[test]
+    fn animation_series_consistent(
+        seeds in proptest::collection::vec(arb_route(), 0..15),
+        events in proptest::collection::vec(arb_event(), 0..40),
+    ) {
+        let mut events = events;
+        events.sort_by_key(|e| e.time);
+        let stream: EventStream = events.into_iter().collect();
+        let mut animator = Animator::new("p");
+        animator.seed_all(seeds);
+        let animation = animator.animate(&stream);
+        prop_assert_eq!(animation.frame_count(), 750);
+
+        let g = animation.graph();
+        for e in g.edge_ids() {
+            let series = animation.edge_series(e);
+            prop_assert_eq!(series.len(), 750);
+            prop_assert_eq!(*series.last().unwrap(), g.edge_weight(e));
+        }
+        for idx in [0usize, 374, 749] {
+            let weights = animation.frame_weights(idx);
+            for e in g.edge_ids() {
+                let series = animation.edge_series(e);
+                let expected = weights.get(&e).copied().unwrap_or(0);
+                prop_assert_eq!(series[idx], expected);
+            }
+        }
+    }
+
+    /// Frame clocks are non-decreasing and end at the timerange.
+    #[test]
+    fn frame_clocks_monotone(events in proptest::collection::vec(arb_event(), 1..40)) {
+        let mut events = events;
+        events.sort_by_key(|e| e.time);
+        let stream: EventStream = events.into_iter().collect();
+        let animation = Animator::new("p").animate(&stream);
+        let frames = animation.frames();
+        for w in frames.windows(2) {
+            prop_assert!(w[0].clock <= w[1].clock);
+        }
+        prop_assert_eq!(frames.last().unwrap().clock, animation.timerange());
+    }
+}

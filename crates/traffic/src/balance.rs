@@ -1,0 +1,168 @@
+//! Traffic-aware prefix load balancing (§III-D.2).
+//!
+//! Berkeley split its prefix space across two rate limiters *by prefix
+//! count* and got it badly wrong twice over: the split was 78%/5% by count
+//! (§IV-A), and counts ignore the elephants-and-mice reality anyway. The
+//! paper proposes the fix: "correlate routing and traffic data and compute
+//! traffic volume for each routing prefix … compute a more effective,
+//! fine-grained prefix load balancing without affecting the network with
+//! trial-and-error steps." This module is that computation.
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::Prefix;
+
+use crate::flow::TrafficMatrix;
+
+/// A proposed assignment of prefixes to paths.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BalancePlan {
+    /// Per path: the prefixes assigned to it.
+    pub buckets: Vec<Vec<Prefix>>,
+    /// Per path: the traffic volume it would carry.
+    pub volumes: Vec<u64>,
+}
+
+impl BalancePlan {
+    /// The heaviest path's share of total volume (0.5 = perfect for 2 paths).
+    pub fn max_share(&self) -> f64 {
+        let total: u64 = self.volumes.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.volumes.iter().max().expect("non-empty") as f64 / total as f64
+    }
+
+    /// Imbalance ratio: heaviest / lightest path volume (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.volumes.iter().max().unwrap_or(&0);
+        let min = *self.volumes.iter().min().unwrap_or(&0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+/// Computes the traffic imbalance of an *existing* split.
+pub fn measure_split(buckets: &[Vec<Prefix>], traffic: &TrafficMatrix) -> BalancePlan {
+    let volumes = buckets
+        .iter()
+        .map(|b| b.iter().map(|p| traffic.volume(p)).sum())
+        .collect();
+    BalancePlan {
+        buckets: buckets.to_vec(),
+        volumes,
+    }
+}
+
+/// Proposes a balanced assignment of `prefixes` across `paths` paths by
+/// traffic volume, using the LPT (longest-processing-time) greedy rule:
+/// place each prefix, heaviest first, on the currently lightest path.
+/// LPT is within 4/3 of optimal — far better than any count-based split
+/// under an elephants/mice distribution.
+///
+/// # Panics
+///
+/// Panics if `paths == 0`.
+pub fn balance_by_traffic(
+    prefixes: &[Prefix],
+    traffic: &TrafficMatrix,
+    paths: usize,
+) -> BalancePlan {
+    assert!(paths > 0, "need at least one path");
+    let mut ranked: Vec<(Prefix, u64)> = prefixes
+        .iter()
+        .map(|&p| (p, traffic.volume(&p)))
+        .collect();
+    // Heaviest first; ties broken by prefix for determinism.
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut buckets: Vec<Vec<Prefix>> = vec![Vec::new(); paths];
+    let mut volumes: Vec<u64> = vec![0; paths];
+    for (prefix, volume) in ranked {
+        let lightest = volumes
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("paths > 0");
+        buckets[lightest].push(prefix);
+        volumes[lightest] += volume;
+    }
+    BalancePlan { buckets, volumes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::ZipfTraffic;
+
+    fn prefixes(n: u8) -> Vec<Prefix> {
+        (0..n).map(|i| Prefix::from_octets(10, i, 0, 0, 16)).collect()
+    }
+
+    #[test]
+    fn count_based_split_fails_under_zipf() {
+        let px = prefixes(100);
+        let traffic = ZipfTraffic::new(1.2, 42).volumes(&px, 1_000_000);
+        // The naive "half the prefixes each way" split.
+        let naive = measure_split(
+            &[px[..50].to_vec(), px[50..].to_vec()],
+            &traffic,
+        );
+        // The traffic-aware plan.
+        let planned = balance_by_traffic(&px, &traffic, 2);
+        assert!(
+            planned.imbalance() < naive.imbalance(),
+            "planned {} vs naive {}",
+            planned.imbalance(),
+            naive.imbalance()
+        );
+        assert!(planned.max_share() < 0.55, "share {}", planned.max_share());
+        // Every prefix assigned exactly once.
+        let assigned: usize = planned.buckets.iter().map(Vec::len).sum();
+        assert_eq!(assigned, px.len());
+    }
+
+    #[test]
+    fn lpt_is_near_optimal_on_known_case() {
+        // Volumes 7,6,5,4 over 2 paths: LPT gives {7,4}=11 vs {6,5}=11.
+        let px = prefixes(4);
+        let traffic: TrafficMatrix = px
+            .iter()
+            .copied()
+            .zip([7u64, 6, 5, 4])
+            .collect();
+        let plan = balance_by_traffic(&px, &traffic, 2);
+        assert_eq!(plan.volumes.iter().sum::<u64>(), 22);
+        assert_eq!(plan.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn more_paths_than_prefixes() {
+        let px = prefixes(2);
+        let traffic: TrafficMatrix = px.iter().copied().zip([5u64, 5]).collect();
+        let plan = balance_by_traffic(&px, &traffic, 4);
+        assert_eq!(plan.buckets.len(), 4);
+        assert_eq!(plan.volumes.iter().filter(|&&v| v > 0).count(), 2);
+        assert!(plan.imbalance().is_infinite());
+    }
+
+    #[test]
+    fn zero_traffic_prefixes_still_assigned() {
+        let px = prefixes(6);
+        let traffic = TrafficMatrix::new(); // nobody has volume
+        let plan = balance_by_traffic(&px, &traffic, 2);
+        let assigned: usize = plan.buckets.iter().map(Vec::len).sum();
+        assert_eq!(assigned, 6);
+        assert_eq!(plan.max_share(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one path")]
+    fn zero_paths_panics() {
+        balance_by_traffic(&prefixes(2), &TrafficMatrix::new(), 0);
+    }
+}

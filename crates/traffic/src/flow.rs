@@ -1,0 +1,173 @@
+//! Flow records and the per-prefix traffic matrix.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bgpscope_bgp::{Prefix, PrefixTrie, Timestamp};
+
+/// One NetFlow-like record: bytes toward a destination address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Destination IPv4 address.
+    pub dst: u32,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Export timestamp.
+    pub time: Timestamp,
+}
+
+/// Aggregated traffic volume per routing prefix.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    volumes: HashMap<Prefix, u64>,
+    total: u64,
+}
+
+impl TrafficMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        TrafficMatrix::default()
+    }
+
+    /// Builds a matrix from flows, attributing each flow to the
+    /// longest-matching prefix in `table`. Flows matching nothing are
+    /// dropped (counted in the returned unattributed total).
+    pub fn from_flows<'a, I>(flows: I, table: &PrefixTrie<()>) -> (Self, u64)
+    where
+        I: IntoIterator<Item = &'a FlowRecord>,
+    {
+        let mut matrix = TrafficMatrix::new();
+        let mut unattributed = 0;
+        for flow in flows {
+            match table.longest_match_addr(flow.dst) {
+                Some((prefix, _)) => matrix.add(prefix, flow.bytes),
+                None => unattributed += flow.bytes,
+            }
+        }
+        (matrix, unattributed)
+    }
+
+    /// Adds `bytes` of volume to `prefix`.
+    pub fn add(&mut self, prefix: Prefix, bytes: u64) {
+        *self.volumes.entry(prefix).or_insert(0) += bytes;
+        self.total += bytes;
+    }
+
+    /// The volume attributed to `prefix`.
+    pub fn volume(&self, prefix: &Prefix) -> u64 {
+        self.volumes.get(prefix).copied().unwrap_or(0)
+    }
+
+    /// Total bytes across all prefixes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of prefixes with non-zero volume.
+    pub fn len(&self) -> usize {
+        self.volumes.len()
+    }
+
+    /// True when no traffic has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.volumes.is_empty()
+    }
+
+    /// Iterates over `(prefix, bytes)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &u64)> {
+        self.volumes.iter()
+    }
+
+    /// The top `fraction` of prefixes by volume and the share of total bytes
+    /// they carry — the elephants. `fraction` is clamped to `0..=1`.
+    pub fn elephants(&self, fraction: f64) -> (Vec<Prefix>, f64) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut ranked: Vec<(Prefix, u64)> = self.volumes.iter().map(|(p, &v)| (*p, v)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let k = ((ranked.len() as f64 * fraction).round() as usize).min(ranked.len());
+        let top: Vec<Prefix> = ranked[..k].iter().map(|&(p, _)| p).collect();
+        let top_bytes: u64 = ranked[..k].iter().map(|&(_, v)| v).sum();
+        let share = if self.total == 0 {
+            0.0
+        } else {
+            top_bytes as f64 / self.total as f64
+        };
+        (top, share)
+    }
+}
+
+impl FromIterator<(Prefix, u64)> for TrafficMatrix {
+    fn from_iter<T: IntoIterator<Item = (Prefix, u64)>>(iter: T) -> Self {
+        let mut m = TrafficMatrix::new();
+        for (p, v) in iter {
+            m.add(p, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut m = TrafficMatrix::new();
+        m.add(p("10.0.0.0/8"), 100);
+        m.add(p("10.0.0.0/8"), 50);
+        m.add(p("20.0.0.0/8"), 10);
+        assert_eq!(m.volume(&p("10.0.0.0/8")), 150);
+        assert_eq!(m.volume(&p("30.0.0.0/8")), 0);
+        assert_eq!(m.total(), 160);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn from_flows_longest_match() {
+        let mut table = PrefixTrie::new();
+        table.insert(p("10.0.0.0/8"), ());
+        table.insert(p("10.1.0.0/16"), ());
+        let flows = vec![
+            FlowRecord { dst: 0x0A01_0001, bytes: 70, time: Timestamp::ZERO }, // 10.1.0.1
+            FlowRecord { dst: 0x0A02_0001, bytes: 20, time: Timestamp::ZERO }, // 10.2.0.1
+            FlowRecord { dst: 0x0B00_0001, bytes: 5, time: Timestamp::ZERO },  // 11.0.0.1
+        ];
+        let (m, unattributed) = TrafficMatrix::from_flows(&flows, &table);
+        assert_eq!(m.volume(&p("10.1.0.0/16")), 70);
+        assert_eq!(m.volume(&p("10.0.0.0/8")), 20);
+        assert_eq!(unattributed, 5);
+    }
+
+    #[test]
+    fn elephants_split() {
+        // 1 elephant with 900 bytes, 9 mice with ~11 each.
+        let mut m = TrafficMatrix::new();
+        m.add(p("10.0.0.0/16"), 900);
+        for i in 1..10u8 {
+            m.add(Prefix::from_octets(10, i, 0, 0, 16), 11);
+        }
+        let (top, share) = m.elephants(0.10);
+        assert_eq!(top, vec![p("10.0.0.0/16")]);
+        assert!(share > 0.89);
+        let (all, share_all) = m.elephants(1.0);
+        assert_eq!(all.len(), 10);
+        assert!((share_all - 1.0).abs() < 1e-12);
+        let (none, share_none) = m.elephants(0.0);
+        assert!(none.is_empty());
+        assert_eq!(share_none, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        let m = TrafficMatrix::new();
+        let (top, share) = m.elephants(0.5);
+        assert!(top.is_empty());
+        assert_eq!(share, 0.0);
+        assert!(m.is_empty());
+    }
+}

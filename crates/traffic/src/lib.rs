@@ -1,0 +1,40 @@
+//! Traffic substrate (§III-D.2).
+//!
+//! Internet traffic exhibits the "elephants and mice" phenomenon: a small
+//! share of prefixes carries most of the volume (e.g. 10% of prefixes ↔ 90%
+//! of bytes). The paper's algorithms weigh every prefix equally; combining
+//! them with traffic data makes the weights operationally meaningful — the
+//! Berkeley load-balance split (§IV-A) looked 78%/5% by *prefix count*, but
+//! what matters to the rate limiters is *bytes*.
+//!
+//! The paper used Cisco NetFlow; we provide a synthetic equivalent: flow
+//! records, a Zipf volume generator over a prefix table (preserving the
+//! elephants/mice shape), per-prefix volume aggregation via longest-match,
+//! traffic-weighted TAMP edge weights, and traffic-weighted Stemming.
+//!
+//! # Example
+//!
+//! ```
+//! use bgpscope_traffic::{TrafficMatrix, ZipfTraffic};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prefixes: Vec<bgpscope_bgp::Prefix> =
+//!     (0..100u8).map(|i| bgpscope_bgp::Prefix::from_octets(10, i, 0, 0, 16)).collect();
+//! let matrix = ZipfTraffic::new(1.0, 42).volumes(&prefixes, 1_000_000);
+//! // The elephants/mice shape: the top 10% of prefixes carry most bytes.
+//! let (elephants, share) = matrix.elephants(0.10);
+//! assert_eq!(elephants.len(), 10);
+//! assert!(share > 0.5, "top 10% carried {share}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod balance;
+pub mod flow;
+pub mod weighted;
+pub mod zipf;
+
+pub use balance::{balance_by_traffic, measure_split, BalancePlan};
+pub use flow::{FlowRecord, TrafficMatrix};
+pub use weighted::{traffic_edge_weights, weighted_stemming};
+pub use zipf::ZipfTraffic;

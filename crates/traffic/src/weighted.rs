@@ -1,0 +1,156 @@
+//! Traffic-weighted TAMP and Stemming (§III-D.2).
+
+use std::collections::HashMap;
+
+use bgpscope_bgp::EventStream;
+use bgpscope_stemming::{Stemming, StemmingResult};
+use bgpscope_tamp::{EdgeId, TampGraph};
+
+use crate::flow::TrafficMatrix;
+
+/// Computes traffic-based edge weights for a TAMP graph: each edge's weight
+/// becomes the total bytes of the distinct prefixes it carries, instead of
+/// their count. ("In TAMP visualization, instead of weighing each prefix
+/// equally, edge weights would be computed based on traffic volume.")
+pub fn traffic_edge_weights(graph: &TampGraph, traffic: &TrafficMatrix) -> HashMap<EdgeId, u64> {
+    let mut weights = HashMap::with_capacity(graph.edge_count());
+    for edge in graph.edge_ids() {
+        let bytes: u64 = graph
+            .edge_data(edge)
+            .bag
+            .iter()
+            .filter_map(|pid| graph.resolve_prefix(pid))
+            .map(|p| traffic.volume(&p))
+            .sum();
+        weights.insert(edge, bytes);
+    }
+    weights
+}
+
+/// Runs Stemming with events weighted by their prefix's traffic volume
+/// (scaled so the smallest non-zero volume weighs 1). A short oscillation on
+/// one elephant prefix then outranks floods of mice churn.
+pub fn weighted_stemming(
+    stemming: &Stemming,
+    stream: &EventStream,
+    traffic: &TrafficMatrix,
+) -> StemmingResult {
+    let min_volume = traffic
+        .iter()
+        .map(|(_, &v)| v)
+        .filter(|&v| v > 0)
+        .min()
+        .unwrap_or(1)
+        .max(1);
+    stemming.decompose_weighted(stream, |event| {
+        (traffic.volume(&event.prefix) / min_volume).max(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscope_bgp::{Event, PathAttributes, PeerId, Prefix, RouterId, Timestamp};
+    use bgpscope_tamp::{GraphBuilder, RouteInput};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn tamp_weights_follow_bytes_not_counts() {
+        // 9 mice prefixes on edge A, 1 elephant prefix on edge B.
+        let mut b = GraphBuilder::new("t");
+        for i in 0..9u8 {
+            b.add(RouteInput::new(
+                PeerId::from_octets(1, 1, 1, 1),
+                RouterId::from_octets(2, 2, 2, 1),
+                "100 200".parse().unwrap(),
+                Prefix::from_octets(10, i, 0, 0, 16),
+            ));
+        }
+        b.add(RouteInput::new(
+            PeerId::from_octets(1, 1, 1, 1),
+            RouterId::from_octets(2, 2, 2, 2),
+            "100 300".parse().unwrap(),
+            p("20.0.0.0/16"),
+        ));
+        let g = b.finish();
+
+        let mut traffic = TrafficMatrix::new();
+        for i in 0..9u8 {
+            traffic.add(Prefix::from_octets(10, i, 0, 0, 16), 10);
+        }
+        traffic.add(p("20.0.0.0/16"), 910);
+
+        let weights = traffic_edge_weights(&g, &traffic);
+        let mice_edge = g.find_edge_by_labels("100", "200").unwrap();
+        let elephant_edge = g.find_edge_by_labels("100", "300").unwrap();
+        // By prefix count the mice edge dominates 9:1…
+        assert!(g.edge_weight(mice_edge) > g.edge_weight(elephant_edge));
+        // …by traffic the elephant edge dominates 910:90.
+        assert_eq!(weights[&mice_edge], 90);
+        assert_eq!(weights[&elephant_edge], 910);
+    }
+
+    #[test]
+    fn weighted_stemming_promotes_elephants() {
+        // 12 churn events on 6 mice prefixes (pairwise correlated via a
+        // shared path) vs 4 events on one elephant prefix via its own path.
+        let peer = PeerId::from_octets(1, 1, 1, 1);
+        let mut stream = EventStream::new();
+        for i in 0..12u32 {
+            stream.push(Event::withdraw(
+                Timestamp::from_secs(i as u64),
+                peer,
+                Prefix::from_octets(10, (i % 6) as u8, 0, 0, 16),
+                PathAttributes::new(RouterId::from_octets(2, 2, 2, 1), "100 200".parse().unwrap()),
+            ));
+        }
+        for i in 0..4u32 {
+            stream.push(Event::withdraw(
+                Timestamp::from_secs(50 + i as u64),
+                peer,
+                p("20.0.0.0/16"),
+                PathAttributes::new(RouterId::from_octets(2, 2, 2, 2), "100 300".parse().unwrap()),
+            ));
+        }
+        stream.sort_by_time();
+
+        // Unweighted: the mice component (12 events) wins.
+        let unweighted = Stemming::new().decompose(&stream);
+        assert_eq!(unweighted.components()[0].event_count(), 12);
+
+        // Weighted with an overwhelming elephant: the elephant component wins.
+        let mut traffic = TrafficMatrix::new();
+        traffic.add(p("20.0.0.0/16"), 1_000_000);
+        for i in 0..6u8 {
+            traffic.add(Prefix::from_octets(10, i, 0, 0, 16), 1);
+        }
+        let weighted = weighted_stemming(&Stemming::new(), &stream, &traffic);
+        let top = &weighted.components()[0];
+        assert_eq!(top.prefix_count(), 1);
+        assert!(top.prefixes.contains(&p("20.0.0.0/16")));
+        assert_eq!(top.event_count(), 4);
+    }
+
+    #[test]
+    fn zero_volume_events_still_count_once() {
+        let peer = PeerId::from_octets(1, 1, 1, 1);
+        let stream: EventStream = (0..4u32)
+            .map(|i| {
+                Event::withdraw(
+                    Timestamp::from_secs(i as u64),
+                    peer,
+                    Prefix::from_octets(10, i as u8, 0, 0, 16),
+                    PathAttributes::new(RouterId(9), "100 200".parse().unwrap()),
+                )
+            })
+            .collect();
+        let result = weighted_stemming(&Stemming::new(), &stream, &TrafficMatrix::new());
+        // No traffic data: everything weighs 1; the shared-path component
+        // still forms.
+        assert_eq!(result.components().len(), 1);
+        assert_eq!(result.components()[0].event_count(), 4);
+    }
+}

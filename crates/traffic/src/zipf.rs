@@ -1,0 +1,154 @@
+//! Zipf-distributed synthetic traffic.
+//!
+//! Substitutes for the paper's NetFlow feeds: volumes over a prefix table
+//! follow a Zipf law, which reproduces the measured elephants/mice shape
+//! (cf. "A Pragmatic Definition of Elephants in Internet Backbone Traffic",
+//! the paper's reference \[6\]).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use bgpscope_bgp::{Prefix, Timestamp};
+
+use crate::flow::{FlowRecord, TrafficMatrix};
+
+/// A deterministic Zipf traffic generator.
+#[derive(Debug, Clone)]
+pub struct ZipfTraffic {
+    exponent: f64,
+    seed: u64,
+}
+
+impl ZipfTraffic {
+    /// A generator with Zipf exponent `exponent` (1.0 is the classic law;
+    /// larger = more skew) and a deterministic seed.
+    pub fn new(exponent: f64, seed: u64) -> Self {
+        ZipfTraffic { exponent, seed }
+    }
+
+    /// Assigns `total_bytes` across `prefixes` by Zipf rank. Rank order is a
+    /// seeded shuffle of the prefix list, so which prefixes are elephants is
+    /// random but reproducible.
+    pub fn volumes(&self, prefixes: &[Prefix], total_bytes: u64) -> TrafficMatrix {
+        let mut matrix = TrafficMatrix::new();
+        if prefixes.is_empty() || total_bytes == 0 {
+            return matrix;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<Prefix> = prefixes.to_vec();
+        order.shuffle(&mut rng);
+        let harmonic: f64 = (1..=order.len())
+            .map(|r| 1.0 / (r as f64).powf(self.exponent))
+            .sum();
+        let mut assigned = 0u64;
+        for (rank, prefix) in order.iter().enumerate() {
+            let share = (1.0 / ((rank + 1) as f64).powf(self.exponent)) / harmonic;
+            let bytes = (share * total_bytes as f64).round() as u64;
+            if bytes > 0 {
+                matrix.add(*prefix, bytes);
+                assigned += bytes;
+            }
+        }
+        // Rounding remainder goes to the top-ranked prefix.
+        if assigned < total_bytes {
+            matrix.add(order[0], total_bytes - assigned);
+        }
+        matrix
+    }
+
+    /// Generates `n` flow records whose per-prefix byte totals follow the
+    /// Zipf volumes (each flow picks a random address inside its prefix).
+    pub fn flows(&self, prefixes: &[Prefix], total_bytes: u64, n: usize) -> Vec<FlowRecord> {
+        let matrix = self.volumes(prefixes, total_bytes);
+        if matrix.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        let entries: Vec<(Prefix, u64)> = matrix.iter().map(|(p, &v)| (*p, v)).collect();
+        let mut flows = Vec::with_capacity(n);
+        for (prefix, bytes) in &entries {
+            // Spread each prefix's bytes over a proportional number of flows.
+            let count = ((n as f64) * (*bytes as f64) / matrix.total() as f64).ceil() as usize;
+            let count = count.max(1);
+            let per_flow = bytes / count as u64;
+            for i in 0..count {
+                let host_bits = 32 - prefix.len();
+                let offset = if host_bits == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..(1u64 << host_bits)) as u32
+                };
+                flows.push(FlowRecord {
+                    dst: prefix.addr() | offset,
+                    bytes: if i == 0 { per_flow + bytes % count as u64 } else { per_flow },
+                    time: Timestamp::from_secs(i as u64),
+                });
+            }
+        }
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefixes(n: u8) -> Vec<Prefix> {
+        (0..n).map(|i| Prefix::from_octets(10, i, 0, 0, 16)).collect()
+    }
+
+    #[test]
+    fn zipf_shape_is_elephants_and_mice() {
+        let m = ZipfTraffic::new(1.0, 7).volumes(&prefixes(100), 10_000_000);
+        let (top, share) = m.elephants(0.10);
+        assert_eq!(top.len(), 10);
+        // Zipf(1.0) over 100 ranks: top 10 carry ~56% of volume.
+        assert!(share > 0.45 && share < 0.70, "share was {share}");
+        // Total preserved.
+        assert_eq!(m.total(), 10_000_000);
+    }
+
+    #[test]
+    fn higher_exponent_more_skew() {
+        let m1 = ZipfTraffic::new(0.8, 7).volumes(&prefixes(100), 1_000_000);
+        let m2 = ZipfTraffic::new(1.6, 7).volumes(&prefixes(100), 1_000_000);
+        let (_, s1) = m1.elephants(0.10);
+        let (_, s2) = m2.elephants(0.10);
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ZipfTraffic::new(1.0, 9).volumes(&prefixes(20), 1000);
+        let b = ZipfTraffic::new(1.0, 9).volumes(&prefixes(20), 1000);
+        assert_eq!(a, b);
+        let c = ZipfTraffic::new(1.0, 10).volumes(&prefixes(20), 1000);
+        assert_ne!(a, c); // different elephants
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = ZipfTraffic::new(1.0, 1).volumes(&[], 1000);
+        assert!(m.is_empty());
+        let m = ZipfTraffic::new(1.0, 1).volumes(&prefixes(5), 0);
+        assert!(m.is_empty());
+        assert!(ZipfTraffic::new(1.0, 1).flows(&[], 100, 10).is_empty());
+    }
+
+    #[test]
+    fn flows_aggregate_back_to_volumes() {
+        use bgpscope_bgp::PrefixTrie;
+        let px = prefixes(10);
+        let gen = ZipfTraffic::new(1.0, 3);
+        let expected = gen.volumes(&px, 100_000);
+        let flows = gen.flows(&px, 100_000, 500);
+        let table: PrefixTrie<()> = px.iter().map(|&p| (p, ())).collect();
+        let (m, unattributed) = TrafficMatrix::from_flows(&flows, &table);
+        assert_eq!(unattributed, 0);
+        assert_eq!(m.total(), expected.total());
+        for (p, &v) in expected.iter() {
+            assert_eq!(m.volume(p), v, "volume mismatch for {p}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Quickstart: simulate a small network, watch an incident happen, detect
+//! and visualize it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::fs;
+
+use bgpscope::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/bgpscope-out");
+    fs::create_dir_all(out_dir)?;
+
+    // 1. A small network: our edge router, dual-homed to two providers,
+    //    monitored by the passive collector.
+    let edge = RouterId::from_octets(10, 0, 0, 1);
+    let provider_a = RouterId::from_octets(192, 0, 2, 1);
+    let provider_b = RouterId::from_octets(192, 0, 2, 2);
+    let mut sim = SimBuilder::new(42)
+        .router(edge, Asn(65000))
+        .router(provider_a, Asn(701))
+        .router(provider_b, Asn(3356))
+        .session(edge, provider_a, SessionKind::Ebgp)
+        .session(edge, provider_b, SessionKind::Ebgp)
+        .monitor(edge)
+        .build();
+
+    // 2. Both providers announce 200 prefixes; provider A's paths are
+    //    shorter, so the edge prefers them.
+    for i in 0..200u32 {
+        let prefix = Prefix::from_octets(20, (i / 250) as u8, (i % 250) as u8, 0, 24);
+        sim.originate_with(
+            provider_a,
+            prefix,
+            PathAttributes::new(provider_a, AsPath::from_u32s([9000 + i % 7])),
+            Timestamp::ZERO,
+        );
+        sim.originate_with(
+            provider_b,
+            prefix,
+            PathAttributes::new(provider_b, AsPath::from_u32s([2914, 9000 + i % 7])),
+            Timestamp::ZERO,
+        );
+    }
+    sim.run_until(Timestamp::from_secs(30));
+
+    // 3. The incident: the session to provider A resets and comes back a
+    //    minute later. We never tell the analysis side — the withdrawals,
+    //    failover to provider B and recovery all emerge from the protocol.
+    sim.session_down(edge, provider_a, Timestamp::from_secs(60));
+    sim.session_up(edge, provider_a, Timestamp::from_secs(120));
+    sim.run_to_completion();
+
+    // 4. The collector augments the raw update feed into an event stream.
+    let mut rex = Rex::new("quickstart");
+    let feed = sim.take_collector_feed();
+    let n = rex.ingest_feed(&feed);
+    println!("collector recorded {n} events from {} updates", feed.len());
+
+    // 5. Stemming + classification: what happened, where?
+    for report in rex.reports() {
+        print!("{report}");
+    }
+
+    // 6. TAMP: a picture of the current routing...
+    let picture = rex.tamp_picture(0.05);
+    let svg = render_svg(&picture, &RenderConfig::default());
+    let path = out_dir.join("quickstart_picture.svg");
+    fs::write(&path, svg)?;
+    println!("wrote {}", path.display());
+
+    // ...and an animation of the incident.
+    let result = rex.decompose();
+    let incident = result.component_stream(rex.history(), 0);
+    let mut animator = Animator::new("quickstart");
+    seed_from_feed(&mut animator, &feed);
+    let animation = animator.animate(&incident);
+    let frame = animation.render_frame_svg(374); // halfway through
+    let path = out_dir.join("quickstart_frame.svg");
+    fs::write(&path, frame)?;
+    println!(
+        "wrote {} ({} frames over a {} incident)",
+        path.display(),
+        animation.frame_count(),
+        animation.timerange()
+    );
+    Ok(())
+}
+
+/// Seeds the animator with the pre-incident RIB (everything announced before
+/// the first withdrawal).
+fn seed_from_feed(animator: &mut Animator, feed: &[(UpdateMessage, Timestamp)]) {
+    let mut collector = Collector::new();
+    for (msg, t) in feed {
+        if !msg.withdrawn.is_empty() {
+            break;
+        }
+        collector.apply_update(msg, *t);
+    }
+    animator.seed_all(
+        collector
+            .snapshot(Timestamp::ZERO)
+            .iter()
+            .map(RouteInput::from_route),
+    );
+}

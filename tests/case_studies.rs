@@ -1,0 +1,209 @@
+//! Integration tests: every §IV case study detected end-to-end against its
+//! injected ground truth.
+
+use bgpscope::prelude::*;
+use bgpscope::scenarios::berkeley::{cenic_community, AS_KDDI, AS_LOS_NETTOS};
+use bgpscope::scenarios::isp_anon::oscillating_prefix;
+
+/// §IV-A: the load-balance misconfiguration shows as a skewed split across
+/// the two rate-limiter nexthops in the TAMP picture.
+#[test]
+fn case_a_load_balancing_unbalanced() {
+    let site = Berkeley::with_scale(0.05);
+    let mut builder = GraphBuilder::new("Berkeley");
+    for r in &site.routes() {
+        builder.add(RouteInput::from_route(r));
+    }
+    let g = builder.finish();
+    let total = g.total_prefix_count() as f64;
+    let w66 = g
+        .edge_weight(g.find_edge_by_labels("128.32.0.66", "11423").expect("edge 66"))
+        as f64
+        / total;
+    let w70 = g
+        .edge_weight(g.find_edge_by_labels("128.32.0.70", "11423").expect("edge 70"))
+        as f64
+        / total;
+    // Paper: 78% vs 5% — wildly unbalanced, not the intended even split.
+    assert!(w66 > 0.70, "hop66 share {w66}");
+    assert!(w70 < 0.10, "hop70 share {w70}");
+    assert!(w66 / w70.max(1e-9) > 5.0, "the imbalance is unmistakable");
+}
+
+/// §IV-B: backdoor routes invisible under flat pruning, visible under
+/// hierarchical pruning.
+#[test]
+fn case_b_backdoor_routes() {
+    let site = Berkeley::with_scale(0.05);
+    let mut builder = GraphBuilder::new("Berkeley");
+    for r in &site.routes() {
+        builder.add(RouteInput::from_route(r));
+    }
+    let g = builder.finish();
+    let flat = prune_flat(&g, 0.05);
+    assert!(flat.find_edge_by_labels("169.229.0.157", "7018").is_none());
+    let hier = prune_hierarchical(&g, &PruneConfig::hierarchical(0.05));
+    let edge = hier
+        .find_edge_by_labels("169.229.0.157", "7018")
+        .expect("backdoor edge visible");
+    assert_eq!(hier.edge_weight(edge), 2, "exactly two backdoor prefixes");
+}
+
+/// §IV-C: TAMP over routes tagged 2152:65297 exposes the 32% / 68% mis-tag.
+#[test]
+fn case_c_community_mistagging() {
+    let site = Berkeley::with_scale(0.2);
+    let tagged = site.routes_with_community(cenic_community());
+    assert!(!tagged.is_empty());
+    let mut builder = GraphBuilder::new("2152:65297");
+    for r in &tagged {
+        builder.add(RouteInput::from_route(r));
+    }
+    let g = builder.finish();
+    let total = g.total_prefix_count() as f64;
+    let los = g
+        .edge_weight(g.find_edge_by_labels("2152", "226").expect("Los Nettos edge")) as f64
+        / total;
+    let kddi = g
+        .edge_weight(g.find_edge_by_labels("2152", "2516").expect("KDDI edge")) as f64
+        / total;
+    assert!((0.25..0.40).contains(&los), "Los Nettos share {los}");
+    assert!((0.60..0.75).contains(&kddi), "KDDI share {kddi}");
+    // Sanity against the scenario's own AS constants.
+    assert!(tagged.iter().any(|r| r.attrs.as_path.contains(AS_LOS_NETTOS)));
+    assert!(tagged.iter().any(|r| r.attrs.as_path.contains(AS_KDDI)));
+}
+
+/// §IV-D: the leaked-routes incident — Stemming finds it, the leaked path
+/// is the moved-to path, 128.32.1.3 stops announcing, and policy
+/// correlation pinpoints the LOCAL_PREF interaction.
+#[test]
+fn case_d_peer_leaking_routes() {
+    let site = Berkeley::small();
+    let incident = site.leak_incident();
+    assert!(!incident.is_empty());
+
+    let result = Stemming::new().decompose(&incident.stream);
+    assert!(!result.components().is_empty());
+    let top = &result.components()[0];
+
+    // The leak moved (essentially) all leaked prefixes.
+    let moved = top.prefix_count();
+    assert!(
+        moved as f64 >= 0.9 * site.leak_prefix_count() as f64,
+        "moved {moved} of {}",
+        site.leak_prefix_count()
+    );
+
+    // Within the component: announcements on the long leaked path exist…
+    let sub = result.component_stream(&incident.stream, 0);
+    let leaked_path_events = sub
+        .iter()
+        .filter(|e| {
+            e.kind == EventKind::Announce && e.attrs.as_path.contains_edge(Asn(11422), Asn(10927))
+        })
+        .count();
+    assert!(leaked_path_events > 0, "no events on the leaked path");
+
+    // …and 128.32.1.3 withdrew (stopped announcing) during the leak.
+    let p3_withdrawals = sub
+        .iter()
+        .filter(|e| {
+            e.kind == EventKind::Withdraw && e.peer == bgpscope::scenarios::berkeley::peer3()
+        })
+        .count();
+    assert!(
+        p3_withdrawals >= site.leak_prefix_count(),
+        "128.32.1.3 withdrew only {p3_withdrawals}"
+    );
+
+    // Policy correlation names the two LOCAL_PREF policies.
+    let hits = correlate_component(top, &incident.stream, &site.edge_configs());
+    let lps: Vec<Option<u32>> = hits.iter().map(|h| h.sets_local_pref).collect();
+    assert!(lps.contains(&Some(80)), "LP-80 policy fired: {hits:?}");
+    assert!(lps.contains(&Some(70)), "LP-70 policy fired: {hits:?}");
+}
+
+/// §IV-E: the continuous customer flap — detected, classified as a flap,
+/// and pinned to the customer's prefixes.
+#[test]
+fn case_e_continuous_customer_flapping() {
+    let isp = IspAnon::small();
+    let incident = isp.customer_flap_incident(3, 12);
+    let result = Stemming::new().decompose(&incident.stream);
+    let top = &result.components()[0];
+    // All affected prefixes are the customer's (6.0.0.0/16-ish).
+    assert!(top.prefixes.iter().all(|p| p.addr() >> 24 == 6));
+    // High events-per-prefix: the signature of a flap, not a one-shot move.
+    assert!(top.events_per_prefix() > 8.0, "epp {}", top.events_per_prefix());
+    let verdict = classify(top, &incident.stream);
+    assert!(
+        matches!(verdict.kind, AnomalyKind::RouteFlap | AnomalyKind::MedOscillation),
+        "classified {} ({:?})",
+        verdict.kind,
+        verdict.notes
+    );
+}
+
+/// §IV-F: the persistent oscillation — one prefix dominating the stream,
+/// strongest component even at short timescales, classified as oscillation.
+#[test]
+fn case_f_persistent_med_oscillation() {
+    let isp = IspAnon::small();
+    let incident = isp.med_oscillation_incident(150, Timestamp::from_millis(10));
+    // The one prefix accounts for ~all events (paper: 95% of IBGP traffic).
+    let on_prefix = incident
+        .stream
+        .iter()
+        .filter(|e| e.prefix == oscillating_prefix())
+        .count();
+    assert!(
+        on_prefix as f64 > 0.9 * incident.len() as f64,
+        "{on_prefix}/{}",
+        incident.len()
+    );
+
+    let result = Stemming::new().decompose(&incident.stream);
+    let top = &result.components()[0];
+    assert_eq!(top.prefix_count(), 1);
+    assert!(top.prefixes.contains(&oscillating_prefix()));
+    let verdict = classify(top, &incident.stream);
+    assert_eq!(verdict.kind, AnomalyKind::MedOscillation, "{:?}", verdict.notes);
+
+    // And it is still the strongest correlation in a SHORT window (the
+    // paper: "even when applied to a short timescale of a few minutes").
+    let mid = incident.stream.events()[incident.len() / 2].time;
+    let window = incident.stream.window(mid, mid + Timestamp::from_secs(120));
+    if window.len() >= 4 {
+        let short = Stemming::new().decompose(&window);
+        assert!(short.components()[0].prefixes.contains(&oscillating_prefix()));
+    }
+}
+
+/// Figure 4: the exact published withdrawals give the published stem.
+#[test]
+fn figure4_exact_reproduction() {
+    let stream = Berkeley::figure4_events();
+    let result = Stemming::new().decompose(&stream);
+    let top = &result.components()[0];
+    assert_eq!(top.stem().display(result.symbols()), "11423-209");
+    assert_eq!(top.support, 8, "8 of the 10 withdrawals share 11423-209");
+}
+
+/// Figure 1: the two-router merge carries 4 unique prefixes, not 6.
+#[test]
+fn figure1_exact_reproduction() {
+    let x = PeerId::from_octets(10, 0, 0, 1);
+    let y = PeerId::from_octets(10, 0, 0, 2);
+    let hop_a = RouterId::from_octets(10, 1, 0, 1);
+    let mut builder = GraphBuilder::new("fig1");
+    for p in ["1.2.1.0/24", "1.2.2.0/24", "1.2.3.0/24"] {
+        builder.add(RouteInput::new(x, hop_a, "1".parse().unwrap(), p.parse().unwrap()));
+    }
+    for p in ["1.2.2.0/24", "1.2.3.0/24", "1.2.4.0/24"] {
+        builder.add(RouteInput::new(y, hop_a, "1".parse().unwrap(), p.parse().unwrap()));
+    }
+    let g = builder.finish();
+    let edge = g.find_edge_by_labels("10.1.0.1", "1").expect("merged edge");
+    assert_eq!(g.edge_weight(edge), 4);
+}
