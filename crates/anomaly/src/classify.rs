@@ -208,7 +208,10 @@ pub fn classify(component: &Component, stream: &EventStream) -> Verdict {
                     notes,
                 };
             }
-            notes.push(format!("withdrawal-dominated ({:.0}%), diffuse", wd_frac * 100.0));
+            notes.push(format!(
+                "withdrawal-dominated ({:.0}%), diffuse",
+                wd_frac * 100.0
+            ));
             return Verdict {
                 kind: AnomalyKind::MassWithdrawal,
                 confidence: 0.6,
@@ -233,10 +236,7 @@ pub fn classify(component: &Component, stream: &EventStream) -> Verdict {
                 entry.1 = entry.1.max(len);
             }
         }
-        let elongated = span
-            .values()
-            .filter(|(lo, hi)| *hi >= lo + 3)
-            .count();
+        let elongated = span.values().filter(|(lo, hi)| *hi >= lo + 3).count();
         let elongated_frac = elongated as f64 / component.prefix_count().max(1) as f64;
         if elongated_frac >= 0.5 {
             notes.push(format!(
@@ -397,7 +397,12 @@ mod tests {
             } else {
                 PathAttributes::new(hop(2), "1 9".parse().unwrap())
             };
-            stream.push(Event::announce(Timestamp::from_millis(i * 10), peer(1), px, attrs));
+            stream.push(Event::announce(
+                Timestamp::from_millis(i * 10),
+                peer(1),
+                px,
+                attrs,
+            ));
         }
         let v = top_verdict(&stream);
         assert_eq!(v.kind, AnomalyKind::MedOscillation, "notes: {:?}", v.notes);
@@ -464,7 +469,10 @@ mod tests {
                 Timestamp::from_secs(i as u64 + 1),
                 peer(1),
                 px,
-                PathAttributes::new(hop(2), "11423 11422 10927 1909 195 2152 3356".parse().unwrap()),
+                PathAttributes::new(
+                    hop(2),
+                    "11423 11422 10927 1909 195 2152 3356".parse().unwrap(),
+                ),
             ));
         }
         let v = top_verdict(&stream);

@@ -45,5 +45,5 @@ pub mod scan;
 pub use classify::{classify, AnomalyKind, Verdict};
 pub use igp::enrich_with_igp;
 pub use pipeline::{PipelineConfig, RealtimeDetector};
-pub use scan::{scan_deaggregation, scan_moas, DeaggregationBurst, MoasConflict};
 pub use report::AnomalyReport;
+pub use scan::{scan_deaggregation, scan_moas, DeaggregationBurst, MoasConflict};

@@ -48,6 +48,16 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Sets the worker-thread count for Stemming's counting pass (`0` = one
+    /// per available core, `1` = serial). Forwarded to
+    /// [`StemmingConfig::parallelism`].
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.stemming.parallelism = parallelism;
+        self
+    }
+}
+
 /// The streaming detector.
 #[derive(Debug)]
 pub struct RealtimeDetector {
@@ -56,6 +66,7 @@ pub struct RealtimeDetector {
     buffer: Vec<Event>,
     window_start: Option<Timestamp>,
     reports_emitted: usize,
+    dropped_events: usize,
 }
 
 impl RealtimeDetector {
@@ -67,6 +78,7 @@ impl RealtimeDetector {
             buffer: Vec::new(),
             window_start: None,
             reports_emitted: 0,
+            dropped_events: 0,
         }
     }
 
@@ -78,6 +90,13 @@ impl RealtimeDetector {
     /// Total reports emitted so far.
     pub fn reports_emitted(&self) -> usize {
         self.reports_emitted
+    }
+
+    /// Events discarded unanalyzed (a terminal [`RealtimeDetector::flush`]
+    /// of a buffer below `min_events`). Window-boundary rotations never
+    /// drop events — small windows carry forward instead.
+    pub fn dropped_events(&self) -> usize {
+        self.dropped_events
     }
 
     /// Ingests one raw update; returns any reports completed by it.
@@ -94,22 +113,46 @@ impl RealtimeDetector {
     pub fn ingest_event(&mut self, event: Event) -> Vec<AnomalyReport> {
         let start = *self.window_start.get_or_insert(event.time);
         let mut reports = Vec::new();
-        if event.time.saturating_since(start) >= self.config.window
-            || self.buffer.len() >= self.config.spike_events
-        {
-            reports = self.flush();
+        if event.time.saturating_since(start) >= self.config.window {
+            // Window boundary: analyze the closed window (carrying a
+            // too-small buffer forward), then start the new window at the
+            // event that crossed the boundary.
+            reports = self.rotate_window();
             self.window_start = Some(event.time);
         }
         self.buffer.push(event);
+        if self.buffer.len() >= self.config.spike_events {
+            // Spike fast-path: analyze immediately, *including* the event
+            // that breached the threshold. The window clock keeps running —
+            // a spike is an early analysis, not a new window.
+            reports.extend(self.rotate_window());
+        }
         reports
     }
 
-    /// Analyzes and clears the current buffer.
+    /// Analyzes the buffer at a window boundary. A buffer below
+    /// `min_events` is kept and carries into the next window instead of
+    /// being discarded — a slow trickle must still accumulate evidence.
+    fn rotate_window(&mut self) -> Vec<AnomalyReport> {
+        if self.buffer.len() < self.config.min_events {
+            return Vec::new();
+        }
+        self.analyze()
+    }
+
+    /// Analyzes and clears the current buffer (terminal flush). A buffer
+    /// below `min_events` is discarded and counted in
+    /// [`RealtimeDetector::dropped_events`].
     pub fn flush(&mut self) -> Vec<AnomalyReport> {
         if self.buffer.len() < self.config.min_events {
+            self.dropped_events += self.buffer.len();
             self.buffer.clear();
             return Vec::new();
         }
+        self.analyze()
+    }
+
+    fn analyze(&mut self) -> Vec<AnomalyReport> {
         let stream: EventStream = std::mem::take(&mut self.buffer).into_iter().collect();
         let stemming = Stemming::with_config(self.config.stemming.clone());
         let result = stemming.decompose(&stream);
@@ -174,7 +217,11 @@ mod tests {
         let mut updates = Vec::new();
         for i in 0..60u8 {
             updates.push((
-                UpdateMessage::announce(peer, attrs.clone(), [Prefix::from_octets(10, i, 0, 0, 16)]),
+                UpdateMessage::announce(
+                    peer,
+                    attrs.clone(),
+                    [Prefix::from_octets(10, i, 0, 0, 16)],
+                ),
                 Timestamp::from_secs(base_secs),
             ));
         }
@@ -203,10 +250,7 @@ mod tests {
         reports.extend(det.finish());
         assert!(!reports.is_empty());
         let kinds: Vec<AnomalyKind> = reports.iter().map(|r| r.verdict.kind).collect();
-        assert!(
-            kinds.contains(&AnomalyKind::SessionReset),
-            "got {kinds:?}"
-        );
+        assert!(kinds.contains(&AnomalyKind::SessionReset), "got {kinds:?}");
     }
 
     #[test]
@@ -238,6 +282,83 @@ mod tests {
         handle.join().unwrap();
         let reports: Vec<AnomalyReport> = rx.iter().collect();
         assert!(!reports.is_empty());
+    }
+
+    fn withdraw_event(t_secs: u64, prefix_octet: u8) -> Event {
+        Event::withdraw(
+            Timestamp::from_secs(t_secs),
+            PeerId::from_octets(1, 1, 1, 1),
+            Prefix::from_octets(10, prefix_octet, 0, 0, 16),
+            PathAttributes::new(
+                RouterId::from_octets(2, 2, 2, 2),
+                "11423 209 701".parse().unwrap(),
+            ),
+        )
+    }
+
+    /// A window boundary must not discard a below-`min_events` buffer: a
+    /// slow trickle carries into the next window and is analyzed once
+    /// enough evidence accumulates.
+    #[test]
+    fn small_windows_carry_forward_instead_of_dropping() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 20,
+            min_component_events: 20,
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        let mut reports = Vec::new();
+        // 15 events in the first window, 15 more after the boundary: neither
+        // window alone reaches min_events, together they do.
+        for i in 0..15u8 {
+            reports.extend(det.ingest_event(withdraw_event(0, i)));
+        }
+        for i in 15..30u8 {
+            reports.extend(det.ingest_event(withdraw_event(400, i)));
+        }
+        assert_eq!(det.dropped_events(), 0);
+        reports.extend(det.finish());
+        assert!(
+            !reports.is_empty(),
+            "carried-forward events must be analyzed"
+        );
+    }
+
+    /// A terminal flush of a too-small buffer is the one place events are
+    /// discarded, and the drop is counted, not silent.
+    #[test]
+    fn terminal_flush_counts_dropped_events() {
+        let mut det = RealtimeDetector::new(PipelineConfig::default());
+        for i in 0..3u8 {
+            det.ingest_event(withdraw_event(0, i));
+        }
+        assert!(det.flush().is_empty());
+        assert_eq!(det.dropped_events(), 3);
+    }
+
+    /// The spike fast-path must include the event that breached the
+    /// threshold: the flush happens on the triggering ingest, and the
+    /// analyzed component contains all `spike_events` events.
+    #[test]
+    fn spike_flush_includes_triggering_event() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(24 * 3600),
+            min_events: 5,
+            min_component_events: 5,
+            spike_events: 10,
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        for i in 0..9u8 {
+            assert!(det.ingest_event(withdraw_event(u64::from(i), i)).is_empty());
+        }
+        let reports = det.ingest_event(withdraw_event(9, 9));
+        assert_eq!(reports.len(), 1, "flush must fire on the 10th event");
+        assert_eq!(
+            reports[0].event_count, 10,
+            "triggering event missing from window"
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl fmt::Display for AnomalyReport {
         }
         match self.igp_nearby {
             Some(0) => writeln!(f, "  igp: quiet around the incident")?,
-            Some(n) => writeln!(f, "  igp: {n} IGP events near the incident — check link metrics")?,
+            Some(n) => writeln!(
+                f,
+                "  igp: {n} IGP events near the incident — check link metrics"
+            )?,
             None => {}
         }
         Ok(())

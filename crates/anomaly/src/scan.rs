@@ -150,11 +150,7 @@ mod tests {
     fn deaggregation_burst_found() {
         let mut events = vec![announce(0, "100 200", "10.0.0.0/8")];
         for i in 0..20u64 {
-            events.push(announce(
-                10 + i,
-                "100 300",
-                &format!("10.{}.0.0/16", i),
-            ));
+            events.push(announce(10 + i, "100 300", &format!("10.{}.0.0/16", i)));
         }
         let stream: EventStream = events.into_iter().collect();
         let bursts = scan_deaggregation(&stream, 10);

@@ -13,9 +13,7 @@ fn update_feed(n: usize) -> Vec<(UpdateMessage, Timestamp)> {
         .iter()
         .map(|e| {
             let msg = match e.kind {
-                EventKind::Announce => {
-                    UpdateMessage::announce(e.peer, e.attrs.clone(), [e.prefix])
-                }
+                EventKind::Announce => UpdateMessage::announce(e.peer, e.attrs.clone(), [e.prefix]),
                 EventKind::Withdraw => UpdateMessage::withdraw(e.peer, [e.prefix]),
             };
             (msg, e.time)

@@ -1,0 +1,35 @@
+//! Parallel-scaling bench for the Stemming counting kernel: the same
+//! sub-sequence counting + winner fold at 1, 2, and 4 worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bgpscope::prelude::*;
+use bgpscope_bench::berkeley_stream;
+use bgpscope_stemming::{SequenceEncoder, SubsequenceCounter, SubsequenceStat};
+
+fn bench_counting_scaling(c: &mut Criterion) {
+    let stream = berkeley_stream(100_000, Timestamp::from_secs(900));
+    let mut encoder = SequenceEncoder::new();
+    let sequences: Vec<_> = stream.iter().map(|e| encoder.encode(e)).collect();
+
+    let rank = |a: &SubsequenceStat, b: &SubsequenceStat| {
+        a.count > b.count || (a.count == b.count && a.len() > b.len())
+    };
+
+    let mut group = c.benchmark_group("stemming_counting_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for threads in [1usize, 2, 4] {
+        let mut counter = SubsequenceCounter::with_parallelism(0, threads);
+        for seq in &sequences {
+            counter.add(seq);
+        }
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| counter.best_by(rank))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting_scaling);
+criterion_main!(benches);

@@ -11,11 +11,9 @@ fn bench_decompose(c: &mut Criterion) {
     for n in [1_000usize, 12_000, 57_000] {
         let stream = berkeley_stream(n, Timestamp::from_secs(600));
         group.throughput(Throughput::Elements(stream.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("berkeley", n),
-            &stream,
-            |b, stream| b.iter(|| Stemming::new().decompose(stream)),
-        );
+        group.bench_with_input(BenchmarkId::new("berkeley", n), &stream, |b, stream| {
+            b.iter(|| Stemming::new().decompose(stream))
+        });
     }
     for n in [21_000usize, 64_000] {
         let stream = isp_stream(n, Timestamp::from_secs(3_600));
@@ -38,9 +36,19 @@ fn bench_oscillation_stream(c: &mut Criterion) {
         let attrs = PathAttributes::new(RouterId::from_octets(10, 3, 4, 5), "2 9".parse().unwrap());
         for i in 0..n as u64 {
             let e = if i % 2 == 0 {
-                Event::announce(Timestamp::from_micros(i * 10), peer, "4.5.0.0/16".parse().unwrap(), attrs.clone())
+                Event::announce(
+                    Timestamp::from_micros(i * 10),
+                    peer,
+                    "4.5.0.0/16".parse().unwrap(),
+                    attrs.clone(),
+                )
             } else {
-                Event::withdraw(Timestamp::from_micros(i * 10), peer, "4.5.0.0/16".parse().unwrap(), attrs.clone())
+                Event::withdraw(
+                    Timestamp::from_micros(i * 10),
+                    peer,
+                    "4.5.0.0/16".parse().unwrap(),
+                    attrs.clone(),
+                )
             };
             stream.push(e);
         }
@@ -69,5 +77,10 @@ fn bench_weighted(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decompose, bench_oscillation_stream, bench_weighted);
+criterion_group!(
+    benches,
+    bench_decompose,
+    bench_oscillation_stream,
+    bench_weighted
+);
 criterion_main!(benches);

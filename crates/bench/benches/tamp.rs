@@ -80,5 +80,11 @@ fn bench_render(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_picture, bench_prune, bench_animation, bench_render);
+criterion_group!(
+    benches,
+    bench_picture,
+    bench_prune,
+    bench_animation,
+    bench_render
+);
 criterion_main!(benches);

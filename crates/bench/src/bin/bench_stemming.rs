@@ -1,0 +1,90 @@
+//! Emits `BENCH_stemming.json`: counting-kernel throughput (events/sec) on a
+//! 100k-event synthetic window, serial vs. sharded.
+//!
+//! The measured region is the decomposition hot path — one full sub-sequence
+//! counting pass plus the streaming winner fold (`best_by` on a cold cache) —
+//! at 1, 2, and 4 worker threads. Sharded counts are bit-identical to serial,
+//! so every row does the same logical work.
+
+use std::time::Instant;
+
+use bgpscope::prelude::*;
+use bgpscope_bench::berkeley_stream;
+use bgpscope_stemming::{SequenceEncoder, SubsequenceCounter, SubsequenceStat};
+
+const EVENTS: usize = 100_000;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn rank(a: &SubsequenceStat, b: &SubsequenceStat) -> bool {
+    a.count > b.count || (a.count == b.count && a.len() > b.len())
+}
+
+/// Mean seconds per counting pass: one warmup, then at least 3 passes and at
+/// least ~1.5s of samples.
+fn time_kernel(counter: &mut SubsequenceCounter) -> f64 {
+    let winner = counter.best_by(rank);
+    assert!(winner.is_some(), "synthetic window must have a winner");
+    let mut iters = 0u32;
+    let mut total = 0.0f64;
+    while iters < 3 || total < 1.5 {
+        let start = Instant::now();
+        std::hint::black_box(counter.best_by(rank));
+        total += start.elapsed().as_secs_f64();
+        iters += 1;
+        if iters >= 50 {
+            break;
+        }
+    }
+    total / f64::from(iters)
+}
+
+fn main() {
+    let stream = berkeley_stream(EVENTS, Timestamp::from_secs(900));
+    let mut encoder = SequenceEncoder::new();
+    let sequences: Vec<_> = stream.iter().map(|e| encoder.encode(e)).collect();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    let mut secs_by_threads = Vec::new();
+    for threads in THREAD_COUNTS {
+        let mut counter = SubsequenceCounter::with_parallelism(0, threads);
+        for seq in &sequences {
+            counter.add(seq);
+        }
+        let secs = time_kernel(&mut counter);
+        let events_per_sec = stream.len() as f64 / secs;
+        eprintln!(
+            "threads={threads}: {:.1} ms/pass, {:.0} events/sec",
+            secs * 1e3,
+            events_per_sec
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"secs_per_pass\": {secs:.6}, \"events_per_sec\": {events_per_sec:.0}}}"
+        ));
+        secs_by_threads.push((threads, secs));
+    }
+
+    let serial = secs_by_threads[0].1;
+    let at4 = secs_by_threads
+        .iter()
+        .find(|(t, _)| *t == 4)
+        .expect("4-thread row")
+        .1;
+    let json = format!(
+        "{{\n  \"benchmark\": \"stemming_counting_kernel\",\n  \"events\": {},\n  \"distinct_sequences\": {},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_threads\": {:.3}\n}}\n",
+        stream.len(),
+        {
+            let mut c = SubsequenceCounter::new(0);
+            for seq in &sequences {
+                c.add(seq);
+            }
+            c.distinct_sequences()
+        },
+        rows.join(",\n"),
+        serial / at4
+    );
+    std::fs::write("BENCH_stemming.json", &json).expect("write BENCH_stemming.json");
+    println!("{json}");
+}

@@ -88,14 +88,36 @@ fn fig2(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
             .map(|e| 100.0 * g.edge_weight(e) as f64 / total)
             .unwrap_or(0.0)
     };
-    println!("  {} routes, {} prefixes", routes.len(), g.total_prefix_count());
-    println!("  CalREN -> QWest: {:.0}% of prefixes (paper: 80%)", share("11423", "209"));
-    println!("  CalREN -> Abilene: {:.0}% (paper: 6%)", share("11423", "11537"));
-    println!("  128.32.0.66 carries {:.0}% (paper: 78%)", share("128.32.0.66", "11423"));
-    println!("  128.32.0.70 carries {:.0}% (paper: 5%)", share("128.32.0.70", "11423"));
+    println!(
+        "  {} routes, {} prefixes",
+        routes.len(),
+        g.total_prefix_count()
+    );
+    println!(
+        "  CalREN -> QWest: {:.0}% of prefixes (paper: 80%)",
+        share("11423", "209")
+    );
+    println!(
+        "  CalREN -> Abilene: {:.0}% (paper: 6%)",
+        share("11423", "11537")
+    );
+    println!(
+        "  128.32.0.66 carries {:.0}% (paper: 78%)",
+        share("128.32.0.66", "11423")
+    );
+    println!(
+        "  128.32.0.70 carries {:.0}% (paper: 5%)",
+        share("128.32.0.70", "11423")
+    );
     let pruned = prune_flat(&g, 0.05);
-    fs::write(out.join("fig2.svg"), render_svg(&pruned, &RenderConfig::default()))?;
-    fs::write(out.join("fig2.dot"), render_dot(&pruned, &RenderConfig::default()))?;
+    fs::write(
+        out.join("fig2.svg"),
+        render_svg(&pruned, &RenderConfig::default()),
+    )?;
+    fs::write(
+        out.join("fig2.dot"),
+        render_dot(&pruned, &RenderConfig::default()),
+    )?;
     println!("  wrote fig2.svg / fig2.dot\n");
     Ok(())
 }
@@ -179,9 +201,14 @@ fn fig5(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  under flat 5% pruning it disappears: {}",
-        prune_flat(&g, 0.05).find_edge_by_labels("169.229.0.157", "7018").is_none()
+        prune_flat(&g, 0.05)
+            .find_edge_by_labels("169.229.0.157", "7018")
+            .is_none()
     );
-    fs::write(out.join("fig5.svg"), render_svg(&hier, &RenderConfig::default()))?;
+    fs::write(
+        out.join("fig5.svg"),
+        render_svg(&hier, &RenderConfig::default()),
+    )?;
     println!("  wrote fig5.svg\n");
     Ok(())
 }
@@ -204,8 +231,14 @@ fn fig6(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("  {} tagged prefixes", g.total_prefix_count());
     println!("  {:.0}% from Los Nettos (paper: 32%)", share("226"));
-    println!("  {:.0}% from KDDI — the mis-tag (paper: 68%)", share("2516"));
-    fs::write(out.join("fig6.svg"), render_svg(&g, &RenderConfig::default()))?;
+    println!(
+        "  {:.0}% from KDDI — the mis-tag (paper: 68%)",
+        share("2516")
+    );
+    fs::write(
+        out.join("fig6.svg"),
+        render_svg(&g, &RenderConfig::default()),
+    )?;
     println!("  wrote fig6.svg\n");
     Ok(())
 }
@@ -234,7 +267,10 @@ fn fig7(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
     animator.seed_all(site.routes().iter().map(RouteInput::from_route));
     let animation = animator.animate(&sub);
     fs::write(out.join("fig7a_before.svg"), animation.render_frame_svg(0))?;
-    fs::write(out.join("fig7b_during.svg"), animation.render_frame_svg(374))?;
+    fs::write(
+        out.join("fig7b_during.svg"),
+        animation.render_frame_svg(374),
+    )?;
     println!("  wrote fig7a_before.svg / fig7b_during.svg\n");
     Ok(())
 }
@@ -257,7 +293,11 @@ fn fig8(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
     }
     fs::write(
         out.join("fig8.svg"),
-        series.render_svg(900.0, 220.0, "BGP event rate at ISP-Anon (simulated, 90 days)"),
+        series.render_svg(
+            900.0,
+            220.0,
+            "BGP event rate at ISP-Anon (simulated, 90 days)",
+        ),
     )?;
     println!("  wrote fig8.svg\n");
     Ok(())
@@ -287,7 +327,10 @@ fn fig9(out: &Path) -> Result<(), Box<dyn std::error::Error>> {
     );
     let animation = Animator::new("ISP-Anon").animate(&incident.stream);
     fs::write(out.join("fig9a_direct.svg"), animation.render_frame_svg(10))?;
-    fs::write(out.join("fig9b_failover.svg"), animation.render_frame_svg(400))?;
+    fs::write(
+        out.join("fig9b_failover.svg"),
+        animation.render_frame_svg(400),
+    )?;
     println!("  wrote fig9a_direct.svg / fig9b_failover.svg\n");
     Ok(())
 }

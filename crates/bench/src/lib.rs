@@ -46,12 +46,20 @@ fn reset_spike(n: usize, seed: u64) -> EventStream {
             0,
             24,
         );
-        let attrs = PathAttributes::new(
-            hop,
-            AsPath::from_u32s([11_423, 209, 701 + (i % 13) as u32]),
-        );
-        stream.push(Event::withdraw(Timestamp::from_secs(1), peer, prefix, attrs.clone()));
-        stream.push(Event::announce(Timestamp::from_secs(40), peer, prefix, attrs));
+        let attrs =
+            PathAttributes::new(hop, AsPath::from_u32s([11_423, 209, 701 + (i % 13) as u32]));
+        stream.push(Event::withdraw(
+            Timestamp::from_secs(1),
+            peer,
+            prefix,
+            attrs.clone(),
+        ));
+        stream.push(Event::announce(
+            Timestamp::from_secs(40),
+            peer,
+            prefix,
+            attrs,
+        ));
     }
     stream.sort_by_time();
     stream

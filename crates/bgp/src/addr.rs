@@ -270,7 +270,13 @@ mod tests {
 
     #[test]
     fn prefix_parse_roundtrip() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.96.10.0/24", "4.5.0.0/16", "1.2.3.4/32"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "192.96.10.0/24",
+            "4.5.0.0/16",
+            "1.2.3.4/32",
+        ] {
             let p: Prefix = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }

@@ -13,7 +13,9 @@ use crate::addr::RouterId;
 use crate::aspath::AsPath;
 
 /// The ORIGIN attribute: how the route entered BGP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub enum Origin {
     /// Learned from an IGP (`i`). Most preferred by the decision process.
     #[default]
@@ -54,7 +56,9 @@ impl fmt::Display for Origin {
 /// same neighbor AS, the route ordering they induce is not total — the root
 /// cause of the RFC 3345 persistent oscillation reproduced in the paper's
 /// §IV-F case study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Med(pub u32);
 
 impl fmt::Display for Med {

@@ -105,14 +105,11 @@ impl FlapDamper {
     /// Records one flap of `(peer, prefix)` at `now`; returns the new
     /// penalty.
     pub fn record_flap(&mut self, peer: PeerId, prefix: Prefix, now: Timestamp) -> f64 {
-        let state = self
-            .routes
-            .entry((peer, prefix))
-            .or_insert(RouteState {
-                penalty: 0.0,
-                last_update: now,
-                suppressed: false,
-            });
+        let state = self.routes.entry((peer, prefix)).or_insert(RouteState {
+            penalty: 0.0,
+            last_update: now,
+            suppressed: false,
+        });
         let decayed = {
             let dt = now.saturating_since(state.last_update).as_secs_f64();
             let half_life = self.config.half_life.as_secs_f64().max(1e-9);

@@ -280,7 +280,9 @@ mod tests {
     }
 
     fn select<'r>(cfg: &DecisionConfig, routes: &'r [Route]) -> (&'r Route, BestPathReason) {
-        DecisionProcess::new(cfg).select_with_reason(routes).unwrap()
+        DecisionProcess::new(cfg)
+            .select_with_reason(routes)
+            .unwrap()
     }
 
     #[test]

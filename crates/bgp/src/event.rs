@@ -24,7 +24,9 @@ use crate::message::PeerId;
 /// let t = Timestamp::from_secs(61) + Timestamp::from_micros(500_000);
 /// assert_eq!(t.as_secs_f64(), 61.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

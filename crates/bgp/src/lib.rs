@@ -25,8 +25,8 @@
 
 pub mod addr;
 pub mod aspath;
-pub mod damping;
 pub mod attrs;
+pub mod damping;
 pub mod decision;
 pub mod event;
 pub mod intern;

@@ -219,7 +219,10 @@ impl LocRib {
 
     /// All candidate routes for `prefix`.
     pub fn candidates(&self, prefix: &Prefix) -> &[Route] {
-        self.candidates.get(prefix).map(Vec::as_slice).unwrap_or(&[])
+        self.candidates
+            .get(prefix)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The best route for `prefix` under the configured decision process.
@@ -276,9 +279,15 @@ mod tests {
         let p = prefix("192.0.2.0/24");
         assert_eq!(rib.announce(p, attrs(1, "65000 65001")), RibChange::Added);
         let change = rib.announce(p, attrs(2, "65000 65002"));
-        assert_eq!(change.old_attrs().unwrap().as_path.to_string(), "65000 65001");
+        assert_eq!(
+            change.old_attrs().unwrap().as_path.to_string(),
+            "65000 65001"
+        );
         let change = rib.withdraw(p);
-        assert_eq!(change.old_attrs().unwrap().as_path.to_string(), "65000 65002");
+        assert_eq!(
+            change.old_attrs().unwrap().as_path.to_string(),
+            "65000 65002"
+        );
         assert_eq!(rib.withdraw(p), RibChange::NoOp);
         assert!(rib.is_empty());
     }

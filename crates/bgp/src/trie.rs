@@ -300,7 +300,10 @@ mod tests {
         t.insert(p("10.0.0.0/8"), 1);
         t.insert(p("10.1.0.0/16"), 2);
         let got: Vec<Prefix> = t.iter().map(|(p, _)| p).collect();
-        assert_eq!(got, vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.0.2.0/24")]);
+        assert_eq!(
+            got,
+            vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.0.2.0/24")]
+        );
         assert_eq!(t.iter().count(), t.len());
     }
 

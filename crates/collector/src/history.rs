@@ -59,8 +59,16 @@ impl RouteHistory {
     pub fn build(stream: &EventStream) -> Self {
         let mut history = RouteHistory {
             timelines: HashMap::new(),
-            start: stream.events().first().map(|e| e.time).unwrap_or(Timestamp::ZERO),
-            end: stream.events().last().map(|e| e.time).unwrap_or(Timestamp::ZERO),
+            start: stream
+                .events()
+                .first()
+                .map(|e| e.time)
+                .unwrap_or(Timestamp::ZERO),
+            end: stream
+                .events()
+                .last()
+                .map(|e| e.time)
+                .unwrap_or(Timestamp::ZERO),
             events: 0, // counted by push below
         };
         for event in stream {
@@ -180,32 +188,71 @@ mod tests {
 
     fn stream() -> EventStream {
         let mut s = EventStream::new();
-        s.push(Event::announce(Timestamp::from_secs(10), peer(1), p("10.0.0.0/8"), attrs("701")));
-        s.push(Event::announce(Timestamp::from_secs(20), peer(1), p("20.0.0.0/8"), attrs("3356")));
-        s.push(Event::announce(Timestamp::from_secs(30), peer(1), p("10.0.0.0/8"), attrs("701 9")));
-        s.push(Event::withdraw(Timestamp::from_secs(40), peer(1), p("10.0.0.0/8"), attrs("701 9")));
-        s.push(Event::announce(Timestamp::from_secs(50), peer(2), p("10.0.0.0/8"), attrs("174")));
+        s.push(Event::announce(
+            Timestamp::from_secs(10),
+            peer(1),
+            p("10.0.0.0/8"),
+            attrs("701"),
+        ));
+        s.push(Event::announce(
+            Timestamp::from_secs(20),
+            peer(1),
+            p("20.0.0.0/8"),
+            attrs("3356"),
+        ));
+        s.push(Event::announce(
+            Timestamp::from_secs(30),
+            peer(1),
+            p("10.0.0.0/8"),
+            attrs("701 9"),
+        ));
+        s.push(Event::withdraw(
+            Timestamp::from_secs(40),
+            peer(1),
+            p("10.0.0.0/8"),
+            attrs("701 9"),
+        ));
+        s.push(Event::announce(
+            Timestamp::from_secs(50),
+            peer(2),
+            p("10.0.0.0/8"),
+            attrs("174"),
+        ));
         s
     }
 
     #[test]
     fn point_in_time_route_queries() {
         let h = RouteHistory::build(&stream());
-        assert!(h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(9)).is_none());
+        assert!(h
+            .route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(9))
+            .is_none());
         assert_eq!(
-            h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(15)).unwrap().as_path.to_string(),
+            h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(15))
+                .unwrap()
+                .as_path
+                .to_string(),
             "701"
         );
         // Implicit replacement at t=30.
         assert_eq!(
-            h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(35)).unwrap().as_path.to_string(),
+            h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(35))
+                .unwrap()
+                .as_path
+                .to_string(),
             "701 9"
         );
         // Withdrawn at t=40.
-        assert!(h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(45)).is_none());
+        assert!(h
+            .route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(45))
+            .is_none());
         // Boundary: inclusive of the event instant.
-        assert!(h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(40)).is_none());
-        assert!(h.route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(10)).is_some());
+        assert!(h
+            .route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(40))
+            .is_none());
+        assert!(h
+            .route_at(peer(1), p("10.0.0.0/8"), Timestamp::from_secs(10))
+            .is_some());
     }
 
     #[test]
@@ -218,7 +265,9 @@ mod tests {
         assert_eq!(h.rib_at(Timestamp::from_secs(45)).len(), 1);
         let final_rib = h.rib_at(Timestamp::from_secs(100));
         assert_eq!(final_rib.len(), 2);
-        assert!(final_rib.windows(2).all(|w| (w[0].peer, w[0].prefix) <= (w[1].peer, w[1].prefix)));
+        assert!(final_rib
+            .windows(2)
+            .all(|w| (w[0].peer, w[0].prefix) <= (w[1].peer, w[1].prefix)));
     }
 
     #[test]

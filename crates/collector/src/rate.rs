@@ -172,7 +172,10 @@ impl EventRateMeter {
     ///
     /// Panics if the bucket width is zero.
     pub fn series(&self, stream: &EventStream) -> RateSeries {
-        assert!(self.bucket_width.as_micros() > 0, "bucket width must be positive");
+        assert!(
+            self.bucket_width.as_micros() > 0,
+            "bucket width must be positive"
+        );
         let Some(first) = stream.events().first() else {
             return RateSeries {
                 start: Timestamp::ZERO,

@@ -216,7 +216,9 @@ mod tests {
 
         let storm = rex.session_lost(peer(3), Timestamp::from_secs(5));
         assert_eq!(storm.len(), 100);
-        assert!(storm.iter().all(|e| e.kind == bgpscope_bgp::EventKind::Withdraw));
+        assert!(storm
+            .iter()
+            .all(|e| e.kind == bgpscope_bgp::EventKind::Withdraw));
         assert_eq!(rex.route_count(), 0);
 
         let re = rex.session_established(peer(3), &table, Timestamp::from_secs(65));
@@ -259,7 +261,9 @@ mod tests {
         );
         let snap = rex.snapshot(Timestamp::from_secs(9));
         assert_eq!(snap.len(), 3);
-        assert!(snap.windows(2).all(|w| (w[0].peer, w[0].prefix) <= (w[1].peer, w[1].prefix)));
+        assert!(snap
+            .windows(2)
+            .all(|w| (w[0].peer, w[0].prefix) <= (w[1].peer, w[1].prefix)));
         assert!(snap.iter().all(|r| r.time == Timestamp::from_secs(9)));
     }
 

@@ -30,10 +30,7 @@ fn main() -> ExitCode {
         }),
         Some("animate") => with_stream(&args, 3, |stream, rest| cmd_animate(stream, &rest[0])),
         Some("rate") => with_stream(&args, 2, |stream, rest| {
-            let bucket = rest
-                .first()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(60u64);
+            let bucket = rest.first().and_then(|s| s.parse().ok()).unwrap_or(60u64);
             cmd_rate(stream, bucket)
         }),
         Some("convert") => {
@@ -151,7 +148,11 @@ fn cmd_detect(stream: EventStream, json: bool) -> CliResult {
             .iter()
             .map(|(a, t)| format!("{a} (first seen {t})"))
             .collect();
-        println!("MOAS conflict on {}: {}", conflict.prefix, origins.join(", "));
+        println!(
+            "MOAS conflict on {}: {}",
+            conflict.prefix,
+            origins.join(", ")
+        );
     }
     for burst in scan_deaggregation(&stream, 10) {
         println!(
@@ -192,7 +193,10 @@ fn cmd_animate(stream: EventStream, out_dir: &str) -> CliResult {
         ("frame_500.svg", 499),
         ("frame_749.svg", 749),
     ] {
-        fs::write(Path::new(out_dir).join(name), animation.render_frame_svg(idx))?;
+        fs::write(
+            Path::new(out_dir).join(name),
+            animation.render_frame_svg(idx),
+        )?;
     }
     fs::write(
         Path::new(out_dir).join("animation.svg"),

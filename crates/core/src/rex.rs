@@ -169,7 +169,11 @@ mod tests {
         let mut feed = Vec::new();
         for i in 0..30u8 {
             feed.push((
-                UpdateMessage::announce(peer, attrs.clone(), [Prefix::from_octets(10, i, 0, 0, 16)]),
+                UpdateMessage::announce(
+                    peer,
+                    attrs.clone(),
+                    [Prefix::from_octets(10, i, 0, 0, 16)],
+                ),
                 Timestamp::from_secs(i as u64),
             ));
         }
@@ -208,7 +212,8 @@ mod tests {
     fn window_decomposition() {
         let mut rex = Rex::new("t");
         rex.ingest_feed(&feed());
-        let (window, result) = rex.decompose_window(Timestamp::from_secs(90), Timestamp::from_secs(200));
+        let (window, result) =
+            rex.decompose_window(Timestamp::from_secs(90), Timestamp::from_secs(200));
         assert_eq!(window.len(), 30); // only the withdrawal burst
         assert_eq!(result.components().len(), 1);
     }

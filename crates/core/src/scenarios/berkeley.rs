@@ -219,7 +219,7 @@ impl Berkeley {
         for _ in 0..n_abilene {
             let prefix = self.prefix(idx);
             idx += 1;
-            let tail = 10_000 + rng.gen_range(0..2_000);
+            let tail = 10_000 + rng.gen_range(0u32..2_000);
             let path = AsPath::from_u32s([AS_CALREN.0, AS_ABILENE.0, tail]);
             let attrs = PathAttributes::new(RouterId::from_octets(128, 32, 0, 92), path)
                 .with_community(i2_community())
@@ -236,7 +236,7 @@ impl Berkeley {
         for _ in 0..n_members {
             let prefix = self.prefix(idx);
             idx += 1;
-            let member = 5_000 + rng.gen_range(0..800);
+            let member = 5_000 + rng.gen_range(0u32..800);
             let path = AsPath::from_u32s([AS_CALREN.0, AS_CENIC.0, member]);
             let minor_hop = RouterId::from_octets(128, 32, 0, 93 + rng.gen_range(0..8) as u8);
             let attrs = PathAttributes::new(minor_hop, path)
@@ -261,7 +261,7 @@ impl Berkeley {
                     AS_CALREN.0,
                     AS_CENIC.0,
                     AS_KDDI.0,
-                    7660 + rng.gen_range(0..40),
+                    7660 + rng.gen_range(0u32..40),
                 ])
             };
             let attrs = PathAttributes::new(hop90(), path)
@@ -406,7 +406,9 @@ route-map FROM-HPR permit 10
             )
             .config(
                 p200,
-                self.edge_configs().remove(&peer200()).expect("config exists"),
+                self.edge_configs()
+                    .remove(&peer200())
+                    .expect("config exists"),
             )
             .build();
 
@@ -493,8 +495,7 @@ mod tests {
     fn scale_counts_match_paper() {
         let b = Berkeley::new();
         let routes = b.routes();
-        let prefixes: std::collections::HashSet<Prefix> =
-            routes.iter().map(|r| r.prefix).collect();
+        let prefixes: std::collections::HashSet<Prefix> = routes.iter().map(|r| r.prefix).collect();
         assert!(
             (12_000..13_200).contains(&prefixes.len()),
             "prefixes: {}",
@@ -526,14 +527,18 @@ mod tests {
         let total = g.total_prefix_count() as f64;
 
         // 100% through CalREN.
-        let calren_edge = g.find_edge_by_labels("11423", "209").expect("CalREN-QWest edge");
+        let calren_edge = g
+            .find_edge_by_labels("11423", "209")
+            .expect("CalREN-QWest edge");
         let qwest_share = g.edge_weight(calren_edge) as f64 / total;
         assert!(
             (0.75..0.92).contains(&qwest_share),
             "QWest share {qwest_share}"
         );
         // ~6% Abilene.
-        let abilene = g.find_edge_by_labels("11423", "11537").expect("Abilene edge");
+        let abilene = g
+            .find_edge_by_labels("11423", "11537")
+            .expect("Abilene edge");
         let ab_share = g.edge_weight(abilene) as f64 / total;
         assert!((0.03..0.10).contains(&ab_share), "Abilene share {ab_share}");
 
@@ -580,13 +585,18 @@ mod tests {
             .count();
         assert_eq!(los + kddi, tagged.len());
         let los_share = los as f64 / tagged.len() as f64;
-        assert!((0.28..0.36).contains(&los_share), "Los Nettos share {los_share}");
+        assert!(
+            (0.28..0.36).contains(&los_share),
+            "Los Nettos share {los_share}"
+        );
     }
 
     #[test]
     fn figure4_parses_to_ten_withdrawals() {
         let s = Berkeley::figure4_events();
         assert_eq!(s.len(), 10);
-        assert!(s.iter().all(|e| e.kind == bgpscope_bgp::EventKind::Withdraw));
+        assert!(s
+            .iter()
+            .all(|e| e.kind == bgpscope_bgp::EventKind::Withdraw));
     }
 }

@@ -118,14 +118,15 @@ impl IspAnon {
         (0..total).flat_map(move |i| {
             let prefix = self.prefix(i);
             // Pick how many reflectors advertise this prefix (mean ~7.5).
-            let copies = 1 + rng.gen_range(0..(routes_per_prefix * 2.0 - 1.0) as usize + 1)
+            let copies = 1 + rng
+                .gen_range(0..(routes_per_prefix * 2.0 - 1.0) as usize + 1)
                 .min(reflectors);
             // A prefix usually enters via a small number of border nexthops.
             let hop_a = rng.gen_range(0..nexthops) as u32;
             let hop_b = rng.gen_range(0..nexthops) as u32;
             let neighbor = 100 + rng.gen_range(0..neighbors) as u32;
-            let origin = 30_000 + rng.gen_range(0..20_000);
-            let mid = 1_000 + rng.gen_range(0..5_000);
+            let origin = 30_000 + rng.gen_range(0u32..20_000);
+            let mid = 1_000 + rng.gen_range(0u32..5_000);
             let long = rng.gen_bool(0.4);
             let mut out = Vec::with_capacity(copies);
             for c in 0..copies {
@@ -195,7 +196,11 @@ impl IspAnon {
         // The customer's prefixes (a handful, as usual for a customer).
         let n_prefixes = ((4.0 * self.scale.max(0.25)) as usize).clamp(2, 16);
         for i in 0..n_prefixes {
-            sim.originate(cust, Prefix::from_octets(6, i as u8, 0, 0, 16), Timestamp::ZERO);
+            sim.originate(
+                cust,
+                Prefix::from_octets(6, i as u8, 0, 0, 16),
+                Timestamp::ZERO,
+            );
         }
         sim.run_until(Timestamp::from_secs(30));
 
@@ -337,12 +342,12 @@ impl IspAnon {
         let prefixes = (n / per_prefix).max(1);
         let mut rex = bgpscope_collector::Collector::new();
         let mut stream = EventStream::new();
-        let neighbor = 100 + rng.gen_range(0..800);
+        let neighbor = 100 + rng.gen_range(0u32..800);
         for i in 0..prefixes {
             let prefix = self.prefix(i + 50_000 + salt as usize * 101);
             let attrs = PathAttributes::new(
                 hop,
-                AsPath::from_u32s([neighbor, 30_000 + rng.gen_range(0..10_000)]),
+                AsPath::from_u32s([neighbor, 30_000 + rng.gen_range(0u32..10_000)]),
             );
             let up = bgpscope_bgp::UpdateMessage::announce(peer, attrs, [prefix]);
             stream.extend(rex.apply_update(&up, Timestamp::ZERO));
@@ -371,8 +376,7 @@ mod tests {
     fn route_counts_scale() {
         let isp = IspAnon::with_scale(0.01);
         let routes: Vec<Route> = isp.routes_iter().collect();
-        let prefixes: std::collections::HashSet<Prefix> =
-            routes.iter().map(|r| r.prefix).collect();
+        let prefixes: std::collections::HashSet<Prefix> = routes.iter().map(|r| r.prefix).collect();
         assert_eq!(prefixes.len(), isp.total_prefixes());
         let ratio = routes.len() as f64 / prefixes.len() as f64;
         assert!((4.0..11.0).contains(&ratio), "routes/prefix {ratio}");
@@ -431,10 +435,7 @@ mod tests {
         let stream = isp.long_run_stream(30, 20_000);
         assert!(stream.len() >= 15_000, "events: {}", stream.len());
         // Time-sorted, spanning most of the month.
-        assert!(stream
-            .events()
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(stream.events().windows(2).all(|w| w[0].time <= w[1].time));
         assert!(stream.timerange() >= Timestamp::from_secs(20 * 86_400));
     }
 }

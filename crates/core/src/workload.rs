@@ -55,7 +55,9 @@ impl ChurnGenerator {
     /// a few peers/nexthops, and a mix of 2–5-hop paths.
     pub fn generic(seed: u64, n_prefixes: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let peers = (1..=4u8).map(|i| PeerId::from_octets(10, 0, 0, i)).collect();
+        let peers = (1..=4u8)
+            .map(|i| PeerId::from_octets(10, 0, 0, i))
+            .collect();
         let nexthops = (1..=6u8)
             .map(|i| RouterId::from_octets(10, 1, 0, i))
             .collect();
@@ -63,7 +65,7 @@ impl ChurnGenerator {
         for _ in 0..32 {
             let len = rng.gen_range(2..=5);
             paths.push(AsPath::from_u32s(
-                (0..len).map(|_| rng.gen_range(100..30_000)),
+                (0..len).map(|_| rng.gen_range(100u32..30_000)),
             ));
         }
         let prefixes = (0..n_prefixes)
@@ -149,19 +151,19 @@ mod tests {
         let g = ChurnGenerator::generic(1, 100);
         let s = g.events(Timestamp::from_secs(50), Timestamp::from_secs(3600), 1000);
         assert_eq!(s.len(), 1000);
-        assert!(s
-            .events()
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(s.events().windows(2).all(|w| w[0].time <= w[1].time));
         assert!(s.events().first().unwrap().time >= Timestamp::from_secs(50));
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = ChurnGenerator::generic(7, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
-        let b = ChurnGenerator::generic(7, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
+        let a =
+            ChurnGenerator::generic(7, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
+        let b =
+            ChurnGenerator::generic(7, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
         assert_eq!(a, b);
-        let c = ChurnGenerator::generic(8, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
+        let c =
+            ChurnGenerator::generic(8, 50).events(Timestamp::ZERO, Timestamp::from_secs(60), 200);
         assert_ne!(a, c);
     }
 

@@ -45,7 +45,14 @@ impl fmt::Display for IgpEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
             IgpEventKind::LsaUpdate(lsa) => {
-                write!(f, "{} LSA {} seq={} links={}", self.time, lsa.origin, lsa.seq, lsa.links.len())
+                write!(
+                    f,
+                    "{} LSA {} seq={} links={}",
+                    self.time,
+                    lsa.origin,
+                    lsa.seq,
+                    lsa.links.len()
+                )
             }
             IgpEventKind::RouterDown(r) => write!(f, "{} DOWN {r}", self.time),
             IgpEventKind::MetricChange { from, to, old, new } => {
@@ -132,9 +139,17 @@ mod tests {
     #[test]
     fn window_and_around() {
         let log: IgpEventLog = (0..10).map(ev).collect();
-        assert_eq!(log.window(Timestamp::from_secs(2), Timestamp::from_secs(5)).len(), 3);
+        assert_eq!(
+            log.window(Timestamp::from_secs(2), Timestamp::from_secs(5))
+                .len(),
+            3
+        );
         // around(4, ±2) = [2, 6) -> 2,3,4,5
-        assert_eq!(log.around(Timestamp::from_secs(4), Timestamp::from_secs(2)).len(), 4);
+        assert_eq!(
+            log.around(Timestamp::from_secs(4), Timestamp::from_secs(2))
+                .len(),
+            4
+        );
     }
 
     #[test]

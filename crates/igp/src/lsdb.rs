@@ -10,7 +10,9 @@ use bgpscope_bgp::RouterId;
 use crate::spf::SpfResult;
 
 /// An OSPF-style area identifier (area 0 is the backbone).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct AreaId(pub u32);
 
 impl fmt::Display for AreaId {
@@ -168,7 +170,11 @@ mod tests {
     #[test]
     fn two_way_check_drops_half_links() {
         let mut db = LinkStateDb::new(AreaId(0));
-        db.install(Lsa::new(r(1), 1, vec![Link::new(r(2), 3), Link::new(r(3), 4)]));
+        db.install(Lsa::new(
+            r(1),
+            1,
+            vec![Link::new(r(2), 3), Link::new(r(3), 4)],
+        ));
         db.install(Lsa::new(r(2), 1, vec![Link::new(r(1), 3)]));
         // r3 does not advertise back; the r1->r3 link must be ignored.
         let n = db.neighbors(r(1));

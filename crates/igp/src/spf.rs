@@ -74,7 +74,11 @@ pub(crate) fn run(db: &LinkStateDb, root: RouterId) -> SpfResult {
                 continue;
             }
             let next_hop = hop.or(Some(link.to));
-            heap.push(Reverse((cost.saturating_add(link.metric), link.to, next_hop)));
+            heap.push(Reverse((
+                cost.saturating_add(link.metric),
+                link.to,
+                next_hop,
+            )));
         }
     }
     result
@@ -127,8 +131,16 @@ mod tests {
     fn metric_change_flips_path() {
         let mut db = topo(&[(1, 2, 5), (2, 4, 5), (1, 3, 2), (3, 4, 3)]);
         // Raise metric on 3-4 (new LSAs with higher seq).
-        db.install(Lsa::new(r(3), 2, vec![Link::new(r(1), 2), Link::new(r(4), 100)]));
-        db.install(Lsa::new(r(4), 2, vec![Link::new(r(2), 5), Link::new(r(3), 100)]));
+        db.install(Lsa::new(
+            r(3),
+            2,
+            vec![Link::new(r(1), 2), Link::new(r(4), 100)],
+        ));
+        db.install(Lsa::new(
+            r(4),
+            2,
+            vec![Link::new(r(2), 5), Link::new(r(3), 100)],
+        ));
         let spf = db.spf(r(1));
         assert_eq!(spf.cost(r(4)), Some(10));
         assert_eq!(spf.first_hop(r(4)), Some(r(2)));

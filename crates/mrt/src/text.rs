@@ -10,9 +10,7 @@
 
 use std::fmt;
 
-use bgpscope_bgp::{
-    Event, EventKind, EventStream, PathAttributes, PeerId, Timestamp,
-};
+use bgpscope_bgp::{Event, EventKind, EventStream, PathAttributes, PeerId, Timestamp};
 
 /// Error from parsing one text line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,7 +30,11 @@ impl ParseLineError {
 
 impl fmt::Display for ParseLineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot parse event line {:?}: {}", self.line, self.reason)
+        write!(
+            f,
+            "cannot parse event line {:?}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -254,12 +256,10 @@ W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 701 1299 5713 PREFIX: 192
 
     #[test]
     fn roundtrip_with_all_fields() {
-        let mut attrs = PathAttributes::new(
-            RouterId::from_octets(10, 3, 4, 5),
-            "2 9".parse().unwrap(),
-        )
-        .with_med(7)
-        .with_local_pref(80);
+        let mut attrs =
+            PathAttributes::new(RouterId::from_octets(10, 3, 4, 5), "2 9".parse().unwrap())
+                .with_med(7)
+                .with_local_pref(80);
         attrs.add_community("11423:65350".parse().unwrap());
         let event = Event::announce(
             Timestamp::from_micros(123_456),

@@ -176,7 +176,14 @@ impl Sim {
             .get(&router)
             .map(|r| r.local_attrs(prefix))
             .unwrap_or_else(|| PathAttributes::new(router, bgpscope_bgp::AsPath::empty()));
-        self.push(at, Action::Originate { router, prefix, attrs: Some(attrs) });
+        self.push(
+            at,
+            Action::Originate {
+                router,
+                prefix,
+                attrs: Some(attrs),
+            },
+        );
     }
 
     /// Schedules a route origination with explicit attributes (used by
@@ -188,12 +195,26 @@ impl Sim {
         attrs: PathAttributes,
         at: Timestamp,
     ) {
-        self.push(at, Action::Originate { router, prefix, attrs: Some(attrs) });
+        self.push(
+            at,
+            Action::Originate {
+                router,
+                prefix,
+                attrs: Some(attrs),
+            },
+        );
     }
 
     /// Schedules a local withdrawal.
     pub fn withdraw(&mut self, router: RouterId, prefix: Prefix, at: Timestamp) {
-        self.push(at, Action::Originate { router, prefix, attrs: None });
+        self.push(
+            at,
+            Action::Originate {
+                router,
+                prefix,
+                attrs: None,
+            },
+        );
     }
 
     /// Schedules a session teardown.
@@ -214,7 +235,14 @@ impl Sim {
         cost: u32,
         at: Timestamp,
     ) {
-        self.push(at, Action::IgpMetricChange { router, nexthop, cost });
+        self.push(
+            at,
+            Action::IgpMetricChange {
+                router,
+                nexthop,
+                cost,
+            },
+        );
     }
 
     fn schedule_outbound(&mut self, from: RouterId, out: Vec<(Option<RouterId>, UpdateMessage)>) {
@@ -336,7 +364,11 @@ impl Sim {
                     self.schedule_outbound(x, out);
                 }
             }
-            Action::Originate { router, prefix, attrs } => {
+            Action::Originate {
+                router,
+                prefix,
+                attrs,
+            } => {
                 let now = self.now;
                 let out = self
                     .routers
@@ -345,7 +377,11 @@ impl Sim {
                     .unwrap_or_default();
                 self.schedule_outbound(router, out);
             }
-            Action::IgpMetricChange { router, nexthop, cost } => {
+            Action::IgpMetricChange {
+                router,
+                nexthop,
+                cost,
+            } => {
                 self.igp_log.push(IgpEvent {
                     time: self.now,
                     kind: IgpEventKind::MetricChange {
@@ -366,8 +402,7 @@ impl Sim {
                 let now = self.now;
                 if let Some(r) = self.routers.get_mut(&router) {
                     // Capture old bests, change config, emit diffs.
-                    let prefixes: Vec<Prefix> =
-                        r.rib.best_routes().map(|(p, _)| p).collect();
+                    let prefixes: Vec<Prefix> = r.rib.best_routes().map(|(p, _)| p).collect();
                     let old: Vec<(Prefix, Option<bgpscope_bgp::Route>)> = prefixes
                         .iter()
                         .map(|p| (*p, r.rib.best(p).cloned()))
@@ -453,7 +488,13 @@ mod tests {
             .build();
         sim.originate(rid(1), p("10.0.0.0/8"), Timestamp::ZERO);
         sim.run_to_completion();
-        let best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        let best = sim
+            .router(rid(3))
+            .unwrap()
+            .rib
+            .best(&p("10.0.0.0/8"))
+            .unwrap()
+            .clone();
         assert_eq!(best.attrs.as_path.to_string(), "2 1");
         assert_eq!(best.attrs.next_hop, rid(2));
         let feed = sim.take_collector_feed();
@@ -471,7 +512,11 @@ mod tests {
             .monitor(rid(2))
             .build();
         for i in 0..50u8 {
-            sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+            sim.originate(
+                rid(1),
+                Prefix::from_octets(20, i, 0, 0, 16),
+                Timestamp::ZERO,
+            );
         }
         sim.run_to_completion();
         assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 50);
@@ -509,7 +554,13 @@ mod tests {
         // Make the AS2 path longer via prepending at origination.
         sim.originate(rid(4), p("10.0.0.0/8"), Timestamp::ZERO);
         sim.run_to_completion();
-        let best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        let best = sim
+            .router(rid(3))
+            .unwrap()
+            .rib
+            .best(&p("10.0.0.0/8"))
+            .unwrap()
+            .clone();
         // Both paths are 2 hops ("1 9" vs "2 9"); tie broken deterministically.
         assert_eq!(best.attrs.as_path.hop_count(), 2);
 
@@ -517,7 +568,13 @@ mod tests {
         let best_peer = best.peer.router_id();
         sim.session_down(best_peer, rid(3), Timestamp::from_secs(5));
         sim.run_to_completion();
-        let new_best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        let new_best = sim
+            .router(rid(3))
+            .unwrap()
+            .rib
+            .best(&p("10.0.0.0/8"))
+            .unwrap()
+            .clone();
         assert_ne!(new_best.peer.router_id(), best_peer);
     }
 
@@ -532,11 +589,14 @@ mod tests {
             .session(rid(1), rid(2), SessionKind::Ebgp)
             .monitor(rid(2))
             .build();
-        sim.router_mut(rid(2)).unwrap().config = Some(
-            parse_config("router bgp 2\n neighbor 10.0.0.1 maximum-prefix 10\n").unwrap(),
-        );
+        sim.router_mut(rid(2)).unwrap().config =
+            Some(parse_config("router bgp 2\n neighbor 10.0.0.1 maximum-prefix 10\n").unwrap());
         for i in 0..25u8 {
-            sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::from_secs(i as u64));
+            sim.originate(
+                rid(1),
+                Prefix::from_octets(20, i, 0, 0, 16),
+                Timestamp::from_secs(i as u64),
+            );
         }
         sim.run_to_completion();
         assert_eq!(sim.stats().session_downs, 1);
@@ -555,7 +615,11 @@ mod tests {
         sim.max_deliveries = 10;
         // Schedule far more work than the cap allows.
         for i in 0..100u8 {
-            sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+            sim.originate(
+                rid(1),
+                Prefix::from_octets(20, i, 0, 0, 16),
+                Timestamp::ZERO,
+            );
         }
         sim.run_to_completion();
         assert!(sim.stats().messages_delivered <= 10);
@@ -576,7 +640,10 @@ mod tests {
         let feed = sim.take_collector_feed();
         assert_eq!(feed.len(), 1);
         // origination at 10s + 10ms session delay + 3s collector delay.
-        assert_eq!(feed[0].1, Timestamp::from_micros(10_000_000 + 10_000 + 3_000_000));
+        assert_eq!(
+            feed[0].1,
+            Timestamp::from_micros(10_000_000 + 10_000 + 3_000_000)
+        );
     }
 
     #[test]
@@ -653,12 +720,24 @@ mod tests {
         sim.originate(rid(7), p("10.0.0.0/8"), Timestamp::ZERO);
         sim.originate(rid(8), p("10.0.0.0/8"), Timestamp::ZERO);
         sim.run_to_completion();
-        let best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        let best = sim
+            .router(rid(3))
+            .unwrap()
+            .rib
+            .best(&p("10.0.0.0/8"))
+            .unwrap()
+            .clone();
         assert_eq!(best.attrs.next_hop, rid(7), "cheaper IGP cost wins");
 
         sim.igp_metric_change(rid(3), rid(7), 100, Timestamp::from_secs(10));
         sim.run_to_completion();
-        let best = sim.router(rid(3)).unwrap().rib.best(&p("10.0.0.0/8")).unwrap().clone();
+        let best = sim
+            .router(rid(3))
+            .unwrap()
+            .rib
+            .best(&p("10.0.0.0/8"))
+            .unwrap()
+            .clone();
         assert_eq!(best.attrs.next_hop, rid(8), "metric change flips the best");
         let out = sim.finish();
         assert_eq!(out.igp_log.len(), 1);

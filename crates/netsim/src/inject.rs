@@ -43,9 +43,8 @@ impl Injector {
     /// `count` down/up cycles on the `a`–`b` session.
     pub fn session_flap(sim: &mut Sim, a: RouterId, b: RouterId, schedule: FlapSchedule) {
         for i in 0..schedule.count {
-            let down_at = Timestamp(
-                schedule.start.as_micros() + i as u64 * schedule.period.as_micros(),
-            );
+            let down_at =
+                Timestamp(schedule.start.as_micros() + i as u64 * schedule.period.as_micros());
             let up_at = down_at + schedule.down_time;
             sim.session_down(a, b, down_at);
             sim.session_up(a, b, up_at);
@@ -63,9 +62,8 @@ impl Injector {
         schedule: FlapSchedule,
     ) {
         for i in 0..schedule.count {
-            let announce_at = Timestamp(
-                schedule.start.as_micros() + i as u64 * schedule.period.as_micros(),
-            );
+            let announce_at =
+                Timestamp(schedule.start.as_micros() + i as u64 * schedule.period.as_micros());
             let withdraw_at = announce_at + schedule.down_time;
             sim.originate_with(router, prefix, attrs.clone(), announce_at);
             sim.withdraw(router, prefix, withdraw_at);
@@ -131,7 +129,11 @@ mod tests {
             .monitor(rid(2))
             .build();
         for i in 0..10u8 {
-            sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+            sim.originate(
+                rid(1),
+                Prefix::from_octets(20, i, 0, 0, 16),
+                Timestamp::ZERO,
+            );
         }
         sim.run_until(Timestamp::from_secs(5));
         Injector::session_flap(
@@ -187,8 +189,7 @@ mod tests {
         sim.run_until(Timestamp::from_secs(1));
 
         // AS2 flaps its (shorter, therefore preferred) announcement.
-        let as2_attrs = PathAttributes::new(as2_router, bgpscope_bgp::AsPath::empty())
-            .with_med(10);
+        let as2_attrs = PathAttributes::new(as2_router, bgpscope_bgp::AsPath::empty()).with_med(10);
         Injector::route_flap(
             &mut sim,
             as2_router,
@@ -208,7 +209,10 @@ mod tests {
         let changes: usize = feed.iter().map(|(m, _)| m.change_count()).sum();
         assert!(changes >= 90, "expected ~100 changes, got {changes}");
         assert!(feed.iter().all(|(m, _)| {
-            m.withdrawn.iter().chain(m.nlri.iter()).all(|&px| px == prefix)
+            m.withdrawn
+                .iter()
+                .chain(m.nlri.iter())
+                .all(|&px| px == prefix)
         }));
 
         // Feed through the collector: a single-prefix, high-rate component —
@@ -231,7 +235,10 @@ mod tests {
             .iter()
             .filter(|e| e.attrs.as_path.first_as() == Some(Asn(1)))
             .count();
-        assert!(as2_legs >= 45 && as1_legs >= 45, "as1={as1_legs} as2={as2_legs}");
+        assert!(
+            as2_legs >= 45 && as1_legs >= 45,
+            "as1={as1_legs} as2={as2_legs}"
+        );
     }
 
     /// §IV-D shape: leaked routes pull prefixes onto a long path and back.
@@ -248,7 +255,9 @@ mod tests {
             .session(leaker, edge, SessionKind::Ebgp)
             .monitor(edge)
             .build();
-        let prefixes: Vec<Prefix> = (0..20u8).map(|i| Prefix::from_octets(30, i, 0, 0, 16)).collect();
+        let prefixes: Vec<Prefix> = (0..20u8)
+            .map(|i| Prefix::from_octets(30, i, 0, 0, 16))
+            .collect();
         for &px in &prefixes {
             sim.originate(provider, px, Timestamp::ZERO);
         }
@@ -281,7 +290,13 @@ mod tests {
         sim.run_to_completion();
 
         // After the leak ends, the edge is back on the provider path.
-        let best = sim.router(edge).unwrap().rib.best(&prefixes[0]).unwrap().clone();
+        let best = sim
+            .router(edge)
+            .unwrap()
+            .rib
+            .best(&prefixes[0])
+            .unwrap()
+            .clone();
         assert_eq!(best.peer.router_id(), provider);
 
         let feed = sim.take_collector_feed();
@@ -321,14 +336,28 @@ mod tests {
         );
         sim.run_until(Timestamp::from_secs(5));
         assert_eq!(
-            sim.router(edge).unwrap().rib.best(&victim).unwrap().attrs.as_path.origin_as(),
+            sim.router(edge)
+                .unwrap()
+                .rib
+                .best(&victim)
+                .unwrap()
+                .attrs
+                .as_path
+                .origin_as(),
             Some(Asn(300))
         );
         Injector::hijack(&mut sim, attacker, victim, Timestamp::from_secs(10));
         sim.run_to_completion();
         // The attacker's shorter announcement wins; origin AS changed.
         assert_eq!(
-            sim.router(edge).unwrap().rib.best(&victim).unwrap().attrs.as_path.origin_as(),
+            sim.router(edge)
+                .unwrap()
+                .rib
+                .best(&victim)
+                .unwrap()
+                .attrs
+                .as_path
+                .origin_as(),
             Some(Asn(666))
         );
     }
@@ -351,7 +380,11 @@ mod tests {
                     Some(FlapDamper::new(DampingConfig::default()));
             }
             for i in 0..5u8 {
-                sim.originate(rid(1), Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+                sim.originate(
+                    rid(1),
+                    Prefix::from_octets(20, i, 0, 0, 16),
+                    Timestamp::ZERO,
+                );
             }
             sim.run_until(Timestamp::from_secs(5));
             Injector::session_flap(
@@ -388,8 +421,18 @@ mod tests {
             .monitor(edge)
             .build();
         let px = p("4.5.0.0/16");
-        sim.originate_with(a, px, PathAttributes::new(a, bgpscope_bgp::AsPath::empty()).with_med(50), Timestamp::ZERO);
-        sim.originate_with(b, px, PathAttributes::new(b, bgpscope_bgp::AsPath::empty()).with_med(10), Timestamp::ZERO);
+        sim.originate_with(
+            a,
+            px,
+            PathAttributes::new(a, bgpscope_bgp::AsPath::empty()).with_med(50),
+            Timestamp::ZERO,
+        );
+        sim.originate_with(
+            b,
+            px,
+            PathAttributes::new(b, bgpscope_bgp::AsPath::empty()).with_med(10),
+            Timestamp::ZERO,
+        );
         sim.run_to_completion();
         let best = sim.router(edge).unwrap().rib.best(&px).unwrap().clone();
         assert_eq!(best.attrs.med, Some(Med(10)));

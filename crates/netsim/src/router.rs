@@ -156,7 +156,12 @@ impl Router {
     }
 
     /// The import policy outcome for an announcement from `from`.
-    fn import(&self, from: RouterId, attrs: &PathAttributes, prefix: Prefix) -> Option<PathAttributes> {
+    fn import(
+        &self,
+        from: RouterId,
+        attrs: &PathAttributes,
+        prefix: Prefix,
+    ) -> Option<PathAttributes> {
         // AS-path loop check (EBGP).
         if attrs.as_path.contains(self.asn) {
             return None;
@@ -178,7 +183,12 @@ impl Router {
     }
 
     /// The export policy outcome toward `to`.
-    fn export_policy(&self, to: RouterId, attrs: &PathAttributes, prefix: Prefix) -> Option<PathAttributes> {
+    fn export_policy(
+        &self,
+        to: RouterId,
+        attrs: &PathAttributes,
+        prefix: Prefix,
+    ) -> Option<PathAttributes> {
         let Some(config) = &self.config else {
             return Some(attrs.clone());
         };
@@ -216,11 +226,7 @@ impl Router {
 
     /// The `maximum-prefix` limit configured for `peer`, if any.
     pub fn max_prefix_limit(&self, peer: RouterId) -> Option<u32> {
-        self.config
-            .as_ref()?
-            .neighbors
-            .get(&peer)?
-            .max_prefix
+        self.config.as_ref()?.neighbors.get(&peer)?.max_prefix
     }
 
     /// Count of candidate routes currently learned from `peer`.
@@ -330,7 +336,7 @@ impl Router {
             .map(|r| r.prefix)
             .collect();
         prefixes.sort_unstable(); // determinism (see emit_changes)
-        // A session loss flaps every route it takes down.
+                                  // A session loss flaps every route it takes down.
         if let Some(damper) = &mut self.damping {
             for &p in &prefixes {
                 damper.record_flap(PeerId(peer), p, now);
@@ -486,7 +492,10 @@ impl Router {
                     None => {
                         let session = self.sessions.get_mut(&peer).expect("session exists");
                         if session.adj_rib_out.remove(&prefix).is_some() {
-                            out.push((Some(peer), UpdateMessage::withdraw(PeerId(self.id), [prefix])));
+                            out.push((
+                                Some(peer),
+                                UpdateMessage::withdraw(PeerId(self.id), [prefix]),
+                            ));
                         }
                     }
                 }
@@ -591,8 +600,14 @@ mod tests {
             ),
             Timestamp::ZERO,
         );
-        assert!(!out.iter().any(|(d, _)| *d == Some(rid(3))), "no IBGP reflection");
-        assert!(out.iter().any(|(d, _)| *d == Some(rid(4))), "EBGP export allowed");
+        assert!(
+            !out.iter().any(|(d, _)| *d == Some(rid(3))),
+            "no IBGP reflection"
+        );
+        assert!(
+            out.iter().any(|(d, _)| *d == Some(rid(4))),
+            "EBGP export allowed"
+        );
     }
 
     #[test]
@@ -646,7 +661,10 @@ mod tests {
             ),
             Timestamp::ZERO,
         );
-        assert!(out.iter().any(|(d, _)| d.is_none()), "collector got the announce");
+        assert!(
+            out.iter().any(|(d, _)| d.is_none()),
+            "collector got the announce"
+        );
         // Withdraw flows to the collector too.
         let out = r.process_update(
             rid(2),
@@ -671,7 +689,10 @@ mod tests {
         let out1 = r.process_update(rid(2), &msg, Timestamp::ZERO);
         assert!(!out1.is_empty());
         let out2 = r.process_update(rid(2), &msg, Timestamp::from_secs(1));
-        assert!(out2.is_empty(), "identical re-announcement emits nothing: {out2:?}");
+        assert!(
+            out2.is_empty(),
+            "identical re-announcement emits nothing: {out2:?}"
+        );
     }
 
     #[test]
@@ -717,7 +738,9 @@ mod tests {
         let (_, msg) = out.iter().find(|(d, _)| *d == Some(rid(2))).unwrap();
         assert_eq!(msg.attrs.as_ref().unwrap().as_path.to_string(), "65000");
         let out = r.originate(p, None, Timestamp::from_secs(1));
-        assert!(out.iter().any(|(d, m)| *d == Some(rid(2)) && !m.withdrawn.is_empty()));
+        assert!(out
+            .iter()
+            .any(|(d, m)| *d == Some(rid(2)) && !m.withdrawn.is_empty()));
     }
 
     #[test]
@@ -764,7 +787,9 @@ mod tests {
         r.clear_adj_out(rid(3));
         let out = r.full_table_to(rid(3), Timestamp::from_secs(1));
         assert_eq!(out.len(), 3);
-        assert!(out.iter().all(|(d, m)| *d == Some(rid(3)) && m.nlri.len() == 1));
+        assert!(out
+            .iter()
+            .all(|(d, m)| *d == Some(rid(3)) && m.nlri.len() == 1));
     }
 
     #[test]
@@ -788,7 +813,10 @@ mod tests {
             &UpdateMessage::announce(PeerId(rid(3)), attrs("701", rid(3)), [p]),
             Timestamp::ZERO,
         );
-        assert!(!out.iter().any(|(d, _)| *d == Some(rid(2))), "untagged leaked: {out:?}");
+        assert!(
+            !out.iter().any(|(d, _)| *d == Some(rid(2))),
+            "untagged leaked: {out:?}"
+        );
         // Tagged route: exported with the extra community.
         let tagged = attrs("702", rid(3)).with_community("1:1".parse().unwrap());
         let out = r.process_update(
@@ -796,7 +824,10 @@ mod tests {
             &UpdateMessage::announce(PeerId(rid(3)), tagged, [p]),
             Timestamp::from_secs(1),
         );
-        let (_, msg) = out.iter().find(|(d, _)| *d == Some(rid(2))).expect("export");
+        let (_, msg) = out
+            .iter()
+            .find(|(d, _)| *d == Some(rid(2)))
+            .expect("export");
         let a = msg.attrs.as_ref().unwrap();
         assert!(a.has_community("1:1".parse().unwrap()));
         assert!(a.has_community("9:9".parse().unwrap()));
@@ -815,7 +846,10 @@ mod tests {
             &UpdateMessage::announce(PeerId(rid(2)), with_med, [p]),
             Timestamp::ZERO,
         );
-        let (_, msg) = out.iter().find(|(d, _)| *d == Some(rid(3))).expect("export");
+        let (_, msg) = out
+            .iter()
+            .find(|(d, _)| *d == Some(rid(3)))
+            .expect("export");
         assert_eq!(msg.attrs.as_ref().unwrap().med, None);
     }
 

@@ -21,8 +21,7 @@ fn build_random(seed: u64, n: u8, extra_edges: &[(u8, u8)], monitored: u8) -> Si
     for i in 1..n {
         builder = builder.session(rid(i - 1), rid(i), SessionKind::Ebgp);
     }
-    let mut existing: std::collections::HashSet<(u8, u8)> =
-        (1..n).map(|i| (i - 1, i)).collect();
+    let mut existing: std::collections::HashSet<(u8, u8)> = (1..n).map(|i| (i - 1, i)).collect();
     for &(a, b) in extra_edges {
         let (a, b) = (a % n, b % n);
         let key = (a.min(b), a.max(b));

@@ -61,9 +61,7 @@ impl PrefixRule {
         }
         match (self.ge, self.le) {
             (None, None) => p.len() == self.prefix.len(),
-            (ge, le) => {
-                p.len() >= ge.unwrap_or(self.prefix.len()) && p.len() <= le.unwrap_or(32)
-            }
+            (ge, le) => p.len() >= ge.unwrap_or(self.prefix.len()) && p.len() <= le.unwrap_or(32),
         }
     }
 }

@@ -164,7 +164,12 @@ route-map CALREN-ALL permit 20
                 "11423 209 701".parse().unwrap(),
             )
             .with_community("11423:65350".parse().unwrap());
-            stream.push(Event::withdraw(Timestamp::from_secs(i as u64), peer3, prefix, w_attrs));
+            stream.push(Event::withdraw(
+                Timestamp::from_secs(i as u64),
+                peer3,
+                prefix,
+                w_attrs,
+            ));
             let a_attrs = PathAttributes::new(
                 RouterId::from_octets(128, 32, 0, 90),
                 "11423 11422 10927 1909 195 2152 3356".parse().unwrap(),
@@ -214,8 +219,7 @@ route-map CALREN-ALL permit 20
             ));
         }
         let result = Stemming::new().decompose(&stream);
-        let correlations =
-            correlate_component(&result.components()[0], &stream, &BTreeMap::new());
+        let correlations = correlate_component(&result.components()[0], &stream, &BTreeMap::new());
         assert!(correlations.is_empty());
     }
 }

@@ -53,7 +53,12 @@ impl<'a> PolicyEngine<'a> {
     /// Whether one entry's match clauses all hold for `(attrs, prefix)`.
     /// Unresolvable list references never match (mirroring IOS, where an
     /// undefined list matches nothing).
-    pub fn entry_matches(&self, entry: &RouteMapEntry, attrs: &PathAttributes, prefix: Prefix) -> bool {
+    pub fn entry_matches(
+        &self,
+        entry: &RouteMapEntry,
+        attrs: &PathAttributes,
+        prefix: Prefix,
+    ) -> bool {
         entry.matches.iter().all(|m| match m {
             Match::Community(list) => self
                 .config
@@ -158,11 +163,19 @@ route-map CALREN-IN deny 30
         let engine = PolicyEngine::new(&doc);
 
         // Commodity-tagged routes get LOCAL_PREF 80.
-        let out = engine.apply("CALREN-IN", &attrs_with(&["11423:65350"]), p("192.0.2.0/24"));
+        let out = engine.apply(
+            "CALREN-IN",
+            &attrs_with(&["11423:65350"]),
+            p("192.0.2.0/24"),
+        );
         assert_eq!(out.attrs().unwrap().local_pref, Some(LocalPref(80)));
 
         // Internet2-tagged routes get 100.
-        let out = engine.apply("CALREN-IN", &attrs_with(&["11423:65300"]), p("192.0.2.0/24"));
+        let out = engine.apply(
+            "CALREN-IN",
+            &attrs_with(&["11423:65300"]),
+            p("192.0.2.0/24"),
+        );
         assert_eq!(out.attrs().unwrap().local_pref, Some(LocalPref(100)));
 
         // Untagged routes hit the explicit deny 30.
@@ -184,10 +197,9 @@ route-map CALREN-IN deny 30
 
     #[test]
     fn undefined_list_reference_matches_nothing() {
-        let doc = parse_config(
-            "route-map M permit 10\n match community GHOST\nroute-map M permit 20\n",
-        )
-        .unwrap();
+        let doc =
+            parse_config("route-map M permit 10\n match community GHOST\nroute-map M permit 20\n")
+                .unwrap();
         let engine = PolicyEngine::new(&doc);
         let out = engine.apply("M", &attrs_with(&["1:1"]), p("10.0.0.0/8"));
         // Falls past seq 10 (GHOST matches nothing) to the match-less permit 20.
@@ -232,8 +244,14 @@ route-map M permit 10
         )
         .unwrap();
         let engine = PolicyEngine::new(&doc);
-        assert!(engine.apply("M", &attrs_with(&["1:1"]), p("10.0.0.0/8")).is_permit());
-        assert!(!engine.apply("M", &attrs_with(&["1:1"]), p("11.0.0.0/8")).is_permit());
-        assert!(!engine.apply("M", &attrs_with(&["2:2"]), p("10.0.0.0/8")).is_permit());
+        assert!(engine
+            .apply("M", &attrs_with(&["1:1"]), p("10.0.0.0/8"))
+            .is_permit());
+        assert!(!engine
+            .apply("M", &attrs_with(&["1:1"]), p("11.0.0.0/8"))
+            .is_permit());
+        assert!(!engine
+            .apply("M", &attrs_with(&["2:2"]), p("10.0.0.0/8"))
+            .is_permit());
     }
 }

@@ -48,8 +48,8 @@ pub mod eval;
 pub mod parse;
 
 pub use ast::{
-    CommunityList, ConfigDocument, ListAction, Match, Neighbor, PrefixList, PrefixRule,
-    RouteMap, RouteMapEntry, SetAction,
+    CommunityList, ConfigDocument, ListAction, Match, Neighbor, PrefixList, PrefixRule, RouteMap,
+    RouteMapEntry, SetAction,
 };
 pub use correlate::{correlate_component, PolicyCorrelation};
 pub use eval::{PolicyEngine, PolicyOutcome};

@@ -116,9 +116,7 @@ pub fn parse_config(text: &str) -> Result<ConfigDocument, ParseConfigError> {
                 });
                 match rest {
                     ["route-map", name, "in"] => neighbor.route_map_in = Some((*name).to_owned()),
-                    ["route-map", name, "out"] => {
-                        neighbor.route_map_out = Some((*name).to_owned())
-                    }
+                    ["route-map", name, "out"] => neighbor.route_map_out = Some((*name).to_owned()),
                     ["maximum-prefix", n] => {
                         neighbor.max_prefix =
                             Some(n.parse().map_err(|_| err("bad maximum-prefix"))?)
@@ -178,7 +176,11 @@ pub fn parse_config(text: &str) -> Result<ConfigDocument, ParseConfigError> {
                     sets: Vec::new(),
                 });
                 map.entries.sort_by_key(|e| e.seq);
-                let pos = map.entries.iter().position(|e| e.seq == seq).expect("just inserted");
+                let pos = map
+                    .entries
+                    .iter()
+                    .position(|e| e.seq == seq)
+                    .expect("just inserted");
                 ctx = Context::RouteMap((*name).to_owned(), pos);
             }
             ["match", rest @ ..] => {
@@ -187,9 +189,7 @@ pub fn parse_config(text: &str) -> Result<ConfigDocument, ParseConfigError> {
                 };
                 let m = match rest {
                     ["community", list] => Match::Community((*list).to_owned()),
-                    ["ip", "address", "prefix-list", list] => {
-                        Match::PrefixList((*list).to_owned())
-                    }
+                    ["ip", "address", "prefix-list", list] => Match::PrefixList((*list).to_owned()),
                     ["as-path-contains", asn] => {
                         Match::AsPathContains(Asn(asn.parse().map_err(|_| err("bad ASN"))?))
                     }
@@ -268,10 +268,8 @@ route-map CALREN-IN deny 30
 
     #[test]
     fn entries_sorted_by_seq() {
-        let doc = parse_config(
-            "route-map M permit 20\nroute-map M permit 10\n set metric 5\n",
-        )
-        .unwrap();
+        let doc =
+            parse_config("route-map M permit 20\nroute-map M permit 10\n set metric 5\n").unwrap();
         let map = &doc.route_maps["M"];
         assert_eq!(map.entries[0].seq, 10);
         // The `set` bound to the seq-10 entry (the last header parsed).

@@ -26,6 +26,10 @@ pub struct StemmingConfig {
     pub min_support: u64,
     /// Stop when fewer events than this remain unassigned.
     pub min_residual_events: usize,
+    /// Worker threads for the sub-sequence counting pass (`0` = one per
+    /// available core, `1` = serial). Results are identical at every
+    /// setting; this only trades latency for cores.
+    pub parallelism: usize,
 }
 
 impl Default for StemmingConfig {
@@ -36,6 +40,7 @@ impl Default for StemmingConfig {
             max_components: 16,
             min_support: 2,
             min_residual_events: 2,
+            parallelism: 0,
         }
     }
 }
@@ -98,7 +103,10 @@ impl Stemming {
             && alive_count >= self.config.min_residual_events
         {
             // Count sub-sequences over the remaining events.
-            let mut counter = SubsequenceCounter::new(self.config.max_subseq_len);
+            let mut counter = SubsequenceCounter::with_parallelism(
+                self.config.max_subseq_len,
+                self.config.parallelism,
+            );
             for (i, seq) in sequences.iter().enumerate() {
                 if alive[i] {
                     counter.add_weighted(seq, weight_of(&events[i]));
@@ -140,7 +148,10 @@ impl Stemming {
                     }
                 }
             }
-            debug_assert!(!indices.is_empty(), "winning sub-sequence must match events");
+            debug_assert!(
+                !indices.is_empty(),
+                "winning sub-sequence must match events"
+            );
 
             let stem = Stem(winner[winner.len() - 2], winner[winner.len() - 1]);
             components.push(Component {
@@ -258,7 +269,10 @@ mod tests {
             Timestamp::from_secs(t),
             PeerId::from_octets(128, 32, 1, peer),
             prefix.parse().unwrap(),
-            PathAttributes::new(RouterId::from_octets(128, 32, 0, hop), path.parse().unwrap()),
+            PathAttributes::new(
+                RouterId::from_octets(128, 32, 0, hop),
+                path.parse().unwrap(),
+            ),
         )
     }
 
@@ -360,11 +374,23 @@ mod tests {
         let mut events = Vec::new();
         // Component A: 5 events through 11423-209.
         for i in 0..5 {
-            events.push(withdraw(i, 3, 66, &format!("11423 209 {}", 100 + i), &format!("20.{i}.0.0/16")));
+            events.push(withdraw(
+                i,
+                3,
+                66,
+                &format!("11423 209 {}", 100 + i),
+                &format!("20.{i}.0.0/16"),
+            ));
         }
         // Component B: 3 events through 5511-3356.
         for i in 0..3 {
-            events.push(withdraw(10 + i, 200, 90, &format!("5511 3356 {}", 200 + i), &format!("30.{i}.0.0/16")));
+            events.push(withdraw(
+                10 + i,
+                200,
+                90,
+                &format!("5511 3356 {}", 200 + i),
+                &format!("30.{i}.0.0/16"),
+            ));
         }
         let stream: EventStream = events.into_iter().collect();
         let result = Stemming::new().decompose(&stream);
@@ -483,13 +509,19 @@ mod tests {
             min_support: 4,
             ..StemmingConfig::default()
         };
-        assert!(Stemming::with_config(strict).decompose(&stream).components().is_empty());
+        assert!(Stemming::with_config(strict)
+            .decompose(&stream)
+            .components()
+            .is_empty());
         let lenient = StemmingConfig {
             min_support: 3,
             ..StemmingConfig::default()
         };
         assert_eq!(
-            Stemming::with_config(lenient).decompose(&stream).components().len(),
+            Stemming::with_config(lenient)
+                .decompose(&stream)
+                .components()
+                .len(),
             1
         );
     }

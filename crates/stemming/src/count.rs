@@ -5,10 +5,25 @@
 //! contiguous sub-sequences of each distinct sequence once, adding the
 //! sequence's multiplicity to each sub-sequence's count. Within one event a
 //! repeated sub-sequence still counts once ("number of events containing s").
+//!
+//! Counting is the pipeline's hot path, so it is sharded: the distinct
+//! sequences are partitioned across scoped worker threads, each shard counts
+//! into a map keyed by *borrowed* slices of the sequence arena (no per-
+//! occurrence allocation), and the shard maps are merged at the end. Owned
+//! keys are materialized at most once per distinct sub-sequence — and
+//! [`SubsequenceCounter::best_by`] skips even that, folding a winner
+//! directly over the merged borrowed-key map. Results are bit-identical to
+//! the serial path regardless of shard count because counts are additive and
+//! the winner fold's tie-break is total.
 
 use std::collections::HashMap;
+use std::thread;
 
 use bgpscope_bgp::intern::Symbol;
+
+/// Below this many distinct sequences the counter stays serial: thread
+/// spawn + merge overhead dwarfs the counting work.
+const MIN_SEQS_PER_SHARD: usize = 64;
 
 /// Count statistics for one sub-sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +70,8 @@ pub struct SubsequenceCounter {
     max_len: usize,
     /// Total number of sequences added (with multiplicity).
     total: u64,
+    /// Worker threads for counting (0 = one per available core).
+    parallelism: usize,
     /// Lazily built sub-sequence counts.
     counts: Option<HashMap<Vec<Symbol>, u64>>,
 }
@@ -63,14 +80,33 @@ impl SubsequenceCounter {
     /// A counter that enumerates sub-sequences up to `max_len` symbols
     /// (`0` means no limit). AS paths average 3–6 hops, so event sequences
     /// rarely exceed ~10 symbols; a limit mainly guards against pathological
-    /// prepending.
+    /// prepending. Counting auto-parallelizes; see
+    /// [`SubsequenceCounter::with_parallelism`] to pin the thread count.
     pub fn new(max_len: usize) -> Self {
+        Self::with_parallelism(max_len, 0)
+    }
+
+    /// Like [`SubsequenceCounter::new`] with an explicit worker-thread count
+    /// for the counting pass (`0` = one per available core, `1` = serial).
+    /// Counts are identical for every setting; this only trades latency.
+    pub fn with_parallelism(max_len: usize, parallelism: usize) -> Self {
         SubsequenceCounter {
             sequences: HashMap::new(),
             max_len,
             total: 0,
+            parallelism,
             counts: None,
         }
+    }
+
+    /// Changes the counting worker-thread count (`0` = auto).
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured worker-thread count (`0` = auto).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Adds one event's sequence.
@@ -100,25 +136,68 @@ impl SubsequenceCounter {
         self.sequences.len()
     }
 
-    fn build_counts(&self) -> HashMap<Vec<Symbol>, u64> {
-        let mut counts: HashMap<Vec<Symbol>, u64> = HashMap::new();
-        // Scratch set to enforce once-per-event counting of sub-sequences
-        // that repeat inside a single sequence (e.g. path `1 2 1 2`).
-        let mut seen: HashMap<&[Symbol], ()> = HashMap::new();
-        for (seq, &mult) in &self.sequences {
-            seen.clear();
-            let n = seq.len();
-            let max = if self.max_len == 0 { n } else { self.max_len.min(n) };
-            for len in 2..=max {
-                for start in 0..=(n - len) {
-                    let sub = &seq[start..start + len];
-                    if seen.insert(sub, ()).is_none() {
-                        *counts.entry(sub.to_vec()).or_insert(0) += mult;
-                    }
-                }
+    /// The worker-thread count to actually use for a counting pass.
+    fn effective_threads(&self) -> usize {
+        if self.parallelism == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.parallelism
+        }
+    }
+
+    /// Counts sub-sequences of every distinct sequence, keyed by borrowed
+    /// slices into the sequence arena, sharded across scoped threads when
+    /// the input is large enough to amortize them.
+    fn borrowed_counts(&self) -> HashMap<&[Symbol], u64> {
+        let seqs: Vec<(&[Symbol], u64)> = self
+            .sequences
+            .iter()
+            .map(|(s, &m)| (s.as_slice(), m))
+            .collect();
+        let threads = self
+            .effective_threads()
+            .min(seqs.len() / MIN_SEQS_PER_SHARD)
+            .max(1);
+        if threads == 1 {
+            return count_shard(&seqs, self.max_len);
+        }
+        let chunk = seqs.len().div_ceil(threads);
+        let max_len = self.max_len;
+        let mut shards: Vec<HashMap<&[Symbol], u64>> = thread::scope(|scope| {
+            let handles: Vec<_> = seqs
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || count_shard(part, max_len)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("counting shard panicked"))
+                .collect()
+        });
+        // Merge into the largest shard map to minimize re-hashing.
+        let biggest = shards
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, m)| m.len())
+            .map(|(i, _)| i)
+            .expect("threads >= 2 implies shards");
+        let mut merged = shards.swap_remove(biggest);
+        for shard in shards {
+            for (sub, count) in shard {
+                *merged.entry(sub).or_insert(0) += count;
             }
         }
-        counts
+        merged
+    }
+
+    fn build_counts(&self) -> HashMap<Vec<Symbol>, u64> {
+        // Owned keys are allocated here exactly once per distinct
+        // sub-sequence, not once per occurrence.
+        self.borrowed_counts()
+            .into_iter()
+            .map(|(sub, count)| (sub.to_vec(), count))
+            .collect()
     }
 
     /// Ensures counts are built and returns them.
@@ -147,28 +226,84 @@ impl SubsequenceCounter {
 
     /// The best sub-sequence under `better`, a strict "is a better than b"
     /// predicate. Ties not broken by `better` fall back to lexicographic
-    /// symbol order for determinism.
+    /// symbol order for determinism (which also makes the result independent
+    /// of map iteration order and shard count).
+    ///
+    /// This streams over the counts, folding a single winner with a reusable
+    /// candidate buffer; when the owned-key count cache has not been built
+    /// (the decomposition hot path never needs it), it folds directly over
+    /// the borrowed-key shard merge and only the winner is ever materialized.
     pub fn best_by<F>(&mut self, better: F) -> Option<SubsequenceStat>
     where
         F: Fn(&SubsequenceStat, &SubsequenceStat) -> bool,
     {
-        let mut best: Option<SubsequenceStat> = None;
-        for (s, &c) in self.counts() {
-            let cand = SubsequenceStat {
-                subseq: s.clone(),
-                count: c,
-            };
-            match &best {
-                None => best = Some(cand),
-                Some(b) => {
-                    if better(&cand, b) || (!better(b, &cand) && cand.subseq < b.subseq) {
-                        best = Some(cand);
-                    }
+        if let Some(counts) = &self.counts {
+            return fold_best(counts.iter().map(|(s, &c)| (s.as_slice(), c)), better);
+        }
+        let counts = self.borrowed_counts();
+        fold_best(counts.iter().map(|(&s, &c)| (s, c)), better)
+    }
+}
+
+/// Enumerates contiguous sub-sequences of one shard of distinct sequences,
+/// counting each (keyed by borrowed slice) once per distinct sequence with
+/// that sequence's multiplicity.
+fn count_shard<'a>(shard: &[(&'a [Symbol], u64)], max_len: usize) -> HashMap<&'a [Symbol], u64> {
+    let mut counts: HashMap<&[Symbol], u64> = HashMap::new();
+    // Scratch set to enforce once-per-event counting of sub-sequences
+    // that repeat inside a single sequence (e.g. path `1 2 1 2`).
+    let mut seen: HashMap<&[Symbol], ()> = HashMap::new();
+    for &(seq, mult) in shard {
+        seen.clear();
+        let n = seq.len();
+        let max = if max_len == 0 { n } else { max_len.min(n) };
+        for len in 2..=max {
+            for start in 0..=(n - len) {
+                let sub = &seq[start..start + len];
+                if seen.insert(sub, ()).is_none() {
+                    *counts.entry(sub).or_insert(0) += mult;
                 }
             }
         }
-        best
     }
+    counts
+}
+
+/// Folds the winner over `(sub-sequence, count)` entries. The candidate
+/// stat's buffer is reused across entries (swap on win), so the fold
+/// allocates O(1) vectors regardless of entry count.
+fn fold_best<'a, I, F>(entries: I, better: F) -> Option<SubsequenceStat>
+where
+    I: Iterator<Item = (&'a [Symbol], u64)>,
+    F: Fn(&SubsequenceStat, &SubsequenceStat) -> bool,
+{
+    let mut best: Option<SubsequenceStat> = None;
+    let mut cand = SubsequenceStat {
+        subseq: Vec::new(),
+        count: 0,
+    };
+    for (sub, count) in entries {
+        cand.subseq.clear();
+        cand.subseq.extend_from_slice(sub);
+        cand.count = count;
+        match &mut best {
+            None => {
+                best = Some(std::mem::replace(
+                    &mut cand,
+                    SubsequenceStat {
+                        subseq: Vec::new(),
+                        count: 0,
+                    },
+                ));
+            }
+            Some(b) => {
+                if better(&cand, b) || (!better(b, &cand) && cand.subseq < b.subseq) {
+                    std::mem::swap(b, &mut cand);
+                }
+            }
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -238,15 +373,58 @@ mod tests {
         assert!(c.stats().is_empty());
     }
 
+    /// Builds a workload with enough distinct sequences to cross the
+    /// sharding threshold (shared structure plus per-sequence tails).
+    fn bulk_counter(parallelism: usize) -> SubsequenceCounter {
+        let mut c = SubsequenceCounter::with_parallelism(0, parallelism);
+        for i in 0..500u32 {
+            let seq = [s(11423), s(209), s(700 + i % 40), s(i), s(i % 7)];
+            c.add_weighted(&seq, 1 + u64::from(i % 3));
+        }
+        c
+    }
+
+    #[test]
+    fn parallel_counts_match_serial() {
+        let mut serial = bulk_counter(1);
+        let mut parallel = bulk_counter(4);
+        assert!(serial.distinct_sequences() >= 2 * super::MIN_SEQS_PER_SHARD);
+        let mut a = serial.stats();
+        let mut b = parallel.stats();
+        a.sort_by(|x, y| x.subseq.cmp(&y.subseq));
+        b.sort_by(|x, y| x.subseq.cmp(&y.subseq));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_best_by_matches_serial() {
+        let rank = |a: &SubsequenceStat, b: &SubsequenceStat| {
+            a.count > b.count || (a.count == b.count && a.len() > b.len())
+        };
+        let winner_serial = bulk_counter(1).best_by(rank).expect("non-empty");
+        let winner_parallel = bulk_counter(4).best_by(rank).expect("non-empty");
+        assert_eq!(winner_serial, winner_parallel);
+    }
+
+    #[test]
+    fn best_by_same_before_and_after_cache_build() {
+        // best_by folds over borrowed counts when the cache is cold and over
+        // the owned cache when warm; both must agree.
+        let rank = |a: &SubsequenceStat, b: &SubsequenceStat| a.count > b.count;
+        let mut c = bulk_counter(2);
+        let cold = c.best_by(rank);
+        c.stats(); // force the owned-key cache
+        let warm = c.best_by(rank);
+        assert_eq!(cold, warm);
+    }
+
     #[test]
     fn best_by_deterministic_on_ties() {
         let mut c = SubsequenceCounter::new(0);
         c.add(&[s(5), s(6)]);
         c.add(&[s(1), s(2)]);
         // Both pairs have count 1; lexicographic fallback picks [1,2].
-        let best = c
-            .best_by(|a, b| a.count > b.count)
-            .expect("non-empty");
+        let best = c.best_by(|a, b| a.count > b.count).expect("non-empty");
         assert_eq!(best.subseq, vec![s(1), s(2)]);
     }
 }

@@ -34,9 +34,7 @@ impl RankingRule {
     /// Strict "is `a` ranked above `b`".
     pub fn better(&self, a: &SubsequenceStat, b: &SubsequenceStat) -> bool {
         match self {
-            RankingRule::CountThenLength => {
-                (a.count, a.len()) > (b.count, b.len())
-            }
+            RankingRule::CountThenLength => (a.count, a.len()) > (b.count, b.len()),
             RankingRule::CountOnly => a.count > b.count,
             RankingRule::CoverageWeighted => {
                 let score = |s: &SubsequenceStat| s.count * (s.len() as u64 - 1);

@@ -68,10 +68,7 @@ mod tests {
             Timestamp::ZERO,
             PeerId::from_octets(128, 32, 1, 3),
             prefix.parse().unwrap(),
-            PathAttributes::new(
-                RouterId::from_octets(128, 32, 0, 66),
-                path.parse().unwrap(),
-            ),
+            PathAttributes::new(RouterId::from_octets(128, 32, 0, 66), path.parse().unwrap()),
         )
     }
 
@@ -83,7 +80,14 @@ mod tests {
         let shown: Vec<String> = seq.iter().map(|&s| enc.interner().display(s)).collect();
         assert_eq!(
             shown,
-            vec!["128.32.1.3", "128.32.0.66", "11423", "209", "701", "10.0.0.0/8"]
+            vec![
+                "128.32.1.3",
+                "128.32.0.66",
+                "11423",
+                "209",
+                "701",
+                "10.0.0.0/8"
+            ]
         );
     }
 

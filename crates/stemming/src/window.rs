@@ -46,7 +46,12 @@ impl TimeScale {
 
 impl fmt::Display for TimeScale {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}s window / {}s stride", self.width.as_secs_f64(), self.stride.as_secs_f64())
+        write!(
+            f,
+            "{}s window / {}s stride",
+            self.width.as_secs_f64(),
+            self.stride.as_secs_f64()
+        )
     }
 }
 
@@ -68,7 +73,11 @@ pub struct WindowedFinding {
 impl WindowedFinding {
     /// Support of the strongest component, or 0 if none.
     pub fn top_support(&self) -> u64 {
-        self.result.components().first().map(|c| c.support).unwrap_or(0)
+        self.result
+            .components()
+            .first()
+            .map(|c| c.support)
+            .unwrap_or(0)
     }
 }
 
@@ -152,9 +161,7 @@ mod tests {
     fn slow_oscillation_found_at_long_scale_only() {
         // One event per 10 minutes for a day, all the same prefix+path —
         // invisible in any 15-minute window (1 event), dominant at day scale.
-        let stream: EventStream = (0..144)
-            .map(|i| ev(i * 600, "4.5.0.0/16", "2 9"))
-            .collect();
+        let stream: EventStream = (0..144).map(|i| ev(i * 600, "4.5.0.0/16", "2 9")).collect();
         let det = MultiScaleDetector::new();
         let findings = det.analyze(&stream, 2);
         // No 15-minute window has >= 2 events (stride 900, events every 600:

@@ -123,3 +123,51 @@ proptest! {
         prop_assert_eq!(assigned + result.residual_indices().len(), stream.len());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Serial / parallel counting equivalence.
+
+use bgpscope_bgp::intern::Symbol;
+use bgpscope_stemming::{SubsequenceCounter, SubsequenceStat};
+
+/// Weighted symbol sequences: enough of them (up to 300) that the sharded
+/// counting path engages past its serial-input threshold.
+fn arb_weighted_sequences() -> impl Strategy<Value = Vec<(Vec<u32>, u64)>> {
+    proptest::collection::vec((proptest::collection::vec(1u32..30, 2..8), 1u64..4), 1..300)
+}
+
+proptest! {
+    /// Sharded counting is bit-identical to serial: identical sorted stats
+    /// and the identical `best_by` winner under (count desc, length desc),
+    /// for any shard count.
+    #[test]
+    fn sharded_counting_matches_serial(
+        seqs in arb_weighted_sequences(),
+        threads in 2usize..6,
+        max_len in 0usize..6,
+    ) {
+        let mut serial = SubsequenceCounter::with_parallelism(max_len, 1);
+        let mut sharded = SubsequenceCounter::with_parallelism(max_len, threads);
+        for (seq, weight) in &seqs {
+            let syms: Vec<Symbol> = seq.iter().map(|&v| Symbol(v)).collect();
+            serial.add_weighted(&syms, *weight);
+            sharded.add_weighted(&syms, *weight);
+        }
+        prop_assert_eq!(serial.total(), sharded.total());
+
+        let rank = |a: &SubsequenceStat, b: &SubsequenceStat| {
+            a.count > b.count || (a.count == b.count && a.len() > b.len())
+        };
+        // Winner fold over the cold (borrowed-key) counts.
+        prop_assert_eq!(serial.best_by(rank), sharded.best_by(rank));
+
+        let mut a = serial.stats();
+        let mut b = sharded.stats();
+        a.sort_by(|x, y| x.subseq.cmp(&y.subseq));
+        b.sort_by(|x, y| x.subseq.cmp(&y.subseq));
+        prop_assert_eq!(a, b);
+
+        // Winner fold again over the warm (owned-key) cache.
+        prop_assert_eq!(serial.best_by(rank), sharded.best_by(rank));
+    }
+}

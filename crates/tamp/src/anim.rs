@@ -172,7 +172,11 @@ impl Animator {
     /// animation.
     pub fn animate(mut self, stream: &EventStream) -> Animation {
         let frame_count = self.config.frame_count();
-        let t0 = stream.events().first().map(|e| e.time).unwrap_or(Timestamp::ZERO);
+        let t0 = stream
+            .events()
+            .first()
+            .map(|e| e.time)
+            .unwrap_or(Timestamp::ZERO);
         let timerange = stream.timerange();
 
         // Snapshot initial weights.
@@ -206,48 +210,50 @@ impl Animator {
             ((rel * frame_count as f64) as usize).min(frame_count - 1)
         };
 
-        let flush_frame =
-            |idx: usize, accums: &mut HashMap<EdgeId, Accum>, frames: &mut Vec<Frame>,
-             current: &HashMap<EdgeId, usize>, cfg: &AnimationConfig| {
-                let clock = if timerange.as_micros() == 0 {
-                    Timestamp::ZERO
-                } else {
-                    Timestamp(((idx + 1) as u64 * timerange.as_micros()) / frame_count as u64)
-                };
-                let mut changed: Vec<FrameEdge> = accums
-                    .drain()
-                    .filter(|(_, a)| a.touched)
-                    .map(|(edge, a)| {
-                        let count = current.get(&edge).copied().unwrap_or(0);
-                        let state = if a.dir_changes >= cfg.flap_threshold {
-                            EdgeState::Flapping
-                        } else if count > a.start {
-                            EdgeState::Gaining
-                        } else if count < a.start {
-                            EdgeState::Losing
-                        } else if a.gains > 0 || a.losses > 0 {
-                            // Net zero but it moved: a within-frame flap.
-                            EdgeState::Flapping
-                        } else {
-                            EdgeState::Steady
-                        };
-                        FrameEdge {
-                            edge,
-                            count,
-                            gains: a.gains,
-                            losses: a.losses,
-                            state,
-                        }
-                    })
-                    .filter(|fe| fe.state != EdgeState::Steady)
-                    .collect();
-                changed.sort_by_key(|fe| fe.edge);
-                frames.push(Frame {
-                    index: idx,
-                    clock,
-                    changed,
-                });
+        let flush_frame = |idx: usize,
+                           accums: &mut HashMap<EdgeId, Accum>,
+                           frames: &mut Vec<Frame>,
+                           current: &HashMap<EdgeId, usize>,
+                           cfg: &AnimationConfig| {
+            let clock = if timerange.as_micros() == 0 {
+                Timestamp::ZERO
+            } else {
+                Timestamp(((idx + 1) as u64 * timerange.as_micros()) / frame_count as u64)
             };
+            let mut changed: Vec<FrameEdge> = accums
+                .drain()
+                .filter(|(_, a)| a.touched)
+                .map(|(edge, a)| {
+                    let count = current.get(&edge).copied().unwrap_or(0);
+                    let state = if a.dir_changes >= cfg.flap_threshold {
+                        EdgeState::Flapping
+                    } else if count > a.start {
+                        EdgeState::Gaining
+                    } else if count < a.start {
+                        EdgeState::Losing
+                    } else if a.gains > 0 || a.losses > 0 {
+                        // Net zero but it moved: a within-frame flap.
+                        EdgeState::Flapping
+                    } else {
+                        EdgeState::Steady
+                    };
+                    FrameEdge {
+                        edge,
+                        count,
+                        gains: a.gains,
+                        losses: a.losses,
+                        state,
+                    }
+                })
+                .filter(|fe| fe.state != EdgeState::Steady)
+                .collect();
+            changed.sort_by_key(|fe| fe.edge);
+            frames.push(Frame {
+                index: idx,
+                clock,
+                changed,
+            });
+        };
 
         for event in stream.iter() {
             let idx = frame_of(event.time);
@@ -668,7 +674,10 @@ mod tests {
             .map(|i| announce(i * 100, "3356 2914", &format!("20.{i}.0.0/16")))
             .collect();
         let animation = a.animate(&stream);
-        let edge = animation.graph().find_edge_by_labels("3356", "2914").unwrap();
+        let edge = animation
+            .graph()
+            .find_edge_by_labels("3356", "2914")
+            .unwrap();
         let greens = animation
             .frames()
             .iter()
@@ -710,7 +719,11 @@ mod tests {
     #[test]
     fn frame_weights_reconstruct() {
         let a = seeded_animator(3);
-        let edge = a.builder.graph().find_edge_by_labels("701", "1299").unwrap();
+        let edge = a
+            .builder
+            .graph()
+            .find_edge_by_labels("701", "1299")
+            .unwrap();
         let stream: EventStream = vec![
             withdraw(0, "701 1299", "10.0.0.0/16"),
             withdraw(15_000, "701 1299", "10.1.0.0/16"),
@@ -745,7 +758,10 @@ mod tests {
         assert!(svg.contains("incident clock"));
         assert!(svg.contains(EdgeState::Losing.color()));
         let plot = animation.render_edge_series_svg(
-            animation.graph().find_edge_by_labels("701", "1299").unwrap(),
+            animation
+                .graph()
+                .find_edge_by_labels("701", "1299")
+                .unwrap(),
             300.0,
             80.0,
         );

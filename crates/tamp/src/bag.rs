@@ -159,7 +159,10 @@ impl PrefixBag {
             Repr::Small(v) => (Some(v.iter().map(|&(p, _)| p)), None),
             Repr::Large(m) => (None, Some(m.keys().copied())),
         };
-        small.into_iter().flatten().chain(large.into_iter().flatten())
+        small
+            .into_iter()
+            .flatten()
+            .chain(large.into_iter().flatten())
     }
 
     /// Absorbs all references from `other` (graph merge).

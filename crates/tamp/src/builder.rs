@@ -338,9 +338,19 @@ mod tests {
             "11423 209".parse().unwrap(),
         );
         let prefix: Prefix = "10.0.0.0/8".parse().unwrap();
-        b.apply_event(&Event::announce(Timestamp::ZERO, peer, prefix, attrs.clone()));
+        b.apply_event(&Event::announce(
+            Timestamp::ZERO,
+            peer,
+            prefix,
+            attrs.clone(),
+        ));
         assert_eq!(b.route_count(), 1);
-        b.apply_event(&Event::withdraw(Timestamp::from_secs(1), peer, prefix, attrs));
+        b.apply_event(&Event::withdraw(
+            Timestamp::from_secs(1),
+            peer,
+            prefix,
+            attrs,
+        ));
         assert_eq!(b.route_count(), 0);
         assert_eq!(b.graph().total_prefix_count(), 0);
     }

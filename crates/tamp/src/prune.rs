@@ -130,7 +130,12 @@ mod tests {
     fn flat_threshold_cuts_small_branches() {
         let mut b = GraphBuilder::new("t");
         for i in 0..95u32 {
-            b.add(route(1, 10, "100 200", &format!("10.{}.{}.0/24", i / 250, i % 250)));
+            b.add(route(
+                1,
+                10,
+                "100 200",
+                &format!("10.{}.{}.0/24", i / 250, i % 250),
+            ));
         }
         for i in 0..5u32 {
             b.add(route(1, 10, "100 300", &format!("20.0.{i}.0/24")));

@@ -49,7 +49,9 @@ fn node_fill(kind: &NodeKind) -> &'static str {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders `graph` to a standalone SVG document.
@@ -172,7 +174,12 @@ pub fn render_dot(graph: &TampGraph, config: &RenderConfig) -> String {
         } else {
             kind.label()
         };
-        let _ = writeln!(dot, "  n{} [label=\"{}\"];", node.0, label.replace('"', "'"));
+        let _ = writeln!(
+            dot,
+            "  n{} [label=\"{}\"];",
+            node.0,
+            label.replace('"', "'")
+        );
     }
     for edge in graph.edge_ids() {
         let (from, to) = graph.edge_endpoints(edge);

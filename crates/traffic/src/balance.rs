@@ -72,10 +72,8 @@ pub fn balance_by_traffic(
     paths: usize,
 ) -> BalancePlan {
     assert!(paths > 0, "need at least one path");
-    let mut ranked: Vec<(Prefix, u64)> = prefixes
-        .iter()
-        .map(|&p| (p, traffic.volume(&p)))
-        .collect();
+    let mut ranked: Vec<(Prefix, u64)> =
+        prefixes.iter().map(|&p| (p, traffic.volume(&p))).collect();
     // Heaviest first; ties broken by prefix for determinism.
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
@@ -100,7 +98,9 @@ mod tests {
     use crate::zipf::ZipfTraffic;
 
     fn prefixes(n: u8) -> Vec<Prefix> {
-        (0..n).map(|i| Prefix::from_octets(10, i, 0, 0, 16)).collect()
+        (0..n)
+            .map(|i| Prefix::from_octets(10, i, 0, 0, 16))
+            .collect()
     }
 
     #[test]
@@ -108,10 +108,7 @@ mod tests {
         let px = prefixes(100);
         let traffic = ZipfTraffic::new(1.2, 42).volumes(&px, 1_000_000);
         // The naive "half the prefixes each way" split.
-        let naive = measure_split(
-            &[px[..50].to_vec(), px[50..].to_vec()],
-            &traffic,
-        );
+        let naive = measure_split(&[px[..50].to_vec(), px[50..].to_vec()], &traffic);
         // The traffic-aware plan.
         let planned = balance_by_traffic(&px, &traffic, 2);
         assert!(
@@ -130,11 +127,7 @@ mod tests {
     fn lpt_is_near_optimal_on_known_case() {
         // Volumes 7,6,5,4 over 2 paths: LPT gives {7,4}=11 vs {6,5}=11.
         let px = prefixes(4);
-        let traffic: TrafficMatrix = px
-            .iter()
-            .copied()
-            .zip([7u64, 6, 5, 4])
-            .collect();
+        let traffic: TrafficMatrix = px.iter().copied().zip([7u64, 6, 5, 4]).collect();
         let plan = balance_by_traffic(&px, &traffic, 2);
         assert_eq!(plan.volumes.iter().sum::<u64>(), 22);
         assert_eq!(plan.imbalance(), 1.0);

@@ -133,9 +133,21 @@ mod tests {
         table.insert(p("10.0.0.0/8"), ());
         table.insert(p("10.1.0.0/16"), ());
         let flows = vec![
-            FlowRecord { dst: 0x0A01_0001, bytes: 70, time: Timestamp::ZERO }, // 10.1.0.1
-            FlowRecord { dst: 0x0A02_0001, bytes: 20, time: Timestamp::ZERO }, // 10.2.0.1
-            FlowRecord { dst: 0x0B00_0001, bytes: 5, time: Timestamp::ZERO },  // 11.0.0.1
+            FlowRecord {
+                dst: 0x0A01_0001,
+                bytes: 70,
+                time: Timestamp::ZERO,
+            }, // 10.1.0.1
+            FlowRecord {
+                dst: 0x0A02_0001,
+                bytes: 20,
+                time: Timestamp::ZERO,
+            }, // 10.2.0.1
+            FlowRecord {
+                dst: 0x0B00_0001,
+                bytes: 5,
+                time: Timestamp::ZERO,
+            }, // 11.0.0.1
         ];
         let (m, unattributed) = TrafficMatrix::from_flows(&flows, &table);
         assert_eq!(m.volume(&p("10.1.0.0/16")), 70);

@@ -104,7 +104,10 @@ mod tests {
                 Timestamp::from_secs(i as u64),
                 peer,
                 Prefix::from_octets(10, (i % 6) as u8, 0, 0, 16),
-                PathAttributes::new(RouterId::from_octets(2, 2, 2, 1), "100 200".parse().unwrap()),
+                PathAttributes::new(
+                    RouterId::from_octets(2, 2, 2, 1),
+                    "100 200".parse().unwrap(),
+                ),
             ));
         }
         for i in 0..4u32 {
@@ -112,7 +115,10 @@ mod tests {
                 Timestamp::from_secs(50 + i as u64),
                 peer,
                 p("20.0.0.0/16"),
-                PathAttributes::new(RouterId::from_octets(2, 2, 2, 2), "100 300".parse().unwrap()),
+                PathAttributes::new(
+                    RouterId::from_octets(2, 2, 2, 2),
+                    "100 300".parse().unwrap(),
+                ),
             ));
         }
         stream.sort_by_time();

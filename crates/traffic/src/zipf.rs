@@ -81,7 +81,11 @@ impl ZipfTraffic {
                 };
                 flows.push(FlowRecord {
                     dst: prefix.addr() | offset,
-                    bytes: if i == 0 { per_flow + bytes % count as u64 } else { per_flow },
+                    bytes: if i == 0 {
+                        per_flow + bytes % count as u64
+                    } else {
+                        per_flow
+                    },
                     time: Timestamp::from_secs(i as u64),
                 });
             }
@@ -95,7 +99,9 @@ mod tests {
     use super::*;
 
     fn prefixes(n: u8) -> Vec<Prefix> {
-        (0..n).map(|i| Prefix::from_octets(10, i, 0, 0, 16)).collect()
+        (0..n)
+            .map(|i| Prefix::from_octets(10, i, 0, 0, 16))
+            .collect()
     }
 
     #[test]

@@ -43,19 +43,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or(0.0)
     };
     println!("§IV-A load-balance split across the two rate limiters:");
-    println!("  128.32.0.66 carries {:5.1}% of prefixes", share("128.32.0.66", "11423"));
-    println!("  128.32.0.70 carries {:5.1}% of prefixes  <- should be equal!", share("128.32.0.70", "11423"));
-    println!("  (CalREN->QWest {:5.1}%, CalREN->Abilene {:5.1}%)", share("11423", "209"), share("11423", "11537"));
+    println!(
+        "  128.32.0.66 carries {:5.1}% of prefixes",
+        share("128.32.0.66", "11423")
+    );
+    println!(
+        "  128.32.0.70 carries {:5.1}% of prefixes  <- should be equal!",
+        share("128.32.0.70", "11423")
+    );
+    println!(
+        "  (CalREN->QWest {:5.1}%, CalREN->Abilene {:5.1}%)",
+        share("11423", "209"),
+        share("11423", "11537")
+    );
     let fig2 = prune_flat(&graph, 0.05);
-    fs::write(out_dir.join("fig2_berkeley.svg"), render_svg(&fig2, &RenderConfig::default()))?;
-    fs::write(out_dir.join("fig2_berkeley.dot"), render_dot(&fig2, &RenderConfig::default()))?;
+    fs::write(
+        out_dir.join("fig2_berkeley.svg"),
+        render_svg(&fig2, &RenderConfig::default()),
+    )?;
+    fs::write(
+        out_dir.join("fig2_berkeley.dot"),
+        render_dot(&fig2, &RenderConfig::default()),
+    )?;
 
     // §IV-B — Backdoor routes (Figure 5): hierarchical pruning keeps them.
     let fig5 = prune_hierarchical(&graph, &PruneConfig::hierarchical(0.05));
     let backdoor_visible = fig5.find_edge_by_labels("169.229.0.157", "7018").is_some();
     println!("\n§IV-B backdoor to AT&T visible under hierarchical pruning: {backdoor_visible}");
-    println!("      (flat 5% pruning hides it: {})", prune_flat(&graph, 0.05).find_edge_by_labels("169.229.0.157", "7018").is_none());
-    fs::write(out_dir.join("fig5_backdoor.svg"), render_svg(&fig5, &RenderConfig::default()))?;
+    println!(
+        "      (flat 5% pruning hides it: {})",
+        prune_flat(&graph, 0.05)
+            .find_edge_by_labels("169.229.0.157", "7018")
+            .is_none()
+    );
+    fs::write(
+        out_dir.join("fig5_backdoor.svg"),
+        render_svg(&fig5, &RenderConfig::default()),
+    )?;
 
     // §IV-C — Community mis-tagging (Figure 6): TAMP over one community.
     let tagged = site.routes_with_community(cenic_community());
@@ -76,19 +100,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n§IV-C community 2152:65297 ({} prefixes):", tagged.len());
     println!("  {los:5.1}% really from Los Nettos (AS226)");
     println!("  {kddi:5.1}% mis-tagged KDDI routes (AS2516)  <- should be 0%");
-    fs::write(out_dir.join("fig6_mistag.svg"), render_svg(&fig6, &RenderConfig::default()))?;
+    fs::write(
+        out_dir.join("fig6_mistag.svg"),
+        render_svg(&fig6, &RenderConfig::default()),
+    )?;
 
     // §IV-D — Peer leaking routes (Figure 7), simulated.
-    println!("\n§IV-D simulating the leaked-routes incident ({} prefixes move twice)…", site.leak_prefix_count());
+    println!(
+        "\n§IV-D simulating the leaked-routes incident ({} prefixes move twice)…",
+        site.leak_prefix_count()
+    );
     let incident = site.leak_incident();
-    println!("  {} collector events ({} sim messages)", incident.len(), incident.stats.messages_delivered);
+    println!(
+        "  {} collector events ({} sim messages)",
+        incident.len(),
+        incident.stats.messages_delivered
+    );
 
     let result = Stemming::new().decompose(&incident.stream);
     println!("  Stemming found {} components:", result.components().len());
     for (i, c) in result.components().iter().take(3).enumerate() {
         println!("   #{i}: {}", c.summarize(result.symbols()));
         let verdict = classify(c, &incident.stream);
-        println!("       classified: {} ({:.0}%)", verdict.kind, verdict.confidence * 100.0);
+        println!(
+            "       classified: {} ({:.0}%)",
+            verdict.kind,
+            verdict.confidence * 100.0
+        );
     }
 
     // Policy correlation: which config lines made it hurt?
@@ -104,11 +142,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut animator = Animator::new("Berkeley leak");
     animator.seed_all(routes.iter().map(RouteInput::from_route));
     let animation = animator.animate(&sub);
-    for (name, idx) in [("fig7_before.svg", 0usize), ("fig7_during.svg", 374), ("fig7_after.svg", 749)] {
+    for (name, idx) in [
+        ("fig7_before.svg", 0usize),
+        ("fig7_during.svg", 374),
+        ("fig7_after.svg", 749),
+    ] {
         fs::write(out_dir.join(name), animation.render_frame_svg(idx))?;
     }
-    fs::write(out_dir.join("fig7_animation.svg"), animation.render_animated_svg(64))?;
-    println!("  wrote fig7_{{before,during,after}}.svg + fig7_animation.svg to {}", out_dir.display());
+    fs::write(
+        out_dir.join("fig7_animation.svg"),
+        animation.render_animated_svg(64),
+    )?;
+    println!(
+        "  wrote fig7_{{before,during,after}}.svg + fig7_animation.svg to {}",
+        out_dir.display()
+    );
 
     Ok(())
 }

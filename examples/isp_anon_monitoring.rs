@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let top = &result.components()[0];
     println!("  strongest component: {}", top.summarize(result.symbols()));
     let verdict = classify(top, &flap.stream);
-    println!("  classified: {} ({:.0}%)", verdict.kind, verdict.confidence * 100.0);
+    println!(
+        "  classified: {} ({:.0}%)",
+        verdict.kind,
+        verdict.confidence * 100.0
+    );
     for note in &verdict.notes {
         println!("    note: {note}");
     }
@@ -31,20 +35,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §IV-F — persistent oscillation on 4.5.0.0/16 (Figure 3).
     println!("\n== §IV-F persistent oscillation ==");
     let osc = isp.med_oscillation_incident(300, Timestamp::from_millis(10));
-    println!("  {} events, {} on {}", osc.len(),
-        osc.stream.iter().filter(|e| e.prefix == oscillating_prefix()).count(),
-        oscillating_prefix());
+    println!(
+        "  {} events, {} on {}",
+        osc.len(),
+        osc.stream
+            .iter()
+            .filter(|e| e.prefix == oscillating_prefix())
+            .count(),
+        oscillating_prefix()
+    );
     let result = Stemming::new().decompose(&osc.stream);
     let top = &result.components()[0];
     println!("  strongest component: {}", top.summarize(result.symbols()));
     let verdict = classify(top, &osc.stream);
-    println!("  classified: {} ({:.0}%)", verdict.kind, verdict.confidence * 100.0);
+    println!(
+        "  classified: {} ({:.0}%)",
+        verdict.kind,
+        verdict.confidence * 100.0
+    );
 
     // Figure 3: animation snapshot + the per-edge impulse plot.
     let sub = result.component_stream(&osc.stream, 0);
     let animator = Animator::new("ISP-Anon oscillation");
     let animation = animator.animate(&sub);
-    fs::write(out_dir.join("fig3_oscillation.svg"), animation.render_frame_svg(374))?;
+    fs::write(
+        out_dir.join("fig3_oscillation.svg"),
+        animation.render_frame_svg(374),
+    )?;
     // Find a flapping edge for the side panel.
     if let Some(edge) = animation
         .graph()
@@ -63,14 +80,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Figure 8: event rate over ~3 months ==");
     let stream = isp.long_run_stream(90, 60_000);
     let series = EventRateMeter::new(Timestamp::from_secs(6 * 3600)).series(&stream);
-    println!("  {} events in {} six-hour buckets", stream.len(), series.counts().len());
-    println!("  grass level {} events/bucket, mean {:.0}, max {}",
-        series.grass_level(), series.mean(),
-        series.counts().iter().max().unwrap_or(&0));
+    println!(
+        "  {} events in {} six-hour buckets",
+        stream.len(),
+        series.counts().len()
+    );
+    println!(
+        "  grass level {} events/bucket, mean {:.0}, max {}",
+        series.grass_level(),
+        series.mean(),
+        series.counts().iter().max().unwrap_or(&0)
+    );
     let spikes = series.spikes(3.0);
     println!("  {} spikes above mean+3σ:", spikes.len());
     for s in &spikes {
-        println!("    {} .. {} ({} events, peak {})", s.start, s.end, s.events, s.peak);
+        println!(
+            "    {} .. {} ({} events, peak {})",
+            s.start, s.end, s.events, s.peak
+        );
     }
     fs::write(
         out_dir.join("fig8_event_rate.svg"),

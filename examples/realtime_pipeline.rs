@@ -17,15 +17,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut feed: Vec<(UpdateMessage, Timestamp)> = Vec::new();
 
     // Steady state: 2,000 prefixes announced.
-    let attrs = |tail: u32| -> PathAttributes {
-        PathAttributes::new(hop, AsPath::from_u32s([701, tail]))
-    };
+    let attrs =
+        |tail: u32| -> PathAttributes { PathAttributes::new(hop, AsPath::from_u32s([701, tail])) };
     for i in 0..2_000u32 {
         feed.push((
             UpdateMessage::announce(
                 peer,
                 attrs(30_000 + i % 97),
-                [Prefix::from_octets(20, (i / 250) as u8, (i % 250) as u8, 0, 24)],
+                [Prefix::from_octets(
+                    20,
+                    (i / 250) as u8,
+                    (i % 250) as u8,
+                    0,
+                    24,
+                )],
             ),
             Timestamp::from_secs(i as u64 / 50),
         ));
@@ -36,7 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         feed.push((
             UpdateMessage::withdraw(
                 peer,
-                [Prefix::from_octets(20, (i / 250) as u8, (i % 250) as u8, 0, 24)],
+                [Prefix::from_octets(
+                    20,
+                    (i / 250) as u8,
+                    (i % 250) as u8,
+                    0,
+                    24,
+                )],
             ),
             Timestamp::from_secs(reset_at + i as u64 / 400),
         ));
@@ -46,7 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             UpdateMessage::announce(
                 peer,
                 attrs(30_000 + i % 97),
-                [Prefix::from_octets(20, (i / 250) as u8, (i % 250) as u8, 0, 24)],
+                [Prefix::from_octets(
+                    20,
+                    (i / 250) as u8,
+                    (i % 250) as u8,
+                    0,
+                    24,
+                )],
             ),
             Timestamp::from_secs(reset_at + 60 + i as u64 / 400),
         ));

@@ -1,0 +1,112 @@
+//! Offline shim for the `bytes` crate: just the big-endian `Buf`/`BufMut`
+//! accessors the MRT codec uses, implemented for `&[u8]` and `Vec<u8>`.
+
+/// Read cursor over a byte slice.
+///
+/// # Panics
+///
+/// Like the real crate, the `get_*` methods panic when the buffer holds
+/// fewer bytes than requested; callers check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16;
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_be_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xab);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xdeadbeef);
+        buf.put_u64(0x0102030405060708);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdeadbeef);
+        assert_eq!(r.get_u64(), 0x0102030405060708);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! with criterion's group/bench API shape. Reports mean time per iteration
+//! (and derived throughput when one is set); no statistics, no HTML.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then enough calls to fill the sample budget.
+        black_box(f());
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = Duration::from_millis(300);
+        while iters < self.samples as u64 || total < budget {
+            let start = Instant::now();
+            black_box(f());
+            total += start.elapsed();
+            iters += 1;
+            if iters >= 10_000 {
+                break;
+            }
+        }
+        self.mean_secs = total.as_secs_f64() / iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_secs: 0.0,
+        };
+        f(&mut b);
+        let mut line = format!("{}/{id}: {:.3} ms/iter", self.name, b.mean_secs * 1e3);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_secs > 0.0 => {
+                line.push_str(&format!(" ({:.0} elem/s)", n as f64 / b.mean_secs));
+            }
+            Some(Throughput::Bytes(n)) if b.mean_secs > 0.0 => {
+                line.push_str(&format!(" ({:.0} B/s)", n as f64 / b.mean_secs));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function that runs the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

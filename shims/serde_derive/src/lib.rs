@@ -1,0 +1,402 @@
+//! Offline shim for `serde_derive`.
+//!
+//! A hand-rolled (no `syn`/`quote`) implementation of
+//! `#[derive(Serialize)]` and `#[derive(Deserialize)]` targeting the shim
+//! `serde` crate's `to_value`/`from_value` traits. It supports the shapes
+//! this workspace actually uses: non-generic structs (named, tuple, unit)
+//! and enums whose variants are unit, tuple, or struct-like. Serde field
+//! attributes are not supported (none are used in this repo); `#[...]`
+//! attributes encountered while parsing (doc comments, `#[default]`, …)
+//! are skipped.
+//!
+//! The generated code follows serde's JSON data-model conventions:
+//! named structs become maps, newtype structs unwrap to their inner value,
+//! tuple structs become sequences, unit enum variants become strings, and
+//! data-carrying variants become single-entry maps keyed by variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: an optional name (None for tuple fields).
+struct Field {
+    name: Option<String>,
+}
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips `#[...]` attribute pairs (including doc comments) at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(crate)` visibility marker at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a token slice on commas that sit outside angle brackets. Groups
+/// are single tokens, so only `<`/`>` depth needs manual tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// Parses the fields of a brace-delimited body into named fields.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut i = 0;
+            skip_attrs(&chunk, &mut i);
+            skip_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(Field {
+                    name: Some(id.to_string()),
+                }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a paren-delimited (tuple) body.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(tokens).len()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` not supported by the serde shim"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                None => Body::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Body::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Body::Tuple(count_tuple_fields(&inner))
+                }
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, body })
+        }
+        "enum" => {
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for chunk in split_top_level_commas(&inner) {
+                let mut j = 0;
+                skip_attrs(&chunk, &mut j);
+                let vname = match chunk.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => continue,
+                    other => return Err(format!("expected variant name, got {other:?}")),
+                };
+                j += 1;
+                let body = match chunk.get(j) {
+                    None => Body::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Body::Tuple(count_tuple_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Body::Named(parse_named_fields(&inner))
+                    }
+                    other => return Err(format!("unexpected variant body: {other:?}")),
+                };
+                variants.push(Variant { name: vname, body });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match &item {
+        Item::Struct { name, body } => {
+            let expr = match body {
+                Body::Unit => "::serde::Value::Null".to_owned(),
+                Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Body::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let fname = f.name.as_deref().unwrap();
+                            format!(
+                                "(String::from({fname:?}), ::serde::Serialize::to_value(&self.{fname}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                let arm = match &v.body {
+                    Body::Unit => {
+                        format!("{name}::{vname} => ::serde::Value::Str(String::from({vname:?}))")
+                    }
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(String::from({vname:?}), {payload})])",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Body::Named(fields) => {
+                        let names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+                        let entries: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!("(String::from({f:?}), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(String::from({vname:?}), ::serde::Value::Map(vec![{entries}]))])",
+                            binds = names.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match &item {
+        Item::Struct { name, body } => {
+            let expr = match body {
+                Body::Unit => format!("Ok({name})"),
+                Body::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(::serde::seq_field(v, {i})?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name}({}))", items.join(", "))
+                }
+                Body::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let fname = f.name.as_deref().unwrap();
+                            format!(
+                                "{fname}: ::serde::Deserialize::from_value(::serde::map_field(v, {fname:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        unit_arms.push(format!("{vname:?} => Ok({name}::{vname})"));
+                    }
+                    Body::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!("Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(::serde::seq_field(inner, {i})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!("Ok({name}::{vname}({}))", items.join(", "))
+                        };
+                        payload_arms.push(format!("{vname:?} => {{ {expr} }}"));
+                    }
+                    Body::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_deref().unwrap();
+                                format!(
+                                    "{fname}: ::serde::Deserialize::from_value(::serde::map_field(inner, {fname:?})?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "{vname:?} => {{ Ok({name}::{vname} {{ {} }}) }}",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            unit_arms.push(format!(
+                "other => Err(::serde::Error::msg(format!(\"unknown {name} variant {{other:?}}\")))"
+            ));
+            payload_arms.push(format!(
+                "other => Err(::serde::Error::msg(format!(\"unknown {name} variant {{other:?}}\")))"
+            ));
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (k, inner) = &entries[0];\n\
+                                 match k.as_str() {{ {payload_arms} }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"expected {name} variant, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join(",\n"),
+                payload_arms = payload_arms.join(",\n")
+            )
+        }
+    };
+    src.parse().unwrap()
+}

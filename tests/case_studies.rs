@@ -16,13 +16,15 @@ fn case_a_load_balancing_unbalanced() {
     }
     let g = builder.finish();
     let total = g.total_prefix_count() as f64;
-    let w66 = g
-        .edge_weight(g.find_edge_by_labels("128.32.0.66", "11423").expect("edge 66"))
-        as f64
+    let w66 = g.edge_weight(
+        g.find_edge_by_labels("128.32.0.66", "11423")
+            .expect("edge 66"),
+    ) as f64
         / total;
-    let w70 = g
-        .edge_weight(g.find_edge_by_labels("128.32.0.70", "11423").expect("edge 70"))
-        as f64
+    let w70 = g.edge_weight(
+        g.find_edge_by_labels("128.32.0.70", "11423")
+            .expect("edge 70"),
+    ) as f64
         / total;
     // Paper: 78% vs 5% — wildly unbalanced, not the intended even split.
     assert!(w66 > 0.70, "hop66 share {w66}");
@@ -61,16 +63,19 @@ fn case_c_community_mistagging() {
     }
     let g = builder.finish();
     let total = g.total_prefix_count() as f64;
-    let los = g
-        .edge_weight(g.find_edge_by_labels("2152", "226").expect("Los Nettos edge")) as f64
+    let los = g.edge_weight(
+        g.find_edge_by_labels("2152", "226")
+            .expect("Los Nettos edge"),
+    ) as f64
         / total;
-    let kddi = g
-        .edge_weight(g.find_edge_by_labels("2152", "2516").expect("KDDI edge")) as f64
-        / total;
+    let kddi =
+        g.edge_weight(g.find_edge_by_labels("2152", "2516").expect("KDDI edge")) as f64 / total;
     assert!((0.25..0.40).contains(&los), "Los Nettos share {los}");
     assert!((0.60..0.75).contains(&kddi), "KDDI share {kddi}");
     // Sanity against the scenario's own AS constants.
-    assert!(tagged.iter().any(|r| r.attrs.as_path.contains(AS_LOS_NETTOS)));
+    assert!(tagged
+        .iter()
+        .any(|r| r.attrs.as_path.contains(AS_LOS_NETTOS)));
     assert!(tagged.iter().any(|r| r.attrs.as_path.contains(AS_KDDI)));
 }
 
@@ -135,10 +140,17 @@ fn case_e_continuous_customer_flapping() {
     // All affected prefixes are the customer's (6.0.0.0/16-ish).
     assert!(top.prefixes.iter().all(|p| p.addr() >> 24 == 6));
     // High events-per-prefix: the signature of a flap, not a one-shot move.
-    assert!(top.events_per_prefix() > 8.0, "epp {}", top.events_per_prefix());
+    assert!(
+        top.events_per_prefix() > 8.0,
+        "epp {}",
+        top.events_per_prefix()
+    );
     let verdict = classify(top, &incident.stream);
     assert!(
-        matches!(verdict.kind, AnomalyKind::RouteFlap | AnomalyKind::MedOscillation),
+        matches!(
+            verdict.kind,
+            AnomalyKind::RouteFlap | AnomalyKind::MedOscillation
+        ),
         "classified {} ({:?})",
         verdict.kind,
         verdict.notes
@@ -168,7 +180,12 @@ fn case_f_persistent_med_oscillation() {
     assert_eq!(top.prefix_count(), 1);
     assert!(top.prefixes.contains(&oscillating_prefix()));
     let verdict = classify(top, &incident.stream);
-    assert_eq!(verdict.kind, AnomalyKind::MedOscillation, "{:?}", verdict.notes);
+    assert_eq!(
+        verdict.kind,
+        AnomalyKind::MedOscillation,
+        "{:?}",
+        verdict.notes
+    );
 
     // And it is still the strongest correlation in a SHORT window (the
     // paper: "even when applied to a short timescale of a few minutes").
@@ -176,7 +193,9 @@ fn case_f_persistent_med_oscillation() {
     let window = incident.stream.window(mid, mid + Timestamp::from_secs(120));
     if window.len() >= 4 {
         let short = Stemming::new().decompose(&window);
-        assert!(short.components()[0].prefixes.contains(&oscillating_prefix()));
+        assert!(short.components()[0]
+            .prefixes
+            .contains(&oscillating_prefix()));
     }
 }
 
@@ -198,10 +217,20 @@ fn figure1_exact_reproduction() {
     let hop_a = RouterId::from_octets(10, 1, 0, 1);
     let mut builder = GraphBuilder::new("fig1");
     for p in ["1.2.1.0/24", "1.2.2.0/24", "1.2.3.0/24"] {
-        builder.add(RouteInput::new(x, hop_a, "1".parse().unwrap(), p.parse().unwrap()));
+        builder.add(RouteInput::new(
+            x,
+            hop_a,
+            "1".parse().unwrap(),
+            p.parse().unwrap(),
+        ));
     }
     for p in ["1.2.2.0/24", "1.2.3.0/24", "1.2.4.0/24"] {
-        builder.add(RouteInput::new(y, hop_a, "1".parse().unwrap(), p.parse().unwrap()));
+        builder.add(RouteInput::new(
+            y,
+            hop_a,
+            "1".parse().unwrap(),
+            p.parse().unwrap(),
+        ));
     }
     let g = builder.finish();
     let edge = g.find_edge_by_labels("10.1.0.1", "1").expect("merged edge");

@@ -17,7 +17,11 @@ fn sim_to_animation_roundtrip() {
         .monitor(edge)
         .build();
     for i in 0..80u8 {
-        sim.originate(provider, Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+        sim.originate(
+            provider,
+            Prefix::from_octets(20, i, 0, 0, 16),
+            Timestamp::ZERO,
+        );
     }
     sim.session_down(edge, provider, Timestamp::from_secs(100));
     sim.session_up(edge, provider, Timestamp::from_secs(160));
@@ -65,7 +69,11 @@ fn realtime_pipeline_on_simulated_feed() {
         .monitor(edge)
         .build();
     for i in 0..60u8 {
-        sim.originate(provider, Prefix::from_octets(20, i, 0, 0, 16), Timestamp::ZERO);
+        sim.originate(
+            provider,
+            Prefix::from_octets(20, i, 0, 0, 16),
+            Timestamp::ZERO,
+        );
     }
     sim.session_down(edge, provider, Timestamp::from_secs(600));
     sim.session_up(edge, provider, Timestamp::from_secs(660));
@@ -84,7 +92,9 @@ fn realtime_pipeline_on_simulated_feed() {
     }
     reports.extend(detector.finish());
     assert!(
-        reports.iter().any(|r| r.verdict.kind == AnomalyKind::SessionReset),
+        reports
+            .iter()
+            .any(|r| r.verdict.kind == AnomalyKind::SessionReset),
         "kinds: {:?}",
         reports.iter().map(|r| r.verdict.kind).collect::<Vec<_>>()
     );
@@ -141,7 +151,11 @@ fn igp_drilldown_implicates_metric_change() {
         .map(|c| AnomalyReport::new(c, classify(c, &stream), result.symbols()))
         .collect();
     bgpscope_anomaly::enrich_with_igp(&mut reports, &out.igp_log, Timestamp::from_secs(5));
-    assert_eq!(reports[0].igp_nearby, Some(1), "the metric change is flagged");
+    assert_eq!(
+        reports[0].igp_nearby,
+        Some(1),
+        "the metric change is flagged"
+    );
 }
 
 /// Traffic integration (§III-D.2): the same TAMP graph ranks differently by
@@ -265,7 +279,9 @@ fn leak_of_more_specifics_scanned_as_deaggregation() {
     sim.originate(provider, "10.0.0.0/8".parse().unwrap(), Timestamp::ZERO);
     sim.run_until(Timestamp::from_secs(5));
     // The leak: 30 /16s under it (the classic deaggregation leak).
-    let specifics: Vec<Prefix> = (0..30u8).map(|i| Prefix::from_octets(10, i, 0, 0, 16)).collect();
+    let specifics: Vec<Prefix> = (0..30u8)
+        .map(|i| Prefix::from_octets(10, i, 0, 0, 16))
+        .collect();
     Injector::leak(
         &mut sim,
         leaker,

@@ -73,7 +73,10 @@ fn animation_fixed_duration_consolidation() {
         let animation = Animator::new("shape").animate(&stream);
         assert_eq!(animation.frame_count(), 750, "n_events={n_events}");
         // Frame clocks are within the incident timerange.
-        assert!(animation.frames().iter().all(|f| f.clock <= animation.timerange()));
+        assert!(animation
+            .frames()
+            .iter()
+            .all(|f| f.clock <= animation.timerange()));
     }
 }
 
@@ -106,9 +109,7 @@ fn fig8_spikes_and_grass() {
     // The spikes cover only a small part of the period.
     let spike_buckets: u64 = spikes
         .iter()
-        .map(|s| {
-            (s.end.saturating_since(s.start)).as_micros() / series.bucket_width().as_micros()
-        })
+        .map(|s| (s.end.saturating_since(s.start)).as_micros() / series.bucket_width().as_micros())
         .sum();
     assert!(
         (spike_buckets as usize) < series.counts().len() / 4,
