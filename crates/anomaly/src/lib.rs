@@ -44,6 +44,9 @@ pub mod scan;
 
 pub use classify::{classify, AnomalyKind, Verdict};
 pub use igp::enrich_with_igp;
-pub use pipeline::{PipelineConfig, RealtimeDetector};
+pub use pipeline::{
+    DegradeConfig, OverloadPolicy, PipelineClosed, PipelineConfig, PipelineHandle, PipelineStats,
+    RealtimeDetector, SpawnConfig,
+};
 pub use report::AnomalyReport;
 pub use scan::{scan_deaggregation, scan_moas, DeaggregationBurst, MoasConflict};

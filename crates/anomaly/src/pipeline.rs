@@ -9,9 +9,31 @@
 //! sufficiently large component is classified and reported.
 //!
 //! [`RealtimeDetector`] is the synchronous core; [`RealtimeDetector::spawn`]
-//! runs it on its own thread behind crossbeam channels for live feeds.
+//! runs it on its own thread behind a crossbeam channel for live feeds.
+//!
+//! # Overload robustness
+//!
+//! A detector that ran for months inside Berkeley and a Tier-1 ISP had to
+//! survive update storms orders of magnitude above baseline, malformed
+//! records, and slow consumers. The spawned pipeline is therefore *bounded*:
+//! [`SpawnConfig::capacity`] caps the ingest queue, and
+//! [`SpawnConfig::overload`] picks what happens when analysis falls behind
+//! the feed ([`OverloadPolicy`]). Nothing is ever lost silently — every
+//! shed, dropped, evicted, or clamped event lands in a [`PipelineStats`]
+//! counter, and the snapshot closes exactly:
+//!
+//! ```text
+//! ingested == analyzed + shed_events + dropped_events + carried + queued
+//! ```
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, SendTimeoutError, Sender, TryRecvError, TrySendError,
+};
+use serde::{Deserialize, Serialize};
 
 use bgpscope_bgp::{Event, EventStream, Timestamp, UpdateMessage};
 use bgpscope_collector::Collector;
@@ -34,6 +56,19 @@ pub struct PipelineConfig {
     /// If a single window accumulates this many events, analyze immediately
     /// instead of waiting for the boundary (spike fast-path).
     pub spike_events: usize,
+    /// Carry-forward count cap: at a window rotation that carries a
+    /// below-`min_events` buffer forward, the oldest events beyond this
+    /// many are evicted (counted in
+    /// [`PipelineStats::carry_forward_evictions`], never silent).
+    /// `0` = unlimited.
+    pub max_carry_events: usize,
+    /// Carry-forward age cap: at a window rotation, carried events older
+    /// than this (relative to the new window start) are evicted.
+    /// [`Timestamp::ZERO`] = unlimited.
+    pub max_carry_age: Timestamp,
+    /// How Stemming is coarsened while the pipeline is in degraded mode
+    /// (see [`OverloadPolicy::Degrade`]).
+    pub degrade: DegradeConfig,
 }
 
 impl Default for PipelineConfig {
@@ -44,6 +79,9 @@ impl Default for PipelineConfig {
             min_component_events: 10,
             stemming: StemmingConfig::default(),
             spike_events: 100_000,
+            max_carry_events: 10_000,
+            max_carry_age: Timestamp::from_secs(6 * 3600),
+            degrade: DegradeConfig::default(),
         }
     }
 }
@@ -58,6 +96,203 @@ impl PipelineConfig {
     }
 }
 
+/// How Stemming is coarsened in degraded mode: the point is to make each
+/// analysis pass cheap enough for the queue to drain, at the cost of
+/// finding only the strongest correlations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DegradeConfig {
+    /// `min_support` is multiplied by this (weaker correlations are noise
+    /// we cannot afford to chase under overload).
+    pub min_support_multiplier: u64,
+    /// Per-window component budget is capped at this many components.
+    pub max_components: usize,
+    /// Sub-sequence enumeration is capped at this length (an unlimited
+    /// `max_subseq_len` is lowered to it; a tighter one is kept).
+    pub max_subseq_len: usize,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            min_support_multiplier: 4,
+            max_components: 4,
+            max_subseq_len: 6,
+        }
+    }
+}
+
+/// What the spawned pipeline does when its bounded ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverloadPolicy {
+    /// Apply backpressure: the producer blocks until the queue drains.
+    /// Lossless, but a slow consumer stalls the feed.
+    Block,
+    /// Shed the incoming event (the queue keeps the older, already-accepted
+    /// ones). Bounds both memory and producer latency.
+    DropNewest,
+    /// Shed the oldest queued event to make room for the incoming one —
+    /// under a storm the analysis window slides toward "now".
+    DropOldest,
+    /// Lossless like [`OverloadPolicy::Block`], but a full queue switches
+    /// the detector into degraded mode — coarser Stemming per
+    /// [`DegradeConfig`] — until the queue drains. Each analysis run in
+    /// that state is counted in [`PipelineStats::degraded_windows`].
+    Degrade,
+}
+
+impl OverloadPolicy {
+    /// All four policies, for exhaustive testing.
+    pub const ALL: [OverloadPolicy; 4] = [
+        OverloadPolicy::Block,
+        OverloadPolicy::DropNewest,
+        OverloadPolicy::DropOldest,
+        OverloadPolicy::Degrade,
+    ];
+}
+
+impl std::fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::DropNewest => "drop-newest",
+            OverloadPolicy::DropOldest => "drop-oldest",
+            OverloadPolicy::Degrade => "degrade",
+        })
+    }
+}
+
+impl std::str::FromStr for OverloadPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(OverloadPolicy::Block),
+            "drop-newest" => Ok(OverloadPolicy::DropNewest),
+            "drop-oldest" => Ok(OverloadPolicy::DropOldest),
+            "degrade" => Ok(OverloadPolicy::Degrade),
+            other => Err(format!(
+                "unknown overload policy {other:?} (expected block, drop-newest, drop-oldest, or degrade)"
+            )),
+        }
+    }
+}
+
+/// Configuration for [`RealtimeDetector::spawn`].
+#[derive(Debug, Clone)]
+pub struct SpawnConfig {
+    /// The detector configuration.
+    pub pipeline: PipelineConfig,
+    /// Ingest-queue bound in events (`0` = unbounded, the pre-backpressure
+    /// behavior — a slow consumer can then grow the queue without limit).
+    pub capacity: usize,
+    /// What to do when the bounded queue is full. Ignored when
+    /// `capacity == 0`.
+    pub overload: OverloadPolicy,
+}
+
+impl Default for SpawnConfig {
+    fn default() -> Self {
+        SpawnConfig {
+            pipeline: PipelineConfig::default(),
+            capacity: 65_536,
+            overload: OverloadPolicy::Block,
+        }
+    }
+}
+
+impl SpawnConfig {
+    /// A spawn configuration around the given pipeline config.
+    pub fn new(pipeline: PipelineConfig) -> Self {
+        SpawnConfig {
+            pipeline,
+            ..SpawnConfig::default()
+        }
+    }
+
+    /// Sets the ingest-queue capacity (`0` = unbounded).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the overload policy.
+    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
+}
+
+/// A point-in-time accounting snapshot of a pipeline.
+///
+/// The invariant — checked by [`PipelineStats::accounts_exactly`] and
+/// asserted continuously by the soak test — is that no event is ever lost
+/// without being counted:
+///
+/// ```text
+/// ingested == analyzed + shed_events + dropped_events + carried + queued
+/// ```
+///
+/// After a terminal flush (`finish`), `carried` and `queued` are both zero,
+/// so the ledger closes as
+/// `ingested == analyzed + shed_events + dropped_events`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Events offered to the pipeline (post-collector augmentation).
+    pub ingested: u64,
+    /// Events that went through a Stemming analysis pass.
+    pub analyzed: u64,
+    /// Events shed by the overload policy before reaching the detector.
+    pub shed_events: u64,
+    /// Events discarded by the detector: terminal flushes of
+    /// below-`min_events` buffers plus carry-forward evictions.
+    pub dropped_events: u64,
+    /// Carry-forward cap evictions (a subset of `dropped_events`).
+    pub carry_forward_evictions: u64,
+    /// Analysis passes run in degraded mode.
+    pub degraded_windows: u64,
+    /// Out-of-order events clamped forward into the current window.
+    pub clamped_events: u64,
+    /// Unparseable feed records skipped upstream (see
+    /// `bgpscope_mrt::text_to_events_lossy`).
+    pub parse_errors: u64,
+    /// Events currently buffered in the detector's analysis window.
+    pub carried: u64,
+    /// Events currently in flight in the spawn queue (always 0 for the
+    /// synchronous detector).
+    pub queued: u64,
+}
+
+impl PipelineStats {
+    /// True when the accounting ledger closes exactly (see the type docs).
+    pub fn accounts_exactly(&self) -> bool {
+        self.ingested
+            == self.analyzed + self.shed_events + self.dropped_events + self.carried + self.queued
+    }
+}
+
+impl std::fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ingested {} = analyzed {} + shed {} + dropped {} + carried {} + queued {}",
+            self.ingested,
+            self.analyzed,
+            self.shed_events,
+            self.dropped_events,
+            self.carried,
+            self.queued
+        )?;
+        write!(
+            f,
+            "  carry evictions {}, degraded windows {}, clamped {}, parse errors {}",
+            self.carry_forward_evictions,
+            self.degraded_windows,
+            self.clamped_events,
+            self.parse_errors
+        )
+    }
+}
+
 /// The streaming detector.
 #[derive(Debug)]
 pub struct RealtimeDetector {
@@ -66,7 +301,15 @@ pub struct RealtimeDetector {
     buffer: Vec<Event>,
     window_start: Option<Timestamp>,
     reports_emitted: usize,
-    dropped_events: usize,
+    degraded: bool,
+    // Accounting (see PipelineStats).
+    ingested: u64,
+    analyzed: u64,
+    dropped_events: u64,
+    carry_forward_evictions: u64,
+    degraded_windows: u64,
+    clamped_events: u64,
+    parse_errors: u64,
 }
 
 impl RealtimeDetector {
@@ -78,7 +321,14 @@ impl RealtimeDetector {
             buffer: Vec::new(),
             window_start: None,
             reports_emitted: 0,
+            degraded: false,
+            ingested: 0,
+            analyzed: 0,
             dropped_events: 0,
+            carry_forward_evictions: 0,
+            degraded_windows: 0,
+            clamped_events: 0,
+            parse_errors: 0,
         }
     }
 
@@ -92,11 +342,50 @@ impl RealtimeDetector {
         self.reports_emitted
     }
 
-    /// Events discarded unanalyzed (a terminal [`RealtimeDetector::flush`]
-    /// of a buffer below `min_events`). Window-boundary rotations never
-    /// drop events — small windows carry forward instead.
+    /// Events discarded unanalyzed: terminal [`RealtimeDetector::flush`]es
+    /// of buffers below `min_events`, plus carry-forward cap evictions.
+    /// Window-boundary rotations never drop events silently — small windows
+    /// carry forward, bounded by `max_carry_events` / `max_carry_age`.
     pub fn dropped_events(&self) -> usize {
-        self.dropped_events
+        self.dropped_events as usize
+    }
+
+    /// The accounting snapshot (`queued` is always 0 here; the spawned
+    /// handle's snapshot adds its queue).
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            ingested: self.ingested,
+            analyzed: self.analyzed,
+            shed_events: 0,
+            dropped_events: self.dropped_events,
+            carry_forward_evictions: self.carry_forward_evictions,
+            degraded_windows: self.degraded_windows,
+            clamped_events: self.clamped_events,
+            parse_errors: self.parse_errors,
+            carried: self.buffer.len() as u64,
+            queued: 0,
+        }
+    }
+
+    /// Switches degraded mode on or off. While on, every analysis pass uses
+    /// the coarsened Stemming settings from [`DegradeConfig`] and is counted
+    /// in [`PipelineStats::degraded_windows`]. The spawned pipeline drives
+    /// this from queue pressure; callers of the synchronous detector may
+    /// drive it from any overload signal they have.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// True while in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Records feed records that were skipped as unparseable upstream (e.g.
+    /// by `bgpscope_mrt::text_to_events_lossy`), so the loss shows in
+    /// [`PipelineStats::parse_errors`].
+    pub fn record_parse_errors(&mut self, n: usize) {
+        self.parse_errors += n as u64;
     }
 
     /// Ingests one raw update; returns any reports completed by it.
@@ -110,8 +399,21 @@ impl RealtimeDetector {
     }
 
     /// Ingests one already-augmented event.
-    pub fn ingest_event(&mut self, event: Event) -> Vec<AnomalyReport> {
+    ///
+    /// # Out-of-order timestamps
+    ///
+    /// An event whose timestamp is earlier than the current window start
+    /// (late delivery, clock skew between feeds) is *clamped forward* to the
+    /// window start and counted in [`PipelineStats::clamped_events`]: it
+    /// still contributes its evidence to the window being built, but can
+    /// neither re-open a closed window nor stall the window clock.
+    pub fn ingest_event(&mut self, mut event: Event) -> Vec<AnomalyReport> {
+        self.ingested += 1;
         let start = *self.window_start.get_or_insert(event.time);
+        if event.time < start {
+            event.time = start;
+            self.clamped_events += 1;
+        }
         let mut reports = Vec::new();
         if event.time.saturating_since(start) >= self.config.window {
             // Window boundary: analyze the closed window (carrying a
@@ -119,6 +421,7 @@ impl RealtimeDetector {
             // event that crossed the boundary.
             reports = self.rotate_window();
             self.window_start = Some(event.time);
+            self.enforce_carry_cap(event.time);
         }
         self.buffer.push(event);
         if self.buffer.len() >= self.config.spike_events {
@@ -140,12 +443,39 @@ impl RealtimeDetector {
         self.analyze()
     }
 
+    /// Bounds the carried buffer after a rotation that kept it: a
+    /// pathological trickle must not accumulate an unbounded buffer across
+    /// many windows. Evicts (oldest first) events past `max_carry_events`
+    /// and events older than `max_carry_age` before the new window start;
+    /// every eviction is counted.
+    fn enforce_carry_cap(&mut self, new_start: Timestamp) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let before = self.buffer.len();
+        if self.config.max_carry_age > Timestamp::ZERO {
+            let cutoff = Timestamp(
+                new_start
+                    .as_micros()
+                    .saturating_sub(self.config.max_carry_age.as_micros()),
+            );
+            self.buffer.retain(|e| e.time >= cutoff);
+        }
+        if self.config.max_carry_events > 0 && self.buffer.len() > self.config.max_carry_events {
+            let excess = self.buffer.len() - self.config.max_carry_events;
+            self.buffer.drain(..excess);
+        }
+        let evicted = (before - self.buffer.len()) as u64;
+        self.carry_forward_evictions += evicted;
+        self.dropped_events += evicted;
+    }
+
     /// Analyzes and clears the current buffer (terminal flush). A buffer
     /// below `min_events` is discarded and counted in
     /// [`RealtimeDetector::dropped_events`].
     pub fn flush(&mut self) -> Vec<AnomalyReport> {
         if self.buffer.len() < self.config.min_events {
-            self.dropped_events += self.buffer.len();
+            self.dropped_events += self.buffer.len() as u64;
             self.buffer.clear();
             return Vec::new();
         }
@@ -153,8 +483,15 @@ impl RealtimeDetector {
     }
 
     fn analyze(&mut self) -> Vec<AnomalyReport> {
+        let stemming_config = if self.degraded {
+            self.degraded_windows += 1;
+            self.degraded_stemming()
+        } else {
+            self.config.stemming.clone()
+        };
+        self.analyzed += self.buffer.len() as u64;
         let stream: EventStream = std::mem::take(&mut self.buffer).into_iter().collect();
-        let stemming = Stemming::with_config(self.config.stemming.clone());
+        let stemming = Stemming::with_config(stemming_config);
         let result = stemming.decompose(&stream);
         let mut reports = Vec::new();
         for component in result.components() {
@@ -162,10 +499,31 @@ impl RealtimeDetector {
                 continue;
             }
             let verdict = classify(component, &stream);
-            reports.push(AnomalyReport::new(component, verdict, result.symbols()));
+            let report = AnomalyReport::new(component, verdict, result.symbols());
+            reports.push(if self.degraded {
+                report.mark_degraded()
+            } else {
+                report
+            });
         }
         self.reports_emitted += reports.len();
         reports
+    }
+
+    /// The coarsened Stemming configuration used in degraded mode.
+    fn degraded_stemming(&self) -> StemmingConfig {
+        let d = self.config.degrade;
+        let mut s = self.config.stemming.clone();
+        s.min_support = s
+            .min_support
+            .saturating_mul(d.min_support_multiplier.max(1));
+        s.max_components = s.max_components.min(d.max_components).max(1);
+        s.max_subseq_len = if s.max_subseq_len == 0 {
+            d.max_subseq_len
+        } else {
+            s.max_subseq_len.min(d.max_subseq_len.max(1))
+        };
+        s
     }
 
     /// Flushes any remaining window and returns the final reports.
@@ -173,32 +531,365 @@ impl RealtimeDetector {
         self.flush()
     }
 
-    /// Runs a detector on its own thread. Feed `(update, time)` pairs into
-    /// the returned sender; completed reports arrive on the receiver. Drop
-    /// the sender to end the run (the final window flushes on shutdown).
-    pub fn spawn(
-        config: PipelineConfig,
-    ) -> (
-        Sender<(UpdateMessage, Timestamp)>,
-        Receiver<AnomalyReport>,
-        std::thread::JoinHandle<()>,
-    ) {
-        let (update_tx, update_rx) = unbounded::<(UpdateMessage, Timestamp)>();
+    /// Runs a detector on its own thread behind a bounded queue. Feed raw
+    /// updates (or pre-augmented events) through the returned
+    /// [`PipelineHandle`]; completed reports stream from
+    /// [`PipelineHandle::reports`]. Call [`PipelineHandle::finish`] (or drop
+    /// the handle) to end the run — the final window flushes on shutdown.
+    pub fn spawn(config: SpawnConfig) -> PipelineHandle {
+        let (event_tx, event_rx) = if config.capacity == 0 {
+            unbounded::<Event>()
+        } else {
+            bounded::<Event>(config.capacity)
+        };
         let (report_tx, report_rx) = unbounded::<AnomalyReport>();
-        let handle = std::thread::spawn(move || {
-            let mut detector = RealtimeDetector::new(config);
-            for (msg, time) in update_rx.iter() {
-                for report in detector.ingest_update(&msg, time) {
+        let shared = Arc::new(SharedStats::default());
+
+        let consumer_shared = Arc::clone(&shared);
+        let consumer_rx = event_rx.clone();
+        let pipeline_config = config.pipeline.clone();
+        let join = std::thread::spawn(move || {
+            // Mark the consumer dead even on panic, so a blocked producer
+            // can observe it and bail instead of deadlocking.
+            struct AliveGuard(Arc<SharedStats>);
+            impl Drop for AliveGuard {
+                fn drop(&mut self) {
+                    self.0.consumer_alive.store(false, Ordering::Release);
+                }
+            }
+            let _guard = AliveGuard(Arc::clone(&consumer_shared));
+
+            let mut detector = RealtimeDetector::new(pipeline_config);
+            while let Ok(event) = consumer_rx.recv() {
+                let degraded = consumer_shared.degraded.load(Ordering::Acquire);
+                detector.set_degraded(degraded);
+                let reports = detector.ingest_event(event);
+                if degraded && consumer_rx.is_empty() {
+                    // The queue drained: leave degraded mode.
+                    consumer_shared.degraded.store(false, Ordering::Release);
+                }
+                consumer_shared.sync_from(&detector);
+                for report in reports {
                     if report_tx.send(report).is_err() {
                         return;
                     }
                 }
             }
-            for report in detector.finish() {
-                let _ = report_tx.send(report);
+            let reports = detector.flush();
+            consumer_shared.sync_from(&detector);
+            for report in reports {
+                if report_tx.send(report).is_err() {
+                    return;
+                }
             }
         });
-        (update_tx, report_rx, handle)
+
+        PipelineHandle {
+            collector: Collector::new(),
+            tx: Some(event_tx),
+            steal_rx: event_rx,
+            reports: report_rx,
+            join: Some(join),
+            shared,
+            overload: config.overload,
+        }
+    }
+}
+
+/// The detector thread's counters, published as one consistent set after
+/// each event (the detector's own invariant
+/// `ingested == analyzed + dropped + carried` holds within every snapshot).
+#[derive(Debug, Default, Clone, Copy)]
+struct ConsumerCounters {
+    ingested: u64,
+    analyzed: u64,
+    dropped: u64,
+    evictions: u64,
+    degraded_windows: u64,
+    clamped: u64,
+    carried: u64,
+}
+
+/// State shared between the producer-side handle and the detector thread.
+/// Producer counters are plain atomics (single writer: the handle);
+/// consumer counters go through a mutex so a snapshot is never torn across
+/// two detector iterations.
+#[derive(Debug)]
+struct SharedStats {
+    ingested: AtomicU64,
+    shed: AtomicU64,
+    parse_errors: AtomicU64,
+    consumer: Mutex<ConsumerCounters>,
+    degraded: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+impl Default for SharedStats {
+    fn default() -> Self {
+        SharedStats {
+            ingested: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            consumer: Mutex::new(ConsumerCounters::default()),
+            degraded: AtomicBool::new(false),
+            consumer_alive: AtomicBool::new(true),
+        }
+    }
+}
+
+impl SharedStats {
+    fn sync_from(&self, detector: &RealtimeDetector) {
+        *self.consumer.lock().expect("stats poisoned") = ConsumerCounters {
+            ingested: detector.ingested,
+            analyzed: detector.analyzed,
+            dropped: detector.dropped_events,
+            evictions: detector.carry_forward_evictions,
+            degraded_windows: detector.degraded_windows,
+            clamped: detector.clamped_events,
+            carried: detector.buffer.len() as u64,
+        };
+    }
+}
+
+/// The feed side of a spawned pipeline is gone: the detector thread exited
+/// (its receiver disconnected), so nothing more can be ingested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineClosed;
+
+impl std::fmt::Display for PipelineClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the detector thread is gone; the pipeline is closed")
+    }
+}
+
+impl std::error::Error for PipelineClosed {}
+
+/// The producer-side handle to a spawned pipeline: augments raw updates
+/// through its own collector, enforces the overload policy at the bounded
+/// queue, and exposes live [`PipelineStats`].
+pub struct PipelineHandle {
+    collector: Collector,
+    tx: Option<Sender<Event>>,
+    /// Receiver clone used only to steal the oldest queued event under
+    /// [`OverloadPolicy::DropOldest`] (shim receivers share one queue).
+    steal_rx: Receiver<Event>,
+    reports: Receiver<AnomalyReport>,
+    join: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<SharedStats>,
+    overload: OverloadPolicy,
+}
+
+impl std::fmt::Debug for PipelineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineHandle")
+            .field("overload", &self.overload)
+            .field("queue_len", &self.queue_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PipelineHandle {
+    /// Ingests one raw update: collector augmentation happens here on the
+    /// producer side (it is cheap), so backpressure applies between
+    /// augmentation and the expensive windowed analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineClosed`] when the detector thread is gone.
+    pub fn ingest_update(
+        &mut self,
+        msg: &UpdateMessage,
+        time: Timestamp,
+    ) -> Result<(), PipelineClosed> {
+        let events = self.collector.apply_update(msg, time);
+        for event in events {
+            self.ingest_event(event)?;
+        }
+        Ok(())
+    }
+
+    /// Ingests one already-augmented event, applying the overload policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineClosed`] when the detector thread is gone.
+    pub fn ingest_event(&mut self, event: Event) -> Result<(), PipelineClosed> {
+        let tx = self.tx.as_ref().ok_or(PipelineClosed)?;
+        self.shared.ingested.fetch_add(1, Ordering::AcqRel);
+        match self.overload {
+            OverloadPolicy::Block => Self::send_blocking(&self.shared, tx, event),
+            OverloadPolicy::DropNewest => match tx.try_send(event) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => {
+                    self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                    Ok(())
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                    Err(PipelineClosed)
+                }
+            },
+            OverloadPolicy::DropOldest => {
+                let mut event = event;
+                loop {
+                    match tx.try_send(event) {
+                        Ok(()) => return Ok(()),
+                        Err(TrySendError::Full(back)) => {
+                            event = back;
+                            // Steal the oldest queued event to make room.
+                            // The consumer only ever removes, so this
+                            // converges; racing with it just means the
+                            // queue made room on its own.
+                            match self.steal_rx.try_recv() {
+                                Ok(_oldest) => {
+                                    self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                                }
+                                Err(TryRecvError::Empty) => {}
+                                Err(TryRecvError::Disconnected) => {
+                                    self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                                    return Err(PipelineClosed);
+                                }
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                            return Err(PipelineClosed);
+                        }
+                    }
+                }
+            }
+            OverloadPolicy::Degrade => {
+                match tx.try_send(event) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(event)) => {
+                        // Queue full: enter degraded mode (the consumer
+                        // leaves it once the queue drains), then deliver
+                        // losslessly.
+                        self.shared.degraded.store(true, Ordering::Release);
+                        Self::send_blocking(&self.shared, tx, event)
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                        Err(PipelineClosed)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lossless delivery with a liveness check: blocks while the queue is
+    /// full, but bails out (instead of deadlocking) if the detector thread
+    /// died — its receiver clone held by this handle would otherwise keep
+    /// the channel "connected" forever.
+    fn send_blocking(
+        shared: &SharedStats,
+        tx: &Sender<Event>,
+        mut event: Event,
+    ) -> Result<(), PipelineClosed> {
+        loop {
+            match tx.send_timeout(event, Duration::from_millis(50)) {
+                Ok(()) => return Ok(()),
+                Err(SendTimeoutError::Timeout(back)) => {
+                    if !shared.consumer_alive.load(Ordering::Acquire) {
+                        shared.shed.fetch_add(1, Ordering::AcqRel);
+                        return Err(PipelineClosed);
+                    }
+                    event = back;
+                }
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    shared.shed.fetch_add(1, Ordering::AcqRel);
+                    return Err(PipelineClosed);
+                }
+            }
+        }
+    }
+
+    /// Records feed records skipped as unparseable upstream, so they show
+    /// in [`PipelineStats::parse_errors`].
+    pub fn record_parse_errors(&self, n: usize) {
+        self.shared
+            .parse_errors
+            .fetch_add(n as u64, Ordering::AcqRel);
+    }
+
+    /// The producer-side collector (RIB state, peer list).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// The report stream. Reports arrive as incidents complete; iterate (or
+    /// `recv`) to consume them. Disconnects once the detector thread exits.
+    pub fn reports(&self) -> &Receiver<AnomalyReport> {
+        &self.reports
+    }
+
+    /// Events currently queued between producer and detector.
+    pub fn queue_len(&self) -> usize {
+        self.steal_rx.len()
+    }
+
+    /// True while the detector thread is running.
+    pub fn is_alive(&self) -> bool {
+        self.shared.consumer_alive.load(Ordering::Acquire)
+    }
+
+    /// A live accounting snapshot. `queued` is derived from the producer
+    /// and consumer ledgers (`ingested - shed - consumer-ingested`): called
+    /// from the handle-owning thread — the only writer of `ingested` and
+    /// `shed` — the ledger closes at *every* instant, not just at
+    /// quiescence, because the consumer's counters are published as one
+    /// consistent set.
+    pub fn stats(&self) -> PipelineStats {
+        let consumer = *self.shared.consumer.lock().expect("stats poisoned");
+        let ingested = self.shared.ingested.load(Ordering::Acquire);
+        let shed = self.shared.shed.load(Ordering::Acquire);
+        PipelineStats {
+            ingested,
+            analyzed: consumer.analyzed,
+            shed_events: shed,
+            dropped_events: consumer.dropped,
+            carry_forward_evictions: consumer.evictions,
+            degraded_windows: consumer.degraded_windows,
+            clamped_events: consumer.clamped,
+            parse_errors: self.shared.parse_errors.load(Ordering::Acquire),
+            carried: consumer.carried,
+            queued: ingested
+                .saturating_sub(shed)
+                .saturating_sub(consumer.ingested),
+        }
+    }
+
+    /// Ends the feed, waits for the detector to flush its final window, and
+    /// returns every remaining report plus the final stats snapshot
+    /// (`carried == queued == 0`, so the ledger closes as
+    /// `ingested == analyzed + shed_events + dropped_events`).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the detector thread.
+    pub fn finish(mut self) -> (Vec<AnomalyReport>, PipelineStats) {
+        drop(self.tx.take());
+        if let Some(join) = self.join.take() {
+            if let Err(panic) = join.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        let mut reports = Vec::new();
+        while let Ok(report) = self.reports.try_recv() {
+            reports.push(report);
+        }
+        (reports, self.stats())
+    }
+}
+
+impl Drop for PipelineHandle {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(join) = self.join.take() {
+            // A handle dropped without `finish` still shuts the detector
+            // down cleanly; a consumer panic surfaces at `finish` instead.
+            let _ = join.join();
+        }
     }
 }
 
@@ -274,14 +965,16 @@ mod tests {
             min_component_events: 20,
             ..PipelineConfig::default()
         };
-        let (tx, rx, handle) = RealtimeDetector::spawn(config);
+        let mut handle = RealtimeDetector::spawn(SpawnConfig::new(config));
         for (msg, t) in reset_updates(0) {
-            tx.send((msg, t)).unwrap();
+            handle.ingest_update(&msg, t).unwrap();
         }
-        drop(tx);
-        handle.join().unwrap();
-        let reports: Vec<AnomalyReport> = rx.iter().collect();
+        let (reports, stats) = handle.finish();
         assert!(!reports.is_empty());
+        assert!(stats.accounts_exactly(), "{stats}");
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.carried, 0);
+        assert_eq!(stats.shed_events, 0);
     }
 
     fn withdraw_event(t_secs: u64, prefix_octet: u8) -> Event {
@@ -335,6 +1028,10 @@ mod tests {
         }
         assert!(det.flush().is_empty());
         assert_eq!(det.dropped_events(), 3);
+        let stats = det.stats();
+        assert_eq!(stats.ingested, 3);
+        assert_eq!(stats.dropped_events, 3);
+        assert!(stats.accounts_exactly(), "{stats}");
     }
 
     /// The spike fast-path must include the event that breached the
@@ -379,5 +1076,163 @@ mod tests {
         }
         // 120 events > spike_events=100: a flush happened mid-stream.
         assert!(got_early);
+    }
+
+    /// An event earlier than the current window start is clamped forward
+    /// into the window (counted), never allowed to stall the window clock.
+    #[test]
+    fn out_of_order_events_are_clamped_and_counted() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 2,
+            min_component_events: 2,
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        det.ingest_event(withdraw_event(1000, 0));
+        // 600s in the past: before the window start at t=1000.
+        det.ingest_event(withdraw_event(400, 1));
+        assert_eq!(det.stats().clamped_events, 1);
+        // The clock was not pulled backwards: the next boundary is still
+        // relative to t=1000, and the clamped event is in this window.
+        let reports = det.ingest_event(withdraw_event(1301, 2));
+        assert!(!reports.is_empty(), "boundary at 1000+300 must fire");
+        assert_eq!(reports[0].event_count, 2);
+        assert!(det.stats().accounts_exactly());
+    }
+
+    /// The carry-forward buffer is bounded by count: a pathological trickle
+    /// cannot accumulate unbounded memory, and every eviction is counted.
+    #[test]
+    fn carry_forward_count_cap_evicts_oldest() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(100),
+            min_events: 1000, // nothing ever analyzes
+            max_carry_events: 10,
+            max_carry_age: Timestamp::ZERO, // count cap only
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        // One event per window, across 50 windows: each rotation carries.
+        for i in 0..50u64 {
+            det.ingest_event(withdraw_event(i * 200, (i % 250) as u8));
+        }
+        let stats = det.stats();
+        assert!(
+            stats.carried <= 11, // cap + the event that opened the window
+            "carried {} must stay near the cap",
+            stats.carried
+        );
+        assert!(stats.carry_forward_evictions > 0);
+        assert_eq!(stats.dropped_events, stats.carry_forward_evictions);
+        assert!(stats.accounts_exactly(), "{stats}");
+    }
+
+    /// The carry-forward buffer is bounded by age: events older than
+    /// `max_carry_age` at a rotation are evicted even under the count cap.
+    #[test]
+    fn carry_forward_age_cap_evicts_stale() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(100),
+            min_events: 1000,
+            max_carry_events: 0, // age cap only
+            max_carry_age: Timestamp::from_secs(250),
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        det.ingest_event(withdraw_event(0, 1));
+        det.ingest_event(withdraw_event(150, 2));
+        // Rotation at t=600: both carried events are older than 600-250.
+        det.ingest_event(withdraw_event(600, 3));
+        let stats = det.stats();
+        assert_eq!(stats.carry_forward_evictions, 2);
+        assert_eq!(stats.carried, 1);
+        assert!(stats.accounts_exactly(), "{stats}");
+    }
+
+    /// Degraded mode runs coarser Stemming and counts the windows it
+    /// affected; leaving it restores full fidelity.
+    #[test]
+    fn degraded_mode_analyzes_coarser_and_counts() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 20,
+            min_component_events: 20,
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        det.set_degraded(true);
+        assert!(det.is_degraded());
+        let mut reports = Vec::new();
+        for (msg, t) in reset_updates(0) {
+            reports.extend(det.ingest_update(&msg, t));
+        }
+        reports.extend(det.flush());
+        // The session reset is a *strong* correlation: even degraded
+        // analysis finds it.
+        assert!(!reports.is_empty());
+        let stats = det.stats();
+        assert!(stats.degraded_windows > 0);
+        assert!(stats.accounts_exactly(), "{stats}");
+    }
+
+    /// DropNewest on a tiny queue with a deliberately slow consumer: the
+    /// queue never exceeds its capacity and the ledger closes.
+    #[test]
+    fn drop_newest_sheds_and_accounts() {
+        let config = SpawnConfig {
+            pipeline: PipelineConfig {
+                window: Timestamp::from_secs(300),
+                min_events: 5,
+                min_component_events: 5,
+                ..PipelineConfig::default()
+            },
+            capacity: 4,
+            overload: OverloadPolicy::DropNewest,
+        };
+        let mut handle = RealtimeDetector::spawn(config);
+        for i in 0..500u64 {
+            handle
+                .ingest_event(withdraw_event(i, (i % 250) as u8))
+                .unwrap();
+            assert!(handle.queue_len() <= 4);
+        }
+        let (_, stats) = handle.finish();
+        assert_eq!(stats.ingested, 500);
+        assert!(stats.accounts_exactly(), "{stats}");
+    }
+
+    /// Degrade policy: a storm into a tiny queue flips the detector into
+    /// degraded mode; nothing is shed; the ledger closes.
+    #[test]
+    fn degrade_policy_is_lossless() {
+        let config = SpawnConfig {
+            pipeline: PipelineConfig {
+                window: Timestamp::from_secs(60),
+                min_events: 10,
+                min_component_events: 10,
+                ..PipelineConfig::default()
+            },
+            capacity: 8,
+            overload: OverloadPolicy::Degrade,
+        };
+        let mut handle = RealtimeDetector::spawn(config);
+        for i in 0..2_000u64 {
+            handle
+                .ingest_event(withdraw_event(i * 30, (i % 250) as u8))
+                .unwrap();
+        }
+        let (_, stats) = handle.finish();
+        assert_eq!(stats.shed_events, 0);
+        assert_eq!(stats.ingested, 2_000);
+        assert!(stats.accounts_exactly(), "{stats}");
+    }
+
+    #[test]
+    fn overload_policy_parses_from_str() {
+        for policy in OverloadPolicy::ALL {
+            assert_eq!(policy.to_string().parse::<OverloadPolicy>(), Ok(policy));
+        }
+        assert!("bananas".parse::<OverloadPolicy>().is_err());
     }
 }

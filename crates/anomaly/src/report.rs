@@ -38,6 +38,10 @@ pub struct AnomalyReport {
     /// report has been enriched with an IGP log (see
     /// [`crate::enrich_with_igp`]); `None` = not enriched.
     pub igp_nearby: Option<usize>,
+    /// True when the analysis pass that produced this report ran in the
+    /// pipeline's degraded (overload) mode: the decomposition used coarser
+    /// Stemming settings, so weak correlations may be missing.
+    pub degraded: bool,
 }
 
 impl AnomalyReport {
@@ -60,7 +64,14 @@ impl AnomalyReport {
             announce_count: component.announce_count,
             withdraw_count: component.withdraw_count,
             igp_nearby: None,
+            degraded: false,
         }
+    }
+
+    /// Marks the report as produced by a degraded-mode analysis pass.
+    pub fn mark_degraded(mut self) -> Self {
+        self.degraded = true;
+        self
     }
 
     /// The incident duration.
@@ -91,6 +102,12 @@ impl fmt::Display for AnomalyReport {
         )?;
         for note in &self.verdict.notes {
             writeln!(f, "  note: {note}")?;
+        }
+        if self.degraded {
+            writeln!(
+                f,
+                "  degraded: analyzed under overload with coarsened Stemming"
+            )?;
         }
         match self.igp_nearby {
             Some(0) => writeln!(f, "  igp: quiet around the incident")?,

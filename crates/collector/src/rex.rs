@@ -60,18 +60,27 @@ impl Collector {
     /// * Withdrawals yield withdraw events carrying the *old* attributes; a
     ///   withdrawal for a prefix the peer never announced yields nothing
     ///   (duplicate withdrawals are BGP noise the collector filters).
+    ///
+    /// A peer only gets an Adj-RIB-In slot once it *announces* something:
+    /// withdraw-only updates from unknown peers — a corrupt or spoofed feed
+    /// can carry arbitrarily many of them — are no-ops and must not grow
+    /// the peer map.
     pub fn apply_update(&mut self, msg: &UpdateMessage, time: Timestamp) -> Vec<Event> {
-        let rib = self.peers.entry(msg.peer).or_default();
         let mut events = Vec::with_capacity(msg.change_count());
-        for &prefix in &msg.withdrawn {
-            if let RibChange::Removed(old) = rib.withdraw(prefix) {
-                events.push(Event::withdraw(time, msg.peer, prefix, old));
+        if let Some(rib) = self.peers.get_mut(&msg.peer) {
+            for &prefix in &msg.withdrawn {
+                if let RibChange::Removed(old) = rib.withdraw(prefix) {
+                    events.push(Event::withdraw(time, msg.peer, prefix, old));
+                }
             }
         }
         if let Some(attrs) = &msg.attrs {
-            for &prefix in &msg.nlri {
-                rib.announce(prefix, attrs.clone());
-                events.push(Event::announce(time, msg.peer, prefix, attrs.clone()));
+            if !msg.nlri.is_empty() {
+                let rib = self.peers.entry(msg.peer).or_default();
+                for &prefix in &msg.nlri {
+                    rib.announce(prefix, attrs.clone());
+                    events.push(Event::announce(time, msg.peer, prefix, attrs.clone()));
+                }
             }
         }
         self.event_count += events.len() as u64;
@@ -187,6 +196,23 @@ mod tests {
         );
         assert!(events.is_empty());
         assert_eq!(rex.events_seen(), 0);
+    }
+
+    #[test]
+    fn withdraw_only_updates_from_unknown_peers_do_not_grow_peer_map() {
+        let mut rex = Collector::new();
+        for n in 0..200u8 {
+            rex.apply_update(
+                &UpdateMessage::withdraw(peer(n), [p("10.0.0.0/8")]),
+                Timestamp::ZERO,
+            );
+        }
+        assert_eq!(rex.peers().count(), 0);
+        rex.apply_update(
+            &UpdateMessage::announce(peer(1), attrs(66, "11423 209"), [p("10.0.0.0/8")]),
+            Timestamp::ZERO,
+        );
+        assert_eq!(rex.peers().count(), 1);
     }
 
     #[test]

@@ -1,17 +1,20 @@
 //! The `bgpscope` command-line tool.
 //!
 //! ```text
-//! bgpscope detect  <events.(mrt|txt)> [--json]   # Stemming + classification
-//! bgpscope picture <events.(mrt|txt)> [out.svg]  # TAMP picture of final state
-//! bgpscope animate <events.(mrt|txt)> <out-dir>  # frame SVGs of the incident
-//! bgpscope rate    <events.(mrt|txt)> [bucket-secs]
-//! bgpscope convert <in.(mrt|txt)> <out.(mrt|txt)>
-//! bgpscope demo    <out.mrt>                     # write a demo incident
+//! bgpscope detect   <events.(mrt|txt)> [--json]   # Stemming + classification
+//! bgpscope picture  <events.(mrt|txt)> [out.svg]  # TAMP picture of final state
+//! bgpscope animate  <events.(mrt|txt)> <out-dir>  # frame SVGs of the incident
+//! bgpscope rate     <events.(mrt|txt)> [bucket-secs]
+//! bgpscope pipeline <events.(mrt|txt)> [--capacity N] [--policy P]
+//! bgpscope convert  <in.(mrt|txt)> <out.(mrt|txt)>
+//! bgpscope demo     <out.mrt>                     # write a demo incident
 //! ```
 //!
 //! Event files are either the binary MRT-style format (`.mrt`) or the
-//! Figure-4-style text format (anything else). Exit code 1 on usage errors,
-//! 2 on I/O or parse failures.
+//! Figure-4-style text format (anything else). Text traces are read
+//! lossily: corrupt lines are skipped with a warning (and counted in the
+//! pipeline ledger) instead of failing the whole trace. Exit code 1 on
+//! usage errors, 2 on I/O or parse failures.
 
 use std::fs;
 use std::path::Path;
@@ -33,6 +36,12 @@ fn main() -> ExitCode {
             let bucket = rest.first().and_then(|s| s.parse().ok()).unwrap_or(60u64);
             cmd_rate(stream, bucket)
         }),
+        Some("pipeline") => {
+            if args.len() < 2 {
+                return usage();
+            }
+            cmd_pipeline(&args[1], &args[2..])
+        }
         Some("convert") => {
             if args.len() != 3 {
                 return usage();
@@ -60,12 +69,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bgpscope <detect|picture|animate|rate|convert|demo> <args…>\n\
          \n\
-         detect  <events>             decompose + classify anomalies\n\
-         picture <events> [out.svg]   TAMP picture of the final routing state\n\
-         animate <events> <out-dir>   write key animation frames as SVG\n\
-         rate    <events> [bucket-s]  event-rate series + spikes\n\
-         convert <in> <out>           convert between .mrt and text formats\n\
-         demo    <out.mrt>            write a demo incident to analyze"
+         detect   <events>             decompose + classify anomalies\n\
+         picture  <events> [out.svg]   TAMP picture of the final routing state\n\
+         animate  <events> <out-dir>   write key animation frames as SVG\n\
+         rate     <events> [bucket-s]  event-rate series + spikes\n\
+         pipeline <events> [--capacity N] [--policy block|drop-newest|drop-oldest|degrade]\n\
+         \u{20}                             replay through the threaded realtime pipeline\n\
+         convert  <in> <out>           convert between .mrt and text formats\n\
+         demo     <out.mrt>            write a demo incident to analyze"
     );
     ExitCode::FAILURE
 }
@@ -85,13 +96,28 @@ fn with_stream(
 }
 
 fn load(path: &str) -> Result<EventStream, Box<dyn std::error::Error>> {
+    load_lossy(path).map(|(stream, _)| stream)
+}
+
+/// Loads a trace, skipping (and counting) corrupt text lines rather than
+/// failing the whole file. Binary traces stay strict — a corrupt
+/// length-prefixed record poisons everything after it anyway.
+fn load_lossy(path: &str) -> Result<(EventStream, usize), Box<dyn std::error::Error>> {
     let p = Path::new(path);
     if p.extension().and_then(|e| e.to_str()) == Some("mrt") {
         let data = fs::read(p)?;
-        Ok(read_events(data.as_slice())?)
+        Ok((read_events(data.as_slice())?, 0))
     } else {
         let text = fs::read_to_string(p)?;
-        Ok(text_to_events(&text)?)
+        let (stream, errors) = text_to_events_lossy(&text);
+        if !errors.is_empty() {
+            eprintln!(
+                "bgpscope: {path}: skipped {} corrupt line(s), first: {}",
+                errors.len(),
+                errors[0]
+            );
+        }
+        Ok((stream, errors.len()))
     }
 }
 
@@ -225,6 +251,47 @@ fn cmd_rate(stream: EventStream, bucket_secs: u64) -> CliResult {
             spike.start, spike.end, spike.events, spike.peak
         );
     }
+    Ok(())
+}
+
+/// Replays a trace through the threaded realtime pipeline behind a bounded
+/// queue, then prints the reports and the event ledger.
+fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
+    let mut capacity = 65_536usize;
+    let mut policy = OverloadPolicy::Block;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--capacity" => {
+                capacity = it
+                    .next()
+                    .ok_or("--capacity needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--policy" => {
+                policy = it.next().ok_or("--policy needs a value")?.parse()?;
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let (stream, parse_errors) = load_lossy(path)?;
+    let spawn = SpawnConfig::new(PipelineConfig::default())
+        .with_capacity(capacity)
+        .with_overload(policy);
+    let mut handle = RealtimeDetector::spawn(spawn);
+    handle.record_parse_errors(parse_errors);
+    for event in stream.events() {
+        handle.ingest_event(event.clone())?;
+    }
+    let (reports, stats) = handle.finish();
+    for (i, report) in reports.iter().enumerate() {
+        print!("report {i}:\n{report}");
+    }
+    println!(
+        "{} reports; policy {policy}, capacity {capacity}\n{stats}",
+        reports.len()
+    );
     Ok(())
 }
 

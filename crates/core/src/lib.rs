@@ -59,15 +59,18 @@ pub use rex::Rex;
 pub mod prelude {
     pub use bgpscope_anomaly::{
         classify, enrich_with_igp, scan_deaggregation, scan_moas, AnomalyKind, AnomalyReport,
-        PipelineConfig, RealtimeDetector,
+        DegradeConfig, OverloadPolicy, PipelineClosed, PipelineConfig, PipelineHandle,
+        PipelineStats, RealtimeDetector, SpawnConfig,
     };
     pub use bgpscope_bgp::{
         AsPath, Asn, Community, Event, EventKind, EventStream, LocalPref, Med, PathAttributes,
         PeerId, Prefix, Route, RouterId, Timestamp, UpdateMessage,
     };
     pub use bgpscope_collector::{Collector, EventRateMeter, RouteHistory, SyncedView};
-    pub use bgpscope_mrt::{read_events, text_to_events, write_events};
-    pub use bgpscope_netsim::{FlapSchedule, Injector, SessionKind, Sim, SimBuilder};
+    pub use bgpscope_mrt::{read_events, text_to_events, text_to_events_lossy, write_events};
+    pub use bgpscope_netsim::{
+        FaultPlan, FeedStall, FlapSchedule, Injector, SessionKind, Sim, SimBuilder, StormSpec,
+    };
     pub use bgpscope_policy::{correlate_component, parse_config, PolicyEngine};
     pub use bgpscope_stemming::{RankingRule, Stemming, StemmingConfig};
     pub use bgpscope_tamp::{

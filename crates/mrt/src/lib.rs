@@ -43,4 +43,7 @@ pub use binary::{
     read_events, read_rib, write_events, write_rib, MrtError, RECORD_TYPE_EVENT,
     RECORD_TYPE_RIB_ENTRY,
 };
-pub use text::{event_to_line, events_to_text, line_to_event, text_to_events, ParseLineError};
+pub use text::{
+    event_to_line, events_to_text, line_to_event, text_to_events, text_to_events_lossy,
+    ParseLineError,
+};

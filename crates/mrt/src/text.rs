@@ -232,6 +232,28 @@ pub fn text_to_events(text: &str) -> Result<EventStream, ParseLineError> {
     Ok(stream)
 }
 
+/// Parses a whole text document, skipping unparseable lines instead of
+/// aborting: returns every event that did parse plus one
+/// [`ParseLineError`] per corrupt line, in document order. A live trace
+/// with a few mangled records (truncated write, line noise on a serial
+/// feed) still loads; the caller decides whether the error count is
+/// tolerable and can surface it (e.g. `PipelineStats::parse_errors`).
+pub fn text_to_events_lossy(text: &str) -> (EventStream, Vec<ParseLineError>) {
+    let mut stream = EventStream::new();
+    let mut errors = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line_to_event(line) {
+            Ok(event) => stream.push(event),
+            Err(e) => errors.push(e),
+        }
+    }
+    (stream, errors)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +323,32 @@ W 128.32.1.200 NEXT_HOP: 128.32.0.90 ASPATH: 11423 209 701 1299 5713 PREFIX: 192
         ] {
             assert!(line_to_event(bad).is_err(), "should reject: {bad}");
         }
+    }
+
+    #[test]
+    fn lossy_parse_survives_corrupt_lines() {
+        let text = "\
+# header comment
+W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 PREFIX: 192.96.10.0/24
+garbage line that parses as nothing
+W 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 PREFIX: 207.191.23.0/24
+W 1.1.1.1 NEXT_HOP: 2.2.2.2 ASPATH: 1 PREFIX: banana
+";
+        let (stream, errors) = text_to_events_lossy(text);
+        assert_eq!(stream.len(), 2);
+        assert_eq!(errors.len(), 2);
+        assert!(text_to_events(text).is_err(), "strict parse still aborts");
+    }
+
+    #[test]
+    fn lossy_parse_matches_strict_on_clean_input() {
+        let text = "\
+W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 PREFIX: 192.96.10.0/24
+A 128.32.1.3 NEXT_HOP: 128.32.0.66 ASPATH: 11423 209 PREFIX: 207.191.23.0/24
+";
+        let (stream, errors) = text_to_events_lossy(text);
+        assert!(errors.is_empty());
+        assert_eq!(stream, text_to_events(text).unwrap());
     }
 
     #[test]

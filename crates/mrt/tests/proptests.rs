@@ -6,7 +6,9 @@ use bgpscope_bgp::{
     AsPath, Community, Event, EventKind, EventStream, LocalPref, Med, Origin, PathAttributes,
     PeerId, Prefix, RouterId, Timestamp,
 };
-use bgpscope_mrt::{events_to_text, read_events, text_to_events, write_events};
+use bgpscope_mrt::{
+    events_to_text, line_to_event, read_events, text_to_events, text_to_events_lossy, write_events,
+};
 
 fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
     (
@@ -87,5 +89,82 @@ proptest! {
         if let Ok(partial) = read_events(&buf[..cut]) {
             prop_assert!(partial.len() <= stream.len());
         }
+    }
+
+    /// Arbitrary byte-level mutations of a valid text line never panic the
+    /// parser: every mutant either errors or parses to *some* event — and a
+    /// mutant that is byte-identical to the original parses identically.
+    #[test]
+    fn line_mutation_never_panics(
+        event in arb_event(),
+        mutations in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..6),
+    ) {
+        let line = bgpscope_mrt::event_to_line(&event);
+        let mut bytes = line.clone().into_bytes();
+        for (pos, byte) in mutations {
+            let i = pos as usize % bytes.len();
+            bytes[i] = byte;
+        }
+        let mutant = String::from_utf8_lossy(&bytes).into_owned();
+        match line_to_event(&mutant) {
+            Ok(parsed) => {
+                if mutant == line {
+                    prop_assert_eq!(parsed, event);
+                }
+            }
+            Err(_) => prop_assert_ne!(&mutant, &line, "original line must parse"),
+        }
+    }
+
+    /// Corrupting one line of a document costs at most that line: the lossy
+    /// parser recovers every unmutated line's event, in order.
+    #[test]
+    fn lossy_parse_recovers_unmutated_lines(
+        events in proptest::collection::vec(arb_event(), 2..20),
+        target in any::<u16>(),
+        mutations in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..6),
+    ) {
+        let stream: EventStream = events.iter().cloned().collect();
+        let lines: Vec<String> = events_to_text(&stream)
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        let k = target as usize % lines.len();
+        let mut mutated_lines = lines;
+        let mut bytes = mutated_lines[k].clone().into_bytes();
+        for (pos, byte) in mutations {
+            let i = pos as usize % bytes.len();
+            bytes[i] = byte;
+        }
+        mutated_lines[k] = String::from_utf8_lossy(&bytes).into_owned();
+        let doc = mutated_lines.join("\n");
+
+        let (parsed, errors) = text_to_events_lossy(&doc);
+        let expected: Vec<_> = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != k)
+            .map(|(_, e)| e.clone())
+            .collect();
+        // The mutated line may error, vanish (become a comment/blank), still
+        // parse, or even split into several fragments (a mutation byte can
+        // be `\n`) — but the unmutated lines' events must all survive, in
+        // order, and nothing beyond the mutant's fragments may be added.
+        let mut expected_iter = expected.iter().peekable();
+        let mut extras = 0usize;
+        for e in parsed.events() {
+            if expected_iter.peek() == Some(&e) {
+                expected_iter.next();
+            } else {
+                extras += 1;
+            }
+        }
+        prop_assert!(
+            expected_iter.peek().is_none(),
+            "an unmutated line's event was lost"
+        );
+        // At most 5 mutation bytes means at most 6 fragments of the mutant.
+        prop_assert!(extras <= 6, "mutant produced {extras} extra events");
+        prop_assert!(errors.len() <= 6);
     }
 }

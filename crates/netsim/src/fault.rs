@@ -1,0 +1,270 @@
+//! Fault-injection plans for soak-testing the realtime pipeline.
+//!
+//! A [`FaultPlan`] bundles the failure modes a long-lived deployment meets
+//! — update storms orders of magnitude above baseline (Labovitz-style
+//! routing instability), feed stalls, out-of-order delivery, and corrupt
+//! feed records — into one deterministic, seeded description. The storm
+//! itself is injected as a *cause* ([`Injector::route_flap`] against a
+//! simulated topology) so the burst's shape emerges from the protocol
+//! machinery; the delivery faults (stalls, reordering, corruption) are then
+//! applied to the collector feed the way a flaky transport would.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bgpscope_bgp::{AsPath, Asn, PathAttributes, Prefix, RouterId, Timestamp, UpdateMessage};
+
+use crate::inject::{FlapSchedule, Injector};
+use crate::router::SessionKind;
+use crate::topology::SimBuilder;
+
+/// One update storm: `prefixes` routes flapped through a full
+/// announce/withdraw cycle `cycles` times, starting at `start`.
+#[derive(Debug, Clone, Copy)]
+pub struct StormSpec {
+    /// First announce instant.
+    pub start: Timestamp,
+    /// One announce+withdraw cycle length.
+    pub period: Timestamp,
+    /// Time from announce to withdraw within a cycle.
+    pub down_time: Timestamp,
+    /// Number of cycles.
+    pub cycles: u32,
+    /// Number of distinct prefixes flapping in lockstep.
+    pub prefixes: u8,
+}
+
+/// A producer-side feed stall: after delivering `after_events` feed items,
+/// the producer pauses for `pause` of wall-clock time (the backlog then
+/// arrives as a burst — exactly the profile of a collector session that
+/// hiccuped and replayed).
+#[derive(Debug, Clone, Copy)]
+pub struct FeedStall {
+    /// Feed position at which the stall happens.
+    pub after_events: usize,
+    /// Wall-clock pause length.
+    pub pause: Duration,
+}
+
+/// A deterministic, seeded bundle of pipeline fault injections.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the simulator and for every randomized fault below.
+    pub seed: u64,
+    /// Prefixes announced by the well-behaved provider before any fault.
+    pub baseline_prefixes: u8,
+    /// Update storms, injected via [`Injector::route_flap`].
+    pub storms: Vec<StormSpec>,
+    /// Producer stalls, applied by the replay harness (see
+    /// [`FaultPlan::stall_at`]).
+    pub stalls: Vec<FeedStall>,
+    /// Out-of-order delivery: each feed item may be displaced up to this
+    /// many positions (`0` = in-order). Timestamps are untouched, so the
+    /// consumer sees time running backwards across displaced items.
+    pub reorder_span: usize,
+    /// When corrupting a rendered text feed, roughly this many lines per
+    /// 1000 get a byte mangled (see [`FaultPlan::corrupt_text`]).
+    pub corrupt_per_mille: u16,
+}
+
+impl FaultPlan {
+    /// The canonical soak plan: a baseline of stable routes, two update
+    /// storms (the second harsher than the first), two short stalls,
+    /// mild reordering, and ~2% corrupt lines.
+    pub fn storm_soak(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            baseline_prefixes: 40,
+            storms: vec![
+                StormSpec {
+                    start: Timestamp::from_secs(30),
+                    period: Timestamp::from_millis(800),
+                    down_time: Timestamp::from_millis(400),
+                    cycles: 120,
+                    prefixes: 6,
+                },
+                StormSpec {
+                    start: Timestamp::from_secs(200),
+                    period: Timestamp::from_millis(400),
+                    down_time: Timestamp::from_millis(200),
+                    cycles: 240,
+                    prefixes: 10,
+                },
+            ],
+            stalls: vec![
+                FeedStall {
+                    after_events: 500,
+                    pause: Duration::from_millis(30),
+                },
+                FeedStall {
+                    after_events: 2_000,
+                    pause: Duration::from_millis(30),
+                },
+            ],
+            reorder_span: 5,
+            corrupt_per_mille: 20,
+        }
+    }
+
+    /// Builds the faulted update feed: simulates the topology, injects the
+    /// storms, then applies the reordering. Deterministic for a given plan.
+    pub fn build_feed(&self) -> Vec<(UpdateMessage, Timestamp)> {
+        let edge = RouterId::from_octets(10, 0, 0, 1);
+        let provider = RouterId::from_octets(192, 0, 2, 1);
+        let flapper = RouterId::from_octets(192, 0, 2, 2);
+        let mut sim = SimBuilder::new(self.seed)
+            .router(edge, Asn(65000))
+            .router(provider, Asn(701))
+            .router(flapper, Asn(666))
+            .session(edge, provider, SessionKind::Ebgp)
+            .session(edge, flapper, SessionKind::Ebgp)
+            .monitor(edge)
+            .build();
+        for i in 0..self.baseline_prefixes {
+            sim.originate(
+                provider,
+                Prefix::from_octets(20, i, 0, 0, 16),
+                Timestamp::ZERO,
+            );
+        }
+        for (s, storm) in self.storms.iter().enumerate() {
+            let attrs = PathAttributes::new(flapper, AsPath::from_u32s([666, 7007]));
+            for p in 0..storm.prefixes {
+                Injector::route_flap(
+                    &mut sim,
+                    flapper,
+                    Prefix::from_octets(30, s as u8, p, 0, 24),
+                    attrs.clone(),
+                    FlapSchedule {
+                        start: storm.start,
+                        period: storm.period,
+                        down_time: storm.down_time,
+                        count: storm.cycles,
+                    },
+                );
+            }
+        }
+        sim.run_to_completion();
+        let mut feed = sim.take_collector_feed();
+        self.apply_reorder(&mut feed);
+        feed
+    }
+
+    /// Displaces feed items by up to `reorder_span` positions (seeded,
+    /// deterministic) without touching their timestamps: the receiver sees
+    /// out-of-order time.
+    fn apply_reorder<T>(&self, feed: &mut [T]) {
+        if self.reorder_span == 0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_0f0f);
+        for i in 0..feed.len() {
+            let j = (i + rng.gen_range(0..=self.reorder_span)).min(feed.len() - 1);
+            feed.swap(i, j);
+        }
+    }
+
+    /// The stall (if any) scheduled at feed position `i`; the replay
+    /// harness sleeps for it before delivering item `i`.
+    pub fn stall_at(&self, i: usize) -> Option<Duration> {
+        self.stalls
+            .iter()
+            .find(|s| s.after_events == i)
+            .map(|s| s.pause)
+    }
+
+    /// Corrupts roughly `corrupt_per_mille`/1000 of the non-empty lines of
+    /// a rendered text feed by mangling one byte each (seeded,
+    /// deterministic). Returns the corrupted document and how many lines
+    /// were touched. Byte values are chosen from the printable range so a
+    /// mutant stays one line; whether it still *parses* is the parser's
+    /// problem — that is the point.
+    pub fn corrupt_text(&self, text: &str) -> (String, usize) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc0_44_u64);
+        let mut corrupted = 0usize;
+        let lines: Vec<String> = text
+            .lines()
+            .map(|line| {
+                if line.is_empty() || u32::from(self.corrupt_per_mille) <= rng.gen_range(0u32..1000)
+                {
+                    return line.to_owned();
+                }
+                let mut bytes = line.as_bytes().to_vec();
+                let i = rng.gen_range(0..bytes.len());
+                let replacement = rng.gen_range(b'!'..=b'~');
+                bytes[i] = if replacement == bytes[i] {
+                    b'!' + (replacement - b'!' + 1) % (b'~' - b'!' + 1)
+                } else {
+                    replacement
+                };
+                corrupted += 1;
+                String::from_utf8_lossy(&bytes).into_owned()
+            })
+            .collect();
+        (lines.join("\n"), corrupted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_soak_feed_is_deterministic_and_stormy() {
+        let plan = FaultPlan::storm_soak(11);
+        let feed = plan.build_feed();
+        let again = plan.build_feed();
+        assert_eq!(feed.len(), again.len());
+        assert!(
+            feed.len() > 500,
+            "storms must dominate the baseline: {} items",
+            feed.len()
+        );
+        assert!(feed
+            .iter()
+            .zip(&again)
+            .all(|((m1, t1), (m2, t2))| m1 == m2 && t1 == t2));
+        // Reordering really produced out-of-order timestamps.
+        let out_of_order = feed.windows(2).filter(|w| w[1].1 < w[0].1).count();
+        assert!(out_of_order > 0, "reorder_span must disorder the feed");
+    }
+
+    #[test]
+    fn corrupt_text_touches_expected_fraction() {
+        let plan = FaultPlan {
+            corrupt_per_mille: 500,
+            ..FaultPlan::storm_soak(3)
+        };
+        let text: String = (0..1000)
+            .map(|i| format!("line number {i} with some payload\n"))
+            .collect();
+        let (mangled, corrupted) = plan.corrupt_text(&text);
+        assert!((300..700).contains(&corrupted), "got {corrupted}");
+        assert_eq!(mangled.lines().count(), 1000);
+        let differing = text
+            .lines()
+            .zip(mangled.lines())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(differing, corrupted);
+    }
+
+    #[test]
+    fn zero_reorder_span_preserves_order() {
+        let plan = FaultPlan {
+            reorder_span: 0,
+            ..FaultPlan::storm_soak(5)
+        };
+        let feed = plan.build_feed();
+        assert!(feed.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn stall_lookup_matches_plan() {
+        let plan = FaultPlan::storm_soak(1);
+        assert!(plan.stall_at(500).is_some());
+        assert!(plan.stall_at(501).is_none());
+    }
+}

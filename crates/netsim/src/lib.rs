@@ -41,11 +41,13 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod inject;
 pub mod router;
 pub mod topology;
 
 pub use engine::{Sim, SimOutput, SimStats};
+pub use fault::{FaultPlan, FeedStall, StormSpec};
 pub use inject::{FlapSchedule, Injector};
 pub use router::{Router, SessionKind};
 pub use topology::SimBuilder;

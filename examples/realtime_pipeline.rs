@@ -69,28 +69,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
-    // Spawn the detector thread and stream the feed in.
+    // Spawn the detector thread behind a bounded queue and stream the feed
+    // in. Under a real overload the Degrade policy coarsens Stemming rather
+    // than shedding events — nothing this feed does will fill a 16k queue,
+    // but the wiring is the production wiring.
     let config = PipelineConfig {
         window: Timestamp::from_secs(300),
         min_events: 100,
         min_component_events: 100,
         ..PipelineConfig::default()
     };
+    let spawn = SpawnConfig::new(config)
+        .with_capacity(16 * 1024)
+        .with_overload(OverloadPolicy::Degrade);
     let started = Instant::now();
-    let (tx, rx, handle) = RealtimeDetector::spawn(config);
+    let mut handle = RealtimeDetector::spawn(spawn);
     let n = feed.len();
-    for pair in feed {
-        tx.send(pair)?;
+    for (msg, time) in &feed {
+        handle.ingest_update(msg, *time)?;
     }
-    drop(tx); // end of feed: the detector flushes its final window
-    handle.join().expect("detector thread");
+    // End of feed: the detector flushes its final window and reports drain.
+    let (reports, stats) = handle.finish();
 
     println!("pushed {n} updates in {:.1?}\n", started.elapsed());
     let mut count = 0;
-    for report in rx.iter() {
+    for report in reports {
         count += 1;
         print!("report {count}:\n{report}");
     }
     println!("\n{count} reports; pipeline kept up in real time: processing took {:.1?} for a ~{}-minute feed", started.elapsed(), (reset_at + 120) / 60);
+    println!("pipeline ledger: {stats}");
+    assert!(stats.accounts_exactly());
     Ok(())
 }

@@ -1,57 +1,397 @@
 //! Offline shim for the `crossbeam` crate.
 //!
-//! `channel` wraps `std::sync::mpsc` behind crossbeam's clonable
-//! `Sender`/`Receiver` API (the receiver is shared through a mutex, which
-//! is enough for the pipeline's single-consumer use). `thread::scope`
+//! `channel` implements crossbeam's MPMC channel API (both `unbounded` and
+//! `bounded`) on a `Mutex<VecDeque>` + two condvars — enough for the
+//! pipeline's backpressure needs: `try_send`, `send_timeout`, `recv_timeout`,
+//! `len`/`capacity`/`is_full`, and the `TrySendError`/`SendTimeoutError`/
+//! `RecvTimeoutError` surface mirroring the real crate. `thread::scope`
 //! delegates to `std::thread::scope`, preserving crossbeam's
 //! `Result`-returning signature.
 
 pub mod channel {
-    use std::sync::mpsc;
-    use std::sync::{Arc, Mutex};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
-    pub use std::sync::mpsc::{RecvError, SendError};
+    /// Error from [`Sender::send`]: all receivers are gone. Carries the
+    /// unsent value, like `std::sync::mpsc::SendError`.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error from [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True when the failure was a full queue (retryable).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        /// True when all receivers are gone (terminal).
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
+    /// Error from [`Sender::send_timeout`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum SendTimeoutError<T> {
+        /// The queue stayed full for the whole timeout.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> SendTimeoutError<T> {
+        /// The value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                SendTimeoutError::Timeout(v) | SendTimeoutError::Disconnected(v) => v,
+            }
+        }
+
+        /// True when the failure was a timeout (retryable).
+        pub fn is_timeout(&self) -> bool {
+            matches!(self, SendTimeoutError::Timeout(_))
+        }
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("timed out sending on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T> std::error::Error for SendTimeoutError<T> {}
+
+    /// Error from [`Receiver::recv`]: channel empty and all senders gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The channel stayed empty for the whole timeout.
+        Timeout,
+        /// Empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out receiving on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    fn make_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
         (
-            Sender { inner: tx },
-            Receiver {
-                inner: Arc::new(Mutex::new(rx)),
+            Sender {
+                shared: Arc::clone(&shared),
             },
+            Receiver { shared },
         )
+    }
+
+    /// Creates an unbounded channel: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make_channel(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued values.
+    /// `send` blocks while full; `try_send` fails fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is 0 (the real crossbeam supports zero-capacity
+    /// rendezvous channels; this shim does not need them).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity channels are not supported");
+        make_channel(Some(cap))
     }
 
     /// The sending half; clonable.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        shared: Arc<Shared<T>>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
             Sender {
-                inner: self.inner.clone(),
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                drop(state);
+                self.shared.not_empty.notify_all();
             }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends a value; errors when all receivers are gone.
+        /// Sends a value, blocking while a bounded queue is full; errors
+        /// when all receivers are gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value)
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.shared.not_full.wait(state).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+        /// waiting for queue space.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends, waiting at most `timeout` for queue space.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(value));
+                        }
+                        let (next, timed_out) = self
+                            .shared
+                            .not_full
+                            .wait_timeout(state, deadline - now)
+                            .expect("channel poisoned");
+                        state = next;
+                        if timed_out.timed_out() && state.queue.len() >= cap {
+                            if state.receivers == 0 {
+                                return Err(SendTimeoutError::Disconnected(value));
+                            }
+                            return Err(SendTimeoutError::Timeout(value));
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Queued values right now.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// True when a bounded queue is at capacity (always false for
+        /// unbounded channels).
+        pub fn is_full(&self) -> bool {
+            match self.shared.capacity {
+                Some(cap) => self.len() >= cap,
+                None => false,
+            }
+        }
+
+        /// The bound, or `None` for unbounded channels.
+        pub fn capacity(&self) -> Option<usize> {
+            self.shared.capacity
         }
     }
 
     /// The receiving half; clonable (consumers share one queue).
     pub struct Receiver<T> {
-        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+        shared: Arc<Shared<T>>,
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
             Receiver {
-                inner: Arc::clone(&self.inner),
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake senders blocked on a full queue so they observe the
+                // disconnect.
+                drop(state);
+                self.shared.not_full.notify_all();
             }
         }
     }
@@ -59,12 +399,78 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Blocks until a value arrives or all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.lock().expect("receiver poisoned").recv()
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).expect("channel poisoned");
+            }
         }
 
         /// Non-blocking receive.
-        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.inner.lock().expect("receiver poisoned").try_recv()
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Receives, waiting at most `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel poisoned");
+                state = next;
+            }
+        }
+
+        /// Queued values right now.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The bound, or `None` for unbounded channels.
+        pub fn capacity(&self) -> Option<usize> {
+            self.shared.capacity
         }
 
         /// Iterates until the channel disconnects.
@@ -110,15 +516,135 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TrySendError};
+    use std::time::{Duration, Instant};
+
     #[test]
     fn channel_roundtrip() {
-        let (tx, rx) = super::channel::unbounded();
+        let (tx, rx) = unbounded();
         let tx2 = tx.clone();
         tx.send(1u32).unwrap();
         tx2.send(2).unwrap();
         drop((tx, tx2));
         let got: Vec<u32> = rx.iter().collect();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn try_send_fails_fast_on_full_queue() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1u32).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(tx.is_full());
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        // Draining one slot makes room again.
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn try_send_reports_disconnect() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.try_send(7u32).unwrap_err().is_disconnected());
+    }
+
+    #[test]
+    fn send_timeout_expires_while_full() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let started = Instant::now();
+        let err = tx.send_timeout(2, Duration::from_millis(30)).unwrap_err();
+        assert!(err.is_timeout());
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        assert_eq!(err.into_inner(), 2);
+    }
+
+    #[test]
+    fn send_timeout_succeeds_when_consumer_drains() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let first = rx.recv().unwrap();
+            let second = rx.recv().unwrap();
+            (first, second)
+        });
+        tx.send_timeout(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(consumer.join().unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn blocking_send_waits_for_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let producer = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the consumer drains
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_recovers() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 9);
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+
+    /// Shedding the oldest element (receiver-side `try_recv` on a full
+    /// queue, then `try_send`) preserves FIFO order of the survivors.
+    #[test]
+    fn fifo_order_survives_drop_oldest_shedding() {
+        let (tx, rx) = bounded(3);
+        let mut shed = Vec::new();
+        for i in 0..10u32 {
+            match tx.try_send(i) {
+                Ok(()) => {}
+                Err(TrySendError::Full(v)) => {
+                    shed.push(rx.try_recv().unwrap());
+                    tx.try_send(v).unwrap();
+                }
+                Err(TrySendError::Disconnected(_)) => unreachable!(),
+            }
+        }
+        drop(tx);
+        let kept: Vec<u32> = rx.iter().collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(shed, vec![0, 1, 2, 3, 4, 5, 6]);
+        // Interleaved, order is still globally FIFO.
+        let mut all = shed;
+        all.extend(&kept);
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks_queue_depth() {
+        let (tx, rx) = bounded(4);
+        assert!(tx.is_empty() && rx.is_empty());
+        for i in 0..4u32 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 4);
+        assert_eq!(rx.len(), 4);
+        assert_eq!(rx.capacity(), Some(4));
+        rx.recv().unwrap();
+        assert_eq!(tx.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Fault-injected soak tests for the realtime pipeline.
+//!
+//! A seeded [`FaultPlan`] throws update storms, feed stalls, out-of-order
+//! delivery, and corrupt feed text at the threaded pipeline under every
+//! overload policy, and asserts the robustness contract:
+//!
+//! * the pipeline never deadlocks or panics (the test completing is the
+//!   proof; CI additionally runs this file under a wall-clock timeout),
+//! * memory stays bounded — the queue never exceeds its capacity,
+//! * every event is accounted for — `ingested == analyzed + shed +
+//!   dropped + carried + queued` at every sampled instant and, with
+//!   `carried == queued == 0`, at quiescence.
+
+use std::time::{Duration, Instant};
+
+use bgpscope::prelude::*;
+
+/// Queue capacity small enough that the storms overflow it.
+const CAPACITY: usize = 64;
+
+/// Hard per-policy wall-clock budget: blowing it means livelock, which
+/// turns a hang into a failure even without the CI-level timeout.
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn soak_plan() -> FaultPlan {
+    FaultPlan::storm_soak(0xd5_2005)
+}
+
+fn spawn_config(policy: OverloadPolicy) -> SpawnConfig {
+    let pipeline = PipelineConfig {
+        // Short windows so analysis fires many times during the feed and
+        // actually loads the consumer.
+        window: Timestamp::from_secs(20),
+        min_events: 10,
+        min_component_events: 4,
+        spike_events: 5_000,
+        max_carry_events: 200,
+        max_carry_age: Timestamp::from_secs(120),
+        ..PipelineConfig::default()
+    };
+    SpawnConfig::new(pipeline)
+        .with_capacity(CAPACITY)
+        .with_overload(policy)
+}
+
+/// Replays the faulted feed through a spawned pipeline under `policy`,
+/// sampling the bounded-memory and exact-accounting invariants along the
+/// way, and returns the final stats.
+fn run_soak(policy: OverloadPolicy) -> PipelineStats {
+    let plan = soak_plan();
+    let feed = plan.build_feed();
+    assert!(feed.len() > 1_000, "feed too small to stress the pipeline");
+
+    let started = Instant::now();
+    let mut handle = RealtimeDetector::spawn(spawn_config(policy));
+    let mut max_queue = 0usize;
+    for (i, (msg, time)) in feed.iter().enumerate() {
+        if let Some(pause) = plan.stall_at(i) {
+            std::thread::sleep(pause);
+        }
+        handle
+            .ingest_update(msg, *time)
+            .unwrap_or_else(|_| panic!("{policy}: pipeline died at feed item {i}"));
+        max_queue = max_queue.max(handle.queue_len());
+        if i % 997 == 0 {
+            let live = handle.stats();
+            assert!(
+                live.accounts_exactly(),
+                "{policy}: mid-run ledger broken at item {i}: {live}"
+            );
+        }
+        assert!(
+            started.elapsed() < DEADLINE,
+            "{policy}: livelock — {i}/{} items after {:?}",
+            feed.len(),
+            started.elapsed()
+        );
+    }
+    assert!(handle.is_alive(), "{policy}: consumer thread died mid-soak");
+    assert!(
+        max_queue <= CAPACITY,
+        "{policy}: queue grew to {max_queue} > capacity {CAPACITY}"
+    );
+
+    let (_reports, stats) = handle.finish();
+    assert!(
+        stats.accounts_exactly(),
+        "{policy}: final ledger broken: {stats}"
+    );
+    assert_eq!(stats.queued, 0, "{policy}: events left queued: {stats}");
+    assert_eq!(stats.carried, 0, "{policy}: events left carried: {stats}");
+    assert_eq!(
+        stats.ingested,
+        stats.analyzed + stats.shed_events + stats.dropped_events,
+        "{policy}: quiescent accounting broken: {stats}"
+    );
+    // Augmentation can suppress duplicate updates and expand multi-prefix
+    // ones, so event count != update count — but a storm feed must still
+    // produce a storm of events.
+    assert!(stats.ingested > 1_000, "{policy}: {stats}");
+    stats
+}
+
+#[test]
+fn soak_block_policy_is_lossless() {
+    let stats = run_soak(OverloadPolicy::Block);
+    assert_eq!(stats.shed_events, 0, "Block must never shed: {stats}");
+    assert_eq!(stats.degraded_windows, 0, "Block never degrades: {stats}");
+}
+
+#[test]
+fn soak_drop_newest_policy_sheds_and_accounts() {
+    let stats = run_soak(OverloadPolicy::DropNewest);
+    // Whether anything was shed depends on scheduling; what is mandatory is
+    // that whatever was shed is on the ledger (checked in run_soak) and
+    // that analysis still happened.
+    assert!(stats.analyzed > 0, "{stats}");
+}
+
+#[test]
+fn soak_drop_oldest_policy_sheds_and_accounts() {
+    let stats = run_soak(OverloadPolicy::DropOldest);
+    assert!(stats.analyzed > 0, "{stats}");
+}
+
+#[test]
+fn soak_degrade_policy_is_lossless() {
+    let stats = run_soak(OverloadPolicy::Degrade);
+    assert_eq!(stats.shed_events, 0, "Degrade must never shed: {stats}");
+}
+
+/// The out-of-order deliveries in the faulted feed are clamped into the
+/// current window and counted — timestamps running backwards must never
+/// corrupt windowing silently.
+#[test]
+fn soak_feed_disorder_is_clamped_and_counted() {
+    let stats = run_soak(OverloadPolicy::Block);
+    assert!(
+        stats.clamped_events > 0,
+        "reordered feed produced no clamps: {stats}"
+    );
+}
+
+/// End-to-end corrupt-text leg: render the feed's events to the Figure-4
+/// text format, mangle lines per the plan, recover what is recoverable via
+/// the lossy parser, and push the survivors through the pipeline with the
+/// parse errors on the ledger.
+#[test]
+fn soak_corrupt_text_feed_is_recovered_and_accounted() {
+    let plan = soak_plan();
+    let feed = plan.build_feed();
+
+    // Reduce the update feed to augmented events with a standalone
+    // collector, then to text.
+    let mut collector = Collector::new();
+    let mut stream = EventStream::new();
+    for (msg, time) in &feed {
+        for event in collector.apply_update(msg, *time) {
+            stream.push(event);
+        }
+    }
+    let clean_text = bgpscope_mrt::events_to_text(&stream);
+    let (dirty_text, corrupted_lines) = plan.corrupt_text(&clean_text);
+    assert!(corrupted_lines > 0, "plan corrupted nothing");
+
+    let (recovered, errors) = text_to_events_lossy(&dirty_text);
+    assert!(
+        errors.len() <= corrupted_lines,
+        "{} parse errors from {corrupted_lines} corrupt lines",
+        errors.len()
+    );
+    assert!(
+        recovered.len() + errors.len() >= stream.len(),
+        "lost more events ({} of {}) than lines were corrupted",
+        stream.len() - recovered.len(),
+        stream.len()
+    );
+
+    let mut handle = RealtimeDetector::spawn(spawn_config(OverloadPolicy::Degrade));
+    handle.record_parse_errors(errors.len());
+    for event in recovered.events() {
+        handle.ingest_event(event.clone()).expect("pipeline alive");
+    }
+    let (_reports, stats) = handle.finish();
+    assert_eq!(stats.parse_errors, errors.len() as u64);
+    assert_eq!(stats.ingested, recovered.len() as u64);
+    assert!(stats.accounts_exactly(), "{stats}");
+    assert_eq!(stats.shed_events, 0, "Degrade must be lossless: {stats}");
+}
