@@ -99,6 +99,11 @@ impl PipelineConfig {
 /// How Stemming is coarsened in degraded mode: the point is to make each
 /// analysis pass cheap enough for the queue to drain, at the cost of
 /// finding only the strongest correlations.
+///
+/// Each analysis pass — degraded or not — builds one sub-sequence counter
+/// per window and *subtracts* per extracted component (see
+/// [`Stemming::decompose_weighted`]), so the `max_components` cap here
+/// bounds cheap decremental rounds, not full recounts of the window.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct DegradeConfig {
     /// `min_support` is multiplied by this (weaker correlations are noise
@@ -1226,6 +1231,43 @@ mod tests {
         assert_eq!(stats.shed_events, 0);
         assert_eq!(stats.ingested, 2_000);
         assert!(stats.accounts_exactly(), "{stats}");
+    }
+
+    /// Two concurrent session resets in the same window — disjoint peers,
+    /// paths, and prefixes — must come out as two reports from one window's
+    /// decomposition (the incremental multi-round path), strongest first.
+    #[test]
+    fn concurrent_resets_in_one_window_yield_two_reports() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 20,
+            min_component_events: 10,
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        let mut reports = Vec::new();
+        // Reset A: 30 withdrawals through 11423-209.
+        for i in 0..30u8 {
+            reports.extend(det.ingest_event(withdraw_event(10, i)));
+        }
+        // Reset B, overlapping in time: 15 withdrawals through 5511-3356
+        // from a different peer.
+        for i in 0..15u8 {
+            reports.extend(det.ingest_event(Event::withdraw(
+                Timestamp::from_secs(12),
+                PeerId::from_octets(9, 9, 9, 9),
+                Prefix::from_octets(172, 16 + i, 0, 0, 16),
+                PathAttributes::new(
+                    RouterId::from_octets(3, 3, 3, 3),
+                    "5511 3356".parse().unwrap(),
+                ),
+            )));
+        }
+        reports.extend(det.finish());
+        assert_eq!(reports.len(), 2, "got {} reports", reports.len());
+        assert_eq!(reports[0].stem, "209-701");
+        assert!(reports[1].stem.contains("3356"), "stem {}", reports[1].stem);
+        assert!(reports[0].event_count >= reports[1].event_count);
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! Parallel-scaling bench for the Stemming counting kernel: the same
-//! sub-sequence counting + winner fold at 1, 2, and 4 worker threads.
+//! sub-sequence counting + winner fold at 1, 2, and 4 worker threads —
+//! plus a multi-component round bench pitting the incremental decremental
+//! round loop against the retained from-scratch reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use bgpscope::prelude::*;
-use bgpscope_bench::berkeley_stream;
-use bgpscope_stemming::{SequenceEncoder, SubsequenceCounter, SubsequenceStat};
+use bgpscope_bench::{berkeley_stream, clustered_stream};
+use bgpscope_stemming::reference::decompose_weighted_reference;
+use bgpscope_stemming::{
+    SequenceEncoder, Stemming, StemmingConfig, SubsequenceCounter, SubsequenceStat,
+};
 
 fn bench_counting_scaling(c: &mut Criterion) {
     let stream = berkeley_stream(100_000, Timestamp::from_secs(900));
@@ -31,5 +36,33 @@ fn bench_counting_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_counting_scaling);
+/// Full multi-round decomposition of a clustered stream (several concurrent
+/// incidents, one extraction round each): the shipped incremental loop
+/// (count once, subtract per component) vs. the from-scratch reference
+/// (recount every surviving event each round). Both are bit-identical in
+/// output; only the round cost differs.
+fn bench_round_decomposition(c: &mut Criterion) {
+    let stream = clustered_stream(20_000, 6, Timestamp::from_secs(900));
+    let config = StemmingConfig {
+        max_components: 10,
+        parallelism: 1,
+        ..StemmingConfig::default()
+    };
+    let stemming = Stemming::with_config(config.clone());
+    assert!(
+        stemming.decompose(&stream).components().len() >= 6,
+        "clustered stream must decompose into one component per cluster"
+    );
+
+    let mut group = c.benchmark_group("stemming_multi_component_rounds");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("incremental", |b| b.iter(|| stemming.decompose(&stream)));
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| decompose_weighted_reference(&config, &stream, |_| 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting_scaling, bench_round_decomposition);
 criterion_main!(benches);

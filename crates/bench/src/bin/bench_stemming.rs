@@ -1,19 +1,40 @@
 //! Emits `BENCH_stemming.json`: counting-kernel throughput (events/sec) on a
-//! 100k-event synthetic window, serial vs. sharded.
+//! 100k-event synthetic window, serial vs. sharded, plus a multi-component
+//! *rounds* section comparing the incremental decremental round loop against
+//! the retained from-scratch reference.
 //!
-//! The measured region is the decomposition hot path — one full sub-sequence
-//! counting pass plus the streaming winner fold (`best_by` on a cold cache) —
-//! at 1, 2, and 4 worker threads. Sharded counts are bit-identical to serial,
-//! so every row does the same logical work.
+//! The kernel section measures the decomposition hot path — one full
+//! sub-sequence counting pass plus the streaming winner fold (`best_by` on a
+//! cold cache) — at 1, 2, and 4 worker threads. Sharded counts are
+//! bit-identical to serial, so every row does the same logical work.
+//!
+//! The rounds section replays a clustered stream (several concurrent
+//! incidents, so decomposition runs many extraction rounds) and times each
+//! round both ways: *incremental* (warm `best_by` over the maintained count
+//! cache + `remove_weighted` of the swept component's groups — what
+//! `Stemming::decompose_weighted` does) and *scratch* (rebuild the counter
+//! over every surviving event + cold `best_by` — what the pre-optimization
+//! loop, kept in `bgpscope_stemming::reference`, does). Both replays use the
+//! same survivor sets, so each round pair does identical logical work.
 
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use bgpscope::prelude::*;
-use bgpscope_bench::berkeley_stream;
-use bgpscope_stemming::{SequenceEncoder, SubsequenceCounter, SubsequenceStat};
+use bgpscope_bench::{berkeley_stream, clustered_stream};
+use bgpscope_bgp::intern::Symbol;
+use bgpscope_stemming::reference::decompose_weighted_reference;
+use bgpscope_stemming::{
+    SequenceEncoder, Stemming, StemmingConfig, SubsequenceCounter, SubsequenceStat,
+};
 
 const EVENTS: usize = 100_000;
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Rounds-section workload: enough clusters that the decomposition runs many
+/// rounds, enough events that a from-scratch recount is visibly expensive.
+const ROUND_EVENTS: usize = 40_000;
+const CLUSTERS: usize = 8;
 
 fn rank(a: &SubsequenceStat, b: &SubsequenceStat) -> bool {
     a.count > b.count || (a.count == b.count && a.len() > b.len())
@@ -36,6 +57,182 @@ fn time_kernel(counter: &mut SubsequenceCounter) -> f64 {
         }
     }
     total / f64::from(iters)
+}
+
+/// Mean seconds of `op`, with `restore` run untimed between repetitions to
+/// undo any state `op` mutated. At least 3 reps and ~0.2s of samples.
+fn time_round(mut op: impl FnMut(), mut restore: impl FnMut()) -> f64 {
+    let mut iters = 0u32;
+    let mut total = 0.0f64;
+    loop {
+        let start = Instant::now();
+        op();
+        total += start.elapsed().as_secs_f64();
+        iters += 1;
+        if iters >= 3 && (total >= 0.2 || iters >= 200) {
+            break;
+        }
+        restore();
+    }
+    total / f64::from(iters)
+}
+
+struct RoundRow {
+    round: usize,
+    incremental_secs: f64,
+    scratch_secs: f64,
+}
+
+struct RoundsReport {
+    components: usize,
+    distinct_sequences: usize,
+    rows: Vec<RoundRow>,
+    total_incremental_secs: f64,
+    total_scratch_secs: f64,
+}
+
+/// Replays the multi-round decomposition of a clustered stream, timing each
+/// round under the incremental and the from-scratch regime, plus both
+/// end-to-end decompositions. Serial counting (`parallelism: 1`) on both
+/// sides, so the comparison isolates the algorithmic change.
+fn bench_rounds() -> RoundsReport {
+    let stream = clustered_stream(ROUND_EVENTS, CLUSTERS, Timestamp::from_secs(900));
+    let config = StemmingConfig {
+        max_components: CLUSTERS + 4,
+        parallelism: 1,
+        ..StemmingConfig::default()
+    };
+    let stemming = Stemming::with_config(config.clone());
+    let result = stemming.decompose(&stream);
+    assert!(
+        result.components().len() >= CLUSTERS,
+        "clustered stream must decompose into one component per cluster, got {}",
+        result.components().len()
+    );
+
+    // Regroup the stream exactly as decompose does: one group per distinct
+    // encoded sequence, weight = multiplicity (unweighted decompose).
+    let mut encoder = SequenceEncoder::new();
+    let sequences: Vec<Vec<Symbol>> = stream.iter().map(|e| encoder.encode(e)).collect();
+    let mut group_of: HashMap<&[Symbol], usize> = HashMap::new();
+    let mut groups: Vec<(usize, u64)> = Vec::new(); // (repr event index, weight)
+    for (i, seq) in sequences.iter().enumerate() {
+        let g = *group_of.entry(seq.as_slice()).or_insert_with(|| {
+            groups.push((i, 0));
+            groups.len() - 1
+        });
+        groups[g].1 += 1;
+    }
+    // A component owns the groups whose prefix it swept.
+    let comp_groups: Vec<Vec<usize>> = result
+        .components()
+        .iter()
+        .map(|c| {
+            (0..groups.len())
+                .filter(|&g| c.prefixes.contains(&stream.events()[groups[g].0].prefix))
+                .collect()
+        })
+        .collect();
+
+    let build_full = || {
+        let mut c = SubsequenceCounter::with_parallelism(config.max_subseq_len, 1);
+        for &(repr, weight) in &groups {
+            c.add_weighted(&sequences[repr], weight);
+        }
+        c
+    };
+
+    // The warm counter the incremental replay maintains across rounds.
+    // RefCell because the timed op and the untimed restore both mutate it.
+    let warm = std::cell::RefCell::new(build_full());
+    warm.borrow_mut().materialize_counts();
+    let mut removed: HashSet<usize> = HashSet::new();
+    let mut rows = Vec::new();
+
+    for (comp_idx, comp_gs) in comp_groups.iter().enumerate() {
+        let round = comp_idx + 1;
+        // From-scratch round: rebuild over the survivors, cold winner fold.
+        let scratch_secs = time_round(
+            || {
+                let mut c = SubsequenceCounter::with_parallelism(config.max_subseq_len, 1);
+                for (g, &(repr, weight)) in groups.iter().enumerate() {
+                    if !removed.contains(&g) {
+                        c.add_weighted(&sequences[repr], weight);
+                    }
+                }
+                std::hint::black_box(c.best_by(rank));
+            },
+            || {},
+        );
+        // Incremental round: warm winner fold, then subtract the swept
+        // component's groups. Round 1 instead pays the one-time build (the
+        // two regimes only diverge from round 2 on).
+        let incremental_secs = if round == 1 {
+            time_round(
+                || {
+                    let mut c = build_full();
+                    c.materialize_counts();
+                    std::hint::black_box(c.best_by(rank));
+                },
+                || {},
+            )
+        } else {
+            time_round(
+                || {
+                    let mut warm = warm.borrow_mut();
+                    std::hint::black_box(warm.best_by(rank));
+                    for &g in comp_gs {
+                        let (repr, weight) = groups[g];
+                        assert!(warm.remove_weighted(&sequences[repr], weight));
+                    }
+                },
+                || {
+                    let mut warm = warm.borrow_mut();
+                    for &g in comp_gs {
+                        let (repr, weight) = groups[g];
+                        warm.add_weighted(&sequences[repr], weight);
+                    }
+                },
+            )
+        };
+        rows.push(RoundRow {
+            round,
+            incremental_secs,
+            scratch_secs,
+        });
+        // Commit this round's sweep before moving on. The timed op above
+        // left the last repetition's removal in place for rounds >= 2.
+        if round == 1 {
+            let mut warm = warm.borrow_mut();
+            for &g in comp_gs {
+                let (repr, weight) = groups[g];
+                assert!(warm.remove_weighted(&sequences[repr], weight));
+            }
+        }
+        removed.extend(comp_gs.iter().copied());
+    }
+
+    // End-to-end: the real incremental decompose vs. the retained reference.
+    let total_incremental_secs = time_round(
+        || {
+            std::hint::black_box(stemming.decompose(&stream));
+        },
+        || {},
+    );
+    let total_scratch_secs = time_round(
+        || {
+            std::hint::black_box(decompose_weighted_reference(&config, &stream, |_| 1));
+        },
+        || {},
+    );
+
+    RoundsReport {
+        components: result.components().len(),
+        distinct_sequences: groups.len(),
+        rows,
+        total_incremental_secs,
+        total_scratch_secs,
+    }
 }
 
 fn main() {
@@ -66,6 +263,24 @@ fn main() {
         secs_by_threads.push((threads, secs));
     }
 
+    let rounds = bench_rounds();
+    let round_rows: Vec<String> = rounds
+        .rows
+        .iter()
+        .map(|r| {
+            eprintln!(
+                "round {}: incremental {:.3} ms, scratch {:.3} ms",
+                r.round,
+                r.incremental_secs * 1e3,
+                r.scratch_secs * 1e3
+            );
+            format!(
+                "      {{\"round\": {}, \"incremental_secs\": {:.6}, \"scratch_secs\": {:.6}}}",
+                r.round, r.incremental_secs, r.scratch_secs
+            )
+        })
+        .collect();
+
     let serial = secs_by_threads[0].1;
     let at4 = secs_by_threads
         .iter()
@@ -73,7 +288,7 @@ fn main() {
         .expect("4-thread row")
         .1;
     let json = format!(
-        "{{\n  \"benchmark\": \"stemming_counting_kernel\",\n  \"events\": {},\n  \"distinct_sequences\": {},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_threads\": {:.3}\n}}\n",
+        "{{\n  \"benchmark\": \"stemming_counting_kernel\",\n  \"events\": {},\n  \"distinct_sequences\": {},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_threads\": {:.3},\n  \"rounds\": {{\n    \"events\": {ROUND_EVENTS},\n    \"clusters\": {CLUSTERS},\n    \"components\": {},\n    \"distinct_sequences\": {},\n    \"parallelism\": 1,\n    \"per_round\": [\n{}\n    ],\n    \"total_incremental_secs\": {:.6},\n    \"total_scratch_secs\": {:.6},\n    \"end_to_end_speedup\": {:.3}\n  }}\n}}\n",
         stream.len(),
         {
             let mut c = SubsequenceCounter::new(0);
@@ -83,7 +298,13 @@ fn main() {
             c.distinct_sequences()
         },
         rows.join(",\n"),
-        serial / at4
+        serial / at4,
+        rounds.components,
+        rounds.distinct_sequences,
+        round_rows.join(",\n"),
+        rounds.total_incremental_secs,
+        rounds.total_scratch_secs,
+        rounds.total_scratch_secs / rounds.total_incremental_secs,
     );
     std::fs::write("BENCH_stemming.json", &json).expect("write BENCH_stemming.json");
     println!("{json}");

@@ -34,6 +34,11 @@ pub struct StormSpec {
     pub cycles: u32,
     /// Number of distinct prefixes flapping in lockstep.
     pub prefixes: u8,
+    /// Which flapper router originates the storm (index into the sim's
+    /// flapper set, currently `0` = AS 666 or `1` = AS 777). Two storms on
+    /// *different* flappers produce concurrent anomalies with disjoint
+    /// stems — the multi-component regime.
+    pub flapper: u8,
 }
 
 /// A producer-side feed stall: after delivering `after_events` feed items,
@@ -84,6 +89,7 @@ impl FaultPlan {
                     down_time: Timestamp::from_millis(400),
                     cycles: 120,
                     prefixes: 6,
+                    flapper: 0,
                 },
                 StormSpec {
                     start: Timestamp::from_secs(200),
@@ -91,6 +97,7 @@ impl FaultPlan {
                     down_time: Timestamp::from_millis(200),
                     cycles: 240,
                     prefixes: 10,
+                    flapper: 0,
                 },
             ],
             stalls: vec![
@@ -108,20 +115,72 @@ impl FaultPlan {
         }
     }
 
+    /// A plan with two *concurrent* storms on different flapper routers —
+    /// disjoint AS paths, disjoint prefixes, overlapping in time — so a
+    /// single analysis window holds two anomalies with disjoint stems. This
+    /// is the multi-component regime the incremental Stemming rounds
+    /// optimize; the soak test uses it to pin component counts end-to-end.
+    pub fn concurrent_storms(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            baseline_prefixes: 30,
+            storms: vec![
+                StormSpec {
+                    start: Timestamp::from_secs(60),
+                    period: Timestamp::from_millis(600),
+                    down_time: Timestamp::from_millis(300),
+                    cycles: 200,
+                    prefixes: 8,
+                    flapper: 0,
+                },
+                StormSpec {
+                    start: Timestamp::from_secs(70),
+                    period: Timestamp::from_millis(500),
+                    down_time: Timestamp::from_millis(250),
+                    cycles: 200,
+                    prefixes: 5,
+                    flapper: 1,
+                },
+            ],
+            stalls: vec![FeedStall {
+                after_events: 800,
+                pause: Duration::from_millis(30),
+            }],
+            reorder_span: 5,
+            corrupt_per_mille: 20,
+        }
+    }
+
     /// Builds the faulted update feed: simulates the topology, injects the
     /// storms, then applies the reordering. Deterministic for a given plan.
     pub fn build_feed(&self) -> Vec<(UpdateMessage, Timestamp)> {
         let edge = RouterId::from_octets(10, 0, 0, 1);
         let provider = RouterId::from_octets(192, 0, 2, 1);
-        let flapper = RouterId::from_octets(192, 0, 2, 2);
-        let mut sim = SimBuilder::new(self.seed)
+        // Two flapper routers with disjoint ASes and paths; a storm picks
+        // one via `StormSpec::flapper`.
+        let flappers = [
+            (
+                RouterId::from_octets(192, 0, 2, 2),
+                Asn(666),
+                [666u32, 7007],
+            ),
+            (
+                RouterId::from_octets(192, 0, 2, 3),
+                Asn(777),
+                [777u32, 8008],
+            ),
+        ];
+        let mut builder = SimBuilder::new(self.seed)
             .router(edge, Asn(65000))
             .router(provider, Asn(701))
-            .router(flapper, Asn(666))
             .session(edge, provider, SessionKind::Ebgp)
-            .session(edge, flapper, SessionKind::Ebgp)
-            .monitor(edge)
-            .build();
+            .monitor(edge);
+        for &(router, asn, _) in &flappers {
+            builder = builder
+                .router(router, asn)
+                .session(edge, router, SessionKind::Ebgp);
+        }
+        let mut sim = builder.build();
         for i in 0..self.baseline_prefixes {
             sim.originate(
                 provider,
@@ -130,7 +189,8 @@ impl FaultPlan {
             );
         }
         for (s, storm) in self.storms.iter().enumerate() {
-            let attrs = PathAttributes::new(flapper, AsPath::from_u32s([666, 7007]));
+            let (flapper, _, path) = flappers[usize::from(storm.flapper) % flappers.len()];
+            let attrs = PathAttributes::new(flapper, AsPath::from_u32s(path));
             for p in 0..storm.prefixes {
                 Injector::route_flap(
                     &mut sim,
@@ -229,6 +289,38 @@ mod tests {
         // Reordering really produced out-of-order timestamps.
         let out_of_order = feed.windows(2).filter(|w| w[1].1 < w[0].1).count();
         assert!(out_of_order > 0, "reorder_span must disorder the feed");
+    }
+
+    #[test]
+    fn concurrent_storms_inject_two_disjoint_anomalies() {
+        let plan = FaultPlan::concurrent_storms(7);
+        let feed = plan.build_feed();
+        let announced_via = |needle: &str| {
+            feed.iter()
+                .filter(|(m, _)| {
+                    m.attrs
+                        .as_ref()
+                        .is_some_and(|a| a.as_path.to_string().contains(needle))
+                })
+                .count()
+        };
+        // Both flappers' paths must be well represented and disjoint.
+        assert!(
+            announced_via("666 7007") > 100,
+            "flapper 0 underrepresented"
+        );
+        assert!(
+            announced_via("777 8008") > 100,
+            "flapper 1 underrepresented"
+        );
+        assert_eq!(announced_via("666 8008"), 0);
+        // Deterministic like every plan.
+        let again = plan.build_feed();
+        assert_eq!(feed.len(), again.len());
+        assert!(feed
+            .iter()
+            .zip(&again)
+            .all(|((m1, t1), (m2, t2))| m1 == m2 && t1 == t2));
     }
 
     #[test]

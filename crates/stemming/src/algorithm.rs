@@ -1,11 +1,11 @@
 //! The recursive Stemming decomposition.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
 use bgpscope_bgp::intern::{Symbol, SymbolTable};
-use bgpscope_bgp::{EventKind, EventStream, Timestamp};
+use bgpscope_bgp::{EventKind, EventStream, Prefix, Timestamp};
 
 use crate::component::{Component, Stem};
 use crate::count::SubsequenceCounter;
@@ -87,6 +87,28 @@ impl Stemming {
     ///
     /// Events with weight 0 never contribute to sub-sequence counts (but are
     /// still swept into a component if their prefix is affected).
+    ///
+    /// # Incremental rounds
+    ///
+    /// The counter is built **once** from the full stream and then updated
+    /// *decrementally*: each extraction calls
+    /// [`SubsequenceCounter::remove_weighted`] for just the swept component's
+    /// distinct sequences, so round `k+1` starts from round `k`'s counts
+    /// instead of recounting every surviving event. Two inverted maps
+    /// (prefix → events, prefix → sequence groups) let the P/E sweep touch
+    /// only the component being extracted. Per-round cost drops from
+    /// O(alive) to O(component); results are bit-identical to the retained
+    /// from-scratch loop in [`crate::reference`] (proved by the differential
+    /// proptest harness).
+    ///
+    /// The identity rests on two facts: sub-sequence counts are additive per
+    /// (distinct sequence, multiplicity), so subtracting a component's
+    /// groups leaves exactly the counts a fresh build over the survivors
+    /// would produce; and an event's encoded sequence *ends with its interned
+    /// prefix symbol*, so all events sharing a sequence share a prefix and
+    /// live or die together — a prefix is swept at most once, which is what
+    /// lets the E-sweep take a prefix's whole event list without per-event
+    /// liveness checks.
     pub fn decompose_weighted<F>(&self, stream: &EventStream, weight_of: F) -> StemmingResult
     where
         F: Fn(&bgpscope_bgp::Event) -> u64,
@@ -95,23 +117,48 @@ impl Stemming {
         let mut encoder = SequenceEncoder::new();
         let sequences: Vec<Vec<Symbol>> = events.iter().map(|e| encoder.encode(e)).collect();
 
-        let mut alive: Vec<bool> = vec![true; events.len()];
+        // Group events by distinct sequence (repr = first event index) and
+        // invert the stream: prefix → event indices (ascending, from the
+        // single forward pass) and prefix → groups.
+        let mut group_of: HashMap<&[Symbol], usize> = HashMap::new();
+        let mut group_weights: Vec<u64> = Vec::new();
+        let mut group_reprs: Vec<usize> = Vec::new();
+        let mut prefix_events: HashMap<Prefix, Vec<usize>> = HashMap::new();
+        let mut prefix_groups: HashMap<Prefix, Vec<usize>> = HashMap::new();
+        for (i, seq) in sequences.iter().enumerate() {
+            let prefix = events[i].prefix;
+            prefix_events.entry(prefix).or_default().push(i);
+            let g = *group_of.entry(seq.as_slice()).or_insert_with(|| {
+                group_reprs.push(i);
+                group_weights.push(0);
+                prefix_groups
+                    .entry(prefix)
+                    .or_default()
+                    .push(group_reprs.len() - 1);
+                group_reprs.len() - 1
+            });
+            group_weights[g] += weight_of(&events[i]);
+        }
+
+        // Count once over the whole stream and materialize the owned count
+        // cache, so later removals can maintain it in place.
+        let mut counter = SubsequenceCounter::with_parallelism(
+            self.config.max_subseq_len,
+            self.config.parallelism,
+        );
+        for (g, &repr) in group_reprs.iter().enumerate() {
+            counter.add_weighted(&sequences[repr], group_weights[g]);
+        }
+        counter.materialize_counts();
+
+        let mut live_groups: Vec<usize> = (0..group_reprs.len()).collect();
+        let mut swept: HashSet<Prefix> = HashSet::new();
         let mut alive_count = events.len();
         let mut components = Vec::new();
 
         while components.len() < self.config.max_components
             && alive_count >= self.config.min_residual_events
         {
-            // Count sub-sequences over the remaining events.
-            let mut counter = SubsequenceCounter::with_parallelism(
-                self.config.max_subseq_len,
-                self.config.parallelism,
-            );
-            for (i, seq) in sequences.iter().enumerate() {
-                if alive[i] {
-                    counter.add_weighted(seq, weight_of(&events[i]));
-                }
-            }
             let ranking = self.config.ranking;
             let Some(best) = counter.best_by(move |a, b| ranking.better(a, b)) else {
                 break;
@@ -121,37 +168,50 @@ impl Stemming {
             }
             let winner = best.subseq;
 
-            // P: prefixes of alive events containing the winner.
+            // P: prefixes of live groups containing the winner. A group is
+            // live exactly when its (single) prefix is unswept.
             let mut prefixes = BTreeSet::new();
-            for (i, seq) in sequences.iter().enumerate() {
-                if alive[i] && contains_subslice(seq, &winner) {
-                    prefixes.insert(events[i].prefix);
+            for &g in &live_groups {
+                if contains_subslice(&sequences[group_reprs[g]], &winner) {
+                    prefixes.insert(events[group_reprs[g]].prefix);
                 }
             }
 
-            // E: all alive events touching any prefix in P.
+            // E: the union of the swept prefixes' event lists — every listed
+            // event is still alive (its prefix was never swept before).
+            // Subtract each dying group from the counter as its prefix goes.
             let mut indices = Vec::new();
-            let mut start = Timestamp(u64::MAX);
-            let mut end = Timestamp::ZERO;
-            let mut announce_count = 0;
-            let mut withdraw_count = 0;
-            for (i, event) in events.iter().enumerate() {
-                if alive[i] && prefixes.contains(&event.prefix) {
-                    alive[i] = false;
-                    alive_count -= 1;
-                    indices.push(i);
-                    start = start.min(event.time);
-                    end = end.max(event.time);
-                    match event.kind {
-                        EventKind::Announce => announce_count += 1,
-                        EventKind::Withdraw => withdraw_count += 1,
-                    }
+            for p in &prefixes {
+                indices.extend_from_slice(&prefix_events[p]);
+                for &g in &prefix_groups[p] {
+                    let removed =
+                        counter.remove_weighted(&sequences[group_reprs[g]], group_weights[g]);
+                    debug_assert!(removed, "a live group's weight must be removable");
                 }
             }
+            indices.sort_unstable();
             debug_assert!(
                 !indices.is_empty(),
                 "winning sub-sequence must match events"
             );
+            alive_count -= indices.len();
+
+            let mut start = Timestamp(u64::MAX);
+            let mut end = Timestamp::ZERO;
+            let mut announce_count = 0;
+            let mut withdraw_count = 0;
+            for &i in &indices {
+                let event = &events[i];
+                start = start.min(event.time);
+                end = end.max(event.time);
+                match event.kind {
+                    EventKind::Announce => announce_count += 1,
+                    EventKind::Withdraw => withdraw_count += 1,
+                }
+            }
+
+            swept.extend(prefixes.iter().copied());
+            live_groups.retain(|&g| !swept.contains(&events[group_reprs[g]].prefix));
 
             let stem = Stem(winner[winner.len() - 2], winner[winner.len() - 1]);
             components.push(Component {
@@ -167,10 +227,11 @@ impl Stemming {
             });
         }
 
-        let residual_indices = alive
+        let residual_indices = events
             .iter()
             .enumerate()
-            .filter_map(|(i, &a)| if a { Some(i) } else { None })
+            .filter(|(_, e)| !swept.contains(&e.prefix))
+            .map(|(i, _)| i)
             .collect();
 
         StemmingResult {
@@ -183,7 +244,7 @@ impl Stemming {
 }
 
 /// Whether `needle` occurs contiguously inside `haystack`.
-fn contains_subslice(haystack: &[Symbol], needle: &[Symbol]) -> bool {
+pub(crate) fn contains_subslice(haystack: &[Symbol], needle: &[Symbol]) -> bool {
     needle.len() <= haystack.len() && haystack.windows(needle.len()).any(|w| w == needle)
 }
 
@@ -197,6 +258,23 @@ pub struct StemmingResult {
 }
 
 impl StemmingResult {
+    /// Assembles a result from raw parts — used by the retained from-scratch
+    /// loop in [`crate::reference`], which the differential harness holds the
+    /// incremental path bit-identical to.
+    pub(crate) fn from_parts(
+        components: Vec<Component>,
+        symbols: SymbolTable,
+        total_events: usize,
+        residual_indices: Vec<usize>,
+    ) -> Self {
+        StemmingResult {
+            components,
+            symbols,
+            total_events,
+            residual_indices,
+        }
+    }
+
     /// The extracted components, strongest first.
     pub fn components(&self) -> &[Component] {
         &self.components

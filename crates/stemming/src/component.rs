@@ -24,7 +24,7 @@ impl Stem {
 }
 
 /// One strongly correlated component extracted from an event stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Component {
     /// The winning sub-sequence `s'` (the "common portion").
     pub subsequence: Vec<Symbol>,

@@ -15,6 +15,17 @@
 //! directly over the merged borrowed-key map. Results are bit-identical to
 //! the serial path regardless of shard count because counts are additive and
 //! the winner fold's tie-break is total.
+//!
+//! The counter is also *decremental*: [`SubsequenceCounter::remove_weighted`]
+//! mirrors [`SubsequenceCounter::add_weighted`], and once the owned count
+//! cache exists (built sharded, once — see
+//! [`SubsequenceCounter::materialize_counts`]) every add or remove updates it
+//! in place instead of invalidating it. Entries that reach zero are pruned
+//! from both the sequence map and the cache, so after a removal the counter
+//! is indistinguishable from one that never saw the sequence. This is what
+//! lets the recursive Stemming decomposition count a window once and then
+//! *subtract* each extracted component — O(component) per round instead of a
+//! full O(alive) recount.
 
 use std::collections::HashMap;
 use std::thread;
@@ -117,13 +128,59 @@ impl SubsequenceCounter {
     /// Adds one event's sequence with a weight (used by traffic-weighted
     /// Stemming, where an event counts proportionally to the traffic volume
     /// of its prefix).
+    ///
+    /// When the owned count cache has been materialized (by
+    /// [`SubsequenceCounter::materialize_counts`], [`SubsequenceCounter::stats`],
+    /// or [`SubsequenceCounter::count_of`]), the cache is updated in place —
+    /// each distinct sub-sequence of `seq` gains `weight` — instead of being
+    /// thrown away and rebuilt from scratch on the next query.
     pub fn add_weighted(&mut self, seq: &[Symbol], weight: u64) {
         if weight == 0 {
             return;
         }
         *self.sequences.entry(seq.to_vec()).or_insert(0) += weight;
         self.total += weight;
-        self.counts = None;
+        if let Some(counts) = &mut self.counts {
+            apply_delta(counts, seq, self.max_len, weight, Delta::Add);
+        }
+    }
+
+    /// Removes one previously added occurrence of `seq` (weight 1). See
+    /// [`SubsequenceCounter::remove_weighted`].
+    pub fn remove(&mut self, seq: &[Symbol]) -> bool {
+        self.remove_weighted(seq, 1)
+    }
+
+    /// Removes `weight` worth of a previously added sequence, mirroring
+    /// [`SubsequenceCounter::add_weighted`]: the sequence's multiplicity and
+    /// every one of its distinct sub-sequences' counts drop by `weight`, and
+    /// entries reaching zero are pruned — [`SubsequenceCounter::distinct_sequences`],
+    /// [`SubsequenceCounter::stats`], and [`SubsequenceCounter::best_by`]
+    /// behave exactly as if the removed weight had never been added.
+    ///
+    /// Removing a sequence that was never added, or more weight than the
+    /// sequence currently carries, is *rejected*: the call returns `false`
+    /// and the counter is left untouched (never a silent `u64` underflow).
+    /// A zero `weight` is a no-op returning `true`, mirroring the add path.
+    pub fn remove_weighted(&mut self, seq: &[Symbol], weight: u64) -> bool {
+        if weight == 0 {
+            return true;
+        }
+        let Some(mult) = self.sequences.get_mut(seq) else {
+            return false;
+        };
+        if *mult < weight {
+            return false;
+        }
+        *mult -= weight;
+        if *mult == 0 {
+            self.sequences.remove(seq);
+        }
+        self.total -= weight;
+        if let Some(counts) = &mut self.counts {
+            apply_delta(counts, seq, self.max_len, weight, Delta::Remove);
+        }
+        true
     }
 
     /// Total sequences added (with multiplicity / weight).
@@ -200,11 +257,22 @@ impl SubsequenceCounter {
             .collect()
     }
 
-    /// Ensures counts are built and returns them.
-    fn counts(&mut self) -> &HashMap<Vec<Symbol>, u64> {
+    /// Forces the owned-key count cache to exist (built sharded, like any
+    /// other counting pass). After this, every [`SubsequenceCounter::add_weighted`]
+    /// / [`SubsequenceCounter::remove_weighted`] maintains the cache
+    /// incrementally — O(len²) in the touched sequence — and
+    /// [`SubsequenceCounter::best_by`] folds over the warm cache instead of
+    /// recounting. This is the entry point for decremental workloads: pay
+    /// one full counting pass up front, then subtract.
+    pub fn materialize_counts(&mut self) {
         if self.counts.is_none() {
             self.counts = Some(self.build_counts());
         }
+    }
+
+    /// Ensures counts are built and returns them.
+    fn counts(&mut self) -> &HashMap<Vec<Symbol>, u64> {
+        self.materialize_counts();
         self.counts.as_ref().expect("just built")
     }
 
@@ -242,6 +310,52 @@ impl SubsequenceCounter {
         }
         let counts = self.borrowed_counts();
         fold_best(counts.iter().map(|(&s, &c)| (s, c)), better)
+    }
+}
+
+/// Direction of an incremental cache update.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Delta {
+    Add,
+    Remove,
+}
+
+/// Applies `weight` to every distinct contiguous sub-sequence of `seq` in
+/// the owned count cache — the incremental mirror of one `count_shard`
+/// iteration. On removal, entries reaching zero are pruned so the cache
+/// stays identical to one rebuilt from scratch. Underflow is impossible for
+/// a sequence the counter actually contained: every sub-sequence count is at
+/// least the sequence's own multiplicity.
+fn apply_delta(
+    counts: &mut HashMap<Vec<Symbol>, u64>,
+    seq: &[Symbol],
+    max_len: usize,
+    weight: u64,
+    delta: Delta,
+) {
+    let mut seen: HashMap<&[Symbol], ()> = HashMap::new();
+    let n = seq.len();
+    let max = if max_len == 0 { n } else { max_len.min(n) };
+    for len in 2..=max {
+        for start in 0..=(n - len) {
+            let sub = &seq[start..start + len];
+            if seen.insert(sub, ()).is_some() {
+                continue;
+            }
+            match delta {
+                Delta::Add => *counts.entry(sub.to_vec()).or_insert(0) += weight,
+                Delta::Remove => {
+                    let count = counts
+                        .get_mut(sub)
+                        .expect("removed sequence's sub-sequence must be counted");
+                    debug_assert!(*count >= weight, "sub-sequence count underflow");
+                    *count -= weight;
+                    if *count == 0 {
+                        counts.remove(sub);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -416,6 +530,128 @@ mod tests {
         c.stats(); // force the owned-key cache
         let warm = c.best_by(rank);
         assert_eq!(cold, warm);
+    }
+
+    /// Sorted stats of a counter, for set-equality comparisons.
+    fn sorted_stats(c: &mut SubsequenceCounter) -> Vec<SubsequenceStat> {
+        let mut v = c.stats();
+        v.sort_by(|x, y| x.subseq.cmp(&y.subseq));
+        v
+    }
+
+    #[test]
+    fn add_remove_round_trip_restores_exact_counts() {
+        let mut c = SubsequenceCounter::new(0);
+        c.add_weighted(&[s(1), s(2), s(3)], 5);
+        c.add_weighted(&[s(1), s(2), s(4)], 2);
+        let before = sorted_stats(&mut c);
+        let (total, distinct) = (c.total(), c.distinct_sequences());
+
+        c.add_weighted(&[s(9), s(8), s(7)], 3);
+        c.add_weighted(&[s(1), s(2), s(3)], 4); // bump an existing sequence
+        assert!(c.remove_weighted(&[s(9), s(8), s(7)], 3));
+        assert!(c.remove_weighted(&[s(1), s(2), s(3)], 4));
+
+        assert_eq!(c.total(), total);
+        assert_eq!(c.distinct_sequences(), distinct);
+        assert_eq!(sorted_stats(&mut c), before);
+        assert_eq!(c.count_of(&[s(1), s(2)]), 7);
+        assert_eq!(c.count_of(&[s(9), s(8)]), 0);
+    }
+
+    #[test]
+    fn remove_to_zero_prunes_the_entry() {
+        let mut c = SubsequenceCounter::new(0);
+        c.add_weighted(&[s(1), s(2), s(3)], 2);
+        c.add(&[s(4), s(5)]);
+        c.materialize_counts();
+        assert!(c.remove_weighted(&[s(1), s(2), s(3)], 2));
+        assert_eq!(c.distinct_sequences(), 1);
+        assert_eq!(c.total(), 1);
+        // stats() agrees with distinct_sequences: only [4,5]'s sub-sequence
+        // survives — the removed sequence's entries are gone, not zeroed.
+        let stats = c.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].subseq, vec![s(4), s(5)]);
+        assert_eq!(c.count_of(&[s(1), s(2)]), 0);
+        assert_eq!(c.count_of(&[s(2), s(3)]), 0);
+    }
+
+    #[test]
+    fn remove_unknown_or_overweight_is_rejected_without_mutation() {
+        let mut c = SubsequenceCounter::new(0);
+        c.add_weighted(&[s(1), s(2), s(3)], 2);
+        let before = sorted_stats(&mut c);
+
+        // Never-added sequence: rejected.
+        assert!(!c.remove_weighted(&[s(7), s(8)], 1));
+        // More weight than the sequence carries: rejected outright, not
+        // partially applied (no silent u64 underflow path exists).
+        assert!(!c.remove_weighted(&[s(1), s(2), s(3)], 3));
+        // Fully-removed sequence: a second removal is rejected too.
+        assert!(c.remove_weighted(&[s(1), s(2), s(3)], 2));
+        assert!(!c.remove(&[s(1), s(2), s(3)]));
+
+        c.add_weighted(&[s(1), s(2), s(3)], 2);
+        assert_eq!(sorted_stats(&mut c), before);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn zero_weight_remove_is_a_noop() {
+        let mut c = SubsequenceCounter::new(0);
+        // Mirrors add_weighted(_, 0): succeeds without any effect, even for
+        // sequences the counter has never seen.
+        assert!(c.remove_weighted(&[s(1), s(2)], 0));
+        c.add(&[s(1), s(2)]);
+        assert!(c.remove_weighted(&[s(3), s(4)], 0));
+        assert_eq!(c.total(), 1);
+    }
+
+    /// The staleness regression (add → best_by → remove → best_by): the
+    /// materialized cache must be updated (or equivalently invalidated) by a
+    /// removal, never served stale.
+    #[test]
+    fn best_by_is_fresh_after_interleaved_add_and_remove() {
+        let rank = |a: &SubsequenceStat, b: &SubsequenceStat| a.count > b.count;
+        let mut c = SubsequenceCounter::new(0);
+        c.add_weighted(&[s(1), s(2)], 10);
+        c.add_weighted(&[s(3), s(4)], 3);
+        // best_by on the warm cache path: force materialization first.
+        c.materialize_counts();
+        assert_eq!(c.best_by(rank).expect("winner").subseq, vec![s(1), s(2)]);
+        assert!(c.remove_weighted(&[s(1), s(2)], 10));
+        let after = c.best_by(rank).expect("winner");
+        assert_eq!(after.subseq, vec![s(3), s(4)]);
+        assert_eq!(after.count, 3);
+        // And stats() agrees with the fold.
+        assert_eq!(c.stats().len(), 1);
+    }
+
+    /// Removal keeps the cache bit-identical to a from-scratch rebuild, for
+    /// serial and sharded builds alike.
+    #[test]
+    fn removal_matches_rebuild_after_sharded_materialization() {
+        for parallelism in [1, 4] {
+            let mut incremental = bulk_counter(parallelism);
+            incremental.materialize_counts();
+            // Remove a slice of the bulk workload...
+            let mut removed = Vec::new();
+            for i in 0..120u32 {
+                let seq = [s(11423), s(209), s(700 + i % 40), s(i), s(i % 7)];
+                assert!(incremental.remove_weighted(&seq, 1 + u64::from(i % 3)));
+                removed.push(i);
+            }
+            // ...and rebuild the same survivor set from scratch.
+            let mut fresh = SubsequenceCounter::with_parallelism(0, parallelism);
+            for i in 120..500u32 {
+                let seq = [s(11423), s(209), s(700 + i % 40), s(i), s(i % 7)];
+                fresh.add_weighted(&seq, 1 + u64::from(i % 3));
+            }
+            assert_eq!(incremental.total(), fresh.total());
+            assert_eq!(incremental.distinct_sequences(), fresh.distinct_sequences());
+            assert_eq!(sorted_stats(&mut incremental), sorted_stats(&mut fresh));
+        }
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub mod algorithm;
 pub mod component;
 pub mod count;
 pub mod rank;
+#[doc(hidden)]
+pub mod reference;
 pub mod sequence;
 pub mod window;
 

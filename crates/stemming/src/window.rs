@@ -110,6 +110,12 @@ impl MultiScaleDetector {
     /// Analyzes `stream` (must be time-sorted) at every scale; windows with
     /// fewer than `min_events` events are skipped. Findings are returned
     /// ordered by (scale, window start).
+    ///
+    /// Each window's decomposition builds its sub-sequence counter **once**
+    /// and subtracts per extracted component (see
+    /// [`Stemming::decompose_weighted`]), so a window holding several
+    /// concurrent anomalies — the regime wide scales exist for — pays one
+    /// count, not one per component.
     pub fn analyze(&self, stream: &EventStream, min_events: usize) -> Vec<WindowedFinding> {
         let mut findings = Vec::new();
         let Some(first) = stream.events().first().map(|e| e.time) else {
@@ -198,5 +204,43 @@ mod tests {
     fn empty_stream_no_findings() {
         let det = MultiScaleDetector::new();
         assert!(det.analyze(&EventStream::new(), 1).is_empty());
+    }
+
+    /// Two concurrent anomalies inside one 15-minute window: the window's
+    /// single (incrementally updated) counter must yield both components,
+    /// strongest first — the multi-round path the decremental counter
+    /// optimizes.
+    #[test]
+    fn concurrent_anomalies_in_one_window() {
+        let mut events = Vec::new();
+        for i in 0..40 {
+            events.push(ev(100 + i, &format!("10.{}.0.0/16", i), "11423 209"));
+        }
+        // A different collector peer, so the two groups share no symbols at
+        // all — otherwise the shared peer-hop pair outranks either stem.
+        for i in 0..25 {
+            events.push(Event::withdraw(
+                Timestamp::from_secs(150 + i),
+                PeerId::from_octets(9, 9, 9, 9),
+                format!("20.{}.0.0/16", i).parse().unwrap(),
+                PathAttributes::new(
+                    RouterId::from_octets(8, 8, 8, 8),
+                    "5511 3356".parse().unwrap(),
+                ),
+            ));
+        }
+        events.sort_by_key(|e| e.time);
+        let stream: EventStream = events.into_iter().collect();
+        let findings = MultiScaleDetector::new().analyze(&stream, 5);
+        let short = findings
+            .iter()
+            .find(|f| f.scale.width == Timestamp::from_secs(900))
+            .expect("short-scale finding");
+        assert_eq!(short.event_count, 65);
+        let components = short.result.components();
+        assert!(components.len() >= 2, "got {} components", components.len());
+        assert_eq!(components[0].support, 40);
+        assert_eq!(components[1].support, 25);
+        assert!(components[0].support >= components[1].support);
     }
 }

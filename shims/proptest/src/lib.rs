@@ -52,15 +52,23 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases.
+    /// A config running `cases` cases (an explicit count wins over the
+    /// `PROPTEST_CASES` environment variable, as in the real crate).
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable by setting `PROPTEST_CASES` in the environment
+    /// (mirroring the real crate, which CI uses to raise the case count).
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 

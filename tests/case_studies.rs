@@ -199,6 +199,83 @@ fn case_f_persistent_med_oscillation() {
     }
 }
 
+/// The REX-style concurrent-anomaly case (§IV): two *simultaneous* fault
+/// injections against disjoint parts of the simulated topology — route
+/// flaps via AS 666 and via AS 777, overlapping in time — must come out of
+/// one decomposition as two components with disjoint stems, recovered in
+/// rank order (the larger incident first). This pins the recursive
+/// incremental path end-to-end: round 2 runs on the subtracted counter,
+/// not a recount.
+#[test]
+fn case_rex_concurrent_anomalies_recovered_in_rank_order() {
+    let edge = RouterId::from_octets(10, 0, 0, 1);
+    let flapper_a = RouterId::from_octets(192, 0, 2, 2);
+    let flapper_b = RouterId::from_octets(192, 0, 2, 3);
+    let mut sim = SimBuilder::new(42)
+        .router(edge, Asn(65000))
+        .router(flapper_a, Asn(666))
+        .router(flapper_b, Asn(777))
+        .session(edge, flapper_a, SessionKind::Ebgp)
+        .session(edge, flapper_b, SessionKind::Ebgp)
+        .monitor(edge)
+        .build();
+    let schedule = FlapSchedule {
+        start: Timestamp::from_secs(10),
+        period: Timestamp::from_secs(2),
+        down_time: Timestamp::from_secs(1),
+        count: 20,
+    };
+    // Incident A: 8 prefixes flapping via AS 666 — the stronger anomaly.
+    for p in 0..8 {
+        Injector::route_flap(
+            &mut sim,
+            flapper_a,
+            Prefix::from_octets(30, 0, p, 0, 24),
+            PathAttributes::new(flapper_a, AsPath::from_u32s([666, 7007])),
+            schedule,
+        );
+    }
+    // Incident B, simultaneous: 4 prefixes flapping via AS 777.
+    for p in 0..4 {
+        Injector::route_flap(
+            &mut sim,
+            flapper_b,
+            Prefix::from_octets(31, 0, p, 0, 24),
+            PathAttributes::new(flapper_b, AsPath::from_u32s([777, 8008])),
+            schedule,
+        );
+    }
+    sim.run_to_completion();
+
+    let mut collector = Collector::new();
+    let mut stream = EventStream::new();
+    for (msg, time) in &sim.take_collector_feed() {
+        for event in collector.apply_update(msg, *time) {
+            stream.push(event);
+        }
+    }
+
+    let result = Stemming::new().decompose(&stream);
+    assert!(
+        result.components().len() >= 2,
+        "expected both incidents:\n{}",
+        result.report()
+    );
+    let first = &result.components()[0];
+    let second = &result.components()[1];
+    // Rank order: the 8-prefix incident outranks the 4-prefix one…
+    let portion_a = first.display_subsequence(result.symbols());
+    let portion_b = second.display_subsequence(result.symbols());
+    assert!(portion_a.contains("666"), "top portion {portion_a}");
+    assert!(portion_b.contains("777"), "second portion {portion_b}");
+    assert!(first.support >= second.support);
+    // …with fully disjoint footprints: neither stole the other's prefixes.
+    assert!(first.prefixes.iter().all(|p| p.addr() >> 24 == 30));
+    assert!(second.prefixes.iter().all(|p| p.addr() >> 24 == 31));
+    // The incidents genuinely overlapped in time.
+    assert!(first.start <= second.end && second.start <= first.end);
+}
+
 /// Figure 4: the exact published withdrawals give the published stem.
 #[test]
 fn figure4_exact_reproduction() {
