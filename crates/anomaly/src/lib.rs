@@ -45,8 +45,9 @@ pub mod scan;
 pub use classify::{classify, AnomalyKind, Verdict};
 pub use igp::enrich_with_igp;
 pub use pipeline::{
-    DegradeConfig, OverloadPolicy, PipelineClosed, PipelineConfig, PipelineHandle, PipelineStats,
-    RealtimeDetector, SpawnConfig,
+    DegradeConfig, OverloadPolicy, PanicInjection, PipelineCheckpoint, PipelineClosed,
+    PipelineConfig, PipelineHandle, PipelineStats, RealtimeDetector, ReportPolicy, SpawnConfig,
+    SupervisorConfig,
 };
-pub use report::AnomalyReport;
+pub use report::{AnomalyReport, ReportDigest};
 pub use scan::{scan_deaggregation, scan_moas, DeaggregationBurst, MoasConflict};

@@ -24,8 +24,40 @@
 //!
 //! ```text
 //! ingested == analyzed + shed_events + dropped_events + carried + queued
+//!             + replayed_in_flight
+//! ```
+//!
+//! # Crash recovery
+//!
+//! The spawned pipeline is *supervised*: the detector runs inside
+//! [`std::panic::catch_unwind`] under a supervisor loop that checkpoints the
+//! detector's recoverable state ([`PipelineCheckpoint`]) every
+//! [`SupervisorConfig::checkpoint_interval`] events and at every analysis
+//! pass. Events pulled off the ingest queue are held in an in-flight ring
+//! until the next checkpoint acknowledges them; when the detector panics,
+//! the supervisor restores the last checkpoint, replays the ring, and
+//! resumes — up to [`SupervisorConfig::max_restarts`] times with exponential
+//! backoff. At most `checkpoint_interval` events can be lost, and only when
+//! the supervisor gives up entirely ([`PipelineStats::lost_events`] counts
+//! them, folded into `dropped_events` so the ledger still closes).
+//!
+//! Report delivery is *at-least-once*: reports are egressed before the
+//! checkpoint that acknowledges the events behind them, so a crash between
+//! egress and checkpoint re-emits rather than loses them.
+//!
+//! The report channel out of the detector is bounded too
+//! ([`SpawnConfig::report_capacity`], [`ReportPolicy`]): a subscriber that
+//! stops draining can no longer grow an unbounded backlog, and every report
+//! the policy sheds is counted (`report_shed`) or coalesced into a
+//! [`ReportDigest`] (`reports_digested`):
+//!
+//! ```text
+//! reports_emitted == reports_delivered + report_shed + reports_digested
 //! ```
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -40,7 +72,7 @@ use bgpscope_collector::Collector;
 use bgpscope_stemming::{Stemming, StemmingConfig};
 
 use crate::classify::classify;
-use crate::report::AnomalyReport;
+use crate::report::{AnomalyReport, ReportDigest};
 
 /// Pipeline tunables.
 #[derive(Debug, Clone)]
@@ -182,6 +214,168 @@ impl std::str::FromStr for OverloadPolicy {
     }
 }
 
+/// What the detector does when the bounded *report* queue is full — the
+/// egress-side sibling of [`OverloadPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportPolicy {
+    /// Apply backpressure: the detector blocks until the subscriber drains.
+    /// Lossless — and because the detector stalls, the bounded ingest queue
+    /// fills behind it and the ingest [`OverloadPolicy`] takes over, so
+    /// end-to-end behavior stays governed. Never loses a report.
+    Block,
+    /// Shed the oldest queued report to make room for the newest — the
+    /// subscriber sees the most recent incidents. Every shed report is
+    /// counted in [`PipelineStats::report_shed`].
+    DropOldest,
+    /// Coalesce the overflowing report into a [`ReportDigest`] instead of
+    /// dropping it: the anomaly record is thinned to aggregate counts, a
+    /// time envelope, and a stem sample — never silently truncated. Counted
+    /// in [`PipelineStats::reports_digested`].
+    Digest,
+}
+
+impl ReportPolicy {
+    /// All three policies, for exhaustive testing.
+    pub const ALL: [ReportPolicy; 3] = [
+        ReportPolicy::Block,
+        ReportPolicy::DropOldest,
+        ReportPolicy::Digest,
+    ];
+}
+
+impl std::fmt::Display for ReportPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReportPolicy::Block => "block",
+            ReportPolicy::DropOldest => "drop-oldest",
+            ReportPolicy::Digest => "digest",
+        })
+    }
+}
+
+impl std::str::FromStr for ReportPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(ReportPolicy::Block),
+            "drop-oldest" => Ok(ReportPolicy::DropOldest),
+            "digest" => Ok(ReportPolicy::Digest),
+            other => Err(format!(
+                "unknown report policy {other:?} (expected block, drop-oldest, or digest)"
+            )),
+        }
+    }
+}
+
+/// How the supervisor around the spawned detector behaves.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// How many consumer panics the supervisor absorbs before giving up and
+    /// closing the pipeline (the in-flight ring is then counted in
+    /// [`PipelineStats::lost_events`]).
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per restart, capped at
+    /// 64× to keep worst-case recovery latency bounded.
+    pub backoff: Duration,
+    /// Events between checkpoints. A checkpoint is *also* taken at every
+    /// analysis pass (window rotation, spike, terminal flush), so this
+    /// bounds both replay work and the worst-case loss when the supervisor
+    /// gives up: `lost_events <= checkpoint_interval`.
+    pub checkpoint_interval: usize,
+    /// When set, every checkpoint is additionally spilled to this path as
+    /// serde_json (best effort — a failed spill is reported on stderr, the
+    /// in-memory checkpoint still advances).
+    pub spill_path: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 3,
+            backoff: Duration::from_millis(25),
+            checkpoint_interval: 256,
+            spill_path: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Sets the checkpoint interval (clamped to ≥ 1).
+    pub fn with_checkpoint_interval(mut self, interval: usize) -> Self {
+        self.checkpoint_interval = interval.max(1);
+        self
+    }
+
+    /// Sets the restart budget.
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Sets the initial restart backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the serde_json spill path.
+    pub fn with_spill_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.spill_path = Some(path.into());
+        self
+    }
+}
+
+/// Fault injection for crash-recovery testing: makes the consumer panic
+/// after pulling `after_events` events off the ingest queue, re-armed
+/// `repeat` times (each trigger re-arms `after_events` further pulls out).
+/// Replayed events do not count as pulls, so an injection can never turn
+/// into a poison-pill loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicInjection {
+    /// Fresh queue pulls between injected panics.
+    pub after_events: u64,
+    /// Total panics to inject.
+    pub repeat: u32,
+}
+
+/// The detector's recoverable state, as captured by
+/// [`RealtimeDetector::checkpoint`] and restored by
+/// [`RealtimeDetector::restore`].
+///
+/// Covers everything the window machinery needs to resume bit-identically:
+/// the current window/carry-forward buffer, the window clock, the degrade
+/// flag, and every ledger counter. The collector (RIB state) is *not*
+/// checkpointed — in the spawned pipeline it lives on the producer side of
+/// the queue and survives a consumer crash untouched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineCheckpoint {
+    /// Buffered (not yet analyzed) events: the current window plus any
+    /// carry-forward.
+    pub buffer: Vec<Event>,
+    /// Start of the current analysis window (`None` before the first
+    /// event).
+    pub window_start: Option<Timestamp>,
+    /// True when the detector was in degraded (overload) mode.
+    pub degraded: bool,
+    /// Reports emitted so far.
+    pub reports_emitted: u64,
+    /// Events ingested so far.
+    pub ingested: u64,
+    /// Events analyzed so far.
+    pub analyzed: u64,
+    /// Events dropped so far.
+    pub dropped_events: u64,
+    /// Carry-forward evictions so far (subset of `dropped_events`).
+    pub carry_forward_evictions: u64,
+    /// Degraded analysis passes so far.
+    pub degraded_windows: u64,
+    /// Out-of-order clamps so far.
+    pub clamped_events: u64,
+    /// Upstream parse errors recorded so far.
+    pub parse_errors: u64,
+}
+
 /// Configuration for [`RealtimeDetector::spawn`].
 #[derive(Debug, Clone)]
 pub struct SpawnConfig {
@@ -193,6 +387,17 @@ pub struct SpawnConfig {
     /// What to do when the bounded queue is full. Ignored when
     /// `capacity == 0`.
     pub overload: OverloadPolicy,
+    /// Report-queue bound in reports (`0` = unbounded, the pre-egress-
+    /// bounding behavior — a stalled subscriber can then grow the backlog
+    /// without limit).
+    pub report_capacity: usize,
+    /// What to do when the bounded report queue is full. Ignored when
+    /// `report_capacity == 0`.
+    pub report_policy: ReportPolicy,
+    /// Crash-recovery supervision around the detector thread.
+    pub supervisor: SupervisorConfig,
+    /// Optional consumer-panic fault injection (soak testing).
+    pub fault: Option<PanicInjection>,
 }
 
 impl Default for SpawnConfig {
@@ -201,6 +406,10 @@ impl Default for SpawnConfig {
             pipeline: PipelineConfig::default(),
             capacity: 65_536,
             overload: OverloadPolicy::Block,
+            report_capacity: 1_024,
+            report_policy: ReportPolicy::Block,
+            supervisor: SupervisorConfig::default(),
+            fault: None,
         }
     }
 }
@@ -225,6 +434,30 @@ impl SpawnConfig {
         self.overload = overload;
         self
     }
+
+    /// Sets the report-queue capacity (`0` = unbounded).
+    pub fn with_report_capacity(mut self, capacity: usize) -> Self {
+        self.report_capacity = capacity;
+        self
+    }
+
+    /// Sets the report overload policy.
+    pub fn with_report_policy(mut self, policy: ReportPolicy) -> Self {
+        self.report_policy = policy;
+        self
+    }
+
+    /// Sets the supervision configuration.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Injects consumer panics (crash-recovery soak testing).
+    pub fn with_fault(mut self, fault: PanicInjection) -> Self {
+        self.fault = Some(fault);
+        self
+    }
 }
 
 /// A point-in-time accounting snapshot of a pipeline.
@@ -235,10 +468,17 @@ impl SpawnConfig {
 ///
 /// ```text
 /// ingested == analyzed + shed_events + dropped_events + carried + queued
+///             + replayed_in_flight
 /// ```
 ///
-/// After a terminal flush (`finish`), `carried` and `queued` are both zero,
-/// so the ledger closes as
+/// and, on the report side ([`PipelineStats::reports_account_exactly`]):
+///
+/// ```text
+/// reports_emitted == reports_delivered + report_shed + reports_digested
+/// ```
+///
+/// After a terminal flush (`finish`), `carried`, `queued`, and
+/// `replayed_in_flight` are all zero, so the event ledger closes as
 /// `ingested == analyzed + shed_events + dropped_events`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineStats {
@@ -249,7 +489,8 @@ pub struct PipelineStats {
     /// Events shed by the overload policy before reaching the detector.
     pub shed_events: u64,
     /// Events discarded by the detector: terminal flushes of
-    /// below-`min_events` buffers plus carry-forward evictions.
+    /// below-`min_events` buffers, carry-forward evictions, and events lost
+    /// to a terminal consumer failure (`lost_events`).
     pub dropped_events: u64,
     /// Carry-forward cap evictions (a subset of `dropped_events`).
     pub carry_forward_evictions: u64,
@@ -265,13 +506,58 @@ pub struct PipelineStats {
     /// Events currently in flight in the spawn queue (always 0 for the
     /// synchronous detector).
     pub queued: u64,
+    /// Consumer restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Checkpoints taken by the supervisor (plus one per sync-detector
+    /// [`RealtimeDetector::checkpoint`] call when driven manually).
+    pub checkpoints: u64,
+    /// Events replayed from the in-flight ring across all restarts.
+    pub replayed_events: u64,
+    /// Events pulled off the queue but not yet (re-)processed by the
+    /// current detector incarnation — nonzero only in the middle of a
+    /// restart's replay, always 0 at quiescence.
+    pub replayed_in_flight: u64,
+    /// Events lost because the supervisor exhausted its restart budget with
+    /// un-replayed events in flight. Provably `<= checkpoint_interval`, a
+    /// subset of `dropped_events`.
+    pub lost_events: u64,
+    /// Reports produced by analysis passes and offered to the report
+    /// queue (at-least-once across restarts).
+    pub reports_emitted: u64,
+    /// Reports that reached (or will reach) the subscriber:
+    /// `reports_emitted - report_shed - reports_digested`.
+    pub reports_delivered: u64,
+    /// Reports shed by [`ReportPolicy::DropOldest`] (or undeliverable to a
+    /// disconnected subscriber).
+    pub report_shed: u64,
+    /// Reports coalesced into the [`ReportDigest`] by
+    /// [`ReportPolicy::Digest`].
+    pub reports_digested: u64,
 }
 
 impl PipelineStats {
-    /// True when the accounting ledger closes exactly (see the type docs).
+    /// True when the event accounting ledger closes exactly (see the type
+    /// docs).
     pub fn accounts_exactly(&self) -> bool {
         self.ingested
-            == self.analyzed + self.shed_events + self.dropped_events + self.carried + self.queued
+            == self.analyzed
+                + self.shed_events
+                + self.dropped_events
+                + self.carried
+                + self.queued
+                + self.replayed_in_flight
+    }
+
+    /// True when the report accounting ledger closes exactly (see the type
+    /// docs).
+    pub fn reports_account_exactly(&self) -> bool {
+        self.reports_emitted == self.reports_delivered + self.report_shed + self.reports_digested
+    }
+
+    /// Stable machine-readable serialization of the ledger (field names are
+    /// part of the schema; soak runs and the CLI emit this).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("PipelineStats is always serializable")
     }
 }
 
@@ -279,21 +565,32 @@ impl std::fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "ingested {} = analyzed {} + shed {} + dropped {} + carried {} + queued {}",
+            "ingested {} = analyzed {} + shed {} + dropped {} + carried {} + queued {} + in-flight {}",
             self.ingested,
             self.analyzed,
             self.shed_events,
             self.dropped_events,
             self.carried,
-            self.queued
+            self.queued,
+            self.replayed_in_flight
         )?;
-        write!(
+        writeln!(
             f,
             "  carry evictions {}, degraded windows {}, clamped {}, parse errors {}",
             self.carry_forward_evictions,
             self.degraded_windows,
             self.clamped_events,
             self.parse_errors
+        )?;
+        writeln!(
+            f,
+            "  restarts {}, checkpoints {}, replayed {}, lost {}",
+            self.restarts, self.checkpoints, self.replayed_events, self.lost_events
+        )?;
+        write!(
+            f,
+            "  reports {} = delivered {} + shed {} + digested {}",
+            self.reports_emitted, self.reports_delivered, self.report_shed, self.reports_digested
         )
     }
 }
@@ -361,14 +658,61 @@ impl RealtimeDetector {
         PipelineStats {
             ingested: self.ingested,
             analyzed: self.analyzed,
-            shed_events: 0,
             dropped_events: self.dropped_events,
             carry_forward_evictions: self.carry_forward_evictions,
             degraded_windows: self.degraded_windows,
             clamped_events: self.clamped_events,
             parse_errors: self.parse_errors,
             carried: self.buffer.len() as u64,
-            queued: 0,
+            // Reports from the synchronous detector are returned directly
+            // to the caller: all delivered, none shed or digested.
+            reports_emitted: self.reports_emitted as u64,
+            reports_delivered: self.reports_emitted as u64,
+            ..PipelineStats::default()
+        }
+    }
+
+    /// Captures the detector's recoverable state. Restoring the returned
+    /// checkpoint with [`RealtimeDetector::restore`] (same config) and
+    /// re-ingesting every event seen since yields bit-identical reports and
+    /// counters to an uninterrupted run — the property the checkpoint
+    /// differential proptest pins.
+    pub fn checkpoint(&self) -> PipelineCheckpoint {
+        PipelineCheckpoint {
+            buffer: self.buffer.clone(),
+            window_start: self.window_start,
+            degraded: self.degraded,
+            reports_emitted: self.reports_emitted as u64,
+            ingested: self.ingested,
+            analyzed: self.analyzed,
+            dropped_events: self.dropped_events,
+            carry_forward_evictions: self.carry_forward_evictions,
+            degraded_windows: self.degraded_windows,
+            clamped_events: self.clamped_events,
+            parse_errors: self.parse_errors,
+        }
+    }
+
+    /// Rebuilds a detector from a checkpoint. The collector starts fresh —
+    /// RIB state is not part of the checkpoint (in the spawned pipeline it
+    /// lives producer-side and survives a consumer crash); callers replaying
+    /// pre-augmented events via [`RealtimeDetector::ingest_event`] are
+    /// unaffected.
+    pub fn restore(config: PipelineConfig, checkpoint: PipelineCheckpoint) -> Self {
+        RealtimeDetector {
+            config,
+            collector: Collector::new(),
+            buffer: checkpoint.buffer,
+            window_start: checkpoint.window_start,
+            reports_emitted: checkpoint.reports_emitted as usize,
+            degraded: checkpoint.degraded,
+            ingested: checkpoint.ingested,
+            analyzed: checkpoint.analyzed,
+            dropped_events: checkpoint.dropped_events,
+            carry_forward_evictions: checkpoint.carry_forward_evictions,
+            degraded_windows: checkpoint.degraded_windows,
+            clamped_events: checkpoint.clamped_events,
+            parse_errors: checkpoint.parse_errors,
         }
     }
 
@@ -536,58 +880,49 @@ impl RealtimeDetector {
         self.flush()
     }
 
-    /// Runs a detector on its own thread behind a bounded queue. Feed raw
-    /// updates (or pre-augmented events) through the returned
+    /// Runs a detector on its own supervised thread behind a bounded queue.
+    /// Feed raw updates (or pre-augmented events) through the returned
     /// [`PipelineHandle`]; completed reports stream from
-    /// [`PipelineHandle::reports`]. Call [`PipelineHandle::finish`] (or drop
-    /// the handle) to end the run — the final window flushes on shutdown.
+    /// [`PipelineHandle::reports`] (bounded by
+    /// [`SpawnConfig::report_capacity`] under
+    /// [`SpawnConfig::report_policy`]). Call [`PipelineHandle::finish`] (or
+    /// drop the handle) to end the run — the final window flushes on
+    /// shutdown.
+    ///
+    /// A detector panic does not kill the pipeline: the supervisor restores
+    /// the last [`PipelineCheckpoint`], replays the un-acknowledged
+    /// in-flight events, and resumes, up to
+    /// [`SupervisorConfig::max_restarts`] times.
     pub fn spawn(config: SpawnConfig) -> PipelineHandle {
         let (event_tx, event_rx) = if config.capacity == 0 {
             unbounded::<Event>()
         } else {
             bounded::<Event>(config.capacity)
         };
-        let (report_tx, report_rx) = unbounded::<AnomalyReport>();
+        let (report_tx, report_rx) = if config.report_capacity == 0 {
+            unbounded::<AnomalyReport>()
+        } else {
+            bounded::<AnomalyReport>(config.report_capacity)
+        };
         let shared = Arc::new(SharedStats::default());
+        let checkpoint_slot = Arc::new(Mutex::new(
+            RealtimeDetector::new(config.pipeline.clone()).checkpoint(),
+        ));
+        let digest = Arc::new(Mutex::new(ReportDigest::default()));
 
-        let consumer_shared = Arc::clone(&shared);
-        let consumer_rx = event_rx.clone();
-        let pipeline_config = config.pipeline.clone();
-        let join = std::thread::spawn(move || {
-            // Mark the consumer dead even on panic, so a blocked producer
-            // can observe it and bail instead of deadlocking.
-            struct AliveGuard(Arc<SharedStats>);
-            impl Drop for AliveGuard {
-                fn drop(&mut self) {
-                    self.0.consumer_alive.store(false, Ordering::Release);
-                }
-            }
-            let _guard = AliveGuard(Arc::clone(&consumer_shared));
-
-            let mut detector = RealtimeDetector::new(pipeline_config);
-            while let Ok(event) = consumer_rx.recv() {
-                let degraded = consumer_shared.degraded.load(Ordering::Acquire);
-                detector.set_degraded(degraded);
-                let reports = detector.ingest_event(event);
-                if degraded && consumer_rx.is_empty() {
-                    // The queue drained: leave degraded mode.
-                    consumer_shared.degraded.store(false, Ordering::Release);
-                }
-                consumer_shared.sync_from(&detector);
-                for report in reports {
-                    if report_tx.send(report).is_err() {
-                        return;
-                    }
-                }
-            }
-            let reports = detector.flush();
-            consumer_shared.sync_from(&detector);
-            for report in reports {
-                if report_tx.send(report).is_err() {
-                    return;
-                }
-            }
-        });
+        let supervisor = Supervisor {
+            config: config.pipeline.clone(),
+            sup: config.supervisor.clone(),
+            fault: config.fault,
+            shared: Arc::clone(&shared),
+            event_rx: event_rx.clone(),
+            report_tx,
+            report_steal: report_rx.clone(),
+            report_policy: config.report_policy,
+            checkpoint_slot: Arc::clone(&checkpoint_slot),
+            digest: Arc::clone(&digest),
+        };
+        let join = std::thread::spawn(move || supervisor.run());
 
         PipelineHandle {
             collector: Collector::new(),
@@ -597,7 +932,306 @@ impl RealtimeDetector {
             join: Some(join),
             shared,
             overload: config.overload,
+            checkpoint_slot,
+            digest,
         }
+    }
+}
+
+/// Marks the consumer dead even on panic, so a blocked producer can observe
+/// it and bail instead of deadlocking.
+struct AliveGuard(Arc<SharedStats>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Live fault-injection state (see [`PanicInjection`]): counts *fresh*
+/// queue pulls — replays don't count, so an injected panic never becomes a
+/// poison pill — and panics at each armed trigger point.
+struct FaultState {
+    injection: Option<PanicInjection>,
+    pulls: u64,
+    next_trigger: u64,
+}
+
+impl FaultState {
+    fn new(injection: Option<PanicInjection>) -> Self {
+        let next_trigger = injection.map_or(0, |f| f.after_events);
+        FaultState {
+            injection,
+            pulls: 0,
+            next_trigger,
+        }
+    }
+
+    /// Called once per fresh queue pull; panics when a trigger arms.
+    fn on_pull(&mut self) {
+        self.pulls += 1;
+        let Some(injection) = &mut self.injection else {
+            return;
+        };
+        if injection.repeat > 0 && self.pulls == self.next_trigger {
+            injection.repeat -= 1;
+            self.next_trigger = self.pulls + injection.after_events;
+            panic!(
+                "injected consumer panic after {} pulls (fault injection)",
+                self.pulls
+            );
+        }
+    }
+}
+
+/// The supervision loop around the detector: runs each detector incarnation
+/// under `catch_unwind`, checkpoints its state, and replays the in-flight
+/// ring after a crash.
+struct Supervisor {
+    config: PipelineConfig,
+    sup: SupervisorConfig,
+    fault: Option<PanicInjection>,
+    shared: Arc<SharedStats>,
+    event_rx: Receiver<Event>,
+    report_tx: Sender<AnomalyReport>,
+    /// Receiver clone used only to steal the oldest queued report under
+    /// [`ReportPolicy::DropOldest`] (shim receivers share one queue).
+    report_steal: Receiver<AnomalyReport>,
+    report_policy: ReportPolicy,
+    checkpoint_slot: Arc<Mutex<PipelineCheckpoint>>,
+    digest: Arc<Mutex<ReportDigest>>,
+}
+
+impl Supervisor {
+    fn run(self) {
+        let _guard = AliveGuard(Arc::clone(&self.shared));
+        let mut checkpoint = RealtimeDetector::new(self.config.clone()).checkpoint();
+        // Events pulled off the queue since the last checkpoint: acked (and
+        // cleared) by the next checkpoint, replayed after a crash. Bounded
+        // by `checkpoint_interval` because a checkpoint fires at latest on
+        // the event that reaches the interval.
+        let mut ring: VecDeque<Event> = VecDeque::new();
+        let mut fault = FaultState::new(self.fault);
+        let mut restarts: u32 = 0;
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.run_incarnation(&mut checkpoint, &mut ring, &mut fault)
+            }));
+            match outcome {
+                Ok(()) => break,
+                Err(panic) => {
+                    *self.shared.last_panic.lock().expect("panic slot poisoned") =
+                        Some(panic_message(panic.as_ref()));
+                    self.shared.restarts.fetch_add(1, Ordering::AcqRel);
+                    restarts += 1;
+                    if restarts > self.sup.max_restarts {
+                        // Terminal failure: the ring can no longer be
+                        // replayed — count it as lost (bounded by the
+                        // checkpoint interval) and close the pipeline.
+                        self.publish_restored(&checkpoint, 0);
+                        self.shared
+                            .lost
+                            .fetch_add(ring.len() as u64, Ordering::AcqRel);
+                        break;
+                    }
+                    // Publish the restored counters and the replay debt as
+                    // one consistent set, then back off and restart.
+                    self.publish_restored(&checkpoint, ring.len() as u64);
+                    let exponent = (restarts - 1).min(6);
+                    std::thread::sleep(self.sup.backoff * (1u32 << exponent));
+                }
+            }
+        }
+    }
+
+    /// One detector incarnation: restore from the checkpoint, replay the
+    /// un-acked ring, then consume the live feed until it closes, flushing
+    /// the final window on the way out. Panics anywhere in here unwind to
+    /// [`Supervisor::run`].
+    fn run_incarnation(
+        &self,
+        checkpoint: &mut PipelineCheckpoint,
+        ring: &mut VecDeque<Event>,
+        fault: &mut FaultState,
+    ) {
+        let interval = self.sup.checkpoint_interval.max(1);
+        let mut detector = RealtimeDetector::restore(self.config.clone(), checkpoint.clone());
+        let mut since_checkpoint = 0usize;
+
+        // Replay: re-process the ring in order. Replayed events stay in the
+        // ring (still un-acked) until a checkpoint acks the processed
+        // prefix — a second crash mid-replay must replay them again.
+        let mut replayed = 0usize;
+        while replayed < ring.len() {
+            let event = ring[replayed].clone();
+            replayed += 1;
+            let analyzed_before = detector.analyzed;
+            let reports = self.ingest(&mut detector, event);
+            self.shared.replayed.fetch_add(1, Ordering::AcqRel);
+            since_checkpoint += 1;
+            self.sync(&detector, (ring.len() - replayed) as u64);
+            self.egress(reports);
+            if detector.analyzed != analyzed_before || since_checkpoint >= interval {
+                self.take_checkpoint(&detector, checkpoint);
+                ring.drain(..replayed);
+                replayed = 0;
+                since_checkpoint = 0;
+            }
+        }
+
+        // Live feed.
+        while let Ok(event) = self.event_rx.recv() {
+            ring.push_back(event.clone());
+            fault.on_pull();
+            let analyzed_before = detector.analyzed;
+            let reports = self.ingest(&mut detector, event);
+            since_checkpoint += 1;
+            self.sync(&detector, 0);
+            self.egress(reports);
+            if detector.analyzed != analyzed_before || since_checkpoint >= interval {
+                self.take_checkpoint(&detector, checkpoint);
+                ring.clear();
+                since_checkpoint = 0;
+            }
+        }
+
+        // Feed closed: flush the final window. A panic inside this analysis
+        // is recovered like any other — the next incarnation replays the
+        // ring, finds the feed still closed, and flushes again.
+        let reports = detector.flush();
+        self.sync(&detector, 0);
+        self.egress(reports);
+        self.take_checkpoint(&detector, checkpoint);
+        ring.clear();
+    }
+
+    /// One event through the detector, honoring the shared degrade flag.
+    fn ingest(&self, detector: &mut RealtimeDetector, event: Event) -> Vec<AnomalyReport> {
+        let degraded = self.shared.degraded.load(Ordering::Acquire);
+        detector.set_degraded(degraded);
+        let reports = detector.ingest_event(event);
+        if degraded && self.event_rx.is_empty() {
+            // The queue drained: leave degraded mode.
+            self.shared.degraded.store(false, Ordering::Release);
+        }
+        reports
+    }
+
+    /// Delivers reports to the subscriber under the report overload policy.
+    /// Runs *before* the checkpoint that acks the events behind the reports
+    /// (at-least-once delivery: a crash in between re-emits, never loses).
+    fn egress(&self, reports: Vec<AnomalyReport>) {
+        for mut report in reports {
+            self.shared.reports_emitted.fetch_add(1, Ordering::AcqRel);
+            match self.report_policy {
+                ReportPolicy::Block => loop {
+                    match self
+                        .report_tx
+                        .send_timeout(report, Duration::from_millis(50))
+                    {
+                        Ok(()) => break,
+                        Err(SendTimeoutError::Timeout(back)) => report = back,
+                        Err(SendTimeoutError::Disconnected(_)) => {
+                            self.shared.report_shed.fetch_add(1, Ordering::AcqRel);
+                            break;
+                        }
+                    }
+                },
+                ReportPolicy::DropOldest => loop {
+                    match self.report_tx.try_send(report) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            report = back;
+                            // Steal the oldest queued report to make room;
+                            // racing with the subscriber just means the
+                            // queue made room on its own.
+                            match self.report_steal.try_recv() {
+                                Ok(_oldest) => {
+                                    self.shared.report_shed.fetch_add(1, Ordering::AcqRel);
+                                }
+                                Err(TryRecvError::Empty) => {}
+                                Err(TryRecvError::Disconnected) => {
+                                    self.shared.report_shed.fetch_add(1, Ordering::AcqRel);
+                                    break;
+                                }
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.shared.report_shed.fetch_add(1, Ordering::AcqRel);
+                            break;
+                        }
+                    }
+                },
+                ReportPolicy::Digest => match self.report_tx.try_send(report) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(back)) => {
+                        self.digest.lock().expect("digest poisoned").fold(&back);
+                        self.shared.reports_digested.fetch_add(1, Ordering::AcqRel);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.shared.report_shed.fetch_add(1, Ordering::AcqRel);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Captures a checkpoint, publishes it to the shared slot, and spills
+    /// it to disk when configured.
+    fn take_checkpoint(&self, detector: &RealtimeDetector, slot: &mut PipelineCheckpoint) {
+        *slot = detector.checkpoint();
+        *self.checkpoint_slot.lock().expect("checkpoint poisoned") = slot.clone();
+        self.shared.checkpoints.fetch_add(1, Ordering::AcqRel);
+        if let Some(path) = &self.sup.spill_path {
+            let spilled = serde_json::to_string(slot)
+                .map_err(|e| e.to_string())
+                .and_then(|json| std::fs::write(path, json).map_err(|e| e.to_string()));
+            if let Err(e) = spilled {
+                eprintln!("checkpoint spill to {} failed: {e}", path.display());
+            }
+        }
+    }
+
+    /// Publishes the detector's counters as one consistent set, plus the
+    /// current replay debt.
+    fn sync(&self, detector: &RealtimeDetector, replayed_in_flight: u64) {
+        *self.shared.consumer.lock().expect("stats poisoned") = ConsumerCounters {
+            ingested: detector.ingested,
+            analyzed: detector.analyzed,
+            dropped: detector.dropped_events,
+            evictions: detector.carry_forward_evictions,
+            degraded_windows: detector.degraded_windows,
+            clamped: detector.clamped_events,
+            carried: detector.buffer.len() as u64,
+            replayed_in_flight,
+        };
+    }
+
+    /// After a crash: rolls the published counters back to the checkpoint
+    /// and records the replay debt, atomically, so every stats snapshot
+    /// taken during the restart still closes.
+    fn publish_restored(&self, checkpoint: &PipelineCheckpoint, replayed_in_flight: u64) {
+        *self.shared.consumer.lock().expect("stats poisoned") = ConsumerCounters {
+            ingested: checkpoint.ingested,
+            analyzed: checkpoint.analyzed,
+            dropped: checkpoint.dropped_events,
+            evictions: checkpoint.carry_forward_evictions,
+            degraded_windows: checkpoint.degraded_windows,
+            clamped: checkpoint.clamped_events,
+            carried: checkpoint.buffer.len() as u64,
+            replayed_in_flight,
+        };
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -613,6 +1247,10 @@ struct ConsumerCounters {
     degraded_windows: u64,
     clamped: u64,
     carried: u64,
+    /// Events pulled off the queue before the last crash and not yet
+    /// re-processed — counted back out of `queued` so the ledger closes
+    /// during a replay.
+    replayed_in_flight: u64,
 }
 
 /// State shared between the producer-side handle and the detector thread.
@@ -627,6 +1265,14 @@ struct SharedStats {
     consumer: Mutex<ConsumerCounters>,
     degraded: AtomicBool,
     consumer_alive: AtomicBool,
+    restarts: AtomicU64,
+    checkpoints: AtomicU64,
+    replayed: AtomicU64,
+    lost: AtomicU64,
+    reports_emitted: AtomicU64,
+    report_shed: AtomicU64,
+    reports_digested: AtomicU64,
+    last_panic: Mutex<Option<String>>,
 }
 
 impl Default for SharedStats {
@@ -638,21 +1284,15 @@ impl Default for SharedStats {
             consumer: Mutex::new(ConsumerCounters::default()),
             degraded: AtomicBool::new(false),
             consumer_alive: AtomicBool::new(true),
+            restarts: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            reports_emitted: AtomicU64::new(0),
+            report_shed: AtomicU64::new(0),
+            reports_digested: AtomicU64::new(0),
+            last_panic: Mutex::new(None),
         }
-    }
-}
-
-impl SharedStats {
-    fn sync_from(&self, detector: &RealtimeDetector) {
-        *self.consumer.lock().expect("stats poisoned") = ConsumerCounters {
-            ingested: detector.ingested,
-            analyzed: detector.analyzed,
-            dropped: detector.dropped_events,
-            evictions: detector.carry_forward_evictions,
-            degraded_windows: detector.degraded_windows,
-            clamped: detector.clamped_events,
-            carried: detector.buffer.len() as u64,
-        };
     }
 }
 
@@ -682,6 +1322,8 @@ pub struct PipelineHandle {
     join: Option<std::thread::JoinHandle<()>>,
     shared: Arc<SharedStats>,
     overload: OverloadPolicy,
+    checkpoint_slot: Arc<Mutex<PipelineCheckpoint>>,
+    digest: Arc<Mutex<ReportDigest>>,
 }
 
 impl std::fmt::Debug for PipelineHandle {
@@ -848,11 +1490,15 @@ impl PipelineHandle {
         let consumer = *self.shared.consumer.lock().expect("stats poisoned");
         let ingested = self.shared.ingested.load(Ordering::Acquire);
         let shed = self.shared.shed.load(Ordering::Acquire);
+        let lost = self.shared.lost.load(Ordering::Acquire);
+        let emitted = self.shared.reports_emitted.load(Ordering::Acquire);
+        let report_shed = self.shared.report_shed.load(Ordering::Acquire);
+        let digested = self.shared.reports_digested.load(Ordering::Acquire);
         PipelineStats {
             ingested,
             analyzed: consumer.analyzed,
             shed_events: shed,
-            dropped_events: consumer.dropped,
+            dropped_events: consumer.dropped + lost,
             carry_forward_evictions: consumer.evictions,
             degraded_windows: consumer.degraded_windows,
             clamped_events: consumer.clamped,
@@ -860,30 +1506,85 @@ impl PipelineHandle {
             carried: consumer.carried,
             queued: ingested
                 .saturating_sub(shed)
-                .saturating_sub(consumer.ingested),
+                .saturating_sub(consumer.ingested)
+                .saturating_sub(consumer.replayed_in_flight)
+                .saturating_sub(lost),
+            restarts: self.shared.restarts.load(Ordering::Acquire),
+            checkpoints: self.shared.checkpoints.load(Ordering::Acquire),
+            replayed_events: self.shared.replayed.load(Ordering::Acquire),
+            replayed_in_flight: consumer.replayed_in_flight,
+            lost_events: lost,
+            reports_emitted: emitted,
+            reports_delivered: emitted.saturating_sub(report_shed).saturating_sub(digested),
+            report_shed,
+            reports_digested: digested,
         }
     }
 
-    /// Ends the feed, waits for the detector to flush its final window, and
-    /// returns every remaining report plus the final stats snapshot
-    /// (`carried == queued == 0`, so the ledger closes as
+    /// Reports currently queued between the supervisor and the subscriber.
+    pub fn report_queue_len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// The most recent [`PipelineCheckpoint`] the supervisor published —
+    /// what a restart would restore from right now.
+    pub fn checkpoint(&self) -> PipelineCheckpoint {
+        self.checkpoint_slot
+            .lock()
+            .expect("checkpoint poisoned")
+            .clone()
+    }
+
+    /// The digest of reports coalesced under [`ReportPolicy::Digest`]
+    /// (empty under the other policies).
+    pub fn report_digest(&self) -> ReportDigest {
+        self.digest.lock().expect("digest poisoned").clone()
+    }
+
+    /// The message of the most recent consumer panic the supervisor caught,
+    /// if any.
+    pub fn last_panic(&self) -> Option<String> {
+        self.shared
+            .last_panic
+            .lock()
+            .expect("panic slot poisoned")
+            .clone()
+    }
+
+    /// Ends the feed, waits for the supervised detector to flush its final
+    /// window, and returns every remaining report plus the final stats
+    /// snapshot (`carried == queued == replayed_in_flight == 0`, so the
+    /// ledger closes as
     /// `ingested == analyzed + shed_events + dropped_events`).
-    ///
-    /// # Panics
-    ///
-    /// Propagates a panic from the detector thread.
-    pub fn finish(mut self) -> (Vec<AnomalyReport>, PipelineStats) {
+    pub fn finish(self) -> (Vec<AnomalyReport>, PipelineStats) {
+        let (reports, stats, _digest) = self.finish_with_digest();
+        (reports, stats)
+    }
+
+    /// [`PipelineHandle::finish`] plus the final [`ReportDigest`] of
+    /// coalesced reports (meaningful under [`ReportPolicy::Digest`]).
+    pub fn finish_with_digest(mut self) -> (Vec<AnomalyReport>, PipelineStats, ReportDigest) {
         drop(self.tx.take());
-        if let Some(join) = self.join.take() {
-            if let Err(panic) = join.join() {
-                std::panic::resume_unwind(panic);
-            }
-        }
         let mut reports = Vec::new();
+        if let Some(join) = self.join.take() {
+            // The report queue is bounded: the supervisor's final flush may
+            // be blocked on it, so drain while waiting instead of a blind
+            // join (which would deadlock under ReportPolicy::Block).
+            while !join.is_finished() {
+                match self.reports.try_recv() {
+                    Ok(report) => reports.push(report),
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            // The supervisor catches consumer panics itself; a panic here
+            // would be a bug in the supervisor loop proper.
+            join.join().expect("supervisor thread panicked");
+        }
         while let Ok(report) = self.reports.try_recv() {
             reports.push(report);
         }
-        (reports, self.stats())
+        let digest = self.digest.lock().expect("digest poisoned").clone();
+        (reports, self.stats(), digest)
     }
 }
 
@@ -891,8 +1592,14 @@ impl Drop for PipelineHandle {
     fn drop(&mut self) {
         drop(self.tx.take());
         if let Some(join) = self.join.take() {
-            // A handle dropped without `finish` still shuts the detector
-            // down cleanly; a consumer panic surfaces at `finish` instead.
+            // A handle dropped without `finish` still shuts the supervisor
+            // down cleanly — keep draining reports so its final flush can
+            // complete against the bounded report queue.
+            while !join.is_finished() {
+                if self.reports.try_recv().is_err() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
             let _ = join.join();
         }
     }
@@ -1194,6 +1901,7 @@ mod tests {
             },
             capacity: 4,
             overload: OverloadPolicy::DropNewest,
+            ..SpawnConfig::default()
         };
         let mut handle = RealtimeDetector::spawn(config);
         for i in 0..500u64 {
@@ -1220,6 +1928,7 @@ mod tests {
             },
             capacity: 8,
             overload: OverloadPolicy::Degrade,
+            ..SpawnConfig::default()
         };
         let mut handle = RealtimeDetector::spawn(config);
         for i in 0..2_000u64 {
@@ -1276,5 +1985,281 @@ mod tests {
             assert_eq!(policy.to_string().parse::<OverloadPolicy>(), Ok(policy));
         }
         assert!("bananas".parse::<OverloadPolicy>().is_err());
+    }
+
+    #[test]
+    fn report_policy_parses_from_str() {
+        for policy in ReportPolicy::ALL {
+            assert_eq!(policy.to_string().parse::<ReportPolicy>(), Ok(policy));
+        }
+        assert!("bananas".parse::<ReportPolicy>().is_err());
+    }
+
+    /// A checkpoint captures everything `restore` needs: the restored
+    /// detector checkpoints back to the identical value.
+    #[test]
+    fn checkpoint_restore_is_identity() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 100,
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config.clone());
+        for i in 0..25u8 {
+            det.ingest_event(withdraw_event(u64::from(i), i));
+        }
+        let checkpoint = det.checkpoint();
+        assert_eq!(checkpoint.ingested, 25);
+        assert_eq!(checkpoint.buffer.len(), 25);
+        let restored = RealtimeDetector::restore(config, checkpoint.clone());
+        assert_eq!(restored.checkpoint(), checkpoint);
+    }
+
+    /// An injected consumer panic mid-feed: the supervisor restores the
+    /// checkpoint, replays the in-flight ring, and the run completes with
+    /// the restart on the ledger and no events lost.
+    #[test]
+    fn supervisor_recovers_from_injected_panic() {
+        let config = SpawnConfig::new(PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 5,
+            min_component_events: 5,
+            ..PipelineConfig::default()
+        })
+        .with_supervisor(
+            SupervisorConfig::default()
+                .with_checkpoint_interval(16)
+                .with_backoff(Duration::from_millis(1)),
+        )
+        .with_fault(PanicInjection {
+            after_events: 100,
+            repeat: 1,
+        });
+        let mut handle = RealtimeDetector::spawn(config);
+        for i in 0..300u64 {
+            handle
+                .ingest_event(withdraw_event(i, (i % 250) as u8))
+                .unwrap();
+        }
+        let (reports, stats) = handle.finish();
+        assert_eq!(stats.restarts, 1, "{stats}");
+        assert!(stats.replayed_events > 0, "{stats}");
+        assert!(stats.replayed_events <= 16, "{stats}");
+        assert_eq!(stats.lost_events, 0, "{stats}");
+        assert_eq!(stats.ingested, 300, "{stats}");
+        assert!(stats.accounts_exactly(), "{stats}");
+        assert!(stats.reports_account_exactly(), "{stats}");
+        assert!(!reports.is_empty(), "analysis must survive the restart");
+    }
+
+    /// When the panic keeps firing past `max_restarts`, the supervisor
+    /// gives up: the pipeline closes, and the un-replayable ring is counted
+    /// as lost — bounded by the checkpoint interval — with the ledger still
+    /// closing.
+    #[test]
+    fn supervisor_gives_up_and_counts_lost_events() {
+        let interval = 8;
+        let config = SpawnConfig::new(PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 1_000_000, // no analysis: only interval checkpoints
+            ..PipelineConfig::default()
+        })
+        .with_supervisor(
+            SupervisorConfig::default()
+                .with_checkpoint_interval(interval)
+                .with_max_restarts(2)
+                .with_backoff(Duration::from_millis(1)),
+        )
+        .with_fault(PanicInjection {
+            after_events: 20,
+            repeat: u32::MAX,
+        });
+        let mut handle = RealtimeDetector::spawn(config);
+        let mut sent = 0u64;
+        for i in 0..10_000u64 {
+            if handle
+                .ingest_event(withdraw_event(i, (i % 250) as u8))
+                .is_err()
+            {
+                break;
+            }
+            sent += 1;
+        }
+        // The producer can outrun the crash/backoff/replay cycles; the
+        // give-up itself is what must happen, not its timing.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while handle.is_alive() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "supervisor never gave up"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(handle.last_panic().is_some());
+        let stats = handle.stats();
+        assert_eq!(stats.restarts, 3, "{stats}"); // max_restarts + the last straw
+        assert!(stats.lost_events > 0, "{stats}");
+        assert!(
+            stats.lost_events <= interval as u64,
+            "lost {} > checkpoint interval {interval}: {stats}",
+            stats.lost_events
+        );
+        assert!(sent > 20, "the feed must outlive the first crash");
+        assert!(stats.accounts_exactly(), "{stats}");
+    }
+
+    /// Blocks until the supervisor has consumed every queued event, so the
+    /// stalled-subscriber report assertions are deterministic, not a race
+    /// against `finish`'s drain loop.
+    fn wait_for_quiesce(handle: &PipelineHandle) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while handle.stats().queued > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "supervisor failed to quiesce"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// DropOldest report policy under a stalled subscriber: the report
+    /// queue never exceeds its capacity, newest reports win, and every shed
+    /// report is on the ledger.
+    #[test]
+    fn report_drop_oldest_bounds_queue_and_accounts() {
+        let config = SpawnConfig::new(PipelineConfig {
+            window: Timestamp::from_secs(10),
+            min_events: 2,
+            min_component_events: 2,
+            ..PipelineConfig::default()
+        })
+        .with_report_capacity(2)
+        .with_report_policy(ReportPolicy::DropOldest);
+        let mut handle = RealtimeDetector::spawn(config);
+        // Each window yields a report; the subscriber never reads.
+        for w in 0..40u64 {
+            for i in 0..5u8 {
+                handle.ingest_event(withdraw_event(w * 20, i)).unwrap();
+            }
+        }
+        wait_for_quiesce(&handle);
+        assert!(handle.report_queue_len() <= 2, "queue exceeded capacity");
+        let (reports, stats) = handle.finish();
+        assert!(stats.reports_emitted > 2, "{stats}");
+        assert!(stats.report_shed > 0, "{stats}");
+        assert!(stats.reports_account_exactly(), "{stats}");
+        assert_eq!(reports.len() as u64, stats.reports_delivered, "{stats}");
+    }
+
+    /// Digest report policy under a stalled subscriber: overflow reports
+    /// coalesce into the digest instead of vanishing, and the report ledger
+    /// closes.
+    #[test]
+    fn report_digest_coalesces_overflow() {
+        let config = SpawnConfig::new(PipelineConfig {
+            window: Timestamp::from_secs(10),
+            min_events: 2,
+            min_component_events: 2,
+            ..PipelineConfig::default()
+        })
+        .with_report_capacity(1)
+        .with_report_policy(ReportPolicy::Digest);
+        let mut handle = RealtimeDetector::spawn(config);
+        for w in 0..40u64 {
+            for i in 0..5u8 {
+                handle.ingest_event(withdraw_event(w * 20, i)).unwrap();
+            }
+        }
+        wait_for_quiesce(&handle);
+        assert!(handle.report_queue_len() <= 1, "queue exceeded capacity");
+        let (reports, stats, digest) = handle.finish_with_digest();
+        assert!(stats.reports_digested > 0, "{stats}");
+        assert_eq!(stats.reports_digested, digest.coalesced, "{stats}");
+        assert!(!digest.is_empty());
+        assert!(digest.event_count > 0);
+        assert!(stats.reports_account_exactly(), "{stats}");
+        assert_eq!(
+            reports.len() as u64 + digest.coalesced,
+            stats.reports_emitted,
+            "{stats}"
+        );
+        let text = digest.to_string();
+        assert!(text.contains("coalesced"), "{text}");
+    }
+
+    /// The JSON ledger is stable: every documented field is present under
+    /// its documented name, so downstream tooling can rely on the schema.
+    #[test]
+    fn stats_to_json_has_stable_schema() {
+        let stats = PipelineStats {
+            ingested: 10,
+            analyzed: 7,
+            shed_events: 1,
+            dropped_events: 2,
+            ..PipelineStats::default()
+        };
+        let json = stats.to_json();
+        for field in [
+            "ingested",
+            "analyzed",
+            "shed_events",
+            "dropped_events",
+            "carry_forward_evictions",
+            "degraded_windows",
+            "clamped_events",
+            "parse_errors",
+            "carried",
+            "queued",
+            "restarts",
+            "checkpoints",
+            "replayed_events",
+            "replayed_in_flight",
+            "lost_events",
+            "reports_emitted",
+            "reports_delivered",
+            "report_shed",
+            "reports_digested",
+        ] {
+            assert!(
+                json.contains(&format!("\"{field}\"")),
+                "missing {field}: {json}"
+            );
+        }
+        let back: PipelineStats = serde_json::from_str(&json).expect("ledger parses back");
+        assert_eq!(back, stats);
+    }
+
+    /// The checkpoint spill path receives valid JSON that parses back to
+    /// the published checkpoint.
+    #[test]
+    fn checkpoint_spills_to_disk_as_json() {
+        let path = std::env::temp_dir().join("bgpscope-checkpoint-spill-test.json");
+        let _ = std::fs::remove_file(&path);
+        let config = SpawnConfig::new(PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 5,
+            min_component_events: 5,
+            ..PipelineConfig::default()
+        })
+        .with_supervisor(
+            SupervisorConfig::default()
+                .with_checkpoint_interval(4)
+                .with_spill_path(path.clone()),
+        );
+        let mut handle = RealtimeDetector::spawn(config);
+        for i in 0..50u64 {
+            handle
+                .ingest_event(withdraw_event(i, (i % 250) as u8))
+                .unwrap();
+        }
+        let last = handle.checkpoint();
+        let (_, stats) = handle.finish();
+        assert!(stats.checkpoints > 0, "{stats}");
+        let spilled = std::fs::read_to_string(&path).expect("spill file written");
+        let parsed: PipelineCheckpoint = serde_json::from_str(&spilled).expect("spill parses");
+        // `finish` checkpoints once more after the terminal flush, so the
+        // file holds the final checkpoint, at least as far along as `last`.
+        assert!(parsed.ingested >= last.ingested);
+        let _ = std::fs::remove_file(&path);
     }
 }

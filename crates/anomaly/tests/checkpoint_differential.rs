@@ -1,0 +1,126 @@
+//! Differential checkpoint/replay property tests (the pipeline analogue of
+//! `crates/stemming/tests/differential.rs`).
+//!
+//! Two properties back the supervisor's crash-recovery claim:
+//!
+//! 1. **Round trip** — a [`PipelineCheckpoint`] survives serde_json
+//!    unchanged, so the spill file the CLI writes really is the state the
+//!    supervisor would restore.
+//! 2. **Resume ≡ uninterrupted** — for *any* crash point in a random event
+//!    stream, checkpointing there, restoring into a fresh detector, and
+//!    replaying the suffix yields the exact report sequence of a run that
+//!    never crashed. This is the oracle the supervised pipeline leans on:
+//!    restore + replay is indistinguishable from no crash at all.
+
+use proptest::prelude::*;
+
+use bgpscope_anomaly::{AnomalyReport, PipelineCheckpoint, PipelineConfig, RealtimeDetector};
+use bgpscope_bgp::{AsPath, Event, PathAttributes, PeerId, Prefix, RouterId, Timestamp};
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u64..100_000,
+        1u8..4,
+        1u8..6,
+        proptest::collection::vec(1u32..30, 0..5),
+        0u8..25,
+        0u8..3,
+        any::<bool>(),
+    )
+        .prop_map(|(t, peer, hop, path, pfx, len_class, announce)| {
+            let attrs = PathAttributes::new(
+                RouterId::from_octets(10, 0, 0, hop),
+                AsPath::from_u32s(path),
+            );
+            let len = [16u8, 20, 24][len_class as usize];
+            let prefix = Prefix::from_octets(10, pfx, 0, 0, len);
+            let peer = PeerId::from_octets(192, 168, 0, peer);
+            if announce {
+                Event::announce(Timestamp::from_millis(t), peer, prefix, attrs)
+            } else {
+                Event::withdraw(Timestamp::from_millis(t), peer, prefix, attrs)
+            }
+        })
+}
+
+/// Small windows and thresholds so random streams actually rotate windows,
+/// carry forward, and emit reports — the state a checkpoint must capture.
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        window: Timestamp::from_secs(10),
+        min_events: 5,
+        min_component_events: 5,
+        max_carry_events: 20,
+        max_carry_age: Timestamp::from_secs(60),
+        ..PipelineConfig::default()
+    }
+}
+
+/// Reports carry no `PartialEq` (floating-point confidence); their rendered
+/// form is a faithful fingerprint for equality purposes.
+fn render(reports: &[AnomalyReport]) -> Vec<String> {
+    reports.iter().map(ToString::to_string).collect()
+}
+
+proptest! {
+    /// serde_json round-trips any reachable checkpoint to an identical
+    /// value.
+    #[test]
+    fn checkpoint_serde_round_trip_is_identity(
+        events in proptest::collection::vec(arb_event(), 0..150),
+        cut in 0usize..150,
+    ) {
+        let mut events = events;
+        events.sort_by_key(|e| e.time);
+        let mut det = RealtimeDetector::new(config());
+        for event in events.iter().take(cut.min(events.len())) {
+            det.ingest_event(event.clone());
+        }
+        let checkpoint = det.checkpoint();
+        let json = serde_json::to_string(&checkpoint).expect("checkpoint serializes");
+        let back: PipelineCheckpoint = serde_json::from_str(&json).expect("checkpoint parses");
+        prop_assert_eq!(back, checkpoint);
+    }
+
+    /// Crash-at-any-point equivalence: checkpoint after `cut` events,
+    /// restore into a fresh detector, replay the suffix — the combined
+    /// report sequence and final counters match the uninterrupted run
+    /// exactly.
+    #[test]
+    fn restore_then_replay_matches_uninterrupted_run(
+        events in proptest::collection::vec(arb_event(), 0..150),
+        cut in 0usize..150,
+    ) {
+        let mut events = events;
+        events.sort_by_key(|e| e.time);
+        let cut = cut.min(events.len());
+
+        // Oracle: one detector, no interruption.
+        let mut oracle = RealtimeDetector::new(config());
+        let mut oracle_reports = Vec::new();
+        for event in &events {
+            oracle_reports.extend(oracle.ingest_event(event.clone()));
+        }
+        oracle_reports.extend(oracle.flush());
+
+        // Subject: crash (well, stop) after `cut` events, restore from the
+        // checkpoint, replay the rest.
+        let mut first = RealtimeDetector::new(config());
+        let mut subject_reports = Vec::new();
+        for event in events.iter().take(cut) {
+            subject_reports.extend(first.ingest_event(event.clone()));
+        }
+        let checkpoint = first.checkpoint();
+        drop(first); // the "crash"
+        let mut resumed = RealtimeDetector::restore(config(), checkpoint);
+        for event in events.iter().skip(cut) {
+            subject_reports.extend(resumed.ingest_event(event.clone()));
+        }
+        subject_reports.extend(resumed.flush());
+
+        prop_assert_eq!(render(&subject_reports), render(&oracle_reports));
+        let final_stats = resumed.stats();
+        let oracle_stats = oracle.stats();
+        prop_assert_eq!(final_stats, oracle_stats);
+    }
+}

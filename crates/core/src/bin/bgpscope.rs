@@ -6,6 +6,8 @@
 //! bgpscope animate  <events.(mrt|txt)> <out-dir>  # frame SVGs of the incident
 //! bgpscope rate     <events.(mrt|txt)> [bucket-secs]
 //! bgpscope pipeline <events.(mrt|txt)> [--capacity N] [--policy P]
+//!                   [--report-capacity N] [--report-policy P]
+//!                   [--checkpoint-interval N] [--checkpoint-spill FILE]
 //! bgpscope convert  <in.(mrt|txt)> <out.(mrt|txt)>
 //! bgpscope demo     <out.mrt>                     # write a demo incident
 //! ```
@@ -74,7 +76,9 @@ fn usage() -> ExitCode {
          animate  <events> <out-dir>   write key animation frames as SVG\n\
          rate     <events> [bucket-s]  event-rate series + spikes\n\
          pipeline <events> [--capacity N] [--policy block|drop-newest|drop-oldest|degrade]\n\
-         \u{20}                             replay through the threaded realtime pipeline\n\
+         \u{20}                 [--report-capacity N] [--report-policy block|drop-oldest|digest]\n\
+         \u{20}                 [--checkpoint-interval N] [--checkpoint-spill FILE]\n\
+         \u{20}                             replay through the supervised realtime pipeline\n\
          convert  <in> <out>           convert between .mrt and text formats\n\
          demo     <out.mrt>            write a demo incident to analyze"
     );
@@ -254,11 +258,18 @@ fn cmd_rate(stream: EventStream, bucket_secs: u64) -> CliResult {
     Ok(())
 }
 
-/// Replays a trace through the threaded realtime pipeline behind a bounded
-/// queue, then prints the reports and the event ledger.
+/// Replays a trace through the supervised realtime pipeline behind bounded
+/// queues, then prints the reports, any report digest, and the event
+/// ledger (human-readable plus one machine-readable JSON line). When the
+/// consumer dies mid-replay the final ledger still comes out — on stderr,
+/// with a nonzero exit — so a crashed run is never a silent run.
 fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
     let mut capacity = 65_536usize;
     let mut policy = OverloadPolicy::Block;
+    let mut report_capacity = 1_024usize;
+    let mut report_policy = ReportPolicy::Block;
+    let mut checkpoint_interval = 256usize;
+    let mut spill: Option<std::path::PathBuf> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -272,26 +283,68 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
             "--policy" => {
                 policy = it.next().ok_or("--policy needs a value")?.parse()?;
             }
+            "--report-capacity" => {
+                report_capacity = it
+                    .next()
+                    .ok_or("--report-capacity needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--report-capacity: {e}"))?;
+            }
+            "--report-policy" => {
+                report_policy = it.next().ok_or("--report-policy needs a value")?.parse()?;
+            }
+            "--checkpoint-interval" => {
+                checkpoint_interval = it
+                    .next()
+                    .ok_or("--checkpoint-interval needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval: {e}"))?;
+            }
+            "--checkpoint-spill" => {
+                spill = Some(it.next().ok_or("--checkpoint-spill needs a path")?.into());
+            }
             other => return Err(format!("unknown flag {other}").into()),
         }
     }
     let (stream, parse_errors) = load_lossy(path)?;
+    let mut supervisor = SupervisorConfig::default().with_checkpoint_interval(checkpoint_interval);
+    if let Some(path) = spill {
+        supervisor = supervisor.with_spill_path(path);
+    }
     let spawn = SpawnConfig::new(PipelineConfig::default())
         .with_capacity(capacity)
-        .with_overload(policy);
+        .with_overload(policy)
+        .with_report_capacity(report_capacity)
+        .with_report_policy(report_policy)
+        .with_supervisor(supervisor);
     let mut handle = RealtimeDetector::spawn(spawn);
     handle.record_parse_errors(parse_errors);
-    for event in stream.events() {
-        handle.ingest_event(event.clone())?;
+    let total = stream.len();
+    for (i, event) in stream.events().iter().enumerate() {
+        if handle.ingest_event(event.clone()).is_err() {
+            let cause = handle
+                .last_panic()
+                .unwrap_or_else(|| "no panic recorded".to_owned());
+            let (_reports, stats) = handle.finish();
+            eprintln!("bgpscope: pipeline closed at event {i}/{total}: {cause}");
+            eprintln!("{stats}");
+            eprintln!("ledger {}", stats.to_json());
+            return Err(PipelineClosed.into());
+        }
     }
-    let (reports, stats) = handle.finish();
+    let (reports, stats, digest) = handle.finish_with_digest();
     for (i, report) in reports.iter().enumerate() {
         print!("report {i}:\n{report}");
     }
+    if !digest.is_empty() {
+        println!("{digest}");
+    }
     println!(
-        "{} reports; policy {policy}, capacity {capacity}\n{stats}",
+        "{} reports; policy {policy}, capacity {capacity}; report policy {report_policy}, \
+         report capacity {report_capacity}\n{stats}",
         reports.len()
     );
+    println!("ledger {}", stats.to_json());
     Ok(())
 }
 

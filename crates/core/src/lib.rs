@@ -59,8 +59,9 @@ pub use rex::Rex;
 pub mod prelude {
     pub use bgpscope_anomaly::{
         classify, enrich_with_igp, scan_deaggregation, scan_moas, AnomalyKind, AnomalyReport,
-        DegradeConfig, OverloadPolicy, PipelineClosed, PipelineConfig, PipelineHandle,
-        PipelineStats, RealtimeDetector, SpawnConfig,
+        DegradeConfig, OverloadPolicy, PanicInjection, PipelineCheckpoint, PipelineClosed,
+        PipelineConfig, PipelineHandle, PipelineStats, RealtimeDetector, ReportDigest,
+        ReportPolicy, SpawnConfig, SupervisorConfig,
     };
     pub use bgpscope_bgp::{
         AsPath, Asn, Community, Event, EventKind, EventStream, LocalPref, Med, PathAttributes,
@@ -69,7 +70,8 @@ pub mod prelude {
     pub use bgpscope_collector::{Collector, EventRateMeter, RouteHistory, SyncedView};
     pub use bgpscope_mrt::{read_events, text_to_events, text_to_events_lossy, write_events};
     pub use bgpscope_netsim::{
-        FaultPlan, FeedStall, FlapSchedule, Injector, SessionKind, Sim, SimBuilder, StormSpec,
+        ConsumerPanic, FaultPlan, FeedStall, FlapSchedule, Injector, SessionKind, Sim, SimBuilder,
+        StormSpec, SubscriberStall,
     };
     pub use bgpscope_policy::{correlate_component, parse_config, PolicyEngine};
     pub use bgpscope_stemming::{RankingRule, Stemming, StemmingConfig};

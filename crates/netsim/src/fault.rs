@@ -53,6 +53,29 @@ pub struct FeedStall {
     pub pause: Duration,
 }
 
+/// A consumer-kill injection: the detector thread panics after pulling
+/// `after_events` fresh events off its queue, re-arming `repeat` times in
+/// total. The soak harness maps this onto the pipeline's own fault hook
+/// (`PanicInjection` in the anomaly crate) — the plan only *describes* the
+/// fault, keeping this crate free of a pipeline dependency.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsumerPanic {
+    /// Fresh (non-replayed) queue pulls between panics.
+    pub after_events: u64,
+    /// How many times the panic fires before the fault burns out.
+    pub repeat: u32,
+}
+
+/// A report-subscriber stall: the harness reads no reports for `duration`
+/// of wall-clock time while the feed keeps flowing — the profile of a
+/// wedged downstream sink, which must not grow the report queue without
+/// bound.
+#[derive(Debug, Clone, Copy)]
+pub struct SubscriberStall {
+    /// How long the subscriber refuses to read.
+    pub duration: Duration,
+}
+
 /// A deterministic, seeded bundle of pipeline fault injections.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -72,6 +95,10 @@ pub struct FaultPlan {
     /// When corrupting a rendered text feed, roughly this many lines per
     /// 1000 get a byte mangled (see [`FaultPlan::corrupt_text`]).
     pub corrupt_per_mille: u16,
+    /// Kill the consumer thread mid-run (`None` = consumer lives).
+    pub consumer_panic: Option<ConsumerPanic>,
+    /// Stall the report subscriber mid-run (`None` = attentive subscriber).
+    pub subscriber_stall: Option<SubscriberStall>,
 }
 
 impl FaultPlan {
@@ -112,6 +139,8 @@ impl FaultPlan {
             ],
             reorder_span: 5,
             corrupt_per_mille: 20,
+            consumer_panic: None,
+            subscriber_stall: None,
         }
     }
 
@@ -148,7 +177,27 @@ impl FaultPlan {
             }],
             reorder_span: 5,
             corrupt_per_mille: 20,
+            consumer_panic: None,
+            subscriber_stall: None,
         }
+    }
+
+    /// Adds a consumer-kill injection: the detector panics after every
+    /// `after_events` fresh events, `repeat` times.
+    #[must_use]
+    pub fn with_consumer_panic(mut self, after_events: u64, repeat: u32) -> Self {
+        self.consumer_panic = Some(ConsumerPanic {
+            after_events,
+            repeat,
+        });
+        self
+    }
+
+    /// Adds a report-subscriber stall of `duration`.
+    #[must_use]
+    pub fn with_subscriber_stall(mut self, duration: Duration) -> Self {
+        self.subscriber_stall = Some(SubscriberStall { duration });
+        self
     }
 
     /// Builds the faulted update feed: simulates the topology, injects the
@@ -358,5 +407,22 @@ mod tests {
         let plan = FaultPlan::storm_soak(1);
         assert!(plan.stall_at(500).is_some());
         assert!(plan.stall_at(501).is_none());
+    }
+
+    #[test]
+    fn fault_builders_arm_injections() {
+        let plan = FaultPlan::storm_soak(1);
+        assert!(plan.consumer_panic.is_none());
+        assert!(plan.subscriber_stall.is_none());
+        let plan = plan
+            .with_consumer_panic(1_000, 2)
+            .with_subscriber_stall(Duration::from_millis(250));
+        let panic = plan.consumer_panic.expect("armed");
+        assert_eq!(panic.after_events, 1_000);
+        assert_eq!(panic.repeat, 2);
+        let stall = plan.subscriber_stall.expect("armed");
+        assert_eq!(stall.duration, Duration::from_millis(250));
+        // The delivery-fault plan itself is untouched by the new injections.
+        assert_eq!(plan.reorder_span, FaultPlan::storm_soak(1).reorder_span);
     }
 }

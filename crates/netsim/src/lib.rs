@@ -47,7 +47,7 @@ pub mod router;
 pub mod topology;
 
 pub use engine::{Sim, SimOutput, SimStats};
-pub use fault::{FaultPlan, FeedStall, StormSpec};
+pub use fault::{ConsumerPanic, FaultPlan, FeedStall, StormSpec, SubscriberStall};
 pub use inject::{FlapSchedule, Injector};
 pub use router::{Router, SessionKind};
 pub use topology::SimBuilder;
