@@ -37,17 +37,22 @@
 //! ```
 
 pub mod classify;
+pub mod control;
 pub mod igp;
 pub mod pipeline;
 pub mod report;
 pub mod scan;
 
 pub use classify::{classify, AnomalyKind, Verdict};
+pub use control::{
+    stemming_at_level, AdaptiveConfig, CoalesceBuffer, ControlDecision, ControlInput, Controller,
+    ControllerConfig, FidelityLevel, Fold,
+};
 pub use igp::enrich_with_igp;
 pub use pipeline::{
     DegradeConfig, OverloadPolicy, PanicInjection, PipelineCheckpoint, PipelineClosed,
     PipelineConfig, PipelineHandle, PipelineStats, RealtimeDetector, ReportPolicy, SpawnConfig,
-    SupervisorConfig,
+    SupervisorConfig, WeightedEvent,
 };
 pub use report::{AnomalyReport, ReportDigest};
 pub use scan::{scan_deaggregation, scan_moas, DeaggregationBurst, MoasConflict};

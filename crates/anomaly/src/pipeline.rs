@@ -24,8 +24,22 @@
 //!
 //! ```text
 //! ingested == analyzed + shed_events + dropped_events + carried + queued
-//!             + replayed_in_flight
+//!             + replayed_in_flight + coalesced_events
 //! ```
+//!
+//! # Adaptive overload control
+//!
+//! [`SpawnConfig::adaptive`] replaces the binary Degrade flip with a
+//! closed-loop controller (see [`crate::control`]): the supervisor samples
+//! the ingest-queue depth per pull and steers a [`FidelityLevel`] that
+//! continuously scales the Stemming knobs between full fidelity and the
+//! [`DegradeConfig`] floor, while simultaneously widening the checkpoint
+//! interval when the pipeline is quiet and tightening it as the queue rises
+//! or restarts cluster. Under [`OverloadPolicy::DropOldest`], adaptive mode
+//! also turns sheds into merges: the stolen event is coalesced into a
+//! weighted representative ([`WeightedEvent`]) that re-enters the queue
+//! later, its weight flowing through the weighted Stemming pass — counted
+//! as `coalesced_events`, never silently lost.
 //!
 //! # Crash recovery
 //!
@@ -72,7 +86,34 @@ use bgpscope_collector::Collector;
 use bgpscope_stemming::{Stemming, StemmingConfig};
 
 use crate::classify::classify;
+use crate::control::{
+    stemming_at_level, AdaptiveConfig, CoalesceBuffer, ControlInput, Controller, ControllerConfig,
+    FidelityLevel, Fold,
+};
 use crate::report::{AnomalyReport, ReportDigest};
+
+/// An event with a multiplicity: the unit the spawned pipeline's queue,
+/// in-flight ring, and analysis window carry. Every event enters with
+/// weight 1; merge-on-shed (see [`CoalesceBuffer`]) folds same-sequence
+/// events into one representative with their summed weight, which the
+/// analysis pass feeds through the weighted Stemming counts so the merged
+/// evidence still supports the correlations it belonged to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedEvent {
+    /// The event (the representative of a merged set keeps the earliest
+    /// timestamp).
+    pub event: Event,
+    /// How many original events this one stands for in the sub-sequence
+    /// counts.
+    pub weight: u64,
+}
+
+impl WeightedEvent {
+    /// An unmerged event (weight 1).
+    pub fn unit(event: Event) -> Self {
+        WeightedEvent { event, weight: 1 }
+    }
+}
 
 /// Pipeline tunables.
 #[derive(Debug, Clone)]
@@ -350,9 +391,9 @@ pub struct PanicInjection {
 /// the queue and survives a consumer crash untouched.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineCheckpoint {
-    /// Buffered (not yet analyzed) events: the current window plus any
-    /// carry-forward.
-    pub buffer: Vec<Event>,
+    /// Buffered (not yet analyzed) events — the current window plus any
+    /// carry-forward — with their merge weights.
+    pub buffer: Vec<WeightedEvent>,
     /// Start of the current analysis window (`None` before the first
     /// event).
     pub window_start: Option<Timestamp>,
@@ -398,6 +439,13 @@ pub struct SpawnConfig {
     pub supervisor: SupervisorConfig,
     /// Optional consumer-panic fault injection (soak testing).
     pub fault: Option<PanicInjection>,
+    /// Closed-loop overload control (see [`crate::control`]): when set, a
+    /// [`Controller`] continuously scales Stemming fidelity and the
+    /// checkpoint interval with queue depth, and — under
+    /// [`OverloadPolicy::DropOldest`] — sheds become merges
+    /// (`coalesced_events`). `None` keeps the fixed-interval, binary-
+    /// degrade behavior.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl Default for SpawnConfig {
@@ -410,6 +458,7 @@ impl Default for SpawnConfig {
             report_policy: ReportPolicy::Block,
             supervisor: SupervisorConfig::default(),
             fault: None,
+            adaptive: None,
         }
     }
 }
@@ -458,6 +507,12 @@ impl SpawnConfig {
         self.fault = Some(fault);
         self
     }
+
+    /// Enables closed-loop overload control (see [`SpawnConfig::adaptive`]).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
 }
 
 /// A point-in-time accounting snapshot of a pipeline.
@@ -468,7 +523,7 @@ impl SpawnConfig {
 ///
 /// ```text
 /// ingested == analyzed + shed_events + dropped_events + carried + queued
-///             + replayed_in_flight
+///             + replayed_in_flight + coalesced_events
 /// ```
 ///
 /// and, on the report side ([`PipelineStats::reports_account_exactly`]):
@@ -533,6 +588,21 @@ pub struct PipelineStats {
     /// Reports coalesced into the [`ReportDigest`] by
     /// [`ReportPolicy::Digest`].
     pub reports_digested: u64,
+    /// Events absorbed into a weighted representative by adaptive
+    /// merge-on-shed instead of being dropped (see
+    /// [`SpawnConfig::adaptive`]). The representative carries their summed
+    /// weight through analysis; an absorbed event stays on this counter
+    /// even if its representative is later shed.
+    pub coalesced_events: u64,
+    /// Current [`FidelityLevel`] as a coarsening index (0 = full,
+    /// [`FidelityLevel::STEPS`] = the Degrade floor). Always 0 without
+    /// adaptive control.
+    pub fidelity_level: u64,
+    /// Checkpoint interval currently in force: the controller's latest
+    /// command under adaptive control, the configured
+    /// [`SupervisorConfig::checkpoint_interval`] otherwise (0 for the
+    /// unsupervised synchronous detector).
+    pub checkpoint_interval_current: u64,
 }
 
 impl PipelineStats {
@@ -546,6 +616,7 @@ impl PipelineStats {
                 + self.carried
                 + self.queued
                 + self.replayed_in_flight
+                + self.coalesced_events
     }
 
     /// True when the report accounting ledger closes exactly (see the type
@@ -565,14 +636,15 @@ impl std::fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "ingested {} = analyzed {} + shed {} + dropped {} + carried {} + queued {} + in-flight {}",
+            "ingested {} = analyzed {} + shed {} + dropped {} + carried {} + queued {} + in-flight {} + coalesced {}",
             self.ingested,
             self.analyzed,
             self.shed_events,
             self.dropped_events,
             self.carried,
             self.queued,
-            self.replayed_in_flight
+            self.replayed_in_flight,
+            self.coalesced_events
         )?;
         writeln!(
             f,
@@ -584,8 +656,13 @@ impl std::fmt::Display for PipelineStats {
         )?;
         writeln!(
             f,
-            "  restarts {}, checkpoints {}, replayed {}, lost {}",
-            self.restarts, self.checkpoints, self.replayed_events, self.lost_events
+            "  restarts {}, checkpoints {}, replayed {}, lost {}, fidelity {}, interval {}",
+            self.restarts,
+            self.checkpoints,
+            self.replayed_events,
+            self.lost_events,
+            self.fidelity_level,
+            self.checkpoint_interval_current
         )?;
         write!(
             f,
@@ -600,10 +677,11 @@ impl std::fmt::Display for PipelineStats {
 pub struct RealtimeDetector {
     config: PipelineConfig,
     collector: Collector,
-    buffer: Vec<Event>,
+    buffer: Vec<WeightedEvent>,
     window_start: Option<Timestamp>,
     reports_emitted: usize,
     degraded: bool,
+    fidelity: FidelityLevel,
     // Accounting (see PipelineStats).
     ingested: u64,
     analyzed: u64,
@@ -624,6 +702,7 @@ impl RealtimeDetector {
             window_start: None,
             reports_emitted: 0,
             degraded: false,
+            fidelity: FidelityLevel::Full,
             ingested: 0,
             analyzed: 0,
             dropped_events: 0,
@@ -668,6 +747,7 @@ impl RealtimeDetector {
             // to the caller: all delivered, none shed or digested.
             reports_emitted: self.reports_emitted as u64,
             reports_delivered: self.reports_emitted as u64,
+            fidelity_level: u64::from(self.fidelity.index()),
             ..PipelineStats::default()
         }
     }
@@ -706,6 +786,7 @@ impl RealtimeDetector {
             window_start: checkpoint.window_start,
             reports_emitted: checkpoint.reports_emitted as usize,
             degraded: checkpoint.degraded,
+            fidelity: FidelityLevel::Full,
             ingested: checkpoint.ingested,
             analyzed: checkpoint.analyzed,
             dropped_events: checkpoint.dropped_events,
@@ -728,6 +809,21 @@ impl RealtimeDetector {
     /// True while in degraded mode.
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Sets the fidelity level the next analysis pass runs at (see
+    /// [`stemming_at_level`]). The adaptive supervisor drives this from its
+    /// [`Controller`] before every event; callers of the synchronous
+    /// detector may drive it from any overload signal they have. Fidelity
+    /// is *not* checkpointed — like the degrade flag, it is external
+    /// pressure, re-applied by whoever drives the detector.
+    pub fn set_fidelity(&mut self, fidelity: FidelityLevel) {
+        self.fidelity = fidelity;
+    }
+
+    /// The current fidelity level.
+    pub fn fidelity(&self) -> FidelityLevel {
+        self.fidelity
     }
 
     /// Records feed records that were skipped as unparseable upstream (e.g.
@@ -756,23 +852,34 @@ impl RealtimeDetector {
     /// window start and counted in [`PipelineStats::clamped_events`]: it
     /// still contributes its evidence to the window being built, but can
     /// neither re-open a closed window nor stall the window clock.
-    pub fn ingest_event(&mut self, mut event: Event) -> Vec<AnomalyReport> {
+    pub fn ingest_event(&mut self, event: Event) -> Vec<AnomalyReport> {
+        self.ingest_weighted(WeightedEvent::unit(event))
+    }
+
+    /// Ingests a weighted event — a merge-on-shed representative standing
+    /// for `weight` original events (see [`WeightedEvent`]). Counts as one
+    /// ingested event on the ledger (its absorbed events were counted as
+    /// `coalesced_events` when they merged); its weight flows through the
+    /// weighted Stemming pass.
+    pub fn ingest_weighted(&mut self, mut weighted: WeightedEvent) -> Vec<AnomalyReport> {
         self.ingested += 1;
+        let event = &mut weighted.event;
         let start = *self.window_start.get_or_insert(event.time);
         if event.time < start {
             event.time = start;
             self.clamped_events += 1;
         }
+        let event_time = event.time;
         let mut reports = Vec::new();
-        if event.time.saturating_since(start) >= self.config.window {
+        if event_time.saturating_since(start) >= self.config.window {
             // Window boundary: analyze the closed window (carrying a
             // too-small buffer forward), then start the new window at the
             // event that crossed the boundary.
             reports = self.rotate_window();
-            self.window_start = Some(event.time);
-            self.enforce_carry_cap(event.time);
+            self.window_start = Some(event_time);
+            self.enforce_carry_cap(event_time);
         }
-        self.buffer.push(event);
+        self.buffer.push(weighted);
         if self.buffer.len() >= self.config.spike_events {
             // Spike fast-path: analyze immediately, *including* the event
             // that breached the threshold. The window clock keeps running —
@@ -808,7 +915,7 @@ impl RealtimeDetector {
                     .as_micros()
                     .saturating_sub(self.config.max_carry_age.as_micros()),
             );
-            self.buffer.retain(|e| e.time >= cutoff);
+            self.buffer.retain(|w| w.event.time >= cutoff);
         }
         if self.config.max_carry_events > 0 && self.buffer.len() > self.config.max_carry_events {
             let excess = self.buffer.len() - self.config.max_carry_events;
@@ -832,16 +939,26 @@ impl RealtimeDetector {
     }
 
     fn analyze(&mut self) -> Vec<AnomalyReport> {
+        // The binary degrade flag forces the floor; otherwise the adaptive
+        // fidelity level interpolates. Any reduced-fidelity pass counts as
+        // a degraded window and marks its reports.
+        let reduced = self.degraded || self.fidelity != FidelityLevel::Full;
         let stemming_config = if self.degraded {
-            self.degraded_windows += 1;
             self.degraded_stemming()
         } else {
-            self.config.stemming.clone()
+            stemming_at_level(&self.config.stemming, &self.config.degrade, self.fidelity)
         };
+        if reduced {
+            self.degraded_windows += 1;
+        }
         self.analyzed += self.buffer.len() as u64;
-        let stream: EventStream = std::mem::take(&mut self.buffer).into_iter().collect();
+        let weights: Vec<u64> = self.buffer.iter().map(|w| w.weight).collect();
+        let stream: EventStream = std::mem::take(&mut self.buffer)
+            .into_iter()
+            .map(|w| w.event)
+            .collect();
         let stemming = Stemming::with_config(stemming_config);
-        let result = stemming.decompose(&stream);
+        let result = stemming.decompose_weighted_indexed(&stream, |i, _| weights[i]);
         let mut reports = Vec::new();
         for component in result.components() {
             if component.event_count() < self.config.min_component_events {
@@ -849,7 +966,7 @@ impl RealtimeDetector {
             }
             let verdict = classify(component, &stream);
             let report = AnomalyReport::new(component, verdict, result.symbols());
-            reports.push(if self.degraded {
+            reports.push(if reduced {
                 report.mark_degraded()
             } else {
                 report
@@ -859,20 +976,15 @@ impl RealtimeDetector {
         reports
     }
 
-    /// The coarsened Stemming configuration used in degraded mode.
+    /// The coarsened Stemming configuration used in degraded mode: the
+    /// adaptive controller's floor level, bit-identical to the
+    /// pre-adaptive binary behavior.
     fn degraded_stemming(&self) -> StemmingConfig {
-        let d = self.config.degrade;
-        let mut s = self.config.stemming.clone();
-        s.min_support = s
-            .min_support
-            .saturating_mul(d.min_support_multiplier.max(1));
-        s.max_components = s.max_components.min(d.max_components).max(1);
-        s.max_subseq_len = if s.max_subseq_len == 0 {
-            d.max_subseq_len
-        } else {
-            s.max_subseq_len.min(d.max_subseq_len.max(1))
-        };
-        s
+        stemming_at_level(
+            &self.config.stemming,
+            &self.config.degrade,
+            FidelityLevel::Floor,
+        )
     }
 
     /// Flushes any remaining window and returns the final reports.
@@ -895,9 +1007,9 @@ impl RealtimeDetector {
     /// [`SupervisorConfig::max_restarts`] times.
     pub fn spawn(config: SpawnConfig) -> PipelineHandle {
         let (event_tx, event_rx) = if config.capacity == 0 {
-            unbounded::<Event>()
+            unbounded::<WeightedEvent>()
         } else {
-            bounded::<Event>(config.capacity)
+            bounded::<WeightedEvent>(config.capacity)
         };
         let (report_tx, report_rx) = if config.report_capacity == 0 {
             unbounded::<AnomalyReport>()
@@ -905,15 +1017,28 @@ impl RealtimeDetector {
             bounded::<AnomalyReport>(config.report_capacity)
         };
         let shared = Arc::new(SharedStats::default());
+        shared.checkpoint_interval.store(
+            config.supervisor.checkpoint_interval.max(1) as u64,
+            Ordering::Release,
+        );
         let checkpoint_slot = Arc::new(Mutex::new(
             RealtimeDetector::new(config.pipeline.clone()).checkpoint(),
         ));
         let digest = Arc::new(Mutex::new(ReportDigest::default()));
 
+        let controller = config
+            .adaptive
+            .map(|a| a.controller.resolved_against_capacity(config.capacity));
+        let coalesce = config.adaptive.and_then(|a| {
+            (config.overload == OverloadPolicy::DropOldest && a.coalesce_capacity > 0)
+                .then(|| CoalesceBuffer::new(a.coalesce_capacity))
+        });
+
         let supervisor = Supervisor {
             config: config.pipeline.clone(),
             sup: config.supervisor.clone(),
             fault: config.fault,
+            controller,
             shared: Arc::clone(&shared),
             event_rx: event_rx.clone(),
             report_tx,
@@ -932,6 +1057,7 @@ impl RealtimeDetector {
             join: Some(join),
             shared,
             overload: config.overload,
+            coalesce,
             checkpoint_slot,
             digest,
         }
@@ -991,8 +1117,10 @@ struct Supervisor {
     config: PipelineConfig,
     sup: SupervisorConfig,
     fault: Option<PanicInjection>,
+    /// Resolved controller configuration under adaptive mode.
+    controller: Option<ControllerConfig>,
     shared: Arc<SharedStats>,
-    event_rx: Receiver<Event>,
+    event_rx: Receiver<WeightedEvent>,
     report_tx: Sender<AnomalyReport>,
     /// Receiver clone used only to steal the oldest queued report under
     /// [`ReportPolicy::DropOldest`] (shim receivers share one queue).
@@ -1008,14 +1136,18 @@ impl Supervisor {
         let mut checkpoint = RealtimeDetector::new(self.config.clone()).checkpoint();
         // Events pulled off the queue since the last checkpoint: acked (and
         // cleared) by the next checkpoint, replayed after a crash. Bounded
-        // by `checkpoint_interval` because a checkpoint fires at latest on
-        // the event that reaches the interval.
-        let mut ring: VecDeque<Event> = VecDeque::new();
+        // by the checkpoint interval because a checkpoint fires at latest
+        // on the event that reaches the interval.
+        let mut ring: VecDeque<WeightedEvent> = VecDeque::new();
         let mut fault = FaultState::new(self.fault);
+        // The controller outlives detector incarnations: its state is
+        // external pressure, not recoverable detector state — a restarted
+        // detector resumes at whatever fidelity the queue deserves now.
+        let mut controller = self.controller.map(Controller::new);
         let mut restarts: u32 = 0;
         loop {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                self.run_incarnation(&mut checkpoint, &mut ring, &mut fault)
+                self.run_incarnation(&mut checkpoint, &mut ring, &mut fault, &mut controller)
             }));
             match outcome {
                 Ok(()) => break,
@@ -1051,10 +1183,11 @@ impl Supervisor {
     fn run_incarnation(
         &self,
         checkpoint: &mut PipelineCheckpoint,
-        ring: &mut VecDeque<Event>,
+        ring: &mut VecDeque<WeightedEvent>,
         fault: &mut FaultState,
+        controller: &mut Option<Controller>,
     ) {
-        let interval = self.sup.checkpoint_interval.max(1);
+        let mut interval = self.sup.checkpoint_interval.max(1);
         let mut detector = RealtimeDetector::restore(self.config.clone(), checkpoint.clone());
         let mut since_checkpoint = 0usize;
 
@@ -1065,6 +1198,7 @@ impl Supervisor {
         while replayed < ring.len() {
             let event = ring[replayed].clone();
             replayed += 1;
+            interval = self.control_sample(controller, interval);
             let analyzed_before = detector.analyzed;
             let reports = self.ingest(&mut detector, event);
             self.shared.replayed.fetch_add(1, Ordering::AcqRel);
@@ -1083,6 +1217,7 @@ impl Supervisor {
         while let Ok(event) = self.event_rx.recv() {
             ring.push_back(event.clone());
             fault.on_pull();
+            interval = self.control_sample(controller, interval);
             let analyzed_before = detector.analyzed;
             let reports = self.ingest(&mut detector, event);
             since_checkpoint += 1;
@@ -1105,11 +1240,35 @@ impl Supervisor {
         ring.clear();
     }
 
-    /// One event through the detector, honoring the shared degrade flag.
-    fn ingest(&self, detector: &mut RealtimeDetector, event: Event) -> Vec<AnomalyReport> {
+    /// Feeds one depth/restart observation to the adaptive controller and
+    /// publishes its decision; returns the checkpoint interval now in
+    /// force. Without a controller the configured interval stands.
+    fn control_sample(&self, controller: &mut Option<Controller>, current: usize) -> usize {
+        let Some(ctl) = controller.as_mut() else {
+            return current;
+        };
+        let decision = ctl.sample(ControlInput {
+            depth: self.event_rx.len() as u64,
+            restarts: self.shared.restarts.load(Ordering::Acquire),
+        });
+        self.shared
+            .fidelity
+            .store(u64::from(decision.fidelity.index()), Ordering::Release);
+        self.shared
+            .checkpoint_interval
+            .store(decision.checkpoint_interval as u64, Ordering::Release);
+        decision.checkpoint_interval
+    }
+
+    /// One event through the detector, honoring the shared degrade flag and
+    /// the controller's fidelity level.
+    fn ingest(&self, detector: &mut RealtimeDetector, event: WeightedEvent) -> Vec<AnomalyReport> {
         let degraded = self.shared.degraded.load(Ordering::Acquire);
         detector.set_degraded(degraded);
-        let reports = detector.ingest_event(event);
+        detector.set_fidelity(FidelityLevel::from_index(
+            self.shared.fidelity.load(Ordering::Acquire) as u8,
+        ));
+        let reports = detector.ingest_weighted(event);
         if degraded && self.event_rx.is_empty() {
             // The queue drained: leave degraded mode.
             self.shared.degraded.store(false, Ordering::Release);
@@ -1272,6 +1431,14 @@ struct SharedStats {
     reports_emitted: AtomicU64,
     report_shed: AtomicU64,
     reports_digested: AtomicU64,
+    /// Events absorbed into a merge-on-shed representative (producer-side
+    /// writer: the handle).
+    coalesced: AtomicU64,
+    /// Current fidelity level index (writer: the adaptive supervisor).
+    fidelity: AtomicU64,
+    /// Checkpoint interval in force (writer: the adaptive supervisor;
+    /// initialized to the configured interval at spawn).
+    checkpoint_interval: AtomicU64,
     last_panic: Mutex<Option<String>>,
 }
 
@@ -1291,6 +1458,9 @@ impl Default for SharedStats {
             reports_emitted: AtomicU64::new(0),
             report_shed: AtomicU64::new(0),
             reports_digested: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            fidelity: AtomicU64::new(0),
+            checkpoint_interval: AtomicU64::new(0),
             last_panic: Mutex::new(None),
         }
     }
@@ -1314,14 +1484,17 @@ impl std::error::Error for PipelineClosed {}
 /// queue, and exposes live [`PipelineStats`].
 pub struct PipelineHandle {
     collector: Collector,
-    tx: Option<Sender<Event>>,
+    tx: Option<Sender<WeightedEvent>>,
     /// Receiver clone used only to steal the oldest queued event under
     /// [`OverloadPolicy::DropOldest`] (shim receivers share one queue).
-    steal_rx: Receiver<Event>,
+    steal_rx: Receiver<WeightedEvent>,
     reports: Receiver<AnomalyReport>,
     join: Option<std::thread::JoinHandle<()>>,
     shared: Arc<SharedStats>,
     overload: OverloadPolicy,
+    /// Merge-on-shed buffer: present under adaptive DropOldest with a
+    /// nonzero coalesce capacity.
+    coalesce: Option<CoalesceBuffer>,
     checkpoint_slot: Arc<Mutex<PipelineCheckpoint>>,
     digest: Arc<Mutex<ReportDigest>>,
 }
@@ -1361,6 +1534,11 @@ impl PipelineHandle {
     ///
     /// Returns [`PipelineClosed`] when the detector thread is gone.
     pub fn ingest_event(&mut self, event: Event) -> Result<(), PipelineClosed> {
+        // Opportunistically return merged representatives to the queue
+        // while it has room, so coalesced evidence re-enters analysis as
+        // soon as pressure eases.
+        self.flush_coalesced();
+        let event = WeightedEvent::unit(event);
         let tx = self.tx.as_ref().ok_or(PipelineClosed)?;
         self.shared.ingested.fetch_add(1, Ordering::AcqRel);
         match self.overload {
@@ -1388,9 +1566,26 @@ impl PipelineHandle {
                             // converges; racing with it just means the
                             // queue made room on its own.
                             match self.steal_rx.try_recv() {
-                                Ok(_oldest) => {
-                                    self.shared.shed.fetch_add(1, Ordering::AcqRel);
-                                }
+                                Ok(oldest) => match self.coalesce.as_mut() {
+                                    // Merge-on-shed: fold the stolen event
+                                    // into a weighted representative
+                                    // instead of discarding it.
+                                    Some(buf) => match buf.fold(oldest) {
+                                        Fold::Merged => {
+                                            self.shared.coalesced.fetch_add(1, Ordering::AcqRel);
+                                        }
+                                        // A held representative stays on
+                                        // the ledger's derived `queued`
+                                        // until it re-enters the queue.
+                                        Fold::Held => {}
+                                        Fold::Shed(_victim) => {
+                                            self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                                        }
+                                    },
+                                    None => {
+                                        self.shared.shed.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                },
                                 Err(TryRecvError::Empty) => {}
                                 Err(TryRecvError::Disconnected) => {
                                     self.shared.shed.fetch_add(1, Ordering::AcqRel);
@@ -1424,14 +1619,78 @@ impl PipelineHandle {
         }
     }
 
+    /// Moves merge-on-shed representatives back into the ingest queue while
+    /// it has room. Re-entry does not re-count `ingested` — a
+    /// representative is an already-ingested event continuing its journey.
+    fn flush_coalesced(&mut self) {
+        let (Some(buf), Some(tx)) = (self.coalesce.as_mut(), self.tx.as_ref()) else {
+            return;
+        };
+        while let Some(rep) = buf.pop() {
+            match tx.try_send(rep) {
+                Ok(()) => {}
+                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                    buf.unpop(back);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Terminal flush of the merge-on-shed buffer: delivers every held
+    /// representative losslessly (the consumer is still draining until the
+    /// feed closes), or counts the remainder as shed if the consumer died.
+    /// Returns any reports drained while waiting — the consumer may itself
+    /// be blocked on the bounded report queue, so waiting without draining
+    /// could deadlock shutdown.
+    fn drain_coalesced(&mut self) -> Vec<AnomalyReport> {
+        let mut drained = Vec::new();
+        let Some(mut buf) = self.coalesce.take() else {
+            return drained;
+        };
+        let Some(tx) = self.tx.as_ref() else {
+            self.shared
+                .shed
+                .fetch_add(buf.len() as u64, Ordering::AcqRel);
+            return drained;
+        };
+        while let Some(mut rep) = buf.pop() {
+            loop {
+                match tx.try_send(rep) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(back)) => {
+                        rep = back;
+                        if !self.shared.consumer_alive.load(Ordering::Acquire) {
+                            self.shared
+                                .shed
+                                .fetch_add(1 + buf.len() as u64, Ordering::AcqRel);
+                            return drained;
+                        }
+                        match self.reports.try_recv() {
+                            Ok(report) => drained.push(report),
+                            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.shared
+                            .shed
+                            .fetch_add(1 + buf.len() as u64, Ordering::AcqRel);
+                        return drained;
+                    }
+                }
+            }
+        }
+        drained
+    }
+
     /// Lossless delivery with a liveness check: blocks while the queue is
     /// full, but bails out (instead of deadlocking) if the detector thread
     /// died — its receiver clone held by this handle would otherwise keep
     /// the channel "connected" forever.
     fn send_blocking(
         shared: &SharedStats,
-        tx: &Sender<Event>,
-        mut event: Event,
+        tx: &Sender<WeightedEvent>,
+        mut event: WeightedEvent,
     ) -> Result<(), PipelineClosed> {
         loop {
             match tx.send_timeout(event, Duration::from_millis(50)) {
@@ -1481,15 +1740,18 @@ impl PipelineHandle {
     }
 
     /// A live accounting snapshot. `queued` is derived from the producer
-    /// and consumer ledgers (`ingested - shed - consumer-ingested`): called
-    /// from the handle-owning thread — the only writer of `ingested` and
-    /// `shed` — the ledger closes at *every* instant, not just at
-    /// quiescence, because the consumer's counters are published as one
-    /// consistent set.
+    /// and consumer ledgers
+    /// (`ingested - shed - coalesced - consumer-ingested`), so it covers
+    /// both the channel and any merge-on-shed representatives waiting to
+    /// re-enter it: called from the handle-owning thread — the only writer
+    /// of `ingested`, `shed`, and `coalesced` — the ledger closes at
+    /// *every* instant, not just at quiescence, because the consumer's
+    /// counters are published as one consistent set.
     pub fn stats(&self) -> PipelineStats {
         let consumer = *self.shared.consumer.lock().expect("stats poisoned");
         let ingested = self.shared.ingested.load(Ordering::Acquire);
         let shed = self.shared.shed.load(Ordering::Acquire);
+        let coalesced = self.shared.coalesced.load(Ordering::Acquire);
         let lost = self.shared.lost.load(Ordering::Acquire);
         let emitted = self.shared.reports_emitted.load(Ordering::Acquire);
         let report_shed = self.shared.report_shed.load(Ordering::Acquire);
@@ -1506,6 +1768,7 @@ impl PipelineHandle {
             carried: consumer.carried,
             queued: ingested
                 .saturating_sub(shed)
+                .saturating_sub(coalesced)
                 .saturating_sub(consumer.ingested)
                 .saturating_sub(consumer.replayed_in_flight)
                 .saturating_sub(lost),
@@ -1518,6 +1781,9 @@ impl PipelineHandle {
             reports_delivered: emitted.saturating_sub(report_shed).saturating_sub(digested),
             report_shed,
             reports_digested: digested,
+            coalesced_events: coalesced,
+            fidelity_level: self.shared.fidelity.load(Ordering::Acquire),
+            checkpoint_interval_current: self.shared.checkpoint_interval.load(Ordering::Acquire),
         }
     }
 
@@ -1564,8 +1830,8 @@ impl PipelineHandle {
     /// [`PipelineHandle::finish`] plus the final [`ReportDigest`] of
     /// coalesced reports (meaningful under [`ReportPolicy::Digest`]).
     pub fn finish_with_digest(mut self) -> (Vec<AnomalyReport>, PipelineStats, ReportDigest) {
+        let mut reports = self.drain_coalesced();
         drop(self.tx.take());
-        let mut reports = Vec::new();
         if let Some(join) = self.join.take() {
             // The report queue is bounded: the supervisor's final flush may
             // be blocked on it, so drain while waiting instead of a blind
@@ -1590,6 +1856,9 @@ impl PipelineHandle {
 
 impl Drop for PipelineHandle {
     fn drop(&mut self) {
+        // Reports drained while flushing the merge buffer are discarded —
+        // a handle dropped without `finish` discards its report stream.
+        let _ = self.drain_coalesced();
         drop(self.tx.take());
         if let Some(join) = self.join.take() {
             // A handle dropped without `finish` still shuts the supervisor
@@ -2188,7 +2457,8 @@ mod tests {
     }
 
     /// The JSON ledger is stable: every documented field is present under
-    /// its documented name, so downstream tooling can rely on the schema.
+    /// its documented name *in declaration order* (new fields append, they
+    /// never reorder), so downstream tooling can rely on the schema.
     #[test]
     fn stats_to_json_has_stable_schema() {
         let stats = PipelineStats {
@@ -2199,6 +2469,7 @@ mod tests {
             ..PipelineStats::default()
         };
         let json = stats.to_json();
+        let mut last_at = 0;
         for field in [
             "ingested",
             "analyzed",
@@ -2219,14 +2490,120 @@ mod tests {
             "reports_delivered",
             "report_shed",
             "reports_digested",
+            "coalesced_events",
+            "fidelity_level",
+            "checkpoint_interval_current",
         ] {
+            let at = json
+                .find(&format!("\"{field}\""))
+                .unwrap_or_else(|| panic!("missing {field}: {json}"));
             assert!(
-                json.contains(&format!("\"{field}\"")),
-                "missing {field}: {json}"
+                at > last_at || field == "ingested",
+                "{field} out of order: {json}"
             );
+            last_at = at;
         }
         let back: PipelineStats = serde_json::from_str(&json).expect("ledger parses back");
         assert_eq!(back, stats);
+    }
+
+    /// Adaptive DropOldest under pressure: stolen events merge into
+    /// weighted representatives instead of vanishing, the extended ledger
+    /// closes at quiescence, and the fidelity level returns to full once
+    /// the feed ends.
+    #[test]
+    fn adaptive_drop_oldest_coalesces_instead_of_shedding() {
+        let config = SpawnConfig::new(PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 5,
+            min_component_events: 5,
+            spike_events: 50,
+            ..PipelineConfig::default()
+        })
+        .with_capacity(4)
+        .with_overload(OverloadPolicy::DropOldest)
+        .with_adaptive(AdaptiveConfig::default().with_target_depth(2));
+        let mut handle = RealtimeDetector::spawn(config);
+        // Few distinct prefixes, so stolen events nearly always find a
+        // matching representative to merge into.
+        for i in 0..5_000u64 {
+            handle
+                .ingest_event(withdraw_event(i / 10, (i % 8) as u8))
+                .unwrap();
+            assert!(handle.queue_len() <= 4);
+        }
+        let (_, stats) = handle.finish();
+        assert_eq!(stats.ingested, 5_000, "{stats}");
+        assert!(stats.coalesced_events > 0, "nothing coalesced: {stats}");
+        assert!(stats.accounts_exactly(), "{stats}");
+        assert_eq!(stats.queued, 0, "{stats}");
+        assert!(
+            stats.checkpoint_interval_current
+                >= AdaptiveConfig::default().controller.min_checkpoint_interval as u64,
+            "{stats}"
+        );
+    }
+
+    /// Weighted representatives flow through the sub-sequence counts: with
+    /// `min_support` set above the raw event count, only the merged
+    /// weights can push the correlation over the bar — and each
+    /// representative still counts as one ingested event on the ledger.
+    #[test]
+    fn weighted_ingest_counts_once_and_weights_analysis() {
+        let mut config = PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 2,
+            min_component_events: 2,
+            ..PipelineConfig::default()
+        };
+        config.stemming.min_support = 10;
+        let mut det = RealtimeDetector::new(config.clone());
+        det.ingest_weighted(WeightedEvent {
+            event: withdraw_event(0, 1),
+            weight: 40,
+        });
+        det.ingest_weighted(WeightedEvent {
+            event: withdraw_event(1, 2),
+            weight: 2,
+        });
+        let stats = det.stats();
+        assert_eq!(stats.ingested, 2, "a representative counts once");
+        let reports = det.finish();
+        assert!(
+            !reports.is_empty(),
+            "42 units of merged weight must clear min_support 10"
+        );
+
+        // The same two events at unit weight stay below the bar.
+        let mut unit = RealtimeDetector::new(config);
+        unit.ingest_event(withdraw_event(0, 1));
+        unit.ingest_event(withdraw_event(1, 2));
+        assert!(unit.finish().is_empty(), "unit weights must not clear it");
+    }
+
+    /// The fidelity knob alone (no degrade flag) coarsens analysis, counts
+    /// the window as degraded, and marks its reports.
+    #[test]
+    fn fidelity_below_full_marks_reports_degraded() {
+        let config = PipelineConfig {
+            window: Timestamp::from_secs(300),
+            min_events: 20,
+            min_component_events: 20,
+            ..PipelineConfig::default()
+        };
+        let mut det = RealtimeDetector::new(config);
+        det.set_fidelity(FidelityLevel::Medium);
+        let mut reports = Vec::new();
+        for (msg, t) in reset_updates(0) {
+            reports.extend(det.ingest_update(&msg, t));
+        }
+        reports.extend(det.flush());
+        assert!(!reports.is_empty());
+        assert!(reports.iter().all(|r| r.degraded), "reports must be marked");
+        let stats = det.stats();
+        assert!(stats.degraded_windows > 0, "{stats}");
+        assert_eq!(stats.fidelity_level, 2, "{stats}");
+        assert!(stats.accounts_exactly(), "{stats}");
     }
 
     /// The checkpoint spill path receives valid JSON that parses back to

@@ -8,6 +8,7 @@
 //! bgpscope pipeline <events.(mrt|txt)> [--capacity N] [--policy P]
 //!                   [--report-capacity N] [--report-policy P]
 //!                   [--checkpoint-interval N] [--checkpoint-spill FILE]
+//!                   [--adaptive [--target-depth N]]
 //! bgpscope convert  <in.(mrt|txt)> <out.(mrt|txt)>
 //! bgpscope demo     <out.mrt>                     # write a demo incident
 //! ```
@@ -78,6 +79,7 @@ fn usage() -> ExitCode {
          pipeline <events> [--capacity N] [--policy block|drop-newest|drop-oldest|degrade]\n\
          \u{20}                 [--report-capacity N] [--report-policy block|drop-oldest|digest]\n\
          \u{20}                 [--checkpoint-interval N] [--checkpoint-spill FILE]\n\
+         \u{20}                 [--adaptive [--target-depth N]]\n\
          \u{20}                             replay through the supervised realtime pipeline\n\
          convert  <in> <out>           convert between .mrt and text formats\n\
          demo     <out.mrt>            write a demo incident to analyze"
@@ -270,6 +272,8 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
     let mut report_policy = ReportPolicy::Block;
     let mut checkpoint_interval = 256usize;
     let mut spill: Option<std::path::PathBuf> = None;
+    let mut adaptive = false;
+    let mut target_depth: Option<u64> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -303,20 +307,37 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
             "--checkpoint-spill" => {
                 spill = Some(it.next().ok_or("--checkpoint-spill needs a path")?.into());
             }
+            "--adaptive" => adaptive = true,
+            "--target-depth" => {
+                target_depth = Some(
+                    it.next()
+                        .ok_or("--target-depth needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--target-depth: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other}").into()),
         }
+    }
+    if target_depth.is_some() && !adaptive {
+        return Err("--target-depth requires --adaptive".into());
     }
     let (stream, parse_errors) = load_lossy(path)?;
     let mut supervisor = SupervisorConfig::default().with_checkpoint_interval(checkpoint_interval);
     if let Some(path) = spill {
         supervisor = supervisor.with_spill_path(path);
     }
-    let spawn = SpawnConfig::new(PipelineConfig::default())
+    let mut spawn = SpawnConfig::new(PipelineConfig::default())
         .with_capacity(capacity)
         .with_overload(policy)
         .with_report_capacity(report_capacity)
         .with_report_policy(report_policy)
         .with_supervisor(supervisor);
+    if adaptive {
+        // 0 means "derive from the queue capacity at spawn".
+        spawn = spawn
+            .with_adaptive(AdaptiveConfig::default().with_target_depth(target_depth.unwrap_or(0)));
+    }
     let mut handle = RealtimeDetector::spawn(spawn);
     handle.record_parse_errors(parse_errors);
     let total = stream.len();

@@ -58,10 +58,11 @@ pub use rex::Rex;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use bgpscope_anomaly::{
-        classify, enrich_with_igp, scan_deaggregation, scan_moas, AnomalyKind, AnomalyReport,
-        DegradeConfig, OverloadPolicy, PanicInjection, PipelineCheckpoint, PipelineClosed,
-        PipelineConfig, PipelineHandle, PipelineStats, RealtimeDetector, ReportDigest,
-        ReportPolicy, SpawnConfig, SupervisorConfig,
+        classify, enrich_with_igp, scan_deaggregation, scan_moas, AdaptiveConfig, AnomalyKind,
+        AnomalyReport, ControllerConfig, DegradeConfig, FidelityLevel, OverloadPolicy,
+        PanicInjection, PipelineCheckpoint, PipelineClosed, PipelineConfig, PipelineHandle,
+        PipelineStats, RealtimeDetector, ReportDigest, ReportPolicy, SpawnConfig, SupervisorConfig,
+        WeightedEvent,
     };
     pub use bgpscope_bgp::{
         AsPath, Asn, Community, Event, EventKind, EventStream, LocalPref, Med, PathAttributes,

@@ -113,6 +113,22 @@ impl Stemming {
     where
         F: Fn(&bgpscope_bgp::Event) -> u64,
     {
+        self.decompose_weighted_indexed(stream, |_, e| weight_of(e))
+    }
+
+    /// Like [`Stemming::decompose_weighted`], but the weight closure also
+    /// receives the event's stream index, so per-*instance* weights (two
+    /// identical events with different weights — e.g. merge-on-shed
+    /// representatives carrying different merge counts) can be expressed,
+    /// not just per-content ones.
+    pub fn decompose_weighted_indexed<F>(
+        &self,
+        stream: &EventStream,
+        weight_of: F,
+    ) -> StemmingResult
+    where
+        F: Fn(usize, &bgpscope_bgp::Event) -> u64,
+    {
         let events = stream.events();
         let mut encoder = SequenceEncoder::new();
         let sequences: Vec<Vec<Symbol>> = events.iter().map(|e| encoder.encode(e)).collect();
@@ -137,7 +153,7 @@ impl Stemming {
                     .push(group_reprs.len() - 1);
                 group_reprs.len() - 1
             });
-            group_weights[g] += weight_of(&events[i]);
+            group_weights[g] += weight_of(i, &events[i]);
         }
 
         // Count once over the whole stream and materialize the owned count

@@ -13,10 +13,14 @@
 //!   bounded by the checkpoint interval and the injected anomalies still
 //!   detected,
 //! * every event is accounted for — `ingested == analyzed + shed +
-//!   dropped + carried + queued + replayed_in_flight` at every sampled
-//!   instant (including mid-restart) and, with
+//!   dropped + carried + queued + replayed_in_flight + coalesced` at every
+//!   sampled instant (including mid-restart) and, with
 //!   `carried == queued == replayed_in_flight == 0`, at quiescence — and
-//!   every report too: `emitted == delivered + shed + digested`.
+//!   every report too: `emitted == delivered + shed + digested`,
+//! * under [`AdaptiveConfig`] the closed-loop controller degrades fidelity
+//!   during the storm, merge-on-shed preserves the anomaly evidence as
+//!   weighted representatives, and fidelity recovers to full once the
+//!   queue quiets.
 
 use std::time::{Duration, Instant};
 
@@ -293,6 +297,165 @@ fn soak_consumer_panic_recovers_and_accounts() {
     assert!(
         reports.iter().any(|r| r.common_portion.contains("777")),
         "flapper-777 family lost across restarts"
+    );
+}
+
+/// Adaptive leg: the storm feed through a deliberately tiny queue under
+/// `OverloadPolicy::DropOldest` with [`AdaptiveConfig`] — the closed-loop
+/// controller replaces the binary Degrade flip and the stolen events are
+/// coalesced into weighted representatives instead of discarded. Asserts
+/// the extended ledger (`+ coalesced`) closes at every snapshot, that the
+/// storm actually exercised merge-on-shed (`coalesced_events > 0`), that at
+/// least one storm anomaly family is recovered *at a degraded fidelity
+/// level*, and that fidelity recovers to full (with the widest checkpoint
+/// interval) once the storm drains.
+#[test]
+fn soak_adaptive_storm_coalesces_and_recovers_fidelity() {
+    // Small enough that the storm saturates it constantly; the controller's
+    // auto target is half of this.
+    const ADAPTIVE_CAPACITY: usize = 8;
+    let plan = soak_plan();
+    let feed = plan.build_feed();
+    assert!(feed.len() > 1_000, "feed too small to stress the pipeline");
+
+    // Spike analyses every 50 buffered events: analysis fires *while* the
+    // queue is hot (right after a full-queue drain burst), which is the
+    // moment the controller has fidelity raised — the regime the binary
+    // Degrade flip handled with a cliff and the controller handles with a
+    // ramp.
+    let pipeline = PipelineConfig {
+        window: Timestamp::from_secs(20),
+        min_events: 10,
+        min_component_events: 4,
+        spike_events: 50,
+        max_carry_events: 200,
+        max_carry_age: Timestamp::from_secs(120),
+        ..PipelineConfig::default()
+    };
+    // Between two spike analyses the consumer pulls at most `spike_events`
+    // events; patience above that means a fidelity descent can never
+    // complete between analyses (the post-analysis full-queue sample resets
+    // the calm streak), so once the storm raises the level it stays raised
+    // until the feed actually quiets — which the tail below provides 600
+    // calm samples for.
+    let adaptive = AdaptiveConfig {
+        controller: ControllerConfig {
+            recovery_patience: 64,
+            ..ControllerConfig::default()
+        },
+        ..AdaptiveConfig::default()
+    };
+    let config = SpawnConfig::new(pipeline)
+        .with_capacity(ADAPTIVE_CAPACITY)
+        .with_overload(OverloadPolicy::DropOldest)
+        .with_adaptive(adaptive);
+    // Pre-augment the update feed once so the feeding loop is pure channel
+    // pressure (no per-item collector work, no stall pauses): the producer
+    // must outrun the consumer for the queue to sit saturated, which is
+    // the regime this leg is about.
+    let mut collector = Collector::new();
+    let mut storm = EventStream::new();
+    for (msg, time) in &feed {
+        for event in collector.apply_update(msg, *time) {
+            storm.push(event);
+        }
+    }
+    assert!(
+        storm.len() > 1_000,
+        "storm too small to stress the pipeline"
+    );
+
+    let started = Instant::now();
+    let mut handle = RealtimeDetector::spawn(config);
+    let mut max_queue = 0usize;
+    for (i, event) in storm.events().iter().enumerate() {
+        handle
+            .ingest_event(event.clone())
+            .unwrap_or_else(|_| panic!("adaptive: pipeline died at feed item {i}"));
+        max_queue = max_queue.max(handle.queue_len());
+        if i % 997 == 0 {
+            let live = handle.stats();
+            assert!(
+                live.accounts_exactly(),
+                "adaptive: mid-run ledger broken at item {i}: {live}"
+            );
+        }
+        assert!(
+            started.elapsed() < DEADLINE,
+            "adaptive: livelock at item {i}"
+        );
+    }
+    assert!(handle.is_alive(), "adaptive: consumer died mid-soak");
+    assert!(
+        max_queue <= ADAPTIVE_CAPACITY,
+        "adaptive: queue grew to {max_queue}"
+    );
+
+    // Quiet tail: one event in flight at a time, so every controller sample
+    // observes an empty queue and the fidelity descent is deterministic
+    // (FidelityLevel::STEPS levels x recovery_patience calm samples).
+    let quiet_base = storm.events().last().expect("nonempty feed").time;
+    let peer = PeerId::from_octets(128, 99, 1, 1);
+    let hop = RouterId::from_octets(128, 99, 0, 1);
+    for i in 0..600u64 {
+        while handle.queue_len() > 0 {
+            assert!(
+                started.elapsed() < DEADLINE,
+                "adaptive: tail drain livelock"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let event = Event::withdraw(
+            Timestamp(quiet_base.0 + 1 + i),
+            peer,
+            Prefix::from_octets(172, 20, 0, 0, 16),
+            PathAttributes::new(hop, "64500 64501".parse().expect("static path")),
+        );
+        handle
+            .ingest_event(event)
+            .unwrap_or_else(|_| panic!("adaptive: pipeline died in quiet tail at {i}"));
+        if i % 97 == 0 {
+            let live = handle.stats();
+            assert!(
+                live.accounts_exactly(),
+                "adaptive: tail ledger broken at {i}: {live}"
+            );
+        }
+    }
+
+    let (reports, stats) = handle.finish();
+    assert!(
+        stats.accounts_exactly(),
+        "adaptive: final ledger broken: {stats}"
+    );
+    assert_eq!(stats.queued, 0, "adaptive: events left queued: {stats}");
+    assert!(
+        stats.coalesced_events > 0,
+        "the storm never exercised merge-on-shed: {stats}"
+    );
+    assert!(
+        stats.degraded_windows > 0,
+        "the controller never reduced fidelity under the storm: {stats}"
+    );
+    // At least one storm anomaly family survives *through* the degraded
+    // regime: recovered from coalesced, reduced-fidelity analysis.
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.degraded && r.common_portion.contains("666")),
+        "flapper-666 family not recovered at a degraded level ({} reports)",
+        reports.len()
+    );
+    // The quiet tail walked fidelity back to full and re-widened the
+    // checkpoint interval to the configured maximum.
+    assert_eq!(
+        stats.fidelity_level, 0,
+        "fidelity must recover to full after the storm drains: {stats}"
+    );
+    assert_eq!(
+        stats.checkpoint_interval_current,
+        ControllerConfig::default().max_checkpoint_interval as u64,
+        "a quiet pipeline earns the widest interval back: {stats}"
     );
 }
 
