@@ -1,0 +1,64 @@
+//! Emits `BENCH_ingest.json`: end-to-end throughput of the staged batch
+//! ingestion pipeline (decode → augment → stem) replaying a synthetic
+//! multi-day MRT archive.
+//!
+//! The workload is a Berkeley-flavored 100k-event stream over a 3-day span
+//! (the shape of the paper's Table I row: campus churn plus one session
+//! reset spike), serialized to a real archive on disk with `write_events`
+//! and streamed back through `bgpscope::ingest` — the same path as
+//! `bgpscope ingest <archive>`. The report carries events/sec, the peak
+//! RSS proxy (`VmHWM`), per-stage occupancy and the pipeline's exact event
+//! ledger.
+//!
+//! The archive is left at `target/BENCH_ingest_archive.mrt` so CI can run
+//! the `bgpscope ingest` CLI over the identical input afterwards.
+
+use std::time::Instant;
+
+use bgpscope::prelude::*;
+use bgpscope_bench::berkeley_stream;
+
+const EVENTS: usize = 100_000;
+const SPAN_SECS: u64 = 3 * 24 * 3600;
+const ARCHIVE: &str = "target/BENCH_ingest_archive.mrt";
+
+fn main() {
+    let span = Timestamp::from_secs(SPAN_SECS);
+    println!("generating {EVENTS}-event stream over {SPAN_SECS}s…");
+    let stream = berkeley_stream(EVENTS, span);
+    assert_eq!(stream.len(), EVENTS);
+
+    let mut archive = Vec::new();
+    write_events(&mut archive, &stream).expect("encode archive");
+    let archive_bytes = archive.len();
+    std::fs::write(ARCHIVE, &archive).expect("write archive");
+    println!("wrote {archive_bytes}-byte archive to {ARCHIVE}");
+
+    let file = std::fs::File::open(ARCHIVE).expect("reopen archive");
+    let started = Instant::now();
+    let report =
+        ingest(std::io::BufReader::new(file), IngestConfig::default()).expect("ingest archive");
+    println!(
+        "replayed {} events in {:.2}s ({:.0} events/sec), {} report(s)",
+        report.events_decoded,
+        started.elapsed().as_secs_f64(),
+        report.events_per_sec,
+        report.reports.len()
+    );
+    print!("{report}");
+    assert_eq!(report.events_decoded as usize, EVENTS);
+    assert!(
+        report.stats.accounts_exactly(),
+        "ledger must balance: {}",
+        report.stats.to_json()
+    );
+
+    let json = format!(
+        "{{\"workload\":{{\"events\":{EVENTS},\"span_secs\":{SPAN_SECS},\
+         \"archive_bytes\":{archive_bytes},\"archive\":\"{ARCHIVE}\"}},\
+         \"ingest\":{}}}",
+        report.bench_json()
+    );
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("wrote BENCH_ingest.json");
+}

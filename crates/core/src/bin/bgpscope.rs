@@ -9,6 +9,9 @@
 //!                   [--report-capacity N] [--report-policy P]
 //!                   [--checkpoint-interval N] [--checkpoint-spill FILE]
 //!                   [--adaptive [--target-depth N]]
+//! bgpscope ingest   <archive.mrt> [--lossy] [--passthrough]
+//!                   [--buffer-capacity BYTES] [--batch N] [--channel-batches N]
+//!                   [--capacity N] [--policy P] [--bench FILE]
 //! bgpscope convert  <in.(mrt|txt)> <out.(mrt|txt)>
 //! bgpscope demo     <out.mrt>                     # write a demo incident
 //! ```
@@ -44,6 +47,12 @@ fn main() -> ExitCode {
                 return usage();
             }
             cmd_pipeline(&args[1], &args[2..])
+        }
+        Some("ingest") => {
+            if args.len() < 2 {
+                return usage();
+            }
+            cmd_ingest(&args[1], &args[2..])
         }
         Some("convert") => {
             if args.len() != 3 {
@@ -81,6 +90,10 @@ fn usage() -> ExitCode {
          \u{20}                 [--checkpoint-interval N] [--checkpoint-spill FILE]\n\
          \u{20}                 [--adaptive [--target-depth N]]\n\
          \u{20}                             replay through the supervised realtime pipeline\n\
+         ingest   <archive.mrt> [--lossy] [--passthrough] [--buffer-capacity BYTES]\n\
+         \u{20}                 [--batch N] [--channel-batches N] [--capacity N]\n\
+         \u{20}                 [--policy P] [--bench FILE]\n\
+         \u{20}                             stream an archive through decode → augment → stem\n\
          convert  <in> <out>           convert between .mrt and text formats\n\
          demo     <out.mrt>            write a demo incident to analyze"
     );
@@ -366,6 +379,92 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
         reports.len()
     );
     println!("ledger {}", stats.to_json());
+    Ok(())
+}
+
+/// Streams an MRT archive through the staged batch pipeline
+/// (decode → augment → stem) in constant memory, then prints the reports,
+/// the ingest summary and the exact event ledger. `--bench FILE` also
+/// writes the machine-readable report (the `BENCH_ingest.json` schema).
+fn cmd_ingest(path: &str, rest: &[String]) -> CliResult {
+    let mut config = IngestConfig::default();
+    let mut capacity = 65_536usize;
+    let mut policy = OverloadPolicy::Block;
+    let mut bench: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--lossy" => config = config.lossy(),
+            "--passthrough" => config = config.passthrough(),
+            "--buffer-capacity" => {
+                config = config.with_buffer_capacity(
+                    it.next()
+                        .ok_or("--buffer-capacity needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--buffer-capacity: {e}"))?,
+                );
+            }
+            "--batch" => {
+                config = config.with_batch_size(
+                    it.next()
+                        .ok_or("--batch needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--batch: {e}"))?,
+                );
+            }
+            "--channel-batches" => {
+                config = config.with_channel_batches(
+                    it.next()
+                        .ok_or("--channel-batches needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--channel-batches: {e}"))?,
+                );
+            }
+            "--capacity" => {
+                capacity = it
+                    .next()
+                    .ok_or("--capacity needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--policy" => {
+                policy = it.next().ok_or("--policy needs a value")?.parse()?;
+            }
+            "--bench" => {
+                bench = Some(it.next().ok_or("--bench needs a path")?.clone());
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    config = config.with_spawn(
+        SpawnConfig::new(PipelineConfig::default())
+            .with_capacity(capacity)
+            .with_overload(policy),
+    );
+    let file = fs::File::open(path)?;
+    let report = match ingest(std::io::BufReader::new(file), config) {
+        Ok(report) => report,
+        Err(IngestError::Pipeline { cause, stats }) => {
+            eprintln!("bgpscope: stem pipeline closed mid-ingest: {cause}");
+            eprintln!("{stats}");
+            eprintln!("ledger {}", stats.to_json());
+            return Err(PipelineClosed.into());
+        }
+        Err(e) => return Err(e.into()),
+    };
+    for (i, anomaly) in report.reports.iter().enumerate() {
+        print!("report {i}:\n{anomaly}");
+    }
+    if !report.digest.is_empty() {
+        println!("{}", report.digest);
+    }
+    print!("{report}");
+    println!("{}", report.stats);
+    println!("ledger {}", report.stats.to_json());
+    if let Some(out) = bench {
+        fs::write(&out, report.bench_json())?;
+        println!("wrote {out}");
+    }
     Ok(())
 }
 

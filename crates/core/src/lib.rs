@@ -49,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod ingest;
 pub mod rex;
 pub mod scenarios;
 pub mod workload;
@@ -85,6 +86,9 @@ pub mod prelude {
         ZipfTraffic,
     };
 
+    pub use crate::ingest::{
+        ingest, AugmentMode, IngestConfig, IngestError, IngestMode, IngestReport, StageStats,
+    };
     pub use crate::rex::Rex;
     pub use crate::scenarios::{Berkeley, IncidentStream, IspAnon};
     pub use crate::workload::ChurnGenerator;

@@ -71,7 +71,18 @@ impl From<std::io::Error> for MrtError {
     }
 }
 
-fn put_attrs(buf: &mut Vec<u8>, attrs: &PathAttributes) {
+fn put_attrs(buf: &mut Vec<u8>, attrs: &PathAttributes) -> Result<(), MrtError> {
+    // Both counts travel as u16 on the wire; a silent `as u16` here would
+    // round-trip to a *different* event (a 65 537-hop path re-reads as a
+    // 1-hop path followed by garbage), so overflow must refuse to encode.
+    let hop_count = attrs.as_path.hop_count();
+    if hop_count > usize::from(u16::MAX) {
+        return Err(MrtError::InvalidField("as-path hop count overflows u16"));
+    }
+    let community_count = attrs.communities.len();
+    if community_count > usize::from(u16::MAX) {
+        return Err(MrtError::InvalidField("community count overflows u16"));
+    }
     buf.put_u32(attrs.next_hop.as_u32());
     buf.put_u8(match attrs.origin {
         Origin::Igp => 0,
@@ -92,14 +103,15 @@ fn put_attrs(buf: &mut Vec<u8>, attrs: &PathAttributes) {
         }
         None => buf.put_u8(0),
     }
-    buf.put_u16(attrs.as_path.hop_count() as u16);
+    buf.put_u16(hop_count as u16);
     for asn in attrs.as_path.asns() {
         buf.put_u32(asn.as_u32());
     }
-    buf.put_u16(attrs.communities.len() as u16);
+    buf.put_u16(community_count as u16);
     for c in &attrs.communities {
         buf.put_u32(c.0);
     }
+    Ok(())
 }
 
 fn get_attrs(buf: &mut &[u8]) -> Result<PathAttributes, MrtError> {
@@ -161,26 +173,43 @@ fn get_attrs(buf: &mut &[u8]) -> Result<PathAttributes, MrtError> {
     Ok(attrs)
 }
 
-fn put_record(out: &mut Vec<u8>, time: Timestamp, rtype: u16, subtype: u16, body: &[u8]) {
-    out.put_u32((time.as_micros() / 1_000_000) as u32);
+pub(crate) fn put_record(
+    out: &mut Vec<u8>,
+    time: Timestamp,
+    rtype: u16,
+    subtype: u16,
+    body: &[u8],
+) -> Result<(), MrtError> {
+    // The header carries seconds and body length as u32; `as u32` would
+    // silently wrap a far-future timestamp or a giant body into a corrupt
+    // record that decodes to something else entirely.
+    let secs = time.as_micros() / 1_000_000;
+    if secs > u64::from(u32::MAX) {
+        return Err(MrtError::InvalidField("timestamp seconds overflow u32"));
+    }
+    if body.len() > u32::MAX as usize {
+        return Err(MrtError::InvalidField("record body length overflows u32"));
+    }
+    out.put_u32(secs as u32);
     out.put_u32((time.as_micros() % 1_000_000) as u32);
     out.put_u16(rtype);
     out.put_u16(subtype);
     out.put_u32(body.len() as u32);
     out.extend_from_slice(body);
+    Ok(())
 }
 
-fn encode_event(event: &Event, out: &mut Vec<u8>) {
+fn encode_event(event: &Event, out: &mut Vec<u8>) -> Result<(), MrtError> {
     let mut body = Vec::with_capacity(64);
     body.put_u32(event.peer.router_id().as_u32());
     body.put_u32(event.prefix.addr());
     body.put_u8(event.prefix.len());
-    put_attrs(&mut body, &event.attrs);
+    put_attrs(&mut body, &event.attrs)?;
     let subtype = match event.kind {
         EventKind::Announce => SUBTYPE_ANNOUNCE,
         EventKind::Withdraw => SUBTYPE_WITHDRAW,
     };
-    put_record(out, event.time, RECORD_TYPE_EVENT, subtype, &body);
+    put_record(out, event.time, RECORD_TYPE_EVENT, subtype, &body)
 }
 
 /// Writes an event stream in binary form.
@@ -189,11 +218,15 @@ fn encode_event(event: &Event, out: &mut Vec<u8>) {
 ///
 /// # Errors
 ///
-/// Returns [`MrtError::Io`] if the writer fails.
+/// Returns [`MrtError::Io`] if the writer fails, and
+/// [`MrtError::InvalidField`] on a value the container cannot carry (an
+/// AS path or community list longer than 65 535 entries, or a timestamp
+/// past `u32::MAX` seconds) — refusing to encode instead of silently
+/// truncating into a corrupt record.
 pub fn write_events<W: Write>(mut writer: W, stream: &EventStream) -> Result<(), MrtError> {
     let mut out = Vec::with_capacity(stream.len() * 72);
     for event in stream {
-        encode_event(event, &mut out);
+        encode_event(event, &mut out)?;
     }
     writer.write_all(&out)?;
     Ok(())
@@ -201,44 +234,60 @@ pub fn write_events<W: Write>(mut writer: W, stream: &EventStream) -> Result<(),
 
 /// Reads an event stream written by [`write_events`].
 ///
+/// Streams through a [`crate::stream::RecordReader`] in strict mode: memory
+/// stays bounded by the largest single record, never the archive size, so
+/// multi-GB dumps decode without being slurped whole.
+///
 /// # Errors
 ///
 /// Returns [`MrtError::Io`] on read failure, [`MrtError::Truncated`] on a
-/// short input, and the other variants on malformed records.
-pub fn read_events<R: Read>(mut reader: R) -> Result<EventStream, MrtError> {
-    let mut data = Vec::new();
-    reader.read_to_end(&mut data)?;
-    let mut buf: &[u8] = &data;
+/// short input, [`MrtError::InvalidField`] when a record body holds
+/// trailing bytes its event did not account for, and the other variants on
+/// malformed records.
+pub fn read_events<R: Read>(reader: R) -> Result<EventStream, MrtError> {
+    let mut records = crate::stream::RecordReader::new(reader);
     let mut stream = EventStream::new();
-    while buf.has_remaining() {
-        let (time, rtype, subtype, body_len) = read_header(&mut buf)?;
-        if buf.remaining() < body_len {
-            return Err(MrtError::Truncated);
-        }
-        let (mut body, rest) = buf.split_at(body_len);
-        buf = rest;
-        if rtype != RECORD_TYPE_EVENT {
-            return Err(MrtError::UnknownType(rtype));
-        }
-        let kind = match subtype {
-            SUBTYPE_ANNOUNCE => EventKind::Announce,
-            SUBTYPE_WITHDRAW => EventKind::Withdraw,
-            other => return Err(MrtError::UnknownSubtype(other)),
-        };
-        let (peer, prefix) = read_peer_prefix(&mut body)?;
-        let attrs = get_attrs(&mut body)?;
-        stream.push(Event {
-            time,
-            kind,
-            peer,
-            prefix,
-            attrs,
-        });
+    while let Some(event) = records.next_event()? {
+        stream.push(event);
     }
     Ok(stream)
 }
 
-fn read_header(buf: &mut &[u8]) -> Result<(Timestamp, u16, u16, usize), MrtError> {
+/// Decodes one event-record body (everything after the record header).
+pub(crate) fn decode_event_body(
+    time: Timestamp,
+    subtype: u16,
+    body: &mut &[u8],
+) -> Result<Event, MrtError> {
+    let kind = match subtype {
+        SUBTYPE_ANNOUNCE => EventKind::Announce,
+        SUBTYPE_WITHDRAW => EventKind::Withdraw,
+        other => return Err(MrtError::UnknownSubtype(other)),
+    };
+    let (peer, prefix) = read_peer_prefix(body)?;
+    let attrs = get_attrs(body)?;
+    Ok(Event {
+        time,
+        kind,
+        peer,
+        prefix,
+        attrs,
+    })
+}
+
+/// Decodes one RIB-entry-record body (everything after the record header).
+pub(crate) fn decode_rib_body(time: Timestamp, body: &mut &[u8]) -> Result<Route, MrtError> {
+    let (peer, prefix) = read_peer_prefix(body)?;
+    let attrs = get_attrs(body)?;
+    Ok(Route {
+        prefix,
+        peer,
+        attrs,
+        time,
+    })
+}
+
+pub(crate) fn read_header(buf: &mut &[u8]) -> Result<(Timestamp, u16, u16, usize), MrtError> {
     if buf.remaining() < 16 {
         return Err(MrtError::Truncated);
     }
@@ -284,8 +333,8 @@ where
         body.put_u32(route.peer.router_id().as_u32());
         body.put_u32(route.prefix.addr());
         body.put_u8(route.prefix.len());
-        put_attrs(&mut body, &route.attrs);
-        put_record(&mut out, route.time, RECORD_TYPE_RIB_ENTRY, 0, &body);
+        put_attrs(&mut body, &route.attrs)?;
+        put_record(&mut out, route.time, RECORD_TYPE_RIB_ENTRY, 0, &body)?;
     }
     writer.write_all(&out)?;
     Ok(())
@@ -293,32 +342,17 @@ where
 
 /// Reads a RIB snapshot written by [`write_rib`].
 ///
+/// Streams through a [`crate::stream::RecordReader`] in strict mode, like
+/// [`read_events`].
+///
 /// # Errors
 ///
 /// Same failure modes as [`read_events`].
-pub fn read_rib<R: Read>(mut reader: R) -> Result<Vec<Route>, MrtError> {
-    let mut data = Vec::new();
-    reader.read_to_end(&mut data)?;
-    let mut buf: &[u8] = &data;
+pub fn read_rib<R: Read>(reader: R) -> Result<Vec<Route>, MrtError> {
+    let mut records = crate::stream::RecordReader::new(reader);
     let mut routes = Vec::new();
-    while buf.has_remaining() {
-        let (time, rtype, _subtype, body_len) = read_header(&mut buf)?;
-        if buf.remaining() < body_len {
-            return Err(MrtError::Truncated);
-        }
-        let (mut body, rest) = buf.split_at(body_len);
-        buf = rest;
-        if rtype != RECORD_TYPE_RIB_ENTRY {
-            return Err(MrtError::UnknownType(rtype));
-        }
-        let (peer, prefix) = read_peer_prefix(&mut body)?;
-        let attrs = get_attrs(&mut body)?;
-        routes.push(Route {
-            prefix,
-            peer,
-            attrs,
-            time,
-        });
+    while let Some(route) = records.next_route()? {
+        routes.push(route);
     }
     Ok(routes)
 }
@@ -379,7 +413,7 @@ mod tests {
     #[test]
     fn unknown_type_rejected() {
         let mut buf = Vec::new();
-        put_record(&mut buf, Timestamp::ZERO, 0x9999, 0, &[]);
+        put_record(&mut buf, Timestamp::ZERO, 0x9999, 0, &[]).unwrap();
         assert!(matches!(
             read_events(buf.as_slice()).unwrap_err(),
             MrtError::UnknownType(0x9999)
@@ -389,7 +423,7 @@ mod tests {
     #[test]
     fn unknown_subtype_rejected() {
         let mut buf = Vec::new();
-        put_record(&mut buf, Timestamp::ZERO, RECORD_TYPE_EVENT, 9, &[0u8; 9]);
+        put_record(&mut buf, Timestamp::ZERO, RECORD_TYPE_EVENT, 9, &[0u8; 9]).unwrap();
         assert!(matches!(
             read_events(buf.as_slice()).unwrap_err(),
             MrtError::UnknownSubtype(9)
@@ -403,10 +437,110 @@ mod tests {
         body.put_u32(2);
         body.put_u8(99); // invalid mask length
         let mut buf = Vec::new();
-        put_record(&mut buf, Timestamp::ZERO, RECORD_TYPE_EVENT, 1, &body);
+        put_record(&mut buf, Timestamp::ZERO, RECORD_TYPE_EVENT, 1, &body).unwrap();
         assert!(matches!(
             read_events(buf.as_slice()).unwrap_err(),
             MrtError::InvalidField("prefix length")
+        ));
+    }
+
+    #[test]
+    fn oversized_as_path_refused_not_truncated() {
+        let mut e = sample_event(EventKind::Announce);
+        e.attrs.as_path = AsPath::from_u32s(1..=(u32::from(u16::MAX) + 1));
+        let mut stream = EventStream::new();
+        stream.push(e);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_events(&mut buf, &stream).unwrap_err(),
+            MrtError::InvalidField("as-path hop count overflows u16")
+        ));
+        // Nothing was written: no corrupt record reaches the archive.
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_community_list_refused_not_truncated() {
+        let mut e = sample_event(EventKind::Announce);
+        for c in 0..=u32::from(u16::MAX) {
+            e.attrs.add_community(Community(c));
+        }
+        let mut stream = EventStream::new();
+        stream.push(e);
+        assert!(matches!(
+            write_events(&mut Vec::new(), &stream).unwrap_err(),
+            MrtError::InvalidField("community count overflows u16")
+        ));
+    }
+
+    #[test]
+    fn far_future_timestamp_refused_not_wrapped() {
+        // u32::MAX seconds is ~year 2106; one second past it must refuse to
+        // encode rather than wrap around to 1970.
+        let mut e = sample_event(EventKind::Announce);
+        e.time = Timestamp::from_secs(u64::from(u32::MAX) + 1);
+        let mut stream = EventStream::new();
+        stream.push(e.clone());
+        assert!(matches!(
+            write_events(&mut Vec::new(), &stream).unwrap_err(),
+            MrtError::InvalidField("timestamp seconds overflow u32")
+        ));
+        // The last representable second still round-trips exactly.
+        e.time = Timestamp::from_micros(u64::from(u32::MAX) * 1_000_000 + 999_999);
+        let mut stream = EventStream::new();
+        stream.push(e.clone());
+        let mut buf = Vec::new();
+        write_events(&mut buf, &stream).unwrap();
+        assert_eq!(
+            read_events(buf.as_slice()).unwrap().events()[0].time,
+            e.time
+        );
+    }
+
+    #[test]
+    fn oversized_rib_attrs_refused() {
+        let mut route = Route {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            peer: PeerId::from_octets(1, 1, 1, 1),
+            attrs: PathAttributes::new(RouterId(0), AsPath::empty()),
+            time: Timestamp::from_secs(u64::from(u32::MAX) + 1),
+        };
+        assert!(matches!(
+            write_rib(&mut Vec::new(), [&route]).unwrap_err(),
+            MrtError::InvalidField("timestamp seconds overflow u32")
+        ));
+        route.time = Timestamp::ZERO;
+        route.attrs.as_path = AsPath::from_u32s(1..=(u32::from(u16::MAX) + 1));
+        assert!(matches!(
+            write_rib(&mut Vec::new(), [&route]).unwrap_err(),
+            MrtError::InvalidField("as-path hop count overflows u16")
+        ));
+    }
+
+    #[test]
+    fn trailing_body_bytes_rejected_in_strict_mode() {
+        let mut stream = EventStream::new();
+        stream.push(sample_event(EventKind::Announce));
+        let mut archive = Vec::new();
+        write_events(&mut archive, &stream).unwrap();
+        // Rebuild the single record with two junk bytes appended to its body.
+        let body_len = archive.len() - 16;
+        let mut body = archive[16..].to_vec();
+        body.extend_from_slice(&[0xAA, 0xBB]);
+        let mut corrupt = Vec::new();
+        put_record(
+            &mut corrupt,
+            stream.events()[0].time,
+            RECORD_TYPE_EVENT,
+            SUBTYPE_ANNOUNCE,
+            &body,
+        )
+        .unwrap();
+        assert_eq!(corrupt.len(), archive.len() + 2);
+        assert_eq!(body.len(), body_len + 2);
+        assert!(matches!(
+            read_events(corrupt.as_slice()).unwrap_err(),
+            MrtError::InvalidField("trailing body bytes")
         ));
     }
 

@@ -14,6 +14,13 @@
 //! Figure 4 listing (`W 128.32.1.3 NEXT_HOP: … ASPATH: … PREFIX: …`), so the
 //! figures' raw data can be loaded directly from text.
 //!
+//! Binary archives are decoded *incrementally*: [`stream::RecordReader`]
+//! refills a fixed-size buffer chunk by chunk and decodes records from
+//! borrowed slices, so memory stays constant no matter how large the
+//! archive is — [`read_events`] and [`read_rib`] are conveniences over it.
+//! A lossy variant skips unknown record types by their length prefix
+//! instead of aborting, for replaying imperfect real-world captures.
+//!
 //! # Example
 //!
 //! ```
@@ -37,12 +44,14 @@
 //! ```
 
 pub mod binary;
+pub mod stream;
 pub mod text;
 
 pub use binary::{
     read_events, read_rib, write_events, write_rib, MrtError, RECORD_TYPE_EVENT,
     RECORD_TYPE_RIB_ENTRY,
 };
+pub use stream::{RecordReader, DEFAULT_BUFFER_CAPACITY, MAX_RECORD_BODY};
 pub use text::{
     event_to_line, events_to_text, line_to_event, text_to_events, text_to_events_lossy,
     ParseLineError,

@@ -1,0 +1,178 @@
+//! Differential property tests for the streaming `RecordReader`:
+//!
+//! * on whole inputs the streaming reader — even with a tiny refill buffer
+//!   fed by a dribbling `io::Read` — is bit-identical to `read_events`;
+//! * splitting a valid archive at *every* byte offset either decodes the
+//!   complete-record prefix and resumes nothing (cut on a record boundary)
+//!   or returns `Truncated` after decoding exactly the complete records
+//!   before the cut — never a panic, never a wrong event, never another
+//!   error variant.
+
+use proptest::prelude::*;
+
+use bgpscope_bgp::{
+    AsPath, Community, Event, EventKind, EventStream, LocalPref, Med, Origin, PathAttributes,
+    PeerId, Prefix, RouterId, Timestamp,
+};
+use bgpscope_mrt::{read_events, write_events, MrtError, RecordReader};
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        any::<u32>(),
+        proptest::collection::vec(1u32..100_000, 0..8),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::collection::vec((any::<u16>(), any::<u16>()), 0..4),
+        0u8..3,
+    )
+        .prop_map(|(hop, path, med, lp, comms, origin)| {
+            let mut attrs = PathAttributes::new(RouterId(hop), AsPath::from_u32s(path));
+            attrs.med = med.map(Med);
+            attrs.local_pref = lp.map(LocalPref);
+            attrs.origin = match origin {
+                0 => Origin::Igp,
+                1 => Origin::Egp,
+                _ => Origin::Incomplete,
+            };
+            for (a, v) in comms {
+                attrs.add_community(Community::new(a, v));
+            }
+            attrs
+        })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u64..4_000_000_000_000u64,
+        any::<bool>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u8..=32,
+        arb_attrs(),
+    )
+        .prop_map(|(t, announce, peer, addr, len, attrs)| Event {
+            time: Timestamp::from_micros(t),
+            kind: if announce {
+                EventKind::Announce
+            } else {
+                EventKind::Withdraw
+            },
+            peer: PeerId(RouterId(peer)),
+            prefix: Prefix::new(addr, len),
+            attrs,
+        })
+}
+
+/// Byte offsets of record boundaries in a valid archive (0 and the offset
+/// after every record), straight from the length-prefixed headers.
+fn record_boundaries(buf: &[u8]) -> Vec<usize> {
+    let mut boundaries = vec![0];
+    let mut pos = 0;
+    while pos < buf.len() {
+        let body_len = u32::from_be_bytes(buf[pos + 12..pos + 16].try_into().unwrap()) as usize;
+        pos += 16 + body_len;
+        boundaries.push(pos);
+    }
+    assert_eq!(pos, buf.len(), "archive must end on a record boundary");
+    boundaries
+}
+
+/// An `io::Read` that yields at most `chunk` bytes per call, forcing the
+/// reader to resume records across refills.
+struct Trickle<'a> {
+    data: &'a [u8],
+    chunk: usize,
+}
+
+impl std::io::Read for Trickle<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(out.len()).min(self.data.len());
+        out[..n].copy_from_slice(&self.data[..n]);
+        self.data = &self.data[n..];
+        Ok(n)
+    }
+}
+
+proptest! {
+    /// Whole inputs: streaming decode with a tiny buffer over a dribbling
+    /// reader is bit-identical to `read_events` over the same archive.
+    #[test]
+    fn streaming_reader_matches_read_events_on_whole_inputs(
+        events in proptest::collection::vec(arb_event(), 0..24),
+        capacity in 16usize..96,
+        chunk in 1usize..17,
+    ) {
+        let stream: EventStream = events.into_iter().collect();
+        let mut archive = Vec::new();
+        write_events(&mut archive, &stream).unwrap();
+
+        let whole = read_events(archive.as_slice()).unwrap();
+        prop_assert_eq!(&whole, &stream);
+
+        let mut reader = RecordReader::with_capacity(
+            Trickle { data: &archive, chunk },
+            capacity,
+        );
+        let mut decoded = EventStream::new();
+        while let Some(event) = reader.next_event().unwrap() {
+            decoded.push(event);
+        }
+        prop_assert_eq!(decoded, stream);
+    }
+
+    /// Every split offset: the reader either finishes cleanly exactly at a
+    /// record boundary (having decoded the full record prefix) or reports
+    /// `Truncated` — after decoding every record that fit — and nothing
+    /// else. Never panics, never yields a wrong event.
+    #[test]
+    fn truncation_at_every_byte_offset_decodes_prefix_or_truncates(
+        events in proptest::collection::vec(arb_event(), 1..10),
+        capacity in 16usize..64,
+    ) {
+        let stream: EventStream = events.into_iter().collect();
+        let mut archive = Vec::new();
+        write_events(&mut archive, &stream).unwrap();
+        let boundaries = record_boundaries(&archive);
+
+        for cut in 0..=archive.len() {
+            // Complete records strictly before the cut.
+            let complete = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            let mut reader = RecordReader::with_capacity(&archive[..cut], capacity);
+            let mut decoded: Vec<Event> = Vec::new();
+            let outcome = loop {
+                match reader.next_event() {
+                    Ok(Some(event)) => decoded.push(event),
+                    Ok(None) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            prop_assert_eq!(
+                &decoded[..],
+                &stream.events()[..complete],
+                "cut at {} decoded a different record prefix",
+                cut
+            );
+            match outcome {
+                Ok(()) => prop_assert!(
+                    boundaries.contains(&cut),
+                    "clean finish at non-boundary cut {}",
+                    cut
+                ),
+                Err(e) => {
+                    prop_assert!(
+                        !boundaries.contains(&cut),
+                        "error at boundary cut {}: {}",
+                        cut,
+                        e
+                    );
+                    prop_assert!(
+                        matches!(e, MrtError::Truncated),
+                        "cut at {} gave {} instead of Truncated",
+                        cut,
+                        e
+                    );
+                }
+            }
+        }
+    }
+}
