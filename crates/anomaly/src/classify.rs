@@ -51,7 +51,7 @@ impl fmt::Display for AnomalyKind {
 }
 
 /// A classification with supporting evidence.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Verdict {
     /// The classified anomaly kind.
     pub kind: AnomalyKind,

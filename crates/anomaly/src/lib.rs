@@ -42,6 +42,7 @@ pub mod igp;
 pub mod pipeline;
 pub mod report;
 pub mod scan;
+pub mod shard;
 
 pub use classify::{classify, AnomalyKind, Verdict};
 pub use control::{
@@ -56,3 +57,7 @@ pub use pipeline::{
 };
 pub use report::{AnomalyReport, ReportDigest};
 pub use scan::{scan_deaggregation, scan_moas, DeaggregationBurst, MoasConflict};
+pub use shard::{
+    merge_incidents, GlobalIncident, ShardPanic, ShardRouter, ShardSnapshot, ShardedConfig,
+    ShardedPipeline, ShardedRun, ShardedStats,
+};

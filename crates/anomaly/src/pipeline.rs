@@ -1846,6 +1846,13 @@ impl PipelineHandle {
             // would be a bug in the supervisor loop proper.
             join.join().expect("supervisor thread panicked");
         }
+        // A supervisor that gave up leaves events stranded in the channel
+        // (this handle's receiver clone keeps it connected): count them as
+        // shed so even a crashed pipeline finishes with `queued == 0` and
+        // a closed ledger.
+        while self.steal_rx.try_recv().is_ok() {
+            self.shared.shed.fetch_add(1, Ordering::AcqRel);
+        }
         while let Ok(report) = self.reports.try_recv() {
             reports.push(report);
         }

@@ -16,6 +16,12 @@
 //! over every surviving event + cold `best_by` — what the pre-optimization
 //! loop, kept in `bgpscope_stemming::reference`, does). Both replays use the
 //! same survivor sets, so each round pair does identical logical work.
+//!
+//! The *shards* section runs the same clustered stream end to end through
+//! `ShardedPipeline` at 1, 2, and 4 shards — spawn, ingest, finish (with the
+//! conservative cross-shard merge) — reporting events/sec and verifying the
+//! global ledger closes on every pass. This is the coordination-overhead
+//! number for the sharded supervisor, not a kernel microbenchmark.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -30,6 +36,7 @@ use bgpscope_stemming::{
 
 const EVENTS: usize = 100_000;
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Rounds-section workload: enough clusters that the decomposition runs many
 /// rounds, enough events that a from-scratch recount is visibly expensive.
@@ -235,6 +242,52 @@ fn bench_rounds() -> RoundsReport {
     }
 }
 
+struct ShardRow {
+    shards: usize,
+    secs: f64,
+    events_per_sec: f64,
+    incidents: usize,
+}
+
+/// End-to-end sharded-pipeline throughput on the clustered stream: each pass
+/// spawns a fresh `ShardedPipeline`, ingests every event (Block policy, so
+/// nothing sheds and the ledger is deterministic), and finishes through the
+/// cross-shard merge. The ledger must close on every pass.
+fn bench_shards() -> Vec<ShardRow> {
+    let stream = clustered_stream(ROUND_EVENTS, CLUSTERS, Timestamp::from_secs(900));
+    SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let mut incidents = 0usize;
+            let secs = time_round(
+                || {
+                    let spawn = SpawnConfig::new(PipelineConfig::default());
+                    let mut pipeline = ShardedPipeline::spawn(ShardedConfig::new(shards, spawn));
+                    for event in stream.iter() {
+                        pipeline
+                            .ingest_event(event.clone())
+                            .expect("no shard quarantines in the bench");
+                    }
+                    let run = pipeline.finish();
+                    assert!(
+                        run.stats.accounts_exactly(),
+                        "sharded bench ledger must close: {}",
+                        run.stats.global
+                    );
+                    incidents = run.incidents.len();
+                },
+                || {},
+            );
+            ShardRow {
+                shards,
+                secs,
+                events_per_sec: stream.len() as f64 / secs,
+                incidents,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let stream = berkeley_stream(EVENTS, Timestamp::from_secs(900));
     let mut encoder = SequenceEncoder::new();
@@ -264,6 +317,23 @@ fn main() {
     }
 
     let rounds = bench_rounds();
+    let shard_rows = bench_shards();
+    let shard_lines: Vec<String> = shard_rows
+        .iter()
+        .map(|r| {
+            eprintln!(
+                "shards={}: {:.1} ms/pass, {:.0} events/sec, {} incident(s)",
+                r.shards,
+                r.secs * 1e3,
+                r.events_per_sec,
+                r.incidents
+            );
+            format!(
+                "      {{\"shards\": {}, \"secs_per_pass\": {:.6}, \"events_per_sec\": {:.0}, \"incidents\": {}}}",
+                r.shards, r.secs, r.events_per_sec, r.incidents
+            )
+        })
+        .collect();
     let round_rows: Vec<String> = rounds
         .rows
         .iter()
@@ -288,7 +358,7 @@ fn main() {
         .expect("4-thread row")
         .1;
     let json = format!(
-        "{{\n  \"benchmark\": \"stemming_counting_kernel\",\n  \"events\": {},\n  \"distinct_sequences\": {},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_threads\": {:.3},\n  \"rounds\": {{\n    \"events\": {ROUND_EVENTS},\n    \"clusters\": {CLUSTERS},\n    \"components\": {},\n    \"distinct_sequences\": {},\n    \"parallelism\": 1,\n    \"per_round\": [\n{}\n    ],\n    \"total_incremental_secs\": {:.6},\n    \"total_scratch_secs\": {:.6},\n    \"end_to_end_speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"stemming_counting_kernel\",\n  \"events\": {},\n  \"distinct_sequences\": {},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_threads\": {:.3},\n  \"rounds\": {{\n    \"events\": {ROUND_EVENTS},\n    \"clusters\": {CLUSTERS},\n    \"components\": {},\n    \"distinct_sequences\": {},\n    \"parallelism\": 1,\n    \"per_round\": [\n{}\n    ],\n    \"total_incremental_secs\": {:.6},\n    \"total_scratch_secs\": {:.6},\n    \"end_to_end_speedup\": {:.3}\n  }},\n  \"shards\": {{\n    \"events\": {ROUND_EVENTS},\n    \"clusters\": {CLUSTERS},\n    \"per_shard_count\": [\n{}\n    ]\n  }}\n}}\n",
         stream.len(),
         {
             let mut c = SubsequenceCounter::new(0);
@@ -305,6 +375,7 @@ fn main() {
         rounds.total_incremental_secs,
         rounds.total_scratch_secs,
         rounds.total_scratch_secs / rounds.total_incremental_secs,
+        shard_lines.join(",\n"),
     );
     std::fs::write("BENCH_stemming.json", &json).expect("write BENCH_stemming.json");
     println!("{json}");

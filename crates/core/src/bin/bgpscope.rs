@@ -9,9 +9,10 @@
 //!                   [--report-capacity N] [--report-policy P]
 //!                   [--checkpoint-interval N] [--checkpoint-spill FILE]
 //!                   [--adaptive [--target-depth N]]
+//!                   [--shards N] [--quarantine-after R]
 //! bgpscope ingest   <archive.mrt> [--lossy] [--passthrough]
 //!                   [--buffer-capacity BYTES] [--batch N] [--channel-batches N]
-//!                   [--capacity N] [--policy P] [--bench FILE]
+//!                   [--capacity N] [--policy P] [--shards N] [--bench FILE]
 //! bgpscope convert  <in.(mrt|txt)> <out.(mrt|txt)>
 //! bgpscope demo     <out.mrt>                     # write a demo incident
 //! ```
@@ -89,10 +90,13 @@ fn usage() -> ExitCode {
          \u{20}                 [--report-capacity N] [--report-policy block|drop-oldest|digest]\n\
          \u{20}                 [--checkpoint-interval N] [--checkpoint-spill FILE]\n\
          \u{20}                 [--adaptive [--target-depth N]]\n\
+         \u{20}                 [--shards N] [--quarantine-after R]\n\
          \u{20}                             replay through the supervised realtime pipeline\n\
+         \u{20}                             (--shards > 1 fans out over independently\n\
+         \u{20}                             supervised shards with per-shard quarantine)\n\
          ingest   <archive.mrt> [--lossy] [--passthrough] [--buffer-capacity BYTES]\n\
          \u{20}                 [--batch N] [--channel-batches N] [--capacity N]\n\
-         \u{20}                 [--policy P] [--bench FILE]\n\
+         \u{20}                 [--policy P] [--shards N] [--bench FILE]\n\
          \u{20}                             stream an archive through decode → augment → stem\n\
          convert  <in> <out>           convert between .mrt and text formats\n\
          demo     <out.mrt>            write a demo incident to analyze"
@@ -287,6 +291,8 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
     let mut spill: Option<std::path::PathBuf> = None;
     let mut adaptive = false;
     let mut target_depth: Option<u64> = None;
+    let mut shards = 1usize;
+    let mut quarantine_after: Option<u32> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -321,6 +327,21 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
                 spill = Some(it.next().ok_or("--checkpoint-spill needs a path")?.into());
             }
             "--adaptive" => adaptive = true,
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--quarantine-after" => {
+                quarantine_after = Some(
+                    it.next()
+                        .ok_or("--quarantine-after needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--quarantine-after: {e}"))?,
+                );
+            }
             "--target-depth" => {
                 target_depth = Some(
                     it.next()
@@ -340,6 +361,9 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
     if let Some(path) = spill {
         supervisor = supervisor.with_spill_path(path);
     }
+    if let Some(restarts) = quarantine_after {
+        supervisor = supervisor.with_max_restarts(restarts);
+    }
     let mut spawn = SpawnConfig::new(PipelineConfig::default())
         .with_capacity(capacity)
         .with_overload(policy)
@@ -350,6 +374,9 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
         // 0 means "derive from the queue capacity at spawn".
         spawn = spawn
             .with_adaptive(AdaptiveConfig::default().with_target_depth(target_depth.unwrap_or(0)));
+    }
+    if shards > 1 {
+        return run_sharded_pipeline(stream, parse_errors, spawn, shards);
     }
     let mut handle = RealtimeDetector::spawn(spawn);
     handle.record_parse_errors(parse_errors);
@@ -379,6 +406,63 @@ fn cmd_pipeline(path: &str, rest: &[String]) -> CliResult {
         reports.len()
     );
     println!("ledger {}", stats.to_json());
+    Ok(())
+}
+
+/// The sharded leg of `pipeline`: fan events out over independently
+/// supervised shards, quarantine any shard that exhausts its restart
+/// budget (its keyspace degrades, its losses stay on the ledger), and
+/// print the merged global incidents plus the extended per-shard ledger.
+/// Exit is nonzero only when *every* shard has quarantined.
+fn run_sharded_pipeline(
+    stream: EventStream,
+    parse_errors: usize,
+    spawn: SpawnConfig,
+    shards: usize,
+) -> CliResult {
+    let mut pipeline = ShardedPipeline::spawn(ShardedConfig::new(shards, spawn));
+    pipeline.record_parse_errors(parse_errors);
+    let total = stream.len();
+    for (i, event) in stream.events().iter().enumerate() {
+        if pipeline.ingest_event(event.clone()).is_err() {
+            eprintln!("bgpscope: every shard quarantined at event {i}/{total}");
+            for panic in pipeline.panic_causes() {
+                eprintln!(
+                    "  shard {}: {} ({} restart(s))",
+                    panic.shard, panic.cause, panic.restarts
+                );
+            }
+            let run = pipeline.finish();
+            eprintln!("{}", run.stats);
+            eprintln!("ledger {}", run.stats.to_json());
+            return Err(PipelineClosed.into());
+        }
+    }
+    let run = pipeline.finish();
+    for (i, incident) in run.incidents.iter().enumerate() {
+        print!("incident {i}:\n{incident}");
+    }
+    for (k, digest) in run.digests.iter().enumerate() {
+        if !digest.is_empty() {
+            println!("shard {k} {digest}");
+        }
+    }
+    for panic in &run.panics {
+        println!(
+            "shard {} panicked: {} ({} restart(s))",
+            panic.shard, panic.cause, panic.restarts
+        );
+    }
+    let quarantined = run.stats.quarantined_shards();
+    if !quarantined.is_empty() {
+        println!("quarantined shards: {quarantined:?} — their keyspace is degraded, losses counted on the ledger");
+    }
+    println!(
+        "{} global incident(s) over {shards} shards\n{}",
+        run.incidents.len(),
+        run.stats
+    );
+    println!("ledger {}", run.stats.to_json());
     Ok(())
 }
 
@@ -429,6 +513,14 @@ fn cmd_ingest(path: &str, rest: &[String]) -> CliResult {
             }
             "--policy" => {
                 policy = it.next().ok_or("--policy needs a value")?.parse()?;
+            }
+            "--shards" => {
+                config = config.with_shards(
+                    it.next()
+                        .ok_or("--shards needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
             }
             "--bench" => {
                 bench = Some(it.next().ok_or("--bench needs a path")?.clone());

@@ -28,7 +28,10 @@
 use std::io::Read;
 use std::time::Instant;
 
-use bgpscope_anomaly::{AnomalyReport, PipelineStats, RealtimeDetector, ReportDigest, SpawnConfig};
+use bgpscope_anomaly::{
+    AnomalyReport, PipelineClosed, PipelineHandle, PipelineStats, RealtimeDetector, ReportDigest,
+    ShardedConfig, ShardedPipeline, ShardedStats, SpawnConfig,
+};
 use bgpscope_bgp::{Event, EventKind, UpdateMessage};
 use bgpscope_collector::Collector;
 use bgpscope_mrt::{MrtError, RecordReader, DEFAULT_BUFFER_CAPACITY};
@@ -88,8 +91,14 @@ pub struct IngestConfig {
     pub batch_size: usize,
     /// Bounded decode→augment channel depth, in batches.
     pub channel_batches: usize,
-    /// Configuration for the supervised stem pipeline.
+    /// Configuration for the supervised stem pipeline (applied to every
+    /// shard when `shards > 1`).
     pub spawn: SpawnConfig,
+    /// Stem-stage shard count. `1` (the default) runs the single supervised
+    /// pipeline; `> 1` fans events out across that many independently
+    /// supervised shards ([`ShardedPipeline`]) keyed by (peer, prefix
+    /// range), with per-shard fault isolation and quarantine.
+    pub shards: usize,
 }
 
 impl Default for IngestConfig {
@@ -101,6 +110,7 @@ impl Default for IngestConfig {
             batch_size: 1024,
             channel_batches: 16,
             spawn: SpawnConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -139,6 +149,12 @@ impl IngestConfig {
     /// Sets the stem pipeline's spawn configuration.
     pub fn with_spawn(mut self, spawn: SpawnConfig) -> Self {
         self.spawn = spawn;
+        self
+    }
+
+    /// Sets the stem-stage shard count (min 1; 1 = unsharded).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -195,8 +211,12 @@ pub struct IngestReport {
     pub reports: Vec<AnomalyReport>,
     /// Digest of any reports shed under the report overload policy.
     pub digest: ReportDigest,
-    /// The stem pipeline's exact event ledger.
+    /// The stem pipeline's exact event ledger (the *global* ledger — sum of
+    /// the per-shard ledgers — when the stem stage was sharded).
     pub stats: PipelineStats,
+    /// Per-shard accounting when the stem stage ran sharded
+    /// (`IngestConfig::shards > 1`); `None` for the single pipeline.
+    pub shard_stats: Option<ShardedStats>,
     /// Decode-stage occupancy.
     pub decode: StageStats,
     /// Augment-stage occupancy.
@@ -236,7 +256,12 @@ impl IngestReport {
             self.decode.json(self.elapsed_secs),
             self.augment.json(self.elapsed_secs),
             self.stem.json(self.elapsed_secs),
-            self.stats.to_json(),
+            // A sharded run's ledger is the extended schema: the flat global
+            // ledger plus `shards[]` and `quarantined_shards`.
+            match &self.shard_stats {
+                Some(sharded) => sharded.to_json(),
+                None => self.stats.to_json(),
+            },
         )
     }
 }
@@ -383,6 +408,85 @@ fn decode_stage<R: Read>(
     }
 }
 
+/// The stem stage behind the augment loop: one supervised pipeline, or a
+/// sharded fan-in when [`IngestConfig::shards`] `> 1`.
+enum StemStage {
+    Single(PipelineHandle),
+    Sharded(Box<ShardedPipeline>),
+}
+
+impl StemStage {
+    fn spawn(spawn: SpawnConfig, shards: usize) -> Self {
+        if shards > 1 {
+            StemStage::Sharded(Box::new(ShardedPipeline::spawn(ShardedConfig::new(
+                shards, spawn,
+            ))))
+        } else {
+            StemStage::Single(RealtimeDetector::spawn(spawn))
+        }
+    }
+
+    /// Forwards one augmented event. `Err` means the stage is closed: the
+    /// single pipeline's supervisor gave up, or *every* shard quarantined.
+    fn ingest_event(&mut self, event: Event) -> Result<(), PipelineClosed> {
+        match self {
+            StemStage::Single(handle) => handle.ingest_event(event),
+            StemStage::Sharded(pipeline) => pipeline.ingest_event(event),
+        }
+    }
+
+    /// Why the stage closed: the single pipeline's last panic, or every
+    /// quarantined shard's root cause.
+    fn failure_cause(&self) -> String {
+        match self {
+            StemStage::Single(handle) => handle
+                .last_panic()
+                .unwrap_or_else(|| "no panic recorded".to_owned()),
+            StemStage::Sharded(pipeline) => {
+                let causes: Vec<String> = pipeline
+                    .panic_causes()
+                    .into_iter()
+                    .map(|p| format!("shard {}: {} ({} restart(s))", p.shard, p.cause, p.restarts))
+                    .collect();
+                if causes.is_empty() {
+                    "no panic recorded".to_owned()
+                } else {
+                    causes.join("; ")
+                }
+            }
+        }
+    }
+
+    /// Drains, joins, and returns the global view: the reports (a sharded
+    /// run's merged incidents), the (global) ledger, the unified digest,
+    /// and — for sharded runs — the full per-shard accounting.
+    fn finish(
+        self,
+    ) -> (
+        Vec<AnomalyReport>,
+        PipelineStats,
+        ReportDigest,
+        Option<ShardedStats>,
+    ) {
+        match self {
+            StemStage::Single(handle) => {
+                let (reports, stats, digest) = handle.finish_with_digest();
+                (reports, stats, digest, None)
+            }
+            StemStage::Sharded(pipeline) => {
+                let run = pipeline.finish();
+                let reports = run.incidents.into_iter().map(|i| i.report).collect();
+                let mut digest = ReportDigest::default();
+                for shard_digest in &run.digests {
+                    digest.merge(shard_digest);
+                }
+                let stats = run.stats.global;
+                (reports, stats, digest, Some(run.stats))
+            }
+        }
+    }
+}
+
 /// Peak resident set size in bytes (`VmHWM` from procfs), or 0 when
 /// unavailable (non-Linux, or procfs masked).
 pub fn peak_rss_bytes() -> u64 {
@@ -418,6 +522,7 @@ pub fn ingest<R: Read + Send>(
         batch_size,
         channel_batches,
         spawn,
+        shards,
     } = config;
     let batch_size = batch_size.max(1);
     let started = Instant::now();
@@ -427,7 +532,7 @@ pub fn ingest<R: Read + Send>(
         let decoder =
             scope.spawn(move || decode_stage(reader, mode, buffer_capacity, batch_size, tx));
 
-        let mut handle = RealtimeDetector::spawn(spawn);
+        let mut stem_stage = StemStage::spawn(spawn, shards);
         let mut collector = Collector::new();
         let mut stage = StageStats::default();
         let mut events_decoded = 0u64;
@@ -466,7 +571,7 @@ pub fn ingest<R: Read + Send>(
                 stage.busy_secs += start.elapsed().as_secs_f64();
                 for out in outputs {
                     let start = Instant::now();
-                    let pushed = handle.ingest_event(out);
+                    let pushed = stem_stage.ingest_event(out);
                     stage.blocked_out_secs += start.elapsed().as_secs_f64();
                     if pushed.is_err() {
                         closed = true;
@@ -482,10 +587,8 @@ pub fn ingest<R: Read + Send>(
         let decode = decoder.join().expect("decode stage panicked");
 
         if closed {
-            let cause = handle
-                .last_panic()
-                .unwrap_or_else(|| "no panic recorded".to_owned());
-            let (_reports, stats) = handle.finish();
+            let cause = stem_stage.failure_cause();
+            let (_reports, stats, _digest, _shards) = stem_stage.finish();
             return Err(IngestError::Pipeline {
                 cause,
                 stats: Box::new(stats),
@@ -494,12 +597,12 @@ pub fn ingest<R: Read + Send>(
         if let Err(e) = decode.result {
             // The archive is bad; tear the stem pipeline down cleanly so
             // its threads don't outlive the scope, then surface the error.
-            let _ = handle.finish();
+            let _ = stem_stage.finish();
             return Err(IngestError::Decode(e));
         }
 
         let drain_start = Instant::now();
-        let (reports, stats, digest) = handle.finish_with_digest();
+        let (reports, stats, digest, shard_stats) = stem_stage.finish();
         let drain = drain_start.elapsed().as_secs_f64();
         let elapsed = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
 
@@ -522,6 +625,7 @@ pub fn ingest<R: Read + Send>(
             reports,
             digest,
             stats,
+            shard_stats,
             decode: decode.stats,
             augment: stage,
             stem,
@@ -591,10 +695,59 @@ mod tests {
         assert_eq!(report.withdraws_filtered, 0);
         assert!(report.stats.accounts_exactly(), "ledger must balance");
         assert_eq!(report.stats.ingested, 1000);
+        assert!(report.shard_stats.is_none());
         assert!(report.events_per_sec > 0.0);
         let json = report.bench_json();
         assert!(json.contains("\"events_per_sec\""), "json: {json}");
         assert!(json.contains("\"ledger\""), "json: {json}");
+        assert!(!json.contains("\"quarantined_shards\""), "json: {json}");
+    }
+
+    #[test]
+    fn sharded_ingest_closes_the_global_ledger_and_extends_bench_json() {
+        // Distinct top octets so the (peer, prefix-range) router actually
+        // spreads the keyspace over the shards.
+        let peer = PeerId::from_octets(10, 0, 0, 1);
+        let mut stream = EventStream::new();
+        for i in 0..400u32 {
+            let prefix = Prefix::from_octets((i % 8 + 1) as u8 * 20, (i / 8) as u8, 0, 0, 24);
+            stream.push(Event::announce(
+                Timestamp::from_secs(u64::from(i) * 2),
+                peer,
+                prefix,
+                attrs(&[701, 1299 + i]),
+            ));
+            stream.push(Event::withdraw(
+                Timestamp::from_secs(u64::from(i) * 2 + 1),
+                peer,
+                prefix,
+                attrs(&[701, 1299 + i]),
+            ));
+        }
+        let archive = archive_of(&stream);
+        let report = ingest(
+            archive.as_slice(),
+            IngestConfig::default().with_shards(4).with_batch_size(64),
+        )
+        .unwrap();
+        assert_eq!(report.events_forwarded, 800);
+        assert_eq!(report.stats.ingested, 800);
+        let sharded = report.shard_stats.as_ref().expect("sharded run");
+        assert_eq!(sharded.shards.len(), 4);
+        assert!(sharded.accounts_exactly(), "global + per-shard ledgers");
+        assert!(sharded.quarantined_shards().is_empty());
+        assert!(
+            sharded
+                .shards
+                .iter()
+                .filter(|s| s.stats.ingested > 0)
+                .count()
+                > 1,
+            "events must spread across shards: {sharded}"
+        );
+        let json = report.bench_json();
+        assert!(json.contains("\"shards\":["), "json: {json}");
+        assert!(json.contains("\"quarantined_shards\":[]"), "json: {json}");
     }
 
     #[test]

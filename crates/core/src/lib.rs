@@ -59,11 +59,12 @@ pub use rex::Rex;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use bgpscope_anomaly::{
-        classify, enrich_with_igp, scan_deaggregation, scan_moas, AdaptiveConfig, AnomalyKind,
-        AnomalyReport, ControllerConfig, DegradeConfig, FidelityLevel, OverloadPolicy,
-        PanicInjection, PipelineCheckpoint, PipelineClosed, PipelineConfig, PipelineHandle,
-        PipelineStats, RealtimeDetector, ReportDigest, ReportPolicy, SpawnConfig, SupervisorConfig,
-        WeightedEvent,
+        classify, enrich_with_igp, merge_incidents, scan_deaggregation, scan_moas, AdaptiveConfig,
+        AnomalyKind, AnomalyReport, ControllerConfig, DegradeConfig, FidelityLevel, GlobalIncident,
+        OverloadPolicy, PanicInjection, PipelineCheckpoint, PipelineClosed, PipelineConfig,
+        PipelineHandle, PipelineStats, RealtimeDetector, ReportDigest, ReportPolicy, ShardPanic,
+        ShardRouter, ShardSnapshot, ShardedConfig, ShardedPipeline, ShardedRun, ShardedStats,
+        SpawnConfig, SupervisorConfig, WeightedEvent,
     };
     pub use bgpscope_bgp::{
         AsPath, Asn, Community, Event, EventKind, EventStream, LocalPref, Med, PathAttributes,

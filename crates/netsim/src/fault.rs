@@ -64,6 +64,11 @@ pub struct ConsumerPanic {
     pub after_events: u64,
     /// How many times the panic fires before the fault burns out.
     pub repeat: u32,
+    /// Which shard of a sharded pipeline the panic targets (`None` = the
+    /// single consumer, or every shard). The soak harness maps this onto
+    /// the sharded pipeline's per-shard fault hook so one specific shard
+    /// dies deterministically while its siblings stay healthy.
+    pub shard: Option<usize>,
 }
 
 /// A report-subscriber stall: the harness reads no reports for `duration`
@@ -189,6 +194,26 @@ impl FaultPlan {
         self.consumer_panic = Some(ConsumerPanic {
             after_events,
             repeat,
+            shard: None,
+        });
+        self
+    }
+
+    /// Adds a consumer-kill injection aimed at one shard of a sharded
+    /// pipeline: only shard `shard_key`'s detector panics (after every
+    /// `after_events` fresh events it pulls, `repeat` times); sibling
+    /// shards run fault-free.
+    #[must_use]
+    pub fn with_targeted_consumer_panic(
+        mut self,
+        shard_key: usize,
+        after_events: u64,
+        repeat: u32,
+    ) -> Self {
+        self.consumer_panic = Some(ConsumerPanic {
+            after_events,
+            repeat,
+            shard: Some(shard_key),
         });
         self
     }
@@ -420,6 +445,12 @@ mod tests {
         let panic = plan.consumer_panic.expect("armed");
         assert_eq!(panic.after_events, 1_000);
         assert_eq!(panic.repeat, 2);
+        assert_eq!(panic.shard, None, "untargeted by default");
+        let targeted = FaultPlan::storm_soak(1).with_targeted_consumer_panic(2, 500, 3);
+        let panic = targeted.consumer_panic.expect("armed");
+        assert_eq!(panic.shard, Some(2));
+        assert_eq!(panic.after_events, 500);
+        assert_eq!(panic.repeat, 3);
         let stall = plan.subscriber_stall.expect("armed");
         assert_eq!(stall.duration, Duration::from_millis(250));
         // The delivery-fault plan itself is untouched by the new injections.
