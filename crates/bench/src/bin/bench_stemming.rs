@@ -288,6 +288,50 @@ fn bench_shards() -> Vec<ShardRow> {
         .collect()
 }
 
+struct NetsimRow {
+    ases: usize,
+    wall_secs: f64,
+    deliveries: u64,
+    deliveries_per_sec: f64,
+    quiesce_simulated_secs: f64,
+    feed_updates: usize,
+}
+
+/// Discrete-event engine throughput on generated Gao-Rexford hierarchies:
+/// build the topology, converge 4 stub originations under a 5 s MRAI, then
+/// withdraw one and run the storm to quiescence. Reports wall-clock
+/// deliveries/sec (the engine's event rate) and the *simulated* quiescence
+/// time of the withdrawal storm — the realism number the convergence tests
+/// assert on, here on the record.
+fn bench_netsim(ases: usize) -> NetsimRow {
+    let start = Instant::now();
+    let (mut sim, topo) = TopologyGen::new(0xbe_2005, ases)
+        .protocol(ProtocolConfig::legacy().with_mrai(MraiConfig::uniform(Timestamp::from_secs(5))))
+        .build();
+    let origins = topo.sample_stubs(4, 7);
+    let prefixes: Vec<Prefix> = (0..origins.len())
+        .map(|i| Prefix::from_octets(30, i as u8, 0, 0, 16))
+        .collect();
+    for (i, (&origin, &px)) in origins.iter().zip(&prefixes).enumerate() {
+        sim.originate(origin, px, Timestamp::from_millis(i as u64 * 50));
+    }
+    let perturb_at = Timestamp::from_secs(400);
+    sim.withdraw(origins[0], prefixes[0], perturb_at);
+    sim.run_to_completion();
+    let stats = sim.stats();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let feed_updates = sim.finish().collector_feed.len();
+    NetsimRow {
+        ases,
+        wall_secs,
+        deliveries: stats.messages_delivered,
+        deliveries_per_sec: stats.messages_delivered as f64 / wall_secs,
+        quiesce_simulated_secs: stats.last_delivery.saturating_since(perturb_at).as_micros() as f64
+            / 1e6,
+        feed_updates,
+    }
+}
+
 fn main() {
     let stream = berkeley_stream(EVENTS, Timestamp::from_secs(900));
     let mut encoder = SequenceEncoder::new();
@@ -318,6 +362,23 @@ fn main() {
 
     let rounds = bench_rounds();
     let shard_rows = bench_shards();
+    let netsim_rows: Vec<NetsimRow> = [1_000usize, 10_000]
+        .iter()
+        .map(|&a| bench_netsim(a))
+        .collect();
+    let netsim_lines: Vec<String> = netsim_rows
+        .iter()
+        .map(|r| {
+            eprintln!(
+                "netsim ases={}: {:.2}s wall, {} deliveries ({:.0}/sec), quiesce {:.3}s simulated, {} feed updates",
+                r.ases, r.wall_secs, r.deliveries, r.deliveries_per_sec, r.quiesce_simulated_secs, r.feed_updates
+            );
+            format!(
+                "      {{\"ases\": {}, \"wall_secs\": {:.3}, \"deliveries\": {}, \"deliveries_per_sec\": {:.0}, \"quiesce_simulated_secs\": {:.3}, \"feed_updates\": {}}}",
+                r.ases, r.wall_secs, r.deliveries, r.deliveries_per_sec, r.quiesce_simulated_secs, r.feed_updates
+            )
+        })
+        .collect();
     let shard_lines: Vec<String> = shard_rows
         .iter()
         .map(|r| {
@@ -358,7 +419,7 @@ fn main() {
         .expect("4-thread row")
         .1;
     let json = format!(
-        "{{\n  \"benchmark\": \"stemming_counting_kernel\",\n  \"events\": {},\n  \"distinct_sequences\": {},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_threads\": {:.3},\n  \"rounds\": {{\n    \"events\": {ROUND_EVENTS},\n    \"clusters\": {CLUSTERS},\n    \"components\": {},\n    \"distinct_sequences\": {},\n    \"parallelism\": 1,\n    \"per_round\": [\n{}\n    ],\n    \"total_incremental_secs\": {:.6},\n    \"total_scratch_secs\": {:.6},\n    \"end_to_end_speedup\": {:.3}\n  }},\n  \"shards\": {{\n    \"events\": {ROUND_EVENTS},\n    \"clusters\": {CLUSTERS},\n    \"per_shard_count\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"stemming_counting_kernel\",\n  \"events\": {},\n  \"distinct_sequences\": {},\n  \"host_cpus\": {host_cpus},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_threads\": {:.3},\n  \"rounds\": {{\n    \"events\": {ROUND_EVENTS},\n    \"clusters\": {CLUSTERS},\n    \"components\": {},\n    \"distinct_sequences\": {},\n    \"parallelism\": 1,\n    \"per_round\": [\n{}\n    ],\n    \"total_incremental_secs\": {:.6},\n    \"total_scratch_secs\": {:.6},\n    \"end_to_end_speedup\": {:.3}\n  }},\n  \"shards\": {{\n    \"events\": {ROUND_EVENTS},\n    \"clusters\": {CLUSTERS},\n    \"per_shard_count\": [\n{}\n    ]\n  }},\n  \"netsim\": {{\n    \"mrai_secs\": 5,\n    \"per_scale\": [\n{}\n    ]\n  }}\n}}\n",
         stream.len(),
         {
             let mut c = SubsequenceCounter::new(0);
@@ -376,6 +437,7 @@ fn main() {
         rounds.total_scratch_secs,
         rounds.total_scratch_secs / rounds.total_incremental_secs,
         shard_lines.join(",\n"),
+        netsim_lines.join(",\n"),
     );
     std::fs::write("BENCH_stemming.json", &json).expect("write BENCH_stemming.json");
     println!("{json}");

@@ -73,8 +73,9 @@ pub mod prelude {
     pub use bgpscope_collector::{Collector, EventRateMeter, RouteHistory, SyncedView};
     pub use bgpscope_mrt::{read_events, text_to_events, text_to_events_lossy, write_events};
     pub use bgpscope_netsim::{
-        ConsumerPanic, FaultPlan, FeedStall, FlapSchedule, Injector, SessionKind, Sim, SimBuilder,
-        StormSpec, SubscriberStall,
+        ConsumerPanic, FaultPlan, FeedStall, FlapSchedule, FsmConfig, GeneratedTopology, Injector,
+        MraiConfig, PeerRelation, ProtocolConfig, SessionFlapSpec, SessionKind, SessionState, Sim,
+        SimBuilder, StormSpec, SubscriberStall, TopologyGen,
     };
     pub use bgpscope_policy::{correlate_component, parse_config, PolicyEngine};
     pub use bgpscope_stemming::{RankingRule, Stemming, StemmingConfig};

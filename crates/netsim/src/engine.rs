@@ -1,4 +1,28 @@
 //! The discrete-event engine.
+//!
+//! # Determinism contract (the two-RNG design)
+//!
+//! Two independent random sources, both derived from the builder seed, and
+//! neither may perturb the other:
+//!
+//! - **Delivery jitter** comes from a *per-session* stream: each
+//!   `(from, to)` pair lazily seeds its own [`StdRng`] from
+//!   `splitmix64(jitter_seed ^ mix(from, to))`. Adding a fault (or any
+//!   traffic) on one session cannot shift the jitter draws — and therefore
+//!   the delivery timestamps — of any other session.
+//! - **Tie-shuffle** of equal-timestamp events uses a *keyed hash*, not a
+//!   sequential stream: each queued event gets a tie key
+//!   `splitmix64(schedule_seed ^ h(time) ^ h(channel))` where the channel
+//!   identifies the actor pair (session, router×prefix, …). Equal-time
+//!   events from different channels are ordered pseudorandomly by seed;
+//!   equal-time events on the *same* channel fall back to FIFO push order.
+//!   Because the key depends only on (seed, time, channel) — never on how
+//!   many events were pushed before — editing a fault plan reorders nothing
+//!   it doesn't touch.
+//!
+//! Same seed ⇒ bit-identical collector feeds, IGP logs, and stats. A
+//! different `schedule_seed` reorders equal-time ties but preserves
+//! per-session FIFO (TCP ordering is enforced by `session_clock` on top).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -9,7 +33,16 @@ use rand::{Rng, SeedableRng};
 use bgpscope_bgp::{PathAttributes, Prefix, RouterId, Timestamp, UpdateMessage};
 use bgpscope_igp::{IgpEvent, IgpEventKind, IgpEventLog};
 
-use crate::router::Router;
+use crate::config::ProtocolConfig;
+use crate::router::{Outbound, Router, SessionState};
+
+/// SplitMix64: cheap, well-mixed seed derivation / keyed hashing.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A scheduled action.
 #[derive(Debug, Clone)]
@@ -23,9 +56,12 @@ pub(crate) enum Action {
         /// The message.
         msg: UpdateMessage,
     },
-    /// Tear a session down (both directions).
+    /// Fail the link between two routers. Instant FSM: both sides drop to
+    /// Idle and withdraw immediately. Timed FSM: the link goes silent and
+    /// each Established side notices only when its hold timer expires.
     SessionDown(RouterId, RouterId),
-    /// (Re-)establish a session; both sides exchange full tables.
+    /// Restore the link. Instant FSM: both sides re-establish and exchange
+    /// tables immediately. Timed FSM: Idle sides re-run the connect path.
     SessionUp(RouterId, RouterId),
     /// Locally originate (`Some`) or withdraw (`None`) a route at a router.
     Originate {
@@ -45,18 +81,80 @@ pub(crate) enum Action {
         /// The new cost.
         cost: u32,
     },
+    /// MRAI timer expiry: flush staged changes on the `from → to` session.
+    MraiExpire {
+        /// Sender side owning the timer.
+        from: RouterId,
+        /// The paced session's remote router.
+        to: RouterId,
+    },
+    /// Hold-timer expiry: `router` notices its session to `peer` is dead.
+    HoldExpire {
+        /// The detecting side.
+        router: RouterId,
+        /// The remote router.
+        peer: RouterId,
+        /// Session epoch at scheduling time (stale events no-op).
+        epoch: u64,
+    },
+    /// Connect-retry timer: `router` moves Idle → Connect toward `peer`.
+    ConnectRetry {
+        /// The retrying side.
+        router: RouterId,
+        /// The remote router.
+        peer: RouterId,
+        /// Session epoch at scheduling time (stale events no-op).
+        epoch: u64,
+    },
+    /// Establishment completes: both sides go Established and exchange
+    /// full tables (MRAI-paced where configured).
+    Establish {
+        /// One side.
+        a: RouterId,
+        /// The other side.
+        b: RouterId,
+        /// `a`'s session epoch at scheduling time.
+        epoch_a: u64,
+        /// `b`'s session epoch at scheduling time.
+        epoch_b: u64,
+    },
+}
+
+/// The tie-shuffle channel of an action: equal-time events on different
+/// channels get independent pseudorandom tie keys; same-channel events keep
+/// FIFO push order (which per-session TCP ordering requires anyway).
+fn action_channel(action: &Action) -> u64 {
+    fn chan(tag: u64, a: u32, b: u32) -> u64 {
+        (tag << 56) ^ ((a as u64) << 24) ^ (b as u64)
+    }
+    match action {
+        Action::Deliver { from, to, .. } => chan(1, from.0, to.0),
+        Action::SessionDown(a, b) => chan(2, a.0, b.0),
+        Action::SessionUp(a, b) => chan(3, a.0, b.0),
+        Action::Originate { router, prefix, .. } => {
+            chan(4, router.0, prefix.addr() ^ (prefix.len() as u32))
+        }
+        Action::IgpMetricChange {
+            router, nexthop, ..
+        } => chan(5, router.0, nexthop.0),
+        Action::MraiExpire { from, to } => chan(6, from.0, to.0),
+        Action::HoldExpire { router, peer, .. } => chan(7, router.0, peer.0),
+        Action::ConnectRetry { router, peer, .. } => chan(8, router.0, peer.0),
+        Action::Establish { a, b, .. } => chan(9, a.0, b.0),
+    }
 }
 
 #[derive(Debug, Clone)]
 struct Queued {
     time: Timestamp,
+    tie: u64,
     seq: u64,
     action: Action,
 }
 
 impl PartialEq for Queued {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.tie == other.tie && self.seq == other.seq
     }
 }
 impl Eq for Queued {}
@@ -67,7 +165,7 @@ impl PartialOrd for Queued {
 }
 impl Ord for Queued {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.tie, self.seq).cmp(&(other.time, other.tie, other.seq))
     }
 }
 
@@ -78,12 +176,25 @@ pub struct SimStats {
     pub messages_delivered: u64,
     /// Prefix-level changes inside those messages.
     pub prefix_changes: u64,
-    /// Messages that arrived on a down session and were dropped.
+    /// Messages that arrived on a down session (or dead link) and were
+    /// dropped.
     pub dropped_on_down_session: u64,
-    /// Session down events executed.
+    /// Link/session down events executed.
     pub session_downs: u64,
-    /// Session up events executed.
+    /// Session establishments (instant ups, or timed FSM completions).
     pub session_ups: u64,
+    /// MRAI flushes that put at least one UPDATE on the wire.
+    pub mrai_flushes: u64,
+    /// Per-prefix changes absorbed inside an MRAI window before reaching
+    /// the wire (last-writer-wins overwrites and net-no-change cancels).
+    pub mrai_coalesced: u64,
+    /// Hold-timer expiries (timed FSM down-detections).
+    pub hold_expiries: u64,
+    /// Idle → Connect transitions (timed FSM reconnect attempts).
+    pub connect_retries: u64,
+    /// Time of the last delivered message — the quiescence point of a run
+    /// (trailing timer no-ops don't move it).
+    pub last_delivery: Timestamp,
 }
 
 /// What a finished run hands back.
@@ -106,7 +217,19 @@ pub struct Sim {
     queue: BinaryHeap<Reverse<Queued>>,
     now: Timestamp,
     seq: u64,
-    rng: StdRng,
+    /// Seed for the per-session delivery-jitter streams.
+    jitter_seed: u64,
+    /// Seed for the equal-time tie-shuffle keys.
+    schedule_seed: u64,
+    /// Lazily created per-session jitter streams (see module docs).
+    jitter_rngs: HashMap<(RouterId, RouterId), StdRng>,
+    /// Protocol timing (FSM timers, MRAI interval jitter). Per-session MRAI
+    /// intervals are baked into the sessions at build time.
+    pub protocol: ProtocolConfig,
+    /// Physical link state per normalized router pair. Under the timed FSM
+    /// this is what `SessionDown`/`SessionUp` toggle; sessions only notice
+    /// through their timers.
+    link_up: HashMap<(RouterId, RouterId), bool>,
     /// Max extra per-delivery jitter in microseconds.
     pub jitter_max_micros: u64,
     /// Delay from a monitored router to the collector.
@@ -120,16 +243,38 @@ pub struct Sim {
     /// Safety cap on deliveries (a runaway oscillation is *supposed* to be
     /// unbounded; the cap bounds the experiment).
     pub max_deliveries: u64,
+    /// When true, every delivered message is appended to the delivery log
+    /// (off by default: the log is for conformance/determinism tests).
+    pub record_deliveries: bool,
+    delivery_log: Vec<(RouterId, RouterId, UpdateMessage, Timestamp)>,
+}
+
+fn link_key(a: RouterId, b: RouterId) -> (RouterId, RouterId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl Sim {
     pub(crate) fn from_parts(routers: HashMap<RouterId, Router>, seed: u64) -> Self {
+        let mut link_up = HashMap::new();
+        for (id, router) in &routers {
+            for peer in router.sessions.keys() {
+                link_up.insert(link_key(*id, *peer), true);
+            }
+        }
         Sim {
             routers,
             queue: BinaryHeap::new(),
             now: Timestamp::ZERO,
             seq: 0,
-            rng: StdRng::seed_from_u64(seed),
+            jitter_seed: splitmix64(seed ^ 0x6a69_7474_6572_0001), // "jitter"
+            schedule_seed: splitmix64(seed ^ 0x7363_6865_6475_0002), // "schedu"
+            jitter_rngs: HashMap::new(),
+            protocol: ProtocolConfig::default(),
+            link_up,
             jitter_max_micros: 2_000,
             collector_delay: Timestamp::from_millis(1),
             collector_feed: Vec::new(),
@@ -137,6 +282,8 @@ impl Sim {
             stats: SimStats::default(),
             session_clock: HashMap::new(),
             max_deliveries: 50_000_000,
+            record_deliveries: false,
+            delivery_log: Vec::new(),
         }
     }
 
@@ -160,10 +307,25 @@ impl Sim {
         self.stats
     }
 
+    /// Replaces the tie-shuffle seed (determinism experiments): equal-time
+    /// ties reorder, per-session FIFO and jitter draws stay fixed.
+    pub fn reseed_schedule(&mut self, seed: u64) {
+        self.schedule_seed = splitmix64(seed ^ 0x7363_6865_6475_0002);
+    }
+
+    /// Whether the physical link between `a` and `b` is up.
+    pub fn link_is_up(&self, a: RouterId, b: RouterId) -> bool {
+        *self.link_up.get(&link_key(a, b)).unwrap_or(&true)
+    }
+
     fn push(&mut self, time: Timestamp, action: Action) {
         self.seq += 1;
+        let tie = splitmix64(
+            self.schedule_seed ^ splitmix64(time.as_micros()) ^ splitmix64(action_channel(&action)),
+        );
         self.queue.push(Reverse(Queued {
             time,
+            tie,
             seq: self.seq,
             action,
         }));
@@ -217,12 +379,12 @@ impl Sim {
         );
     }
 
-    /// Schedules a session teardown.
+    /// Schedules a link failure / session teardown.
     pub fn session_down(&mut self, a: RouterId, b: RouterId, at: Timestamp) {
         self.push(at, Action::SessionDown(a, b));
     }
 
-    /// Schedules a session (re-)establishment.
+    /// Schedules a link restoration / session (re-)establishment.
     pub fn session_up(&mut self, a: RouterId, b: RouterId, at: Timestamp) {
         self.push(at, Action::SessionUp(a, b));
     }
@@ -245,7 +407,37 @@ impl Sim {
         );
     }
 
-    fn schedule_outbound(&mut self, from: RouterId, out: Vec<(Option<RouterId>, UpdateMessage)>) {
+    /// Per-session delivery jitter draw (see the determinism contract).
+    fn draw_jitter(&mut self, from: RouterId, to: RouterId) -> u64 {
+        if self.jitter_max_micros == 0 {
+            return 0;
+        }
+        let max = self.jitter_max_micros;
+        let seed = self.jitter_seed;
+        let rng = self.jitter_rngs.entry((from, to)).or_insert_with(|| {
+            StdRng::seed_from_u64(splitmix64(seed ^ ((from.0 as u64) << 32) ^ (to.0 as u64)))
+        });
+        rng.gen_range(0..=max)
+    }
+
+    /// The next MRAI interval for a session: `base` shortened by up to
+    /// `jitter_per_mille` (drawn from the session's own jitter stream, so
+    /// MRAI jitter is session-local too).
+    fn draw_mrai_interval(&mut self, from: RouterId, to: RouterId, base: Timestamp) -> Timestamp {
+        let jpm = self.protocol.mrai.jitter_per_mille as u64;
+        if jpm == 0 || base == Timestamp::ZERO {
+            return base;
+        }
+        let span = base.as_micros() * jpm / 1000;
+        let seed = self.jitter_seed;
+        let rng = self.jitter_rngs.entry((from, to)).or_insert_with(|| {
+            StdRng::seed_from_u64(splitmix64(seed ^ ((from.0 as u64) << 32) ^ (to.0 as u64)))
+        });
+        let cut = rng.gen_range(0..=span);
+        Timestamp(base.as_micros() - cut)
+    }
+
+    fn schedule_outbound(&mut self, from: RouterId, out: Vec<Outbound>) {
         for (dest, msg) in out {
             match dest {
                 None => {
@@ -259,11 +451,7 @@ impl Sim {
                         .and_then(|r| r.sessions.get(&to))
                         .map(|s| s.delay)
                         .unwrap_or(Timestamp::from_millis(10));
-                    let jitter = if self.jitter_max_micros == 0 {
-                        0
-                    } else {
-                        self.rng.gen_range(0..=self.jitter_max_micros)
-                    };
+                    let jitter = self.draw_jitter(from, to);
                     let mut t = self.now + delay + Timestamp::from_micros(jitter);
                     // FIFO per session: never deliver before an earlier
                     // message on the same (from, to) pair (TCP ordering).
@@ -279,28 +467,222 @@ impl Sim {
         }
     }
 
+    /// Routes a router's output to the wire, then services any sessions it
+    /// left with staged MRAI changes (flush now or arm the timer).
+    fn dispatch(&mut self, from: RouterId, out: Vec<Outbound>) {
+        self.schedule_outbound(from, out);
+        self.service_mrai(from);
+    }
+
+    /// Drains a router's dirty-session list: flush immediately where the
+    /// MRAI window is open, otherwise arm a single `MraiExpire` timer.
+    fn service_mrai(&mut self, id: RouterId) {
+        let (dirty, coalesced) = match self.routers.get_mut(&id) {
+            Some(r) => (r.take_dirty_sessions(), r.take_coalesced()),
+            None => return,
+        };
+        self.stats.mrai_coalesced += coalesced;
+        for peer in dirty {
+            let Some(s) = self.routers.get(&id).and_then(|r| r.sessions.get(&peer)) else {
+                continue;
+            };
+            if s.pending.is_empty() || s.mrai_timer_armed {
+                continue;
+            }
+            let next_allowed = s.next_allowed;
+            if self.now >= next_allowed {
+                self.flush_mrai(id, peer);
+            } else {
+                if let Some(s) = self
+                    .routers
+                    .get_mut(&id)
+                    .and_then(|r| r.sessions.get_mut(&peer))
+                {
+                    s.mrai_timer_armed = true;
+                }
+                self.push(next_allowed, Action::MraiExpire { from: id, to: peer });
+            }
+        }
+    }
+
+    /// Flushes a paced session now: batched UPDATEs onto the wire, next
+    /// window stamped with a (possibly jittered) fresh interval.
+    fn flush_mrai(&mut self, from: RouterId, to: RouterId) {
+        let msgs = self
+            .routers
+            .get_mut(&from)
+            .map(|r| r.flush_session(to))
+            .unwrap_or_default();
+        if msgs.is_empty() {
+            return;
+        }
+        let base = self
+            .routers
+            .get(&from)
+            .and_then(|r| r.sessions.get(&to))
+            .map(|s| s.mrai)
+            .unwrap_or(Timestamp::ZERO);
+        let interval = self.draw_mrai_interval(from, to, base);
+        if let Some(s) = self
+            .routers
+            .get_mut(&from)
+            .and_then(|r| r.sessions.get_mut(&to))
+        {
+            s.next_allowed = self.now + interval;
+        }
+        self.stats.mrai_flushes += 1;
+        let out: Vec<Outbound> = msgs.into_iter().map(|m| (Some(to), m)).collect();
+        self.schedule_outbound(from, out);
+    }
+
+    /// Instant-FSM link failure: both sides drop, withdraw, done — the
+    /// legacy `SessionDown` semantics, bit-for-bit.
+    fn session_down_instant(&mut self, a: RouterId, b: RouterId) {
+        let mut any = false;
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(r) = self.routers.get_mut(&x) {
+                if let Some(s) = r.sessions.get_mut(&y) {
+                    if s.is_established() {
+                        s.state = SessionState::Idle;
+                        s.epoch += 1;
+                        any = true;
+                    }
+                    s.adj_rib_out.clear();
+                    s.pending.clear();
+                }
+            }
+        }
+        self.link_up.insert(link_key(a, b), false);
+        if !any {
+            return;
+        }
+        self.stats.session_downs += 1;
+        let now = self.now;
+        for (x, y) in [(a, b), (b, a)] {
+            let out = self
+                .routers
+                .get_mut(&x)
+                .map(|r| r.drop_peer_routes(y, now))
+                .unwrap_or_default();
+            self.dispatch(x, out);
+        }
+    }
+
+    /// Timed-FSM link failure: the link goes silent; Established sides
+    /// notice at hold-timer expiry.
+    fn session_down_timed(&mut self, a: RouterId, b: RouterId) {
+        if !self.link_is_up(a, b) {
+            return;
+        }
+        let session_exists = self
+            .routers
+            .get(&a)
+            .is_some_and(|r| r.sessions.contains_key(&b));
+        self.link_up.insert(link_key(a, b), false);
+        if !session_exists {
+            return;
+        }
+        self.stats.session_downs += 1;
+        let hold = self.protocol.fsm.hold_time;
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(s) = self.routers.get(&x).and_then(|r| r.sessions.get(&y)) {
+                if s.is_established() {
+                    let epoch = s.epoch;
+                    self.push(
+                        self.now + hold,
+                        Action::HoldExpire {
+                            router: x,
+                            peer: y,
+                            epoch,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Instant-FSM link restoration: both sides re-establish and exchange
+    /// tables immediately — the legacy `SessionUp` semantics.
+    fn session_up_instant(&mut self, a: RouterId, b: RouterId) {
+        let mut any = false;
+        let now = self.now;
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(r) = self.routers.get_mut(&x) {
+                if let Some(s) = r.sessions.get_mut(&y) {
+                    if !s.is_established() {
+                        s.state = SessionState::Established;
+                        s.epoch += 1;
+                        s.next_allowed = now;
+                        any = true;
+                    }
+                }
+                r.clear_adj_out(y);
+            }
+        }
+        self.link_up.insert(link_key(a, b), true);
+        if !any {
+            return;
+        }
+        self.stats.session_ups += 1;
+        for (x, y) in [(a, b), (b, a)] {
+            let out = self
+                .routers
+                .get_mut(&x)
+                .map(|r| r.full_table_to(y, now))
+                .unwrap_or_default();
+            self.dispatch(x, out);
+        }
+    }
+
+    /// Timed-FSM link restoration: kick Idle sides onto the connect path.
+    fn session_up_timed(&mut self, a: RouterId, b: RouterId) {
+        if self.link_is_up(a, b) {
+            return;
+        }
+        self.link_up.insert(link_key(a, b), true);
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(s) = self.routers.get(&x).and_then(|r| r.sessions.get(&y)) {
+                if s.state == SessionState::Idle {
+                    let epoch = s.epoch;
+                    self.push(
+                        self.now,
+                        Action::ConnectRetry {
+                            router: x,
+                            peer: y,
+                            epoch,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
     fn execute(&mut self, action: Action) {
         match action {
             Action::Deliver { from, to, msg } => {
-                let session_up = self
+                let session_open = self
                     .routers
                     .get(&to)
                     .and_then(|r| r.sessions.get(&from))
-                    .map(|s| s.up)
+                    .map(|s| s.is_established())
                     .unwrap_or(false);
-                if !session_up {
+                if !session_open || !self.link_is_up(from, to) {
                     self.stats.dropped_on_down_session += 1;
                     return;
                 }
                 self.stats.messages_delivered += 1;
                 self.stats.prefix_changes += msg.change_count() as u64;
+                self.stats.last_delivery = self.now;
+                if self.record_deliveries {
+                    self.delivery_log.push((from, to, msg.clone(), self.now));
+                }
                 let now = self.now;
                 let out = self
                     .routers
                     .get_mut(&to)
                     .expect("router exists")
                     .process_update(from, &msg, now);
-                self.schedule_outbound(to, out);
+                self.dispatch(to, out);
                 // maximum-prefix fuse: the receiving side tears the session
                 // down if the sender exceeds its configured limit.
                 let router = self.routers.get(&to).expect("router exists");
@@ -311,57 +693,17 @@ impl Sim {
                 }
             }
             Action::SessionDown(a, b) => {
-                let mut any = false;
-                for (x, y) in [(a, b), (b, a)] {
-                    if let Some(r) = self.routers.get_mut(&x) {
-                        if let Some(s) = r.sessions.get_mut(&y) {
-                            if s.up {
-                                s.up = false;
-                                any = true;
-                            }
-                            s.adj_rib_out.clear();
-                        }
-                    }
-                }
-                if !any {
-                    return;
-                }
-                self.stats.session_downs += 1;
-                let now = self.now;
-                for (x, y) in [(a, b), (b, a)] {
-                    let out = self
-                        .routers
-                        .get_mut(&x)
-                        .map(|r| r.drop_peer_routes(y, now))
-                        .unwrap_or_default();
-                    self.schedule_outbound(x, out);
+                if self.protocol.fsm.instant {
+                    self.session_down_instant(a, b);
+                } else {
+                    self.session_down_timed(a, b);
                 }
             }
             Action::SessionUp(a, b) => {
-                let mut any = false;
-                for (x, y) in [(a, b), (b, a)] {
-                    if let Some(r) = self.routers.get_mut(&x) {
-                        if let Some(s) = r.sessions.get_mut(&y) {
-                            if !s.up {
-                                s.up = true;
-                                any = true;
-                            }
-                        }
-                        r.clear_adj_out(y);
-                    }
-                }
-                if !any {
-                    return;
-                }
-                self.stats.session_ups += 1;
-                let now = self.now;
-                for (x, y) in [(a, b), (b, a)] {
-                    let out = self
-                        .routers
-                        .get_mut(&x)
-                        .map(|r| r.full_table_to(y, now))
-                        .unwrap_or_default();
-                    self.schedule_outbound(x, out);
+                if self.protocol.fsm.instant {
+                    self.session_up_instant(a, b);
+                } else {
+                    self.session_up_timed(a, b);
                 }
             }
             Action::Originate {
@@ -375,7 +717,7 @@ impl Sim {
                     .get_mut(&router)
                     .map(|r| r.originate(prefix, attrs, now))
                     .unwrap_or_default();
-                self.schedule_outbound(router, out);
+                self.dispatch(router, out);
             }
             Action::IgpMetricChange {
                 router,
@@ -411,7 +753,169 @@ impl Sim {
                     let old_map: std::collections::HashMap<_, _> = old.into_iter().collect();
                     let touched: Vec<Prefix> = old_map.keys().copied().collect();
                     let out = r.emit_changes_public(&touched, &old_map, now);
-                    self.schedule_outbound(router, out);
+                    self.dispatch(router, out);
+                }
+            }
+            Action::MraiExpire { from, to } => {
+                let Some(s) = self
+                    .routers
+                    .get_mut(&from)
+                    .and_then(|r| r.sessions.get_mut(&to))
+                else {
+                    return;
+                };
+                s.mrai_timer_armed = false;
+                if s.pending.is_empty() {
+                    return;
+                }
+                let next_allowed = s.next_allowed;
+                if self.now >= next_allowed {
+                    self.flush_mrai(from, to);
+                } else {
+                    // Stale timer from a previous session incarnation:
+                    // re-arm for the real window edge.
+                    s.mrai_timer_armed = true;
+                    self.push(next_allowed, Action::MraiExpire { from, to });
+                }
+            }
+            Action::HoldExpire {
+                router,
+                peer,
+                epoch,
+            } => {
+                let Some(s) = self
+                    .routers
+                    .get_mut(&router)
+                    .and_then(|r| r.sessions.get_mut(&peer))
+                else {
+                    return;
+                };
+                if s.epoch != epoch || !s.is_established() {
+                    return;
+                }
+                s.state = SessionState::Idle;
+                s.epoch += 1;
+                s.adj_rib_out.clear();
+                s.pending.clear();
+                let new_epoch = s.epoch;
+                self.stats.hold_expiries += 1;
+                // The withdrawal storm emerges here, at detection time.
+                let now = self.now;
+                let out = self
+                    .routers
+                    .get_mut(&router)
+                    .map(|r| r.drop_peer_routes(peer, now))
+                    .unwrap_or_default();
+                self.dispatch(router, out);
+                self.push(
+                    self.now + self.protocol.fsm.connect_retry,
+                    Action::ConnectRetry {
+                        router,
+                        peer,
+                        epoch: new_epoch,
+                    },
+                );
+            }
+            Action::ConnectRetry {
+                router,
+                peer,
+                epoch,
+            } => {
+                let Some(s) = self
+                    .routers
+                    .get_mut(&router)
+                    .and_then(|r| r.sessions.get_mut(&peer))
+                else {
+                    return;
+                };
+                if s.epoch != epoch || s.state != SessionState::Idle {
+                    return;
+                }
+                if !self.link_is_up(router, peer) {
+                    // Stay Idle; the next SessionUp kicks us (no reschedule,
+                    // so a permanently dead link can't livelock the queue).
+                    return;
+                }
+                let s = self
+                    .routers
+                    .get_mut(&router)
+                    .and_then(|r| r.sessions.get_mut(&peer))
+                    .expect("session exists");
+                s.state = SessionState::Connect;
+                s.epoch += 1;
+                let my_epoch = s.epoch;
+                self.stats.connect_retries += 1;
+                let peer_side = self
+                    .routers
+                    .get(&peer)
+                    .and_then(|r| r.sessions.get(&router));
+                if let Some(ps) = peer_side {
+                    if ps.state == SessionState::Connect {
+                        let peer_epoch = ps.epoch;
+                        self.push(
+                            self.now + self.protocol.fsm.establish_delay,
+                            Action::Establish {
+                                a: router,
+                                b: peer,
+                                epoch_a: my_epoch,
+                                epoch_b: peer_epoch,
+                            },
+                        );
+                    }
+                }
+            }
+            Action::Establish {
+                a,
+                b,
+                epoch_a,
+                epoch_b,
+            } => {
+                let side_ok = |sim: &Sim, x: RouterId, y: RouterId, epoch: u64| {
+                    sim.routers
+                        .get(&x)
+                        .and_then(|r| r.sessions.get(&y))
+                        .is_some_and(|s| s.epoch == epoch && s.state == SessionState::Connect)
+                };
+                let both_ok = side_ok(self, a, b, epoch_a) && side_ok(self, b, a, epoch_b);
+                if !both_ok || !self.link_is_up(a, b) {
+                    // A failed establishment parks Connect sides back in
+                    // Idle so a later SessionUp can kick them again.
+                    if !self.link_is_up(a, b) {
+                        for (x, y) in [(a, b), (b, a)] {
+                            if let Some(s) = self
+                                .routers
+                                .get_mut(&x)
+                                .and_then(|r| r.sessions.get_mut(&y))
+                            {
+                                if s.state == SessionState::Connect {
+                                    s.state = SessionState::Idle;
+                                    s.epoch += 1;
+                                }
+                            }
+                        }
+                    }
+                    return;
+                }
+                let now = self.now;
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Some(s) = self
+                        .routers
+                        .get_mut(&x)
+                        .and_then(|r| r.sessions.get_mut(&y))
+                    {
+                        s.state = SessionState::Established;
+                        s.epoch += 1;
+                        s.next_allowed = now;
+                    }
+                }
+                self.stats.session_ups += 1;
+                for (x, y) in [(a, b), (b, a)] {
+                    let out = self
+                        .routers
+                        .get_mut(&x)
+                        .map(|r| r.full_table_to(y, now))
+                        .unwrap_or_default();
+                    self.dispatch(x, out);
                 }
             }
         }
@@ -448,6 +952,12 @@ impl Sim {
         feed
     }
 
+    /// Drains the per-message delivery log (empty unless
+    /// [`Sim::record_deliveries`] was set before the run).
+    pub fn take_delivery_log(&mut self) -> Vec<(RouterId, RouterId, UpdateMessage, Timestamp)> {
+        std::mem::take(&mut self.delivery_log)
+    }
+
     /// Consumes the sim, returning all outputs.
     pub fn finish(mut self) -> SimOutput {
         let feed = self.take_collector_feed();
@@ -462,6 +972,7 @@ impl Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{FsmConfig, MraiConfig, ProtocolConfig};
     use crate::router::SessionKind;
     use crate::topology::SimBuilder;
     use bgpscope_bgp::Asn;
@@ -602,7 +1113,7 @@ mod tests {
         assert_eq!(sim.stats().session_downs, 1);
         // Session dead: receiver dropped everything it had heard.
         assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 0);
-        assert!(!sim.router(rid(2)).unwrap().sessions[&rid(1)].up);
+        assert!(!sim.router(rid(2)).unwrap().sessions[&rid(1)].is_established());
     }
 
     #[test]
@@ -748,5 +1259,116 @@ mod tests {
             .filter(|(m, _)| m.attrs.as_ref().is_some_and(|a| a.next_hop == rid(8)))
             .count();
         assert!(flips >= 1);
+    }
+
+    /// MRAI pacing on a single session: rapid re-announcements of the same
+    /// prefix coalesce and flushes stay at least one interval apart.
+    #[test]
+    fn mrai_paces_and_coalesces_rapid_changes() {
+        let mrai = Timestamp::from_secs(10);
+        let mut sim = SimBuilder::new(7)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .protocol(ProtocolConfig::legacy().with_mrai(MraiConfig::uniform(mrai)))
+            .build();
+        sim.jitter_max_micros = 0;
+        sim.record_deliveries = true;
+        let prefix = p("10.0.0.0/8");
+        // Five attribute-changing re-originations inside one window.
+        for i in 0..5u32 {
+            let attrs = PathAttributes::new(rid(1), bgpscope_bgp::AsPath::empty()).with_med(i);
+            sim.originate_with(
+                rid(1),
+                prefix,
+                attrs,
+                Timestamp::from_millis(100 * i as u64),
+            );
+        }
+        sim.run_to_completion();
+        let log = sim.take_delivery_log();
+        // First change flushes immediately (window open at t=0); the other
+        // four coalesce into a single follow-up flush one interval later.
+        assert_eq!(log.len(), 2, "{log:?}");
+        assert!(log[1].3.saturating_since(log[0].3) >= mrai);
+        // The follow-up carries the last-written state (MED 4).
+        assert_eq!(
+            log[1].2.attrs.as_ref().unwrap().med,
+            Some(bgpscope_bgp::Med(4))
+        );
+        assert_eq!(sim.stats().mrai_flushes, 2);
+        assert!(sim.stats().mrai_coalesced >= 3);
+    }
+
+    /// Timed FSM: a link failure is detected at hold-timer expiry (the
+    /// withdrawal storm emerges then), and the session re-establishes after
+    /// retry + establish delays once the link is back.
+    #[test]
+    fn timed_fsm_detects_and_reestablishes() {
+        let fsm = FsmConfig::timed(
+            Timestamp::from_secs(9),
+            Timestamp::from_secs(2),
+            Timestamp::from_millis(500),
+        );
+        let mut sim = SimBuilder::new(8)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .monitor(rid(2))
+            .protocol(ProtocolConfig::legacy().with_fsm(fsm))
+            .build();
+        sim.originate(rid(1), p("10.0.0.0/8"), Timestamp::ZERO);
+        // Link fails at t=20s and recovers at t=40s (after detection at 29s).
+        sim.session_down(rid(1), rid(2), Timestamp::from_secs(20));
+        sim.session_up(rid(1), rid(2), Timestamp::from_secs(40));
+        sim.run_to_completion();
+
+        assert_eq!(sim.stats().session_downs, 1);
+        assert_eq!(sim.stats().hold_expiries, 2, "both sides detect");
+        assert_eq!(sim.stats().session_ups, 1, "re-established once");
+        assert!(sim.router(rid(2)).unwrap().sessions[&rid(1)].is_established());
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 1);
+
+        let feed = sim.take_collector_feed();
+        // Withdrawal appears at detection (~29s), not at failure (20s).
+        let withdraw_t = feed
+            .iter()
+            .find(|(m, _)| !m.withdrawn.is_empty())
+            .map(|&(_, t)| t)
+            .expect("collector saw the withdrawal");
+        assert!(withdraw_t >= Timestamp::from_secs(29), "{withdraw_t:?}");
+        // Re-announcement only after the link returns (40s) + establish
+        // delay (40.5s) + session delay.
+        let reannounce_t = feed
+            .iter()
+            .filter(|(m, _)| !m.nlri.is_empty())
+            .map(|&(_, t)| t)
+            .max()
+            .expect("collector saw the re-announcement");
+        assert!(
+            reannounce_t >= Timestamp::from_millis(40_500),
+            "{reannounce_t:?}"
+        );
+    }
+
+    /// Under the timed FSM, messages sent into a silently failed link are
+    /// lost during the undetected window.
+    #[test]
+    fn timed_fsm_drops_messages_on_dead_link() {
+        let mut sim = SimBuilder::new(9)
+            .router(rid(1), Asn(1))
+            .router(rid(2), Asn(2))
+            .session(rid(1), rid(2), SessionKind::Ebgp)
+            .protocol(ProtocolConfig::legacy().with_fsm(FsmConfig::realistic()))
+            .build();
+        // Link dies at t=1s; an origination at t=2s is sent (sender still
+        // believes the session is up) but never arrives.
+        sim.session_down(rid(1), rid(2), Timestamp::from_secs(1));
+        sim.originate(rid(1), p("10.0.0.0/8"), Timestamp::from_secs(2));
+        sim.run_until(Timestamp::from_secs(5));
+        assert!(sim.stats().dropped_on_down_session >= 1);
+        assert_eq!(sim.router(rid(2)).unwrap().rib.prefix_count(), 0);
+        // Both sides still *believe* the session is up (hold not expired).
+        assert!(sim.router(rid(2)).unwrap().sessions[&rid(1)].is_established());
     }
 }

@@ -16,9 +16,27 @@ use rand::{Rng, SeedableRng};
 
 use bgpscope_bgp::{AsPath, Asn, PathAttributes, Prefix, RouterId, Timestamp, UpdateMessage};
 
+use crate::engine::Sim;
 use crate::inject::{FlapSchedule, Injector};
 use crate::router::SessionKind;
 use crate::topology::SimBuilder;
+
+/// One session-flap fault: the `a`–`b` session goes down and comes back
+/// per `schedule`. Unlike [`StormSpec`] (which flaps *routes* on the plan's
+/// own built-in topology), a session flap names real routers, so a plan of
+/// these can be pointed at any externally built simulation — e.g. a
+/// [`crate::TopologyGen`] hierarchy — via [`FaultPlan::apply_to`]. Several
+/// plans can target one sim with overlapping schedules; each keeps its own
+/// identity for assertions about which storm family recovered.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionFlapSpec {
+    /// One session endpoint.
+    pub a: RouterId,
+    /// The other endpoint.
+    pub b: RouterId,
+    /// When and how often the session flaps.
+    pub schedule: FlapSchedule,
+}
 
 /// One update storm: `prefixes` routes flapped through a full
 /// announce/withdraw cycle `cycles` times, starting at `start`.
@@ -90,6 +108,10 @@ pub struct FaultPlan {
     pub baseline_prefixes: u8,
     /// Update storms, injected via [`Injector::route_flap`].
     pub storms: Vec<StormSpec>,
+    /// Session flaps against *named* routers, applied to an external sim
+    /// via [`FaultPlan::apply_to`] (and to [`FaultPlan::build_feed`]'s
+    /// internal topology when both endpoints exist there).
+    pub session_flaps: Vec<SessionFlapSpec>,
     /// Producer stalls, applied by the replay harness (see
     /// [`FaultPlan::stall_at`]).
     pub stalls: Vec<FeedStall>,
@@ -132,6 +154,7 @@ impl FaultPlan {
                     flapper: 0,
                 },
             ],
+            session_flaps: Vec::new(),
             stalls: vec![
                 FeedStall {
                     after_events: 500,
@@ -176,6 +199,7 @@ impl FaultPlan {
                     flapper: 1,
                 },
             ],
+            session_flaps: Vec::new(),
             stalls: vec![FeedStall {
                 after_events: 800,
                 pause: Duration::from_millis(30),
@@ -184,6 +208,44 @@ impl FaultPlan {
             corrupt_per_mille: 20,
             consumer_panic: None,
             subscriber_stall: None,
+        }
+    }
+
+    /// A blank plan: no storms, no delivery faults. The starting point for
+    /// session-flap plans aimed at an external topology via
+    /// [`FaultPlan::apply_to`].
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            baseline_prefixes: 0,
+            storms: Vec::new(),
+            session_flaps: Vec::new(),
+            stalls: Vec::new(),
+            reorder_span: 0,
+            corrupt_per_mille: 0,
+            consumer_panic: None,
+            subscriber_stall: None,
+        }
+    }
+
+    /// Adds a session flap on the `a`–`b` session.
+    #[must_use]
+    pub fn with_session_flap(mut self, a: RouterId, b: RouterId, schedule: FlapSchedule) -> Self {
+        self.session_flaps.push(SessionFlapSpec { a, b, schedule });
+        self
+    }
+
+    /// Schedules this plan's session flaps into an externally built sim.
+    /// Several plans may target the same sim with overlapping schedules —
+    /// the emergent storms interleave on the wire but keep disjoint
+    /// prefix/stem footprints when the flapped sessions are disjoint.
+    /// Flaps naming routers the sim does not have are skipped.
+    pub fn apply_to(&self, sim: &mut Sim) {
+        for flap in &self.session_flaps {
+            if sim.router(flap.a).is_none() || sim.router(flap.b).is_none() {
+                continue;
+            }
+            Injector::session_flap(sim, flap.a, flap.b, flap.schedule);
         }
     }
 
@@ -280,6 +342,7 @@ impl FaultPlan {
                 );
             }
         }
+        self.apply_to(&mut sim);
         sim.run_to_completion();
         let mut feed = sim.take_collector_feed();
         self.apply_reorder(&mut feed);
@@ -432,6 +495,52 @@ mod tests {
         let plan = FaultPlan::storm_soak(1);
         assert!(plan.stall_at(500).is_some());
         assert!(plan.stall_at(501).is_none());
+    }
+
+    #[test]
+    fn overlapping_flap_plans_drive_one_external_sim() {
+        use crate::topogen::TopologyGen;
+
+        let (mut sim, topo) = TopologyGen::new(21, 80).build();
+        let victims = topo.sample_stubs(2, 99);
+        let mut plans = Vec::new();
+        for (i, &victim) in victims.iter().enumerate() {
+            let provider = topo.providers_of(victim)[0];
+            plans.push(FaultPlan::empty(100 + i as u64).with_session_flap(
+                victim,
+                provider,
+                FlapSchedule {
+                    start: Timestamp::from_secs(10 + 5 * i as u64),
+                    period: Timestamp::from_secs(20),
+                    down_time: Timestamp::from_secs(8),
+                    count: 3,
+                },
+            ));
+        }
+        // Both victims originate a route so the flaps have something to tear
+        // down; the two schedules overlap in time.
+        for (i, &victim) in victims.iter().enumerate() {
+            sim.originate(
+                victim,
+                Prefix::from_octets(40, i as u8, 0, 0, 16),
+                Timestamp::ZERO,
+            );
+        }
+        for plan in &plans {
+            plan.apply_to(&mut sim);
+        }
+        sim.run_to_completion();
+        let stats = sim.stats();
+        assert_eq!(stats.session_downs, 6, "3 cycles from each plan");
+        assert_eq!(stats.session_ups, 6);
+        // A flap naming unknown routers is skipped, not fatal.
+        FaultPlan::empty(0)
+            .with_session_flap(
+                RouterId::from_octets(203, 0, 113, 1),
+                RouterId::from_octets(203, 0, 113, 2),
+                FlapSchedule::customer_flap(Timestamp::ZERO, 1),
+            )
+            .apply_to(&mut sim);
     }
 
     #[test]

@@ -40,14 +40,18 @@
 //! # }
 //! ```
 
+pub mod config;
 pub mod engine;
 pub mod fault;
 pub mod inject;
 pub mod router;
+pub mod topogen;
 pub mod topology;
 
+pub use config::{FsmConfig, MraiConfig, PeerRelation, ProtocolConfig};
 pub use engine::{Sim, SimOutput, SimStats};
-pub use fault::{ConsumerPanic, FaultPlan, FeedStall, StormSpec, SubscriberStall};
+pub use fault::{ConsumerPanic, FaultPlan, FeedStall, SessionFlapSpec, StormSpec, SubscriberStall};
 pub use inject::{FlapSchedule, Injector};
-pub use router::{Router, SessionKind};
+pub use router::{Router, SessionKind, SessionState};
+pub use topogen::{GeneratedTopology, TopologyGen};
 pub use topology::SimBuilder;

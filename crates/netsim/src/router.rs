@@ -1,12 +1,14 @@
 //! The simulated BGP router.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bgpscope_bgp::{
     AsPath, Asn, DecisionConfig, DecisionProcess, FlapDamper, LocRib, PathAttributes, PeerId,
     Prefix, Route, RouterId, Timestamp, UpdateMessage,
 };
 use bgpscope_policy::{ConfigDocument, PolicyEngine, PolicyOutcome};
+
+use crate::config::PeerRelation;
 
 /// How a session relates the two routers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +38,20 @@ enum LearnedFrom {
     IbgpNonClient,
 }
 
+/// BGP session FSM state (the minimal three-state subset of RFC 4271).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SessionState {
+    /// Down and not trying: a detected failure parks here until the
+    /// connect-retry timer (or a link recovery) kicks the session.
+    Idle,
+    /// Trying to (re)connect; becomes Established once both sides are in
+    /// Connect and the establish delay elapses.
+    Connect,
+    /// Routes flow. Sessions start here (the sim boots converged-adjacent).
+    #[default]
+    Established,
+}
+
 /// One (outbound view of a) BGP session.
 #[derive(Debug, Clone)]
 pub struct Session {
@@ -43,15 +59,37 @@ pub struct Session {
     pub peer: RouterId,
     /// Relationship.
     pub kind: SessionKind,
-    /// Whether the session is currently established.
-    pub up: bool,
+    /// FSM state. Under the legacy-instant FSM this toggles directly
+    /// between Established and Idle; the timed FSM walks the full machine.
+    pub state: SessionState,
+    /// Gao-Rexford relationship of the remote router (None: legacy
+    /// unrestricted export).
+    pub relation: Option<PeerRelation>,
     /// Base propagation + processing delay for messages on this session.
     pub delay: Timestamp,
     /// Whether MED is propagated on export (EBGP only; ASes usually send
     /// MED to direct neighbors).
     pub send_med: bool,
-    /// What we last advertised to this peer, per prefix.
+    /// Minimum Route Advertisement Interval for this session. Zero means
+    /// unpaced: every change goes out the instant the decision process
+    /// emits it (the legacy engine, bit-for-bit).
+    pub mrai: Timestamp,
+    /// Whether withdrawals are rate-limited along with advertisements
+    /// (RFC 4271 default is no: withdrawals bypass the MRAI timer).
+    pub mrai_limits_withdrawals: bool,
+    /// What we last advertised to this peer, per prefix (wire state).
     pub(crate) adj_rib_out: HashMap<Prefix, PathAttributes>,
+    /// Desired wire state not yet sent, staged behind the MRAI timer.
+    /// Last-writer-wins: restaging a prefix overwrites (coalesces) the
+    /// previous pending change. `None` = pending withdrawal.
+    pub(crate) pending: BTreeMap<Prefix, Option<PathAttributes>>,
+    /// Earliest time the next MRAI flush may happen.
+    pub(crate) next_allowed: Timestamp,
+    /// Whether an `MraiExpire` event is already queued for this session.
+    pub(crate) mrai_timer_armed: bool,
+    /// Bumped on every FSM transition; queued FSM timer events carry the
+    /// epoch they were scheduled under and no-op when stale.
+    pub(crate) epoch: u64,
 }
 
 impl Session {
@@ -59,11 +97,23 @@ impl Session {
         Session {
             peer,
             kind,
-            up: true,
+            state: SessionState::Established,
+            relation: None,
             delay,
             send_med: true,
+            mrai: Timestamp::ZERO,
+            mrai_limits_withdrawals: false,
             adj_rib_out: HashMap::new(),
+            pending: BTreeMap::new(),
+            next_allowed: Timestamp::ZERO,
+            mrai_timer_armed: false,
+            epoch: 0,
         }
+    }
+
+    /// Whether routes currently flow on this session.
+    pub fn is_established(&self) -> bool {
+        self.state == SessionState::Established
     }
 }
 
@@ -88,6 +138,12 @@ pub struct Router {
     pub damping: Option<FlapDamper>,
     /// What we advertised to the collector, per prefix.
     collector_out: HashMap<Prefix, PathAttributes>,
+    /// Peers whose `pending` gained entries since the engine last drained
+    /// us (the engine services these: flush now or arm the MRAI timer).
+    pub(crate) dirty_mrai: Vec<RouterId>,
+    /// Changes absorbed before reaching the wire (pending overwrites and
+    /// net-no-change removals); drained into `SimStats::mrai_coalesced`.
+    pub(crate) mrai_coalesced: u64,
 }
 
 /// One outbound message produced by processing: `(destination, message)`.
@@ -107,6 +163,8 @@ impl Router {
             config: None,
             damping: None,
             collector_out: HashMap::new(),
+            dirty_mrai: Vec::new(),
+            mrai_coalesced: 0,
         }
     }
 
@@ -152,6 +210,28 @@ impl Router {
                 LearnedFrom::Local | LearnedFrom::Ebgp | LearnedFrom::IbgpClient
             ),
             SessionKind::IbgpClient => true, // reflect everything to clients
+        }
+    }
+
+    /// Gao-Rexford valley-free export: routes learned from a provider or a
+    /// lateral peer are exported only toward customers (and toward legacy
+    /// relation-less sessions); customer-learned and locally originated
+    /// routes go everywhere. Sessions without relations are unrestricted,
+    /// so hand-built topologies keep the legacy behavior.
+    fn relation_permits(&self, learned_peer: PeerId, to: RouterId) -> bool {
+        let src_rel = if learned_peer == PeerId(self.id) {
+            None
+        } else {
+            self.sessions
+                .get(&learned_peer.router_id())
+                .and_then(|s| s.relation)
+        };
+        match src_rel {
+            None | Some(PeerRelation::Customer) => true,
+            Some(PeerRelation::Provider) | Some(PeerRelation::Peer) => !matches!(
+                self.sessions.get(&to).and_then(|s| s.relation),
+                Some(PeerRelation::Provider) | Some(PeerRelation::Peer)
+            ),
         }
     }
 
@@ -353,11 +433,13 @@ impl Router {
     }
 
     /// Re-sends the full exportable table to `peer` (session establishment).
+    /// On a paced session this stages the table behind the MRAI timer, so
+    /// re-establishment emits batched UPDATEs like a real table exchange.
     pub(crate) fn full_table_to(&mut self, peer: RouterId, _now: Timestamp) -> Vec<Outbound> {
         let Some(session) = self.sessions.get(&peer) else {
             return Vec::new();
         };
-        if !session.up {
+        if !session.is_established() {
             return Vec::new();
         }
         let kind = session.kind;
@@ -370,21 +452,16 @@ impl Router {
         let mut out = Vec::new();
         for (prefix, route) in best_routes {
             let src = self.learned_from(route.peer);
-            if !self.may_export(src, kind) || route.peer == PeerId(peer) {
+            if !self.may_export(src, kind)
+                || route.peer == PeerId(peer)
+                || !self.relation_permits(route.peer, peer)
+            {
                 continue;
             }
             if let Some(policied) = self.export_policy(peer, &route.attrs, prefix) {
                 let session = self.sessions.get(&peer).expect("session exists");
                 let attrs = self.export_attrs(session, &policied);
-                self.sessions
-                    .get_mut(&peer)
-                    .expect("session exists")
-                    .adj_rib_out
-                    .insert(prefix, attrs.clone());
-                out.push((
-                    Some(peer),
-                    UpdateMessage::announce(PeerId(self.id), attrs, [prefix]),
-                ));
+                self.stage_export(peer, prefix, Some(attrs), &mut out);
             }
         }
         out
@@ -394,6 +471,7 @@ impl Router {
     pub(crate) fn clear_adj_out(&mut self, peer: RouterId) {
         if let Some(s) = self.sessions.get_mut(&peer) {
             s.adj_rib_out.clear();
+            s.pending.clear();
         }
     }
 
@@ -454,21 +532,20 @@ impl Router {
                 }
             }
 
-            // Peer exports (sorted: HashMap order must not leak into the
-            // engine's jitter-RNG consumption, or runs become
-            // irreproducible).
+            // Peer exports (sorted: HashMap iteration order must not leak
+            // into event-scheduling order, or runs become irreproducible).
             let mut peers: Vec<RouterId> = self.sessions.keys().copied().collect();
             peers.sort_unstable();
             for peer in peers {
                 let session = self.sessions.get(&peer).expect("session exists");
-                if !session.up {
+                if !session.is_established() {
                     continue;
                 }
                 let kind = session.kind;
                 let advertise = match &new_best {
                     Some(best) if best.peer != PeerId(peer) => {
                         let src = self.learned_from(best.peer);
-                        if self.may_export(src, kind) {
+                        if self.may_export(src, kind) && self.relation_permits(best.peer, peer) {
                             self.export_policy(peer, &best.attrs, prefix)
                         } else {
                             None
@@ -476,32 +553,130 @@ impl Router {
                     }
                     _ => None,
                 };
-                match advertise {
-                    Some(policied) => {
-                        let session = self.sessions.get(&peer).expect("session exists");
-                        let attrs = self.export_attrs(session, &policied);
-                        let session = self.sessions.get_mut(&peer).expect("session exists");
-                        let prev = session.adj_rib_out.insert(prefix, attrs.clone());
-                        if prev.as_ref() != Some(&attrs) {
-                            out.push((
-                                Some(peer),
-                                UpdateMessage::announce(PeerId(self.id), attrs, [prefix]),
-                            ));
-                        }
+                let desired = advertise.map(|policied| {
+                    let session = self.sessions.get(&peer).expect("session exists");
+                    self.export_attrs(session, &policied)
+                });
+                self.stage_export(peer, prefix, desired, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Routes one desired per-(peer, prefix) wire state either straight to
+    /// the output (unpaced session: the legacy instant path, bit-identical
+    /// to the pre-MRAI engine) or into the session's `pending` staging map
+    /// behind the MRAI timer. `desired == None` means withdrawal.
+    fn stage_export(
+        &mut self,
+        peer: RouterId,
+        prefix: Prefix,
+        desired: Option<PathAttributes>,
+        out: &mut Vec<Outbound>,
+    ) {
+        let my_id = self.id;
+        let Some(session) = self.sessions.get_mut(&peer) else {
+            return;
+        };
+        if session.mrai == Timestamp::ZERO {
+            match desired {
+                Some(attrs) => {
+                    let prev = session.adj_rib_out.insert(prefix, attrs.clone());
+                    if prev.as_ref() != Some(&attrs) {
+                        out.push((
+                            Some(peer),
+                            UpdateMessage::announce(PeerId(my_id), attrs, [prefix]),
+                        ));
                     }
-                    None => {
-                        let session = self.sessions.get_mut(&peer).expect("session exists");
-                        if session.adj_rib_out.remove(&prefix).is_some() {
-                            out.push((
-                                Some(peer),
-                                UpdateMessage::withdraw(PeerId(self.id), [prefix]),
-                            ));
+                }
+                None => {
+                    if session.adj_rib_out.remove(&prefix).is_some() {
+                        out.push((Some(peer), UpdateMessage::withdraw(PeerId(my_id), [prefix])));
+                    }
+                }
+            }
+            return;
+        }
+
+        // Paced session. Withdrawals bypass the timer unless rate-limited
+        // (RFC 4271 applies MRAI to advertisements only by default).
+        if desired.is_none() && !session.mrai_limits_withdrawals {
+            if session.pending.remove(&prefix).is_some() {
+                self.mrai_coalesced += 1;
+            }
+            if session.adj_rib_out.remove(&prefix).is_some() {
+                out.push((Some(peer), UpdateMessage::withdraw(PeerId(my_id), [prefix])));
+            }
+            return;
+        }
+        if session.adj_rib_out.get(&prefix) == desired.as_ref() {
+            // Net no-change vs the wire: cancel any staged change.
+            if session.pending.remove(&prefix).is_some() {
+                self.mrai_coalesced += 1;
+            }
+            return;
+        }
+        if session.pending.insert(prefix, desired).is_some() {
+            // Last-writer-wins coalescing inside the timer window.
+            self.mrai_coalesced += 1;
+        }
+        if !self.dirty_mrai.contains(&peer) {
+            self.dirty_mrai.push(peer);
+        }
+    }
+
+    /// Flushes the staged `pending` map for `peer` into batched UPDATEs:
+    /// one withdrawal message (sorted prefixes) plus one announcement per
+    /// distinct attribute set. Returns the messages in deterministic order
+    /// (BTreeMap iteration). The engine stamps `next_allowed`.
+    pub(crate) fn flush_session(&mut self, peer: RouterId) -> Vec<UpdateMessage> {
+        let my_id = self.id;
+        let Some(session) = self.sessions.get_mut(&peer) else {
+            return Vec::new();
+        };
+        if !session.is_established() {
+            session.pending.clear();
+            return Vec::new();
+        }
+        let pending = std::mem::take(&mut session.pending);
+        let mut withdrawn: Vec<Prefix> = Vec::new();
+        let mut groups: Vec<(PathAttributes, Vec<Prefix>)> = Vec::new();
+        for (prefix, desired) in pending {
+            match desired {
+                None => {
+                    if session.adj_rib_out.remove(&prefix).is_some() {
+                        withdrawn.push(prefix);
+                    }
+                }
+                Some(attrs) => {
+                    let prev = session.adj_rib_out.insert(prefix, attrs.clone());
+                    if prev.as_ref() != Some(&attrs) {
+                        match groups.iter_mut().find(|(a, _)| *a == attrs) {
+                            Some((_, prefixes)) => prefixes.push(prefix),
+                            None => groups.push((attrs, vec![prefix])),
                         }
                     }
                 }
             }
         }
-        out
+        let mut msgs = Vec::new();
+        if !withdrawn.is_empty() {
+            msgs.push(UpdateMessage::withdraw(PeerId(my_id), withdrawn));
+        }
+        for (attrs, prefixes) in groups {
+            msgs.push(UpdateMessage::announce(PeerId(my_id), attrs, prefixes));
+        }
+        msgs
+    }
+
+    /// Drains the list of sessions with newly staged changes.
+    pub(crate) fn take_dirty_sessions(&mut self) -> Vec<RouterId> {
+        std::mem::take(&mut self.dirty_mrai)
+    }
+
+    /// Drains the coalesced-change counter.
+    pub(crate) fn take_coalesced(&mut self) -> u64 {
+        std::mem::take(&mut self.mrai_coalesced)
     }
 
     /// The attributes this router would locally originate for `prefix`.
@@ -888,5 +1063,146 @@ mod tests {
             Timestamp::ZERO,
         );
         assert_eq!(r.rib.prefix_count(), 1);
+    }
+
+    #[test]
+    fn paced_session_stages_and_coalesces() {
+        let mut r = Router::new(rid(1), Asn(65000));
+        r.add_session(rid(2), SessionKind::Ebgp, Timestamp::ZERO);
+        r.add_session(rid(3), SessionKind::Ebgp, Timestamp::ZERO);
+        r.sessions.get_mut(&rid(3)).unwrap().mrai = Timestamp::from_secs(30);
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        // First announcement: staged toward the paced peer, not emitted.
+        let out = r.process_update(
+            rid(2),
+            &UpdateMessage::announce(PeerId(rid(2)), attrs("701 1299", rid(2)), [p]),
+            Timestamp::ZERO,
+        );
+        assert!(!out.iter().any(|(d, _)| *d == Some(rid(3))));
+        assert_eq!(r.take_dirty_sessions(), vec![rid(3)]);
+        // A second, different path overwrites the staged entry.
+        r.process_update(
+            rid(2),
+            &UpdateMessage::announce(PeerId(rid(2)), attrs("701 3356 1299", rid(2)), [p]),
+            Timestamp::from_secs(1),
+        );
+        assert_eq!(r.take_coalesced(), 1);
+        // Flush emits exactly the last-written state, once.
+        let msgs = r.flush_session(rid(3));
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(
+            msgs[0].attrs.as_ref().unwrap().as_path.to_string(),
+            "65000 701 3356 1299"
+        );
+        // Nothing left pending.
+        assert!(r.flush_session(rid(3)).is_empty());
+    }
+
+    #[test]
+    fn withdrawal_bypasses_mrai_unless_rate_limited() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        for rate_limited in [false, true] {
+            let mut r = Router::new(rid(1), Asn(65000));
+            r.add_session(rid(2), SessionKind::Ebgp, Timestamp::ZERO);
+            r.add_session(rid(3), SessionKind::Ebgp, Timestamp::ZERO);
+            {
+                let s = r.sessions.get_mut(&rid(3)).unwrap();
+                s.mrai = Timestamp::from_secs(30);
+                s.mrai_limits_withdrawals = rate_limited;
+            }
+            r.process_update(
+                rid(2),
+                &UpdateMessage::announce(PeerId(rid(2)), attrs("701", rid(2)), [p]),
+                Timestamp::ZERO,
+            );
+            r.take_dirty_sessions();
+            // Put the announcement on the wire so the withdrawal is real.
+            let flushed = r.flush_session(rid(3));
+            assert_eq!(flushed.len(), 1);
+            let out = r.process_update(
+                rid(2),
+                &UpdateMessage::withdraw(PeerId(rid(2)), [p]),
+                Timestamp::from_secs(1),
+            );
+            let instant_withdraw = out
+                .iter()
+                .any(|(d, m)| *d == Some(rid(3)) && !m.withdrawn.is_empty());
+            if rate_limited {
+                assert!(!instant_withdraw, "rate-limited withdrawal must stage");
+                let msgs = r.flush_session(rid(3));
+                assert_eq!(msgs.len(), 1);
+                assert!(!msgs[0].withdrawn.is_empty());
+            } else {
+                assert!(instant_withdraw, "default withdrawal bypasses MRAI");
+                assert!(r.flush_session(rid(3)).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn flush_batches_same_attrs_into_one_update() {
+        let mut r = Router::new(rid(1), Asn(65000));
+        r.add_session(rid(2), SessionKind::Ebgp, Timestamp::ZERO);
+        r.add_session(rid(3), SessionKind::Ebgp, Timestamp::ZERO);
+        r.sessions.get_mut(&rid(3)).unwrap().mrai = Timestamp::from_secs(30);
+        for i in 0..4u8 {
+            r.process_update(
+                rid(2),
+                &UpdateMessage::announce(
+                    PeerId(rid(2)),
+                    attrs("701", rid(2)),
+                    [Prefix::from_octets(10, i, 0, 0, 16)],
+                ),
+                Timestamp::ZERO,
+            );
+        }
+        let msgs = r.flush_session(rid(3));
+        // All four prefixes share one attribute set: one batched UPDATE.
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].nlri.len(), 4);
+    }
+
+    #[test]
+    fn valley_free_blocks_provider_to_peer_and_provider() {
+        // r1 has a provider (rid 2), a lateral peer (rid 3), and a
+        // customer (rid 4). A provider-learned route must reach only the
+        // customer.
+        let mut r = Router::new(rid(1), Asn(65000));
+        r.add_session(rid(2), SessionKind::Ebgp, Timestamp::ZERO);
+        r.add_session(rid(3), SessionKind::Ebgp, Timestamp::ZERO);
+        r.add_session(rid(4), SessionKind::Ebgp, Timestamp::ZERO);
+        r.sessions.get_mut(&rid(2)).unwrap().relation = Some(PeerRelation::Provider);
+        r.sessions.get_mut(&rid(3)).unwrap().relation = Some(PeerRelation::Peer);
+        r.sessions.get_mut(&rid(4)).unwrap().relation = Some(PeerRelation::Customer);
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let out = r.process_update(
+            rid(2),
+            &UpdateMessage::announce(PeerId(rid(2)), attrs("701", rid(2)), [p]),
+            Timestamp::ZERO,
+        );
+        assert!(
+            !out.iter().any(|(d, _)| *d == Some(rid(3))),
+            "no provider→peer"
+        );
+        assert!(
+            out.iter().any(|(d, _)| *d == Some(rid(4))),
+            "provider→customer ok"
+        );
+
+        // A customer-learned route goes everywhere.
+        let q: Prefix = "20.0.0.0/8".parse().unwrap();
+        let out = r.process_update(
+            rid(4),
+            &UpdateMessage::announce(PeerId(rid(4)), attrs("65004", rid(4)), [q]),
+            Timestamp::ZERO,
+        );
+        assert!(
+            out.iter().any(|(d, _)| *d == Some(rid(2))),
+            "customer→provider ok"
+        );
+        assert!(
+            out.iter().any(|(d, _)| *d == Some(rid(3))),
+            "customer→peer ok"
+        );
     }
 }

@@ -586,6 +586,153 @@ fn soak_shard_quarantine_bounds_loss_and_spares_siblings() {
     );
 }
 
+/// Protocol-realistic scale leg: a generated Gao-Rexford hierarchy under
+/// MRAI pacing and a timed session FSM, perturbed by two *overlapping*
+/// session-flap [`FaultPlan`]s aimed at distinct victim stubs. The
+/// emergent churn — withdraw storms, MRAI-paced re-announcements, FSM
+/// reconvergence — feeds the sharded pipeline, which must keep its global
+/// ledger closed at every snapshot and recover *both* storm families from
+/// the merged incidents. Unlike the synthetic storm legs above, nothing
+/// about the update sequence is scripted here: the anomalies are whatever
+/// the protocol dynamics actually produce.
+fn netsim_scale_soak(ases: usize) {
+    let protocol = ProtocolConfig::legacy()
+        .with_mrai(MraiConfig::uniform(Timestamp::from_secs(2)))
+        .with_fsm(FsmConfig::timed(
+            Timestamp::from_secs(6),
+            Timestamp::from_secs(2),
+            Timestamp::from_millis(500),
+        ));
+    let (mut sim, topo) = TopologyGen::new(0xd5_2005, ases).protocol(protocol).build();
+    let victims = topo.sample_stubs(2, 11);
+    let (victim_a, victim_b) = (victims[0], victims[1]);
+    let asn_of = |id: RouterId| {
+        topo.nodes
+            .iter()
+            .find(|n| n.id == id)
+            .expect("victim is in the topology")
+            .asn
+    };
+    let provider_of = |id: RouterId| {
+        *topo
+            .providers_of(id)
+            .first()
+            .expect("a stub always has a provider")
+    };
+
+    // Each victim originates its own /16 family; distinct leading 16 bits,
+    // so the families spread over the shard keyspace.
+    const PREFIXES_PER_VICTIM: u8 = 12;
+    for (family, &victim) in [(30u8, &victim_a), (40u8, &victim_b)] {
+        for i in 0..PREFIXES_PER_VICTIM {
+            sim.originate(
+                victim,
+                Prefix::from_octets(family, i, 0, 0, 16),
+                Timestamp::from_millis(u64::from(i) * 100),
+            );
+        }
+    }
+
+    // Two independently-seeded plans whose flap windows overlap in time:
+    // concurrent anomalies, not sequential ones.
+    let flaps = |start_secs: u64| FlapSchedule {
+        start: Timestamp::from_secs(start_secs),
+        period: Timestamp::from_secs(40),
+        down_time: Timestamp::from_secs(15),
+        count: 3,
+    };
+    FaultPlan::empty(1)
+        .with_session_flap(victim_a, provider_of(victim_a), flaps(500))
+        .apply_to(&mut sim);
+    FaultPlan::empty(2)
+        .with_session_flap(victim_b, provider_of(victim_b), flaps(510))
+        .apply_to(&mut sim);
+    sim.run_to_completion();
+    let stats = sim.stats();
+    assert_eq!(stats.session_downs, 6, "both plans must flap 3 cycles each");
+    assert!(
+        stats.messages_delivered < sim.max_deliveries,
+        "simulation livelocked"
+    );
+    let feed = sim.finish().collector_feed;
+    assert!(
+        feed.len() > 200,
+        "the flap churn produced too little monitored traffic: {} updates",
+        feed.len()
+    );
+
+    let started = Instant::now();
+    let config = ShardedConfig::new(SHARDS, spawn_config(OverloadPolicy::Block))
+        .with_range_bits(SHARD_RANGE_BITS);
+    let mut pipeline = ShardedPipeline::spawn(config);
+    for (i, (msg, time)) in feed.iter().enumerate() {
+        pipeline
+            .ingest_update(msg, *time)
+            .unwrap_or_else(|_| panic!("sharded pipeline died at feed item {i}"));
+        if i % 97 == 0 {
+            let live = pipeline.stats();
+            assert!(
+                live.accounts_exactly(),
+                "global ledger broken at item {i}: {live}"
+            );
+        }
+        assert!(started.elapsed() < DEADLINE, "livelock at item {i}");
+    }
+    assert_eq!(
+        pipeline.live_shards(),
+        SHARDS,
+        "no shard may die on clean churn"
+    );
+
+    let run = pipeline.finish();
+    let stats = &run.stats;
+    assert!(stats.accounts_exactly(), "final global ledger: {stats}");
+    assert!(stats.reports_account_exactly(), "report ledger: {stats}");
+    assert!(stats.quarantined_shards().is_empty(), "{stats}");
+    for (k, shard) in stats.shards.iter().enumerate() {
+        assert_eq!(
+            shard.stats.shed_events, 0,
+            "shard {k} shed under Block: {stats}"
+        );
+        assert_eq!(shard.stats.restarts, 0, "shard {k} restarted: {stats}");
+    }
+
+    // Both emergent storm families surface in the merged incidents: the
+    // victims' origin ASes appear as stem tokens (stems render as
+    // `-`-separated hops, e.g. "9-742") in some incident.
+    let family_recovered = |asn: Asn| {
+        run.incidents.iter().any(|g| {
+            g.report
+                .common_portion
+                .split('-')
+                .any(|token| token == asn.0.to_string())
+        })
+    };
+    assert!(
+        family_recovered(asn_of(victim_a)),
+        "victim {victim_a} (AS{}) storm not recovered from {} incidents",
+        asn_of(victim_a).0,
+        run.incidents.len()
+    );
+    assert!(
+        family_recovered(asn_of(victim_b)),
+        "victim {victim_b} (AS{}) storm not recovered from {} incidents",
+        asn_of(victim_b).0,
+        run.incidents.len()
+    );
+}
+
+#[test]
+fn soak_netsim_thousand_as_flaps_feed_sharded_pipeline() {
+    netsim_scale_soak(1_000);
+}
+
+#[test]
+#[ignore = "10k-AS leg: run in release mode (CI does)"]
+fn soak_netsim_ten_thousand_as_flaps_feed_sharded_pipeline() {
+    netsim_scale_soak(10_000);
+}
+
 /// Adaptive leg: the storm feed through a deliberately tiny queue under
 /// `OverloadPolicy::DropOldest` with [`AdaptiveConfig`] — the closed-loop
 /// controller replaces the binary Degrade flip and the stolen events are
