@@ -12,6 +12,13 @@
 //!
 //! The archive is left at `target/BENCH_ingest_archive.mrt` so CI can run
 //! the `bgpscope ingest` CLI over the identical input afterwards.
+//!
+//! Two multi-source sections replay the same workload split into 2 and 4
+//! per-collector archives (partitioned by the shard router's
+//! `(peer, prefix)` key so announce/withdraw pairs stay together) through
+//! the supervised [`MultiSourceIngest`] fan-in — measuring what the
+//! per-source supervision and deterministic k-way merge cost relative to
+//! the single-reader path.
 
 use std::time::Instant;
 
@@ -21,6 +28,55 @@ use bgpscope_bench::berkeley_stream;
 const EVENTS: usize = 100_000;
 const SPAN_SECS: u64 = 3 * 24 * 3600;
 const ARCHIVE: &str = "target/BENCH_ingest_archive.mrt";
+
+/// Splits the stream into `n` per-collector archives by the shard
+/// router's `(peer, prefix)` key, so each archive is a self-consistent
+/// collector view (withdrawals ride with their announcements).
+fn partition_archives(stream: &EventStream, n: usize) -> Vec<Vec<u8>> {
+    let router = ShardRouter::new(n);
+    let mut parts: Vec<EventStream> = (0..n).map(|_| EventStream::new()).collect();
+    for event in stream {
+        parts[router.route_event(event)].push(event.clone());
+    }
+    parts
+        .iter()
+        .map(|part| {
+            let mut buf = Vec::new();
+            write_events(&mut buf, part).expect("encode partition");
+            buf
+        })
+        .collect()
+}
+
+/// Replays the workload as `n` supervised in-memory sources and returns
+/// the report's JSON (the same schema as the single-source section, plus
+/// its per-source ledgers).
+fn multi_source_section(stream: &EventStream, n: usize) -> String {
+    let archives = partition_archives(stream, n);
+    let mut ingest = MultiSourceIngest::new(IngestConfig::default(), SourcePolicy::default());
+    for (i, data) in archives.into_iter().enumerate() {
+        ingest = ingest.source(SourceSpec::from_bytes(format!("collector{i}"), data));
+    }
+    let started = Instant::now();
+    let report = ingest.run().expect("multi-source ingest");
+    println!(
+        "{n}-source fan-in: {} events in {:.2}s ({:.0} events/sec)",
+        report.events_decoded,
+        started.elapsed().as_secs_f64(),
+        report.events_per_sec,
+    );
+    assert_eq!(report.events_decoded as usize, EVENTS);
+    assert!(
+        report.sources_account_exactly(),
+        "per-source ledgers must balance: {report}"
+    );
+    assert!(
+        report.stats.accounts_exactly(),
+        "ledger must balance: {}",
+        report.stats.to_json()
+    );
+    report.bench_json()
+}
 
 fn main() {
     let span = Timestamp::from_secs(SPAN_SECS);
@@ -53,10 +109,13 @@ fn main() {
         report.stats.to_json()
     );
 
+    let two_sources = multi_source_section(&stream, 2);
+    let four_sources = multi_source_section(&stream, 4);
+
     let json = format!(
         "{{\"workload\":{{\"events\":{EVENTS},\"span_secs\":{SPAN_SECS},\
          \"archive_bytes\":{archive_bytes},\"archive\":\"{ARCHIVE}\"}},\
-         \"ingest\":{}}}",
+         \"ingest\":{},\"multi_source_2\":{two_sources},\"multi_source_4\":{four_sources}}}",
         report.bench_json()
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");

@@ -10,9 +10,11 @@
 //!                   [--checkpoint-interval N] [--checkpoint-spill FILE]
 //!                   [--adaptive [--target-depth N]]
 //!                   [--shards N] [--quarantine-after R]
-//! bgpscope ingest   <archive.mrt> [--lossy] [--passthrough]
+//! bgpscope ingest   <archive.mrt> [archive2.mrt …] [--lossy] [--passthrough]
 //!                   [--buffer-capacity BYTES] [--batch N] [--channel-batches N]
 //!                   [--capacity N] [--policy P] [--shards N] [--bench FILE]
+//!                   [--retries N] [--backoff-ms N] [--stall-timeout-ms N]
+//!                   [--poison-threshold N]
 //! bgpscope convert  <in.(mrt|txt)> <out.(mrt|txt)>
 //! bgpscope demo     <out.mrt>                     # write a demo incident
 //! ```
@@ -20,8 +22,18 @@
 //! Event files are either the binary MRT-style format (`.mrt`) or the
 //! Figure-4-style text format (anything else). Text traces are read
 //! lossily: corrupt lines are skipped with a warning (and counted in the
-//! pipeline ledger) instead of failing the whole trace. Exit code 1 on
-//! usage errors, 2 on I/O or parse failures.
+//! pipeline ledger) instead of failing the whole trace.
+//!
+//! `ingest` accepts several archives at once: each becomes a supervised
+//! source decoded on its own worker and fanned deterministically into one
+//! stem pipeline, with per-source retry/backoff, stall watchdogs, and
+//! poison-record quarantine (see the `--retries`/`--backoff-ms`/
+//! `--stall-timeout-ms`/`--poison-threshold` knobs).
+//!
+//! Exit codes: 0 success, 1 usage error, 2 I/O or parse failure (including
+//! every ingest source quarantined), 3 partial ingest — some sources were
+//! quarantined but the survivors completed, so the printed result is valid
+//! but incomplete.
 
 use std::fs;
 use std::path::Path;
@@ -53,7 +65,9 @@ fn main() -> ExitCode {
             if args.len() < 2 {
                 return usage();
             }
-            cmd_ingest(&args[1], &args[2..])
+            // `ingest` owns its exit story: 0 clean, 2 failed, 3 partial
+            // (some sources quarantined, results valid but incomplete).
+            return cmd_ingest(&args[1..]);
         }
         Some("convert") => {
             if args.len() != 3 {
@@ -94,10 +108,14 @@ fn usage() -> ExitCode {
          \u{20}                             replay through the supervised realtime pipeline\n\
          \u{20}                             (--shards > 1 fans out over independently\n\
          \u{20}                             supervised shards with per-shard quarantine)\n\
-         ingest   <archive.mrt> [--lossy] [--passthrough] [--buffer-capacity BYTES]\n\
-         \u{20}                 [--batch N] [--channel-batches N] [--capacity N]\n\
-         \u{20}                 [--policy P] [--shards N] [--bench FILE]\n\
-         \u{20}                             stream an archive through decode → augment → stem\n\
+         ingest   <archive.mrt> [archive2.mrt …] [--lossy] [--passthrough]\n\
+         \u{20}                 [--buffer-capacity BYTES] [--batch N] [--channel-batches N]\n\
+         \u{20}                 [--capacity N] [--policy P] [--shards N] [--bench FILE]\n\
+         \u{20}                 [--retries N] [--backoff-ms N] [--stall-timeout-ms N]\n\
+         \u{20}                 [--poison-threshold N]\n\
+         \u{20}                             stream archive(s) through decode → augment → stem;\n\
+         \u{20}                             several archives fan in as supervised sources\n\
+         \u{20}                             (exit 3 = partial: some sources quarantined)\n\
          convert  <in> <out>           convert between .mrt and text formats\n\
          demo     <out.mrt>            write a demo incident to analyze"
     );
@@ -466,16 +484,41 @@ fn run_sharded_pipeline(
     Ok(())
 }
 
-/// Streams an MRT archive through the staged batch pipeline
+/// Streams one or more MRT archives through the staged batch pipeline
 /// (decode → augment → stem) in constant memory, then prints the reports,
 /// the ingest summary and the exact event ledger. `--bench FILE` also
 /// writes the machine-readable report (the `BENCH_ingest.json` schema).
-fn cmd_ingest(path: &str, rest: &[String]) -> CliResult {
+///
+/// With a single archive and no supervision flags this is the plain
+/// single-source pipeline. With several archives (or any of `--retries`,
+/// `--backoff-ms`, `--stall-timeout-ms`, `--poison-threshold`) each
+/// archive becomes a supervised source: transient read errors are retried
+/// with backoff, stalled or poisoned sources are quarantined, and the
+/// survivors' merged result still comes out. Exit codes: 0 clean, 2 hard
+/// failure (including *every* source quarantined), 3 partial result —
+/// some sources were quarantined but the rest completed.
+fn cmd_ingest(args: &[String]) -> ExitCode {
+    match run_ingest(args) {
+        Ok(partial) if partial => ExitCode::from(3),
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bgpscope: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The fallible body of `cmd_ingest`. `Ok(true)` means the run succeeded
+/// but is partial (at least one source quarantined).
+fn run_ingest(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut paths: Vec<String> = Vec::new();
     let mut config = IngestConfig::default();
+    let mut source_policy = SourcePolicy::default();
+    let mut supervised = false;
     let mut capacity = 65_536usize;
     let mut policy = OverloadPolicy::Block;
     let mut bench: Option<String> = None;
-    let mut it = rest.iter();
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--lossy" => config = config.lossy(),
@@ -525,16 +568,85 @@ fn cmd_ingest(path: &str, rest: &[String]) -> CliResult {
             "--bench" => {
                 bench = Some(it.next().ok_or("--bench needs a path")?.clone());
             }
-            other => return Err(format!("unknown flag {other}").into()),
+            "--retries" => {
+                supervised = true;
+                source_policy = source_policy.with_max_retries(
+                    it.next()
+                        .ok_or("--retries needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?,
+                );
+            }
+            "--backoff-ms" => {
+                supervised = true;
+                let base: u64 = it
+                    .next()
+                    .ok_or("--backoff-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-ms: {e}"))?;
+                // Cap the exponential curve at 50 doublings' worth, never
+                // below the default 500ms ceiling.
+                source_policy = source_policy.with_backoff(
+                    std::time::Duration::from_millis(base),
+                    std::time::Duration::from_millis((base * 50).max(500)),
+                );
+            }
+            "--stall-timeout-ms" => {
+                supervised = true;
+                source_policy = source_policy.with_stall_timeout(std::time::Duration::from_millis(
+                    it.next()
+                        .ok_or("--stall-timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--stall-timeout-ms: {e}"))?,
+                ));
+            }
+            "--poison-threshold" => {
+                supervised = true;
+                source_policy = source_policy.with_poison_threshold(
+                    it.next()
+                        .ok_or("--poison-threshold needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--poison-threshold: {e}"))?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}").into()),
+            path => paths.push(path.to_owned()),
         }
+    }
+    if paths.is_empty() {
+        return Err("ingest needs at least one archive path".into());
     }
     config = config.with_spawn(
         SpawnConfig::new(PipelineConfig::default())
             .with_capacity(capacity)
             .with_overload(policy),
     );
-    let file = fs::File::open(path)?;
-    let report = match ingest(std::io::BufReader::new(file), config) {
+    if paths.len() == 1 && !supervised {
+        let file = fs::File::open(&paths[0])?;
+        let report = match ingest(std::io::BufReader::new(file), config) {
+            Ok(report) => report,
+            Err(IngestError::Pipeline { cause, stats }) => {
+                eprintln!("bgpscope: stem pipeline closed mid-ingest: {cause}");
+                eprintln!("{stats}");
+                eprintln!("ledger {}", stats.to_json());
+                return Err(PipelineClosed.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        print_ingest_report(&report, bench.as_deref())?;
+        return Ok(false);
+    }
+    // Multi-source (or supervised single-source) leg: each archive is a
+    // named source whose factory reopens the file on every retry rebuild.
+    let mut multi = MultiSourceIngest::new(config, source_policy);
+    for path in &paths {
+        let reopen = path.clone();
+        multi = multi.source(SourceSpec::new(path.clone(), move || {
+            fs::File::open(&reopen)
+                .map(|f| Box::new(std::io::BufReader::new(f)) as Box<dyn std::io::Read + Send>)
+        }));
+    }
+    let report = match multi.run() {
         Ok(report) => report,
         Err(IngestError::Pipeline { cause, stats }) => {
             eprintln!("bgpscope: stem pipeline closed mid-ingest: {cause}");
@@ -542,8 +654,30 @@ fn cmd_ingest(path: &str, rest: &[String]) -> CliResult {
             eprintln!("ledger {}", stats.to_json());
             return Err(PipelineClosed.into());
         }
+        Err(e @ IngestError::AllSourcesQuarantined { .. }) => {
+            if let IngestError::AllSourcesQuarantined { sources, stats } = &e {
+                for source in sources {
+                    eprintln!("  {source}");
+                }
+                eprintln!("{stats}");
+                eprintln!("ledger {}", stats.to_json());
+            }
+            return Err(e.into());
+        }
         Err(e) => return Err(e.into()),
     };
+    print_ingest_report(&report, bench.as_deref())?;
+    Ok(report.is_partial())
+}
+
+/// Shared success-path output for both ingest legs: anomaly reports, the
+/// digest, the ingest summary (including per-source ledgers and any
+/// PARTIAL RESULT banner), the pipeline stats, the machine-readable
+/// ledger line, and the optional bench file.
+fn print_ingest_report(
+    report: &IngestReport,
+    bench: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
     for (i, anomaly) in report.reports.iter().enumerate() {
         print!("report {i}:\n{anomaly}");
     }
@@ -554,7 +688,7 @@ fn cmd_ingest(path: &str, rest: &[String]) -> CliResult {
     println!("{}", report.stats);
     println!("ledger {}", report.stats.to_json());
     if let Some(out) = bench {
-        fs::write(&out, report.bench_json())?;
+        fs::write(out, report.bench_json())?;
         println!("wrote {out}");
     }
     Ok(())

@@ -24,9 +24,32 @@
 //! spent doing its own work vs. waiting on its input or output queue, so a
 //! replay tells you *which* stage is the bottleneck, not just how fast the
 //! whole thing went.
+//!
+//! # Multi-source fan-in
+//!
+//! [`MultiSourceIngest`] generalizes the decode stage to N archives — the
+//! paper's many-vantage-point monitoring model — with one *supervised*
+//! decode worker per source. Each worker is governed by a [`SourcePolicy`]:
+//! transient I/O errors are retried with exponential backoff and jitter
+//! (the reader is rebuilt from the source factory and fast-forwarded past
+//! already-delivered records via the length-prefixed framing), a record
+//! position that keeps failing decode is skipped after `poison_threshold`
+//! attempts, and a source that stops making progress for `stall_timeout`
+//! is flipped Degraded, then Quarantined, by the merge-side watchdog.
+//! Worker outputs are k-way merged deterministically by
+//! `(timestamp, source index)` — the merge waits until every live source
+//! has an event staged, so the fan-in order (and therefore everything
+//! downstream) is bit-identical run to run regardless of thread timing.
+//! Every source publishes a [`SourceLedger`] whose own invariant
+//! (`events_decoded == events_merged + stall_shed + queued`) holds at
+//! every instant, and ingest fails only when *every* source is
+//! quarantined ([`IngestError::AllSourcesQuarantined`]); otherwise it
+//! finishes with partial-source provenance on the report.
 
+use std::collections::VecDeque;
 use std::io::Read;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use bgpscope_anomaly::{
     AnomalyReport, PipelineClosed, PipelineHandle, PipelineStats, RealtimeDetector, ReportDigest,
@@ -231,18 +254,55 @@ pub struct IngestReport {
     /// Peak resident set size (`VmHWM` from `/proc/self/status`), in bytes;
     /// 0 where procfs is unavailable.
     pub peak_rss_bytes: u64,
+    /// Per-source supervision ledgers when the run was a
+    /// [`MultiSourceIngest`]; empty for the single-source [`ingest`].
+    pub sources: Vec<SourceLedger>,
 }
 
 impl IngestReport {
+    /// Sources the supervisor quarantined (empty for single-source runs
+    /// and for multi-source runs where every source survived).
+    pub fn quarantined_sources(&self) -> Vec<&SourceLedger> {
+        self.sources
+            .iter()
+            .filter(|s| s.health == SourceHealth::Quarantined)
+            .collect()
+    }
+
+    /// True when the run finished on a strict subset of its sources —
+    /// results are valid but incomplete (the CLI exits with a distinct
+    /// code for this).
+    pub fn is_partial(&self) -> bool {
+        !self.quarantined_sources().is_empty()
+    }
+
+    /// True when every per-source ledger closes
+    /// (`events_decoded == events_merged + stall_shed + queued`) *and*
+    /// the sources' forwarded totals sum exactly into the stem pipeline's
+    /// global `ingested` count. Vacuously true for single-source runs.
+    pub fn sources_account_exactly(&self) -> bool {
+        if self.sources.is_empty() {
+            return true;
+        }
+        self.sources.iter().all(|s| s.accounts_exactly())
+            && self.sources.iter().map(|s| s.events_forwarded).sum::<u64>() == self.stats.ingested
+    }
+
     /// The report as one machine-readable JSON object (the schema of
     /// `BENCH_ingest.json`).
     pub fn bench_json(&self) -> String {
+        let sources = self
+            .sources
+            .iter()
+            .map(SourceLedger::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"events_per_sec\":{:.1},\"events_decoded\":{},\"events_forwarded\":{},\
              \"records_decoded\":{},\"records_skipped\":{},\"trailing_tolerated\":{},\
              \"withdraws_filtered\":{},\"reports\":{},\"elapsed_secs\":{:.6},\
              \"peak_rss_bytes\":{},\"stages\":{{\"decode\":{},\"augment\":{},\"stem\":{}}},\
-             \"ledger\":{}}}",
+             \"sources\":[{}],\"ledger\":{}}}",
             self.events_per_sec,
             self.events_decoded,
             self.events_forwarded,
@@ -256,6 +316,7 @@ impl IngestReport {
             self.decode.json(self.elapsed_secs),
             self.augment.json(self.elapsed_secs),
             self.stem.json(self.elapsed_secs),
+            sources,
             // A sharded run's ledger is the extended schema: the flat global
             // ledger plus `shards[]` and `quarantined_shards`.
             match &self.shard_stats {
@@ -295,7 +356,19 @@ impl std::fmt::Display for IngestReport {
             self.decode.occupancy(self.elapsed_secs) * 100.0,
             self.augment.occupancy(self.elapsed_secs) * 100.0,
             self.stem.occupancy(self.elapsed_secs) * 100.0,
-        )
+        )?;
+        for source in &self.sources {
+            writeln!(f, "{source}")?;
+        }
+        if self.is_partial() {
+            writeln!(
+                f,
+                "PARTIAL RESULT: {} of {} source(s) quarantined",
+                self.quarantined_sources().len(),
+                self.sources.len()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -315,6 +388,16 @@ pub enum IngestError {
         /// variant small).
         stats: Box<PipelineStats>,
     },
+    /// Every source of a [`MultiSourceIngest`] run was quarantined —
+    /// nothing is left to analyze. Carries each source's final ledger
+    /// (with its quarantine cause) and the stem pipeline's ledger, so a
+    /// dead run is never a silent run.
+    AllSourcesQuarantined {
+        /// Final per-source ledgers, quarantine causes included.
+        sources: Vec<SourceLedger>,
+        /// The stem pipeline's ledger at teardown.
+        stats: Box<PipelineStats>,
+    },
 }
 
 impl std::fmt::Display for IngestError {
@@ -324,6 +407,21 @@ impl std::fmt::Display for IngestError {
             IngestError::Pipeline { cause, .. } => {
                 write!(f, "stem pipeline closed: {cause}")
             }
+            IngestError::AllSourcesQuarantined { sources, .. } => {
+                write!(f, "all {} source(s) quarantined: ", sources.len())?;
+                for (i, s) in sources.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(
+                        f,
+                        "{}: {}",
+                        s.name,
+                        s.quarantine_cause.as_deref().unwrap_or("unknown cause")
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -332,7 +430,7 @@ impl std::error::Error for IngestError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IngestError::Decode(e) => Some(e),
-            IngestError::Pipeline { .. } => None,
+            IngestError::Pipeline { .. } | IngestError::AllSourcesQuarantined { .. } => None,
         }
     }
 }
@@ -487,19 +585,28 @@ impl StemStage {
     }
 }
 
+/// Parses the `VmHWM` line of a `/proc/self/status`-shaped string into
+/// bytes. `None` on anything that isn't a well-formed kibibyte value —
+/// a missing line, a non-numeric field, or an unexpected unit — so a
+/// partially parsed status can never yield a bogus measurement.
+fn parse_vmhwm_bytes(status: &str) -> Option<u64> {
+    let line = status.lines().find(|line| line.starts_with("VmHWM:"))?;
+    let mut fields = line.split_whitespace().skip(1);
+    let kb = fields.next()?.parse::<u64>().ok()?;
+    match fields.next() {
+        // procfs always writes "kB"; tolerate a bare number, reject any
+        // other unit rather than misreport by three orders of magnitude.
+        Some("kB") | None => kb.checked_mul(1024),
+        Some(_) => None,
+    }
+}
+
 /// Peak resident set size in bytes (`VmHWM` from procfs), or 0 when
-/// unavailable (non-Linux, or procfs masked).
+/// unavailable (non-Linux, procfs masked, or a malformed status file).
 pub fn peak_rss_bytes() -> u64 {
     std::fs::read_to_string("/proc/self/status")
         .ok()
-        .and_then(|status| {
-            status
-                .lines()
-                .find(|line| line.starts_with("VmHWM:"))
-                .and_then(|line| line.split_whitespace().nth(1))
-                .and_then(|kb| kb.parse::<u64>().ok())
-        })
-        .map(|kb| kb * 1024)
+        .and_then(|status| parse_vmhwm_bytes(&status))
         .unwrap_or(0)
 }
 
@@ -632,8 +739,989 @@ pub fn ingest<R: Read + Send>(
             elapsed_secs: elapsed,
             events_per_sec: events_decoded as f64 / elapsed,
             peak_rss_bytes: peak_rss_bytes(),
+            sources: Vec::new(),
         })
     })
+}
+
+// ---------------------------------------------------------------------------
+// Multi-source fan-in with per-source supervision
+// ---------------------------------------------------------------------------
+
+/// SplitMix64, for deterministic backoff jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Health of one supervised source, as a simple FSM:
+///
+/// ```text
+/// Healthy ──fault/stall──▶ Degraded ──progress──▶ Recovered
+///                              │                      │
+///                   budget/2nd stall        fault/stall│
+///                              ▼                      ▼
+///                         Quarantined ◀──────────(Degraded)
+/// ```
+///
+/// `Quarantined` is terminal; `Recovered` marks a source that degraded at
+/// least once but is delivering again (it degrades again on the next
+/// fault, like `Healthy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceHealth {
+    /// Delivering, no fault observed yet.
+    Healthy,
+    /// A transient fault is being retried, or one stall timeout elapsed.
+    Degraded,
+    /// Given up on: retry budget exhausted or stalled twice. Terminal.
+    Quarantined,
+    /// Was degraded, then made progress again.
+    Recovered,
+}
+
+impl SourceHealth {
+    fn as_str(&self) -> &'static str {
+        match self {
+            SourceHealth::Healthy => "healthy",
+            SourceHealth::Degraded => "degraded",
+            SourceHealth::Quarantined => "quarantined",
+            SourceHealth::Recovered => "recovered",
+        }
+    }
+}
+
+impl std::fmt::Display for SourceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Supervision policy applied to every source of a [`MultiSourceIngest`].
+#[derive(Debug, Clone)]
+pub struct SourcePolicy {
+    /// Consecutive transient-failure rebuilds (no progress in between)
+    /// tolerated before the source is quarantined.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Seed for the deterministic backoff jitter (multiplier in
+    /// `[0.5, 1.5)`), so retry storms desynchronize reproducibly.
+    pub jitter_seed: u64,
+    /// With no event merged from a source for this long the watchdog flips
+    /// it Degraded; after a second consecutive timeout, Quarantined.
+    pub stall_timeout: Duration,
+    /// Decode attempts for one record position before the poison breaker
+    /// skips it (strict mode; lossy decoding resyncs internally).
+    pub poison_threshold: u32,
+}
+
+impl Default for SourcePolicy {
+    fn default() -> Self {
+        SourcePolicy {
+            max_retries: 4,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            jitter_seed: 0xB6E0_5EED,
+            stall_timeout: Duration::from_secs(2),
+            poison_threshold: 2,
+        }
+    }
+}
+
+impl SourcePolicy {
+    /// Sets the consecutive-transient-failure budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the exponential-backoff base and ceiling.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_max = max;
+        self
+    }
+
+    /// Sets the backoff jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Sets the stall watchdog timeout.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Sets the poison-record breaker threshold (min 1).
+    pub fn with_poison_threshold(mut self, attempts: u32) -> Self {
+        self.poison_threshold = attempts.max(1);
+        self
+    }
+
+    /// Backoff before retry number `failures` of source `idx`:
+    /// `min(base·2^(failures-1), max)`, jittered into `[0.5, 1.5)×`.
+    fn backoff(&self, idx: usize, failures: u32) -> Duration {
+        let exp = failures.saturating_sub(1).min(16);
+        let raw = self.backoff_base.as_secs_f64() * (1u64 << exp) as f64;
+        let capped = raw.min(self.backoff_max.as_secs_f64());
+        let salt = ((idx as u64) << 32) | u64::from(failures);
+        let jitter = 0.5 + (splitmix64(self.jitter_seed ^ salt) >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64(capped * jitter)
+    }
+}
+
+/// Exact per-source accounting, published live by the supervisor.
+///
+/// The per-source invariant holds at every instant:
+///
+/// ```text
+/// events_decoded == events_merged + stall_shed + queued
+/// ```
+///
+/// and the global cross-check is `Σ events_forwarded == stem.ingested`
+/// ([`IngestReport::sources_account_exactly`]). `source_retries`,
+/// `poison_skipped`, and `stall_shed` are the supervision terms: work
+/// redone, positions given up on, and events shed at quarantine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceLedger {
+    /// Source name (the archive path, for CLI runs).
+    pub name: String,
+    /// Current health FSM state.
+    pub health: SourceHealth,
+    /// Why the source was quarantined, when it was.
+    pub quarantine_cause: Option<String>,
+    /// Records this source's reader decoded.
+    pub records_decoded: u64,
+    /// Unknown-type / corrupted-header records skipped (lossy mode).
+    pub records_skipped: u64,
+    /// Records with tolerated trailing body bytes (lossy mode).
+    pub trailing_tolerated: u64,
+    /// Events decoded and handed to the fan-in queue.
+    pub events_decoded: u64,
+    /// Events the deterministic merge pulled from this source.
+    pub events_merged: u64,
+    /// Events decoded but not yet merged (in the queue or staged).
+    pub queued: u64,
+    /// Events shed when the source was quarantined.
+    pub stall_shed: u64,
+    /// Reader rebuilds after a fault (transient I/O retries and
+    /// poison-record re-attempts).
+    pub source_retries: u64,
+    /// Record positions the poison breaker gave up decoding.
+    pub poison_skipped: u64,
+    /// Post-augmentation events this source contributed to the stem stage.
+    pub events_forwarded: u64,
+    /// Stale withdrawals of this source dropped by rebuild augmentation.
+    pub withdraws_filtered: u64,
+}
+
+impl SourceLedger {
+    fn new(name: String) -> Self {
+        SourceLedger {
+            name,
+            health: SourceHealth::Healthy,
+            quarantine_cause: None,
+            records_decoded: 0,
+            records_skipped: 0,
+            trailing_tolerated: 0,
+            events_decoded: 0,
+            events_merged: 0,
+            queued: 0,
+            stall_shed: 0,
+            source_retries: 0,
+            poison_skipped: 0,
+            events_forwarded: 0,
+            withdraws_filtered: 0,
+        }
+    }
+
+    /// True when `events_decoded == events_merged + stall_shed + queued`.
+    pub fn accounts_exactly(&self) -> bool {
+        self.events_decoded == self.events_merged + self.stall_shed + self.queued
+    }
+
+    /// The ledger as one JSON object (nested in `bench_json`'s `sources`).
+    pub fn to_json(&self) -> String {
+        let cause = match &self.quarantine_cause {
+            Some(c) => format!("\"{}\"", json_escape(c)),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"name\":\"{}\",\"health\":\"{}\",\"quarantine_cause\":{},\
+             \"records_decoded\":{},\"records_skipped\":{},\"trailing_tolerated\":{},\
+             \"events_decoded\":{},\"events_merged\":{},\"queued\":{},\"stall_shed\":{},\
+             \"source_retries\":{},\"poison_skipped\":{},\"events_forwarded\":{},\
+             \"withdraws_filtered\":{}}}",
+            json_escape(&self.name),
+            self.health,
+            cause,
+            self.records_decoded,
+            self.records_skipped,
+            self.trailing_tolerated,
+            self.events_decoded,
+            self.events_merged,
+            self.queued,
+            self.stall_shed,
+            self.source_retries,
+            self.poison_skipped,
+            self.events_forwarded,
+            self.withdraws_filtered,
+        )
+    }
+}
+
+impl std::fmt::Display for SourceLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "source {}: {}, {} event(s) from {} record(s) ({} skipped), merged {}, \
+             forwarded {}, retries {}, poison skipped {}, stall shed {}",
+            self.name,
+            self.health,
+            self.events_decoded,
+            self.records_decoded,
+            self.records_skipped,
+            self.events_merged,
+            self.events_forwarded,
+            self.source_retries,
+            self.poison_skipped,
+            self.stall_shed,
+        )?;
+        if let Some(cause) = &self.quarantine_cause {
+            write!(f, " — {cause}")?;
+        }
+        Ok(())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reopens a source's byte stream from the start; called on first open and
+/// on every retry rebuild.
+pub type SourceFactory = Box<dyn FnMut() -> std::io::Result<Box<dyn Read + Send>> + Send>;
+
+/// One named MRT source: a factory that can (re)open its byte stream.
+pub struct SourceSpec {
+    name: String,
+    open: SourceFactory,
+}
+
+impl SourceSpec {
+    /// A source that (re)opens its stream via `open` — a file reopen, an
+    /// HTTP range request, a test harness rebuild.
+    pub fn new<F>(name: impl Into<String>, open: F) -> Self
+    where
+        F: FnMut() -> std::io::Result<Box<dyn Read + Send>> + Send + 'static,
+    {
+        SourceSpec {
+            name: name.into(),
+            open: Box::new(open),
+        }
+    }
+
+    /// An in-memory source over shared bytes (tests, benches).
+    pub fn from_bytes(name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        let bytes = Arc::new(bytes);
+        SourceSpec::new(name, move || {
+            Ok(Box::new(ArcBytes {
+                data: Arc::clone(&bytes),
+                pos: 0,
+            }) as Box<dyn Read + Send>)
+        })
+    }
+
+    /// The source's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for SourceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceSpec")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Zero-copy reader over shared bytes (see [`SourceSpec::from_bytes`]).
+struct ArcBytes {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+}
+
+impl Read for ArcBytes {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let rest = &self.data[self.pos..];
+        let n = rest.len().min(out.len());
+        out[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Shared supervisor state for one source: its public ledger plus the
+/// worker's latest decode-stage occupancy snapshot and exit flag.
+struct SourceState {
+    ledger: SourceLedger,
+    decode: StageStats,
+    done: bool,
+}
+
+type SharedSources = Arc<Mutex<Vec<SourceState>>>;
+
+/// Folds the reader's monotone counters into the ledger and, when the
+/// worker is recovering from a degraded spell, advances the health FSM.
+fn fold_counters(
+    state: &mut SourceState,
+    counters: (u64, u64, u64),
+    prev: &mut (u64, u64, u64),
+    recovering: &mut bool,
+) {
+    let ledger = &mut state.ledger;
+    ledger.records_decoded += counters.0 - prev.0;
+    ledger.records_skipped += counters.1 - prev.1;
+    ledger.trailing_tolerated += counters.2 - prev.2;
+    *prev = counters;
+    if *recovering {
+        if ledger.health == SourceHealth::Degraded {
+            ledger.health = SourceHealth::Recovered;
+        }
+        *recovering = false;
+    }
+}
+
+/// Atomically accounts a decoded batch and enqueues it: `events_decoded`
+/// and `queued` move together under the ledger lock, in the same critical
+/// section as the channel insert, so the per-source invariant holds at
+/// every instant. Returns `false` when the source is quarantined or the
+/// fan-in is gone — the batch is shed (`stall_shed`) and the worker must
+/// exit.
+#[allow(clippy::too_many_arguments)]
+fn account_and_send(
+    idx: usize,
+    shared: &SharedSources,
+    tx: &channel::Sender<Vec<Event>>,
+    batch: &mut Vec<Event>,
+    batch_size: usize,
+    counters: (u64, u64, u64),
+    prev: &mut (u64, u64, u64),
+    stats: &mut StageStats,
+    recovering: &mut bool,
+) -> bool {
+    let mut payload = std::mem::replace(batch, Vec::with_capacity(batch_size));
+    let len = payload.len() as u64;
+    loop {
+        let mut guard = shared.lock().unwrap();
+        let state = &mut guard[idx];
+        fold_counters(state, counters, prev, recovering);
+        if payload.is_empty() {
+            state.decode = *stats;
+            return true;
+        }
+        if state.ledger.health == SourceHealth::Quarantined {
+            state.ledger.events_decoded += len;
+            state.ledger.stall_shed += len;
+            state.decode = *stats;
+            state.done = true;
+            return false;
+        }
+        match tx.try_send(payload) {
+            Ok(()) => {
+                state.ledger.events_decoded += len;
+                state.ledger.queued += len;
+                state.decode = *stats;
+                return true;
+            }
+            Err(channel::TrySendError::Full(p)) => {
+                payload = p;
+                drop(guard);
+                let start = Instant::now();
+                std::thread::sleep(Duration::from_micros(200));
+                stats.blocked_out_secs += start.elapsed().as_secs_f64();
+            }
+            Err(channel::TrySendError::Disconnected(_)) => {
+                // The merge side is gone (teardown); shed so the ledger
+                // still closes.
+                state.ledger.events_decoded += len;
+                state.ledger.stall_shed += len;
+                state.decode = *stats;
+                state.done = true;
+                return false;
+            }
+        }
+    }
+}
+
+/// Marks source `idx` quarantined with `cause` and records the worker's
+/// exit.
+fn quarantine_worker(idx: usize, shared: &SharedSources, stats: &StageStats, cause: String) {
+    let mut guard = shared.lock().unwrap();
+    let state = &mut guard[idx];
+    if state.ledger.health != SourceHealth::Quarantined {
+        state.ledger.health = SourceHealth::Quarantined;
+        state.ledger.quarantine_cause = Some(cause);
+    }
+    state.decode = *stats;
+    state.done = true;
+}
+
+/// One supervised decode worker: drives a (re)buildable [`RecordReader`]
+/// over its source, applying the [`SourcePolicy`] — backoff-retry for
+/// transient I/O faults (rebuild + fast-forward past delivered records),
+/// the poison breaker for record positions that keep failing decode — and
+/// feeds decoded batches into the fan-in under the exact-accounting
+/// protocol of [`account_and_send`].
+#[allow(clippy::too_many_arguments)]
+fn supervised_source_worker(
+    idx: usize,
+    mut open: SourceFactory,
+    mode: IngestMode,
+    buffer_capacity: usize,
+    batch_size: usize,
+    policy: SourcePolicy,
+    shared: SharedSources,
+    tx: channel::Sender<Vec<Event>>,
+) {
+    let mut stats = StageStats::default();
+    let mut batch: Vec<Event> = Vec::with_capacity(batch_size);
+    // Record positions whose effects (delivered event, counted skip) are
+    // fully accounted — the exact fast-forward resume point.
+    let mut good_consumed = 0u64;
+    let mut transient_failures = 0u32;
+    let mut poison_failures = 0u32;
+    let mut recovering = false;
+
+    'rebuild: loop {
+        let start = Instant::now();
+        let built = open().map_err(MrtError::Io).and_then(|reader| {
+            let mut records = match mode {
+                IngestMode::Strict => RecordReader::with_capacity(reader, buffer_capacity),
+                IngestMode::Lossy => RecordReader::lossy_with_capacity(reader, buffer_capacity),
+            };
+            records.fast_forward(good_consumed)?;
+            Ok(records)
+        });
+        stats.busy_secs += start.elapsed().as_secs_f64();
+        let mut records = match built {
+            Ok(records) => records,
+            Err(e) => {
+                transient_failures += 1;
+                if transient_failures > policy.max_retries {
+                    quarantine_worker(
+                        idx,
+                        &shared,
+                        &stats,
+                        format!(
+                            "transient retry budget exhausted after {} attempt(s): {e}",
+                            transient_failures
+                        ),
+                    );
+                    return;
+                }
+                degrade_and_back_off(idx, &shared, &policy, transient_failures);
+                recovering = true;
+                continue 'rebuild;
+            }
+        };
+        // Fresh reader: counters restart at zero (fast-forward is
+        // counter-neutral), so the fold baseline restarts too.
+        let mut prev = (0u64, 0u64, 0u64);
+        loop {
+            let start = Instant::now();
+            let next = records.next_event();
+            stats.busy_secs += start.elapsed().as_secs_f64();
+            let counters = (
+                records.records_decoded(),
+                records.records_skipped(),
+                records.trailing_tolerated(),
+            );
+            match next {
+                Ok(Some(event)) => {
+                    transient_failures = 0;
+                    poison_failures = 0;
+                    // The event is in hand and any lossy skips before it
+                    // are in `counters`, folded no later than the next
+                    // flush — safe to resume past all of them.
+                    good_consumed = records.records_consumed();
+                    batch.push(event);
+                    if batch.len() >= batch_size
+                        && !account_and_send(
+                            idx,
+                            &shared,
+                            &tx,
+                            &mut batch,
+                            batch_size,
+                            counters,
+                            &mut prev,
+                            &mut stats,
+                            &mut recovering,
+                        )
+                    {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    let delivered = account_and_send(
+                        idx,
+                        &shared,
+                        &tx,
+                        &mut batch,
+                        batch_size,
+                        counters,
+                        &mut prev,
+                        &mut stats,
+                        &mut recovering,
+                    );
+                    if delivered {
+                        let mut guard = shared.lock().unwrap();
+                        let state = &mut guard[idx];
+                        state.decode = stats;
+                        state.done = true;
+                    }
+                    return;
+                }
+                Err(e @ (MrtError::Io(_) | MrtError::Truncated)) => {
+                    // Transient: deliver the good prefix, then rebuild and
+                    // fast-forward. An I/O fault never consumes a record
+                    // position, so `records_consumed()` is exactly the
+                    // accounted prefix (including lossy skips just folded).
+                    good_consumed = records.records_consumed();
+                    if !account_and_send(
+                        idx,
+                        &shared,
+                        &tx,
+                        &mut batch,
+                        batch_size,
+                        counters,
+                        &mut prev,
+                        &mut stats,
+                        &mut recovering,
+                    ) {
+                        return;
+                    }
+                    transient_failures += 1;
+                    if transient_failures > policy.max_retries {
+                        quarantine_worker(
+                            idx,
+                            &shared,
+                            &stats,
+                            format!(
+                                "transient retry budget exhausted after {} attempt(s): {e}",
+                                transient_failures
+                            ),
+                        );
+                        return;
+                    }
+                    degrade_and_back_off(idx, &shared, &policy, transient_failures);
+                    recovering = true;
+                    continue 'rebuild;
+                }
+                Err(_poison) => {
+                    // Poison record position (strict decode failure; the
+                    // failing attempt consumed the position).
+                    if !account_and_send(
+                        idx,
+                        &shared,
+                        &tx,
+                        &mut batch,
+                        batch_size,
+                        counters,
+                        &mut prev,
+                        &mut stats,
+                        &mut recovering,
+                    ) {
+                        return;
+                    }
+                    poison_failures += 1;
+                    if poison_failures >= policy.poison_threshold {
+                        // Give up on the position: accept its consumption
+                        // and move on with the same reader.
+                        good_consumed = records.records_consumed();
+                        poison_failures = 0;
+                        let mut guard = shared.lock().unwrap();
+                        guard[idx].ledger.poison_skipped += 1;
+                    } else {
+                        // Re-attempt the position with a rebuilt reader —
+                        // the bytes may differ on a re-read (bounded
+                        // corruption), and `e` tells us nothing about
+                        // which. No backoff: this is a decode retry, not
+                        // an I/O wait.
+                        {
+                            let mut guard = shared.lock().unwrap();
+                            let ledger = &mut guard[idx].ledger;
+                            ledger.source_retries += 1;
+                            if ledger.health != SourceHealth::Quarantined {
+                                ledger.health = SourceHealth::Degraded;
+                            }
+                        }
+                        recovering = true;
+                        continue 'rebuild;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Marks the source Degraded and sleeps the jittered exponential backoff.
+fn degrade_and_back_off(idx: usize, shared: &SharedSources, policy: &SourcePolicy, failures: u32) {
+    {
+        let mut guard = shared.lock().unwrap();
+        let ledger = &mut guard[idx].ledger;
+        ledger.source_retries += 1;
+        if ledger.health != SourceHealth::Quarantined {
+            ledger.health = SourceHealth::Degraded;
+        }
+    }
+    std::thread::sleep(policy.backoff(idx, failures));
+}
+
+/// A ledger-snapshot observer: called with the per-source ledgers under
+/// the ledger lock at every merge/quarantine instant.
+type SourceProbe = Box<dyn FnMut(&[SourceLedger])>;
+
+/// Supervised multi-source MRT fan-in: N decode workers (one per source,
+/// each under a [`SourcePolicy`]) feeding the deterministic k-way merge
+/// that drives augment → stem. See the [module docs](self) for the full
+/// design. Build with [`MultiSourceIngest::new`], add sources, then
+/// [`MultiSourceIngest::run`].
+pub struct MultiSourceIngest {
+    config: IngestConfig,
+    policy: SourcePolicy,
+    sources: Vec<SourceSpec>,
+    probe: Option<SourceProbe>,
+}
+
+impl std::fmt::Debug for MultiSourceIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSourceIngest")
+            .field("config", &self.config)
+            .field("policy", &self.policy)
+            .field("sources", &self.sources)
+            .finish()
+    }
+}
+
+impl MultiSourceIngest {
+    /// A fan-in with no sources yet.
+    pub fn new(config: IngestConfig, policy: SourcePolicy) -> Self {
+        MultiSourceIngest {
+            config,
+            policy,
+            sources: Vec::new(),
+            probe: None,
+        }
+    }
+
+    /// Adds one source.
+    pub fn source(mut self, spec: SourceSpec) -> Self {
+        self.sources.push(spec);
+        self
+    }
+
+    /// Installs a snapshot probe: called with the per-source ledgers after
+    /// every merged event and every quarantine, under the ledger lock —
+    /// each snapshot is an instant at which every ledger invariant must
+    /// hold. Tests use this to assert exact accounting at every step.
+    pub fn with_probe(mut self, probe: impl FnMut(&[SourceLedger]) + 'static) -> Self {
+        self.probe = Some(Box::new(probe));
+        self
+    }
+
+    /// Runs the fan-in to completion. Decode workers run on their own
+    /// threads; the merge/augment loop runs on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::AllSourcesQuarantined`] when no source survived;
+    /// [`IngestError::Pipeline`] when the stem stage died. A run where at
+    /// least one source survives *succeeds* with partial-source
+    /// provenance: [`IngestReport::is_partial`] and the `sources` ledgers
+    /// say exactly what was lost.
+    ///
+    /// # Panics
+    ///
+    /// When no sources were added.
+    pub fn run(self) -> Result<IngestReport, IngestError> {
+        let MultiSourceIngest {
+            config,
+            policy,
+            sources,
+            mut probe,
+        } = self;
+        assert!(
+            !sources.is_empty(),
+            "MultiSourceIngest requires at least one source"
+        );
+        let n = sources.len();
+        let batch_size = config.batch_size.max(1);
+        let channel_batches = config.channel_batches.max(1);
+        let started = Instant::now();
+
+        let shared: SharedSources = Arc::new(Mutex::new(
+            sources
+                .iter()
+                .map(|s| SourceState {
+                    ledger: SourceLedger::new(s.name.clone()),
+                    decode: StageStats::default(),
+                    done: false,
+                })
+                .collect(),
+        ));
+
+        // Spawn one detached worker per source. Detached, not scoped: a
+        // wedged worker (asleep inside a stalled read) must not block
+        // ingest completion; it self-accounts and exits whenever it wakes.
+        let mut rxs: Vec<channel::Receiver<Vec<Event>>> = Vec::with_capacity(n);
+        for (idx, spec) in sources.into_iter().enumerate() {
+            let (tx, rx) = channel::bounded::<Vec<Event>>(channel_batches);
+            rxs.push(rx);
+            let shared = Arc::clone(&shared);
+            let policy = policy.clone();
+            let (mode, buffer_capacity) = (config.mode, config.buffer_capacity);
+            std::thread::spawn(move || {
+                supervised_source_worker(
+                    idx,
+                    spec.open,
+                    mode,
+                    buffer_capacity,
+                    batch_size,
+                    policy,
+                    shared,
+                    tx,
+                );
+            });
+        }
+
+        let mut stem_stage = StemStage::spawn(config.spawn.clone(), config.shards);
+        let mut collectors: Vec<Collector> = (0..n).map(|_| Collector::new()).collect();
+        let mut heads: Vec<VecDeque<Event>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut disconnected = vec![false; n];
+        let mut quarantined = vec![false; n];
+        let mut timeouts = vec![0u32; n];
+        let mut merge = StageStats::default();
+        let mut closed = false;
+
+        let snapshot =
+            |guard: &[SourceState]| guard.iter().map(|s| s.ledger.clone()).collect::<Vec<_>>();
+
+        'merge: loop {
+            // Fill: every live source must have an event staged before the
+            // merge may pick — that is what makes the fan-in order
+            // deterministic. A live source that yields nothing within
+            // `stall_timeout` goes Degraded; on the second consecutive
+            // timeout the watchdog quarantines it and sheds its queue.
+            let mut ready = true;
+            for i in 0..n {
+                if disconnected[i] || quarantined[i] || !heads[i].is_empty() {
+                    continue;
+                }
+                let start = Instant::now();
+                let pulled = rxs[i].recv_timeout(policy.stall_timeout);
+                merge.blocked_in_secs += start.elapsed().as_secs_f64();
+                match pulled {
+                    Ok(batch) => {
+                        if timeouts[i] > 0 {
+                            // Delivered again after a stall timeout.
+                            let mut guard = shared.lock().unwrap();
+                            let ledger = &mut guard[i].ledger;
+                            if ledger.health == SourceHealth::Degraded {
+                                ledger.health = SourceHealth::Recovered;
+                            }
+                            timeouts[i] = 0;
+                        }
+                        heads[i].extend(batch);
+                    }
+                    Err(channel::RecvTimeoutError::Timeout) => {
+                        timeouts[i] += 1;
+                        let mut guard = shared.lock().unwrap();
+                        if timeouts[i] == 1 {
+                            let ledger = &mut guard[i].ledger;
+                            if ledger.health != SourceHealth::Quarantined {
+                                ledger.health = SourceHealth::Degraded;
+                            }
+                            ready = false;
+                        } else {
+                            // Second consecutive timeout: quarantine. The
+                            // drain happens under the ledger lock — the
+                            // worker's enqueue runs under the same lock,
+                            // so no event can slip in unaccounted.
+                            let state = &mut guard[i];
+                            state.ledger.health = SourceHealth::Quarantined;
+                            state.ledger.quarantine_cause = Some(format!(
+                                "stalled: no progress within {:.1}s twice",
+                                policy.stall_timeout.as_secs_f64()
+                            ));
+                            while let Ok(batch) = rxs[i].try_recv() {
+                                let k = batch.len() as u64;
+                                state.ledger.queued -= k;
+                                state.ledger.stall_shed += k;
+                            }
+                            quarantined[i] = true;
+                            if let Some(probe) = probe.as_mut() {
+                                probe(&snapshot(&guard));
+                            }
+                        }
+                    }
+                    Err(channel::RecvTimeoutError::Disconnected) => {
+                        disconnected[i] = true;
+                    }
+                }
+            }
+            if !ready {
+                continue 'merge;
+            }
+            // Done when nothing is live and nothing is staged.
+            if (0..n).all(|i| (disconnected[i] || quarantined[i]) && heads[i].is_empty()) {
+                break 'merge;
+            }
+            // A live source may still have come up empty (its worker
+            // dropped the channel between fills); re-run the fill.
+            if (0..n).any(|i| !disconnected[i] && !quarantined[i] && heads[i].is_empty()) {
+                continue 'merge;
+            }
+
+            // Deterministic pick: minimum (timestamp, source index) over
+            // every staged head — includes drained leftovers of finished
+            // sources, excludes nothing that could still matter.
+            let pick = (0..n)
+                .filter(|&i| !heads[i].is_empty())
+                .min_by_key(|&i| (heads[i].front().expect("non-empty head").time, i))
+                .expect("at least one staged event");
+            let event = heads[pick].pop_front().expect("picked head");
+            {
+                let mut guard = shared.lock().unwrap();
+                let ledger = &mut guard[pick].ledger;
+                ledger.queued -= 1;
+                ledger.events_merged += 1;
+            }
+
+            let start = Instant::now();
+            let outputs = match config.augment {
+                AugmentMode::Passthrough => vec![event],
+                AugmentMode::Rebuild => {
+                    let msg = match event.kind {
+                        EventKind::Announce => {
+                            UpdateMessage::announce(event.peer, event.attrs.clone(), [event.prefix])
+                        }
+                        EventKind::Withdraw => UpdateMessage::withdraw(event.peer, [event.prefix]),
+                    };
+                    let outputs = collectors[pick].apply_update(&msg, event.time);
+                    if outputs.is_empty() && event.kind == EventKind::Withdraw {
+                        let mut guard = shared.lock().unwrap();
+                        guard[pick].ledger.withdraws_filtered += 1;
+                    }
+                    outputs
+                }
+            };
+            merge.busy_secs += start.elapsed().as_secs_f64();
+            let mut forwarded = 0u64;
+            for out in outputs {
+                let start = Instant::now();
+                let pushed = stem_stage.ingest_event(out);
+                merge.blocked_out_secs += start.elapsed().as_secs_f64();
+                if pushed.is_err() {
+                    closed = true;
+                    break;
+                }
+                forwarded += 1;
+            }
+            {
+                let mut guard = shared.lock().unwrap();
+                guard[pick].ledger.events_forwarded += forwarded;
+                if let Some(probe) = probe.as_mut() {
+                    probe(&snapshot(&guard));
+                }
+            }
+            if closed {
+                break 'merge;
+            }
+        }
+
+        // Tear the fan-in down: dropping the receivers makes any still-live
+        // worker shed-and-exit on its next enqueue attempt.
+        drop(rxs);
+
+        if closed {
+            let cause = stem_stage.failure_cause();
+            let (_reports, stats, _digest, _shards) = stem_stage.finish();
+            return Err(IngestError::Pipeline {
+                cause,
+                stats: Box::new(stats),
+            });
+        }
+
+        let (ledgers, decode) = {
+            let guard = shared.lock().unwrap();
+            let mut decode = StageStats::default();
+            for state in guard.iter() {
+                decode.busy_secs += state.decode.busy_secs;
+                decode.blocked_in_secs += state.decode.blocked_in_secs;
+                decode.blocked_out_secs += state.decode.blocked_out_secs;
+            }
+            (snapshot(&guard), decode)
+        };
+
+        if ledgers
+            .iter()
+            .all(|l| l.health == SourceHealth::Quarantined)
+        {
+            let (_reports, stats, _digest, _shards) = stem_stage.finish();
+            return Err(IngestError::AllSourcesQuarantined {
+                sources: ledgers,
+                stats: Box::new(stats),
+            });
+        }
+
+        let drain_start = Instant::now();
+        let (reports, stats, digest, shard_stats) = stem_stage.finish();
+        let drain = drain_start.elapsed().as_secs_f64();
+        let elapsed = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+        let events_decoded: u64 = ledgers.iter().map(|l| l.events_decoded).sum();
+        let stem = StageStats {
+            busy_secs: merge.blocked_out_secs + drain,
+            blocked_in_secs: merge.blocked_in_secs,
+            blocked_out_secs: 0.0,
+        };
+        Ok(IngestReport {
+            records_decoded: ledgers.iter().map(|l| l.records_decoded).sum(),
+            records_skipped: ledgers.iter().map(|l| l.records_skipped).sum(),
+            trailing_tolerated: ledgers.iter().map(|l| l.trailing_tolerated).sum(),
+            events_decoded,
+            events_forwarded: ledgers.iter().map(|l| l.events_forwarded).sum(),
+            withdraws_filtered: ledgers.iter().map(|l| l.withdraws_filtered).sum(),
+            reports,
+            digest,
+            stats,
+            shard_stats,
+            decode,
+            augment: merge,
+            stem,
+            elapsed_secs: elapsed,
+            events_per_sec: events_decoded as f64 / elapsed,
+            peak_rss_bytes: peak_rss_bytes(),
+            sources: ledgers,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -827,6 +1915,224 @@ mod tests {
         let report = ingest(archive.as_slice(), IngestConfig::default().lossy()).unwrap();
         assert_eq!(report.events_decoded, 8);
         assert_eq!(report.records_skipped, 1);
+    }
+
+    #[test]
+    fn parse_vmhwm_handles_synthetic_status_strings() {
+        let good = "VmPeak:\t  123 kB\nVmHWM:\t  2048 kB\nVmRSS:\t 99 kB\n";
+        assert_eq!(parse_vmhwm_bytes(good), Some(2048 * 1024));
+        // Bare number (no unit) is still kB.
+        assert_eq!(parse_vmhwm_bytes("VmHWM: 4"), Some(4096));
+        // Partial parses yield None, never a bogus number.
+        assert_eq!(parse_vmhwm_bytes(""), None);
+        assert_eq!(parse_vmhwm_bytes("VmRSS: 17 kB"), None);
+        assert_eq!(parse_vmhwm_bytes("VmHWM:"), None);
+        assert_eq!(parse_vmhwm_bytes("VmHWM: lots kB"), None);
+        assert_eq!(parse_vmhwm_bytes("VmHWM: 17 MB"), None);
+        assert_eq!(parse_vmhwm_bytes("VmHWM: 18446744073709551615 kB"), None);
+    }
+
+    /// A policy tuned for fast tests: short backoff, short stall timeout.
+    fn test_policy() -> SourcePolicy {
+        SourcePolicy::default()
+            .with_backoff(Duration::from_millis(1), Duration::from_millis(5))
+            .with_stall_timeout(Duration::from_millis(250))
+    }
+
+    /// Distinct per-source streams whose prefixes never collide, so every
+    /// source's contribution is identifiable downstream.
+    fn source_stream(source: u8, pairs: u32) -> EventStream {
+        let peer = PeerId::from_octets(10, source, 0, 1);
+        let mut stream = EventStream::new();
+        for i in 0..pairs {
+            let prefix = Prefix::from_octets(20 + source, (i >> 8) as u8, (i & 0xFF) as u8, 0, 24);
+            stream.push(Event::announce(
+                Timestamp::from_secs(u64::from(i) * 4 + u64::from(source)),
+                peer,
+                prefix,
+                attrs(&[701, 1299 + i]),
+            ));
+            stream.push(Event::withdraw(
+                Timestamp::from_secs(u64::from(i) * 4 + u64::from(source) + 2),
+                peer,
+                prefix,
+                attrs(&[701, 1299 + i]),
+            ));
+        }
+        stream
+    }
+
+    #[test]
+    fn multi_source_merges_deterministically_and_closes_every_ledger() {
+        let run = || {
+            MultiSourceIngest::new(IngestConfig::default().with_batch_size(16), test_policy())
+                .source(SourceSpec::from_bytes(
+                    "a",
+                    archive_of(&source_stream(1, 60)),
+                ))
+                .source(SourceSpec::from_bytes(
+                    "b",
+                    archive_of(&source_stream(2, 40)),
+                ))
+                .source(SourceSpec::from_bytes(
+                    "c",
+                    archive_of(&source_stream(3, 20)),
+                ))
+                .run()
+                .unwrap()
+        };
+        let first = run();
+        assert_eq!(first.events_decoded, 240);
+        assert_eq!(first.events_forwarded, 240);
+        assert_eq!(first.stats.ingested, 240);
+        assert!(first.stats.accounts_exactly());
+        assert!(first.sources_account_exactly());
+        assert!(!first.is_partial());
+        assert_eq!(first.sources.len(), 3);
+        for ledger in &first.sources {
+            assert_eq!(ledger.health, SourceHealth::Healthy);
+            assert_eq!(ledger.queued, 0);
+            assert_eq!(ledger.events_decoded, ledger.events_merged);
+        }
+        // Bit-identical on a rerun: same ledgers, same report count.
+        let second = run();
+        assert_eq!(first.sources, second.sources);
+        assert_eq!(first.reports.len(), second.reports.len());
+        let json = first.bench_json();
+        assert!(
+            json.contains("\"sources\":[{\"name\":\"a\""),
+            "json: {json}"
+        );
+        assert!(json.contains("\"health\":\"healthy\""), "json: {json}");
+    }
+
+    #[test]
+    fn multi_source_probe_sees_closed_ledgers_at_every_snapshot() {
+        let snapshots = std::cell::RefCell::new(0u64);
+        // The probe runs under the ledger lock after every merged event:
+        // each call is an instant at which every invariant must hold.
+        let report =
+            MultiSourceIngest::new(IngestConfig::default().with_batch_size(8), test_policy())
+                .source(SourceSpec::from_bytes(
+                    "a",
+                    archive_of(&source_stream(1, 30)),
+                ))
+                .source(SourceSpec::from_bytes(
+                    "b",
+                    archive_of(&source_stream(2, 30)),
+                ))
+                .with_probe(move |ledgers| {
+                    for l in ledgers {
+                        assert!(l.accounts_exactly(), "open ledger mid-run: {l:?}");
+                    }
+                    *snapshots.borrow_mut() += 1;
+                })
+                .run()
+                .unwrap();
+        assert_eq!(report.events_decoded, 120);
+        assert!(report.sources_account_exactly());
+    }
+
+    #[test]
+    fn multi_source_errors_when_every_source_is_dead() {
+        let dead = |name: &str| {
+            SourceSpec::new(name.to_owned(), || {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "injected: collector unreachable",
+                ))
+            })
+        };
+        let err =
+            MultiSourceIngest::new(IngestConfig::default(), test_policy().with_max_retries(1))
+                .source(dead("ripe-rrc00"))
+                .source(dead("routeviews2"))
+                .run()
+                .unwrap_err();
+        match err {
+            IngestError::AllSourcesQuarantined { sources, stats } => {
+                assert_eq!(sources.len(), 2);
+                for s in &sources {
+                    assert_eq!(s.health, SourceHealth::Quarantined);
+                    assert!(s.accounts_exactly());
+                    let cause = s.quarantine_cause.as_deref().unwrap();
+                    assert!(cause.contains("collector unreachable"), "cause: {cause}");
+                    assert!(s.source_retries >= 1, "retried before giving up: {s:?}");
+                }
+                assert_eq!(stats.ingested, 0);
+                let msg = format!("{}", IngestError::AllSourcesQuarantined { sources, stats });
+                assert!(msg.contains("ripe-rrc00:"), "per-source causes: {msg}");
+                assert!(msg.contains("routeviews2:"), "per-source causes: {msg}");
+            }
+            other => panic!("expected AllSourcesQuarantined, got {other}"),
+        }
+    }
+
+    #[test]
+    fn multi_source_survives_a_dead_source_with_partial_provenance() {
+        let report = MultiSourceIngest::new(
+            IngestConfig::default().with_batch_size(16),
+            test_policy().with_max_retries(1),
+        )
+        .source(SourceSpec::from_bytes(
+            "good",
+            archive_of(&source_stream(1, 50)),
+        ))
+        .source(SourceSpec::new("dead", || {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "injected: feed down",
+            ))
+        }))
+        .run()
+        .unwrap();
+        assert!(report.is_partial());
+        assert_eq!(report.quarantined_sources().len(), 1);
+        assert_eq!(report.quarantined_sources()[0].name, "dead");
+        assert_eq!(report.events_decoded, 100);
+        assert!(report.sources_account_exactly());
+        let text = format!("{report}");
+        assert!(text.contains("PARTIAL RESULT"), "display: {text}");
+        assert!(text.contains("source dead: quarantined"), "display: {text}");
+    }
+
+    #[test]
+    fn multi_source_rebuild_augmentation_keeps_per_source_rib_state() {
+        // Source "a" announces then withdraws; source "b" sends a stale
+        // withdrawal for the same prefix it never announced. Per-source
+        // collectors must filter b's, not a's.
+        let peer = PeerId::from_octets(10, 0, 0, 1);
+        let prefix: Prefix = "30.1.0.0/24".parse().unwrap();
+        let mut a = EventStream::new();
+        a.push(Event::announce(
+            Timestamp::from_secs(1),
+            peer,
+            prefix,
+            attrs(&[701]),
+        ));
+        a.push(Event::withdraw(
+            Timestamp::from_secs(3),
+            peer,
+            prefix,
+            attrs(&[701]),
+        ));
+        let mut b = EventStream::new();
+        b.push(Event::withdraw(
+            Timestamp::from_secs(2),
+            peer,
+            prefix,
+            attrs(&[701]),
+        ));
+        let report = MultiSourceIngest::new(IngestConfig::default(), test_policy())
+            .source(SourceSpec::from_bytes("a", archive_of(&a)))
+            .source(SourceSpec::from_bytes("b", archive_of(&b)))
+            .run()
+            .unwrap();
+        assert_eq!(report.events_forwarded, 2);
+        assert_eq!(report.withdraws_filtered, 1);
+        let b_ledger = report.sources.iter().find(|s| s.name == "b").unwrap();
+        assert_eq!(b_ledger.withdraws_filtered, 1);
+        assert_eq!(b_ledger.events_forwarded, 0);
     }
 
     #[test]

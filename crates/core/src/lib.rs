@@ -89,7 +89,8 @@ pub mod prelude {
     };
 
     pub use crate::ingest::{
-        ingest, AugmentMode, IngestConfig, IngestError, IngestMode, IngestReport, StageStats,
+        ingest, AugmentMode, IngestConfig, IngestError, IngestMode, IngestReport,
+        MultiSourceIngest, SourceHealth, SourceLedger, SourcePolicy, SourceSpec, StageStats,
     };
     pub use crate::rex::Rex;
     pub use crate::scenarios::{Berkeley, IncidentStream, IspAnon};

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod binary;
+pub mod fault;
 pub mod stream;
 pub mod text;
 
@@ -51,6 +52,7 @@ pub use binary::{
     read_events, read_rib, write_events, write_rib, MrtError, RECORD_TYPE_EVENT,
     RECORD_TYPE_RIB_ENTRY,
 };
+pub use fault::{ArmedFaults, FaultSpec, FaultyReader};
 pub use stream::{RecordReader, DEFAULT_BUFFER_CAPACITY, MAX_RECORD_BODY};
 pub use text::{
     event_to_line, events_to_text, line_to_event, text_to_events, text_to_events_lossy,

@@ -19,7 +19,18 @@
 //!   undecodable bodies are *skipped* using the header's `body_len` (the
 //!   container's length-prefix makes resynchronization free), and trailing
 //!   body bytes are tolerated; every such record is counted, never silent.
-//!   Only a truncated tail — where no next record can exist — still errors.
+//!   A *corrupted* length-prefix header — `body_len` past
+//!   [`MAX_RECORD_BODY`], or an absurd timestamp (`micros ≥ 1 000 000`,
+//!   which no encoder produces) — loses the framing itself, so the reader
+//!   scans forward to the next plausible record header
+//!   ([resync](RecordReader::skip_record)) and counts the garbage under
+//!   `records_skipped`. Only a truncated tail — where no next record can
+//!   exist — still errors.
+//!
+//! For supervised multi-source ingestion the reader also exposes its raw
+//! record *position* ([`RecordReader::records_consumed`]) and a
+//! [`RecordReader::fast_forward`] that replays a rebuilt reader to a known
+//! position without decoding — the retry path after a transient I/O fault.
 
 use std::io::Read;
 use std::ops::Range;
@@ -47,6 +58,36 @@ pub const MAX_RECORD_BODY: usize = 16 * 1024 * 1024;
 /// A raw record pulled off the wire: `(time, type, subtype, body range in
 /// the refill buffer)`.
 type RawRecord = (Timestamp, u16, u16, Range<usize>);
+
+/// What one raw pull produced.
+enum RawNext {
+    /// A well-framed record (its body may still be undecodable).
+    Record(RawRecord),
+    /// A corrupted header was scanned past (resync); one position consumed.
+    Garbage,
+    /// Clean end of input.
+    End,
+}
+
+/// A header is *sane* when its self-describing fields could have come from
+/// our encoder: the micros field is a real sub-second count and the body
+/// length is within [`MAX_RECORD_BODY`]. An insane header means the
+/// length-prefix framing itself is corrupt — `body_len` cannot be trusted
+/// to find the next record.
+fn header_sane(h: &[u8]) -> bool {
+    let micros = u32::from_be_bytes([h[4], h[5], h[6], h[7]]);
+    let body_len = u32::from_be_bytes([h[12], h[13], h[14], h[15]]) as usize;
+    micros < 1_000_000 && body_len <= MAX_RECORD_BODY
+}
+
+/// A resync target additionally requires a record type we actually emit —
+/// scanning for arbitrary "sane" headers inside garbage would lock onto
+/// noise far too easily, the two magic type bytes make that vanishingly
+/// unlikely.
+fn header_plausible(h: &[u8]) -> bool {
+    let rtype = u16::from_be_bytes([h[8], h[9]]);
+    (rtype == RECORD_TYPE_EVENT || rtype == RECORD_TYPE_RIB_ENTRY) && header_sane(h)
+}
 
 /// A streaming reader over an MRT-style archive.
 ///
@@ -94,6 +135,7 @@ pub struct RecordReader<R> {
     records_decoded: u64,
     records_skipped: u64,
     trailing_tolerated: u64,
+    records_consumed: u64,
 }
 
 impl<R: Read> RecordReader<R> {
@@ -116,6 +158,7 @@ impl<R: Read> RecordReader<R> {
             records_decoded: 0,
             records_skipped: 0,
             trailing_tolerated: 0,
+            records_consumed: 0,
         }
     }
 
@@ -153,6 +196,15 @@ impl<R: Read> RecordReader<R> {
     /// Always 0 in strict mode (strict aborts instead).
     pub fn trailing_tolerated(&self) -> u64 {
         self.trailing_tolerated
+    }
+
+    /// Raw record positions consumed so far: decoded records, lossy skips,
+    /// and resynced garbage all count one position each. This is the
+    /// reader's logical cursor — a rebuilt reader handed the same bytes and
+    /// [`RecordReader::fast_forward`]ed by this amount resumes exactly
+    /// where this one stands.
+    pub fn records_consumed(&self) -> u64 {
+        self.records_consumed
     }
 
     /// Current buffer allocation in bytes — the reader's whole archive-
@@ -193,27 +245,48 @@ impl<R: Read> RecordReader<R> {
     }
 
     /// Pulls the next raw record: its header fields plus the buffer range
-    /// holding its body. `None` at a clean end of input; `Truncated` when
-    /// the input ends inside a record.
-    fn next_record(&mut self) -> Result<Option<RawRecord>, MrtError> {
+    /// holding its body. `End` at a clean end of input; `Truncated` when
+    /// the input ends inside a record. A corrupted (insane) header errors
+    /// when `resync_on_insane` is false; otherwise the reader scans forward
+    /// to the next plausible header and reports `Garbage` for the one
+    /// consumed position.
+    fn next_record_with(&mut self, resync_on_insane: bool) -> Result<RawNext, MrtError> {
         let available = self.ensure(HEADER_LEN)?;
         if available == 0 {
-            return Ok(None);
+            return Ok(RawNext::End);
         }
         if available < HEADER_LEN {
             return Err(MrtError::Truncated);
         }
+        if !header_sane(&self.buf[self.start..self.start + HEADER_LEN]) {
+            if !resync_on_insane {
+                let body_len = u32::from_be_bytes(
+                    self.buf[self.start + 12..self.start + HEADER_LEN]
+                        .try_into()
+                        .expect("4 header bytes"),
+                ) as usize;
+                return Err(MrtError::InvalidField(if body_len > MAX_RECORD_BODY {
+                    "record body exceeds maximum size"
+                } else {
+                    "implausible record timestamp"
+                }));
+            }
+            // The framing is gone: the advertised body length cannot be
+            // trusted, so skip-by-prefix would jump anywhere. Scan forward
+            // to the next plausible header instead.
+            self.records_consumed += 1;
+            self.resync()?;
+            return Ok(RawNext::Garbage);
+        }
         let mut header = &self.buf[self.start..self.start + HEADER_LEN];
         let (time, rtype, subtype, body_len) = read_header(&mut header)?;
-        if body_len > MAX_RECORD_BODY {
-            return Err(MrtError::InvalidField("record body exceeds maximum size"));
-        }
         if self.ensure(HEADER_LEN + body_len)? < HEADER_LEN + body_len {
             return Err(MrtError::Truncated);
         }
         let body_start = self.start + HEADER_LEN;
         self.start = body_start + body_len;
-        Ok(Some((
+        self.records_consumed += 1;
+        Ok(RawNext::Record((
             time,
             rtype,
             subtype,
@@ -221,12 +294,88 @@ impl<R: Read> RecordReader<R> {
         )))
     }
 
+    fn next_record(&mut self) -> Result<RawNext, MrtError> {
+        self.next_record_with(!self.strict)
+    }
+
+    /// Scans forward one byte at a time to the next plausible record header
+    /// after a corrupted one. When the input ends first, the remaining
+    /// bytes are unrecoverable tail garbage and are consumed silently — a
+    /// later pull reports a clean end of input.
+    fn resync(&mut self) -> Result<(), MrtError> {
+        self.start += 1;
+        loop {
+            if self.ensure(HEADER_LEN)? < HEADER_LEN {
+                self.start = self.end;
+                return Ok(());
+            }
+            if header_plausible(&self.buf[self.start..self.start + HEADER_LEN]) {
+                return Ok(());
+            }
+            self.start += 1;
+        }
+    }
+
+    /// Consumes up to `n` raw record positions without decoding bodies,
+    /// resyncing past corrupted headers exactly as a lossy read would.
+    /// Returns the number of positions actually consumed (below `n` only at
+    /// end of input).
+    ///
+    /// This is the rebuild path of a supervised source: after a transient
+    /// I/O fault the reader is reconstructed over a fresh byte stream and
+    /// fast-forwarded to [`RecordReader::records_consumed`] of the last
+    /// good position, so no already-delivered record is delivered twice.
+    /// The decode/skip statistics counters are left untouched — the records
+    /// replayed here were already accounted for on their first pass.
+    pub fn fast_forward(&mut self, n: u64) -> Result<u64, MrtError> {
+        let saved = (
+            self.records_decoded,
+            self.records_skipped,
+            self.trailing_tolerated,
+        );
+        let mut advanced = 0;
+        while advanced < n {
+            match self.next_record_with(true)? {
+                RawNext::Record(_) | RawNext::Garbage => advanced += 1,
+                RawNext::End => break,
+            }
+        }
+        (
+            self.records_decoded,
+            self.records_skipped,
+            self.trailing_tolerated,
+        ) = saved;
+        Ok(advanced)
+    }
+
+    /// Discards the next record regardless of decodability, resyncing past
+    /// a corrupted header if needed — the poison-record breaker of a
+    /// supervised source, which gives up on a position after repeated
+    /// decode failures. Returns `false` at end of input. The skip counters
+    /// are left untouched; the caller accounts for the discard.
+    pub fn skip_record(&mut self) -> Result<bool, MrtError> {
+        let saved = (
+            self.records_decoded,
+            self.records_skipped,
+            self.trailing_tolerated,
+        );
+        let got = !matches!(self.next_record_with(true)?, RawNext::End);
+        (
+            self.records_decoded,
+            self.records_skipped,
+            self.trailing_tolerated,
+        ) = saved;
+        Ok(got)
+    }
+
     /// Decodes the next event record.
     ///
     /// Strict mode: any non-event record, unknown subtype, undecodable
-    /// body, or trailing body bytes is an error. Lossy mode: all of those
-    /// are skipped (counted in [`RecordReader::records_skipped`] /
-    /// [`RecordReader::trailing_tolerated`]) and the read continues at the
+    /// body, corrupted header, or trailing body bytes is an error. Lossy
+    /// mode: all of those are skipped (counted in
+    /// [`RecordReader::records_skipped`] /
+    /// [`RecordReader::trailing_tolerated`]; a corrupted header resyncs by
+    /// scanning, see the [module docs](self)) and the read continues at the
     /// next record.
     ///
     /// # Errors
@@ -237,8 +386,13 @@ impl<R: Read> RecordReader<R> {
     /// variants in strict mode only.
     pub fn next_event(&mut self) -> Result<Option<Event>, MrtError> {
         loop {
-            let Some((time, rtype, subtype, body)) = self.next_record()? else {
-                return Ok(None);
+            let (time, rtype, subtype, body) = match self.next_record()? {
+                RawNext::Record(raw) => raw,
+                RawNext::Garbage => {
+                    self.records_skipped += 1;
+                    continue;
+                }
+                RawNext::End => return Ok(None),
             };
             if rtype != RECORD_TYPE_EVENT {
                 if self.strict {
@@ -269,8 +423,13 @@ impl<R: Read> RecordReader<R> {
     /// [`RecordReader::next_event`], with identical strict/lossy semantics.
     pub fn next_route(&mut self) -> Result<Option<Route>, MrtError> {
         loop {
-            let Some((time, rtype, _subtype, body)) = self.next_record()? else {
-                return Ok(None);
+            let (time, rtype, _subtype, body) = match self.next_record()? {
+                RawNext::Record(raw) => raw,
+                RawNext::Garbage => {
+                    self.records_skipped += 1;
+                    continue;
+                }
+                RawNext::End => return Ok(None),
             };
             if rtype != RECORD_TYPE_RIB_ENTRY {
                 if self.strict {
@@ -561,6 +720,165 @@ mod tests {
         assert_eq!(items.len(), 2);
         assert!(items[0].is_ok());
         assert!(matches!(items[1], Err(MrtError::Truncated)));
+    }
+
+    /// Writes each event as its own record, returning the byte offset of
+    /// every record header (for surgical corruption).
+    fn archive_with_offsets(stream: &EventStream) -> (Vec<u8>, Vec<usize>) {
+        let mut archive = Vec::new();
+        let mut offsets = Vec::new();
+        for event in stream {
+            offsets.push(archive.len());
+            let mut one = EventStream::new();
+            one.push(event.clone());
+            write_events(&mut archive, &one).unwrap();
+        }
+        (archive, offsets)
+    }
+
+    fn all_but(stream: &EventStream, skip: usize) -> EventStream {
+        let mut expect = EventStream::new();
+        for (i, e) in stream.iter().enumerate() {
+            if i != skip {
+                expect.push(e.clone());
+            }
+        }
+        expect
+    }
+
+    #[test]
+    fn lossy_resyncs_past_corrupted_length_prefix_and_recovers_tail() {
+        let stream = synthetic_stream(8);
+        let (mut archive, offsets) = archive_with_offsets(&stream);
+        // Destroy record 3's framing: body_len = u32::MAX. The advertised
+        // length can no longer locate record 4.
+        let h = offsets[3];
+        archive[h + 12..h + 16].copy_from_slice(&u32::MAX.to_be_bytes());
+
+        let mut strict = RecordReader::new(archive.as_slice());
+        for _ in 0..3 {
+            assert!(strict.next_event().unwrap().is_some());
+        }
+        assert!(matches!(
+            strict.next_event(),
+            Err(MrtError::InvalidField("record body exceeds maximum size"))
+        ));
+
+        // Lossy scans forward to record 4's header and recovers the whole
+        // tail; the corrupted record is one counted skip.
+        let (decoded, reader) = collect_events(RecordReader::lossy(archive.as_slice()));
+        assert_eq!(decoded, all_but(&stream, 3));
+        assert_eq!(reader.records_skipped(), 1);
+        assert_eq!(reader.records_consumed(), 8);
+    }
+
+    #[test]
+    fn lossy_resyncs_past_absurd_timestamp_header() {
+        let stream = synthetic_stream(6);
+        let (mut archive, offsets) = archive_with_offsets(&stream);
+        // micros = u32::MAX: no encoder emits a sub-second count ≥ 1e6.
+        let h = offsets[2];
+        archive[h + 4..h + 8].copy_from_slice(&u32::MAX.to_be_bytes());
+
+        let mut strict = RecordReader::new(archive.as_slice());
+        for _ in 0..2 {
+            assert!(strict.next_event().unwrap().is_some());
+        }
+        assert!(matches!(
+            strict.next_event(),
+            Err(MrtError::InvalidField("implausible record timestamp"))
+        ));
+
+        let (decoded, reader) = collect_events(RecordReader::lossy(archive.as_slice()));
+        assert_eq!(decoded, all_but(&stream, 2));
+        assert_eq!(reader.records_skipped(), 1);
+    }
+
+    #[test]
+    fn lossy_counts_unrecoverable_tail_garbage_as_one_skip() {
+        let stream = synthetic_stream(3);
+        let (mut archive, offsets) = archive_with_offsets(&stream);
+        // Corrupt the *last* record's header: the resync scan finds no
+        // plausible header before end of input, so the tail is consumed as
+        // one counted skip and the read ends cleanly.
+        let h = offsets[2];
+        archive[h + 4..h + 8].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut reader = RecordReader::lossy(archive.as_slice());
+        assert!(reader.next_event().unwrap().is_some());
+        assert!(reader.next_event().unwrap().is_some());
+        assert!(reader.next_event().unwrap().is_none());
+        assert_eq!(reader.records_skipped(), 1);
+        assert_eq!(reader.records_decoded(), 2);
+    }
+
+    #[test]
+    fn fast_forward_resumes_at_exact_position_without_recounting() {
+        let stream = synthetic_stream(50);
+        let mut archive = Vec::new();
+        write_events(&mut archive, &stream).unwrap();
+        let mut first = RecordReader::new(archive.as_slice());
+        let mut delivered = EventStream::new();
+        for _ in 0..20 {
+            delivered.push(first.next_event().unwrap().unwrap());
+        }
+        let pos = first.records_consumed();
+        assert_eq!(pos, 20);
+        // Rebuild over a fresh byte stream (the transient-fault retry
+        // path), fast-forward past the delivered records, resume decoding.
+        let mut rebuilt = RecordReader::with_capacity(archive.as_slice(), 64);
+        assert_eq!(rebuilt.fast_forward(pos).unwrap(), pos);
+        assert_eq!(rebuilt.records_consumed(), pos);
+        assert_eq!(rebuilt.records_decoded(), 0, "ff must not recount stats");
+        while let Some(e) = rebuilt.next_event().unwrap() {
+            delivered.push(e);
+        }
+        assert_eq!(delivered, stream);
+        // Fast-forwarding past the end stops at the end.
+        let mut over = RecordReader::new(archive.as_slice());
+        assert_eq!(over.fast_forward(1_000).unwrap(), 50);
+    }
+
+    #[test]
+    fn fast_forward_replays_resynced_positions_identically() {
+        let stream = synthetic_stream(8);
+        let (mut archive, offsets) = archive_with_offsets(&stream);
+        let h = offsets[3];
+        archive[h + 12..h + 16].copy_from_slice(&u32::MAX.to_be_bytes());
+        // First pass (lossy) consumes 3 events + 1 garbage + 2 events.
+        let mut first = RecordReader::lossy(archive.as_slice());
+        for _ in 0..5 {
+            first.next_event().unwrap().unwrap();
+        }
+        let pos = first.records_consumed();
+        assert_eq!(pos, 6);
+        // A rebuilt reader fast-forwarded by the same count lands on the
+        // same next record, resyncing the garbage the same way.
+        let mut rebuilt = RecordReader::lossy(archive.as_slice());
+        assert_eq!(rebuilt.fast_forward(pos).unwrap(), pos);
+        assert_eq!(rebuilt.records_skipped(), 0, "ff must not recount skips");
+        assert_eq!(
+            rebuilt.next_event().unwrap().unwrap(),
+            first.next_event().unwrap().unwrap()
+        );
+    }
+
+    #[test]
+    fn skip_record_discards_one_position_without_counting() {
+        let stream = synthetic_stream(4);
+        let mut archive = Vec::new();
+        write_events(&mut archive, &stream).unwrap();
+        let mut reader = RecordReader::new(archive.as_slice());
+        assert!(reader.next_event().unwrap().is_some());
+        assert!(reader.skip_record().unwrap());
+        assert_eq!(reader.records_skipped(), 0, "caller accounts the skip");
+        assert_eq!(reader.records_consumed(), 2);
+        let mut rest = EventStream::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            rest.push(e);
+        }
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest.events()[0], stream.events()[2]);
+        assert!(!reader.skip_record().unwrap(), "false at end of input");
     }
 
     #[test]

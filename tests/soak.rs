@@ -20,7 +20,13 @@
 //! * under [`AdaptiveConfig`] the closed-loop controller degrades fidelity
 //!   during the storm, merge-on-shed preserves the anomaly evidence as
 //!   weighted representatives, and fidelity recovers to full once the
-//!   queue quiets.
+//!   queue quiets,
+//! * the supervised multi-source ingest ([`MultiSourceIngest`]) heals
+//!   injected transient read faults bit-identically to a fault-free run,
+//!   quarantines a wedged source without disturbing its siblings (their
+//!   ledgers match a baseline run without it), keeps every per-source
+//!   ledger closed at every probe snapshot including post-quarantine, and
+//!   errors with per-source causes only when *every* source is dead.
 
 use std::time::{Duration, Instant};
 
@@ -1107,4 +1113,361 @@ fn soak_corrupt_text_feed_is_recovered_and_accounted() {
     assert_eq!(stats.ingested, recovered.len() as u64);
     assert!(stats.accounts_exactly(), "{stats}");
     assert_eq!(stats.shed_events, 0, "Degrade must be lossless: {stats}");
+}
+
+// ---------------------------------------------------------------------------
+// Multi-source ingest soak legs: fault-injected MRT sources fanning into one
+// stem pipeline under per-source supervision.
+// ---------------------------------------------------------------------------
+
+use std::io::{Cursor, Read};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bgpscope_mrt::{ArmedFaults, FaultSpec, FaultyReader};
+
+/// Partitions the seeded storm feed's augmented events into `n` MRT
+/// archives by the shard router's `(peer, prefix)` key, so announce /
+/// withdraw pairs for a prefix stay on one source (each archive is a
+/// self-consistent collector's view).
+fn multi_source_archives(seed: u64, n: usize) -> Vec<Vec<u8>> {
+    let feed = FaultPlan::storm_soak(seed).build_feed();
+    let router = ShardRouter::new(n).with_range_bits(SHARD_RANGE_BITS);
+    let mut collector = Collector::new();
+    let mut parts: Vec<EventStream> = (0..n).map(|_| EventStream::new()).collect();
+    for (msg, time) in &feed {
+        for event in collector.apply_update(msg, *time) {
+            parts[router.route_event(&event)].push(event);
+        }
+    }
+    parts
+        .iter()
+        .map(|part| {
+            let mut buf = Vec::new();
+            write_events(&mut buf, part).expect("in-memory archive");
+            buf
+        })
+        .collect()
+}
+
+/// A source whose factory rebuilds a [`FaultyReader`] over the archive on
+/// every retry — one-shot faults stay fired across rebuilds because the
+/// armed handle is shared.
+fn faulty_source(name: &str, data: &[u8], armed: &ArmedFaults) -> SourceSpec {
+    let data = data.to_vec();
+    let armed = armed.clone();
+    SourceSpec::new(name, move || {
+        Ok(
+            Box::new(FaultyReader::new(Cursor::new(data.clone()), armed.clone()))
+                as Box<dyn Read + Send>,
+        )
+    })
+}
+
+fn multi_config() -> IngestConfig {
+    IngestConfig::default()
+        .with_batch_size(32)
+        .with_channel_batches(4)
+}
+
+/// Retry policy for the soak legs: ms-scale backoff so retries are cheap,
+/// a stall timeout far above it so backoff is never mistaken for a wedge.
+fn multi_policy() -> SourcePolicy {
+    SourcePolicy::default()
+        .with_max_retries(6)
+        .with_backoff(Duration::from_millis(2), Duration::from_millis(20))
+        .with_stall_timeout(Duration::from_secs(10))
+}
+
+/// Transient-fault leg: three sources, two of them hit with injected
+/// transient read errors (plus seeded short reads) that the supervisor
+/// must heal by rebuild + fast-forward. The healed run is *bit-identical*
+/// to the fault-free run — same anomaly reports, same stem ledger, same
+/// per-source counters — with zero records skipped and every armed fault
+/// actually fired.
+#[test]
+fn soak_multi_source_transient_faults_heal_bit_identically() {
+    let archives = multi_source_archives(0xd5_2005, 3);
+    assert!(archives.iter().all(|a| !a.is_empty()));
+
+    let mut clean = MultiSourceIngest::new(multi_config(), multi_policy());
+    for (i, data) in archives.iter().enumerate() {
+        clean = clean.source(SourceSpec::from_bytes(format!("src{i}"), data.clone()));
+    }
+    let clean = clean.run().expect("fault-free run");
+    assert!(
+        clean.sources_account_exactly(),
+        "clean run ledgers: {clean}"
+    );
+    assert!(
+        clean.stats.ingested > 1_000,
+        "feed too small: {}",
+        clean.stats
+    );
+
+    let armed = [
+        FaultSpec::new(0xd5_2005)
+            .transient_error(archives[0].len() as u64 / 3)
+            .short_reads()
+            .arm(),
+        FaultSpec::new(0xd5_2006)
+            .transient_error(0)
+            .transient_error(archives[1].len() as u64 / 2)
+            .arm(),
+        FaultSpec::new(0xd5_2007).arm(),
+    ];
+    let mut faulted = MultiSourceIngest::new(multi_config(), multi_policy());
+    for (i, (data, armed)) in archives.iter().zip(&armed).enumerate() {
+        faulted = faulted.source(faulty_source(&format!("src{i}"), data, armed));
+    }
+    let faulted = faulted.run().expect("transient faults must heal");
+
+    assert!(!faulted.is_partial(), "no source may quarantine: {faulted}");
+    assert!(faulted.sources_account_exactly(), "ledgers: {faulted}");
+    assert_eq!(faulted.reports, clean.reports, "anomaly reports diverged");
+    assert_eq!(faulted.stats, clean.stats, "stem ledger diverged");
+    for (f, c) in faulted.sources.iter().zip(&clean.sources) {
+        assert_eq!(f.records_decoded, c.records_decoded, "{f}");
+        assert_eq!(f.events_decoded, c.events_decoded, "{f}");
+        assert_eq!(f.events_merged, c.events_merged, "{f}");
+        assert_eq!(f.events_forwarded, c.events_forwarded, "{f}");
+        assert_eq!(f.records_skipped, 0, "transient faults never skip: {f}");
+        assert_eq!(f.poison_skipped, 0, "{f}");
+        assert_eq!(f.stall_shed, 0, "{f}");
+    }
+    // The faulted sources actually exercised the retry path and recovered;
+    // the clean sibling never left Healthy.
+    assert!(
+        faulted.sources[0].source_retries > 0,
+        "{}",
+        faulted.sources[0]
+    );
+    assert!(
+        faulted.sources[1].source_retries > 0,
+        "{}",
+        faulted.sources[1]
+    );
+    assert_eq!(faulted.sources[0].health, SourceHealth::Recovered);
+    assert_eq!(faulted.sources[1].health, SourceHealth::Recovered);
+    assert_eq!(faulted.sources[2].health, SourceHealth::Healthy);
+    assert_eq!(faulted.sources[2].source_retries, 0);
+    for a in &armed {
+        assert_eq!(
+            a.pending_transient_errors(),
+            0,
+            "an armed fault never fired"
+        );
+    }
+}
+
+/// Wedged-source leg: source 1's reader stalls forever at offset 0, so
+/// the watchdog must quarantine it — and only it. Every per-source ledger
+/// closes at every probe snapshot (including after the quarantine), and
+/// the surviving siblings produce results identical to a baseline run
+/// that never had the wedged source at all.
+#[test]
+fn soak_multi_source_wedged_source_quarantines_alone() {
+    let archives = multi_source_archives(0xd5_2005, 3);
+    let policy = multi_policy().with_stall_timeout(Duration::from_millis(150));
+
+    // Baseline oracle: the same run without the wedged source.
+    let baseline = MultiSourceIngest::new(multi_config(), policy.clone())
+        .source(SourceSpec::from_bytes("src0", archives[0].clone()))
+        .source(SourceSpec::from_bytes("src2", archives[2].clone()))
+        .run()
+        .expect("baseline run");
+
+    // The wedge: a 60s read stall against a 150ms stall timeout. (The
+    // detached worker thread sleeps it off harmlessly after the test.)
+    let wedge = FaultSpec::new(0xd5_2008)
+        .stall(0, Duration::from_secs(60))
+        .arm();
+    let post_quarantine_snapshots = Arc::new(AtomicUsize::new(0));
+    let snapshots = Arc::clone(&post_quarantine_snapshots);
+    let faulted = MultiSourceIngest::new(multi_config(), policy)
+        .source(SourceSpec::from_bytes("src0", archives[0].clone()))
+        .source(faulty_source("src1", &archives[1], &wedge))
+        .source(SourceSpec::from_bytes("src2", archives[2].clone()))
+        .with_probe(move |ledgers| {
+            for ledger in ledgers {
+                assert!(
+                    ledger.accounts_exactly(),
+                    "snapshot ledger broken: {ledger}"
+                );
+            }
+            if ledgers
+                .iter()
+                .any(|l| l.health == SourceHealth::Quarantined)
+            {
+                snapshots.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .run()
+        .expect("survivors must carry the run");
+
+    assert!(faulted.is_partial(), "the wedge must surface as partial");
+    assert!(faulted.sources_account_exactly(), "ledgers: {faulted}");
+    let quarantined = faulted.quarantined_sources();
+    assert_eq!(quarantined.len(), 1, "exactly one source quarantines");
+    assert_eq!(quarantined[0].name, "src1");
+    let cause = quarantined[0]
+        .quarantine_cause
+        .as_deref()
+        .expect("quarantine records its cause");
+    assert!(
+        cause.contains("stalled"),
+        "cause must name the stall: {cause}"
+    );
+    assert_eq!(quarantined[0].events_decoded, 0, "the wedge never decoded");
+    assert!(
+        post_quarantine_snapshots.load(Ordering::Relaxed) > 0,
+        "the probe must observe closed ledgers after the quarantine"
+    );
+
+    // Fault isolation is total: the siblings match the baseline run that
+    // never had the wedged source — reports, stem ledger, and per-source
+    // counters alike.
+    assert_eq!(
+        faulted.reports, baseline.reports,
+        "sibling reports diverged"
+    );
+    assert_eq!(
+        faulted.stats, baseline.stats,
+        "sibling stem ledger diverged"
+    );
+    for (f_idx, b_idx) in [(0usize, 0usize), (2, 1)] {
+        let (f, b) = (&faulted.sources[f_idx], &baseline.sources[b_idx]);
+        assert_eq!(f.health, SourceHealth::Healthy, "sibling disturbed: {f}");
+        assert_eq!(f.records_decoded, b.records_decoded, "{f}");
+        assert_eq!(f.events_decoded, b.events_decoded, "{f}");
+        assert_eq!(f.events_merged, b.events_merged, "{f}");
+        assert_eq!(f.events_forwarded, b.events_forwarded, "{f}");
+        assert_eq!(f.source_retries, 0, "{f}");
+        assert_eq!(f.stall_shed, 0, "{f}");
+    }
+}
+
+/// All-sources-dead leg: every source burns through its transient retry
+/// budget, so the run must fail — with the per-source root causes on the
+/// error, every dead ledger closed, and nothing silently swallowed.
+#[test]
+fn soak_multi_source_all_dead_errors_with_per_source_causes() {
+    let archives = multi_source_archives(0xd5_2005, 2);
+    let policy = multi_policy()
+        .with_max_retries(1)
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(4));
+    // More one-shot faults at offset 0 than the retry budget allows.
+    let armed: Vec<ArmedFaults> = (0..2u64)
+        .map(|i| {
+            let mut spec = FaultSpec::new(0xdead_0000 + i);
+            for _ in 0..4 {
+                spec = spec.transient_error(0);
+            }
+            spec.arm()
+        })
+        .collect();
+    let mut ingest = MultiSourceIngest::new(multi_config(), policy);
+    for (i, (data, armed)) in archives.iter().zip(&armed).enumerate() {
+        ingest = ingest.source(faulty_source(&format!("src{i}"), data, armed));
+    }
+    match ingest.run() {
+        Err(e @ IngestError::AllSourcesQuarantined { .. }) => {
+            let rendered = e.to_string();
+            assert!(rendered.contains("src0:"), "missing src0 cause: {rendered}");
+            assert!(rendered.contains("src1:"), "missing src1 cause: {rendered}");
+            let IngestError::AllSourcesQuarantined { sources, stats } = e else {
+                unreachable!()
+            };
+            assert_eq!(stats.ingested, 0, "{stats}");
+            for ledger in &sources {
+                assert_eq!(ledger.health, SourceHealth::Quarantined, "{ledger}");
+                assert!(ledger.accounts_exactly(), "dead ledger broken: {ledger}");
+                let cause = ledger.quarantine_cause.as_deref().unwrap_or_default();
+                assert!(
+                    cause.contains("transient retry budget exhausted"),
+                    "cause must name the exhausted budget: {cause}"
+                );
+            }
+        }
+        Ok(report) => panic!("a run with every source dead succeeded: {report}"),
+        Err(other) => panic!("wrong error class: {other}"),
+    }
+}
+
+/// Nightly wall-clock multi-source soak (off the PR-blocking path via
+/// `#[ignore]`): randomized seeds, source counts, and transient-fault
+/// placements, looping until the `SOAK_SECS` budget (default 300 s) runs
+/// out, asserting bit-identity with the fault-free baseline every round.
+#[test]
+#[ignore = "wall-clock soak; run explicitly (nightly CI) with --ignored"]
+fn nightly_randomized_multi_source_soak() {
+    let budget = std::env::var("SOAK_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    let deadline = Instant::now() + Duration::from_secs(budget);
+    let mut seed = 0xd5_2005u64;
+    let mut rounds = 0u32;
+    while rounds == 0 || Instant::now() < deadline {
+        seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x2545_f491_4f6c_dd1d);
+        let n = 2 + (seed % 3) as usize;
+        let archives = multi_source_archives(seed, n);
+
+        let mut clean = MultiSourceIngest::new(multi_config(), multi_policy());
+        for (i, data) in archives.iter().enumerate() {
+            clean = clean.source(SourceSpec::from_bytes(format!("src{i}"), data.clone()));
+        }
+        let clean = clean.run().expect("fault-free run");
+
+        let armed: Vec<ArmedFaults> = archives
+            .iter()
+            .enumerate()
+            .map(|(i, data)| {
+                let fault_seed = seed.wrapping_add(i as u64);
+                let mut spec = FaultSpec::new(fault_seed);
+                if fault_seed.is_multiple_of(2) {
+                    spec = spec.short_reads();
+                }
+                for k in 1..=1 + fault_seed % 3 {
+                    spec = spec.transient_error(fault_seed.wrapping_mul(k) % data.len() as u64);
+                }
+                spec.arm()
+            })
+            .collect();
+        let mut faulted = MultiSourceIngest::new(multi_config(), multi_policy());
+        for (i, (data, armed)) in archives.iter().zip(&armed).enumerate() {
+            faulted = faulted.source(faulty_source(&format!("src{i}"), data, armed));
+        }
+        let faulted = faulted.run().expect("transient faults must heal");
+
+        assert!(!faulted.is_partial(), "seed {seed:#x}: {faulted}");
+        assert!(
+            faulted.sources_account_exactly(),
+            "seed {seed:#x}: ledgers broken: {faulted}"
+        );
+        assert_eq!(
+            faulted.reports, clean.reports,
+            "seed {seed:#x}: reports diverged"
+        );
+        assert_eq!(
+            faulted.stats, clean.stats,
+            "seed {seed:#x}: stem ledger diverged"
+        );
+        for a in &armed {
+            assert_eq!(
+                a.pending_transient_errors(),
+                0,
+                "seed {seed:#x}: an armed fault never fired"
+            );
+        }
+        rounds += 1;
+        let retries: u64 = faulted.sources.iter().map(|s| s.source_retries).sum();
+        eprintln!(
+            "multi-source soak round {rounds} (seed {seed:#x}): {n} sources, {} ingested, {retries} retries",
+            faulted.stats.ingested
+        );
+    }
+    eprintln!("nightly multi-source soak: {rounds} rounds in {budget}s budget");
 }
