@@ -40,6 +40,7 @@ pub mod classify;
 pub mod control;
 pub mod igp;
 pub mod pipeline;
+pub mod replay;
 pub mod report;
 pub mod scan;
 pub mod shard;
@@ -53,11 +54,15 @@ pub use igp::enrich_with_igp;
 pub use pipeline::{
     DegradeConfig, OverloadPolicy, PanicInjection, PipelineCheckpoint, PipelineClosed,
     PipelineConfig, PipelineHandle, PipelineStats, RealtimeDetector, ReportPolicy, SpawnConfig,
-    SupervisorConfig, WeightedEvent,
+    StatsProbe, SupervisorConfig, WeightedEvent,
+};
+pub use replay::{
+    Frame, Hotspot, Manifest, RecorderConfig, RecordingSink, Replay, ReplayError, Timeline,
+    TimelineBucket, RECORDING_VERSION,
 };
 pub use report::{AnomalyReport, ReportDigest};
 pub use scan::{scan_deaggregation, scan_moas, DeaggregationBurst, MoasConflict};
 pub use shard::{
     merge_incidents, GlobalIncident, ShardPanic, ShardRouter, ShardSnapshot, ShardedConfig,
-    ShardedPipeline, ShardedRun, ShardedStats,
+    ShardedObserver, ShardedPipeline, ShardedRun, ShardedStats,
 };

@@ -90,6 +90,7 @@ use crate::control::{
     stemming_at_level, AdaptiveConfig, CoalesceBuffer, ControlInput, Controller, ControllerConfig,
     FidelityLevel, Fold,
 };
+use crate::replay::{Frame, Overlay, RecorderConfig, RecordingSink};
 use crate::report::{AnomalyReport, ReportDigest};
 
 /// An event with a multiplicity: the unit the spawned pipeline's queue,
@@ -98,7 +99,7 @@ use crate::report::{AnomalyReport, ReportDigest};
 /// events into one representative with their summed weight, which the
 /// analysis pass feeds through the weighted Stemming counts so the merged
 /// evidence still supports the correlations it belonged to.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightedEvent {
     /// The event (the representative of a merged set keeps the earliest
     /// timestamp).
@@ -115,8 +116,57 @@ impl WeightedEvent {
     }
 }
 
+// Hand-written serialization: the weight-1 case (every event that was
+// never merge-coalesced — the overwhelming bulk of a recording) encodes
+// as the bare event map, dropping the `{"event":…,"weight":1}` wrapper.
+// The two forms are unambiguous because an [`Event`] map has no `event`
+// key. Merged events keep the explicit wrapper.
+impl ::serde::Serialize for WeightedEvent {
+    fn to_value(&self) -> ::serde::Value {
+        if self.weight == 1 {
+            self.event.to_value()
+        } else {
+            ::serde::Value::Map(vec![
+                (::std::borrow::Cow::Borrowed("event"), self.event.to_value()),
+                (
+                    ::std::borrow::Cow::Borrowed("weight"),
+                    ::serde::Serialize::to_value(&self.weight),
+                ),
+            ])
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        if self.weight == 1 {
+            self.event.write_json(out);
+        } else {
+            out.push_str("{\"event\":");
+            self.event.write_json(out);
+            out.push_str(",\"weight\":");
+            ::serde::write_u64_json(out, self.weight);
+            out.push('}');
+        }
+    }
+}
+
+impl ::serde::Deserialize for WeightedEvent {
+    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {
+        if matches!(::serde::map_field(v, "event")?, ::serde::Value::Null) {
+            Ok(WeightedEvent {
+                event: ::serde::Deserialize::from_value(v)?,
+                weight: 1,
+            })
+        } else {
+            Ok(WeightedEvent {
+                event: ::serde::Deserialize::from_value(::serde::map_field(v, "event")?)?,
+                weight: ::serde::Deserialize::from_value(::serde::map_field(v, "weight")?)?,
+            })
+        }
+    }
+}
+
 /// Pipeline tunables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Tumbling analysis window width.
     pub window: Timestamp,
@@ -446,6 +496,12 @@ pub struct SpawnConfig {
     /// (`coalesced_events`). `None` keeps the fixed-interval, binary-
     /// degrade behavior.
     pub adaptive: Option<AdaptiveConfig>,
+    /// When set, the run is recorded as a replayable frame log (see
+    /// [`crate::replay`]): every ingest with its degrade/fidelity flags,
+    /// every emitted report, controller decision, restart, and
+    /// checkpoint snapshot. Recording is best-effort — an I/O failure
+    /// disables it (reported on stderr) without touching the pipeline.
+    pub recorder: Option<RecorderConfig>,
 }
 
 impl Default for SpawnConfig {
@@ -459,6 +515,7 @@ impl Default for SpawnConfig {
             supervisor: SupervisorConfig::default(),
             fault: None,
             adaptive: None,
+            recorder: None,
         }
     }
 }
@@ -511,6 +568,12 @@ impl SpawnConfig {
     /// Enables closed-loop overload control (see [`SpawnConfig::adaptive`]).
     pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
         self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Records the run as a replayable frame log (see [`crate::replay`]).
+    pub fn with_recorder(mut self, recorder: RecorderConfig) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -1026,6 +1089,20 @@ impl RealtimeDetector {
         ));
         let digest = Arc::new(Mutex::new(ReportDigest::default()));
 
+        let recorder = match &config.recorder {
+            Some(rc) => match RecordingSink::create(rc, &config.pipeline) {
+                Ok(sink) => Some(Arc::new(sink)),
+                Err(e) => {
+                    eprintln!(
+                        "recording disabled: cannot create {}: {e}",
+                        rc.path.display()
+                    );
+                    None
+                }
+            },
+            None => None,
+        };
+
         let controller = config
             .adaptive
             .map(|a| a.controller.resolved_against_capacity(config.capacity));
@@ -1046,6 +1123,7 @@ impl RealtimeDetector {
             report_policy: config.report_policy,
             checkpoint_slot: Arc::clone(&checkpoint_slot),
             digest: Arc::clone(&digest),
+            recorder: recorder.clone(),
         };
         let join = std::thread::spawn(move || supervisor.run());
 
@@ -1060,6 +1138,7 @@ impl RealtimeDetector {
             coalesce,
             checkpoint_slot,
             digest,
+            recorder,
         }
     }
 }
@@ -1128,6 +1207,9 @@ struct Supervisor {
     report_policy: ReportPolicy,
     checkpoint_slot: Arc<Mutex<PipelineCheckpoint>>,
     digest: Arc<Mutex<ReportDigest>>,
+    /// When recording, every supervision step is framed here in consumer
+    /// order (see [`crate::replay::Frame`]).
+    recorder: Option<Arc<RecordingSink>>,
 }
 
 impl Supervisor {
@@ -1152,11 +1234,31 @@ impl Supervisor {
             match outcome {
                 Ok(()) => break,
                 Err(panic) => {
+                    let cause = panic_message(panic.as_ref());
                     *self.shared.last_panic.lock().expect("panic slot poisoned") =
-                        Some(panic_message(panic.as_ref()));
+                        Some(cause.clone());
                     self.shared.restarts.fetch_add(1, Ordering::AcqRel);
                     restarts += 1;
-                    if restarts > self.sup.max_restarts {
+                    let gave_up = restarts > self.sup.max_restarts;
+                    if let Some(rec) = &self.recorder {
+                        // The state this restart restores (or publishes as
+                        // final on give-up), recorded unconditionally:
+                        // snapshot amortization may have skipped the live
+                        // checkpoint's frame, and replay restores from the
+                        // last snapshot *in the recording* — which must
+                        // therefore be this exact checkpoint.
+                        rec.record_snapshot_forced(Frame::Snapshot {
+                            checkpoint: checkpoint.clone(),
+                            overlay: self.shared.overlay(),
+                        });
+                        rec.record(Frame::Restart {
+                            cause,
+                            restarts: u64::from(restarts),
+                            gave_up,
+                            lost: if gave_up { ring.len() as u64 } else { 0 },
+                        });
+                    }
+                    if gave_up {
                         // Terminal failure: the ring can no longer be
                         // replayed — count it as lost (bounded by the
                         // checkpoint interval) and close the pipeline.
@@ -1200,7 +1302,7 @@ impl Supervisor {
             replayed += 1;
             interval = self.control_sample(controller, interval);
             let analyzed_before = detector.analyzed;
-            let reports = self.ingest(&mut detector, event);
+            let reports = self.ingest(&mut detector, event, true);
             self.shared.replayed.fetch_add(1, Ordering::AcqRel);
             since_checkpoint += 1;
             self.sync(&detector, (ring.len() - replayed) as u64);
@@ -1219,7 +1321,7 @@ impl Supervisor {
             fault.on_pull();
             interval = self.control_sample(controller, interval);
             let analyzed_before = detector.analyzed;
-            let reports = self.ingest(&mut detector, event);
+            let reports = self.ingest(&mut detector, event, false);
             since_checkpoint += 1;
             self.sync(&detector, 0);
             self.egress(reports);
@@ -1233,6 +1335,9 @@ impl Supervisor {
         // Feed closed: flush the final window. A panic inside this analysis
         // is recovered like any other — the next incarnation replays the
         // ring, finds the feed still closed, and flushes again.
+        if let Some(rec) = &self.recorder {
+            rec.record(Frame::Flush);
+        }
         let reports = detector.flush();
         self.sync(&detector, 0);
         self.egress(reports);
@@ -1251,23 +1356,51 @@ impl Supervisor {
             depth: self.event_rx.len() as u64,
             restarts: self.shared.restarts.load(Ordering::Acquire),
         });
+        let prev_fidelity = self.shared.fidelity.load(Ordering::Acquire);
+        let prev_interval = self.shared.checkpoint_interval.load(Ordering::Acquire);
         self.shared
             .fidelity
             .store(u64::from(decision.fidelity.index()), Ordering::Release);
         self.shared
             .checkpoint_interval
             .store(decision.checkpoint_interval as u64, Ordering::Release);
+        if let Some(rec) = &self.recorder {
+            let changed = prev_fidelity != u64::from(decision.fidelity.index())
+                || prev_interval != decision.checkpoint_interval as u64;
+            if changed {
+                rec.record(Frame::Decision {
+                    fidelity: decision.fidelity.index(),
+                    checkpoint_interval: decision.checkpoint_interval as u64,
+                });
+            }
+        }
         decision.checkpoint_interval
     }
 
     /// One event through the detector, honoring the shared degrade flag and
-    /// the controller's fidelity level.
-    fn ingest(&self, detector: &mut RealtimeDetector, event: WeightedEvent) -> Vec<AnomalyReport> {
+    /// the controller's fidelity level. When recording, the event is framed
+    /// with the exact flags read for it *before* the detector touches it —
+    /// a crash mid-ingest leaves the frame in place, and the recorded ring
+    /// replay that follows the [`Frame::Restart`] re-drives it, exactly
+    /// like the live supervisor.
+    fn ingest(
+        &self,
+        detector: &mut RealtimeDetector,
+        event: WeightedEvent,
+        replayed: bool,
+    ) -> Vec<AnomalyReport> {
         let degraded = self.shared.degraded.load(Ordering::Acquire);
         detector.set_degraded(degraded);
-        detector.set_fidelity(FidelityLevel::from_index(
-            self.shared.fidelity.load(Ordering::Acquire) as u8,
-        ));
+        let fidelity = self.shared.fidelity.load(Ordering::Acquire) as u8;
+        detector.set_fidelity(FidelityLevel::from_index(fidelity));
+        if let Some(rec) = &self.recorder {
+            rec.record(Frame::Event {
+                event: event.clone(),
+                degraded,
+                fidelity,
+                replayed,
+            });
+        }
         let reports = detector.ingest_weighted(event);
         if degraded && self.event_rx.is_empty() {
             // The queue drained: leave degraded mode.
@@ -1282,6 +1415,11 @@ impl Supervisor {
     fn egress(&self, reports: Vec<AnomalyReport>) {
         for mut report in reports {
             self.shared.reports_emitted.fetch_add(1, Ordering::AcqRel);
+            if let Some(rec) = &self.recorder {
+                rec.record(Frame::Report {
+                    report: report.clone(),
+                });
+            }
             match self.report_policy {
                 ReportPolicy::Block => loop {
                     match self
@@ -1341,6 +1479,16 @@ impl Supervisor {
         *slot = detector.checkpoint();
         *self.checkpoint_slot.lock().expect("checkpoint poisoned") = slot.clone();
         self.shared.checkpoints.fetch_add(1, Ordering::AcqRel);
+        if let Some(rec) = &self.recorder {
+            // Ask before cloning: a spike-window checkpoint the
+            // amortization policy would drop is never materialized.
+            if rec.wants_snapshot(slot.buffer.len() as u64) {
+                rec.record(Frame::Snapshot {
+                    checkpoint: slot.clone(),
+                    overlay: self.shared.overlay(),
+                });
+            }
+        }
         if let Some(path) = &self.sup.spill_path {
             let spilled = serde_json::to_string(slot)
                 .map_err(|e| e.to_string())
@@ -1442,6 +1590,24 @@ struct SharedStats {
     last_panic: Mutex<Option<String>>,
 }
 
+impl SharedStats {
+    /// Samples the producer/supervision counters the replayed detector
+    /// cannot recompute, for a [`Frame::Snapshot`] overlay.
+    fn overlay(&self) -> Overlay {
+        Overlay {
+            ingested: self.ingested.load(Ordering::Acquire),
+            shed_events: self.shed.load(Ordering::Acquire),
+            coalesced_events: self.coalesced.load(Ordering::Acquire),
+            parse_errors: self.parse_errors.load(Ordering::Acquire),
+            report_shed: self.report_shed.load(Ordering::Acquire),
+            reports_digested: self.reports_digested.load(Ordering::Acquire),
+            fidelity_level: self.fidelity.load(Ordering::Acquire),
+            checkpoint_interval_current: self.checkpoint_interval.load(Ordering::Acquire),
+            checkpoints: self.checkpoints.load(Ordering::Acquire),
+        }
+    }
+}
+
 impl Default for SharedStats {
     fn default() -> Self {
         SharedStats {
@@ -1463,6 +1629,75 @@ impl Default for SharedStats {
             checkpoint_interval: AtomicU64::new(0),
             last_panic: Mutex::new(None),
         }
+    }
+}
+
+/// Assembles a [`PipelineStats`] snapshot from the shared ledger. The
+/// consumer counters are read first, under their one mutex, so
+/// `consumer.ingested` can never exceed the producer's `ingested` read
+/// after it — every snapshot closes (`accounts_exactly`) even when
+/// sampled from a thread other than the producer's: a counter bumped
+/// between the two reads only ever *grows* the derived `queued`, which is
+/// exactly where an in-flight event belongs.
+fn stats_from(shared: &SharedStats) -> PipelineStats {
+    let consumer = *shared.consumer.lock().expect("stats poisoned");
+    let ingested = shared.ingested.load(Ordering::Acquire);
+    let shed = shared.shed.load(Ordering::Acquire);
+    let coalesced = shared.coalesced.load(Ordering::Acquire);
+    let lost = shared.lost.load(Ordering::Acquire);
+    let emitted = shared.reports_emitted.load(Ordering::Acquire);
+    let report_shed = shared.report_shed.load(Ordering::Acquire);
+    let digested = shared.reports_digested.load(Ordering::Acquire);
+    PipelineStats {
+        ingested,
+        analyzed: consumer.analyzed,
+        shed_events: shed,
+        dropped_events: consumer.dropped + lost,
+        carry_forward_evictions: consumer.evictions,
+        degraded_windows: consumer.degraded_windows,
+        clamped_events: consumer.clamped,
+        parse_errors: shared.parse_errors.load(Ordering::Acquire),
+        carried: consumer.carried,
+        queued: ingested
+            .saturating_sub(shed)
+            .saturating_sub(coalesced)
+            .saturating_sub(consumer.ingested)
+            .saturating_sub(consumer.replayed_in_flight)
+            .saturating_sub(lost),
+        restarts: shared.restarts.load(Ordering::Acquire),
+        checkpoints: shared.checkpoints.load(Ordering::Acquire),
+        replayed_events: shared.replayed.load(Ordering::Acquire),
+        replayed_in_flight: consumer.replayed_in_flight,
+        lost_events: lost,
+        reports_emitted: emitted,
+        reports_delivered: emitted.saturating_sub(report_shed).saturating_sub(digested),
+        report_shed,
+        reports_digested: digested,
+        coalesced_events: coalesced,
+        fidelity_level: shared.fidelity.load(Ordering::Acquire),
+        checkpoint_interval_current: shared.checkpoint_interval.load(Ordering::Acquire),
+    }
+}
+
+/// A cloneable, thread-safe sampler of one spawned pipeline's ledger
+/// (see [`PipelineHandle::probe`]): safe to call from any thread at any
+/// time — every snapshot closes, because the consumer counters publish
+/// under one mutex and the derived `queued` absorbs any counter bumped
+/// mid-sample.
+#[derive(Debug, Clone)]
+pub struct StatsProbe {
+    shared: Arc<SharedStats>,
+}
+
+impl StatsProbe {
+    /// A live accounting snapshot.
+    pub fn stats(&self) -> PipelineStats {
+        stats_from(&self.shared)
+    }
+
+    /// True while the detector thread is running.
+    pub fn is_alive(&self) -> bool {
+        self.shared.consumer_alive.load(Ordering::Acquire)
     }
 }
 
@@ -1497,6 +1732,9 @@ pub struct PipelineHandle {
     coalesce: Option<CoalesceBuffer>,
     checkpoint_slot: Arc<Mutex<PipelineCheckpoint>>,
     digest: Arc<Mutex<ReportDigest>>,
+    /// Shared with the supervisor; the handle writes [`Frame::Transition`]
+    /// frames and seals the recording with [`Frame::End`] at finish.
+    recorder: Option<Arc<RecordingSink>>,
 }
 
 impl std::fmt::Debug for PipelineHandle {
@@ -1743,47 +1981,31 @@ impl PipelineHandle {
     /// and consumer ledgers
     /// (`ingested - shed - coalesced - consumer-ingested`), so it covers
     /// both the channel and any merge-on-shed representatives waiting to
-    /// re-enter it: called from the handle-owning thread — the only writer
-    /// of `ingested`, `shed`, and `coalesced` — the ledger closes at
-    /// *every* instant, not just at quiescence, because the consumer's
-    /// counters are published as one consistent set.
+    /// re-enter it. The ledger closes at *every* instant, not just at
+    /// quiescence, and from *any* sampling thread — see [`stats_from`].
     pub fn stats(&self) -> PipelineStats {
-        let consumer = *self.shared.consumer.lock().expect("stats poisoned");
-        let ingested = self.shared.ingested.load(Ordering::Acquire);
-        let shed = self.shared.shed.load(Ordering::Acquire);
-        let coalesced = self.shared.coalesced.load(Ordering::Acquire);
-        let lost = self.shared.lost.load(Ordering::Acquire);
-        let emitted = self.shared.reports_emitted.load(Ordering::Acquire);
-        let report_shed = self.shared.report_shed.load(Ordering::Acquire);
-        let digested = self.shared.reports_digested.load(Ordering::Acquire);
-        PipelineStats {
-            ingested,
-            analyzed: consumer.analyzed,
-            shed_events: shed,
-            dropped_events: consumer.dropped + lost,
-            carry_forward_evictions: consumer.evictions,
-            degraded_windows: consumer.degraded_windows,
-            clamped_events: consumer.clamped,
-            parse_errors: self.shared.parse_errors.load(Ordering::Acquire),
-            carried: consumer.carried,
-            queued: ingested
-                .saturating_sub(shed)
-                .saturating_sub(coalesced)
-                .saturating_sub(consumer.ingested)
-                .saturating_sub(consumer.replayed_in_flight)
-                .saturating_sub(lost),
-            restarts: self.shared.restarts.load(Ordering::Acquire),
-            checkpoints: self.shared.checkpoints.load(Ordering::Acquire),
-            replayed_events: self.shared.replayed.load(Ordering::Acquire),
-            replayed_in_flight: consumer.replayed_in_flight,
-            lost_events: lost,
-            reports_emitted: emitted,
-            reports_delivered: emitted.saturating_sub(report_shed).saturating_sub(digested),
-            report_shed,
-            reports_digested: digested,
-            coalesced_events: coalesced,
-            fidelity_level: self.shared.fidelity.load(Ordering::Acquire),
-            checkpoint_interval_current: self.shared.checkpoint_interval.load(Ordering::Acquire),
+        stats_from(&self.shared)
+    }
+
+    /// A cloneable, thread-safe sampler of this pipeline's ledger: the
+    /// [`StatsProbe`] can be handed to an observer/recorder thread and
+    /// outlives the handle (it samples the final counters after
+    /// `finish`).
+    pub fn probe(&self) -> StatsProbe {
+        StatsProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Writes an out-of-band supervision transition into the recording
+    /// (shard quarantine, source quarantine). A no-op when the run is not
+    /// being recorded.
+    pub fn record_transition(&self, kind: &str, detail: &str) {
+        if let Some(rec) = &self.recorder {
+            rec.record(Frame::Transition {
+                kind: kind.to_owned(),
+                detail: detail.to_owned(),
+            });
         }
     }
 
@@ -1857,7 +2079,14 @@ impl PipelineHandle {
             reports.push(report);
         }
         let digest = self.digest.lock().expect("digest poisoned").clone();
-        (reports, self.stats(), digest)
+        let stats = self.stats();
+        // The supervisor is gone and the ledger is final: seal the
+        // recording with the End frame (idempotent — Drop re-seals as a
+        // no-op).
+        if let Some(rec) = &self.recorder {
+            rec.seal(&stats);
+        }
+        (reports, stats, digest)
     }
 }
 
@@ -1877,6 +2106,11 @@ impl Drop for PipelineHandle {
                 }
             }
             let _ = join.join();
+        }
+        // Seal the recording even on a drop-without-finish, so the file
+        // ends with a complete End frame instead of a torn tail.
+        if let Some(rec) = &self.recorder {
+            rec.seal(&stats_from(&self.shared));
         }
     }
 }

@@ -52,6 +52,7 @@
 //! [`SupervisorConfig::max_restarts`]: crate::pipeline::SupervisorConfig
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
@@ -60,6 +61,7 @@ use bgpscope_collector::Collector;
 
 use crate::pipeline::{
     PanicInjection, PipelineClosed, PipelineHandle, PipelineStats, RealtimeDetector, SpawnConfig,
+    StatsProbe,
 };
 use crate::report::{AnomalyReport, ReportDigest};
 
@@ -190,6 +192,11 @@ impl ShardedConfig {
         if let Some(base) = &spawn.supervisor.spill_path {
             spawn.supervisor.spill_path = Some(format!("{}.shard{k}", base.display()).into());
         }
+        // Each shard records independently: same suffix idiom as the
+        // checkpoint spill.
+        if let Some(recorder) = &mut spawn.recorder {
+            recorder.path = format!("{}.shard{k}", recorder.path.display()).into();
+        }
         if let Some((target, fault)) = self.shard_fault {
             spawn.fault = (target == k).then_some(fault);
         }
@@ -197,19 +204,23 @@ impl ShardedConfig {
     }
 }
 
-/// A quarantined shard's reaped remains: everything its handle returned.
+/// A quarantined shard's reaped remains (the final ledger itself is
+/// published on the [`ShardCell`], where observers sample it).
 #[derive(Debug)]
 struct ReapedShard {
     reports: Vec<AnomalyReport>,
-    stats: PipelineStats,
     digest: ReportDigest,
 }
 
-/// One shard: a live handle, or the remains of a quarantined one.
-#[derive(Debug)]
-struct Shard {
-    handle: Option<PipelineHandle>,
-    reaped: Option<ReapedShard>,
+/// The observable supervision state of one shard. Everything an observer
+/// can see about a quarantine — the flag, the cause, the reaped final
+/// ledger, the post-quarantine shed count — is published under this one
+/// mutex, in one critical section, so a sample taken from another thread
+/// (a recorder, a metrics scraper) can never read the transition half-done
+/// (the old code's `handle.take()` → remains-stored window read as an
+/// all-zero ledger).
+#[derive(Debug, Default)]
+struct ShardCell {
     quarantined: bool,
     /// Events routed here after quarantine (counted as this shard's
     /// `ingested` + `shed_events` in every snapshot).
@@ -217,23 +228,45 @@ struct Shard {
     /// The panic cause captured at quarantine, surviving later panics on
     /// other shards.
     cause: Option<String>,
+    /// The final ledger, published together with `quarantined` once the
+    /// handle is reaped (quarantine or finish). `None` = sample the live
+    /// probe.
+    stats: Option<PipelineStats>,
+}
+
+/// One shard: a live handle (or the remains of a reaped one), the
+/// thread-safe ledger probe, and the supervision cell observers sample.
+#[derive(Debug)]
+struct Shard {
+    handle: Option<PipelineHandle>,
+    reaped: Option<ReapedShard>,
+    probe: StatsProbe,
+    cell: Arc<Mutex<ShardCell>>,
 }
 
 impl Shard {
     fn snapshot(&self, shard: usize) -> ShardSnapshot {
-        let mut stats = match (&self.handle, &self.reaped) {
-            (Some(handle), _) => handle.stats(),
-            (None, Some(reaped)) => reaped.stats,
-            (None, None) => PipelineStats::default(),
-        };
-        stats.ingested += self.quarantine_shed;
-        stats.shed_events += self.quarantine_shed;
-        ShardSnapshot {
-            shard,
-            quarantined: self.quarantined,
-            quarantine_shed: self.quarantine_shed,
-            stats,
-        }
+        snapshot_shard(&self.probe, &self.cell, shard)
+    }
+}
+
+/// Samples one shard's snapshot: the cell (one critical section) decides
+/// whether the ledger comes from the reaped final stats or the live
+/// probe, and folds the post-quarantine shed in — always consistent,
+/// from any thread.
+fn snapshot_shard(probe: &StatsProbe, cell: &Mutex<ShardCell>, shard: usize) -> ShardSnapshot {
+    let cell = cell.lock().expect("shard cell poisoned");
+    let mut stats = match cell.stats {
+        Some(stats) => stats,
+        None => probe.stats(),
+    };
+    stats.ingested += cell.quarantine_shed;
+    stats.shed_events += cell.quarantine_shed;
+    ShardSnapshot {
+        shard,
+        quarantined: cell.quarantined,
+        quarantine_shed: cell.quarantine_shed,
+        stats,
     }
 }
 
@@ -375,6 +408,37 @@ impl std::fmt::Display for ShardedStats {
     }
 }
 
+/// A thread-safe, cloneable view of a [`ShardedPipeline`]'s ledger (see
+/// [`ShardedPipeline::observer`]). Holds each shard's [`StatsProbe`] and
+/// supervision cell, so a sample never touches the pipeline itself — safe
+/// to hammer from a recorder or metrics thread while the owning thread
+/// ingests, restarts, and quarantines.
+#[derive(Debug, Clone)]
+pub struct ShardedObserver {
+    shards: Vec<(StatsProbe, Arc<Mutex<ShardCell>>)>,
+}
+
+impl ShardedObserver {
+    /// A consistent global + per-shard snapshot, from any thread. Each
+    /// shard's ledger closes exactly on every sample: the cell lock makes
+    /// the quarantine hand-off atomic, and the live probe orders its reads
+    /// so concurrent counter bumps only grow the derived `queued`.
+    pub fn stats(&self) -> ShardedStats {
+        ShardedStats::from_snapshots(
+            self.shards
+                .iter()
+                .enumerate()
+                .map(|(k, (probe, cell))| snapshot_shard(probe, cell, k))
+                .collect(),
+        )
+    }
+
+    /// Number of shards observed.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
 /// One shard's panic record: which shard, the captured cause, and how many
 /// restarts its supervisor had performed when last observed. Unlike the
 /// single pipeline's `last_panic()`, a quarantined shard's cause survives
@@ -421,12 +485,15 @@ impl ShardedPipeline {
     pub fn spawn(config: ShardedConfig) -> Self {
         let router = ShardRouter::new(config.shards).with_range_bits(config.range_bits);
         let shards = (0..router.shards())
-            .map(|k| Shard {
-                handle: Some(RealtimeDetector::spawn(config.spawn_for(k))),
-                reaped: None,
-                quarantined: false,
-                quarantine_shed: 0,
-                cause: None,
+            .map(|k| {
+                let handle = RealtimeDetector::spawn(config.spawn_for(k));
+                let probe = handle.probe();
+                Shard {
+                    handle: Some(handle),
+                    reaped: None,
+                    probe,
+                    cell: Arc::new(Mutex::new(ShardCell::default())),
+                }
             })
             .collect();
         ShardedPipeline {
@@ -462,12 +529,19 @@ impl ShardedPipeline {
 
     /// True once shard `k` has been quarantined.
     pub fn is_quarantined(&self, k: usize) -> bool {
-        self.shards[k].quarantined
+        self.shards[k]
+            .cell
+            .lock()
+            .expect("shard cell poisoned")
+            .quarantined
     }
 
     /// Shards not yet quarantined.
     pub fn live_shards(&self) -> usize {
-        self.shards.iter().filter(|s| !s.quarantined).count()
+        self.shards
+            .iter()
+            .filter(|s| !s.cell.lock().expect("shard cell poisoned").quarantined)
+            .count()
     }
 
     /// Events queued on shard `k` (0 for a quarantined shard).
@@ -532,7 +606,11 @@ impl ShardedPipeline {
             if self.shards[k].handle.is_some() {
                 self.quarantine(k);
             }
-            self.shards[k].quarantine_shed += 1;
+            self.shards[k]
+                .cell
+                .lock()
+                .expect("shard cell poisoned")
+                .quarantine_shed += 1;
         }
         if self.live_shards() == 0 {
             Err(PipelineClosed)
@@ -551,14 +629,27 @@ impl ShardedPipeline {
         let Some(handle) = shard.handle.take() else {
             return;
         };
-        shard.quarantined = true;
-        shard.cause = handle.last_panic();
+        let cause = handle.last_panic();
+        handle.record_transition(
+            "shard-quarantine",
+            &format!(
+                "shard {k}: {}",
+                cause.as_deref().unwrap_or("restart budget exhausted")
+            ),
+        );
         let (reports, stats, digest) = handle.finish_with_digest();
-        shard.reaped = Some(ReapedShard {
-            reports,
-            stats,
-            digest,
-        });
+        // Publish the whole transition — flag, cause, final ledger — in
+        // one critical section. An observer sampling concurrently sees
+        // either the live pre-quarantine ledger (the probe stays valid
+        // through `finish_with_digest`) or the complete reaped one,
+        // never the in-between.
+        {
+            let mut cell = shard.cell.lock().expect("shard cell poisoned");
+            cell.quarantined = true;
+            cell.cause = cause;
+            cell.stats = Some(stats);
+        }
+        shard.reaped = Some(ReapedShard { reports, digest });
     }
 
     /// Records upstream parse errors on shard 0's ledger (the global sum is
@@ -583,16 +674,43 @@ impl ShardedPipeline {
         )
     }
 
+    /// A thread-safe observer over the sharded ledger: a recorder or
+    /// metrics thread holds one and samples [`ShardedObserver::stats`]
+    /// while this pipeline keeps ingesting (and quarantining) on its own
+    /// thread. Every sample closes exactly — each shard is read either
+    /// from its live probe or from the complete reaped ledger published
+    /// in one critical section at quarantine, never the in-between.
+    pub fn observer(&self) -> ShardedObserver {
+        ShardedObserver {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| (s.probe.clone(), Arc::clone(&s.cell)))
+                .collect(),
+        }
+    }
+
+    /// Writes an operational transition marker (e.g. a source quarantine)
+    /// into shard 0's recording, if shard 0 is live and recording. A no-op
+    /// otherwise — transitions are diagnostics, never load-bearing.
+    pub fn record_transition(&self, kind: &str, detail: &str) {
+        if let Some(handle) = self.shards[0].handle.as_ref() {
+            handle.record_transition(kind, detail);
+        }
+    }
+
     /// Every shard panic observed so far: live shards report their most
     /// recent cause, quarantined shards the cause captured at quarantine —
     /// a quarantine's root cause survives later panics elsewhere.
     pub fn panic_causes(&self) -> Vec<ShardPanic> {
         let mut causes = Vec::new();
         for (k, shard) in self.shards.iter().enumerate() {
-            let (cause, restarts) = match (&shard.handle, &shard.reaped) {
-                (Some(handle), _) => (handle.last_panic(), handle.stats().restarts),
-                (None, Some(reaped)) => (shard.cause.clone(), reaped.stats.restarts),
-                (None, None) => (None, 0),
+            let (cause, restarts) = match &shard.handle {
+                Some(handle) => (handle.last_panic(), handle.stats().restarts),
+                None => {
+                    let cell = shard.cell.lock().expect("shard cell poisoned");
+                    (cell.cause.clone(), cell.stats.map_or(0, |s| s.restarts))
+                }
             };
             if let Some(cause) = cause {
                 causes.push(ShardPanic {
@@ -615,15 +733,16 @@ impl ShardedPipeline {
         let mut digests = Vec::with_capacity(self.shards.len());
         for (k, shard) in self.shards.iter_mut().enumerate() {
             if let Some(handle) = shard.handle.take() {
-                if shard.cause.is_none() {
-                    shard.cause = handle.last_panic();
-                }
+                let cause = handle.last_panic();
                 let (reports, stats, digest) = handle.finish_with_digest();
-                shard.reaped = Some(ReapedShard {
-                    reports,
-                    stats,
-                    digest,
-                });
+                {
+                    let mut cell = shard.cell.lock().expect("shard cell poisoned");
+                    if cell.cause.is_none() {
+                        cell.cause = cause;
+                    }
+                    cell.stats = Some(stats);
+                }
+                shard.reaped = Some(ReapedShard { reports, digest });
             }
             snapshots.push(shard.snapshot(k));
             let reaped = shard.reaped.as_ref().expect("every shard reaped");

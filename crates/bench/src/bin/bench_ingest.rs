@@ -19,6 +19,13 @@
 //! the supervised [`MultiSourceIngest`] fan-in — measuring what the
 //! per-source supervision and deterministic k-way merge cost relative to
 //! the single-reader path.
+//!
+//! A `replay` section measures the incident recorder: the archive is
+//! re-ingested with a [`RecorderConfig`] armed, back-to-back with an
+//! unrecorded leg, for five paired reps; the median paired ratio is the
+//! honest overhead figure. The recording is then scrubbed with
+//! [`Replay::seek_events`] at three cursor depths to report seek latency
+//! (which is O(segment), not O(run), thanks to snapshot jumps).
 
 use std::time::Instant;
 
@@ -78,6 +85,85 @@ fn multi_source_section(stream: &EventStream, n: usize) -> String {
     report.bench_json()
 }
 
+/// Re-ingests the archive with the recorder armed and measures the
+/// recorder's throughput cost against an unrecorded run of the *same*
+/// build. Each rep runs the two legs back-to-back (so they see the same
+/// machine-load window) and yields one paired overhead ratio; the
+/// reported figure is the median ratio across reps, which is robust to
+/// the multi-second load swings a shared single-CPU box exhibits.
+/// Then scrubs the recording at three cursor depths. Returns the
+/// `replay` section JSON.
+fn replay_section() -> String {
+    const RECORDING: &str = "target/BENCH_ingest_recording";
+    const REPS: usize = 5;
+    let mut overheads = Vec::with_capacity(REPS);
+    let mut baselines = Vec::with_capacity(REPS);
+    let mut recorded = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let file = std::fs::File::open(ARCHIVE).expect("reopen archive");
+        let report =
+            ingest(std::io::BufReader::new(file), IngestConfig::default()).expect("bare ingest");
+        assert_eq!(report.events_decoded as usize, EVENTS);
+        let baseline = report.events_per_sec;
+
+        let file = std::fs::File::open(ARCHIVE).expect("reopen archive");
+        let config = IngestConfig::default().with_spawn(
+            SpawnConfig::new(PipelineConfig::default())
+                .with_recorder(RecorderConfig::new(RECORDING).with_label("bench ingest")),
+        );
+        let report = ingest(std::io::BufReader::new(file), config).expect("recorded ingest");
+        assert_eq!(report.events_decoded as usize, EVENTS);
+        assert!(report.stats.accounts_exactly());
+        let rec = report.events_per_sec;
+
+        overheads.push((baseline - rec) / baseline * 100.0);
+        baselines.push(baseline);
+        recorded.push(rec);
+    }
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    };
+    let overhead_pct = median(&mut overheads);
+    let baseline_events_per_sec = median(&mut baselines);
+    let record_events_per_sec = median(&mut recorded);
+    println!(
+        "recorded ingest: {EVENTS} events at {record_events_per_sec:.0} events/sec vs \
+         {baseline_events_per_sec:.0} unrecorded (median; {overhead_pct:+.1}% overhead, \
+         median of {REPS} paired reps)",
+    );
+
+    let mut recording_bytes = 0u64;
+    let mut segments = 0u64;
+    while let Ok(meta) = std::fs::metadata(format!("{RECORDING}.seg{segments}")) {
+        recording_bytes += meta.len();
+        segments += 1;
+    }
+
+    let mut replay = Replay::load(RECORDING).expect("recording loads");
+    let total = replay.events_total();
+    let mut seeks = Vec::new();
+    for quarter in [1u64, 2, 3] {
+        let target = total * quarter / 4;
+        replay.seek_events(0).expect("rewind");
+        let started = Instant::now();
+        replay.seek_events(target).expect("seek depth");
+        let seek_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!("seek to event {target}/{total}: {seek_ms:.1}ms");
+        seeks.push(format!("{{\"events\":{target},\"seek_ms\":{seek_ms:.3}}}"));
+    }
+
+    format!(
+        "{{\"record_events_per_sec\":{record_events_per_sec:.1},\
+         \"baseline_events_per_sec\":{baseline_events_per_sec:.1},\
+         \"overhead_pct\":{overhead_pct:.2},\"reps\":{REPS},\
+         \"recording_bytes\":{recording_bytes},\"segments\":{segments},\
+         \"frames\":{},\"seek_depths\":[{}]}}",
+        replay.frames_total(),
+        seeks.join(",")
+    )
+}
+
 fn main() {
     let span = Timestamp::from_secs(SPAN_SECS);
     println!("generating {EVENTS}-event stream over {SPAN_SECS}s…");
@@ -111,11 +197,13 @@ fn main() {
 
     let two_sources = multi_source_section(&stream, 2);
     let four_sources = multi_source_section(&stream, 4);
+    let replay = replay_section();
 
     let json = format!(
         "{{\"workload\":{{\"events\":{EVENTS},\"span_secs\":{SPAN_SECS},\
          \"archive_bytes\":{archive_bytes},\"archive\":\"{ARCHIVE}\"}},\
-         \"ingest\":{},\"multi_source_2\":{two_sources},\"multi_source_4\":{four_sources}}}",
+         \"ingest\":{},\"multi_source_2\":{two_sources},\"multi_source_4\":{four_sources},\
+         \"replay\":{replay}}}",
         report.bench_json()
     );
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");

@@ -166,7 +166,9 @@ impl FromStr for Community {
 /// communities) are small vectors in practice (AS paths average 3–6 hops).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct PathAttributes {
-    /// How the route entered BGP.
+    /// How the route entered BGP. Elided from the serialized form when
+    /// IGP (the default and dominant origin).
+    #[serde(skip_default)]
     pub origin: Origin,
     /// The AS-level path to the destination, nearest-first.
     pub as_path: AsPath,
@@ -176,7 +178,9 @@ pub struct PathAttributes {
     pub med: Option<Med>,
     /// Local preference, if present (IBGP).
     pub local_pref: Option<LocalPref>,
-    /// Community tags, kept sorted and deduplicated.
+    /// Community tags, kept sorted and deduplicated. Elided from the
+    /// serialized form when empty (the common case on synthetic feeds).
+    #[serde(skip_default)]
     pub communities: Vec<Community>,
 }
 

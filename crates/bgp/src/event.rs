@@ -92,9 +92,12 @@ impl fmt::Display for Timestamp {
 }
 
 /// Whether an event announces or withdraws a route.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum EventKind {
     /// A route announcement (new route or implicit replacement).
+    /// The default: announcements dominate update streams, which lets
+    /// serialized events elide the kind tag in the common case.
+    #[default]
     Announce,
     /// A route withdrawal; `attrs` hold the *old* (withdrawn) attributes,
     /// reconstructed from the Adj-RIB-In.
@@ -120,7 +123,9 @@ impl fmt::Display for EventKind {
 pub struct Event {
     /// When the collector received the change.
     pub time: Timestamp,
-    /// Announcement or withdrawal.
+    /// Announcement or withdrawal. Elided from the serialized form for
+    /// announcements (the dominant kind).
+    #[serde(skip_default)]
     pub kind: EventKind,
     /// The collector peer the change came from (`x`).
     pub peer: PeerId,

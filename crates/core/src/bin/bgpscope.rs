@@ -15,6 +15,10 @@
 //!                   [--capacity N] [--policy P] [--shards N] [--bench FILE]
 //!                   [--retries N] [--backoff-ms N] [--stall-timeout-ms N]
 //!                   [--poison-threshold N]
+//! bgpscope record   <events.(mrt|txt)> <recording> [--capacity N] [--policy P]
+//!                   [--checkpoint-interval N] [--frames-per-segment N] [--label S]
+//! bgpscope replay   <recording> [--seek T|--hotspot N] [--step K] [--rate R]
+//!                   [--frames DIR] [--timeline] [--span SECS]
 //! bgpscope convert  <in.(mrt|txt)> <out.(mrt|txt)>
 //! bgpscope demo     <out.mrt>                     # write a demo incident
 //! ```
@@ -69,6 +73,18 @@ fn main() -> ExitCode {
             // (some sources quarantined, results valid but incomplete).
             return cmd_ingest(&args[1..]);
         }
+        Some("record") => {
+            if args.len() < 3 {
+                return usage();
+            }
+            cmd_record(&args[1], &args[2], &args[3..])
+        }
+        Some("replay") => {
+            if args.len() < 2 {
+                return usage();
+            }
+            cmd_replay(&args[1], &args[2..])
+        }
         Some("convert") => {
             if args.len() != 3 {
                 return usage();
@@ -94,7 +110,7 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bgpscope <detect|picture|animate|rate|convert|demo> <args…>\n\
+        "usage: bgpscope <detect|picture|animate|rate|pipeline|ingest|record|replay|convert|demo> <args…>\n\
          \n\
          detect   <events>             decompose + classify anomalies\n\
          picture  <events> [out.svg]   TAMP picture of the final routing state\n\
@@ -116,6 +132,15 @@ fn usage() -> ExitCode {
          \u{20}                             stream archive(s) through decode → augment → stem;\n\
          \u{20}                             several archives fan in as supervised sources\n\
          \u{20}                             (exit 3 = partial: some sources quarantined)\n\
+         record   <events> <recording> [--capacity N] [--policy P]\n\
+         \u{20}                 [--checkpoint-interval N] [--frames-per-segment N] [--label S]\n\
+         \u{20}                             replay the trace through the supervised pipeline\n\
+         \u{20}                             while recording a deterministic run artifact\n\
+         replay   <recording> [--seek T|--hotspot N] [--step K] [--rate R]\n\
+         \u{20}                 [--frames DIR] [--timeline] [--span SECS]\n\
+         \u{20}                             scrub a recording: seek a cursor (or hotspot),\n\
+         \u{20}                             step events, play at a rate, print the ledger\n\
+         \u{20}                             and reports at the cursor, export TAMP frames\n\
          convert  <in> <out>           convert between .mrt and text formats\n\
          demo     <out.mrt>            write a demo incident to analyze"
     );
@@ -690,6 +715,269 @@ fn print_ingest_report(
     if let Some(out) = bench {
         fs::write(out, report.bench_json())?;
         println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// Replays a trace through the supervised realtime pipeline with a
+/// recorder armed: every ingested event, controller decision, restart,
+/// emitted report, and periodic ledger snapshot is captured in an
+/// append-only segmented recording at `<recording>.seg<k>` (manifest at
+/// `<recording>`), ready for `bgpscope replay`.
+fn cmd_record(events_path: &str, recording: &str, rest: &[String]) -> CliResult {
+    let mut capacity = 65_536usize;
+    let mut policy = OverloadPolicy::Block;
+    let mut checkpoint_interval = 256usize;
+    let mut recorder = RecorderConfig::new(recording);
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--capacity" => {
+                capacity = it
+                    .next()
+                    .ok_or("--capacity needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--policy" => {
+                policy = it.next().ok_or("--policy needs a value")?.parse()?;
+            }
+            "--checkpoint-interval" => {
+                checkpoint_interval = it
+                    .next()
+                    .ok_or("--checkpoint-interval needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval: {e}"))?;
+            }
+            "--frames-per-segment" => {
+                recorder = recorder.with_frames_per_segment(
+                    it.next()
+                        .ok_or("--frames-per-segment needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--frames-per-segment: {e}"))?,
+                );
+            }
+            "--label" => {
+                recorder = recorder.with_label(it.next().ok_or("--label needs a value")?.clone());
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let (stream, parse_errors) = load_lossy(events_path)?;
+    let spawn = SpawnConfig::new(PipelineConfig::default())
+        .with_capacity(capacity)
+        .with_overload(policy)
+        .with_supervisor(SupervisorConfig::default().with_checkpoint_interval(checkpoint_interval))
+        .with_recorder(recorder);
+    let mut handle = RealtimeDetector::spawn(spawn);
+    handle.record_parse_errors(parse_errors);
+    let total = stream.len();
+    for (i, event) in stream.events().iter().enumerate() {
+        if handle.ingest_event(event.clone()).is_err() {
+            let cause = handle
+                .last_panic()
+                .unwrap_or_else(|| "no panic recorded".to_owned());
+            let (_reports, stats) = handle.finish();
+            eprintln!("bgpscope: pipeline closed at event {i}/{total}: {cause}");
+            eprintln!("{stats}");
+            return Err(PipelineClosed.into());
+        }
+    }
+    let (reports, stats, _digest) = handle.finish_with_digest();
+    println!(
+        "recorded {} events, {} report(s) to {recording} (+ .seg* segments)\n{stats}",
+        total,
+        reports.len()
+    );
+    println!("ledger {}", stats.to_json());
+    Ok(())
+}
+
+/// Scrubs a recording: positions the cursor (`--seek T` seconds into the
+/// recording, `--hotspot N` to the Nth densest timeline bucket, or the
+/// end when neither is given), optionally steps `--step K` further events
+/// and plays `--rate R` recording-seconds per wall-second, then prints
+/// the reconstructed ledger and the reports emitted up to the cursor.
+/// `--timeline` prints the bucketed anomaly-density histogram with its
+/// top hotspots; `--frames DIR` exports the TAMP frame sequence of the
+/// trailing `--span SECS` (default 30) window at the cursor.
+fn cmd_replay(recording: &str, rest: &[String]) -> CliResult {
+    let mut seek: Option<f64> = None;
+    let mut hotspot: Option<usize> = None;
+    let mut step: Option<u64> = None;
+    let mut rate: Option<f64> = None;
+    let mut frames_dir: Option<String> = None;
+    let mut timeline = false;
+    let mut span_secs = 30u64;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seek" => {
+                seek = Some(
+                    it.next()
+                        .ok_or("--seek needs seconds")?
+                        .parse()
+                        .map_err(|e| format!("--seek: {e}"))?,
+                );
+            }
+            "--hotspot" => {
+                hotspot = Some(
+                    it.next()
+                        .ok_or("--hotspot needs an index")?
+                        .parse()
+                        .map_err(|e| format!("--hotspot: {e}"))?,
+                );
+            }
+            "--step" => {
+                step = Some(
+                    it.next()
+                        .ok_or("--step needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--step: {e}"))?,
+                );
+            }
+            "--rate" => {
+                rate = Some(
+                    it.next()
+                        .ok_or("--rate needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--rate: {e}"))?,
+                );
+            }
+            "--frames" => {
+                frames_dir = Some(it.next().ok_or("--frames needs a directory")?.clone());
+            }
+            "--timeline" => timeline = true,
+            "--span" => {
+                span_secs = it
+                    .next()
+                    .ok_or("--span needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("--span: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    if seek.is_some() && hotspot.is_some() {
+        return Err("--seek and --hotspot are mutually exclusive".into());
+    }
+    let mut replay = Replay::load(recording)?;
+    println!(
+        "recording \"{}\": {} events, {} frames{}",
+        replay.manifest().label,
+        replay.events_total(),
+        replay.frames_total(),
+        if replay.truncated() {
+            " [truncated — torn tail recovered to the last complete frame]"
+        } else {
+            ""
+        }
+    );
+    if timeline {
+        let tl = replay.timeline();
+        print!("{}", tl.render());
+        for h in tl.hotspots(5) {
+            println!(
+                "hotspot {}: {} .. {} — {} events, {} report(s), {} restart(s){}",
+                h.rank,
+                h.start,
+                h.end,
+                h.events,
+                h.reports,
+                h.restarts,
+                if h.stems.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", h.stems.join(", "))
+                }
+            );
+        }
+    }
+    if let Some(t) = seek {
+        if !t.is_finite() || t < 0.0 {
+            return Err("--seek: seconds must be finite and non-negative".into());
+        }
+        replay.seek_time(Timestamp::from_micros((t * 1e6) as u64))?;
+    } else if let Some(i) = hotspot {
+        let h = replay.seek_hotspot(i)?;
+        println!(
+            "seeked to hotspot {}: {} .. {} ({} events, {} report(s))",
+            h.rank, h.start, h.end, h.events, h.reports
+        );
+    } else if step.is_none() && rate.is_none() {
+        replay.to_end()?;
+    }
+    if let Some(k) = step {
+        let applied = replay.step(k)?;
+        println!("stepped {applied} event(s)");
+    }
+    if let Some(r) = rate {
+        // Accelerated playback: each iteration advances one wall-second's
+        // worth (`rate` recording-seconds); the playhead keeps moving
+        // through quiet gaps until the cursor reaches the end.
+        let mut played = 0u64;
+        while replay.cursor_events() < replay.events_total() {
+            let applied = replay.play(r, std::time::Duration::from_secs(1))?;
+            if applied > 0 {
+                played += applied;
+                println!(
+                    "play @{r}x: cursor {} ({} events)",
+                    replay.cursor_time(),
+                    replay.cursor_events()
+                );
+            }
+        }
+        println!("played {played} event(s) at {r}x");
+    }
+    println!(
+        "cursor: event {}/{} at {}",
+        replay.cursor_events(),
+        replay.events_total(),
+        replay.cursor_time()
+    );
+    for (t, cause, gave_up) in replay.restart_log() {
+        println!(
+            "restart at {t}: {cause}{}",
+            if gave_up { " [gave up]" } else { "" }
+        );
+    }
+    for (kind, detail) in replay.transitions() {
+        println!("transition [{kind}]: {detail}");
+    }
+    let reports = replay.reports();
+    for (i, report) in reports.iter().enumerate() {
+        print!("report {i} (at cursor):\n{report}");
+    }
+    let stats = replay.stats();
+    println!("{stats}");
+    println!("ledger {}", stats.to_json());
+    if let Some(dir) = frames_dir {
+        let span = Timestamp::from_secs(span_secs);
+        match replay.animation_at_cursor(span)? {
+            None => println!("no events in the trailing {span_secs}s window — no frames written"),
+            Some(animation) => {
+                fs::create_dir_all(&dir)?;
+                let count = animation.frame_count();
+                for (name, idx) in [
+                    ("frame_first.svg", 0usize),
+                    ("frame_third.svg", count / 3),
+                    ("frame_two_thirds.svg", count * 2 / 3),
+                    ("frame_last.svg", count.saturating_sub(1)),
+                ] {
+                    fs::write(
+                        Path::new(&dir).join(name),
+                        animation.render_frame_svg(idx.min(count.saturating_sub(1))),
+                    )?;
+                }
+                fs::write(
+                    Path::new(&dir).join("animation.svg"),
+                    animation.render_animated_svg(64),
+                )?;
+                println!(
+                    "wrote 4 key frames + animation.svg ({count} frames over the trailing {span_secs}s) to {dir}/"
+                );
+            }
+        }
     }
     Ok(())
 }

@@ -533,6 +533,15 @@ impl StemStage {
         }
     }
 
+    /// Writes an operational transition marker (e.g. a source quarantine)
+    /// into the stage's recording, if one is armed. A no-op otherwise.
+    fn record_transition(&self, kind: &str, detail: &str) {
+        match self {
+            StemStage::Single(handle) => handle.record_transition(kind, detail),
+            StemStage::Sharded(pipeline) => pipeline.record_transition(kind, detail),
+        }
+    }
+
     /// Why the stage closed: the single pipeline's last panic, or every
     /// quarantined shard's root cause.
     fn failure_cause(&self) -> String {
@@ -1576,9 +1585,14 @@ impl MultiSourceIngest {
                                 state.ledger.stall_shed += k;
                             }
                             quarantined[i] = true;
+                            let detail = format!("source {} ({}): stalled", i, state.ledger.name);
                             if let Some(probe) = probe.as_mut() {
                                 probe(&snapshot(&guard));
                             }
+                            drop(guard);
+                            // A recording of this run carries the fan-in
+                            // transition too, not just consumer restarts.
+                            stem_stage.record_transition("source-quarantine", &detail);
                         }
                     }
                     Err(channel::RecvTimeoutError::Disconnected) => {

@@ -61,10 +61,11 @@ pub mod prelude {
     pub use bgpscope_anomaly::{
         classify, enrich_with_igp, merge_incidents, scan_deaggregation, scan_moas, AdaptiveConfig,
         AnomalyKind, AnomalyReport, ControllerConfig, DegradeConfig, FidelityLevel, GlobalIncident,
-        OverloadPolicy, PanicInjection, PipelineCheckpoint, PipelineClosed, PipelineConfig,
-        PipelineHandle, PipelineStats, RealtimeDetector, ReportDigest, ReportPolicy, ShardPanic,
-        ShardRouter, ShardSnapshot, ShardedConfig, ShardedPipeline, ShardedRun, ShardedStats,
-        SpawnConfig, SupervisorConfig, WeightedEvent,
+        Hotspot, OverloadPolicy, PanicInjection, PipelineCheckpoint, PipelineClosed,
+        PipelineConfig, PipelineHandle, PipelineStats, RealtimeDetector, RecorderConfig, Replay,
+        ReplayError, ReportDigest, ReportPolicy, ShardPanic, ShardRouter, ShardSnapshot,
+        ShardedConfig, ShardedObserver, ShardedPipeline, ShardedRun, ShardedStats, SpawnConfig,
+        StatsProbe, SupervisorConfig, Timeline, TimelineBucket, WeightedEvent,
     };
     pub use bgpscope_bgp::{
         AsPath, Asn, Community, Event, EventKind, EventStream, LocalPref, Med, PathAttributes,

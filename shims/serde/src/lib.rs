@@ -11,11 +11,18 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::Hash;
 
 /// A self-describing serialized value (the shim's data model).
+///
+/// Strings are `Cow<'static, str>` so the derive macros can emit struct
+/// field names and unit-variant tags as borrowed literals — building a
+/// value tree for a derived struct then costs no per-key allocations,
+/// which is what makes serializing high-frequency records (the anomaly
+/// pipeline's recording frames) cheap.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// `null` / unit / `None`.
@@ -29,11 +36,11 @@ pub enum Value {
     /// A floating-point number.
     F64(f64),
     /// A string.
-    Str(String),
+    Str(Cow<'static, str>),
     /// A sequence.
     Seq(Vec<Value>),
     /// A map with string keys, in insertion order.
-    Map(Vec<(String, Value)>),
+    Map(Vec<(Cow<'static, str>, Value)>),
 }
 
 /// A (de)serialization error.
@@ -59,6 +66,127 @@ impl std::error::Error for Error {}
 pub trait Serialize {
     /// Builds the value tree for `self`.
     fn to_value(&self) -> Value;
+
+    /// Streams `self` as compact JSON, appending to `out`.
+    ///
+    /// The default routes through [`Serialize::to_value`]; the impls the
+    /// derive shim generates (and the primitive impls here) instead write
+    /// directly, so hot serialization paths (`serde_json::to_string`)
+    /// build no intermediate tree and allocate nothing beyond the output
+    /// string. Both paths render byte-identically.
+    fn write_json(&self, out: &mut String) {
+        write_value_json(out, &self.to_value());
+    }
+
+    /// True when `self` serializes as JSON `null`. The derive shim omits
+    /// such named fields entirely (both paths: tree and streaming) —
+    /// [`map_field`] reads missing fields back as `Null`, so `None`
+    /// options round-trip while every serialized byte carries data.
+    fn json_is_null(&self) -> bool {
+        false
+    }
+}
+
+/// Appends the compact-JSON rendering of a [`Value`] tree to `out`
+/// (the [`Serialize::write_json`] fallback; `serde_json` renders pretty
+/// output through its own writer).
+pub fn write_value_json(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => write_u64_json(out, *n),
+        Value::I64(n) => write_i64_json(out, *n),
+        Value::F64(x) => write_f64_json(out, *x),
+        Value::Str(s) => write_str_json(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_json(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str_json(out, k);
+                out.push(':');
+                write_value_json(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Appends a decimal `u64` to `out` without going through the `fmt`
+/// machinery — integers dominate serialized event records, and this is
+/// several times faster than `write!(out, "{n}")`.
+pub fn write_u64_json(out: &mut String, mut n: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    // The buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are utf-8"));
+}
+
+/// Appends a decimal `i64` to `out` (see [`write_u64_json`]).
+pub fn write_i64_json(out: &mut String, n: i64) {
+    if n < 0 {
+        out.push('-');
+        write_u64_json(out, n.unsigned_abs());
+    } else {
+        write_u64_json(out, n as u64);
+    }
+}
+
+/// Appends a quoted, escaped JSON string to `out`.
+pub fn write_str_json(out: &mut String, s: &str) {
+    use fmt::Write as _;
+    out.push('"');
+    // Fast path: nothing needs escaping, the whole slice copies at once.
+    if !s.bytes().any(|b| b == b'"' || b == b'\\' || b < 0x20) {
+        out.push_str(s);
+        out.push('"');
+        return;
+    }
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `x` (non-finite floats render as `null`,
+/// and `{:?}` keeps the trailing `.0` on integral floats so the value
+/// re-parses as a float).
+pub fn write_f64_json(out: &mut String, x: f64) {
+    use fmt::Write as _;
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
 }
 
 /// Types that can reconstruct themselves from a [`Value`].
@@ -75,7 +203,7 @@ pub fn map_field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
     match v {
         Value::Map(entries) => Ok(entries
             .iter()
-            .find(|(k, _)| k == name)
+            .find(|(k, _)| k.as_ref() == name)
             .map(|(_, v)| v)
             .unwrap_or(&NULL)),
         other => Err(Error::msg(format!(
@@ -99,6 +227,9 @@ macro_rules! impl_unsigned {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::U64(*self as u64)
+            }
+            fn write_json(&self, out: &mut String) {
+                write_u64_json(out, *self as u64);
             }
         }
         impl Deserialize for $t {
@@ -126,6 +257,9 @@ macro_rules! impl_signed {
                 let n = *self as i64;
                 if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
             }
+            fn write_json(&self, out: &mut String) {
+                write_i64_json(out, *self as i64);
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -152,6 +286,9 @@ macro_rules! impl_float {
             fn to_value(&self) -> Value {
                 Value::F64(*self as f64)
             }
+            fn write_json(&self, out: &mut String) {
+                write_f64_json(out, *self as f64);
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -172,6 +309,9 @@ impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
 }
 
 impl Deserialize for bool {
@@ -185,14 +325,17 @@ impl Deserialize for bool {
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
-        Value::Str(self.clone())
+        Value::Str(Cow::Owned(self.clone()))
+    }
+    fn write_json(&self, out: &mut String) {
+        write_str_json(out, self);
     }
 }
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Str(s) => Ok(s.clone()),
+            Value::Str(s) => Ok(s.clone().into_owned()),
             other => Err(Error::msg(format!("expected string, got {other:?}"))),
         }
     }
@@ -200,7 +343,10 @@ impl Deserialize for String {
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
-        Value::Str(self.to_owned())
+        Value::Str(Cow::Owned(self.to_owned()))
+    }
+    fn write_json(&self, out: &mut String) {
+        write_str_json(out, self);
     }
 }
 
@@ -208,11 +354,40 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+    fn json_is_null(&self) -> bool {
+        (**self).json_is_null()
+    }
+}
+
+/// True when `x` equals its type's [`Default`]. The derive shim calls
+/// this for `#[serde(skip_default)]` fields so the comparison's RHS type
+/// is pinned to `T` (a bare `==` against `Default::default()` would be
+/// ambiguous for types with heterogeneous `PartialEq` impls like `Vec`).
+pub fn is_default<T: Default + PartialEq>(x: &T) -> bool {
+    *x == T::default()
+}
+
+/// Streams a sequence as a compact JSON array.
+fn write_seq_json<'a, T: Serialize + 'a>(out: &mut String, items: impl Iterator<Item = &'a T>) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+    fn write_json(&self, out: &mut String) {
+        write_seq_json(out, self.iter());
     }
 }
 
@@ -229,6 +404,9 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
+    fn write_json(&self, out: &mut String) {
+        write_seq_json(out, self.iter());
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -237,6 +415,15 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Value::Null,
             Some(x) => x.to_value(),
         }
+    }
+    fn write_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(x) => x.write_json(out),
+        }
+    }
+    fn json_is_null(&self) -> bool {
+        self.is_none()
     }
 }
 
@@ -253,6 +440,9 @@ impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
+    fn write_json(&self, out: &mut String) {
+        write_seq_json(out, self.iter());
+    }
 }
 
 impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
@@ -267,6 +457,9 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
 impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+    fn write_json(&self, out: &mut String) {
+        write_seq_json(out, self.iter());
     }
 }
 
@@ -294,6 +487,24 @@ fn map_pairs<'m, K: Serialize + 'm, V: Serialize + 'm>(
     )
 }
 
+fn write_pairs_json<'m, K: Serialize + 'm, V: Serialize + 'm>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'m K, &'m V)>,
+) {
+    out.push('[');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        k.write_json(out);
+        out.push(',');
+        v.write_json(out);
+        out.push(']');
+    }
+    out.push(']');
+}
+
 fn pairs_from_value<K: Deserialize, V: Deserialize, M: FromIterator<(K, V)>>(
     v: &Value,
 ) -> Result<M, Error> {
@@ -315,6 +526,9 @@ impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
         map_pairs(self.iter())
     }
+    fn write_json(&self, out: &mut String) {
+        write_pairs_json(out, self.iter());
+    }
 }
 
 impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
@@ -326,6 +540,9 @@ impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
 impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         map_pairs(self.iter())
+    }
+    fn write_json(&self, out: &mut String) {
+        write_pairs_json(out, self.iter());
     }
 }
 
@@ -340,6 +557,16 @@ macro_rules! impl_tuple {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_value(&self) -> Value {
                 Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                $(
+                    if $idx > 0 {
+                        out.push(',');
+                    }
+                    self.$idx.write_json(out);
+                )+
+                out.push(']');
             }
         }
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
@@ -359,6 +586,9 @@ impl_tuple! {
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+    fn write_json(&self, out: &mut String) {
+        write_value_json(out, self);
     }
 }
 

@@ -4,8 +4,11 @@
 //! `#[derive(Serialize)]` and `#[derive(Deserialize)]` targeting the shim
 //! `serde` crate's `to_value`/`from_value` traits. It supports the shapes
 //! this workspace actually uses: non-generic structs (named, tuple, unit)
-//! and enums whose variants are unit, tuple, or struct-like. Serde field
-//! attributes are not supported (none are used in this repo); `#[...]`
+//! and enums whose variants are unit, tuple, or struct-like. The one
+//! field attribute supported is `#[serde(skip_default)]` (the shim's
+//! spelling of serde's `default` + `skip_serializing_if`): the field is
+//! omitted from the serialized map when it equals its type's `Default`,
+//! and a missing field deserializes to that default. Other `#[...]`
 //! attributes encountered while parsing (doc comments, `#[default]`, …)
 //! are skipped.
 //!
@@ -16,9 +19,11 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One parsed field: an optional name (None for tuple fields).
+/// One parsed field: an optional name (None for tuple fields) and
+/// whether `#[serde(skip_default)]` was present.
 struct Field {
     name: Option<String>,
+    skip_default: bool,
 }
 
 enum Body {
@@ -55,6 +60,38 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
             _ => break,
         }
     }
+}
+
+/// Skips `#[...]` attribute pairs at `i`, returning true when one of them
+/// is `#[serde(skip_default)]`. Other `#[serde(...)]` contents are ignored
+/// (none are used in this workspace).
+fn field_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip_default = false;
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(w) = t {
+                                if w.to_string() == "skip_default" {
+                                    skip_default = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    skip_default
 }
 
 /// Skips a `pub` / `pub(crate)` visibility marker at `i`.
@@ -103,11 +140,12 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
         .into_iter()
         .filter_map(|chunk| {
             let mut i = 0;
-            skip_attrs(&chunk, &mut i);
+            let skip_default = field_attrs(&chunk, &mut i);
             skip_vis(&chunk, &mut i);
             match chunk.get(i) {
                 Some(TokenTree::Ident(id)) => Some(Field {
                     name: Some(id.to_string()),
+                    skip_default,
                 }),
                 _ => None,
             }
@@ -199,7 +237,19 @@ fn compile_error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});").parse().unwrap()
 }
 
-#[proc_macro_derive(Serialize)]
+/// The omit-this-field test for a named field serialized into a map:
+/// `#[serde(skip_default)]` fields are omitted when equal to their
+/// `Default`, everything else only when it serializes as JSON `null`
+/// (i.e. `None` options). `expr` is a `&T` expression for the field.
+fn omit_condition(f: &Field, expr: &str) -> String {
+    if f.skip_default {
+        format!("::serde::is_default({expr})")
+    } else {
+        format!("::serde::Serialize::json_is_null({expr})")
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
@@ -217,31 +267,80 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     format!("::serde::Value::Seq(vec![{}])", items.join(", "))
                 }
                 Body::Named(fields) => {
-                    let entries: Vec<String> = fields
-                        .iter()
-                        .map(|f| {
-                            let fname = f.name.as_deref().unwrap();
-                            format!(
-                                "(String::from({fname:?}), ::serde::Serialize::to_value(&self.{fname}))"
-                            )
-                        })
-                        .collect();
-                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                    // Null-valued fields (e.g. `None` options) are omitted
+                    // from the map: `map_field` reads a missing field back
+                    // as `Null`, so the round-trip is unchanged while the
+                    // serialized form carries only data-bearing fields.
+                    let mut stmts = vec![format!(
+                        "let mut entries: Vec<(::std::borrow::Cow<'static, str>, ::serde::Value)> = Vec::with_capacity({});",
+                        fields.len()
+                    )];
+                    for f in fields {
+                        let fname = f.name.as_deref().unwrap();
+                        let omit = omit_condition(f, &format!("&self.{fname}"));
+                        stmts.push(format!(
+                            "if !{omit} {{ \
+                                 entries.push((::std::borrow::Cow::Borrowed({fname:?}), \
+                                 ::serde::Serialize::to_value(&self.{fname}))); }}"
+                        ));
+                    }
+                    stmts.push("::serde::Value::Map(entries)".to_owned());
+                    format!("{{ {} }}", stmts.join(" "))
+                }
+            };
+            // The streaming body renders byte-identically to the tree
+            // path but writes straight into the output string.
+            let stream = match body {
+                Body::Unit => "out.push_str(\"null\");".to_owned(),
+                Body::Tuple(1) => "::serde::Serialize::write_json(&self.0, out);".to_owned(),
+                Body::Tuple(n) => {
+                    let mut stmts = vec!["out.push('[');".to_owned()];
+                    for i in 0..*n {
+                        if i > 0 {
+                            stmts.push("out.push(',');".to_owned());
+                        }
+                        stmts.push(format!("::serde::Serialize::write_json(&self.{i}, out);"));
+                    }
+                    stmts.push("out.push(']');".to_owned());
+                    stmts.join(" ")
+                }
+                Body::Named(fields) if fields.is_empty() => "out.push_str(\"{}\");".to_owned(),
+                Body::Named(fields) => {
+                    let mut stmts = vec![
+                        "out.push('{');".to_owned(),
+                        "let mut first = true;".to_owned(),
+                    ];
+                    for f in fields {
+                        let fname = f.name.as_deref().unwrap();
+                        let key = format!("\"{fname}\":");
+                        let omit = omit_condition(f, &format!("&self.{fname}"));
+                        stmts.push(format!(
+                            "if !{omit} {{ \
+                                 if !first {{ out.push(','); }} first = false; \
+                                 out.push_str({key:?}); \
+                                 ::serde::Serialize::write_json(&self.{fname}, out); }}"
+                        ));
+                    }
+                    stmts.push("let _ = first;".to_owned());
+                    stmts.push("out.push('}');".to_owned());
+                    stmts.join(" ")
                 }
             };
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                     fn write_json(&self, out: &mut String) {{ {stream} }}\n\
                  }}"
             )
         }
         Item::Enum { name, variants } => {
             let mut arms = Vec::new();
+            let mut stream_arms = Vec::new();
             for v in variants {
                 let vname = &v.name;
                 let arm = match &v.body {
                     Body::Unit => {
-                        format!("{name}::{vname} => ::serde::Value::Str(String::from({vname:?}))")
+                        format!("{name}::{vname} => ::serde::Value::Str(::std::borrow::Cow::Borrowed({vname:?}))")
                     }
                     Body::Tuple(n) => {
                         let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
@@ -255,42 +354,119 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             format!("::serde::Value::Seq(vec![{}])", items.join(", "))
                         };
                         format!(
-                            "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(String::from({vname:?}), {payload})])",
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(::std::borrow::Cow::Borrowed({vname:?}), {payload})])",
                             binds = binds.join(", ")
                         )
                     }
                     Body::Named(fields) => {
                         let names: Vec<&str> =
                             fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
-                        let entries: Vec<String> = names
+                        let pushes: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!("(String::from({f:?}), ::serde::Serialize::to_value({f}))")
+                                let fname = f.name.as_deref().unwrap();
+                                let omit = omit_condition(f, fname);
+                                format!(
+                                    "if !{omit} {{ \
+                                         entries.push((::std::borrow::Cow::Borrowed({fname:?}), \
+                                         ::serde::Serialize::to_value({fname}))); }}"
+                                )
                             })
                             .collect();
                         format!(
-                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(String::from({vname:?}), ::serde::Value::Map(vec![{entries}]))])",
+                            "{name}::{vname} {{ {binds} }} => {{ \
+                                 let mut entries: Vec<(::std::borrow::Cow<'static, str>, ::serde::Value)> = \
+                                     Vec::with_capacity({cap}); \
+                                 {pushes} \
+                                 ::serde::Value::Map(vec![(::std::borrow::Cow::Borrowed({vname:?}), ::serde::Value::Map(entries))]) }}",
                             binds = names.join(", "),
-                            entries = entries.join(", ")
+                            cap = names.len(),
+                            pushes = pushes.join(" ")
                         )
                     }
                 };
                 arms.push(arm);
+                // Streaming arm: identical bytes, no tree.
+                let stream_arm = match &v.body {
+                    Body::Unit => {
+                        let lit = format!("\"{vname}\"");
+                        format!("{name}::{vname} => out.push_str({lit:?})")
+                    }
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let open = format!("{{\"{vname}\":");
+                        let mut stmts = vec![format!("out.push_str({open:?});")];
+                        if *n == 1 {
+                            stmts.push("::serde::Serialize::write_json(f0, out);".to_owned());
+                        } else {
+                            stmts.push("out.push('[');".to_owned());
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    stmts.push("out.push(',');".to_owned());
+                                }
+                                stmts.push(format!("::serde::Serialize::write_json({b}, out);"));
+                            }
+                            stmts.push("out.push(']');".to_owned());
+                        }
+                        stmts.push("out.push('}');".to_owned());
+                        format!(
+                            "{name}::{vname}({binds}) => {{ {stmts} }}",
+                            binds = binds.join(", "),
+                            stmts = stmts.join(" ")
+                        )
+                    }
+                    Body::Named(fields) => {
+                        let names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+                        let open = format!("{{\"{vname}\":");
+                        let mut stmts = vec![format!("out.push_str({open:?});")];
+                        if names.is_empty() {
+                            stmts.push("out.push_str(\"{}\");".to_owned());
+                        } else {
+                            stmts.push("out.push('{');".to_owned());
+                            stmts.push("let mut first = true;".to_owned());
+                            for f in fields {
+                                let fname = f.name.as_deref().unwrap();
+                                let key = format!("\"{fname}\":");
+                                let omit = omit_condition(f, fname);
+                                stmts.push(format!(
+                                    "if !{omit} {{ \
+                                         if !first {{ out.push(','); }} first = false; \
+                                         out.push_str({key:?}); \
+                                         ::serde::Serialize::write_json({fname}, out); }}"
+                                ));
+                            }
+                            stmts.push("let _ = first;".to_owned());
+                            stmts.push("out.push('}');".to_owned());
+                        }
+                        stmts.push("out.push('}');".to_owned());
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => {{ {stmts} }}",
+                            binds = names.join(", "),
+                            stmts = stmts.join(" ")
+                        )
+                    }
+                };
+                stream_arms.push(stream_arm);
             }
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
                          match self {{ {arms} }}\n\
                      }}\n\
+                     fn write_json(&self, out: &mut String) {{\n\
+                         match self {{ {stream_arms} }}\n\
+                     }}\n\
                  }}",
-                arms = arms.join(",\n")
+                arms = arms.join(",\n"),
+                stream_arms = stream_arms.join(",\n")
             )
         }
     };
     src.parse().unwrap()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
@@ -318,9 +494,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         .iter()
                         .map(|f| {
                             let fname = f.name.as_deref().unwrap();
-                            format!(
-                                "{fname}: ::serde::Deserialize::from_value(::serde::map_field(v, {fname:?})?)?"
-                            )
+                            if f.skip_default {
+                                format!(
+                                    "{fname}: match ::serde::map_field(v, {fname:?})? {{ \
+                                         ::serde::Value::Null => ::core::default::Default::default(), \
+                                         other => ::serde::Deserialize::from_value(other)? }}"
+                                )
+                            } else {
+                                format!(
+                                    "{fname}: ::serde::Deserialize::from_value(::serde::map_field(v, {fname:?})?)?"
+                                )
+                            }
                         })
                         .collect();
                     format!("Ok({name} {{ {} }})", items.join(", "))
@@ -361,9 +545,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             .iter()
                             .map(|f| {
                                 let fname = f.name.as_deref().unwrap();
-                                format!(
-                                    "{fname}: ::serde::Deserialize::from_value(::serde::map_field(inner, {fname:?})?)?"
-                                )
+                                if f.skip_default {
+                                    format!(
+                                        "{fname}: match ::serde::map_field(inner, {fname:?})? {{ \
+                                             ::serde::Value::Null => ::core::default::Default::default(), \
+                                             other => ::serde::Deserialize::from_value(other)? }}"
+                                    )
+                                } else {
+                                    format!(
+                                        "{fname}: ::serde::Deserialize::from_value(::serde::map_field(inner, {fname:?})?)?"
+                                    )
+                                }
                             })
                             .collect();
                         payload_arms.push(format!(
@@ -383,10 +575,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
                          match v {{\n\
-                             ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} }},\n\
+                             ::serde::Value::Str(s) => match s.as_ref() {{ {unit_arms} }},\n\
                              ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
                                  let (k, inner) = &entries[0];\n\
-                                 match k.as_str() {{ {payload_arms} }}\n\
+                                 match k.as_ref() {{ {payload_arms} }}\n\
                              }}\n\
                              other => Err(::serde::Error::msg(format!(\n\
                                  \"expected {name} variant, got {{other:?}}\"))),\n\

@@ -2,6 +2,7 @@
 //! `serde` crate's [`serde::Value`] tree.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 pub use serde::Value;
 
@@ -26,10 +27,11 @@ impl From<serde::Error> for Error {
 /// Result alias matching serde_json's.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// Serializes `value` as a compact JSON string.
+/// Serializes `value` as a compact JSON string. Streams through
+/// [`serde::Serialize::write_json`] — no intermediate [`Value`] tree.
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0);
+    value.write_json(&mut out);
     Ok(out)
 }
 
@@ -57,6 +59,13 @@ pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
+    // Fast path: no byte needs escaping (the overwhelmingly common case
+    // for field names and identifiers), so the whole slice copies at once.
+    if !s.bytes().any(|b| b == b'"' || b == b'\\' || b < 0x20) {
+        out.push_str(s);
+        out.push('"');
+        return;
+    }
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -86,13 +95,19 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::U64(n) => out.push_str(&n.to_string()),
-        Value::I64(n) => out.push_str(&n.to_string()),
+        // `write!` formats straight into the output string — no
+        // intermediate allocation per number on the serialization path.
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
         Value::F64(x) => {
             if x.is_finite() {
                 // `{:?}` keeps a trailing `.0` on integral floats, so the
                 // value re-parses as a float.
-                out.push_str(&format!("{x:?}"));
+                let _ = write!(out, "{x:?}");
             } else {
                 out.push_str("null");
             }
@@ -179,7 +194,7 @@ impl<'a> Parser<'a> {
             Some(b'n') => self.parse_keyword("null", Value::Null),
             Some(b't') => self.parse_keyword("true", Value::Bool(true)),
             Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
-            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?.into())),
             Some(b'[') => {
                 self.pos += 1;
                 let mut items = Vec::new();
@@ -217,7 +232,7 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     self.expect(b':')?;
                     let val = self.parse_value()?;
-                    entries.push((key, val));
+                    entries.push((key.into(), val));
                     self.skip_ws();
                     match self.bump() {
                         Some(b',') => continue,

@@ -1,0 +1,119 @@
+//! Golden-frame regression test for the TAMP export path of incident
+//! replay.
+//!
+//! A fixed, fully deterministic incident is recorded through the
+//! supervised pipeline, replayed to a fixed cursor, and the trailing
+//! window is fed to the TAMP animation engine. The rendered SVG frames
+//! must be **byte-identical** to the checked-in fixtures — this is the
+//! only regression guard on the layout/animation path, which otherwise
+//! has no golden output.
+//!
+//! To bless a new expected output after an intentional layout change:
+//!
+//! ```text
+//! BLESS_GOLDEN_FRAMES=1 cargo test --test golden_frames
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use bgpscope::prelude::*;
+
+/// The fixed incident: a withdrawal storm over 120 prefixes from one
+/// peer, each later re-announced — enough structure that frames show
+/// edges appearing, draining, and returning.
+fn fixed_incident() -> EventStream {
+    let peer = PeerId::from_octets(1, 1, 1, 1);
+    let hop = RouterId::from_octets(2, 2, 2, 2);
+    let path: AsPath = "11423 209 701".parse().expect("static path parses");
+    let mut stream = EventStream::new();
+    for i in 0..240u64 {
+        let attrs = PathAttributes::new(hop, path.clone());
+        let prefix = Prefix::from_octets(10, (i % 120) as u8, 0, 0, 16);
+        let time = Timestamp::from_millis(i * 250);
+        if i < 120 {
+            stream.push(Event::withdraw(time, peer, prefix, attrs));
+        } else {
+            stream.push(Event::announce(time, peer, prefix, attrs));
+        }
+    }
+    stream
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_dir().join(name);
+    if std::env::var("BLESS_GOLDEN_FRAMES").is_ok() {
+        std::fs::create_dir_all(fixture_dir()).expect("fixture dir");
+        std::fs::write(&path, rendered).expect("bless fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "fixture {} unreadable ({e}); bless with BLESS_GOLDEN_FRAMES=1",
+            path.display()
+        )
+    });
+    assert!(
+        rendered == expected,
+        "{name}: rendered frame differs from the checked-in fixture \
+         (rendered {} bytes, expected {} bytes); if the layout change is \
+         intentional, re-bless with BLESS_GOLDEN_FRAMES=1",
+        rendered.len(),
+        expected.len()
+    );
+}
+
+#[test]
+fn replayed_frames_at_fixed_cursor_are_byte_identical() {
+    let base = std::env::temp_dir().join(format!("bgpscope-golden-frames-{}", std::process::id()));
+    let config = PipelineConfig {
+        window: Timestamp::from_secs(20),
+        min_events: 10,
+        min_component_events: 5,
+        spike_events: 1_000,
+        ..PipelineConfig::default()
+    };
+    let spawn =
+        SpawnConfig::new(config).with_recorder(RecorderConfig::new(&base).with_label("golden"));
+    let mut handle = RealtimeDetector::spawn(spawn);
+    for event in &fixed_incident() {
+        handle.ingest_event(event.clone()).expect("pipeline alive");
+    }
+    let _ = handle.finish();
+
+    let mut replay = Replay::load(&base).expect("recording loads");
+    // Fixed cursor: just after event 200, deep into the re-announce wave.
+    replay.seek_events(200).expect("seek the fixed cursor");
+    assert_eq!(replay.cursor_events(), 200);
+    let animation = replay
+        .animation_at_cursor(Timestamp::from_secs(30))
+        .expect("window readable")
+        .expect("the window holds events");
+    assert!(animation.frame_count() > 0);
+
+    check_golden(
+        "replay_golden_frame_first.svg",
+        &animation.render_frame_svg(0),
+    );
+    check_golden(
+        "replay_golden_frame_last.svg",
+        &animation.render_frame_svg(animation.frame_count() - 1),
+    );
+
+    // Cleanup the recording.
+    let _ = std::fs::remove_file(&base);
+    let mut k = 0;
+    loop {
+        let seg = base.with_file_name(format!(
+            "{}.seg{k}",
+            base.file_name().unwrap().to_string_lossy()
+        ));
+        if std::fs::remove_file(seg).is_err() {
+            break;
+        }
+        k += 1;
+    }
+}

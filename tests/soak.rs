@@ -1471,3 +1471,173 @@ fn nightly_randomized_multi_source_soak() {
     }
     eprintln!("nightly multi-source soak: {rounds} rounds in {budget}s budget");
 }
+
+/// A collision-free recording base for the replay soak legs.
+fn soak_recording_base(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bgpscope-soak-rec-{tag}-{}", std::process::id()))
+}
+
+fn cleanup_recording(base: &std::path::Path) {
+    let _ = std::fs::remove_file(base);
+    let mut k = 0;
+    loop {
+        let seg = base.with_file_name(format!(
+            "{}.seg{k}",
+            base.file_name().unwrap().to_string_lossy()
+        ));
+        if std::fs::remove_file(seg).is_err() {
+            break;
+        }
+        k += 1;
+    }
+}
+
+/// The kill-the-consumer soak with a recorder armed: every injected panic
+/// must surface as a [`Frame::Restart`] in the recording, and re-driving
+/// the recording must reproduce the post-restart ledger and report stream
+/// bit-identically — a crashed-and-recovered run is a replayable artifact.
+#[test]
+fn soak_record_during_consumer_kill_replays_post_restart_ledger() {
+    const INTERVAL: usize = 64;
+    let plan = FaultPlan::concurrent_storms(0xd5_2005).with_consumer_panic(500, 3);
+    let feed = plan.build_feed();
+    let panic_spec = plan.consumer_panic.expect("plan arms the panic");
+    let base = soak_recording_base("kill");
+
+    let config = spawn_config(OverloadPolicy::Block)
+        .with_supervisor(
+            SupervisorConfig::default()
+                .with_checkpoint_interval(INTERVAL)
+                .with_backoff(Duration::from_millis(2)),
+        )
+        .with_fault(PanicInjection {
+            after_events: panic_spec.after_events,
+            repeat: panic_spec.repeat,
+        })
+        .with_recorder(RecorderConfig::new(&base).with_label("soak kill-the-consumer"));
+    let started = Instant::now();
+    let mut handle = RealtimeDetector::spawn(config);
+    for (i, (msg, time)) in feed.iter().enumerate() {
+        if let Some(pause) = plan.stall_at(i) {
+            std::thread::sleep(pause);
+        }
+        handle
+            .ingest_update(msg, *time)
+            .unwrap_or_else(|_| panic!("pipeline died at feed item {i}"));
+        assert!(started.elapsed() < DEADLINE, "livelock at item {i}");
+    }
+    let (live_reports, live_stats) = handle.finish();
+    assert_eq!(live_stats.restarts, u64::from(panic_spec.repeat));
+    assert!(live_stats.accounts_exactly(), "{live_stats}");
+
+    let mut replay = Replay::load(&base).expect("recording of a crashed run loads");
+    assert!(!replay.truncated(), "the seal completed");
+    // Every restart the supervisor performed is in the recording.
+    let restart_log = replay.restart_log();
+    assert_eq!(restart_log.len() as u64, live_stats.restarts);
+    assert!(
+        restart_log
+            .iter()
+            .all(|(_, cause, gave_up)| { cause.contains("injected") && !gave_up }),
+        "restart causes survive into the recording: {restart_log:?}"
+    );
+    replay.to_end().expect("replay the crashed run");
+    assert_eq!(
+        replay.stats(),
+        live_stats,
+        "replay reproduces the post-restart ledger exactly"
+    );
+    let rendered_live: Vec<String> = live_reports.iter().map(ToString::to_string).collect();
+    let rendered_replay: Vec<String> = replay.reports().iter().map(ToString::to_string).collect();
+    assert_eq!(rendered_replay, rendered_live);
+    let rendered_recomputed: Vec<String> = replay
+        .recomputed_reports()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    assert_eq!(rendered_recomputed, rendered_live);
+    cleanup_recording(&base);
+}
+
+/// The truncated-recording soak: tear the final segment mid-frame (the
+/// recorder's process died mid-write) at several cut depths. Replay must
+/// recover the complete-frame prefix, report `truncated`, drive to its
+/// end without panicking — and the recovered prefix must match a
+/// prefix replay of the intact recording.
+#[test]
+fn soak_truncated_recording_recovers_prefix_and_never_panics() {
+    let plan = soak_plan();
+    let feed = plan.build_feed();
+    let base = soak_recording_base("torn");
+
+    let config = spawn_config(OverloadPolicy::Block)
+        .with_supervisor(SupervisorConfig::default().with_checkpoint_interval(64))
+        .with_recorder(
+            RecorderConfig::new(&base)
+                .with_frames_per_segment(256)
+                .with_label("soak torn-tail"),
+        );
+    let mut handle = RealtimeDetector::spawn(config);
+    for (i, (msg, time)) in feed.iter().enumerate() {
+        handle
+            .ingest_update(msg, *time)
+            .unwrap_or_else(|_| panic!("pipeline died at feed item {i}"));
+    }
+    let _ = handle.finish();
+
+    let mut last = 0;
+    loop {
+        let seg = base.with_file_name(format!(
+            "{}.seg{}",
+            base.file_name().unwrap().to_string_lossy(),
+            last + 1
+        ));
+        if !seg.exists() {
+            break;
+        }
+        last += 1;
+    }
+    let seg = base.with_file_name(format!(
+        "{}.seg{last}",
+        base.file_name().unwrap().to_string_lossy()
+    ));
+    let intact = std::fs::read_to_string(&seg).expect("final segment readable");
+
+    for cut_num in 1..=3u64 {
+        // Tear at 1/4, 2/4, 3/4 of the final segment — always mid-line
+        // unless the cut happens to land on a boundary, which is fine too.
+        let keep = (intact.len() as u64 * cut_num / 4) as usize;
+        std::fs::write(&seg, &intact[..keep]).expect("tear the tail");
+        let mut torn = Replay::load(&base)
+            .unwrap_or_else(|e| panic!("torn recording (cut {cut_num}) must load: {e}"));
+        assert!(torn.truncated(), "cut {cut_num} reports truncation");
+        assert!(torn.end_stats().is_none(), "no End frame survives a tear");
+        torn.to_end()
+            .unwrap_or_else(|e| panic!("torn replay (cut {cut_num}) must not fail: {e}"));
+
+        // The recovered prefix is exactly the intact recording's prefix.
+        std::fs::write(&seg, &intact).expect("restore the segment");
+        let mut oracle = Replay::load(&base).expect("intact recording loads");
+        assert!(!oracle.truncated());
+        oracle
+            .seek_events(torn.events_total())
+            .expect("seek the oracle to the torn prefix");
+        assert_eq!(torn.detector_stats(), oracle.detector_stats());
+        let torn_reports: Vec<String> = torn.reports().iter().map(ToString::to_string).collect();
+        let oracle_reports: Vec<String> =
+            oracle.reports().iter().map(ToString::to_string).collect();
+        // The tear can drop trailing Report frames recorded after the last
+        // complete Event frame; the oracle prefix can therefore carry at
+        // most as many reports.
+        assert!(
+            torn_reports.len() <= oracle_reports.len(),
+            "cut {cut_num}: torn reports exceed oracle"
+        );
+        assert_eq!(
+            torn_reports[..],
+            oracle_reports[..torn_reports.len()],
+            "cut {cut_num}: recovered prefix diverged"
+        );
+    }
+    cleanup_recording(&base);
+}
